@@ -1,0 +1,37 @@
+//! # phpsafe-baselines
+//!
+//! Capability-faithful reimplementations of the two free analyzers the
+//! phpSAFE paper compares against — **RIPS** and **Pixy** — plus the common
+//! [`AnalysisTool`] trait the evaluation harness drives.
+//!
+//! Both baselines share the same parsing/taint substrate as phpSAFE; what
+//! differs is exactly what the paper says differs: the configuration each
+//! tool knows (Pixy's 2007-era function model, RIPS' PHP-only model versus
+//! phpSAFE's WordPress profile) and the capability switches (OOP
+//! resolution, include splicing, uncalled-function coverage,
+//! `register_globals`, OOP file rejection). The comparison therefore
+//! isolates tool *capability*, which is what the paper's evaluation
+//! measures.
+//!
+//! ```
+//! use phpsafe_baselines::{AnalysisTool, Rips, Pixy};
+//! use phpsafe::{PluginProject, SourceFile};
+//!
+//! let plugin = PluginProject::new("demo").with_file(SourceFile::new(
+//!     "demo.php",
+//!     "<?php $rows = $wpdb->get_results('SELECT * FROM t');
+//!      foreach ($rows as $r) { echo $r->name; }",
+//! ));
+//! assert!(Rips::new().analyze(&plugin).vulns.is_empty());  // OOP-blind
+//! assert_eq!(Pixy::new().analyze(&plugin).stats.files_failed, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod pixy;
+pub mod rips;
+mod tool;
+
+pub use pixy::{pixy_config, Pixy};
+pub use rips::Rips;
+pub use tool::{paper_tools, AnalysisTool};

@@ -1,0 +1,45 @@
+//! The common tool abstraction the evaluation harness runs: phpSAFE, the
+//! RIPS-like baseline and the Pixy-like baseline all implement
+//! [`AnalysisTool`].
+
+use phpsafe::{AnalysisOutcome, PhpSafe, PluginProject};
+
+/// A static analysis tool that can be pointed at a plugin project.
+pub trait AnalysisTool {
+    /// Tool display name (`phpSAFE`, `RIPS`, `Pixy`).
+    fn name(&self) -> &str;
+
+    /// Analyzes a plugin and returns its findings.
+    fn analyze(&self, project: &PluginProject) -> AnalysisOutcome;
+}
+
+impl AnalysisTool for PhpSafe {
+    fn name(&self) -> &str {
+        "phpSAFE"
+    }
+
+    fn analyze(&self, project: &PluginProject) -> AnalysisOutcome {
+        PhpSafe::analyze(self, project)
+    }
+}
+
+/// Builds the three tools of the paper's evaluation, in table order.
+pub fn paper_tools() -> Vec<Box<dyn AnalysisTool>> {
+    vec![
+        Box::new(PhpSafe::new()),
+        Box::new(crate::rips::Rips::new()),
+        Box::new(crate::pixy::Pixy::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tools_have_expected_names() {
+        let tools = paper_tools();
+        let names: Vec<&str> = tools.iter().map(|t| t.name()).collect();
+        assert_eq!(names, vec!["phpSAFE", "RIPS", "Pixy"]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Ablation benches: timing impact of phpSAFE's design choices (function
+//! summaries, include resolution, OOP resolution). The detection impact of
+//! the same switches is printed by `repro -- ablations`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phpsafe::{AnalyzerOptions, PhpSafe};
+use phpsafe_corpus::{Corpus, Version};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn corpus() -> &'static Corpus {
+    static C: OnceLock<Corpus> = OnceLock::new();
+    C.get_or_init(Corpus::generate)
+}
+
+fn variants() -> Vec<(&'static str, PhpSafe)> {
+    vec![
+        ("full", PhpSafe::new()),
+        (
+            "no_summaries",
+            PhpSafe::new().with_options(AnalyzerOptions {
+                summaries: false,
+                ..AnalyzerOptions::default()
+            }),
+        ),
+        (
+            "no_includes",
+            PhpSafe::new().with_options(AnalyzerOptions {
+                resolve_includes: false,
+                ..AnalyzerOptions::default()
+            }),
+        ),
+        (
+            "no_oop",
+            PhpSafe::new().with_options(AnalyzerOptions {
+                oop: false,
+                ..AnalyzerOptions::default()
+            }),
+        ),
+    ]
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    // An OOP-heavy plugin exercises summaries and method resolution.
+    let plugin = corpus()
+        .plugins()
+        .iter()
+        .find(|p| p.name == "mail-subscribe-list")
+        .expect("plugin");
+    let project = plugin.project(Version::V2014);
+    let mut group = c.benchmark_group("ablations/mail_subscribe_list_2014");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    for (name, tool) in variants() {
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(tool.analyze(project)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates **Fig. 2** (the detection-overlap Venn diagram, as region
+//! counts) and benchmarks the overlap computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phpsafe_corpus::Version;
+use phpsafe_eval::{tables, Evaluation};
+use std::sync::OnceLock;
+
+fn evaluation() -> &'static Evaluation {
+    static E: OnceLock<Evaluation> = OnceLock::new();
+    E.get_or_init(Evaluation::run)
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let e = evaluation();
+    println!("{}", tables::fig2(e));
+    c.bench_function("fig2/venn_2012", |b| {
+        b.iter(|| tables::venn_counts(std::hint::black_box(e), Version::V2012))
+    });
+    c.bench_function("fig2/venn_2014", |b| {
+        b.iter(|| tables::venn_counts(std::hint::black_box(e), Version::V2014))
+    });
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! §V.E responsiveness: seconds per KLOC for each tool on a single large
+//! plugin, plus front-end (lexer/parser) throughput. The paper reports
+//! ~0.2 s/KLOC for phpSAFE and ~0.8-1.0 s/KLOC for RIPS on 2012 code.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use phpsafe_baselines::paper_tools;
+use phpsafe_corpus::{Corpus, Version};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn corpus() -> &'static Corpus {
+    static C: OnceLock<Corpus> = OnceLock::new();
+    C.get_or_init(Corpus::generate)
+}
+
+fn bench_responsiveness(c: &mut Criterion) {
+    let plugin = corpus()
+        .plugins()
+        .iter()
+        .find(|p| p.name == "wp-symposium")
+        .expect("plugin");
+    let project = plugin.project(Version::V2014);
+    let loc = project.total_loc() as u64;
+
+    let mut group = c.benchmark_group("responsiveness/analyze_wp_symposium_2014");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5))
+        .throughput(Throughput::Elements(loc));
+    for tool in paper_tools() {
+        group.bench_function(tool.name(), |b| {
+            b.iter(|| std::hint::black_box(tool.analyze(project)))
+        });
+    }
+    group.finish();
+
+    // Front-end throughput on the whole 2014 corpus text.
+    let all_src: Vec<&str> = corpus()
+        .plugins()
+        .iter()
+        .flat_map(|p| p.project(Version::V2014).files())
+        .map(|f| f.content.as_str())
+        .collect();
+    let bytes: u64 = all_src.iter().map(|s| s.len() as u64).sum();
+    let mut fe = c.benchmark_group("responsiveness/front_end");
+    fe.sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .throughput(Throughput::Bytes(bytes));
+    fe.bench_function("lexer", |b| {
+        b.iter(|| {
+            for s in &all_src {
+                std::hint::black_box(php_lexer::tokenize(s));
+            }
+        })
+    });
+    fe.bench_function("parser", |b| {
+        b.iter(|| {
+            for s in &all_src {
+                std::hint::black_box(php_ast::parse(s));
+            }
+        })
+    });
+    fe.finish();
+}
+
+criterion_group!(benches, bench_responsiveness);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates **Table I** (TP/FP/Precision/Recall/F-score for phpSAFE,
+//! RIPS and Pixy on both plugin versions) and benchmarks the evaluation
+//! aggregation. The rows themselves are printed once so `cargo bench`
+//! output doubles as the reproduction artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phpsafe_eval::{tables, Evaluation, RecallMode};
+use std::sync::OnceLock;
+
+fn evaluation() -> &'static Evaluation {
+    static E: OnceLock<Evaluation> = OnceLock::new();
+    E.get_or_init(Evaluation::run)
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let e = evaluation();
+    println!("{}", tables::table1(e, RecallMode::PaperOptimistic));
+    c.bench_function("table1/aggregate_and_render", |b| {
+        b.iter(|| tables::table1(std::hint::black_box(e), RecallMode::PaperOptimistic))
+    });
+    c.bench_function("table1/full_ground_truth_mode", |b| {
+        b.iter(|| tables::table1(std::hint::black_box(e), RecallMode::FullGroundTruth))
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates **Table II** (malicious input-vector types of the confirmed
+//! vulnerabilities) and benchmarks its computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phpsafe_eval::{tables, Evaluation};
+use std::sync::OnceLock;
+
+fn evaluation() -> &'static Evaluation {
+    static E: OnceLock<Evaluation> = OnceLock::new();
+    E.get_or_init(Evaluation::run)
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let e = evaluation();
+    println!("{}", tables::table2(e));
+    println!("{}", tables::root_cause(e));
+    println!("{}", tables::inertia(e));
+    c.bench_function("table2/vector_classification", |b| {
+        b.iter(|| tables::table2_counts(std::hint::black_box(e)))
+    });
+    c.bench_function("table2/inertia_counts", |b| {
+        b.iter(|| tables::inertia_counts(std::hint::black_box(e)))
+    });
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

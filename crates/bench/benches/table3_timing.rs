@@ -1,0 +1,37 @@
+//! Regenerates **Table III** (detection time of all 35 plugins per tool
+//! and version) — here the benchmark *is* the table: each Criterion group
+//! measures one tool analyzing the full corpus for one version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phpsafe_baselines::paper_tools;
+use phpsafe_corpus::{Corpus, Version};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn corpus() -> &'static Corpus {
+    static C: OnceLock<Corpus> = OnceLock::new();
+    C.get_or_init(Corpus::generate)
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let corpus = corpus();
+    for version in Version::ALL {
+        let (files, loc) = corpus.size_of(version);
+        println!("{version}: {files} files, {loc} LOC");
+        let mut group = c.benchmark_group(format!("table3/{version}"));
+        group.sample_size(10).measurement_time(Duration::from_secs(8));
+        for tool in paper_tools() {
+            group.bench_function(tool.name(), |b| {
+                b.iter(|| {
+                    for plugin in corpus.plugins() {
+                        std::hint::black_box(tool.analyze(plugin.project(version)));
+                    }
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

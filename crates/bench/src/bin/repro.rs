@@ -1,0 +1,42 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p phpsafe-bench --bin repro --release            # everything
+//! cargo run -p phpsafe-bench --bin repro --release -- table1  # one artifact
+//! ```
+//!
+//! Artifacts: `table1`, `table1-full`, `fig2`, `table2`, `table3`, `oop`,
+//! `inertia`, `rootcause`, `all` (default).
+
+use phpsafe_eval::{tables, Evaluation, RecallMode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(|s| s.as_str()).unwrap_or("all");
+    eprintln!("generating corpus and running phpSAFE, RIPS and Pixy over 35 plugins x 2 versions...");
+    let e = Evaluation::run();
+    match what {
+        "table1" => print!("{}", tables::table1(&e, RecallMode::PaperOptimistic)),
+        "table1-full" => print!("{}", tables::table1(&e, RecallMode::FullGroundTruth)),
+        "fig2" => print!("{}", tables::fig2(&e)),
+        "table2" => print!("{}", tables::table2(&e)),
+        "table3" => print!("{}", tables::table3(&e)),
+        "oop" => print!("{}", tables::oop_breakdown(&e)),
+        "inertia" => print!("{}", tables::inertia(&e)),
+        "rootcause" => print!("{}", tables::root_cause(&e)),
+        "ablations" => print!("{}", phpsafe_eval::ablation_report(e.corpus())),
+        "evolution" => print!("{}", phpsafe_eval::evolution_report(e.corpus())),
+        "confirm" => print!("{}", phpsafe_eval::confirmation_report(e.corpus())),
+        "csv" => {
+            print!("{}", phpsafe_eval::table1_csv(&e, RecallMode::PaperOptimistic));
+            print!("{}", phpsafe_eval::per_plugin_csv(e.corpus()));
+        }
+        "all" => print!("{}", tables::full_report(&e)),
+        other => {
+            eprintln!("unknown artifact `{other}`; try table1|fig2|table2|table3|oop|inertia|rootcause|ablations|evolution|confirm|csv|all");
+            std::process::exit(2);
+        }
+    }
+}

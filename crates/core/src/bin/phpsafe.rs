@@ -1,0 +1,257 @@
+//! `phpsafe` — command-line front end for the analyzer.
+//!
+//! ```text
+//! phpsafe [OPTIONS] <PATH>
+//!
+//! ARGS:
+//!   <PATH>                a plugin directory or a single PHP file
+//!
+//! OPTIONS:
+//!   --profile <NAME>      wordpress (default) | php | drupal | joomla
+//!   --json                emit the normalized JSON report instead of text
+//!   --html                emit a standalone HTML report instead of text
+//!   --no-oop              disable OOP resolution (baseline mode)
+//!   --no-includes         disable include resolution
+//!   --no-uncalled         skip never-called functions
+//!   --trace               print full data-flow traces
+//!   -h, --help            this help
+//! ```
+
+use phpsafe::{AnalyzerOptions, PhpSafe, PluginProject, SourceFile};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Prints to stdout, tolerating a closed pipe (`phpsafe ... | head`).
+macro_rules! out {
+    ($($arg:tt)*) => {
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            return ExitCode::SUCCESS;
+        }
+    };
+}
+
+const HELP: &str = "\
+phpsafe - OOP-aware static taint analyzer for PHP plugins (XSS, SQLi)
+
+USAGE:
+    phpsafe [OPTIONS] <PATH>
+
+ARGS:
+    <PATH>              a plugin directory or a single PHP file
+
+OPTIONS:
+    --profile <NAME>    wordpress (default) | php | drupal | joomla
+    --json              emit the normalized JSON report instead of text
+    --html              emit a standalone HTML report instead of text
+    --inspect           emit the project inventory (variables, functions,
+                        classes, include graph) as JSON and exit
+    --no-oop            disable OOP resolution (baseline mode)
+    --no-includes       disable include resolution
+    --no-uncalled       skip functions never called from plugin code
+    --trace             print full data-flow traces
+    -h, --help          show this help
+";
+
+#[derive(Debug, Default)]
+struct Cli {
+    path: Option<PathBuf>,
+    profile: Option<String>,
+    json: bool,
+    html: bool,
+    inspect: bool,
+    no_oop: bool,
+    no_includes: bool,
+    no_uncalled: bool,
+    trace: bool,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--json" => cli.json = true,
+            "--html" => cli.html = true,
+            "--inspect" => cli.inspect = true,
+            "--no-oop" => cli.no_oop = true,
+            "--no-includes" => cli.no_includes = true,
+            "--no-uncalled" => cli.no_uncalled = true,
+            "--trace" => cli.trace = true,
+            "--profile" => {
+                cli.profile = Some(
+                    args.next()
+                        .ok_or_else(|| "--profile requires a value".to_string())?,
+                );
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            other => {
+                if cli.path.is_some() {
+                    return Err("only one path may be given".to_string());
+                }
+                cli.path = Some(PathBuf::from(other));
+            }
+        }
+    }
+    if cli.path.is_none() {
+        return Err("missing <PATH>".to_string());
+    }
+    Ok(cli)
+}
+
+/// Collects `.php`-family files under `root` (recursively), with paths
+/// relative to `root`.
+fn collect_files(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    fn is_php(p: &Path) -> bool {
+        matches!(
+            p.extension().and_then(|e| e.to_str()),
+            Some("php" | "inc" | "module" | "phtml")
+        )
+    }
+    let mut out = Vec::new();
+    if root.is_file() {
+        let content = std::fs::read_to_string(root)?;
+        let name = root
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "input.php".into());
+        out.push(SourceFile::new(name, content));
+        return Ok(out);
+    }
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = std::fs::read_dir(&dir)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(|e| e.path());
+        for entry in entries {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if is_php(&path) {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                match std::fs::read_to_string(&path) {
+                    Ok(content) => out.push(SourceFile::new(rel, content)),
+                    Err(e) => eprintln!("warning: skipping {}: {e}", path.display()),
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{HELP}");
+            return ExitCode::from(2);
+        }
+    };
+    let path = cli.path.expect("validated");
+    let config = match cli.profile.as_deref().unwrap_or("wordpress") {
+        "wordpress" => taint_config::wordpress(),
+        "php" => taint_config::generic_php(),
+        "drupal" => taint_config::drupal(),
+        "joomla" => taint_config::joomla(),
+        other => {
+            eprintln!("error: unknown profile `{other}` (wordpress|php|drupal|joomla)");
+            return ExitCode::from(2);
+        }
+    };
+    let options = AnalyzerOptions {
+        oop: !cli.no_oop,
+        resolve_includes: !cli.no_includes,
+        analyze_uncalled: !cli.no_uncalled,
+        ..AnalyzerOptions::default()
+    };
+
+    let files = match collect_files(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    if files.is_empty() {
+        eprintln!("error: no PHP files found under {}", path.display());
+        return ExitCode::from(2);
+    }
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "plugin".into());
+    let mut project = PluginProject::new(name);
+    for f in files {
+        project.push_file(f);
+    }
+
+    if cli.inspect {
+        let inventory = phpsafe::inspect(&project);
+        match serde_json::to_string_pretty(&inventory) {
+            Ok(j) => out!("{j}"),
+            Err(e) => {
+                eprintln!("error: serialization failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let analyzer = PhpSafe::new().with_config(config).with_options(options);
+    let outcome = analyzer.analyze(&project);
+
+    if cli.html {
+        out!("{}", phpsafe::render_html(&outcome));
+    } else if cli.json {
+        match outcome.to_json() {
+            Ok(j) => out!("{j}"),
+            Err(e) => {
+                eprintln!("error: serialization failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        out!(
+            "phpsafe: analyzed {} files ({} LOC), {} failed",
+            outcome.files.len(),
+            outcome.stats.loc,
+            outcome.stats.files_failed
+        );
+        for f in outcome.files.iter().filter(|f| f.failure.is_some()) {
+            out!(
+                "  FAILED {}: {}",
+                f.path,
+                f.failure.as_ref().expect("filtered")
+            );
+        }
+        out!("{} vulnerabilities:\n", outcome.vulns.len());
+        for v in &outcome.vulns {
+            let oop = if v.via_oop { " [OOP]" } else { "" };
+            out!(
+                "{}:{}: {} via {} at sink `{}`{} — {}",
+                v.file, v.line, v.class, v.source_kind, v.sink, oop, v.var
+            );
+            if cli.trace {
+                for s in &v.trace {
+                    out!("    <- {}:{} {}", s.file, s.line, s.what);
+                }
+            }
+        }
+    }
+    if outcome.vulns.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,195 @@
+//! Standalone HTML report rendering — the equivalent of phpSAFE's web
+//! interface output (§III: "the output of the analysis is presented in a
+//! web page that helps reviewing the results, including the vulnerable
+//! variables, the entry point …, the flow of the vulnerable data from
+//! variable to variable").
+
+use crate::report::AnalysisOutcome;
+use std::fmt::Write as _;
+use taint_config::VulnClass;
+
+/// Escapes text for inclusion in HTML (a vulnerability report about XSS
+/// had better not be injectable itself).
+pub fn escape_html(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Renders a complete, dependency-free HTML page for one analysis outcome.
+///
+/// # Examples
+///
+/// ```
+/// use phpsafe::{PhpSafe, PluginProject, SourceFile};
+///
+/// let plugin = PluginProject::new("demo")
+///     .with_file(SourceFile::new("d.php", "<?php echo $_GET['x'];"));
+/// let outcome = PhpSafe::new().analyze(&plugin);
+/// let page = phpsafe::render_html(&outcome);
+/// assert!(page.contains("<!DOCTYPE html>"));
+/// assert!(page.contains("XSS"));
+/// ```
+pub fn render_html(outcome: &AnalysisOutcome) -> String {
+    let mut h = String::new();
+    let xss = outcome.vulns_of(VulnClass::Xss).count();
+    let sqli = outcome.vulns_of(VulnClass::Sqli).count();
+    let _ = write!(
+        h,
+        r#"<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>phpSAFE report — {plugin}</title>
+<style>
+body {{ font-family: ui-monospace, monospace; margin: 2rem; color: #222; }}
+h1 {{ font-size: 1.3rem; }} h2 {{ font-size: 1.05rem; margin-top: 1.5rem; }}
+table {{ border-collapse: collapse; }}
+td, th {{ border: 1px solid #ccc; padding: 0.3rem 0.6rem; text-align: left; }}
+.xss {{ border-left: 4px solid #c0392b; }} .sqli {{ border-left: 4px solid #8e44ad; }}
+.vuln {{ margin: 1rem 0; padding: 0.6rem 1rem; background: #fafafa; }}
+.trace {{ color: #666; margin: 0.2rem 0 0 1rem; }}
+.oop {{ background: #2c3e50; color: #fff; padding: 0 0.4rem; border-radius: 3px; font-size: 0.8em; }}
+.fail {{ color: #c0392b; }}
+</style>
+</head>
+<body>
+<h1>phpSAFE analysis report — <code>{plugin}</code></h1>
+<p>tool: {tool} · files: {files} ({failed} failed) · LOC: {loc} ·
+functions: {functions} · classes: {classes} · never-called callables: {uncalled}</p>
+<h2>Summary</h2>
+<table><tr><th>Class</th><th>Findings</th></tr>
+<tr><td>XSS</td><td>{xss}</td></tr>
+<tr><td>SQLi</td><td>{sqli}</td></tr></table>
+"#,
+        plugin = escape_html(&outcome.plugin),
+        tool = escape_html(&outcome.tool),
+        files = outcome.files.len(),
+        failed = outcome.stats.files_failed,
+        loc = outcome.stats.loc,
+        functions = outcome.stats.functions,
+        classes = outcome.stats.classes,
+        uncalled = outcome.stats.uncalled_functions,
+    );
+
+    let failed: Vec<_> = outcome.files.iter().filter(|f| f.failure.is_some()).collect();
+    if !failed.is_empty() {
+        h.push_str("<h2>Files not analyzed</h2>\n<ul>\n");
+        for f in failed {
+            let _ = writeln!(
+                h,
+                "<li class=\"fail\"><code>{}</code> — {}</li>",
+                escape_html(&f.path),
+                escape_html(&f.failure.as_ref().expect("filtered").to_string())
+            );
+        }
+        h.push_str("</ul>\n");
+    }
+
+    let _ = writeln!(h, "<h2>Vulnerabilities ({})</h2>", outcome.vulns.len());
+    for v in &outcome.vulns {
+        let class_css = match v.class {
+            VulnClass::Xss => "xss",
+            VulnClass::Sqli => "sqli",
+        };
+        let oop_badge = if v.via_oop {
+            " <span class=\"oop\">OOP</span>"
+        } else {
+            ""
+        };
+        let _ = write!(
+            h,
+            r#"<div class="vuln {class_css}">
+<strong>{class}</strong>{oop_badge} at <code>{file}:{line}</code><br>
+sink <code>{sink}</code> · vulnerable expression <code>{var}</code> · entry vector <code>{vector}</code>
+"#,
+            class = v.class,
+            file = escape_html(&v.file),
+            line = v.line,
+            sink = escape_html(&v.sink),
+            var = escape_html(&v.var),
+            vector = v.source_kind,
+        );
+        for step in &v.trace {
+            let _ = writeln!(
+                h,
+                "<div class=\"trace\">&larr; <code>{}:{}</code> {}</div>",
+                escape_html(&step.file),
+                step.line,
+                escape_html(&step.what)
+            );
+        }
+        h.push_str("</div>\n");
+    }
+    h.push_str("</body>\n</html>\n");
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PhpSafe, PluginProject, SourceFile};
+
+    fn outcome_with_payload() -> AnalysisOutcome {
+        let p = PluginProject::new("<script>alert(1)</script>").with_file(SourceFile::new(
+            "x.php",
+            "<?php echo $_GET['<img onerror=alert(1)>'];",
+        ));
+        PhpSafe::new().analyze(&p)
+    }
+
+    #[test]
+    fn escape_html_neutralizes_metacharacters() {
+        assert_eq!(
+            escape_html(r#"<b a="x">&'"#),
+            "&lt;b a=&quot;x&quot;&gt;&amp;&#39;"
+        );
+        assert_eq!(escape_html("plain"), "plain");
+    }
+
+    #[test]
+    fn report_is_not_itself_injectable() {
+        let html = render_html(&outcome_with_payload());
+        assert!(!html.contains("<script>alert"), "plugin name must be escaped");
+        assert!(!html.contains("<img onerror"), "payload in var must be escaped");
+        assert!(html.contains("&lt;script&gt;"));
+    }
+
+    #[test]
+    fn report_contains_findings_and_stats() {
+        let p = PluginProject::new("demo").with_file(SourceFile::new(
+            "a.php",
+            "<?php $id = $_GET['id']; $wpdb->query(\"DELETE FROM t WHERE id = $id\");",
+        ));
+        let outcome = PhpSafe::new().analyze(&p);
+        let html = render_html(&outcome);
+        assert!(html.contains("SQLi"));
+        assert!(html.contains("wpdb::query"));
+        assert!(html.contains("a.php"));
+        assert!(html.contains("<!DOCTYPE html>"));
+    }
+
+    #[test]
+    fn failed_files_are_listed() {
+        let mut p = PluginProject::new("deep");
+        for i in 0..20 {
+            p.push_file(SourceFile::new(
+                format!("f{i}.php"),
+                format!("<?php include 'f{}.php';", i + 1),
+            ));
+        }
+        let outcome = PhpSafe::new().analyze(&p);
+        assert!(outcome.stats.files_failed > 0);
+        let html = render_html(&outcome);
+        assert!(html.contains("Files not analyzed"));
+    }
+}

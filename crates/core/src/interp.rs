@@ -1,0 +1,1368 @@
+//! The taint interpreter — phpSAFE's *analysis stage* (§III.C).
+//!
+//! An abstract interpreter over the [`php_ast`] tree that follows tainted
+//! data from sources to sinks:
+//!
+//! * **inter-procedural & context-aware** — user functions/methods are
+//!   analyzed at their call sites with the caller's argument taints, and the
+//!   result is memoized per `(callable, argument-taint-signature)` — the
+//!   paper's "every function is analyzed only the first time it is called,
+//!   taking into account the context of the call";
+//! * **path-insensitive** — `if`/`switch` branches are interpreted on frame
+//!   clones and joined ("conditions and loops do not change the data flow");
+//! * **OOP-aware** — property reads/writes resolve to an object-insensitive
+//!   per-class property store, method calls resolve through the class table
+//!   and the configuration's known objects (`$wpdb`), and `new` tracks the
+//!   constructed class (§III.E);
+//! * **resource-bounded** — every node costs a work unit; exceeding the
+//!   budget marks the entry file failed, reproducing the robustness
+//!   behaviour the paper measured.
+
+use crate::analyzer::AnalyzerOptions;
+use crate::report::{numeric_intent, Vulnerability};
+use crate::symbols::{FnRef, SymbolTable};
+use crate::taint::{Taint, TraceStep, VarState};
+use crate::PluginProject;
+use php_ast::printer::print_expr;
+use php_ast::{
+    Arg, AssignOp, Callee, Expr, FunctionDecl, IncludeKind, InterpPart, Lit, Member, ParsedFile,
+    Span, Stmt,
+};
+use std::collections::{HashMap, HashSet};
+use taint_config::{SourceKind, TaintConfig, VulnClass};
+
+/// One execution scope (the global scope or a function/method body).
+#[derive(Debug, Default, Clone)]
+struct Frame {
+    vars: HashMap<String, VarState>,
+    globals_decl: HashSet<String>,
+    this_class: Option<String>,
+    ret: VarState,
+    is_global: bool,
+    /// Taint spilled into the scope by `extract()` on a tainted array:
+    /// any otherwise-undefined variable read picks this up.
+    extracted: Taint,
+}
+
+impl Frame {
+    fn global() -> Frame {
+        Frame {
+            is_global: true,
+            ..Frame::default()
+        }
+    }
+}
+
+/// Memoization key for a user-callable invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CallKey {
+    /// `"fn:<name>"` or `"m:<class>::<name>"`, lowercase.
+    callable: String,
+    /// Taint signature of the arguments.
+    sig: Vec<Taint>,
+}
+
+/// Memoized result of a call.
+#[derive(Debug, Clone)]
+struct CallResult {
+    ret: VarState,
+}
+
+pub(crate) struct Interp<'a> {
+    cfg: &'a TaintConfig,
+    opts: &'a AnalyzerOptions,
+    syms: &'a SymbolTable,
+    project: &'a PluginProject,
+    parsed: &'a HashMap<String, ParsedFile>,
+
+    pub(crate) vulns: Vec<Vulnerability>,
+    memo: HashMap<CallKey, CallResult>,
+    in_progress: HashSet<CallKey>,
+    /// Object-insensitive per-class property store: `(class, $prop)` → state.
+    class_props: HashMap<(String, String), VarState>,
+    globals: HashMap<String, VarState>,
+
+    file_stack: Vec<String>,
+    include_depth: usize,
+    included_once: HashSet<String>,
+    pub(crate) work: u64,
+    pub(crate) failed: Option<String>,
+}
+
+impl<'a> Interp<'a> {
+    pub(crate) fn new(
+        cfg: &'a TaintConfig,
+        opts: &'a AnalyzerOptions,
+        syms: &'a SymbolTable,
+        project: &'a PluginProject,
+        parsed: &'a HashMap<String, ParsedFile>,
+    ) -> Self {
+        Interp {
+            cfg,
+            opts,
+            syms,
+            project,
+            parsed,
+            vulns: Vec::new(),
+            memo: HashMap::new(),
+            in_progress: HashSet::new(),
+            class_props: HashMap::new(),
+            globals: HashMap::new(),
+            file_stack: Vec::new(),
+            include_depth: 0,
+            included_once: HashSet::new(),
+            work: 0,
+            failed: None,
+        }
+    }
+
+    fn current_file(&self) -> &str {
+        self.file_stack.last().map(|s| s.as_str()).unwrap_or("?")
+    }
+
+    /// Spends one work unit; flips the failure flag when the entry budget is
+    /// exhausted (models phpSAFE running out of memory on include-heavy
+    /// files).
+    fn tick(&mut self) -> bool {
+        self.work += 1;
+        if self.work > self.opts.work_limit && self.failed.is_none() {
+            self.failed = Some(format!(
+                "work limit of {} units exceeded",
+                self.opts.work_limit
+            ));
+        }
+        self.failed.is_none()
+    }
+
+    /// Analyzes one file as an entry point. Returns the failure message if
+    /// the budget blew up.
+    pub(crate) fn run_entry_file(&mut self, path: &str) -> Option<String> {
+        self.work = 0;
+        self.failed = None;
+        self.globals.clear();
+        self.included_once.clear();
+        self.included_once.insert(path.to_string());
+        self.file_stack.push(path.to_string());
+        let ast = match self.parsed.get(path) {
+            Some(a) => a.clone(),
+            None => {
+                self.file_stack.pop();
+                return None;
+            }
+        };
+        let mut frame = Frame::global();
+        self.exec_stmts(&ast.stmts, &mut frame);
+        self.file_stack.pop();
+        self.failed.take()
+    }
+
+    /// Analyzes the never-called callables with clean parameters (phpSAFE
+    /// parses them up front so hook handlers are covered).
+    pub(crate) fn run_uncalled(&mut self, uncalled: &[FnRef]) {
+        self.work = 0;
+        self.failed = None;
+        for r in uncalled {
+            match r {
+                FnRef::Function(name) => {
+                    let syms = self.syms;
+                    if let Some(info) = syms.function(name) {
+                        let args: Vec<VarState> =
+                            info.decl.params.iter().map(|_| VarState::clean()).collect();
+                        self.call_decl(&info.decl, &info.file.clone(), args, None, true);
+                    }
+                }
+                FnRef::Method(class, name) => {
+                    // OOP-blind tools (RIPS, Pixy) do not descend into
+                    // class bodies at all — encapsulated code is invisible.
+                    if !self.opts.oop {
+                        continue;
+                    }
+                    let syms = self.syms;
+                    if let Some((cinfo, decl)) = syms.method(class, name) {
+                        let args: Vec<VarState> =
+                            decl.params.iter().map(|_| VarState::clean()).collect();
+                        let file = cinfo.file.clone();
+                        let decl = decl.clone();
+                        self.call_decl(&decl, &file, args, Some(class.clone()), true);
+                    }
+                }
+            }
+            // The uncalled sweep shares one budget; a blow-up here should
+            // not fail a specific file, so reset the flag but keep going.
+            if self.failed.is_some() {
+                self.failed = None;
+                self.work = 0;
+            }
+        }
+    }
+
+    // ================== statements ==================
+
+    fn exec_stmts(&mut self, stmts: &[Stmt], f: &mut Frame) {
+        for s in stmts {
+            if self.failed.is_some() {
+                return;
+            }
+            self.exec_stmt(s, f);
+        }
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, f: &mut Frame) {
+        if !self.tick() {
+            return;
+        }
+        match stmt {
+            Stmt::Expr(e) => {
+                self.eval(e, f);
+            }
+            Stmt::Echo(es, span) => {
+                for e in es {
+                    let st = self.eval(e, f);
+                    self.check_xss_output(&st, *span, "echo", e);
+                }
+            }
+            Stmt::InlineHtml(..) => {}
+            Stmt::If {
+                cond,
+                then,
+                elseifs,
+                otherwise,
+                ..
+            } => {
+                // Evaluate every condition first (side effects, work cost).
+                self.eval(cond, f);
+                for (c, _) in elseifs {
+                    self.eval(c, f);
+                }
+                let mut bodies: Vec<&[Stmt]> = vec![then];
+                for (_, body) in elseifs {
+                    bodies.push(body);
+                }
+                if let Some(body) = otherwise {
+                    bodies.push(body);
+                }
+                self.exec_branches(f, &bodies, otherwise.is_none());
+            }
+            Stmt::While { cond, body, .. } => {
+                self.eval(cond, f);
+                self.exec_stmts(body, f);
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                self.exec_stmts(body, f);
+                self.eval(cond, f);
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                for e in init {
+                    self.eval(e, f);
+                }
+                for e in cond {
+                    self.eval(e, f);
+                }
+                self.exec_stmts(body, f);
+                for e in step {
+                    self.eval(e, f);
+                }
+            }
+            Stmt::Foreach {
+                subject,
+                key,
+                value,
+                body,
+                ..
+            } => {
+                let subj = self.eval(subject, f);
+                // Elements of a tainted collection are tainted; row objects
+                // keep the collection's taint so `$row->field` flows.
+                let mut elem = VarState {
+                    taint: subj.taint,
+                    sanitized_from: subj.sanitized_from,
+                    object_class: None,
+                    trace: subj.trace.clone(),
+                };
+                elem.push_trace(
+                    TraceStep {
+                        file: self.current_file().to_string(),
+                        line: stmt.span().line,
+                        what: format!("foreach over {}", print_expr(subject)),
+                    },
+                    self.opts.trace_limit,
+                );
+                if let Some(k) = key {
+                    self.assign_to(k, VarState::clean(), f);
+                }
+                self.assign_to(value, elem, f);
+                self.exec_stmts(body, f);
+            }
+            Stmt::Switch { subject, cases, .. } => {
+                self.eval(subject, f);
+                for c in cases {
+                    if let Some(v) = &c.value {
+                        self.eval(v, f);
+                    }
+                }
+                let bodies: Vec<&[Stmt]> = cases.iter().map(|c| c.body.as_slice()).collect();
+                let has_default = cases.iter().any(|c| c.value.is_none());
+                self.exec_branches(f, &bodies, !has_default);
+            }
+            Stmt::Break(_) | Stmt::Continue(_) | Stmt::Nop(_) | Stmt::Error(_) => {}
+            Stmt::Return(e, _) => {
+                if let Some(e) = e {
+                    let st = self.eval(e, f);
+                    let limit = self.opts.trace_limit;
+                    f.ret = std::mem::take(&mut f.ret).join(&st, limit);
+                }
+            }
+            Stmt::Global(names, _) => {
+                for n in names {
+                    f.globals_decl.insert(n.clone());
+                }
+            }
+            Stmt::StaticVars(vars, _) => {
+                for (name, default) in vars {
+                    let st = match default {
+                        Some(d) => self.eval(d, f),
+                        None => VarState::clean(),
+                    };
+                    f.vars.insert(name.clone(), st);
+                }
+            }
+            Stmt::Unset(es, _) => {
+                // §III.C T_UNSET: destroying a variable untaints it.
+                for e in es {
+                    self.assign_to(e, VarState::clean(), f);
+                }
+            }
+            Stmt::Throw(e, _) => {
+                self.eval(e, f);
+            }
+            Stmt::Try {
+                body,
+                catches,
+                finally,
+                ..
+            } => {
+                self.exec_stmts(body, f);
+                // Each catch may or may not run: interpret them as joined
+                // branches (with the exception variable bound clean).
+                if !catches.is_empty() {
+                    let base_frame = f.clone();
+                    let base_globals = self.globals.clone();
+                    let mut frames = vec![];
+                    let mut globals_versions = vec![];
+                    for c in catches {
+                        let mut b = base_frame.clone();
+                        self.globals = base_globals.clone();
+                        b.vars.insert(c.var.clone(), VarState::clean());
+                        self.exec_stmts(&c.body, &mut b);
+                        frames.push(b);
+                        globals_versions.push(std::mem::take(&mut self.globals));
+                    }
+                    frames.push(base_frame);
+                    globals_versions.push(base_globals);
+                    let limit = self.opts.trace_limit;
+                    let mut merged: HashMap<String, VarState> = HashMap::new();
+                    for g in globals_versions {
+                        for (k, v) in g {
+                            match merged.remove(&k) {
+                                Some(prev) => {
+                                    merged.insert(k, prev.join(&v, limit));
+                                }
+                                None => {
+                                    merged.insert(k, v);
+                                }
+                            }
+                        }
+                    }
+                    self.globals = merged;
+                    self.merge_frames(f, frames);
+                }
+                if let Some(fin) = finally {
+                    self.exec_stmts(fin, f);
+                }
+            }
+            Stmt::Block(body, _) => self.exec_stmts(body, f),
+            // Declarations are collected by the symbol pass; bodies are
+            // analyzed on call (or in the uncalled sweep).
+            Stmt::Function(_) | Stmt::Class(_) | Stmt::ConstDecl(..) => {}
+        }
+    }
+
+    /// Interprets mutually exclusive branch bodies path-insensitively:
+    /// each body runs on a clone of the frame *and* of the global/property
+    /// state, and the results are joined. `include_skip` adds the
+    /// "no branch taken" world (an `if` without `else`).
+    fn exec_branches(&mut self, f: &mut Frame, bodies: &[&[Stmt]], include_skip: bool) {
+        let base_frame = f.clone();
+        let base_globals = self.globals.clone();
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut globals_versions: Vec<HashMap<String, VarState>> = Vec::new();
+        for body in bodies {
+            let mut b = base_frame.clone();
+            self.globals = base_globals.clone();
+            self.exec_stmts(body, &mut b);
+            frames.push(b);
+            globals_versions.push(std::mem::take(&mut self.globals));
+        }
+        if include_skip {
+            frames.push(base_frame);
+            globals_versions.push(base_globals);
+        }
+        // Join globals across worlds.
+        let limit = self.opts.trace_limit;
+        let mut merged_globals: HashMap<String, VarState> = HashMap::new();
+        for g in globals_versions {
+            for (k, v) in g {
+                match merged_globals.remove(&k) {
+                    Some(prev) => {
+                        merged_globals.insert(k, prev.join(&v, limit));
+                    }
+                    None => {
+                        merged_globals.insert(k, v);
+                    }
+                }
+            }
+        }
+        self.globals = merged_globals;
+        self.merge_frames(f, frames);
+    }
+
+    /// Joins branch frames back into the live frame.
+    fn merge_frames(&self, f: &mut Frame, branches: Vec<Frame>) {
+        let limit = self.opts.trace_limit;
+        let mut merged: HashMap<String, VarState> = HashMap::new();
+        let mut globals_decl = std::mem::take(&mut f.globals_decl);
+        for b in branches {
+            for (k, v) in b.vars {
+                match merged.remove(&k) {
+                    Some(prev) => {
+                        merged.insert(k, prev.join(&v, limit));
+                    }
+                    None => {
+                        merged.insert(k, v);
+                    }
+                }
+            }
+            globals_decl.extend(b.globals_decl);
+            f.ret = std::mem::take(&mut f.ret).join(&b.ret, limit);
+            f.extracted = f.extracted.join(b.extracted);
+        }
+        f.vars = merged;
+        f.globals_decl = globals_decl;
+    }
+
+    // ================== expressions ==================
+
+    fn eval(&mut self, e: &Expr, f: &mut Frame) -> VarState {
+        if !self.tick() {
+            return VarState::clean();
+        }
+        match e {
+            Expr::Var(name, span) => self.read_var(name, *span, f),
+            Expr::VarVar(inner, _) => {
+                self.eval(inner, f);
+                VarState::clean()
+            }
+            Expr::Lit(..) | Expr::ConstFetch(..) | Expr::ClassConst(..) => VarState::clean(),
+            Expr::Interp(parts, _) => {
+                let limit = self.opts.trace_limit;
+                let mut st = VarState::clean();
+                for p in parts {
+                    if let InterpPart::Expr(pe) = p {
+                        let ps = self.eval(pe, f);
+                        st = st.join(&ps, limit);
+                    }
+                }
+                st.object_class = None;
+                st
+            }
+            Expr::ShellExec(parts, _) => {
+                let limit = self.opts.trace_limit;
+                let mut st = VarState::clean();
+                for p in parts {
+                    if let InterpPart::Expr(pe) = p {
+                        let ps = self.eval(pe, f);
+                        st = st.join(&ps, limit);
+                    }
+                }
+                st
+            }
+            Expr::ArrayLit(items, _) => {
+                let limit = self.opts.trace_limit;
+                let mut st = VarState::clean();
+                for (k, v) in items {
+                    if let Some(k) = k {
+                        self.eval(k, f);
+                    }
+                    let vs = self.eval(v, f);
+                    st = st.join(&vs, limit);
+                }
+                st.object_class = None;
+                st
+            }
+            Expr::Index(base, idx, span) => {
+                if let Some(i) = idx {
+                    self.eval(i, f);
+                }
+                // Reading an element of a tainted superglobal/array yields
+                // tainted data.
+                let mut st = self.eval(base, f);
+                st.object_class = None;
+                if st.taint.any() {
+                    st.push_trace(
+                        TraceStep {
+                            file: self.current_file().to_string(),
+                            line: span.line,
+                            what: format!("read {}", print_expr(e)),
+                        },
+                        self.opts.trace_limit,
+                    );
+                }
+                st
+            }
+            Expr::Prop(base, member, span) => self.read_prop(base, member, *span, f),
+            Expr::StaticProp(class, prop, _) => {
+                if !self.opts.oop {
+                    return VarState::clean();
+                }
+                let class = self.resolve_class_name(class, f);
+                self.class_props
+                    .get(&(class, prop.clone()))
+                    .cloned()
+                    .unwrap_or_default()
+            }
+            Expr::Assign {
+                target,
+                op,
+                value,
+                span,
+                ..
+            } => {
+                let rhs = self.eval(value, f);
+                let mut st = if op.reads_target() {
+                    // `$a .= $b` keeps the old taint of $a.
+                    let old = self.eval(target, f);
+                    if matches!(op, AssignOp::ConcatAssign) {
+                        old.join(&rhs, self.opts.trace_limit)
+                    } else {
+                        // Arithmetic compound assignments coerce numerically.
+                        VarState::clean()
+                    }
+                } else {
+                    rhs
+                };
+                if st.taint.any() {
+                    st.push_trace(
+                        TraceStep {
+                            file: self.current_file().to_string(),
+                            line: span.line,
+                            what: format!("{} {} {}", print_expr(target), op.symbol(), print_expr(value)),
+                        },
+                        self.opts.trace_limit,
+                    );
+                }
+                self.assign_to(target, st.clone(), f);
+                st
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let l = self.eval(lhs, f);
+                let r = self.eval(rhs, f);
+                match op {
+                    php_ast::BinOp::Concat => {
+                        let mut st = l.join(&r, self.opts.trace_limit);
+                        st.object_class = None;
+                        st
+                    }
+                    // Logical operators return booleans; arithmetic and
+                    // comparisons coerce numerically — all inert.
+                    _ => VarState::clean(),
+                }
+            }
+            Expr::Unary { expr, .. } => {
+                self.eval(expr, f);
+                VarState::clean()
+            }
+            Expr::IncDec { expr, .. } => {
+                self.eval(expr, f);
+                self.assign_to(expr, VarState::clean(), f);
+                VarState::clean()
+            }
+            Expr::Call { callee, args, span } => self.eval_call(callee, args, *span, f),
+            Expr::New { class, args, span } => self.eval_new(class, args, *span, f),
+            Expr::Clone(e, _) => self.eval(e, f),
+            Expr::Ternary {
+                cond,
+                then,
+                otherwise,
+                ..
+            } => {
+                let c = self.eval(cond, f);
+                let limit = self.opts.trace_limit;
+                let t = match then {
+                    Some(t) => self.eval(t, f),
+                    None => c, // `?:` returns the condition value
+                };
+                let o = self.eval(otherwise, f);
+                t.join(&o, limit)
+            }
+            Expr::Cast(kind, inner, _) => {
+                let st = self.eval(inner, f);
+                if kind.sanitizes() {
+                    VarState {
+                        taint: Taint::CLEAN,
+                        sanitized_from: st.taint,
+                        object_class: None,
+                        trace: st.trace,
+                    }
+                } else {
+                    st
+                }
+            }
+            Expr::Isset(es, _) => {
+                for e in es {
+                    self.eval(e, f);
+                }
+                VarState::clean()
+            }
+            Expr::Empty(e, _) | Expr::ErrorSuppress(e, _) | Expr::Ref(e, _) => self.eval(e, f),
+            Expr::Print(e, span) => {
+                let st = self.eval(e, f);
+                self.check_xss_output(&st, *span, "print", e);
+                VarState::clean()
+            }
+            Expr::Exit(arg, span) => {
+                if let Some(a) = arg {
+                    let st = self.eval(a, f);
+                    self.check_xss_output(&st, *span, "exit", a);
+                }
+                VarState::clean()
+            }
+            Expr::Include(kind, path, span) => {
+                self.eval_include(*kind, path, *span, f);
+                VarState::clean()
+            }
+            Expr::Instanceof(e, _, _) => {
+                self.eval(e, f);
+                VarState::clean()
+            }
+            Expr::ListIntrinsic(items, _) => {
+                for e in items.iter().flatten() {
+                    self.eval(e, f);
+                }
+                VarState::clean()
+            }
+            Expr::Closure {
+                params, uses, body, ..
+            } => {
+                // Analyze the closure body immediately for coverage (hook
+                // callbacks are usually never invoked from plugin code).
+                let mut inner = Frame {
+                    this_class: f.this_class.clone(),
+                    ..Frame::default()
+                };
+                for p in params {
+                    inner.vars.insert(p.name.clone(), VarState::clean());
+                }
+                for (name, _) in uses {
+                    // `use` captures resolve in the enclosing scope, which
+                    // at top level is the global store.
+                    let st = if f.is_global || f.globals_decl.contains(name) {
+                        self.globals.get(name).cloned()
+                    } else {
+                        f.vars.get(name).cloned()
+                    }
+                    .unwrap_or_default();
+                    inner.vars.insert(name.clone(), st);
+                }
+                self.exec_stmts(body, &mut inner);
+                VarState::clean()
+            }
+            Expr::Error(_) => VarState::clean(),
+        }
+    }
+
+    /// Reads a variable, consulting superglobal config, the frame/global
+    /// scope and the known-object table.
+    fn read_var(&mut self, name: &str, span: Span, f: &mut Frame) -> VarState {
+        if let Some(kind) = self.cfg.superglobal_kind(name) {
+            return VarState::tainted(
+                Taint::from_source(kind),
+                TraceStep {
+                    file: self.current_file().to_string(),
+                    line: span.line,
+                    what: format!("source {name}"),
+                },
+            );
+        }
+        let use_globals = f.is_global || f.globals_decl.contains(name);
+        let existing = if use_globals {
+            self.globals.get(name).cloned()
+        } else {
+            f.vars.get(name).cloned()
+        };
+        if let Some(st) = existing {
+            return st;
+        }
+        // Well-known CMS globals resolve even without an assignment.
+        if self.opts.oop {
+            if let Some(class) = self.cfg.known_object_class(name) {
+                return VarState {
+                    object_class: Some(class.to_string()),
+                    ..VarState::clean()
+                };
+            }
+        }
+        // `extract()` on tainted data spills taint over the whole scope.
+        if f.extracted.any() && name != "$this" {
+            return VarState::tainted(
+                f.extracted,
+                TraceStep {
+                    file: self.current_file().to_string(),
+                    line: span.line,
+                    what: format!("{name} injected by extract()"),
+                },
+            );
+        }
+        // Pixy-era register_globals: an undefined global variable can be
+        // injected through the request (§V.A: half of Pixy's findings).
+        if self.opts.register_globals && use_globals && name != "$this" {
+            return VarState::tainted(
+                Taint::from_source(SourceKind::Request),
+                TraceStep {
+                    file: self.current_file().to_string(),
+                    line: span.line,
+                    what: format!("register_globals {name}"),
+                },
+            );
+        }
+        VarState::clean()
+    }
+
+    fn write_var(&mut self, name: &str, st: VarState, f: &mut Frame) {
+        let use_globals = f.is_global || f.globals_decl.contains(name);
+        if use_globals {
+            self.globals.insert(name.to_string(), st);
+        } else {
+            f.vars.insert(name.to_string(), st);
+        }
+    }
+
+    /// Resolves `self`/`static`/`parent` against the current frame.
+    fn resolve_class_name(&self, class: &str, f: &Frame) -> String {
+        let lc = class.to_ascii_lowercase();
+        match lc.as_str() {
+            "self" | "static" => f.this_class.clone().unwrap_or(lc),
+            "parent" => f
+                .this_class
+                .as_ref()
+                .and_then(|c| self.syms.class(c))
+                .and_then(|i| i.decl.parent.clone())
+                .map(|p| p.to_ascii_lowercase())
+                .unwrap_or(lc),
+            _ => lc,
+        }
+    }
+
+    /// Resolves the class an object expression holds, if statically known.
+    fn receiver_class(&mut self, base: &Expr, f: &mut Frame) -> (VarState, Option<String>) {
+        let st = self.eval(base, f);
+        if !self.opts.oop {
+            return (st, None);
+        }
+        if let Some(c) = &st.object_class {
+            return (st.clone(), Some(c.clone()));
+        }
+        if let Expr::Var(name, _) = base {
+            if name == "$this" {
+                return (st, f.this_class.clone());
+            }
+            if let Some(c) = self.cfg.known_object_class(name) {
+                return (st, Some(c.to_string()));
+            }
+        }
+        (st, None)
+    }
+
+    fn read_prop(&mut self, base: &Expr, member: &Member, span: Span, f: &mut Frame) -> VarState {
+        let (base_st, class) = self.receiver_class(base, f);
+        if !self.opts.oop {
+            // OOP-blind tools miss encapsulated data entirely.
+            return VarState::clean();
+        }
+        let pname = match member {
+            Member::Name(n) => format!("${n}"),
+            Member::Dynamic(e) => {
+                self.eval(e, f);
+                return base_st; // dynamic property: fall back to object taint
+            }
+        };
+        if let Some(c) = class {
+            if let Some(st) = self.class_props.get(&(c.clone(), pname.clone())) {
+                return st.clone();
+            }
+        }
+        // No tracked state: a field of a tainted row object is tainted.
+        if base_st.taint.any() {
+            let mut st = base_st;
+            st.object_class = None;
+            st.push_trace(
+                TraceStep {
+                    file: self.current_file().to_string(),
+                    line: span.line,
+                    what: format!("read property {pname} of tainted object"),
+                },
+                self.opts.trace_limit,
+            );
+            return st;
+        }
+        VarState::clean()
+    }
+
+    fn assign_to(&mut self, target: &Expr, st: VarState, f: &mut Frame) {
+        match target {
+            Expr::Var(name, _) => self.write_var(name, st, f),
+            Expr::Index(base, idx, _) => {
+                if let Some(i) = idx {
+                    self.eval(i, f);
+                }
+                // Weak update: the container joins the element's state.
+                let old = self.eval(base, f);
+                let joined = old.join(&st, self.opts.trace_limit);
+                self.assign_to(base, joined, f);
+            }
+            Expr::Prop(base, member, _) => {
+                if !self.opts.oop {
+                    return;
+                }
+                let (_, class) = self.receiver_class(base, f);
+                let pname = match member {
+                    Member::Name(n) => format!("${n}"),
+                    Member::Dynamic(_) => return,
+                };
+                let key_class = match class {
+                    Some(c) => c,
+                    None => match base.as_var_name() {
+                        // Track `$obj->prop` for unknown classes by variable
+                        // identity so same-scope flows still connect.
+                        Some(v) => format!("var:{v}"),
+                        None => return,
+                    },
+                };
+                let entry = self
+                    .class_props
+                    .entry((key_class, pname))
+                    .or_default();
+                let joined = std::mem::take(entry).join(&st, self.opts.trace_limit);
+                *entry = joined;
+            }
+            Expr::StaticProp(class, prop, _) => {
+                if !self.opts.oop {
+                    return;
+                }
+                let class = self.resolve_class_name(class, f);
+                let entry = self
+                    .class_props
+                    .entry((class, prop.clone()))
+                    .or_default();
+                let joined = std::mem::take(entry).join(&st, self.opts.trace_limit);
+                *entry = joined;
+            }
+            Expr::ListIntrinsic(items, _) => {
+                for item in items.iter().flatten() {
+                    self.assign_to(item, st.clone(), f);
+                }
+            }
+            Expr::Ref(inner, _) | Expr::ErrorSuppress(inner, _) => self.assign_to(inner, st, f),
+            _ => {}
+        }
+    }
+
+    // ================== calls ==================
+
+    fn eval_args(&mut self, args: &[Arg], f: &mut Frame) -> Vec<VarState> {
+        args.iter().map(|a| self.eval(&a.value, f)).collect()
+    }
+
+    fn join_all(&self, states: &[VarState]) -> VarState {
+        let limit = self.opts.trace_limit;
+        let mut st = VarState::clean();
+        for s in states {
+            st = st.join(s, limit);
+        }
+        st
+    }
+
+    fn eval_call(&mut self, callee: &Callee, args: &[Arg], span: Span, f: &mut Frame) -> VarState {
+        let arg_states = self.eval_args(args, f);
+        match callee {
+            Callee::Function(name) => {
+                self.dispatch_named_call(None, name, args, arg_states, span, f, None)
+            }
+            Callee::StaticMethod { class, name } => {
+                let class = self.resolve_class_name(class, f);
+                match name.as_name() {
+                    Some(n) => {
+                        let n = n.to_string();
+                        self.dispatch_named_call(
+                            Some(class),
+                            &n,
+                            args,
+                            arg_states,
+                            span,
+                            f,
+                            None,
+                        )
+                    }
+                    None => self.join_all(&arg_states),
+                }
+            }
+            Callee::Method { base, name } => {
+                let (base_st, class) = self.receiver_class(base, f);
+                match name.as_name() {
+                    Some(n) => {
+                        let n = n.to_string();
+                        self.dispatch_named_call(
+                            class,
+                            &n,
+                            args,
+                            arg_states,
+                            span,
+                            f,
+                            Some(base_st),
+                        )
+                    }
+                    None => {
+                        let limit = self.opts.trace_limit;
+                        self.join_all(&arg_states).join(&base_st, limit)
+                    }
+                }
+            }
+            Callee::Dynamic(inner) => {
+                self.eval(inner, f);
+                self.join_all(&arg_states)
+            }
+        }
+    }
+
+    /// The §III.C call dispatch: configuration lookups first (sinks,
+    /// sources, sanitizers, reverts), then user-defined callables, then the
+    /// conservative default for unknown functions.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_named_call(
+        &mut self,
+        receiver: Option<String>,
+        name: &str,
+        args: &[Arg],
+        arg_states: Vec<VarState>,
+        span: Span,
+        f: &mut Frame,
+        base_state: Option<VarState>,
+    ) -> VarState {
+        let rcv = receiver.as_deref();
+        let limit = self.opts.trace_limit;
+        let sink_label = match rcv {
+            Some(r) => format!("{r}::{name}"),
+            None => name.to_string(),
+        };
+
+        // --- sink check (a call can be sink *and* source, e.g. wpdb) ---
+        let sinks = self.cfg.sink_specs(rcv, name).to_vec();
+        for spec in &sinks {
+            let positions: Vec<usize> = match &spec.args {
+                Some(p) => p.clone(),
+                None => (0..arg_states.len()).collect(),
+            };
+            for &i in &positions {
+                if let Some(st) = arg_states.get(i) {
+                    if st.taint.is_tainted(spec.class) {
+                        let desc = args
+                            .get(i)
+                            .map(|a| print_expr(&a.value))
+                            .unwrap_or_else(|| "?".into());
+                        self.report(spec.class, span, &sink_label, st, desc);
+                    }
+                }
+            }
+        }
+
+        // --- source ---
+        if let Some(kind) = self.cfg.source_function(rcv, name) {
+            let taint = if rcv.is_some() {
+                Taint::from_oop_source(kind)
+            } else {
+                Taint::from_source(kind)
+            };
+            return VarState::tainted(
+                taint,
+                TraceStep {
+                    file: self.current_file().to_string(),
+                    line: span.line,
+                    what: format!("source {sink_label}()"),
+                },
+            );
+        }
+
+        // --- sanitizer ---
+        let protects = self.cfg.sanitizer_protects(rcv, name).to_vec();
+        if !protects.is_empty() {
+            let joined = self.join_all(&arg_states);
+            let (kept, removed) = joined.taint.sanitize(&protects);
+            return VarState {
+                taint: kept,
+                sanitized_from: joined.sanitized_from.join(removed),
+                object_class: None,
+                trace: joined.trace,
+            };
+        }
+
+        // --- revert: restores previously sanitized taint ---
+        if self.cfg.is_revert(rcv, name) {
+            let joined = self.join_all(&arg_states);
+            let mut st = joined.clone();
+            st.taint = st.taint.join(joined.sanitized_from);
+            if st.taint.any() {
+                st.push_trace(
+                    TraceStep {
+                        file: self.current_file().to_string(),
+                        line: span.line,
+                        what: format!("revert {sink_label}() restores taint"),
+                    },
+                    limit,
+                );
+            }
+            return st;
+        }
+
+        if !sinks.is_empty() {
+            // Pure sinks (echo-like functions) return nothing interesting.
+            return VarState::clean();
+        }
+
+        // --- built-ins with by-reference output semantics ---
+        if rcv.is_none() {
+            match name.to_ascii_lowercase().as_str() {
+                // `extract($arr)` spills $arr's contents over the scope.
+                "extract" => {
+                    if let Some(st) = arg_states.first() {
+                        if st.taint.any() {
+                            f.extracted = f.extracted.join(st.taint);
+                        }
+                    }
+                    return VarState::clean();
+                }
+                // `parse_str($query, $result)` fills $result from $query.
+                "parse_str" | "mb_parse_str" => {
+                    if let (Some(src), Some(arg)) = (arg_states.first(), args.get(1)) {
+                        self.assign_to(&arg.value, src.clone(), f);
+                    }
+                    return VarState::clean();
+                }
+                // `preg_match($pat, $subject, $matches)`: capture groups
+                // carry the subject's taint.
+                "preg_match" | "preg_match_all" => {
+                    if let (Some(subj), Some(arg)) = (arg_states.get(1), args.get(2)) {
+                        self.assign_to(&arg.value, subj.clone(), f);
+                    }
+                    return VarState::clean();
+                }
+                // `str_replace($s, $r, $subject, $count)` count is numeric.
+                // (Return-taint handled by the default join below.)
+                _ => {}
+            }
+        }
+
+        // --- user-defined callables ---
+        match rcv {
+            Some(class) => {
+                let syms = self.syms;
+                if self.opts.oop {
+                    if let Some((cinfo, decl)) = syms.method(class, name) {
+                        let file = cinfo.file.clone();
+                        let decl = decl.clone();
+                        let mut ret = self.call_decl(
+                            &decl,
+                            &file,
+                            arg_states,
+                            Some(class.to_string()),
+                            false,
+                        );
+                        self.writeback_refs(&decl, args, f);
+                        if ret.taint.any() {
+                            ret.push_trace(
+                                TraceStep {
+                                    file: self.current_file().to_string(),
+                                    line: span.line,
+                                    what: format!("returned by {sink_label}()"),
+                                },
+                                limit,
+                            );
+                        }
+                        return ret;
+                    }
+                }
+                // Unknown method: taint flows through the object and args.
+                let mut st = self.join_all(&arg_states);
+                if let Some(b) = base_state {
+                    st = st.join(&b, limit);
+                    st.object_class = None;
+                }
+                st
+            }
+            None => {
+                // A method call whose receiver class is unknown: the
+                // object's own taint flows through (a formatted field of a
+                // tainted DB row is still tainted).
+                if let Some(b) = &base_state {
+                    if b.taint.any() {
+                        let mut st = self.join_all(&arg_states).join(b, limit);
+                        st.object_class = None;
+                        return st;
+                    }
+                }
+                let syms = self.syms;
+                if let Some(info) = syms.function(name) {
+                    let file = info.file.clone();
+                    let decl = info.decl.clone();
+                    let mut ret = self.call_decl(&decl, &file, arg_states, None, false);
+                    self.writeback_refs(&decl, args, f);
+                    if ret.taint.any() {
+                        ret.push_trace(
+                            TraceStep {
+                                file: self.current_file().to_string(),
+                                line: span.line,
+                                what: format!("returned by {name}()"),
+                            },
+                            limit,
+                        );
+                    }
+                    return ret;
+                }
+                // Unknown built-in / CMS function: conservative propagation
+                // of argument taint (this is where unknown custom
+                // sanitizers become false positives, as in the real tools).
+                self.join_all(&arg_states)
+            }
+        }
+    }
+
+    /// Interprets a user-defined callable with the given argument states,
+    /// memoized per (callable, argument-taint-signature).
+    fn call_decl(
+        &mut self,
+        decl: &FunctionDecl,
+        decl_file: &str,
+        arg_states: Vec<VarState>,
+        this_class: Option<String>,
+        force: bool,
+    ) -> VarState {
+        let callable = match &this_class {
+            Some(c) => format!("m:{c}::{}", decl.name.to_ascii_lowercase()),
+            None => format!("fn:{}", decl.name.to_ascii_lowercase()),
+        };
+        let key = CallKey {
+            callable,
+            sig: arg_states.iter().map(|s| s.taint).collect(),
+        };
+        if self.in_progress.contains(&key) {
+            // Recursive call: cut the cycle (paper: "functions that are
+            // called recursively are parsed only once").
+            return VarState::clean();
+        }
+        if self.opts.summaries && !force {
+            if let Some(hit) = self.memo.get(&key) {
+                return hit.ret.clone();
+            }
+        }
+        self.in_progress.insert(key.clone());
+
+        let mut frame = Frame {
+            this_class,
+            ..Frame::default()
+        };
+        for (i, p) in decl.params.iter().enumerate() {
+            let st = match arg_states.get(i) {
+                Some(s) => s.clone(),
+                None => match &p.default {
+                    Some(d) => self.eval(d, &mut frame),
+                    None => VarState::clean(),
+                },
+            };
+            frame.vars.insert(p.name.clone(), st);
+        }
+        self.file_stack.push(decl_file.to_string());
+        self.exec_stmts(&decl.body, &mut frame);
+        self.file_stack.pop();
+
+        let mut ret = std::mem::take(&mut frame.ret);
+        ret.trace.truncate(self.opts.trace_limit);
+
+        self.in_progress.remove(&key);
+        if self.opts.summaries {
+            self.memo.insert(key, CallResult { ret: ret.clone() });
+        }
+        ret
+    }
+
+    /// Conservative by-reference write-back: a by-ref parameter of a user
+    /// function may have been assigned anything inside; we approximate by
+    /// leaving the argument's state unchanged unless the callee is a known
+    /// sanitizing pattern (kept simple: no-op). Kept as a hook for the
+    /// ablation benches.
+    fn writeback_refs(&mut self, _decl: &FunctionDecl, _args: &[Arg], _f: &mut Frame) {}
+
+    fn eval_new(&mut self, class: &Member, args: &[Arg], span: Span, f: &mut Frame) -> VarState {
+        let arg_states = self.eval_args(args, f);
+        let cname = match class {
+            Member::Name(n) => self.resolve_class_name(n, f),
+            Member::Dynamic(e) => {
+                self.eval(e, f);
+                return VarState::clean();
+            }
+        };
+        if !self.opts.oop {
+            return VarState::clean();
+        }
+        // Run the constructor if the class is user-defined.
+        let syms = self.syms;
+        let ctor = syms
+            .method(&cname, "__construct")
+            .or_else(|| syms.method(&cname, &cname));
+        if let Some((cinfo, decl)) = ctor {
+            let file = cinfo.file.clone();
+            let decl = decl.clone();
+            self.call_decl(&decl, &file, arg_states, Some(cname.clone()), false);
+        }
+        let mut st = VarState::clean();
+        st.object_class = Some(cname.clone());
+        st.push_trace(
+            TraceStep {
+                file: self.current_file().to_string(),
+                line: span.line,
+                what: format!("new {cname}"),
+            },
+            self.opts.trace_limit,
+        );
+        st
+    }
+
+    // ================== includes ==================
+
+    fn eval_include(&mut self, kind: IncludeKind, path_expr: &Expr, _span: Span, f: &mut Frame) {
+        // Evaluate for side effects regardless (taint through the path is a
+        // file-inclusion issue, out of scope for XSS/SQLi).
+        self.eval(path_expr, f);
+        if !self.opts.resolve_includes {
+            return;
+        }
+        let Some(raw) = self.const_string(path_expr) else {
+            return;
+        };
+        let Some(file) = self.project.find_file(&raw) else {
+            return;
+        };
+        let path = file.path.clone();
+        let once = matches!(kind, IncludeKind::IncludeOnce | IncludeKind::RequireOnce);
+        if once && self.included_once.contains(&path) {
+            return;
+        }
+        if self.include_depth >= self.opts.max_include_depth {
+            if self.failed.is_none() {
+                self.failed = Some(format!(
+                    "include depth {} exceeded at {}",
+                    self.opts.max_include_depth, path
+                ));
+            }
+            return;
+        }
+        self.included_once.insert(path.clone());
+        let Some(ast) = self.parsed.get(&path).cloned() else {
+            return;
+        };
+        self.include_depth += 1;
+        self.file_stack.push(path);
+        // PHP executes includes in the calling scope.
+        self.exec_stmts(&ast.stmts, f);
+        self.file_stack.pop();
+        self.include_depth -= 1;
+    }
+
+    /// Best-effort constant evaluation of an include path.
+    fn const_string(&self, e: &Expr) -> Option<String> {
+        match e {
+            Expr::Lit(Lit::Str(s), _) => Some(s.clone()),
+            Expr::Binary {
+                op: php_ast::BinOp::Concat,
+                lhs,
+                rhs,
+                ..
+            } => {
+                let l = self.const_string(lhs)?;
+                let r = self.const_string(rhs)?;
+                Some(l + &r)
+            }
+            Expr::ConstFetch(n, _) if n == "__FILE__" => Some(self.current_file().to_string()),
+            Expr::ConstFetch(n, _) if n.to_ascii_uppercase().ends_with("_DIR") => {
+                // Plugin-dir constants resolve to the plugin root.
+                Some(String::new())
+            }
+            Expr::Call {
+                callee: Callee::Function(name),
+                args,
+                ..
+            } => match name.to_ascii_lowercase().as_str() {
+                "dirname" => {
+                    let inner = self.const_string(&args.first()?.value)?;
+                    match inner.rfind('/') {
+                        Some(i) => Some(inner[..i].to_string()),
+                        None => Some(String::new()),
+                    }
+                }
+                "plugin_dir_path" | "plugin_dir_url" | "trailingslashit" => Some(String::new()),
+                _ => None,
+            },
+            Expr::Interp(parts, _) => {
+                let mut out = String::new();
+                for p in parts {
+                    match p {
+                        InterpPart::Lit(s) => out.push_str(s),
+                        InterpPart::Expr(_) => return None,
+                    }
+                }
+                Some(out)
+            }
+            Expr::ErrorSuppress(inner, _) => self.const_string(inner),
+            _ => None,
+        }
+    }
+
+    // ================== reporting ==================
+
+    fn check_xss_output(&mut self, st: &VarState, span: Span, sink: &str, expr: &Expr) {
+        if st.taint.is_tainted(VulnClass::Xss) {
+            let desc = print_expr(expr);
+            self.report(VulnClass::Xss, span, sink, st, desc);
+        }
+    }
+
+    fn report(&mut self, class: VulnClass, span: Span, sink: &str, st: &VarState, var: String) {
+        let Some(kind) = st.taint.kind_for(class) else {
+            return;
+        };
+        self.vulns.push(Vulnerability {
+            class,
+            file: self.current_file().to_string(),
+            line: span.line,
+            sink: sink.to_string(),
+            var: var.clone(),
+            source_kind: kind,
+            via_oop: st.taint.oop,
+            numeric_hint: numeric_intent(&var),
+            trace: st.trace.clone(),
+        });
+    }
+}

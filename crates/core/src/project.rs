@@ -1,0 +1,116 @@
+//! Plugin projects: the unit of analysis. A project is a named collection of
+//! PHP source files, mirroring a WordPress plugin directory.
+
+use serde::{Deserialize, Serialize};
+
+/// One PHP source file of a plugin.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceFile {
+    /// Plugin-relative path, e.g. `includes/admin.php`.
+    pub path: String,
+    /// Full file contents.
+    pub content: String,
+}
+
+impl SourceFile {
+    /// Creates a source file.
+    pub fn new(path: impl Into<String>, content: impl Into<String>) -> Self {
+        SourceFile {
+            path: path.into(),
+            content: content.into(),
+        }
+    }
+
+    /// Non-blank lines of code (the paper's LOC measure).
+    pub fn loc(&self) -> usize {
+        php_lexer::count_loc(&self.content)
+    }
+}
+
+/// A plugin project: what phpSAFE receives as input.
+///
+/// # Examples
+///
+/// ```
+/// use phpsafe::{PluginProject, SourceFile};
+///
+/// let p = PluginProject::new("my-plugin")
+///     .with_file(SourceFile::new("my-plugin.php", "<?php echo 'hi';"));
+/// assert_eq!(p.files().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PluginProject {
+    name: String,
+    files: Vec<SourceFile>,
+}
+
+impl PluginProject {
+    /// Creates an empty project.
+    pub fn new(name: impl Into<String>) -> Self {
+        PluginProject {
+            name: name.into(),
+            files: Vec::new(),
+        }
+    }
+
+    /// Adds a file (builder style).
+    pub fn with_file(mut self, file: SourceFile) -> Self {
+        self.files.push(file);
+        self
+    }
+
+    /// Adds a file in place.
+    pub fn push_file(&mut self, file: SourceFile) {
+        self.files.push(file);
+    }
+
+    /// Project (plugin) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The project's files.
+    pub fn files(&self) -> &[SourceFile] {
+        &self.files
+    }
+
+    /// Finds a file whose path ends with `suffix` (include resolution
+    /// matches loosely, as paths are built with `dirname(__FILE__)` jumbles).
+    pub fn find_file(&self, suffix: &str) -> Option<&SourceFile> {
+        let needle = suffix.trim_start_matches("./").trim_start_matches('/');
+        self.files
+            .iter()
+            .find(|f| f.path == needle)
+            .or_else(|| self.files.iter().find(|f| f.path.ends_with(needle)))
+    }
+
+    /// Total non-blank LOC across all files.
+    pub fn total_loc(&self) -> usize {
+        self.files.iter().map(|f| f.loc()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_file_matches_exact_then_suffix() {
+        let p = PluginProject::new("p")
+            .with_file(SourceFile::new("a.php", ""))
+            .with_file(SourceFile::new("inc/a.php", ""))
+            .with_file(SourceFile::new("inc/b.php", ""));
+        assert_eq!(p.find_file("a.php").unwrap().path, "a.php");
+        assert_eq!(p.find_file("inc/b.php").unwrap().path, "inc/b.php");
+        assert_eq!(p.find_file("./b.php").unwrap().path, "inc/b.php");
+        assert!(p.find_file("missing.php").is_none());
+    }
+
+    #[test]
+    fn loc_counts_nonblank() {
+        let f = SourceFile::new("x.php", "<?php\n\n$a = 1;\n");
+        assert_eq!(f.loc(), 2);
+        let p = PluginProject::new("p").with_file(f);
+        assert_eq!(p.total_loc(), 2);
+    }
+}

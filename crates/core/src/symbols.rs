@@ -1,0 +1,344 @@
+//! Project-wide symbol collection — phpSAFE's model-construction pass
+//! (§III.B): every user-defined function and class (with methods), plus the
+//! set of functions that are *never called from plugin code*. Those must be
+//! analyzed anyway, because the CMS calls them through hooks: *"this ability
+//! to analyze all the functions, even those not called from within the
+//! plugin, is a very important aspect of security tools targeting plugin
+//! code."*
+
+use php_ast::visit::{self, Visitor};
+use php_ast::{Callee, ClassDecl, Expr, FunctionDecl, Member, ParsedFile, Stmt};
+use std::collections::{HashMap, HashSet};
+
+/// A user-defined free function and where it lives.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The declaration.
+    pub decl: FunctionDecl,
+    /// File that declares it.
+    pub file: String,
+}
+
+/// A user-defined class and where it lives.
+#[derive(Debug, Clone)]
+pub struct ClassInfo {
+    /// The declaration.
+    pub decl: ClassDecl,
+    /// File that declares it.
+    pub file: String,
+}
+
+/// Reference to a callable that is never invoked from plugin code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FnRef {
+    /// A free function, by lowercase name.
+    Function(String),
+    /// A method, by lowercase (class, method) pair.
+    Method(String, String),
+}
+
+/// The project symbol table.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    functions: HashMap<String, FnInfo>,
+    classes: HashMap<String, ClassInfo>,
+    called_fns: HashSet<String>,
+    called_methods: HashSet<String>,
+    instantiated: HashSet<String>,
+}
+
+impl SymbolTable {
+    /// Builds the table from parsed files (`(path, ast)` pairs).
+    pub fn build<'a>(files: impl IntoIterator<Item = (&'a str, &'a ParsedFile)>) -> SymbolTable {
+        let mut t = SymbolTable::default();
+        for (path, ast) in files {
+            let mut c = Collector {
+                table: &mut t,
+                file: path,
+                class_stack: Vec::new(),
+            };
+            visit::walk_file(&mut c, ast);
+        }
+        t
+    }
+
+    /// Looks up a free function by case-insensitive name.
+    pub fn function(&self, name: &str) -> Option<&FnInfo> {
+        self.functions.get(&name.to_ascii_lowercase())
+    }
+
+    /// Looks up a class by case-insensitive name.
+    pub fn class(&self, name: &str) -> Option<&ClassInfo> {
+        self.classes.get(&name.to_ascii_lowercase())
+    }
+
+    /// Resolves a method on `class`, walking the `extends` chain and any
+    /// `use`d traits, as PHP method resolution does.
+    pub fn method(&self, class: &str, name: &str) -> Option<(&ClassInfo, &FunctionDecl)> {
+        let mut current = class.to_ascii_lowercase();
+        let mut hops = 0;
+        while hops < 16 {
+            let info = self.classes.get(&current)?;
+            if let Some(m) = info.decl.method(name) {
+                return Some((info, m));
+            }
+            // Traits
+            for member in &info.decl.members {
+                if let php_ast::ClassMember::UseTrait(traits, _) = member {
+                    for t in traits {
+                        if let Some(ti) = self.classes.get(&t.to_ascii_lowercase()) {
+                            if let Some(m) = ti.decl.method(name) {
+                                return Some((ti, m));
+                            }
+                        }
+                    }
+                }
+            }
+            match &info.decl.parent {
+                Some(p) => {
+                    current = p.to_ascii_lowercase();
+                    hops += 1;
+                }
+                None => return None,
+            }
+        }
+        None
+    }
+
+    /// All free functions.
+    pub fn functions(&self) -> impl Iterator<Item = &FnInfo> {
+        self.functions.values()
+    }
+
+    /// All classes.
+    pub fn classes(&self) -> impl Iterator<Item = &ClassInfo> {
+        self.classes.values()
+    }
+
+    /// Number of user-defined callables (functions + methods).
+    pub fn callable_count(&self) -> usize {
+        self.functions.len()
+            + self
+                .classes
+                .values()
+                .map(|c| c.decl.methods().count())
+                .sum::<usize>()
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Is the free function syntactically invoked anywhere?
+    pub fn is_called_function(&self, name: &str) -> bool {
+        self.called_fns.contains(&name.to_ascii_lowercase())
+    }
+
+    /// Is any method of this name syntactically invoked anywhere?
+    /// (Receiver types are often unknown statically, so matching is by
+    /// method name — the over-approximation phpSAFE uses.)
+    pub fn is_called_method(&self, name: &str) -> bool {
+        self.called_methods.contains(&name.to_ascii_lowercase())
+    }
+
+    /// Is the class instantiated (`new C`) anywhere?
+    pub fn is_instantiated(&self, class: &str) -> bool {
+        self.instantiated.contains(&class.to_ascii_lowercase())
+    }
+
+    /// Callables never invoked from plugin code — the set phpSAFE analyzes
+    /// up front (§III.C) and Pixy skips.
+    pub fn uncalled(&self) -> Vec<FnRef> {
+        let mut out = Vec::new();
+        let mut fn_names: Vec<&String> = self.functions.keys().collect();
+        fn_names.sort();
+        for name in fn_names {
+            if !self.called_fns.contains(name) {
+                out.push(FnRef::Function(name.clone()));
+            }
+        }
+        let mut class_names: Vec<&String> = self.classes.keys().collect();
+        class_names.sort();
+        for cname in class_names {
+            let info = &self.classes[cname];
+            for (_, m) in info.decl.methods() {
+                let mname = m.name.to_ascii_lowercase();
+                let is_ctor = mname == "__construct" || mname == *cname;
+                let called = if is_ctor {
+                    self.instantiated.contains(cname)
+                } else {
+                    self.called_methods.contains(&mname)
+                };
+                if !called {
+                    out.push(FnRef::Method(cname.clone(), mname));
+                }
+            }
+        }
+        out
+    }
+}
+
+struct Collector<'a> {
+    table: &'a mut SymbolTable,
+    file: &'a str,
+    class_stack: Vec<String>,
+}
+
+impl Visitor for Collector<'_> {
+    fn visit_stmt(&mut self, stmt: &Stmt) {
+        if let Stmt::Function(f) = stmt {
+            // Only record as a free function when not inside a class body
+            // (methods are collected via visit_class).
+            if self.class_stack.is_empty() {
+                self.table
+                    .functions
+                    .entry(f.name.to_ascii_lowercase())
+                    .or_insert_with(|| FnInfo {
+                        decl: f.clone(),
+                        file: self.file.to_string(),
+                    });
+            }
+        }
+        visit::walk_stmt(self, stmt);
+    }
+
+    fn visit_class(&mut self, class: &ClassDecl) {
+        self.table
+            .classes
+            .entry(class.name.to_ascii_lowercase())
+            .or_insert_with(|| ClassInfo {
+                decl: class.clone(),
+                file: self.file.to_string(),
+            });
+        self.class_stack.push(class.name.to_ascii_lowercase());
+        visit::walk_class(self, class);
+        self.class_stack.pop();
+    }
+
+    fn visit_expr(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Call { callee, .. } => match callee {
+                Callee::Function(name) => {
+                    self.table.called_fns.insert(name.to_ascii_lowercase());
+                }
+                Callee::Method { name, .. } | Callee::StaticMethod { name, .. } => {
+                    if let Member::Name(n) = name {
+                        self.table.called_methods.insert(n.to_ascii_lowercase());
+                    }
+                }
+                Callee::Dynamic(_) => {}
+            },
+            Expr::New {
+                class: Member::Name(n),
+                ..
+            } => {
+                self.table.instantiated.insert(n.to_ascii_lowercase());
+            }
+            _ => {}
+        }
+        visit::walk_expr(self, expr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use php_ast::parse;
+
+    fn table(srcs: &[(&str, &str)]) -> SymbolTable {
+        let parsed: Vec<(String, ParsedFile)> = srcs
+            .iter()
+            .map(|(p, s)| (p.to_string(), parse(s)))
+            .collect();
+        SymbolTable::build(parsed.iter().map(|(p, a)| (p.as_str(), a)))
+    }
+
+    #[test]
+    fn collects_functions_and_classes_across_files() {
+        let t = table(&[
+            ("a.php", "<?php function alpha() {} class Widget { function render() {} }"),
+            ("b.php", "<?php function beta() { alpha(); }"),
+        ]);
+        assert!(t.function("alpha").is_some());
+        assert!(t.function("ALPHA").is_some());
+        assert!(t.function("beta").is_some());
+        assert!(t.class("widget").is_some());
+        assert_eq!(t.callable_count(), 3);
+        assert_eq!(t.class_count(), 1);
+    }
+
+    #[test]
+    fn uncalled_detection() {
+        let t = table(&[(
+            "p.php",
+            "<?php
+            function used() {}
+            function hook_handler() { echo $_GET['x']; }
+            used();
+            class C {
+                function called_m() {}
+                function uncalled_m() {}
+            }
+            $c = new C();
+            $c->called_m();
+            ",
+        )]);
+        let uncalled = t.uncalled();
+        assert!(uncalled.contains(&FnRef::Function("hook_handler".into())));
+        assert!(!uncalled.contains(&FnRef::Function("used".into())));
+        assert!(uncalled.contains(&FnRef::Method("c".into(), "uncalled_m".into())));
+        assert!(!uncalled.contains(&FnRef::Method("c".into(), "called_m".into())));
+    }
+
+    #[test]
+    fn constructor_counts_as_called_when_instantiated() {
+        let t = table(&[(
+            "p.php",
+            "<?php class A { function __construct() {} } $a = new A();
+             class B { function __construct() {} }",
+        )]);
+        let uncalled = t.uncalled();
+        assert!(!uncalled.contains(&FnRef::Method("a".into(), "__construct".into())));
+        assert!(uncalled.contains(&FnRef::Method("b".into(), "__construct".into())));
+    }
+
+    #[test]
+    fn method_resolution_walks_parents_and_traits() {
+        let t = table(&[(
+            "p.php",
+            "<?php
+            trait Help { function assist() {} }
+            class Base { function ground() {} }
+            class Mid extends Base { use Help; }
+            class Leaf extends Mid { function own() {} }
+            ",
+        )]);
+        assert!(t.method("leaf", "own").is_some());
+        assert!(t.method("leaf", "ground").is_some(), "inherited");
+        assert!(t.method("leaf", "assist").is_some(), "via trait");
+        assert!(t.method("leaf", "missing").is_none());
+    }
+
+    #[test]
+    fn hook_registration_does_not_count_as_call() {
+        // add_action('init', 'handler') passes the name as a string — the
+        // function is never *invoked* in plugin code.
+        let t = table(&[(
+            "p.php",
+            "<?php function handler() {} add_action('init', 'handler');",
+        )]);
+        assert!(t.uncalled().contains(&FnRef::Function("handler".into())));
+        assert!(t.is_called_function("add_action"));
+    }
+
+    #[test]
+    fn nested_function_not_double_counted_as_method() {
+        let t = table(&[(
+            "p.php",
+            "<?php class C { function m() { } } function free() {}",
+        )]);
+        assert!(t.function("m").is_none(), "methods are not free functions");
+        assert!(t.function("free").is_some());
+    }
+}

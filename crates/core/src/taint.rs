@@ -1,0 +1,301 @@
+//! The taint lattice and per-variable analysis state — the Rust shape of
+//! phpSAFE's `parser_variables` entries (§III.C): taint per vulnerability
+//! class, the source the data came from, sanitization history (so revert
+//! functions can restore it), the object class a variable holds, and the
+//! data-flow trace back to the entry point.
+
+use serde::{Deserialize, Serialize};
+use taint_config::{SourceKind, VulnClass};
+
+/// Priority used when two taints join: the paper classifies each
+/// vulnerability by the entry vector found on the *reverse path* of the
+/// tainted data, preferring the most directly exploitable vector.
+fn kind_priority(k: SourceKind) -> u8 {
+    match k {
+        SourceKind::Get => 0,
+        SourceKind::Post => 1,
+        SourceKind::Request => 2,
+        SourceKind::Cookie => 3,
+        SourceKind::Server => 4,
+        SourceKind::Database => 5,
+        SourceKind::File => 6,
+        SourceKind::Function => 7,
+        SourceKind::Array => 8,
+    }
+}
+
+/// Joins two optional source kinds, preferring the higher-priority vector.
+fn join_kind(a: Option<SourceKind>, b: Option<SourceKind>) -> Option<SourceKind> {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(x), Some(y)) => Some(if kind_priority(x) <= kind_priority(y) {
+            x
+        } else {
+            y
+        }),
+    }
+}
+
+/// Taint state of a value: for each vulnerability class, whether the value
+/// is dangerous and which input vector it came from. `oop` records whether
+/// the flow passed through a CMS object method (the paper's §V.A "OOP
+/// vulnerabilities" count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+pub struct Taint {
+    /// Tainted for XSS, with the originating vector.
+    pub xss: Option<SourceKind>,
+    /// Tainted for SQL injection, with the originating vector.
+    pub sqli: Option<SourceKind>,
+    /// The flow passed through a CMS framework object method.
+    pub oop: bool,
+}
+
+impl Taint {
+    /// The bottom element: fully untainted.
+    pub const CLEAN: Taint = Taint {
+        xss: None,
+        sqli: None,
+        oop: false,
+    };
+
+    /// A value tainted for every class from vector `kind`.
+    pub fn from_source(kind: SourceKind) -> Taint {
+        Taint {
+            xss: Some(kind),
+            sqli: Some(kind),
+            oop: false,
+        }
+    }
+
+    /// Same as [`Taint::from_source`] but flagged as flowing through a CMS
+    /// object method.
+    pub fn from_oop_source(kind: SourceKind) -> Taint {
+        Taint {
+            oop: true,
+            ..Taint::from_source(kind)
+        }
+    }
+
+    /// Is the value dangerous for `class`?
+    pub fn is_tainted(&self, class: VulnClass) -> bool {
+        self.kind_for(class).is_some()
+    }
+
+    /// Is the value dangerous for any class?
+    pub fn any(&self) -> bool {
+        self.xss.is_some() || self.sqli.is_some()
+    }
+
+    /// The originating vector for `class`, if tainted.
+    pub fn kind_for(&self, class: VulnClass) -> Option<SourceKind> {
+        match class {
+            VulnClass::Xss => self.xss,
+            VulnClass::Sqli => self.sqli,
+        }
+    }
+
+    /// Least upper bound: tainted if either side is, keeping the
+    /// higher-priority vector.
+    pub fn join(self, other: Taint) -> Taint {
+        Taint {
+            xss: join_kind(self.xss, other.xss),
+            sqli: join_kind(self.sqli, other.sqli),
+            oop: self.oop || other.oop,
+        }
+    }
+
+    /// Removes taint for the given classes (sanitization), returning the new
+    /// taint and what was removed (so a revert can restore it).
+    pub fn sanitize(self, classes: &[VulnClass]) -> (Taint, Taint) {
+        let mut kept = self;
+        let mut removed = Taint::CLEAN;
+        for &c in classes {
+            match c {
+                VulnClass::Xss => {
+                    removed.xss = join_kind(removed.xss, kept.xss);
+                    kept.xss = None;
+                }
+                VulnClass::Sqli => {
+                    removed.sqli = join_kind(removed.sqli, kept.sqli);
+                    kept.sqli = None;
+                }
+            }
+        }
+        removed.oop = self.oop && removed.any();
+        (kept, removed)
+    }
+
+    /// Marks the taint as having flowed through a CMS object method.
+    pub fn with_oop(mut self) -> Taint {
+        self.oop = true;
+        self
+    }
+}
+
+/// One step of a data-flow trace (the paper's "flow of the vulnerable data
+/// from variable to variable").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStep {
+    /// File path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description, e.g. `$id <- $_GET['id']`.
+    pub what: String,
+}
+
+/// Full analysis state of one variable/property — a `parser_variables` row.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct VarState {
+    /// Current taint.
+    pub taint: Taint,
+    /// Taint removed by sanitizers (restorable by revert functions).
+    pub sanitized_from: Taint,
+    /// Class of the object this variable holds, lowercase, if known
+    /// (`$wpdb` holds a `wpdb`).
+    pub object_class: Option<String>,
+    /// Data-flow history, oldest first, capped by the analyzer.
+    pub trace: Vec<TraceStep>,
+}
+
+impl VarState {
+    /// A clean, classless value.
+    pub fn clean() -> VarState {
+        VarState::default()
+    }
+
+    /// A tainted value with a one-step trace.
+    pub fn tainted(taint: Taint, step: TraceStep) -> VarState {
+        VarState {
+            taint,
+            sanitized_from: Taint::CLEAN,
+            object_class: None,
+            trace: vec![step],
+        }
+    }
+
+    /// Joins two states (used at data-flow merges), capping the trace.
+    pub fn join(mut self, other: &VarState, trace_limit: usize) -> VarState {
+        self.taint = self.taint.join(other.taint);
+        self.sanitized_from = self.sanitized_from.join(other.sanitized_from);
+        if self.object_class.is_none() {
+            self.object_class = other.object_class.clone();
+        }
+        // Prefer the trace of the tainted side; otherwise merge and cap.
+        if self.trace.is_empty() {
+            self.trace = other.trace.clone();
+        } else if other.taint.any() && !other.trace.is_empty() && self.trace.len() < trace_limit {
+            for s in &other.trace {
+                if self.trace.len() >= trace_limit {
+                    break;
+                }
+                if !self.trace.contains(s) {
+                    self.trace.push(s.clone());
+                }
+            }
+        }
+        self.trace.truncate(trace_limit);
+        self
+    }
+
+    /// Appends a trace step, respecting the cap.
+    pub fn push_trace(&mut self, step: TraceStep, trace_limit: usize) {
+        if self.trace.len() < trace_limit {
+            self.trace.push(step);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_is_bottom() {
+        assert!(!Taint::CLEAN.any());
+        let t = Taint::from_source(SourceKind::Get);
+        assert_eq!(Taint::CLEAN.join(t), t);
+        assert_eq!(t.join(Taint::CLEAN), t);
+    }
+
+    #[test]
+    fn join_prefers_direct_vectors() {
+        let db = Taint::from_source(SourceKind::Database);
+        let get = Taint::from_source(SourceKind::Get);
+        assert_eq!(db.join(get).xss, Some(SourceKind::Get));
+        assert_eq!(get.join(db).xss, Some(SourceKind::Get));
+    }
+
+    #[test]
+    fn join_laws() {
+        let a = Taint::from_source(SourceKind::Post);
+        let b = Taint {
+            xss: Some(SourceKind::Database),
+            sqli: None,
+            oop: true,
+        };
+        let c = Taint::from_source(SourceKind::File);
+        assert_eq!(a.join(b), b.join(a), "commutative");
+        assert_eq!(a.join(b).join(c), a.join(b.join(c)), "associative");
+        assert_eq!(a.join(a), a, "idempotent");
+    }
+
+    #[test]
+    fn sanitize_and_restore() {
+        let t = Taint::from_source(SourceKind::Get);
+        let (kept, removed) = t.sanitize(&[VulnClass::Xss]);
+        assert!(!kept.is_tainted(VulnClass::Xss));
+        assert!(kept.is_tainted(VulnClass::Sqli));
+        assert!(removed.is_tainted(VulnClass::Xss));
+        // revert restores
+        let restored = kept.join(removed);
+        assert!(restored.is_tainted(VulnClass::Xss));
+        assert!(restored.is_tainted(VulnClass::Sqli));
+    }
+
+    #[test]
+    fn sanitize_both_classes() {
+        let t = Taint::from_source(SourceKind::Post);
+        let (kept, removed) = t.sanitize(&[VulnClass::Xss, VulnClass::Sqli]);
+        assert!(!kept.any());
+        assert!(removed.is_tainted(VulnClass::Xss) && removed.is_tainted(VulnClass::Sqli));
+    }
+
+    #[test]
+    fn oop_flag_propagates_through_join() {
+        let oop = Taint::from_oop_source(SourceKind::Database);
+        let plain = Taint::from_source(SourceKind::Get);
+        assert!(oop.join(plain).oop);
+        assert!(plain.join(oop).oop);
+    }
+
+    #[test]
+    fn varstate_join_caps_trace() {
+        let step = |i: u32| TraceStep {
+            file: "f.php".into(),
+            line: i,
+            what: format!("step {i}"),
+        };
+        let mut a = VarState::tainted(Taint::from_source(SourceKind::Get), step(1));
+        for i in 2..10 {
+            a.push_trace(step(i), 4);
+        }
+        assert_eq!(a.trace.len(), 4);
+        let b = VarState::tainted(Taint::from_source(SourceKind::Post), step(99));
+        let j = a.join(&b, 4);
+        assert!(j.trace.len() <= 4);
+        assert!(j.taint.is_tainted(VulnClass::Xss));
+    }
+
+    #[test]
+    fn varstate_join_keeps_object_class() {
+        let mut a = VarState::clean();
+        let mut b = VarState::clean();
+        b.object_class = Some("wpdb".into());
+        let j = a.clone().join(&b, 8);
+        assert_eq!(j.object_class.as_deref(), Some("wpdb"));
+        a.object_class = Some("other".into());
+        let j2 = a.join(&b, 8);
+        assert_eq!(j2.object_class.as_deref(), Some("other"));
+    }
+}

@@ -1,0 +1,670 @@
+//! Construct-level behavior tests for the taint interpreter: each test
+//! pins how one PHP construct propagates (or kills) taint, matching the
+//! transfer functions the paper describes in §III.C.
+
+use phpsafe::{AnalyzerOptions, PhpSafe, PluginProject, SourceFile};
+use taint_config::{SourceKind, VulnClass};
+
+fn analyze(src: &str) -> phpsafe::AnalysisOutcome {
+    let p = PluginProject::new("t").with_file(SourceFile::new("t.php", src));
+    PhpSafe::new().analyze(&p)
+}
+
+fn count(src: &str) -> usize {
+    analyze(src).vulns.len()
+}
+
+// ---------- strings & interpolation ----------
+
+#[test]
+fn heredoc_interpolation_carries_taint() {
+    let src = "<?php\n$u = $_GET['u'];\n$h = <<<EOT\nHello $u\nEOT;\necho $h;\n";
+    assert_eq!(count(src), 1);
+}
+
+#[test]
+fn nowdoc_carries_no_taint() {
+    let src = "<?php\n$u = $_GET['u'];\n$h = <<<'EOT'\nHello $u\nEOT;\necho $h;\n";
+    assert_eq!(count(src), 0, "nowdoc does not interpolate");
+}
+
+#[test]
+fn complex_interpolation_object_property() {
+    let src = r#"<?php
+$row = $wpdb->get_row("SELECT * FROM x");
+echo "name: {$row->name}";
+"#;
+    let o = analyze(src);
+    assert_eq!(o.vulns.len(), 1);
+    assert!(o.vulns[0].via_oop);
+}
+
+#[test]
+fn concat_assignment_accumulates_taint() {
+    assert_eq!(
+        count("<?php $out = '<ul>'; $out .= $_GET['li']; $out .= '</ul>'; echo $out;"),
+        1
+    );
+}
+
+#[test]
+fn arithmetic_compound_assignment_is_clean() {
+    assert_eq!(count("<?php $n = $_GET['n']; $n += 1; echo $n;"), 0);
+}
+
+#[test]
+fn arithmetic_neutralizes() {
+    assert_eq!(count("<?php echo $_GET['a'] + $_GET['b'];"), 0);
+    assert_eq!(count("<?php echo $_GET['a'] * 3;"), 0);
+    assert_eq!(count("<?php echo -$_GET['a'];"), 0);
+}
+
+#[test]
+fn comparison_is_clean_boolean() {
+    assert_eq!(count("<?php echo $_GET['a'] == 'x';"), 0);
+}
+
+// ---------- control flow ----------
+
+#[test]
+fn ternary_joins_both_arms() {
+    assert_eq!(
+        count("<?php echo $c ? $_GET['a'] : 'safe';"),
+        1,
+        "tainted arm"
+    );
+    assert_eq!(
+        count("<?php echo $c ? intval($_GET['a']) : 0;"),
+        0,
+        "both arms safe"
+    );
+}
+
+#[test]
+fn short_ternary_keeps_condition_value() {
+    assert_eq!(count("<?php echo $_GET['a'] ?: 'default';"), 1);
+}
+
+#[test]
+fn switch_branches_join() {
+    assert_eq!(
+        count(
+            "<?php
+            $x = $_GET['x'];
+            switch ($m) {
+                case 'a': $x = intval($x); break;
+                default: break;
+            }
+            echo $x;"
+        ),
+        1,
+        "default path leaves $x tainted"
+    );
+    assert_eq!(
+        count(
+            "<?php
+            $x = $_GET['x'];
+            switch ($m) {
+                case 'a': $x = intval($x); break;
+                default: $x = 0;
+            }
+            echo $x;"
+        ),
+        0,
+        "every arm sanitizes (default present)"
+    );
+}
+
+#[test]
+fn while_loop_body_executes() {
+    assert_eq!(count("<?php while ($i < 3) { echo $_COOKIE['c']; $i++; }"), 1);
+}
+
+#[test]
+fn do_while_executes_body() {
+    assert_eq!(count("<?php do { echo $_GET['x']; } while (false);"), 1);
+}
+
+#[test]
+fn for_loop_executes_body() {
+    assert_eq!(count("<?php for ($i = 0; $i < 2; $i++) { echo $_GET['q']; }"), 1);
+}
+
+#[test]
+fn loop_carried_accumulation_found() {
+    assert_eq!(
+        count(
+            "<?php
+            $acc = '';
+            foreach ($_POST['rows'] as $r) { $acc .= $r; }
+            echo $acc;"
+        ),
+        1
+    );
+}
+
+#[test]
+fn try_catch_finally_flows() {
+    assert_eq!(
+        count(
+            "<?php
+            try { $x = $_GET['x']; } catch (Exception $e) { $x = 'safe'; }
+            finally { echo $x; }"
+        ),
+        1
+    );
+}
+
+// ---------- arrays & lists ----------
+
+#[test]
+fn array_element_write_taints_container() {
+    assert_eq!(
+        count("<?php $a = array(); $a['k'] = $_GET['v']; echo $a['k'];"),
+        1
+    );
+}
+
+#[test]
+fn array_push_syntax_taints() {
+    assert_eq!(count("<?php $a = array(); $a[] = $_POST['v']; foreach ($a as $x) echo $x;"), 1);
+}
+
+#[test]
+fn array_literal_with_tainted_member() {
+    assert_eq!(count("<?php $a = array('k' => $_GET['v']); echo $a['k'];"), 1);
+}
+
+#[test]
+fn list_destructuring_propagates() {
+    assert_eq!(
+        count("<?php list($a, $b) = explode(',', $_GET['csv']); echo $b;"),
+        1,
+        "explode is unknown -> conservative propagation; list assigns both"
+    );
+}
+
+#[test]
+fn unset_kills_array_taint() {
+    assert_eq!(count("<?php $a = $_GET['x']; unset($a); echo $a;"), 0);
+}
+
+// ---------- functions ----------
+
+#[test]
+fn default_parameter_value_evaluated() {
+    assert_eq!(
+        count(
+            "<?php
+            function show($m = 'safe') { echo $m; }
+            show($_GET['m']);"
+        ),
+        1
+    );
+    assert_eq!(
+        count(
+            "<?php
+            function show($m = 'safe') { echo $m; }
+            show();"
+        ),
+        0
+    );
+}
+
+#[test]
+fn memoization_is_per_taint_signature() {
+    // Called first with clean, then with tainted arguments: both contexts
+    // must be analyzed (context sensitivity).
+    assert_eq!(
+        count(
+            "<?php
+            function show($m) { echo $m; }
+            show('clean');
+            show($_GET['m']);"
+        ),
+        1
+    );
+}
+
+#[test]
+fn wrapper_chain_three_deep() {
+    assert_eq!(
+        count(
+            "<?php
+            function a($v) { return b($v); }
+            function b($v) { return c($v); }
+            function c($v) { return '<p>' . $v . '</p>'; }
+            echo a($_GET['x']);"
+        ),
+        1
+    );
+}
+
+#[test]
+fn sanitizing_wrapper_chain() {
+    assert_eq!(
+        count(
+            "<?php
+            function a($v) { return b($v); }
+            function b($v) { return htmlentities($v); }
+            echo a($_GET['x']);"
+        ),
+        0
+    );
+}
+
+#[test]
+fn mutual_recursion_terminates() {
+    assert_eq!(
+        count(
+            "<?php
+            function even($n) { if ($n == 0) return $_GET['x']; return odd($n - 1); }
+            function odd($n) { if ($n == 0) return 'safe'; return even($n - 1); }
+            echo even(4);"
+        ),
+        1
+    );
+}
+
+#[test]
+fn closure_bodies_are_covered() {
+    assert_eq!(
+        count("<?php add_action('init', function () { echo $_REQUEST['q']; });"),
+        1
+    );
+}
+
+#[test]
+fn closure_captures_taint_via_use() {
+    assert_eq!(
+        count(
+            "<?php
+            $m = $_POST['m'];
+            add_filter('x', function () use ($m) { echo $m; });"
+        ),
+        1
+    );
+}
+
+// ---------- OOP ----------
+
+#[test]
+fn static_property_flow() {
+    assert_eq!(
+        count(
+            "<?php
+            class Cfg { public static $banner; }
+            Cfg::$banner = $_GET['b'];
+            echo Cfg::$banner;"
+        ),
+        1
+    );
+}
+
+#[test]
+fn inherited_method_resolution() {
+    assert_eq!(
+        count(
+            "<?php
+            class Base { public function show($v) { echo $v; } }
+            class Child extends Base {}
+            $c = new Child();
+            $c->show($_GET['x']);"
+        ),
+        1
+    );
+}
+
+#[test]
+fn trait_method_resolution() {
+    assert_eq!(
+        count(
+            "<?php
+            trait Render { public function out($v) { echo $v; } }
+            class Page { use Render; }
+            $p = new Page();
+            $p->out($_COOKIE['c']);"
+        ),
+        1
+    );
+}
+
+#[test]
+fn self_static_method_calls() {
+    assert_eq!(
+        count(
+            "<?php
+            class Util {
+                public static function raw($v) { return $v; }
+                public static function run() { echo self::raw($_GET['x']); }
+            }
+            Util::run();"
+        ),
+        1
+    );
+}
+
+#[test]
+fn constructor_taints_property_for_later_method() {
+    assert_eq!(
+        count(
+            "<?php
+            class Box {
+                private $v;
+                public function __construct($v) { $this->v = $v; }
+                public function show() { echo $this->v; }
+            }
+            $b = new Box($_GET['x']);
+            $b->show();"
+        ),
+        1
+    );
+}
+
+#[test]
+fn property_sanitized_on_write_stays_clean() {
+    assert_eq!(
+        count(
+            "<?php
+            class Box {
+                public $v;
+                public function __construct() { $this->v = intval($_GET['x']); }
+                public function show() { echo $this->v; }
+            }
+            $b = new Box();
+            $b->show();"
+        ),
+        0
+    );
+}
+
+#[test]
+fn method_on_tainted_row_object_returns_taint() {
+    assert_eq!(
+        count(
+            "<?php
+            $row = $wpdb->get_row('SELECT 1');
+            echo $row->format();"
+        ),
+        1,
+        "unknown method on tainted object keeps the object's taint"
+    );
+}
+
+#[test]
+fn wpdb_get_col_and_get_var_are_sources() {
+    assert_eq!(count("<?php echo $wpdb->get_var('SELECT x');"), 1);
+    assert_eq!(
+        count("<?php foreach ($wpdb->get_col('SELECT x') as $c) echo $c;"),
+        1
+    );
+}
+
+// ---------- sources & sanitizers ----------
+
+#[test]
+fn server_superglobal_is_tainted() {
+    let o = analyze("<?php echo $_SERVER['HTTP_USER_AGENT'];");
+    assert_eq!(o.vulns.len(), 1);
+    assert_eq!(o.vulns[0].source_kind, SourceKind::Server);
+}
+
+#[test]
+fn legacy_http_vars_are_tainted() {
+    assert_eq!(count("<?php echo $HTTP_GET_VARS['x'];"), 1);
+}
+
+#[test]
+fn sanitizer_inside_interpolation_context() {
+    assert_eq!(
+        count("<?php $n = esc_attr($_GET['n']); echo \"<input value='$n'>\";"),
+        0
+    );
+}
+
+#[test]
+fn double_revert_chain() {
+    // sanitize -> revert -> still dangerous.
+    assert_eq!(
+        count(
+            "<?php
+            $s = htmlentities($_GET['s']);
+            $t = html_entity_decode($s);
+            echo $t;"
+        ),
+        1
+    );
+}
+
+#[test]
+fn urlencode_then_urldecode_restores_taint() {
+    assert_eq!(
+        count("<?php $e = urlencode($_GET['u']); echo urldecode($e);"),
+        1
+    );
+}
+
+#[test]
+fn shell_exec_string_joins_parts() {
+    // Backtick content with tainted interpolation evaluates tainted; echo
+    // of the (conservative) result is reported.
+    assert_eq!(count("<?php $o = `ls {$_GET['d']}`; echo $o;"), 1);
+}
+
+// ---------- sinks ----------
+
+#[test]
+fn printf_family_sinks() {
+    assert_eq!(count("<?php printf('%s', $_GET['f']);"), 1);
+    assert_eq!(count("<?php print_r($_POST['d']);"), 1);
+}
+
+#[test]
+fn exit_with_tainted_message() {
+    assert_eq!(count("<?php die('err: ' . $_GET['m']);"), 1);
+}
+
+#[test]
+fn print_expression_sink() {
+    assert_eq!(count("<?php print $_GET['p'];"), 1);
+}
+
+#[test]
+fn short_echo_tag_sink() {
+    assert_eq!(count("<?= $_GET['x'] ?>"), 1);
+}
+
+#[test]
+fn mysqli_query_sqli_sink() {
+    let o = analyze("<?php $q = $_GET['q']; mysqli_query($link, \"SELECT $q\");");
+    assert_eq!(o.vulns.len(), 1);
+    assert_eq!(o.vulns[0].class, VulnClass::Sqli);
+}
+
+#[test]
+fn sink_reports_once_per_line_and_class() {
+    // Echo of two tainted variables on one line: one deduplicated finding.
+    assert_eq!(count("<?php echo $_GET['a'] . $_GET['b'];"), 1);
+}
+
+// ---------- includes & scope ----------
+
+#[test]
+fn include_once_runs_once() {
+    let p = PluginProject::new("inc")
+        .with_file(SourceFile::new(
+            "main.php",
+            "<?php include_once 'lib.php'; include_once 'lib.php';",
+        ))
+        .with_file(SourceFile::new("lib.php", "<?php echo $_GET['x'];"));
+    let o = PhpSafe::new().analyze(&p);
+    assert_eq!(o.vulns.len(), 1);
+}
+
+#[test]
+fn global_keyword_shares_state_with_top_level() {
+    assert_eq!(
+        count(
+            "<?php
+            $msg = $_GET['m'];
+            function show() { global $msg; echo $msg; }
+            show();"
+        ),
+        1
+    );
+}
+
+#[test]
+fn function_scope_is_isolated_without_global() {
+    assert_eq!(
+        count(
+            "<?php
+            $msg = $_GET['m'];
+            function show() { echo $msg; }
+            show();"
+        ),
+        0,
+        "PHP functions do not see outer locals"
+    );
+}
+
+#[test]
+fn static_function_variables() {
+    assert_eq!(
+        count(
+            "<?php
+            function cache() { static $v = null; $v = $_GET['x']; echo $v; }
+            cache();"
+        ),
+        1
+    );
+}
+
+// ---------- option interactions ----------
+
+#[test]
+fn no_uncalled_option_skips_hooks_but_keeps_main_flow() {
+    let src = "<?php
+        echo $_GET['top'];
+        function hook() { echo $_POST['h']; }";
+    let p = PluginProject::new("t").with_file(SourceFile::new("t.php", src));
+    let full = PhpSafe::new().analyze(&p);
+    assert_eq!(full.vulns.len(), 2);
+    let no_uncalled = PhpSafe::new()
+        .with_options(AnalyzerOptions {
+            analyze_uncalled: false,
+            ..AnalyzerOptions::default()
+        })
+        .analyze(&p);
+    assert_eq!(no_uncalled.vulns.len(), 1);
+}
+
+#[test]
+fn trace_limit_respected() {
+    let mut src = String::from("<?php $v0 = $_GET['x'];\n");
+    for i in 1..40 {
+        src.push_str(&format!("$v{i} = $v{} . '-';\n", i - 1));
+    }
+    src.push_str("echo $v39;\n");
+    let o = analyze(&src);
+    assert_eq!(o.vulns.len(), 1);
+    assert!(
+        o.vulns[0].trace.len() <= PhpSafe::new().options().trace_limit,
+        "trace capped: {}",
+        o.vulns[0].trace.len()
+    );
+}
+
+// ---------- by-reference output built-ins ----------
+
+#[test]
+fn extract_spills_taint_over_scope() {
+    assert_eq!(count("<?php extract($_POST); echo $whatever;"), 1);
+}
+
+#[test]
+fn extract_clean_array_is_harmless() {
+    assert_eq!(
+        count("<?php extract(array('a' => 1)); echo $b;"),
+        0,
+        "extracting a clean array must not taint undefined reads"
+    );
+}
+
+#[test]
+fn parse_str_fills_output_argument() {
+    assert_eq!(
+        count("<?php parse_str($_SERVER['QUERY_STRING'], $params); echo $params['q'];"),
+        1
+    );
+    assert_eq!(count("<?php parse_str('a=1&b=2', $params); echo $params['a'];"), 0);
+}
+
+#[test]
+fn preg_match_captures_subject_taint() {
+    assert_eq!(
+        count("<?php preg_match('/id=(\\d+)/', $_GET['q'], $m); echo $m[1];"),
+        1
+    );
+    assert_eq!(
+        count("<?php preg_match('/x/', 'constant', $m); echo $m[0];"),
+        0
+    );
+}
+
+#[test]
+fn str_replace_propagates_subject_taint() {
+    assert_eq!(
+        count("<?php echo str_replace('a', 'b', $_GET['s']);"),
+        1,
+        "conservative propagation through unknown string builtins"
+    );
+}
+
+// ---------- scaling (§V.E: "phpSAFE and RIPS should scale to larger files") ----------
+
+#[test]
+fn work_scales_roughly_linearly_with_code_size() {
+    fn work_for(copies: usize) -> u64 {
+        let mut src = String::from("<?php\n");
+        for i in 0..copies {
+            src.push_str(&format!(
+                "$v{i} = $_GET['k{i}']; echo htmlentities($v{i});\n"
+            ));
+        }
+        let p = PluginProject::new("scale").with_file(SourceFile::new("s.php", src));
+        PhpSafe::new().analyze(&p).stats.work_units
+    }
+    let w100 = work_for(100);
+    let w400 = work_for(400);
+    let ratio = w400 as f64 / w100 as f64;
+    assert!(
+        (3.0..=5.5).contains(&ratio),
+        "4x code should cost ~4x work, got {ratio:.2} ({w100} -> {w400})"
+    );
+}
+
+#[test]
+fn summaries_bound_repeated_call_cost() {
+    // 200 calls to the same function with the same taint signature must
+    // not cost 200 body analyses.
+    let mut src = String::from(
+        "<?php function body($v) { $a = $v . 'x'; $b = $a . 'y'; return $b; }\n",
+    );
+    for _ in 0..200 {
+        src.push_str("body('k');\n");
+    }
+    let p = PluginProject::new("memo").with_file(SourceFile::new("m.php", src));
+    let with = PhpSafe::new().analyze(&p).stats.work_units;
+    let without = PhpSafe::new()
+        .with_options(AnalyzerOptions {
+            summaries: false,
+            ..AnalyzerOptions::default()
+        })
+        .analyze(&p)
+        .stats.work_units;
+    assert!(
+        without > with * 2,
+        "re-analysis must dominate: with={with} without={without}"
+    );
+}

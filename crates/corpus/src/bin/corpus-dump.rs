@@ -1,0 +1,78 @@
+//! `corpus-dump` — writes the synthetic 35-plugin corpus to disk so the
+//! plugins can be inspected, diffed, or fed to the `phpsafe` CLI (or any
+//! other PHP analyzer).
+//!
+//! ```text
+//! cargo run -p phpsafe-corpus --bin corpus-dump -- <OUT_DIR> [plugin-slug]
+//! ```
+//!
+//! Layout: `<OUT_DIR>/<version>/<plugin>/<files...>` plus
+//! `<OUT_DIR>/ground_truth.json`.
+
+use phpsafe_corpus::{Corpus, Version};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(out_dir) = args.next().map(PathBuf::from) else {
+        eprintln!("usage: corpus-dump <OUT_DIR> [plugin-slug]");
+        return ExitCode::from(2);
+    };
+    let only: Option<String> = args.next();
+
+    let corpus = Corpus::generate();
+    let mut files_written = 0usize;
+    let mut truth = Vec::new();
+    for plugin in corpus.plugins() {
+        if let Some(slug) = &only {
+            if &plugin.name != slug {
+                continue;
+            }
+        }
+        truth.extend(plugin.truth.iter().cloned());
+        for version in Version::ALL {
+            let vdir = match version {
+                Version::V2012 => "2012",
+                Version::V2014 => "2014",
+            };
+            for f in plugin.project(version).files() {
+                let path = out_dir.join(vdir).join(&plugin.name).join(&f.path);
+                if let Some(parent) = path.parent() {
+                    if let Err(e) = std::fs::create_dir_all(parent) {
+                        eprintln!("error: mkdir {}: {e}", parent.display());
+                        return ExitCode::from(2);
+                    }
+                }
+                if let Err(e) = std::fs::write(&path, &f.content) {
+                    eprintln!("error: write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                files_written += 1;
+            }
+        }
+    }
+    if files_written == 0 {
+        eprintln!("error: no plugin matched");
+        return ExitCode::from(2);
+    }
+    let gt_path = out_dir.join("ground_truth.json");
+    match serde_json::to_string_pretty(&truth) {
+        Ok(j) => {
+            if let Err(e) = std::fs::write(&gt_path, j) {
+                eprintln!("error: write {}: {e}", gt_path.display());
+                return ExitCode::from(2);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: serialize ground truth: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    println!(
+        "wrote {files_written} files and {} ground-truth entries to {}",
+        truth.len(),
+        out_dir.display()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,329 @@
+//! The fixed 35-plugin catalog, calibrated so corpus-wide aggregates
+//! reproduce the *shape* of the paper's evaluation (Tables I–III, Fig. 2,
+//! §V.A/§V.C/§V.D). See DESIGN.md §3 for the substitution rationale.
+//!
+//! Plugin groups (indices):
+//! * `0..10`  — OOP database plugins (the paper's "10 plugins with OOP
+//!   vulnerabilities in 2012, 7 in 2014").
+//! * `10..18` — legacy procedural plugins; five gain OOP bits in 2014.
+//! * `18..26` — hook-heavy plugins; 2014 versions register closures.
+//! * `26`     — the include-chain "monster" plugin (phpSAFE's failed files).
+//! * `27..35` — miscellaneous plugins.
+
+use crate::spec::{Pattern, PatternCount, PluginSpec, Style};
+use std::collections::HashMap;
+use taint_config::SourceKind;
+
+/// The 35 plugin slugs (four taken from the paper's examples).
+pub const PLUGIN_NAMES: [&str; 35] = [
+    // 0..10: OOP database plugins
+    "mail-subscribe-list",
+    "wp-symposium",
+    "wp-photo-album-plus",
+    "wp-forum-central",
+    "wp-member-board",
+    "event-registry",
+    "wp-donation-box",
+    "gallery-master",
+    "wp-quiz-engine",
+    "team-roster",
+    // 10..18: legacy procedural
+    "qtranslate",
+    "simple-guestbook",
+    "visitor-counter",
+    "easy-banners",
+    "link-directory",
+    "classic-polls",
+    "legacy-feedback",
+    "retro-sitemap",
+    // 18..26: hook-heavy
+    "hook-notifier",
+    "ajax-responder",
+    "shortcode-suite",
+    "widget-factory",
+    "contact-forms-lite",
+    "newsletter-lite",
+    "social-buttons",
+    "seo-meta-tags",
+    // 26: monster
+    "media-archive-pro",
+    // 27..35: misc
+    "wp-cache-viewer",
+    "stats-dashboard",
+    "backup-scheduler",
+    "comment-moderator",
+    "user-profiles-plus",
+    "print-friendly",
+    "feed-importer",
+    "maintenance-mode",
+];
+
+const G1_OOP: std::ops::Range<usize> = 0..10;
+const G1_OOP_2014: std::ops::Range<usize> = 0..7;
+const G1_SQLI_2012: std::ops::Range<usize> = 0..4;
+const G1_SQLI_2014: std::ops::Range<usize> = 0..6;
+const G2_LEGACY: std::ops::Range<usize> = 10..18;
+const G2_OOPIFIED: std::ops::Range<usize> = 10..15;
+const G2_CLEAN_2014: std::ops::Range<usize> = 15..18;
+const G3_HOOK: std::ops::Range<usize> = 18..26;
+const G3_PROC: std::ops::Range<usize> = 22..26;
+const MONSTER: usize = 26;
+const G5_MISC: std::ops::Range<usize> = 27..35;
+const G5_OOP: std::ops::Range<usize> = 27..32;
+
+/// One calibrated allocation row: a pattern with corpus-wide totals and the
+/// plugin sets that host it in each version.
+struct Row {
+    pattern: Pattern,
+    n12: u32,
+    n14: u32,
+    carried: u32,
+    members12: Vec<usize>,
+    members14: Vec<usize>,
+}
+
+fn r(range: std::ops::Range<usize>) -> Vec<usize> {
+    range.collect()
+}
+
+fn rows() -> Vec<Row> {
+    use Pattern as P;
+    use SourceKind as SK;
+    use crate::spec::Placement as L;
+    let row = |pattern, n12, n14, carried, members12: Vec<usize>, members14: Vec<usize>| Row {
+        pattern,
+        n12,
+        n14,
+        carried,
+        members12,
+        members14,
+    };
+    vec![
+        // ---- ground-truth positives ----
+        row(P::XssEchoDirect(SK::Get, L::TopLevel), 32, 33, 14, r(G2_LEGACY), r(10..16)),
+        row(P::XssEchoDirect(SK::Get, L::FreeFn), 30, 38, 16, r(G3_HOOK), r(G3_HOOK)),
+        row(P::XssEchoDirect(SK::Get, L::Method), 18, 19, 12, r(G1_OOP), r(G1_OOP)),
+        row(P::XssIncludeSplit, 8, 12, 5, r(G3_PROC), r(G3_PROC)),
+        row(P::XssEchoDirect(SK::Post, L::FreeFn), 10, 20, 8, r(G3_HOOK), r(G3_HOOK)),
+        row(P::XssEchoDirect(SK::Post, L::Method), 12, 23, 12, r(G1_OOP), r(G1_OOP)),
+        row(P::XssEchoDirect(SK::Request, L::FreeFn), 6, 25, 6, r(G3_HOOK), r(G3_HOOK)),
+        row(P::XssEchoDirect(SK::Cookie, L::TopLevel), 8, 28, 8, r(G5_OOP), r(G5_OOP)),
+        row(P::XssRegisterGlobals, 10, 4, 2, r(G2_LEGACY), r(G2_CLEAN_2014)),
+        row(P::XssWpdbOop, 130, 155, 80, r(G1_OOP), r(G1_OOP_2014)),
+        row(P::XssWpdbTop, 13, 15, 6, r(G1_OOP), r(G1_OOP_2014)),
+        row(P::SqliWpdb(L::Method), 8, 9, 4, r(G1_SQLI_2012), r(G1_SQLI_2014)),
+        row(P::XssDbLegacy(L::TopLevel), 3, 10, 1, r(G2_LEGACY), r(G2_OOPIFIED)),
+        row(P::XssDbOption(L::TopLevel), 0, 3, 0, r(G5_MISC), r(G5_MISC)),
+        row(
+            P::XssFileSource(L::TopLevel),
+            12,
+            4,
+            4,
+            {
+                let mut v = r(G2_LEGACY);
+                v.extend(r(G5_OOP));
+                v
+            },
+            r(G5_OOP),
+        ),
+        row(P::XssFileSource(L::FreeFn), 8, 2, 2, r(G3_HOOK), r(G3_HOOK)),
+        row(P::XssFunctionSource(L::FreeFn), 21, 5, 5, r(G5_MISC), r(G5_MISC)),
+        // ---- false-positive bait (ground-truth negatives) ----
+        row(P::FpGuardedEcho(L::TopLevel), 18, 9, 0, r(G3_PROC), r(G3_PROC)),
+        row(P::FpCustomClean(L::TopLevel), 15, 8, 0, r(G3_PROC), r(G3_PROC)),
+        row(P::FpGuardedEcho(L::Method), 17, 22, 0, r(G1_OOP), r(G1_OOP)),
+        row(P::FpCustomClean(L::Method), 13, 18, 0, r(G1_OOP), r(G1_OOP)),
+        row(P::FpEscapedWp(L::TopLevel), 44, 65, 0, r(G5_OOP), r(G5_OOP)),
+        row(P::FpUndefinedEcho, 160, 195, 0, r(G2_LEGACY), r(G2_CLEAN_2014)),
+        row(P::FpSqliGuarded, 2, 5, 0, r(G1_SQLI_2012), r(G1_SQLI_2014)),
+        row(P::FpSqliLegacyWp, 0, 1, 0, vec![2], vec![2]),
+        row(P::SafeSanitized, 20, 30, 0, r(G5_MISC), r(G5_MISC)),
+    ]
+}
+
+/// Distributes `total` units cyclically over `members`.
+fn alloc(total: u32, members: &[usize]) -> HashMap<usize, u32> {
+    let mut out: HashMap<usize, u32> = HashMap::new();
+    if members.is_empty() {
+        return out;
+    }
+    for i in 0..total {
+        let m = members[(i as usize) % members.len()];
+        *out.entry(m).or_default() += 1;
+    }
+    out
+}
+
+/// Distributes carried counts cyclically, bounded per plugin by
+/// `min(n2012, n2014)`.
+fn alloc_carried(
+    total: u32,
+    members: &[usize],
+    n12: &HashMap<usize, u32>,
+    n14: &HashMap<usize, u32>,
+) -> HashMap<usize, u32> {
+    let mut out: HashMap<usize, u32> = HashMap::new();
+    let mut remaining = total;
+    let mut progressed = true;
+    while remaining > 0 && progressed {
+        progressed = false;
+        for &m in members {
+            if remaining == 0 {
+                break;
+            }
+            let cap = (*n12.get(&m).unwrap_or(&0)).min(*n14.get(&m).unwrap_or(&0));
+            let cur = out.entry(m).or_default();
+            if *cur < cap {
+                *cur += 1;
+                remaining -= 1;
+                progressed = true;
+            }
+        }
+    }
+    out
+}
+
+/// Builds the full 35-plugin catalog.
+pub fn catalog() -> Vec<PluginSpec> {
+    let mut patterns_per_plugin: Vec<Vec<PatternCount>> = vec![Vec::new(); PLUGIN_NAMES.len()];
+    for row in rows() {
+        let a12 = alloc(row.n12, &row.members12);
+        let a14 = alloc(row.n14, &row.members14);
+        // carried can only live where both versions host the pattern
+        let both: Vec<usize> = row
+            .members12
+            .iter()
+            .copied()
+            .filter(|m| row.members14.contains(m))
+            .collect();
+        let carried = alloc_carried(row.carried, &both, &a12, &a14);
+        let mut plugins: Vec<usize> = a12.keys().chain(a14.keys()).copied().collect();
+        plugins.sort_unstable();
+        plugins.dedup();
+        for p in plugins {
+            patterns_per_plugin[p].push(PatternCount::new(
+                row.pattern,
+                *a12.get(&p).unwrap_or(&0),
+                *a14.get(&p).unwrap_or(&0),
+                *carried.get(&p).unwrap_or(&0),
+            ));
+        }
+    }
+
+    PLUGIN_NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let style = if G1_OOP.contains(&i)
+                || (18..22).contains(&i)
+                || G5_OOP.contains(&i)
+            {
+                Style::Oop
+            } else {
+                Style::Procedural
+            };
+            PluginSpec {
+                name: name.to_string(),
+                style,
+                patterns: patterns_per_plugin[i].clone(),
+                monster_depth: if i == MONSTER { (13, 15) } else { (0, 0) },
+                monster_vulns: if i == MONSTER { (65, 180) } else { (0, 0) },
+                oopify_2014: G2_OOPIFIED.contains(&i),
+                closures_2014: G3_HOOK.contains(&i),
+                noise: (110, 230),
+            }
+        })
+        .collect()
+}
+
+/// Carried monster vulnerabilities (shared ids across versions).
+pub const MONSTER_CARRIED: u32 = 65;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Version;
+
+    #[test]
+    fn thirty_five_plugins_nineteen_oop() {
+        let cat = catalog();
+        assert_eq!(cat.len(), 35);
+        let oop = cat.iter().filter(|p| p.style == Style::Oop).count();
+        assert_eq!(oop, 19, "paper: 19 of 35 plugins are OOP");
+    }
+
+    #[test]
+    fn ground_truth_totals_match_paper_shape() {
+        let cat = catalog();
+        let mut t2012 = 0u32;
+        let mut t2014 = 0u32;
+        let mut carried = 0u32;
+        for p in &cat {
+            for pc in &p.patterns {
+                if pc.pattern.truth().is_some() {
+                    t2012 += pc.n2012;
+                    t2014 += pc.n2014;
+                    carried += pc.carried;
+                }
+            }
+            t2012 += p.monster_vulns.0;
+            t2014 += p.monster_vulns.1;
+        }
+        carried += MONSTER_CARRIED;
+        // Paper: 394 distinct (2012), 586 (2014), 249 carried (42%).
+        assert_eq!(t2012, 394, "2012 total");
+        assert_eq!(t2014, 585, "2014 total");
+        let ratio = carried as f64 / t2014 as f64;
+        assert!(
+            (0.35..=0.50).contains(&ratio),
+            "carried ratio {ratio:.2} out of the paper's band"
+        );
+    }
+
+    #[test]
+    fn oop_vuln_plugins_ten_then_seven() {
+        let cat = catalog();
+        let oop_vulns = |p: &PluginSpec, v: Version| -> u32 {
+            p.patterns
+                .iter()
+                .filter(|pc| matches!(pc.pattern.truth(), Some((_, _, true))))
+                .map(|pc| pc.for_version(v))
+                .sum()
+        };
+        let n2012 = cat.iter().filter(|p| oop_vulns(p, Version::V2012) > 0).count();
+        let n2014 = cat.iter().filter(|p| oop_vulns(p, Version::V2014) > 0).count();
+        assert_eq!(n2012, 10, "paper: OOP vulns in 10 plugins (2012)");
+        assert_eq!(n2014, 7, "paper: OOP vulns in 7 plugins (2014)");
+        let t2012: u32 = cat.iter().map(|p| oop_vulns(p, Version::V2012)).sum();
+        let t2014: u32 = cat.iter().map(|p| oop_vulns(p, Version::V2014)).sum();
+        assert_eq!(t2012, 151, "paper: 151 OOP vulnerabilities in 2012");
+        assert_eq!(t2014, 179, "paper: 179 OOP vulnerabilities in 2014");
+    }
+
+    #[test]
+    fn carried_invariant_holds() {
+        for p in catalog() {
+            for pc in &p.patterns {
+                assert!(pc.carried <= pc.n2012.min(pc.n2014), "{:?}", pc);
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_monster() {
+        let cat = catalog();
+        let monsters: Vec<_> = cat.iter().filter(|p| p.monster_depth.0 > 0).collect();
+        assert_eq!(monsters.len(), 1);
+        assert_eq!(monsters[0].name, "media-archive-pro");
+        assert_eq!(monsters[0].monster_depth, (13, 15));
+    }
+
+    #[test]
+    fn alloc_is_cyclic_and_total_preserving() {
+        let m = alloc(7, &[1, 2, 3]);
+        assert_eq!(m.values().sum::<u32>(), 7);
+        assert_eq!(m[&1], 3);
+        assert_eq!(m[&2], 2);
+        assert_eq!(m[&3], 2);
+    }
+}

@@ -1,0 +1,626 @@
+//! PHP code emission: a line-tracking file builder plus one emitter per
+//! [`Pattern`]. Emitters return the exact sink line so ground truth matches
+//! what the analyzers report.
+
+use crate::spec::{GroundTruthEntry, Pattern, Placement, Version};
+use phpsafe::SourceFile;
+use taint_config::SourceKind;
+
+/// Builds one PHP file line by line, tracking 1-based line numbers.
+#[derive(Debug)]
+pub struct FileBuilder {
+    path: String,
+    lines: Vec<String>,
+    class_open: bool,
+}
+
+impl FileBuilder {
+    /// Starts a PHP file (first line `<?php`).
+    pub fn new(path: impl Into<String>) -> Self {
+        FileBuilder {
+            path: path.into(),
+            lines: vec!["<?php".to_string()],
+            class_open: false,
+        }
+    }
+
+    /// Appends a line, returning its 1-based line number.
+    pub fn push(&mut self, line: impl Into<String>) -> u32 {
+        self.lines.push(line.into());
+        self.lines.len() as u32
+    }
+
+    /// Appends an empty line.
+    pub fn blank(&mut self) {
+        self.lines.push(String::new());
+    }
+
+    /// Opens a class body (subsequent method emitters write into it).
+    pub fn begin_class(&mut self, name: &str) {
+        assert!(!self.class_open, "nested classes are not generated");
+        self.push(format!("class {name} {{"));
+        self.class_open = true;
+    }
+
+    /// Closes the current class body.
+    pub fn end_class(&mut self) {
+        assert!(self.class_open, "no class open");
+        self.push("}");
+        self.class_open = false;
+    }
+
+    /// Whether a class body is currently open.
+    pub fn in_class(&self) -> bool {
+        self.class_open
+    }
+
+    /// File path being built.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Current line count.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether only the `<?php` header has been written.
+    pub fn is_empty(&self) -> bool {
+        self.lines.len() <= 1
+    }
+
+    /// Finalizes into a [`SourceFile`].
+    pub fn finish(mut self) -> SourceFile {
+        if self.class_open {
+            self.end_class();
+        }
+        SourceFile::new(self.path, self.lines.join("\n") + "\n")
+    }
+}
+
+/// Variable-name pools: `numeric` names match the §V.C numeric-intent
+/// heuristic; `text` names do not.
+const NUMERIC_NAMES: [&str; 8] = [
+    "id", "page", "count", "num", "post_id", "item_id", "offset", "limit",
+];
+const TEXT_NAMES: [&str; 8] = [
+    "name", "title", "msg", "comment", "note", "label", "content", "value",
+];
+
+/// Picks a base variable name for instance `ordinal`; roughly 39% of
+/// vulnerable variables are numeric-intent, per the paper.
+pub fn pick_name(ordinal: u32) -> (&'static str, bool) {
+    if ordinal % 13 < 5 {
+        (NUMERIC_NAMES[(ordinal as usize / 13) % NUMERIC_NAMES.len()], true)
+    } else {
+        (TEXT_NAMES[(ordinal as usize / 13) % TEXT_NAMES.len()], false)
+    }
+}
+
+/// Context threaded through pattern emission.
+#[derive(Debug)]
+pub struct EmitCtx<'a> {
+    /// Plugin slug.
+    pub plugin: &'a str,
+    /// Version being generated.
+    pub version: Version,
+    /// Ground-truth sink accumulates here.
+    pub truth: &'a mut Vec<GroundTruthEntry>,
+}
+
+impl EmitCtx<'_> {
+    pub(crate) fn record(
+        &mut self,
+        id: &str,
+        pattern: Pattern,
+        file: &str,
+        line: u32,
+        carried: bool,
+        numeric: bool,
+    ) {
+        let Some((class, vector, oop)) = pattern.truth() else {
+            return;
+        };
+        self.truth.push(GroundTruthEntry {
+            id: id.to_string(),
+            plugin: self.plugin.to_string(),
+            version: self.version,
+            class,
+            vector,
+            file: file.to_string(),
+            line,
+            oop,
+            carried: carried && self.version == Version::V2014,
+            numeric,
+        });
+    }
+}
+
+/// Superglobal spelling for a source kind.
+fn superglobal(kind: SourceKind) -> &'static str {
+    match kind {
+        SourceKind::Get => "$_GET",
+        SourceKind::Post => "$_POST",
+        SourceKind::Cookie => "$_COOKIE",
+        SourceKind::Request => "$_REQUEST",
+        SourceKind::Server => "$_SERVER",
+        _ => "$_REQUEST",
+    }
+}
+
+/// Emits one pattern instance into `b`. `ordinal` must be unique within the
+/// plugin+version so generated identifiers never collide. Returns the sink
+/// line (0 for patterns without an own sink in `b`, e.g. include-split
+/// mains).
+pub fn emit(
+    pattern: Pattern,
+    id: &str,
+    ordinal: u32,
+    carried: bool,
+    b: &mut FileBuilder,
+    ctx: &mut EmitCtx<'_>,
+) -> u32 {
+    let (base, numeric) = pick_name(ordinal);
+    let v = format!("${base}_{ordinal}");
+    let key = format!("{base}_{ordinal}");
+    let file = b.path().to_string();
+    let method_vis = if b.in_class() { "    public " } else { "" };
+    let pad = if b.in_class() { "    " } else { "" };
+    match pattern {
+        Pattern::XssEchoDirect(kind, placement) => {
+            let sg = superglobal(kind);
+            match placement {
+                Placement::TopLevel => {
+                    b.push(format!("{v} = {sg}['{key}'];"));
+                    let line = b.push(format!("echo '<div class=\"{key}\">' . {v} . '</div>';"));
+                    b.blank();
+                    ctx.record(id, pattern, &file, line, carried, numeric);
+                    line
+                }
+                Placement::FreeFn => {
+                    b.push(format!("function show_{key}() {{"));
+                    b.push(format!("    {v} = {sg}['{key}'];"));
+                    let line = b.push(format!("    echo '<p>' . {v} . '</p>';"));
+                    b.push("}");
+                    b.push(format!("add_action('admin_init', 'show_{key}');"));
+                    b.blank();
+                    ctx.record(id, pattern, &file, line, carried, numeric);
+                    line
+                }
+                Placement::Method => {
+                    b.push(format!("{method_vis}function render_{key}() {{"));
+                    b.push(format!("{pad}    {v} = {sg}['{key}'];"));
+                    let line = b.push(format!("{pad}    echo {v};"));
+                    b.push(format!("{pad}}}"));
+                    ctx.record(id, pattern, &file, line, carried, numeric);
+                    line
+                }
+            }
+        }
+        Pattern::XssRegisterGlobals => {
+            // 2012-era code relying on register_globals defaults.
+            b.push(format!("if (!isset({v})) {{ /* expects register_globals default */ }}"));
+            let line = b.push(format!("echo '<a href=\"?o=' . {v} . '\">order</a>';"));
+            b.blank();
+            ctx.record(id, pattern, &file, line, carried, numeric);
+            line
+        }
+        Pattern::XssWpdbOop => {
+            let fld = format!("{base}_{ordinal}_name");
+            b.push(format!("{method_vis}function list_{key}() {{"));
+            b.push(format!("{pad}    global $wpdb;"));
+            b.push(format!(
+                "{pad}    $rows_{ordinal} = $wpdb->get_results(\"SELECT * FROM \" . $wpdb->prefix . \"{key}\");"
+            ));
+            b.push(format!(
+                "{pad}    foreach ($rows_{ordinal} as $row_{ordinal}) {{"
+            ));
+            let line = b.push(format!(
+                "{pad}        echo '<li>' . $row_{ordinal}->{fld} . '</li>';"
+            ));
+            b.push(format!("{pad}    }}"));
+            b.push(format!("{pad}}}"));
+            ctx.record(id, pattern, &file, line, carried, numeric);
+            line
+        }
+        Pattern::XssWpdbTop => {
+            b.push(format!(
+                "$rows_{ordinal} = $wpdb->get_results(\"SELECT * FROM {{$wpdb->prefix}}{key}\");"
+            ));
+            b.push(format!("foreach ($rows_{ordinal} as $row_{ordinal}) {{"));
+            let line = b.push(format!("    echo $row_{ordinal}->{base}_text;"));
+            b.push("}");
+            b.blank();
+            ctx.record(id, pattern, &file, line, carried, numeric);
+            line
+        }
+        Pattern::SqliWpdb(placement) => {
+            match placement {
+                Placement::TopLevel => {
+                    b.push(format!("{v} = $_GET['{key}'];"));
+                    let line = b.push(format!(
+                        "$wpdb->query(\"DELETE FROM {{$wpdb->prefix}}{key} WHERE id = {v}\");"
+                    ));
+                    b.blank();
+                    ctx.record(id, pattern, &file, line, carried, numeric);
+                    line
+                }
+                _ => {
+                    b.push(format!("{method_vis}function purge_{key}() {{"));
+                    b.push(format!("{pad}    global $wpdb;"));
+                    b.push(format!("{pad}    {v} = $_GET['{key}'];"));
+                    let line = b.push(format!(
+                        "{pad}    $wpdb->query(\"DELETE FROM {{$wpdb->prefix}}{key} WHERE id = {v}\");"
+                    ));
+                    b.push(format!("{pad}}}"));
+                    ctx.record(id, pattern, &file, line, carried, numeric);
+                    line
+                }
+            }
+        }
+        Pattern::XssDbLegacy(placement) => {
+            let emit_body = |b: &mut FileBuilder, indent: &str| -> u32 {
+                b.push(format!(
+                    "{indent}$res_{ordinal} = mysql_query(\"SELECT * FROM {key}_table\");"
+                ));
+                b.push(format!(
+                    "{indent}$row_{ordinal} = mysql_fetch_assoc($res_{ordinal});"
+                ));
+                b.push(format!(
+                    "{indent}echo $row_{ordinal}['{base}_label'];"
+                ))
+            };
+            match placement {
+                Placement::TopLevel => {
+                    let line = emit_body(b, "");
+                    b.blank();
+                    ctx.record(id, pattern, &file, line, carried, numeric);
+                    line
+                }
+                Placement::FreeFn => {
+                    b.push(format!("function legacy_{key}() {{"));
+                    let line = emit_body(b, "    ");
+                    b.push("}");
+                    b.blank();
+                    ctx.record(id, pattern, &file, line, carried, numeric);
+                    line
+                }
+                Placement::Method => {
+                    b.push(format!("{method_vis}function legacy_{key}() {{"));
+                    let line = emit_body(b, &format!("{pad}    "));
+                    b.push(format!("{pad}}}"));
+                    ctx.record(id, pattern, &file, line, carried, numeric);
+                    line
+                }
+            }
+        }
+        Pattern::XssDbOption(_) => {
+            b.push(format!("{v} = get_option('{}_banner_{ordinal}');", ctx.plugin.replace('-', "_")));
+            let line = b.push(format!("echo '<div class=\"banner\">' . {v} . '</div>';"));
+            b.blank();
+            ctx.record(id, pattern, &file, line, carried, numeric);
+            line
+        }
+        Pattern::XssFileSource(placement) => {
+            let emit_body = |b: &mut FileBuilder, indent: &str| -> u32 {
+                b.push(format!("$fp_{ordinal} = fopen('data/{key}.txt', 'r');"));
+                b.push(format!("{indent}$res_{ordinal} = fgets($fp_{ordinal}, 128);"));
+                b.push(format!("{indent}echo $res_{ordinal};"))
+            };
+            match placement {
+                Placement::FreeFn => {
+                    b.push(format!("function read_{key}() {{"));
+                    let line = emit_body(b, "    ");
+                    b.push("}");
+                    b.blank();
+                    ctx.record(id, pattern, &file, line, carried, numeric);
+                    line
+                }
+                _ => {
+                    let line = emit_body(b, "");
+                    b.blank();
+                    ctx.record(id, pattern, &file, line, carried, numeric);
+                    line
+                }
+            }
+        }
+        Pattern::XssFunctionSource(_) => {
+            b.push(format!("function env_{key}() {{"));
+            b.push(format!("    $ua_{ordinal} = getenv('HTTP_{}');", key.to_uppercase()));
+            let line = b.push(format!("    echo '<!-- ' . $ua_{ordinal} . ' -->';"));
+            b.push("}");
+            b.blank();
+            ctx.record(id, pattern, &file, line, carried, numeric);
+            line
+        }
+        Pattern::XssIncludeSplit => {
+            // The caller must create the matching view file with
+            // `emit_include_split_view`; here we emit the main-side half.
+            b.push(format!("$view_data_{ordinal} = $_GET['{key}'];"));
+            b.push(format!("include 'views/view_{ordinal}.php';"));
+            b.blank();
+            0
+        }
+        Pattern::FpEscapedWp(_) => {
+            b.push(format!(
+                "echo '<span>' . esc_html($_GET['{key}']) . '</span>';"
+            ));
+            b.blank();
+            0
+        }
+        Pattern::FpGuardedEcho(placement) => {
+            match placement {
+                Placement::Method => {
+                    b.push(format!("{method_vis}function page_{key}() {{"));
+                    b.push(format!("{pad}    {v} = $_GET['{key}'];"));
+                    b.push(format!(
+                        "{pad}    if (!is_numeric({v})) {{ die('bad {key}'); }}"
+                    ));
+                    b.push(format!("{pad}    echo 'Page: ' . {v};"));
+                    b.push(format!("{pad}}}"));
+                }
+                _ => {
+                    b.push(format!("{v} = $_GET['{key}'];"));
+                    b.push(format!("if (!is_numeric({v})) {{ die('bad {key}'); }}"));
+                    b.push(format!("echo 'Page: ' . {v};"));
+                    b.blank();
+                }
+            }
+            0
+        }
+        Pattern::FpCustomClean(placement) => {
+            match placement {
+                Placement::Method => {
+                    b.push(format!("{method_vis}function tag_{key}() {{"));
+                    b.push(format!(
+                        "{pad}    {v} = preg_replace('/[^a-z0-9_]/i', '', $_GET['{key}']);"
+                    ));
+                    b.push(format!("{pad}    echo {v};"));
+                    b.push(format!("{pad}}}"));
+                }
+                _ => {
+                    b.push(format!("function clean_{key}($raw_{ordinal}) {{"));
+                    b.push(format!(
+                        "    return preg_replace('/[^a-z0-9_]/i', '', $raw_{ordinal});"
+                    ));
+                    b.push("}");
+                    b.push(format!("{v} = clean_{key}($_GET['{key}']);"));
+                    b.push(format!("echo {v};"));
+                    b.blank();
+                }
+            }
+            0
+        }
+        Pattern::FpUndefinedEcho => {
+            // A template variable populated by the CMS at render time.
+            b.push(format!(
+                "echo '<div class=\"' . $theme_{base}_{ordinal} . '\">';"
+            ));
+            0
+        }
+        Pattern::FpSqliGuarded => {
+            b.push(format!("$uid_{ordinal} = $_GET['uid_{ordinal}'];"));
+            b.push(format!(
+                "if (!is_numeric($uid_{ordinal})) {{ wp_die('bad id'); }}"
+            ));
+            b.push(format!(
+                "$wpdb->query(\"UPDATE {{$wpdb->prefix}}users SET seen = 1 WHERE id = $uid_{ordinal}\");"
+            ));
+            b.blank();
+            0
+        }
+        Pattern::FpSqliLegacyWp => {
+            b.push(format!("$cat_{ordinal} = absint($_GET['cat_{ordinal}']);"));
+            b.push(format!(
+                "mysql_query(\"SELECT * FROM categories WHERE id = $cat_{ordinal}\");"
+            ));
+            b.push(format!("$tracker_{ordinal} = new WP_Usage_Tracker();"));
+            b.blank();
+            0
+        }
+        Pattern::SafeSanitized => {
+            b.push(format!(
+                "echo '<em>' . htmlspecialchars($_POST['{key}']) . '</em>';"
+            ));
+            b.blank();
+            0
+        }
+    }
+}
+
+/// Emits the view half of an [`Pattern::XssIncludeSplit`] instance into its
+/// own file and records the ground truth (the sink lives in the view).
+pub fn emit_include_split_view(
+    id: &str,
+    ordinal: u32,
+    carried: bool,
+    ctx: &mut EmitCtx<'_>,
+) -> SourceFile {
+    let (base, numeric) = pick_name(ordinal);
+    let mut b = FileBuilder::new(format!("views/view_{ordinal}.php"));
+    b.push(format!("/* partial view for {base} */"));
+    let line = b.push(format!(
+        "echo '<h2>' . $view_data_{ordinal} . '</h2>';"
+    ));
+    let file = b.path().to_string();
+    ctx.record(
+        id,
+        Pattern::XssIncludeSplit,
+        &file,
+        line,
+        carried,
+        numeric,
+    );
+    b.finish()
+}
+
+/// Emits a block of inert filler code (~8 lines) used to reach realistic
+/// plugin sizes.
+pub fn emit_noise(b: &mut FileBuilder, ordinal: u32) {
+    let pad = if b.in_class() { "    " } else { "" };
+    let vis = if b.in_class() { "    public " } else { "" };
+    b.push(format!("{vis}function util_{ordinal}($a_{ordinal}, $b_{ordinal} = 10) {{"));
+    b.push(format!("{pad}    $t_{ordinal} = date('Y-m-d');"));
+    b.push(format!(
+        "{pad}    $parts_{ordinal} = array('a' => $a_{ordinal}, 'b' => intval($b_{ordinal}));"
+    ));
+    b.push(format!(
+        "{pad}    if ($a_{ordinal} > 10) {{ $b_{ordinal} = $a_{ordinal} * 2; }}"
+    ));
+    b.push(format!(
+        "{pad}    return sprintf('%s-%d', $t_{ordinal}, count($parts_{ordinal}) + $b_{ordinal});"
+    ));
+    b.push(format!("{pad}}}"));
+    b.blank();
+}
+
+/// Emits the standard WordPress plugin header comment.
+pub fn emit_plugin_header(b: &mut FileBuilder, name: &str, version: Version) {
+    let ver = match version {
+        Version::V2012 => "1.4.2",
+        Version::V2014 => "2.1.0",
+    };
+    b.push("/*");
+    b.push(format!("Plugin Name: {name}"));
+    b.push(format!("Version: {ver}"));
+    b.push(format!("Description: Synthetic corpus plugin `{name}` for the phpSAFE reproduction."));
+    b.push("Author: corpus-generator");
+    b.push("*/");
+    b.blank();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Version;
+    use taint_config::{SourceKind, VulnClass};
+
+    fn ctx_harness(
+        run: impl FnOnce(&mut FileBuilder, &mut EmitCtx<'_>),
+    ) -> (SourceFile, Vec<GroundTruthEntry>) {
+        let mut truth = Vec::new();
+        let mut b = FileBuilder::new("t.php");
+        let mut ctx = EmitCtx {
+            plugin: "demo",
+            version: Version::V2012,
+            truth: &mut truth,
+        };
+        run(&mut b, &mut ctx);
+        (b.finish(), truth)
+    }
+
+    #[test]
+    fn builder_tracks_line_numbers() {
+        let mut b = FileBuilder::new("x.php");
+        assert_eq!(b.push("$a = 1;"), 2); // line 1 is <?php
+        assert_eq!(b.push("$b = 2;"), 3);
+        let f = b.finish();
+        assert_eq!(f.content.lines().count(), 3);
+    }
+
+    #[test]
+    fn emitted_php_parses_cleanly() {
+        use crate::spec::{Pattern as P, Placement as L};
+        let all = [
+            P::XssEchoDirect(SourceKind::Get, L::TopLevel),
+            P::XssEchoDirect(SourceKind::Post, L::FreeFn),
+            P::XssRegisterGlobals,
+            P::XssWpdbTop,
+            P::SqliWpdb(L::TopLevel),
+            P::XssDbLegacy(L::TopLevel),
+            P::XssDbOption(L::TopLevel),
+            P::XssFileSource(L::TopLevel),
+            P::XssFunctionSource(L::FreeFn),
+            P::XssIncludeSplit,
+            P::FpEscapedWp(L::TopLevel),
+            P::FpGuardedEcho(L::TopLevel),
+            P::FpCustomClean(L::TopLevel),
+            P::FpUndefinedEcho,
+            P::FpSqliGuarded,
+            P::FpSqliLegacyWp,
+            P::SafeSanitized,
+        ];
+        let (file, _) = ctx_harness(|b, ctx| {
+            for (i, p) in all.iter().enumerate() {
+                emit(*p, &format!("id{i}"), i as u32, false, b, ctx);
+            }
+        });
+        let parsed = php_ast::parse(&file.content);
+        assert!(parsed.is_clean(), "{:?}", parsed.errors);
+    }
+
+    #[test]
+    fn method_patterns_emit_inside_class() {
+        use crate::spec::{Pattern as P, Placement as L};
+        let (file, truth) = ctx_harness(|b, ctx| {
+            b.begin_class("Demo_Widget");
+            emit(P::XssEchoDirect(SourceKind::Post, L::Method), "m1", 1, false, b, ctx);
+            emit(P::XssWpdbOop, "m2", 2, false, b, ctx);
+            emit(P::SqliWpdb(L::Method), "m3", 3, false, b, ctx);
+            b.end_class();
+        });
+        let parsed = php_ast::parse(&file.content);
+        assert!(parsed.is_clean(), "{:?}\n{}", parsed.errors, file.content);
+        assert_eq!(truth.len(), 3);
+        assert!(truth.iter().any(|t| t.class == VulnClass::Sqli));
+        // All three sinks are inside the class declaration.
+        assert!(file.content.contains("class Demo_Widget"));
+    }
+
+    #[test]
+    fn ground_truth_lines_point_at_sinks() {
+        use crate::spec::{Pattern as P, Placement as L};
+        let (file, truth) = ctx_harness(|b, ctx| {
+            emit(P::XssEchoDirect(SourceKind::Get, L::TopLevel), "g1", 0, false, b, ctx);
+        });
+        assert_eq!(truth.len(), 1);
+        let sink_line = truth[0].line as usize;
+        let line = file.content.lines().nth(sink_line - 1).expect("line");
+        assert!(line.contains("echo"), "sink line must be the echo: {line}");
+    }
+
+    #[test]
+    fn negatives_record_no_truth() {
+        use crate::spec::{Pattern as P, Placement as L};
+        let (_, truth) = ctx_harness(|b, ctx| {
+            emit(P::FpEscapedWp(L::TopLevel), "f1", 0, false, b, ctx);
+            emit(P::FpGuardedEcho(L::TopLevel), "f2", 1, false, b, ctx);
+            emit(P::SafeSanitized, "f3", 2, false, b, ctx);
+        });
+        assert!(truth.is_empty());
+    }
+
+    #[test]
+    fn include_split_view_records_truth_in_view_file() {
+        let mut truth = Vec::new();
+        let mut ctx = EmitCtx {
+            plugin: "demo",
+            version: Version::V2014,
+            truth: &mut truth,
+        };
+        let view = emit_include_split_view("s1", 5, true, &mut ctx);
+        assert_eq!(view.path, "views/view_5.php");
+        assert_eq!(truth.len(), 1);
+        assert!(truth[0].carried, "carried flag respected for 2014");
+        assert_eq!(truth[0].file, "views/view_5.php");
+    }
+
+    #[test]
+    fn numeric_share_is_roughly_39_percent() {
+        let numeric = (0..1000).filter(|&i| pick_name(i).1).count();
+        assert!(
+            (300..=450).contains(&numeric),
+            "numeric share {numeric}/1000 out of band"
+        );
+    }
+
+    #[test]
+    fn noise_parses() {
+        let (file, _) = ctx_harness(|b, _| {
+            for i in 0..5 {
+                emit_noise(b, i);
+            }
+        });
+        assert!(php_ast::parse(&file.content).is_clean());
+    }
+}

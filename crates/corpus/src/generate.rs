@@ -1,0 +1,544 @@
+//! The corpus generator: expands the catalog into 35 plugin projects × 2
+//! versions plus the ground-truth oracle. Fully deterministic — the same
+//! seed yields byte-identical plugins.
+
+use crate::catalog::{catalog, MONSTER_CARRIED};
+use crate::codegen::{
+    emit, emit_include_split_view, emit_noise, emit_plugin_header, EmitCtx, FileBuilder,
+};
+use crate::spec::{GroundTruthEntry, Pattern, Placement, PluginSpec, Style, Version};
+use phpsafe::{PluginProject, SourceFile};
+
+/// One generated plugin: both version snapshots plus ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedPlugin {
+    /// Plugin slug.
+    pub name: String,
+    /// The 2012 snapshot.
+    pub v2012: PluginProject,
+    /// The 2014 snapshot.
+    pub v2014: PluginProject,
+    /// Ground truth for both versions.
+    pub truth: Vec<GroundTruthEntry>,
+}
+
+impl GeneratedPlugin {
+    /// Project for a version.
+    pub fn project(&self, v: Version) -> &PluginProject {
+        match v {
+            Version::V2012 => &self.v2012,
+            Version::V2014 => &self.v2014,
+        }
+    }
+
+    /// Ground truth entries for a version.
+    pub fn truth_for(&self, v: Version) -> impl Iterator<Item = &GroundTruthEntry> {
+        self.truth.iter().filter(move |t| t.version == v)
+    }
+}
+
+/// The complete 35-plugin corpus.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    plugins: Vec<GeneratedPlugin>,
+}
+
+impl Corpus {
+    /// Generates the corpus with the default calibration.
+    pub fn generate() -> Corpus {
+        let plugins = catalog().into_iter().map(generate_plugin).collect();
+        Corpus { plugins }
+    }
+
+    /// Generated plugins in catalog order.
+    pub fn plugins(&self) -> &[GeneratedPlugin] {
+        &self.plugins
+    }
+
+    /// All ground truth entries for a version.
+    pub fn truth_for(&self, v: Version) -> Vec<&GroundTruthEntry> {
+        self.plugins
+            .iter()
+            .flat_map(|p| p.truth_for(v))
+            .collect()
+    }
+
+    /// Total files and LOC for a version (the paper's Table III context
+    /// row: 266 files / 89,560 LOC in 2012; 356 / 180,801 in 2014).
+    pub fn size_of(&self, v: Version) -> (usize, usize) {
+        let mut files = 0;
+        let mut loc = 0;
+        for p in &self.plugins {
+            let proj = p.project(v);
+            files += proj.files().len();
+            loc += proj.total_loc();
+        }
+        (files, loc)
+    }
+}
+
+/// Where a pattern's code is placed.
+enum Route {
+    Top,
+    Functions,
+    Class,
+    IncludeSplit,
+}
+
+fn route(p: Pattern) -> Route {
+    use Pattern as P;
+    use Placement as L;
+    match p {
+        P::XssEchoDirect(_, L::Method)
+        | P::XssWpdbOop
+        | P::SqliWpdb(L::Method)
+        | P::SqliWpdb(L::FreeFn)
+        | P::XssDbLegacy(L::Method)
+        | P::XssDbOption(L::Method)
+        | P::XssFileSource(L::Method)
+        | P::XssFunctionSource(L::Method)
+        | P::FpEscapedWp(L::Method)
+        | P::FpGuardedEcho(L::Method)
+        | P::FpCustomClean(L::Method) => Route::Class,
+        P::XssEchoDirect(_, L::FreeFn)
+        | P::XssDbLegacy(L::FreeFn)
+        | P::XssDbOption(L::FreeFn)
+        | P::XssFileSource(L::FreeFn)
+        | P::XssFunctionSource(L::FreeFn)
+        | P::FpEscapedWp(L::FreeFn)
+        | P::FpGuardedEcho(L::FreeFn)
+        | P::FpCustomClean(L::FreeFn) => Route::Functions,
+        P::XssIncludeSplit => Route::IncludeSplit,
+        _ => Route::Top,
+    }
+}
+
+/// Stable id tag for a pattern (used in ground-truth ids).
+fn tag(p: Pattern) -> String {
+    format!("{p:?}").replace(' ', "")
+}
+
+/// CamelCases a slug: `mail-subscribe-list` → `Mail_Subscribe_List`.
+fn camel(slug: &str) -> String {
+    slug.split('-')
+        .map(|w| {
+            let mut c = w.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("_")
+}
+
+const METHODS_PER_CLASS: u32 = 12;
+
+fn generate_plugin(spec: PluginSpec) -> GeneratedPlugin {
+    let mut truth = Vec::new();
+    let v2012 = build_version(&spec, Version::V2012, &mut truth);
+    let v2014 = build_version(&spec, Version::V2014, &mut truth);
+    GeneratedPlugin {
+        name: spec.name,
+        v2012,
+        v2014,
+        truth,
+    }
+}
+
+fn build_version(
+    spec: &PluginSpec,
+    version: Version,
+    truth: &mut Vec<GroundTruthEntry>,
+) -> PluginProject {
+    let mut ctx = EmitCtx {
+        plugin: &spec.name,
+        version,
+        truth,
+    };
+    let mut ordinal: u32 = 0;
+
+    let mut main = FileBuilder::new(format!("{}.php", spec.name));
+    emit_plugin_header(&mut main, &spec.name, version);
+    main.push("include_once 'includes/functions.php';");
+    main.push("include_once 'includes/admin.php';");
+    main.blank();
+
+    let mut functions = FileBuilder::new("includes/functions.php");
+    let mut admin = FileBuilder::new("includes/admin.php");
+    let mut class_builders: Vec<(FileBuilder, u32)> = Vec::new();
+    let mut views: Vec<SourceFile> = Vec::new();
+    let class_base = camel(&spec.name);
+
+    // ---- expand pattern instances ----
+    struct Inst {
+        pattern: Pattern,
+        id: String,
+        carried: bool,
+    }
+    let mut instances: Vec<Inst> = Vec::new();
+    for pc in &spec.patterns {
+        let n = pc.for_version(version);
+        let t = tag(pc.pattern);
+        for i in 0..n {
+            let (id, carried) = match version {
+                Version::V2012 => (format!("{}:{}:{}", spec.name, t, i), false),
+                Version::V2014 => {
+                    if i < pc.carried {
+                        (format!("{}:{}:{}", spec.name, t, i), true)
+                    } else {
+                        (format!("{}:{}:v14:{}", spec.name, t, i), false)
+                    }
+                }
+            };
+            instances.push(Inst {
+                pattern: pc.pattern,
+                id,
+                carried,
+            });
+        }
+    }
+
+    let mut top_toggle = false;
+    for inst in &instances {
+        ordinal += 1;
+        match route(inst.pattern) {
+            Route::Top => {
+                let b = if top_toggle { &mut admin } else { &mut main };
+                top_toggle = !top_toggle;
+                // Spacer so neighbouring blocks stay outside the oracle's
+                // line-tolerance window.
+                b.push(format!("/* block {ordinal} */"));
+                emit(inst.pattern, &inst.id, ordinal, inst.carried, b, &mut ctx);
+            }
+            Route::Functions => {
+                emit(
+                    inst.pattern,
+                    &inst.id,
+                    ordinal,
+                    inst.carried,
+                    &mut functions,
+                    &mut ctx,
+                );
+            }
+            Route::Class => {
+                let need_new = match class_builders.last() {
+                    Some((_, used)) => *used >= METHODS_PER_CLASS,
+                    None => true,
+                };
+                if need_new {
+                    let k = class_builders.len();
+                    let mut b =
+                        FileBuilder::new(format!("includes/class-module-{k}.php"));
+                    b.push("/* module class generated for the corpus */");
+                    b.begin_class(&format!("{class_base}_Module_{k}"));
+                    class_builders.push((b, 0));
+                }
+                let (b, used) = class_builders.last_mut().expect("class builder");
+                emit(inst.pattern, &inst.id, ordinal, inst.carried, b, &mut ctx);
+                *used += 1;
+            }
+            Route::IncludeSplit => {
+                emit(inst.pattern, &inst.id, ordinal, inst.carried, &mut main, &mut ctx);
+                views.push(emit_include_split_view(
+                    &inst.id,
+                    ordinal,
+                    inst.carried,
+                    &mut ctx,
+                ));
+            }
+        }
+    }
+
+    // ---- filler ----
+    let noise = match version {
+        Version::V2012 => spec.noise.0,
+        Version::V2014 => spec.noise.1,
+    };
+    // Realistic plugins spread helpers over many small library files (the
+    // paper's corpus averages ~8-10 files per plugin).
+    let extra_file_count = match version {
+        Version::V2012 => 4,
+        Version::V2014 => 6,
+    };
+    let mut extras: Vec<FileBuilder> = (0..extra_file_count)
+        .map(|k| {
+            let mut b = FileBuilder::new(format!("includes/lib-{k}.php"));
+            b.push(format!("/* helper library {k} for {} */", spec.name));
+            b
+        })
+        .collect();
+    let core_noise = noise * 2 / 5;
+    for i in 0..core_noise {
+        ordinal += 1;
+        let b = match i % 4 {
+            0 => &mut main,
+            1 => &mut admin,
+            _ => &mut functions,
+        };
+        emit_noise(b, ordinal);
+    }
+    for i in 0..(noise - core_noise) {
+        ordinal += 1;
+        let b = &mut extras[(i % extra_file_count) as usize];
+        emit_noise(b, ordinal);
+    }
+
+    // ---- class includes + instantiation (OOP style) ----
+    for (k, _) in class_builders.iter().enumerate() {
+        main.push(format!("include_once 'includes/class-module-{k}.php';"));
+    }
+    if spec.style == Style::Oop {
+        for (k, _) in class_builders.iter().enumerate() {
+            main.push(format!("$module_{k} = new {class_base}_Module_{k}();"));
+        }
+        // Admin screens instantiate UI helpers (marks the file as OOP for
+        // era-limited front ends).
+        admin.push("$admin_screen = new stdClass();");
+        if class_builders.is_empty() {
+            main.push("$plugin_core = new stdClass();");
+        }
+    }
+
+    // ---- 2014 ecosystem drift ----
+    if version == Version::V2014 && spec.oopify_2014 {
+        main.push("$compat_shim = new stdClass();");
+        admin.push("$compat_admin = new stdClass();");
+        functions.push("$compat_lib = new stdClass();");
+    }
+    if version == Version::V2014 && spec.closures_2014 {
+        for b in [&mut main, &mut admin, &mut functions] {
+            b.push("add_filter('the_content', function ($content_cb) { return $content_cb; });");
+        }
+    }
+
+    let mut project = PluginProject::new(spec.name.clone());
+    project.push_file(main.finish());
+    project.push_file(functions.finish());
+    project.push_file(admin.finish());
+    for (b, _) in class_builders {
+        project.push_file(b.finish());
+    }
+    for b in extras {
+        project.push_file(b.finish());
+    }
+    for v in views {
+        project.push_file(v);
+    }
+
+    // ---- monster include chain ----
+    let depth = match version {
+        Version::V2012 => spec.monster_depth.0,
+        Version::V2014 => spec.monster_depth.1,
+    };
+    if depth > 0 {
+        build_monster(spec, version, depth, &mut ctx, &mut project);
+    }
+
+    project
+}
+
+/// Builds the include-chain files `lib/chain_0.php .. lib/chain_{depth}.php`
+/// with the monster vulnerabilities planted in the leading files (the ones
+/// whose entry pass exceeds phpSAFE's include budget).
+fn build_monster(
+    spec: &PluginSpec,
+    version: Version,
+    depth: u32,
+    ctx: &mut EmitCtx<'_>,
+    project: &mut PluginProject,
+) {
+    let vulns = match version {
+        Version::V2012 => spec.monster_vulns.0,
+        Version::V2014 => spec.monster_vulns.1,
+    };
+    let hosts: u32 = match version {
+        Version::V2012 => 1,
+        Version::V2014 => 3,
+    };
+    let per_host = vulns.div_ceil(hosts.max(1));
+    let mut v_idx: u32 = 0;
+    for i in 0..=depth {
+        let mut b = FileBuilder::new(format!("lib/chain_{i}.php"));
+        b.push(format!("$probe_{i} = new stdClass();"));
+        if i < depth {
+            b.push(format!("include 'lib/chain_{}.php';", i + 1));
+        }
+        if i < hosts {
+            for _ in 0..per_host {
+                if v_idx >= vulns {
+                    break;
+                }
+                let (id, carried) = match version {
+                    Version::V2012 => (format!("{}:monster:{}", spec.name, v_idx), false),
+                    Version::V2014 => {
+                        if v_idx < MONSTER_CARRIED {
+                            (format!("{}:monster:{}", spec.name, v_idx), true)
+                        } else {
+                            (format!("{}:monster:v14:{}", spec.name, v_idx), false)
+                        }
+                    }
+                };
+                b.push(format!(
+                    "$mres_{v_idx} = mysql_query(\"SELECT * FROM archive_{v_idx}\");"
+                ));
+                b.push(format!(
+                    "$mrow_{v_idx} = mysql_fetch_assoc($mres_{v_idx});"
+                ));
+                let line = b.push(format!("echo $mrow_{v_idx}['label_{v_idx}'];"));
+                let file = b.path().to_string();
+                ctx.record(
+                    &id,
+                    Pattern::XssDbLegacy(Placement::TopLevel),
+                    &file,
+                    line,
+                    carried,
+                    false,
+                );
+                v_idx += 1;
+            }
+        }
+        emit_noise(&mut b, 100_000 + i);
+        project.push_file(b.finish());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taint_config::VulnClass;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = Corpus::generate();
+        let b = Corpus::generate();
+        for (pa, pb) in a.plugins().iter().zip(b.plugins()) {
+            assert_eq!(pa.v2012, pb.v2012);
+            assert_eq!(pa.v2014, pb.v2014);
+            assert_eq!(pa.truth, pb.truth);
+        }
+    }
+
+    #[test]
+    fn all_generated_php_parses() {
+        let c = Corpus::generate();
+        for p in c.plugins() {
+            for v in Version::ALL {
+                for f in p.project(v).files() {
+                    let ast = php_ast::parse(&f.content);
+                    assert!(
+                        ast.is_clean(),
+                        "{}/{} {:?}: {:?}",
+                        p.name,
+                        f.path,
+                        v,
+                        ast.errors
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_totals() {
+        let c = Corpus::generate();
+        assert_eq!(c.truth_for(Version::V2012).len(), 394);
+        assert_eq!(c.truth_for(Version::V2014).len(), 585);
+    }
+
+    #[test]
+    fn carried_share_matches_paper() {
+        let c = Corpus::generate();
+        let t14 = c.truth_for(Version::V2014);
+        let carried = t14.iter().filter(|t| t.carried).count();
+        let ratio = carried as f64 / t14.len() as f64;
+        assert!(
+            (0.38..=0.47).contains(&ratio),
+            "carried {carried}/{} = {ratio:.2}",
+            t14.len()
+        );
+        // Carried ids must exist in 2012 with identical ids.
+        let ids12: std::collections::HashSet<&str> = c
+            .truth_for(Version::V2012)
+            .iter()
+            .map(|t| t.id.as_str())
+            .collect();
+        for t in t14.iter().filter(|t| t.carried) {
+            assert!(ids12.contains(t.id.as_str()), "carried id missing in 2012: {}", t.id);
+        }
+    }
+
+    #[test]
+    fn sqli_counts_match_paper() {
+        let c = Corpus::generate();
+        let sqli = |v| {
+            c.truth_for(v)
+                .iter()
+                .filter(|t| t.class == VulnClass::Sqli)
+                .count()
+        };
+        assert_eq!(sqli(Version::V2012), 8);
+        assert_eq!(sqli(Version::V2014), 9);
+    }
+
+    #[test]
+    fn corpus_grows_between_versions() {
+        let c = Corpus::generate();
+        let (f12, l12) = c.size_of(Version::V2012);
+        let (f14, l14) = c.size_of(Version::V2014);
+        assert!(f14 > f12, "files {f12} -> {f14}");
+        assert!(
+            l14 as f64 / l12 as f64 > 1.5,
+            "LOC should roughly double: {l12} -> {l14}"
+        );
+        assert!(l12 > 10_000, "2012 corpus too small: {l12}");
+    }
+
+    #[test]
+    fn truth_lines_are_echo_or_query_sinks() {
+        let c = Corpus::generate();
+        for p in c.plugins() {
+            for t in &p.truth {
+                let proj = p.project(t.version);
+                let f = proj
+                    .find_file(&t.file)
+                    .unwrap_or_else(|| panic!("file {} missing", t.file));
+                let line = f
+                    .content
+                    .lines()
+                    .nth(t.line as usize - 1)
+                    .unwrap_or_else(|| panic!("{}:{} out of range", t.file, t.line));
+                assert!(
+                    line.contains("echo") || line.contains("->query("),
+                    "sink line mismatch {}:{}: {line}",
+                    t.file,
+                    t.line
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monster_chain_present_with_correct_depth() {
+        let c = Corpus::generate();
+        let monster = c
+            .plugins()
+            .iter()
+            .find(|p| p.name == "media-archive-pro")
+            .expect("monster plugin");
+        let chains12 = monster
+            .v2012
+            .files()
+            .iter()
+            .filter(|f| f.path.starts_with("lib/chain_"))
+            .count();
+        let chains14 = monster
+            .v2014
+            .files()
+            .iter()
+            .filter(|f| f.path.starts_with("lib/chain_"))
+            .count();
+        assert_eq!(chains12, 14); // chain_0..chain_13
+        assert_eq!(chains14, 16); // chain_0..chain_15
+    }
+}

@@ -1,0 +1,204 @@
+//! Corpus-level invariants the evaluation relies on: id uniqueness and
+//! stability, file existence, OOP placement, and the mechanical properties
+//! the capability gaps are built on.
+
+use phpsafe_corpus::{Corpus, Version};
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+fn corpus() -> &'static Corpus {
+    static C: OnceLock<Corpus> = OnceLock::new();
+    C.get_or_init(Corpus::generate)
+}
+
+#[test]
+fn ground_truth_ids_are_unique_per_version() {
+    for v in Version::ALL {
+        let truth = corpus().truth_for(v);
+        let ids: HashSet<&str> = truth.iter().map(|t| t.id.as_str()).collect();
+        assert_eq!(ids.len(), truth.len(), "{v:?}: duplicate ground-truth ids");
+    }
+}
+
+#[test]
+fn every_truth_file_exists_in_its_project() {
+    for p in corpus().plugins() {
+        for t in &p.truth {
+            assert!(
+                p.project(t.version).find_file(&t.file).is_some(),
+                "{}/{:?}: missing file {}",
+                p.name,
+                t.version,
+                t.file
+            );
+        }
+    }
+}
+
+#[test]
+fn file_paths_unique_within_project() {
+    for p in corpus().plugins() {
+        for v in Version::ALL {
+            let paths: HashSet<&str> = p
+                .project(v)
+                .files()
+                .iter()
+                .map(|f| f.path.as_str())
+                .collect();
+            assert_eq!(paths.len(), p.project(v).files().len(), "{} {v:?}", p.name);
+        }
+    }
+}
+
+#[test]
+fn carried_entries_keep_class_and_vector() {
+    // A carried vulnerability is the *same* vulnerability: class, vector
+    // and oop flag must match its 2012 counterpart.
+    for p in corpus().plugins() {
+        let by_id_2012: std::collections::HashMap<&str, _> = p
+            .truth_for(Version::V2012)
+            .map(|t| (t.id.as_str(), t))
+            .collect();
+        for t in p.truth_for(Version::V2014).filter(|t| t.carried) {
+            let old = by_id_2012
+                .get(t.id.as_str())
+                .unwrap_or_else(|| panic!("carried id {} missing in 2012", t.id));
+            assert_eq!(old.class, t.class, "{}", t.id);
+            assert_eq!(old.vector, t.vector, "{}", t.id);
+            assert_eq!(old.oop, t.oop, "{}", t.id);
+        }
+    }
+}
+
+#[test]
+fn oop_truth_only_in_files_with_oop_syntax() {
+    // Every OOP-flagged ground-truth entry must live in a file that
+    // actually contains OOP constructs (so Pixy's rejection story holds).
+    for p in corpus().plugins() {
+        for t in p.truth.iter().filter(|t| t.oop) {
+            let f = p
+                .project(t.version)
+                .find_file(&t.file)
+                .expect("file exists");
+            assert!(
+                f.content.contains("->") || f.content.contains("::"),
+                "{}:{} flagged OOP but file has no object syntax",
+                t.file,
+                t.line
+            );
+        }
+    }
+}
+
+#[test]
+fn monster_chain_files_reject_pixy_and_link_forward() {
+    let monster = corpus()
+        .plugins()
+        .iter()
+        .find(|p| p.name == "media-archive-pro")
+        .expect("monster");
+    for v in Version::ALL {
+        let proj = monster.project(v);
+        let chain: Vec<_> = proj
+            .files()
+            .iter()
+            .filter(|f| f.path.starts_with("lib/chain_"))
+            .collect();
+        for f in &chain {
+            assert!(
+                f.content.contains("new stdClass"),
+                "{} must contain an OOP marker",
+                f.path
+            );
+        }
+        // Every chain file except the last includes the next one.
+        let includes = chain
+            .iter()
+            .filter(|f| f.content.contains("include 'lib/chain_"))
+            .count();
+        assert_eq!(includes, chain.len() - 1, "{v:?}");
+    }
+}
+
+#[test]
+fn twenty_sixteen_files_have_closures_where_specified() {
+    // Hook-heavy plugins gain closures in 2014 only.
+    let c = corpus();
+    let hook_plugin = c
+        .plugins()
+        .iter()
+        .find(|p| p.name == "hook-notifier")
+        .expect("plugin");
+    let has_closure = |v: Version| {
+        hook_plugin
+            .project(v)
+            .files()
+            .iter()
+            .any(|f| f.content.contains("function ($content_cb)"))
+    };
+    assert!(!has_closure(Version::V2012));
+    assert!(has_closure(Version::V2014));
+}
+
+#[test]
+fn clean_legacy_plugins_stay_oop_free() {
+    // Plugins 15..18 (classic-polls, legacy-feedback, retro-sitemap) must
+    // remain analyzable by Pixy in both versions.
+    let c = corpus();
+    for name in ["classic-polls", "legacy-feedback", "retro-sitemap"] {
+        let p = c.plugins().iter().find(|p| p.name == name).expect("plugin");
+        for v in Version::ALL {
+            for f in p.project(v).files() {
+                assert!(
+                    !f.content.contains("new ") && !f.content.contains("class "),
+                    "{name}/{} ({v:?}) must stay OOP-free",
+                    f.path
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn plugin_headers_present_and_versioned() {
+    for p in corpus().plugins() {
+        let main12 = p
+            .v2012
+            .files()
+            .iter()
+            .find(|f| f.path == format!("{}.php", p.name))
+            .expect("main file");
+        assert!(main12.content.contains("Plugin Name:"));
+        assert!(main12.content.contains("Version: 1.4.2"));
+        let main14 = p
+            .v2014
+            .files()
+            .iter()
+            .find(|f| f.path == format!("{}.php", p.name))
+            .expect("main file");
+        assert!(main14.content.contains("Version: 2.1.0"));
+    }
+}
+
+#[test]
+fn sink_lines_grow_monotonically_in_truth_order_per_file() {
+    // The generator appends; within one file the recorded sink lines must
+    // be strictly increasing — a tripwire for line-accounting bugs.
+    for p in corpus().plugins() {
+        for v in Version::ALL {
+            let mut per_file: std::collections::HashMap<&str, u32> = Default::default();
+            for t in p.truth.iter().filter(|t| t.version == v) {
+                let last = per_file.entry(t.file.as_str()).or_insert(0);
+                assert!(
+                    t.line > *last,
+                    "{}/{} line {} not after {}",
+                    p.name,
+                    t.file,
+                    t.line,
+                    last
+                );
+                *last = t.line;
+            }
+        }
+    }
+}

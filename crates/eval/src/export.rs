@@ -1,0 +1,182 @@
+//! Machine-readable exports of the evaluation — CSV for the tables and a
+//! per-plugin breakdown. The paper's methodology step 5 normalizes "all of
+//! them into a single repository"; these exporters are that feature for
+//! downstream analysis (spreadsheets, plotting).
+
+use crate::metrics::RecallMode;
+use crate::oracle::verify;
+use crate::runner::{Evaluation, TOOLS};
+use phpsafe_baselines::paper_tools;
+use phpsafe_corpus::{Corpus, GroundTruthEntry, Version};
+use std::fmt::Write as _;
+use taint_config::VulnClass;
+
+/// Table I as CSV: one row per (tool, version, class) with TP/FP/FN and
+/// the derived metrics.
+pub fn table1_csv(e: &Evaluation, mode: RecallMode) -> String {
+    let mut out = String::from("tool,version,class,tp,fp,fn,precision,recall,f_score\n");
+    for tool in TOOLS {
+        for version in Version::ALL {
+            for (class, label) in [
+                (Some(VulnClass::Xss), "xss"),
+                (Some(VulnClass::Sqli), "sqli"),
+                (None, "global"),
+            ] {
+                let m = e.metrics(tool, version, class, mode);
+                let fmt = |v: Option<f64>| {
+                    v.map(|x| format!("{x:.4}")).unwrap_or_default()
+                };
+                let _ = writeln!(
+                    out,
+                    "{tool},{},{label},{},{},{},{},{},{}",
+                    match version {
+                        Version::V2012 => "2012",
+                        Version::V2014 => "2014",
+                    },
+                    m.tp,
+                    m.fp,
+                    m.fn_,
+                    fmt(m.precision()),
+                    fmt(m.recall()),
+                    fmt(m.f_score()),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Per-plugin detection breakdown: one row per (plugin, version, tool).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PluginCell {
+    /// Plugin slug.
+    pub plugin: String,
+    /// Version.
+    pub version: Version,
+    /// Tool name.
+    pub tool: String,
+    /// Ground-truth vulnerabilities present.
+    pub truth: usize,
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// Files the tool failed on.
+    pub failed_files: usize,
+}
+
+/// Computes the per-plugin breakdown by re-running the tools plugin by
+/// plugin (cheap relative to generation; used by the CSV export and tests).
+pub fn per_plugin(corpus: &Corpus) -> Vec<PluginCell> {
+    let mut out = Vec::new();
+    for tool in paper_tools() {
+        for version in Version::ALL {
+            for plugin in corpus.plugins() {
+                let outcome = tool.analyze(plugin.project(version));
+                let truth: Vec<&GroundTruthEntry> = plugin.truth_for(version).collect();
+                let m = verify(&outcome, &truth);
+                out.push(PluginCell {
+                    plugin: plugin.name.clone(),
+                    version,
+                    tool: tool.name().to_string(),
+                    truth: truth.len(),
+                    tp: m.tp(),
+                    fp: m.fp(),
+                    failed_files: outcome.failed_files(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Per-plugin breakdown as CSV.
+pub fn per_plugin_csv(corpus: &Corpus) -> String {
+    let mut out = String::from("plugin,version,tool,truth,tp,fp,failed_files\n");
+    for c in per_plugin(corpus) {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            c.plugin,
+            match c.version {
+                Version::V2012 => "2012",
+                Version::V2014 => "2014",
+            },
+            c.tool,
+            c.truth,
+            c.tp,
+            c.fp,
+            c.failed_files
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn eval() -> &'static Evaluation {
+        static E: OnceLock<Evaluation> = OnceLock::new();
+        E.get_or_init(Evaluation::run)
+    }
+
+    #[test]
+    fn csv_has_expected_shape() {
+        let csv = table1_csv(eval(), RecallMode::PaperOptimistic);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 3 * 2 * 3, "header + 18 rows");
+        assert!(lines[0].starts_with("tool,version,class"));
+        assert!(lines.iter().any(|l| l.starts_with("phpSAFE,2012,xss")));
+        // undefined metrics serialize as empty cells, not NaN
+        assert!(!csv.contains("NaN"));
+    }
+
+    #[test]
+    fn csv_values_match_metrics() {
+        let e = eval();
+        let csv = table1_csv(e, RecallMode::PaperOptimistic);
+        let m = e.metrics("phpSAFE", Version::V2012, None, RecallMode::PaperOptimistic);
+        let row = csv
+            .lines()
+            .find(|l| l.starts_with("phpSAFE,2012,global"))
+            .expect("row");
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols[3].parse::<usize>().unwrap(), m.tp);
+        assert_eq!(cols[4].parse::<usize>().unwrap(), m.fp);
+    }
+
+    #[test]
+    fn per_plugin_totals_match_cells() {
+        let e = eval();
+        let rows = per_plugin(e.corpus());
+        assert_eq!(rows.len(), 3 * 2 * 35);
+        for tool in TOOLS {
+            for version in Version::ALL {
+                let sum_tp: usize = rows
+                    .iter()
+                    .filter(|r| r.tool == tool && r.version == version)
+                    .map(|r| r.tp)
+                    .sum();
+                assert_eq!(
+                    sum_tp,
+                    e.cell(tool, version).detected.len(),
+                    "{tool} {version:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_plugin_truth_sums_to_corpus() {
+        let e = eval();
+        let rows = per_plugin(e.corpus());
+        let t2012: usize = rows
+            .iter()
+            .filter(|r| r.tool == "phpSAFE" && r.version == Version::V2012)
+            .map(|r| r.truth)
+            .sum();
+        assert_eq!(t2012, 394);
+    }
+}

@@ -1,0 +1,33 @@
+//! # phpsafe-eval
+//!
+//! The evaluation harness reproducing the phpSAFE paper's methodology
+//! (§IV): run phpSAFE, RIPS and Pixy over the 35-plugin corpus (both
+//! versions), verify every report against the generator's ground truth
+//! (the exact stand-in for the paper's manual expert verification), and
+//! regenerate every table and figure of §V.
+//!
+//! ```no_run
+//! use phpsafe_eval::{Evaluation, tables};
+//!
+//! let eval = Evaluation::run();
+//! println!("{}", tables::full_report(&eval));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod confirm;
+pub mod export;
+pub mod history;
+pub mod metrics;
+pub mod oracle;
+pub mod runner;
+pub mod tables;
+
+pub use ablations::{ablation_report, run_ablations, Ablation, AblationResult};
+pub use confirm::{confirm_corpus, confirmation_report, smoke_attack, ConfirmationStats};
+pub use export::{per_plugin, per_plugin_csv, table1_csv, PluginCell};
+pub use history::{evolution, evolution_report, PluginEvolution};
+pub use metrics::{pct, Metrics, RecallMode};
+pub use oracle::{verify, MatchResult};
+pub use runner::{Evaluation, ToolCell, TOOLS};

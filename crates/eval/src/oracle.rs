@@ -1,0 +1,157 @@
+//! The verification oracle: plays the role of the paper's "security expert"
+//! who manually verified every report (methodology step 5) — except exact,
+//! because the corpus generator knows where it planted every vulnerability.
+
+use phpsafe::{AnalysisOutcome, Vulnerability};
+use phpsafe_corpus::GroundTruthEntry;
+use std::collections::HashSet;
+
+/// Line tolerance when matching a report to a ground-truth sink (tools may
+/// anchor a multi-line statement on a neighbouring line).
+const LINE_TOLERANCE: u32 = 1;
+
+/// Result of verifying one tool outcome against ground truth.
+#[derive(Debug, Clone, Default)]
+pub struct MatchResult {
+    /// Ground-truth ids confirmed as detected (true positives).
+    pub detected: HashSet<String>,
+    /// Reports with no ground-truth counterpart (false positives).
+    pub false_positives: Vec<Vulnerability>,
+}
+
+impl MatchResult {
+    /// True-positive count (distinct ground-truth findings).
+    pub fn tp(&self) -> usize {
+        self.detected.len()
+    }
+
+    /// False-positive count.
+    pub fn fp(&self) -> usize {
+        self.false_positives.len()
+    }
+}
+
+/// Does a report hit a ground-truth entry?
+fn hits(report: &Vulnerability, truth: &GroundTruthEntry) -> bool {
+    report.class == truth.class
+        && report.line.abs_diff(truth.line) <= LINE_TOLERANCE
+        && (report.file == truth.file
+            || report.file.ends_with(&truth.file)
+            || truth.file.ends_with(&report.file))
+}
+
+/// Verifies a tool outcome for one plugin against that plugin's ground
+/// truth (entries must already be filtered to the right version).
+pub fn verify(outcome: &AnalysisOutcome, truth: &[&GroundTruthEntry]) -> MatchResult {
+    let mut result = MatchResult::default();
+    for report in &outcome.vulns {
+        let mut matched = false;
+        for t in truth {
+            if hits(report, t) {
+                result.detected.insert(t.id.clone());
+                matched = true;
+                // keep scanning: one echo inside a loop can witness a single
+                // ground-truth sink only, but tolerance windows may overlap —
+                // first match wins for attribution, others are duplicates.
+                break;
+            }
+        }
+        if !matched {
+            result.false_positives.push(report.clone());
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phpsafe_corpus::Version;
+    use taint_config::{SourceKind, VulnClass};
+
+    fn truth(id: &str, file: &str, line: u32, class: VulnClass) -> GroundTruthEntry {
+        GroundTruthEntry {
+            id: id.into(),
+            plugin: "p".into(),
+            version: Version::V2012,
+            class,
+            vector: SourceKind::Get,
+            file: file.into(),
+            line,
+            oop: false,
+            carried: false,
+            numeric: false,
+        }
+    }
+
+    fn report(file: &str, line: u32, class: VulnClass) -> Vulnerability {
+        Vulnerability {
+            class,
+            file: file.into(),
+            line,
+            sink: "echo".into(),
+            var: "$x".into(),
+            source_kind: SourceKind::Get,
+            via_oop: false,
+            numeric_hint: false,
+            trace: vec![],
+        }
+    }
+
+    fn outcome(vulns: Vec<Vulnerability>) -> AnalysisOutcome {
+        AnalysisOutcome {
+            tool: "t".into(),
+            plugin: "p".into(),
+            vulns,
+            files: vec![],
+            stats: Default::default(),
+        }
+    }
+
+    #[test]
+    fn exact_match_is_tp() {
+        let t = truth("a", "f.php", 10, VulnClass::Xss);
+        let r = verify(&outcome(vec![report("f.php", 10, VulnClass::Xss)]), &[&t]);
+        assert_eq!(r.tp(), 1);
+        assert_eq!(r.fp(), 0);
+    }
+
+    #[test]
+    fn line_tolerance_window() {
+        let t = truth("a", "f.php", 10, VulnClass::Xss);
+        let near = verify(&outcome(vec![report("f.php", 11, VulnClass::Xss)]), &[&t]);
+        assert_eq!(near.tp(), 1);
+        let far = verify(&outcome(vec![report("f.php", 13, VulnClass::Xss)]), &[&t]);
+        assert_eq!(far.tp(), 0);
+        assert_eq!(far.fp(), 1);
+    }
+
+    #[test]
+    fn class_mismatch_is_fp() {
+        let t = truth("a", "f.php", 10, VulnClass::Xss);
+        let r = verify(&outcome(vec![report("f.php", 10, VulnClass::Sqli)]), &[&t]);
+        assert_eq!(r.tp(), 0);
+        assert_eq!(r.fp(), 1);
+    }
+
+    #[test]
+    fn duplicate_reports_count_one_tp() {
+        let t = truth("a", "f.php", 10, VulnClass::Xss);
+        let r = verify(
+            &outcome(vec![
+                report("f.php", 10, VulnClass::Xss),
+                report("f.php", 11, VulnClass::Xss),
+            ]),
+            &[&t],
+        );
+        assert_eq!(r.tp(), 1, "same ground-truth id detected once");
+        assert_eq!(r.fp(), 0);
+    }
+
+    #[test]
+    fn suffix_path_matching() {
+        let t = truth("a", "includes/f.php", 5, VulnClass::Xss);
+        let r = verify(&outcome(vec![report("f.php", 5, VulnClass::Xss)]), &[&t]);
+        assert_eq!(r.tp(), 1);
+    }
+}

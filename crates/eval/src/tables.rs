@@ -1,0 +1,463 @@
+//! Renderers that regenerate every table and figure of the paper's
+//! evaluation section from an [`Evaluation`]:
+//!
+//! * [`table1`] — Table I (TP/FP/Precision/Recall/F-score per tool,
+//!   version and vulnerability class);
+//! * [`fig2`] / [`venn_counts`] — Fig. 2 (detection-overlap Venn);
+//! * [`table2`] — Table II (malicious input-vector types);
+//! * [`table3`] — Table III (detection time) plus the §V.E robustness
+//!   paragraph (files, LOC, failures);
+//! * [`oop_breakdown`] — §V.A (OOP vulnerabilities per version);
+//! * [`inertia`] — §V.D (unfixed disclosed vulnerabilities);
+//! * [`root_cause`] — §V.C (vector classes + numeric-variable share).
+
+use crate::metrics::{pct, RecallMode};
+use crate::runner::{Evaluation, TOOLS};
+use phpsafe_corpus::Version;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use taint_config::{VectorClass, VulnClass};
+
+/// Renders Table I.
+pub fn table1(e: &Evaluation, mode: RecallMode) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "TABLE I. VULNERABILITIES OF 2012 AND 2014 PLUGIN VERSIONS ({})",
+        match mode {
+            RecallMode::PaperOptimistic => "paper-optimistic FN",
+            RecallMode::FullGroundTruth => "full ground-truth FN",
+        }
+    );
+    let _ = writeln!(
+        out,
+        "{:24}|{:>10}|{:>10}|{:>10}|{:>10}|{:>10}|{:>10}|",
+        "", "phpSAFE/12", "phpSAFE/14", "RIPS/12", "RIPS/14", "Pixy/12", "Pixy/14"
+    );
+    let classes: [(Option<VulnClass>, &str); 3] = [
+        (Some(VulnClass::Xss), "XSS"),
+        (Some(VulnClass::Sqli), "SQLi"),
+        (None, "Global"),
+    ];
+    for (class, label) in classes {
+        let cells: Vec<_> = TOOLS
+            .iter()
+            .flat_map(|t| Version::ALL.map(|v| e.metrics(t, v, class, mode)))
+            .collect();
+        let row = |name: &str, f: &dyn Fn(&crate::metrics::Metrics) -> String| {
+            let mut line = format!("{:24}|", format!("{label} {name}"));
+            for c in &cells {
+                let _ = write!(line, "{:>10}|", f(c));
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", row("True Positives", &|m| m.tp.to_string()));
+        let _ = writeln!(out, "{}", row("False Positives", &|m| m.fp.to_string()));
+        let _ = writeln!(out, "{}", row("Precision", &|m| pct(m.precision())));
+        let _ = writeln!(out, "{}", row("Recall", &|m| pct(m.recall())));
+        let _ = writeln!(out, "{}", row("F-score", &|m| pct(m.f_score())));
+        let _ = writeln!(out, "{}", "-".repeat(24 + 11 * 6));
+    }
+    out
+}
+
+/// The seven regions of the Fig. 2 Venn diagram plus the total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VennCounts {
+    /// Detected only by phpSAFE.
+    pub only_phpsafe: usize,
+    /// Detected only by RIPS.
+    pub only_rips: usize,
+    /// Detected only by Pixy.
+    pub only_pixy: usize,
+    /// phpSAFE ∩ RIPS (not Pixy).
+    pub phpsafe_rips: usize,
+    /// phpSAFE ∩ Pixy (not RIPS).
+    pub phpsafe_pixy: usize,
+    /// RIPS ∩ Pixy (not phpSAFE).
+    pub rips_pixy: usize,
+    /// All three.
+    pub all_three: usize,
+    /// Distinct confirmed vulnerabilities.
+    pub total: usize,
+}
+
+/// Computes the Fig. 2 overlap counts for a version.
+pub fn venn_counts(e: &Evaluation, version: Version) -> VennCounts {
+    let p: HashSet<&str> = e
+        .cell("phpSAFE", version)
+        .detected
+        .iter()
+        .map(|s| s.as_str())
+        .collect();
+    let r: HashSet<&str> = e
+        .cell("RIPS", version)
+        .detected
+        .iter()
+        .map(|s| s.as_str())
+        .collect();
+    let x: HashSet<&str> = e
+        .cell("Pixy", version)
+        .detected
+        .iter()
+        .map(|s| s.as_str())
+        .collect();
+    let mut v = VennCounts {
+        only_phpsafe: 0,
+        only_rips: 0,
+        only_pixy: 0,
+        phpsafe_rips: 0,
+        phpsafe_pixy: 0,
+        rips_pixy: 0,
+        all_three: 0,
+        total: 0,
+    };
+    let universe: HashSet<&str> = p.union(&r).copied().collect::<HashSet<_>>()
+        .union(&x)
+        .copied()
+        .collect();
+    v.total = universe.len();
+    for id in universe {
+        match (p.contains(id), r.contains(id), x.contains(id)) {
+            (true, true, true) => v.all_three += 1,
+            (true, true, false) => v.phpsafe_rips += 1,
+            (true, false, true) => v.phpsafe_pixy += 1,
+            (false, true, true) => v.rips_pixy += 1,
+            (true, false, false) => v.only_phpsafe += 1,
+            (false, true, false) => v.only_rips += 1,
+            (false, false, true) => v.only_pixy += 1,
+            (false, false, false) => unreachable!("id came from the union"),
+        }
+    }
+    v
+}
+
+/// Renders Fig. 2 as region counts for both versions.
+pub fn fig2(e: &Evaluation) -> String {
+    let mut out = String::from("FIG. 2. TOOLS VULNERABILITY DETECTION OVERLAP\n");
+    for version in Version::ALL {
+        let v = venn_counts(e, version);
+        let _ = writeln!(out, "{}: {} distinct confirmed vulnerabilities", version, v.total);
+        let _ = writeln!(out, "  phpSAFE only          : {:>4}", v.only_phpsafe);
+        let _ = writeln!(out, "  RIPS only             : {:>4}", v.only_rips);
+        let _ = writeln!(out, "  Pixy only             : {:>4}", v.only_pixy);
+        let _ = writeln!(out, "  phpSAFE ∩ RIPS        : {:>4}", v.phpsafe_rips);
+        let _ = writeln!(out, "  phpSAFE ∩ Pixy        : {:>4}", v.phpsafe_pixy);
+        let _ = writeln!(out, "  RIPS ∩ Pixy           : {:>4}", v.rips_pixy);
+        let _ = writeln!(out, "  all three             : {:>4}", v.all_three);
+    }
+    let u12 = venn_counts(e, Version::V2012).total;
+    let u14 = venn_counts(e, Version::V2014).total;
+    if u12 > 0 {
+        let _ = writeln!(
+            out,
+            "growth 2012 -> 2014: {:+.0}% (paper: +51%)",
+            (u14 as f64 / u12 as f64 - 1.0) * 100.0
+        );
+    }
+    out
+}
+
+/// Table II data: confirmed-vulnerability counts per input-vector row.
+pub fn table2_counts(e: &Evaluation) -> Vec<(VectorClass, usize, usize, usize)> {
+    let mut rows = Vec::new();
+    let t12 = e.truth_map(Version::V2012);
+    let t14 = e.truth_map(Version::V2014);
+    let u12 = e.union_detected(Version::V2012);
+    let u14 = e.union_detected(Version::V2014);
+    for vc in VectorClass::ALL {
+        let c12 = u12
+            .iter()
+            .filter(|id| t12.get(**id).map(|t| t.vector_class() == vc).unwrap_or(false))
+            .count();
+        let c14 = u14
+            .iter()
+            .filter(|id| t14.get(**id).map(|t| t.vector_class() == vc).unwrap_or(false))
+            .count();
+        // "Both versions": 2014-confirmed entries carried over from 2012.
+        let both = u14
+            .iter()
+            .filter(|id| {
+                t14.get(**id)
+                    .map(|t| t.vector_class() == vc && t.carried)
+                    .unwrap_or(false)
+            })
+            .count();
+        rows.push((vc, c12, c14, both));
+    }
+    rows
+}
+
+/// Renders Table II.
+pub fn table2(e: &Evaluation) -> String {
+    let mut out = String::from("TABLE II. MALICIOUS INPUT VECTOR TYPE\n");
+    let _ = writeln!(
+        out,
+        "{:22}|{:>14}|{:>14}|{:>14}|",
+        "Input Vectors", "Version 2012", "Version 2014", "Both versions"
+    );
+    for (vc, c12, c14, both) in table2_counts(e) {
+        let _ = writeln!(out, "{:22}|{:>14}|{:>14}|{:>14}|", vc.label(), c12, c14, both);
+    }
+    out
+}
+
+/// Renders Table III plus the §V.E robustness facts.
+pub fn table3(e: &Evaluation) -> String {
+    let mut out = String::from("TABLE III. DETECTION TIME OF ALL PLUGINS IN SECONDS\n");
+    let _ = writeln!(
+        out,
+        "{:10}|{:>12}|{:>12}|",
+        "Tool", "Ver. 2012", "Ver. 2014"
+    );
+    for tool in TOOLS {
+        let s12 = e.cell(tool, Version::V2012).seconds;
+        let s14 = e.cell(tool, Version::V2014).seconds;
+        let _ = writeln!(out, "{:10}|{:>12.3}|{:>12.3}|", tool, s12, s14);
+    }
+    for version in Version::ALL {
+        let (files, loc) = e.corpus().size_of(version);
+        let _ = writeln!(out, "{version}: {files} files, {loc} LOC");
+        for tool in TOOLS {
+            let c = e.cell(tool, version);
+            let kloc = loc as f64 / 1000.0;
+            let _ = writeln!(
+                out,
+                "  {:8} {:>8.4} s/KLOC, failed files: {} (resource) + {} (unsupported)",
+                tool,
+                c.seconds / kloc,
+                c.failed_resource,
+                c.failed_unsupported
+            );
+        }
+    }
+    out
+}
+
+/// §V.A: OOP vulnerabilities found per version (paper: phpSAFE found 151
+/// in 10 plugins in 2012, 179 in 7 plugins in 2014; RIPS/Pixy none).
+pub fn oop_breakdown(e: &Evaluation) -> String {
+    let mut out = String::from("OOP (WordPress-object) VULNERABILITIES — §V.A\n");
+    for version in Version::ALL {
+        let truth = e.truth_map(version);
+        for tool in TOOLS {
+            let detected_oop: Vec<&str> = e
+                .cell(tool, version)
+                .detected
+                .iter()
+                .filter(|id| truth.get(id.as_str()).map(|t| t.oop).unwrap_or(false))
+                .map(|s| s.as_str())
+                .collect();
+            let plugins: HashSet<&str> = detected_oop
+                .iter()
+                .filter_map(|id| truth.get(id).map(|t| t.plugin.as_str()))
+                .collect();
+            let _ = writeln!(
+                out,
+                "{version} {tool:8}: {:>4} OOP vulnerabilities in {:>2} plugins",
+                detected_oop.len(),
+                plugins.len()
+            );
+        }
+    }
+    out
+}
+
+/// §V.D inertia facts: carried (disclosed-yet-unfixed) share and the
+/// easy-to-exploit subset.
+pub fn inertia_counts(e: &Evaluation) -> (usize, usize, usize) {
+    let t14 = e.truth_map(Version::V2014);
+    let u14 = e.union_detected(Version::V2014);
+    let total = u14.len();
+    let carried: Vec<&str> = u14
+        .iter()
+        .filter(|id| t14.get(**id).map(|t| t.carried).unwrap_or(false))
+        .copied()
+        .collect();
+    let easy = carried
+        .iter()
+        .filter(|id| {
+            t14.get(**id)
+                .map(|t| t.vector.directly_exploitable())
+                .unwrap_or(false)
+        })
+        .count();
+    (total, carried.len(), easy)
+}
+
+/// Renders the §V.D paragraph.
+pub fn inertia(e: &Evaluation) -> String {
+    let (total, carried, easy) = inertia_counts(e);
+    let mut out = String::from("INERTIA IN FIXING VULNERABILITIES — §V.D\n");
+    let _ = writeln!(
+        out,
+        "{carried} of {total} 2014 vulnerabilities ({:.0}%) were already disclosed in 2012 (paper: 249/586 = 42%)",
+        100.0 * carried as f64 / total.max(1) as f64
+    );
+    let _ = writeln!(
+        out,
+        "{easy} of those ({:.0}%) are trivially exploitable via GET/POST/COOKIE (paper: 59 = 24%)",
+        100.0 * easy as f64 / carried.max(1) as f64
+    );
+    out
+}
+
+/// Renders the §V.C root-cause analysis (vector classes + numeric share).
+pub fn root_cause(e: &Evaluation) -> String {
+    let mut out = String::from("ROOT CAUSE OF THE VULNERABILITIES — §V.C\n");
+    let t14 = e.truth_map(Version::V2014);
+    let u14 = e.union_detected(Version::V2014);
+    let direct = u14
+        .iter()
+        .filter(|id| {
+            t14.get(**id)
+                .map(|t| t.vector.directly_exploitable())
+                .unwrap_or(false)
+        })
+        .count();
+    let db = u14
+        .iter()
+        .filter(|id| {
+            t14.get(**id)
+                .map(|t| t.vector_class() == VectorClass::Database)
+                .unwrap_or(false)
+        })
+        .count();
+    let numeric = u14
+        .iter()
+        .filter(|id| t14.get(**id).map(|t| t.numeric).unwrap_or(false))
+        .count();
+    let n = u14.len().max(1);
+    let _ = writeln!(
+        out,
+        "directly manipulable (GET/POST/COOKIE): {direct} ({:.0}%; paper: 36%)",
+        100.0 * direct as f64 / n as f64
+    );
+    let _ = writeln!(
+        out,
+        "database-mediated: {db} ({:.0}%; paper: 62%)",
+        100.0 * db as f64 / n as f64
+    );
+    let _ = writeln!(
+        out,
+        "numeric-intent vulnerable variables: {numeric} ({:.0}%; paper: 39%)",
+        100.0 * numeric as f64 / n as f64
+    );
+    out
+}
+
+/// Renders every table and figure in one report (the `repro` binary's
+/// default output; EXPERIMENTS.md records a run of this).
+pub fn full_report(e: &Evaluation) -> String {
+    let mut out = String::new();
+    out.push_str(&table1(e, RecallMode::PaperOptimistic));
+    out.push('\n');
+    out.push_str(&table1(e, RecallMode::FullGroundTruth));
+    out.push('\n');
+    out.push_str(&fig2(e));
+    out.push('\n');
+    out.push_str(&table2(e));
+    out.push('\n');
+    out.push_str(&table3(e));
+    out.push('\n');
+    out.push_str(&oop_breakdown(e));
+    out.push('\n');
+    out.push_str(&inertia(e));
+    out.push('\n');
+    out.push_str(&root_cause(e));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn eval() -> &'static Evaluation {
+        static EVAL: OnceLock<Evaluation> = OnceLock::new();
+        EVAL.get_or_init(Evaluation::run)
+    }
+
+    #[test]
+    fn venn_regions_partition_the_union() {
+        for v in Version::ALL {
+            let c = venn_counts(eval(), v);
+            let sum = c.only_phpsafe
+                + c.only_rips
+                + c.only_pixy
+                + c.phpsafe_rips
+                + c.phpsafe_pixy
+                + c.rips_pixy
+                + c.all_three;
+            assert_eq!(sum, c.total, "{v:?}");
+            assert_eq!(c.total, eval().union_detected(v).len());
+        }
+    }
+
+    #[test]
+    fn each_tool_has_exclusive_findings_2012() {
+        // Fig. 2: every tool contributes vulnerabilities the others miss.
+        let c = venn_counts(eval(), Version::V2012);
+        assert!(c.only_phpsafe > 0, "{c:?}");
+        assert!(c.only_rips > 0, "{c:?}");
+        assert!(c.only_pixy > 0, "{c:?}");
+    }
+
+    #[test]
+    fn table2_db_dominates_2014() {
+        let rows = table2_counts(eval());
+        let get = |vc: VectorClass| rows.iter().find(|r| r.0 == vc).expect("row");
+        let db = get(VectorClass::Database);
+        let total: usize = rows.iter().map(|r| r.2).sum();
+        assert!(
+            db.2 as f64 / total as f64 > 0.5,
+            "DB share 2014: {}/{total}",
+            db.2
+        );
+        // GET outnumbers POST, as in the paper.
+        assert!(get(VectorClass::Get).2 > get(VectorClass::Post).2);
+    }
+
+    #[test]
+    fn inertia_share_in_paper_band() {
+        let (total, carried, easy) = inertia_counts(eval());
+        let share = carried as f64 / total as f64;
+        assert!(
+            (0.30..=0.55).contains(&share),
+            "carried share {carried}/{total}"
+        );
+        assert!(easy > 0 && easy < carried);
+    }
+
+    #[test]
+    fn reports_render_nonempty() {
+        let e = eval();
+        for s in [
+            table1(e, RecallMode::PaperOptimistic),
+            fig2(e),
+            table2(e),
+            table3(e),
+            oop_breakdown(e),
+            inertia(e),
+            root_cause(e),
+        ] {
+            assert!(s.len() > 80, "report too short:\n{s}");
+        }
+    }
+
+    #[test]
+    fn full_report_contains_all_sections() {
+        let r = full_report(eval());
+        for needle in [
+            "TABLE I.",
+            "FIG. 2.",
+            "TABLE II.",
+            "TABLE III.",
+            "§V.A",
+            "§V.D",
+            "§V.C",
+        ] {
+            assert!(r.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the oracle and metrics: matching is sound (every TP
+//! corresponds to a ground-truth entry), counting is conserved, and the
+//! two recall modes relate the way theory says they must.
+
+use phpsafe::{AnalysisOutcome, Vulnerability};
+use phpsafe_corpus::{GroundTruthEntry, Version};
+use phpsafe_eval::{verify, Metrics};
+use proptest::prelude::*;
+use taint_config::{SourceKind, VulnClass};
+
+fn class_strategy() -> impl Strategy<Value = VulnClass> {
+    prop_oneof![Just(VulnClass::Xss), Just(VulnClass::Sqli)]
+}
+
+fn truth_strategy() -> impl Strategy<Value = GroundTruthEntry> {
+    (0u32..4, 1u32..60, class_strategy(), any::<bool>()).prop_map(|(file, line, class, oop)| {
+        GroundTruthEntry {
+            id: format!("gt-{file}-{line}-{class:?}"),
+            plugin: "p".into(),
+            version: Version::V2012,
+            class,
+            vector: SourceKind::Get,
+            file: format!("f{file}.php"),
+            line: line * 5, // spaced so tolerance windows never overlap
+            oop,
+            carried: false,
+            numeric: false,
+        }
+    })
+}
+
+fn report_strategy() -> impl Strategy<Value = Vulnerability> {
+    (0u32..4, 1u32..300, class_strategy()).prop_map(|(file, line, class)| Vulnerability {
+        class,
+        file: format!("f{file}.php"),
+        line,
+        sink: "echo".into(),
+        var: "$x".into(),
+        source_kind: SourceKind::Get,
+        via_oop: false,
+        numeric_hint: false,
+        trace: vec![],
+    })
+}
+
+fn outcome(vulns: Vec<Vulnerability>) -> AnalysisOutcome {
+    AnalysisOutcome {
+        tool: "t".into(),
+        plugin: "p".into(),
+        vulns,
+        files: vec![],
+        stats: Default::default(),
+    }
+}
+
+proptest! {
+    /// Every report is classified exactly once: TP ids + FP reports
+    /// account for all reports (up to duplicate-TP merging).
+    #[test]
+    fn verification_conserves_reports(
+        truths in prop::collection::vec(truth_strategy(), 0..12),
+        reports in prop::collection::vec(report_strategy(), 0..24),
+    ) {
+        let refs: Vec<&GroundTruthEntry> = truths.iter().collect();
+        let o = outcome(reports.clone());
+        let m = verify(&o, &refs);
+        prop_assert!(m.tp() + m.fp() <= reports.len());
+        // Every detected id exists in ground truth.
+        for id in &m.detected {
+            prop_assert!(truths.iter().any(|t| &t.id == id));
+        }
+        // Every FP report genuinely misses all ground truth by >1 line or
+        // class or file.
+        for fpv in &m.false_positives {
+            for t in &truths {
+                let hit = fpv.class == t.class
+                    && fpv.file == t.file
+                    && fpv.line.abs_diff(t.line) <= 1;
+                prop_assert!(!hit, "fp {fpv:?} actually hits {t:?}");
+            }
+        }
+    }
+
+    /// An empty report set yields no TPs and no FPs.
+    #[test]
+    fn empty_reports_verify_empty(truths in prop::collection::vec(truth_strategy(), 0..12)) {
+        let refs: Vec<&GroundTruthEntry> = truths.iter().collect();
+        let m = verify(&outcome(vec![]), &refs);
+        prop_assert_eq!(m.tp(), 0);
+        prop_assert_eq!(m.fp(), 0);
+    }
+
+    /// Reporting the exact ground truth yields 100% precision and recall.
+    #[test]
+    fn perfect_reports_verify_perfect(truths in prop::collection::vec(truth_strategy(), 1..12)) {
+        // Deduplicate ids (strategy can collide on (file, line, class)).
+        let mut seen = std::collections::HashSet::new();
+        let truths: Vec<GroundTruthEntry> =
+            truths.into_iter().filter(|t| seen.insert(t.id.clone())).collect();
+        let refs: Vec<&GroundTruthEntry> = truths.iter().collect();
+        let reports: Vec<Vulnerability> = truths
+            .iter()
+            .map(|t| Vulnerability {
+                class: t.class,
+                file: t.file.clone(),
+                line: t.line,
+                sink: "echo".into(),
+                var: "$x".into(),
+                source_kind: t.vector,
+                via_oop: t.oop,
+                numeric_hint: false,
+                trace: vec![],
+            })
+            .collect();
+        let m = verify(&outcome(reports), &refs);
+        prop_assert_eq!(m.tp(), truths.len());
+        prop_assert_eq!(m.fp(), 0);
+        let metrics = Metrics::new(m.tp(), m.fp(), 0);
+        prop_assert_eq!(metrics.precision(), Some(1.0));
+        prop_assert_eq!(metrics.recall(), Some(1.0));
+        prop_assert_eq!(metrics.f_score(), Some(1.0));
+    }
+
+    /// Paper-optimistic recall is never lower than full-ground-truth
+    /// recall for the same tool (the optimistic denominator is a subset).
+    #[test]
+    fn optimistic_recall_dominates(tp in 0usize..100, others in 0usize..100, gt_extra in 0usize..100) {
+        // union-detected = tp + others; full GT = tp + others + gt_extra.
+        let optimistic = Metrics::new(tp, 0, others);
+        let full = Metrics::new(tp, 0, others + gt_extra);
+        match (optimistic.recall(), full.recall()) {
+            (Some(o), Some(f)) => prop_assert!(o >= f - 1e-12),
+            (None, None) => {}
+            (Some(_), None) | (None, Some(_)) => {
+                // Defined-ness may differ only when there is nothing to
+                // find in one denominator.
+                prop_assert!(tp + others == 0 || tp + others + gt_extra == 0);
+            }
+        }
+    }
+}

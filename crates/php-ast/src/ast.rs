@@ -1,0 +1,868 @@
+//! Typed abstract syntax tree for the PHP 5 subset relevant to plugin
+//! analysis: full expression grammar, statements, functions, closures and
+//! the OOP constructs (classes, interfaces, traits, properties, methods)
+//! whose handling distinguishes phpSAFE from RIPS/Pixy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A lightweight source position (1-based line). The analyzers report
+/// findings by file + line, mirroring the paper's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Span {
+    /// Creates a span at `line`.
+    pub fn at(line: u32) -> Self {
+        Span { line }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Lit {
+    /// Integer literal (kept as text to preserve hex/octal/binary forms).
+    Int(String),
+    /// Float literal.
+    Float(String),
+    /// String literal with quotes stripped and escapes left verbatim.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Pow,
+    Concat,
+    Eq,
+    NotEq,
+    Identical,
+    NotIdentical,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    And,
+    Or,
+    Xor,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl BinOp {
+    /// PHP spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Mod => "%",
+            Pow => "**",
+            Concat => ".",
+            Eq => "==",
+            NotEq => "!=",
+            Identical => "===",
+            NotIdentical => "!==",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            And => "&&",
+            Or => "||",
+            Xor => "xor",
+            BitAnd => "&",
+            BitOr => "|",
+            BitXor => "^",
+            Shl => "<<",
+            Shr => ">>",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Not,
+    Neg,
+    Plus,
+    BitNot,
+}
+
+/// Compound-assignment operators (`$a .= $b` etc.); `None` is plain `=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum AssignOp {
+    Assign,
+    AddAssign,
+    SubAssign,
+    MulAssign,
+    DivAssign,
+    ModAssign,
+    ConcatAssign,
+    BitAndAssign,
+    BitOrAssign,
+    BitXorAssign,
+    ShlAssign,
+    ShrAssign,
+}
+
+impl AssignOp {
+    /// PHP spelling.
+    pub fn symbol(self) -> &'static str {
+        use AssignOp::*;
+        match self {
+            Assign => "=",
+            AddAssign => "+=",
+            SubAssign => "-=",
+            MulAssign => "*=",
+            DivAssign => "/=",
+            ModAssign => "%=",
+            ConcatAssign => ".=",
+            BitAndAssign => "&=",
+            BitOrAssign => "|=",
+            BitXorAssign => "^=",
+            ShlAssign => "<<=",
+            ShrAssign => ">>=",
+        }
+    }
+
+    /// Whether the old value of the target flows into the new value
+    /// (true for every compound op; `.=` is the one that matters for taint).
+    pub fn reads_target(self) -> bool {
+        !matches!(self, AssignOp::Assign)
+    }
+}
+
+/// Cast kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum CastKind {
+    Int,
+    Float,
+    String,
+    Array,
+    Object,
+    Bool,
+    Unset,
+}
+
+impl CastKind {
+    /// Whether this cast neutralizes injection payloads (numeric/bool casts
+    /// sanitize; string/array/object casts do not).
+    pub fn sanitizes(self) -> bool {
+        matches!(self, CastKind::Int | CastKind::Float | CastKind::Bool | CastKind::Unset)
+    }
+
+    /// PHP spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CastKind::Int => "(int)",
+            CastKind::Float => "(float)",
+            CastKind::String => "(string)",
+            CastKind::Array => "(array)",
+            CastKind::Object => "(object)",
+            CastKind::Bool => "(bool)",
+            CastKind::Unset => "(unset)",
+        }
+    }
+}
+
+/// `include` / `require` family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum IncludeKind {
+    Include,
+    IncludeOnce,
+    Require,
+    RequireOnce,
+}
+
+impl IncludeKind {
+    /// PHP spelling.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            IncludeKind::Include => "include",
+            IncludeKind::IncludeOnce => "include_once",
+            IncludeKind::Require => "require",
+            IncludeKind::RequireOnce => "require_once",
+        }
+    }
+}
+
+/// A member selector after `->` or `::` — either a fixed name or a computed
+/// expression (`$obj->$field`, `$obj->{expr}`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Member {
+    /// `->name`
+    Name(String),
+    /// `->$var` or `->{expr}`
+    Dynamic(Box<Expr>),
+}
+
+impl Member {
+    /// The fixed name, if statically known.
+    pub fn as_name(&self) -> Option<&str> {
+        match self {
+            Member::Name(n) => Some(n),
+            Member::Dynamic(_) => None,
+        }
+    }
+}
+
+/// What is being called in a [`Expr::Call`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Callee {
+    /// `foo(...)` — a plain (possibly namespaced) function name.
+    Function(String),
+    /// `$f(...)` or `($expr)(...)` — dynamic call.
+    Dynamic(Box<Expr>),
+    /// `$obj->m(...)`
+    Method {
+        /// The receiver expression.
+        base: Box<Expr>,
+        /// The method selector.
+        name: Member,
+    },
+    /// `Cls::m(...)` / `self::m(...)` / `static::m(...)`
+    StaticMethod {
+        /// The class name as written.
+        class: String,
+        /// The method selector.
+        name: Member,
+    },
+}
+
+/// A call argument (PHP 5: optional by-reference marker).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Arg {
+    /// Argument expression.
+    pub value: Expr,
+    /// `&$x` at the call site.
+    pub by_ref: bool,
+}
+
+impl Arg {
+    /// Positional argument.
+    pub fn pos(value: Expr) -> Self {
+        Arg {
+            value,
+            by_ref: false,
+        }
+    }
+}
+
+/// One piece of an interpolated string.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InterpPart {
+    /// Literal fragment.
+    Lit(String),
+    /// Interpolated expression (`$x`, `$x->p`, `{$expr}`).
+    Expr(Expr),
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// `$name`
+    Var(String, Span),
+    /// Variable-variable `$$name` or `${expr}`.
+    VarVar(Box<Expr>, Span),
+    /// Literal.
+    Lit(Lit, Span),
+    /// Interpolated double-quoted string / heredoc.
+    Interp(Vec<InterpPart>, Span),
+    /// Bareword constant fetch (`FOO`, `PHP_EOL`).
+    ConstFetch(String, Span),
+    /// `CLS::CONST`
+    ClassConst(String, String, Span),
+    /// `array(...)` / `[...]`
+    ArrayLit(Vec<(Option<Expr>, Expr)>, Span),
+    /// `$base[index]`; `index` is `None` for push syntax `$a[] = ...`.
+    Index(Box<Expr>, Option<Box<Expr>>, Span),
+    /// `$base->member`
+    Prop(Box<Expr>, Member, Span),
+    /// `CLS::$prop`
+    StaticProp(String, String, Span),
+    /// Assignment (including compound and by-reference).
+    Assign {
+        /// Assignment target (lvalue).
+        target: Box<Expr>,
+        /// Operator (plain or compound).
+        op: AssignOp,
+        /// Right-hand side.
+        value: Box<Expr>,
+        /// `=& ` reference assignment.
+        by_ref: bool,
+        /// Location.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `++$x`, `$x--`, …
+    IncDec {
+        /// Prefix (`++$x`) vs postfix (`$x++`).
+        prefix: bool,
+        /// Increment vs decrement.
+        increment: bool,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Function / method / dynamic call.
+    Call {
+        /// Call target.
+        callee: Callee,
+        /// Arguments.
+        args: Vec<Arg>,
+        /// Location.
+        span: Span,
+    },
+    /// `new Cls(args)`; class may be dynamic (`new $cls`).
+    New {
+        /// Class name if statically known.
+        class: Member,
+        /// Constructor arguments.
+        args: Vec<Arg>,
+        /// Location.
+        span: Span,
+    },
+    /// `clone $x`
+    Clone(Box<Expr>, Span),
+    /// `$c ? $t : $e` (with `$t` optional for the `?:` short form).
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// `then` branch (`None` for `?:`).
+        then: Option<Box<Expr>>,
+        /// `else` branch.
+        otherwise: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Type cast.
+    Cast(CastKind, Box<Expr>, Span),
+    /// `isset($a, $b)`
+    Isset(Vec<Expr>, Span),
+    /// `empty($x)`
+    Empty(Box<Expr>, Span),
+    /// `@expr`
+    ErrorSuppress(Box<Expr>, Span),
+    /// `print $x` (an expression in PHP).
+    Print(Box<Expr>, Span),
+    /// `exit($x)` / `die($x)`.
+    Exit(Option<Box<Expr>>, Span),
+    /// `include`/`require` expression.
+    Include(IncludeKind, Box<Expr>, Span),
+    /// `$x instanceof Cls`
+    Instanceof(Box<Expr>, String, Span),
+    /// `list($a, $b) = ...` target.
+    ListIntrinsic(Vec<Option<Expr>>, Span),
+    /// Anonymous function.
+    Closure {
+        /// Parameters.
+        params: Vec<Param>,
+        /// `use (...)` captures: (name, by_ref).
+        uses: Vec<(String, bool)>,
+        /// Body statements.
+        body: Vec<Stmt>,
+        /// Location.
+        span: Span,
+    },
+    /// Backtick shell execution.
+    ShellExec(Vec<InterpPart>, Span),
+    /// `&$x` reference in value position.
+    Ref(Box<Expr>, Span),
+    /// Placeholder produced by error recovery.
+    Error(Span),
+}
+
+impl Expr {
+    /// The source span of this expression.
+    pub fn span(&self) -> Span {
+        use Expr::*;
+        match self {
+            Var(_, s) | VarVar(_, s) | Lit(_, s) | Interp(_, s) | ConstFetch(_, s)
+            | ClassConst(_, _, s) | ArrayLit(_, s) | Index(_, _, s) | Prop(_, _, s)
+            | StaticProp(_, _, s) | Clone(_, s) | Cast(_, _, s) | Isset(_, s) | Empty(_, s)
+            | ErrorSuppress(_, s) | Print(_, s) | Exit(_, s) | Include(_, _, s)
+            | Instanceof(_, _, s) | ListIntrinsic(_, s) | ShellExec(_, s) | Ref(_, s)
+            | Error(s) => *s,
+            Assign { span, .. }
+            | Binary { span, .. }
+            | Unary { span, .. }
+            | IncDec { span, .. }
+            | Call { span, .. }
+            | New { span, .. }
+            | Ternary { span, .. }
+            | Closure { span, .. } => *span,
+        }
+    }
+
+    /// Convenience: `$name` variable expression.
+    pub fn var(name: impl Into<String>, line: u32) -> Expr {
+        Expr::Var(name.into(), Span::at(line))
+    }
+
+    /// Convenience: string literal.
+    pub fn str(value: impl Into<String>, line: u32) -> Expr {
+        Expr::Lit(Lit::Str(value.into()), Span::at(line))
+    }
+
+    /// If this is `$name`, return the name (with `$`).
+    pub fn as_var_name(&self) -> Option<&str> {
+        match self {
+            Expr::Var(n, _) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+/// A function / method / closure parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter variable name including `$`.
+    pub name: String,
+    /// Declared by reference (`&$x`).
+    pub by_ref: bool,
+    /// Default value, if any.
+    pub default: Option<Expr>,
+    /// Type hint as written (`array`, class name), if any.
+    pub type_hint: Option<String>,
+    /// Variadic (`...$args`).
+    pub variadic: bool,
+}
+
+impl Param {
+    /// A plain by-value parameter with no default.
+    pub fn simple(name: impl Into<String>) -> Self {
+        Param {
+            name: name.into(),
+            by_ref: false,
+            default: None,
+            type_hint: None,
+            variadic: false,
+        }
+    }
+}
+
+/// Member visibility / modifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Modifiers {
+    /// `public` (default), `protected`, or `private`.
+    pub visibility: Visibility,
+    /// `static`
+    pub is_static: bool,
+    /// `abstract`
+    pub is_abstract: bool,
+    /// `final`
+    pub is_final: bool,
+}
+
+/// Member visibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Visibility {
+    /// `public` / `var` / unspecified.
+    #[default]
+    Public,
+    /// `protected`
+    Protected,
+    /// `private`
+    Private,
+}
+
+/// A named function declaration (also used for methods).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionDecl {
+    /// Function name as written (case preserved; PHP resolves
+    /// case-insensitively).
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Returns by reference (`function &f()`).
+    pub by_ref: bool,
+    /// Body statements (empty for abstract/interface methods).
+    pub body: Vec<Stmt>,
+    /// Location of the declaration.
+    pub span: Span,
+}
+
+/// A class / interface / trait declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassDecl {
+    /// Declared name.
+    pub name: String,
+    /// Declaration flavor.
+    pub kind: ClassKind,
+    /// `extends` parent, if any (interfaces may extend several; we keep the
+    /// first — enough for method resolution in plugin code).
+    pub parent: Option<String>,
+    /// `implements` list.
+    pub interfaces: Vec<String>,
+    /// `abstract class`.
+    pub is_abstract: bool,
+    /// `final class`.
+    pub is_final: bool,
+    /// Members in declaration order.
+    pub members: Vec<ClassMember>,
+    /// Location.
+    pub span: Span,
+}
+
+impl ClassDecl {
+    /// Iterates the methods of the class.
+    pub fn methods(&self) -> impl Iterator<Item = (&Modifiers, &FunctionDecl)> {
+        self.members.iter().filter_map(|m| match m {
+            ClassMember::Method(mods, f) => Some((mods, f)),
+            _ => None,
+        })
+    }
+
+    /// Looks up a method by case-insensitive name.
+    pub fn method(&self, name: &str) -> Option<&FunctionDecl> {
+        self.methods()
+            .find(|(_, f)| f.name.eq_ignore_ascii_case(name))
+            .map(|(_, f)| f)
+    }
+}
+
+/// `class` vs `interface` vs `trait`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ClassKind {
+    Class,
+    Interface,
+    Trait,
+}
+
+/// A class member.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClassMember {
+    /// `public $x = default;`
+    Property {
+        /// Property name including `$`.
+        name: String,
+        /// Default value.
+        default: Option<Expr>,
+        /// Modifiers.
+        modifiers: Modifiers,
+        /// Location.
+        span: Span,
+    },
+    /// A method.
+    Method(Modifiers, FunctionDecl),
+    /// `const NAME = value;`
+    Const {
+        /// Constant name.
+        name: String,
+        /// Value expression.
+        value: Expr,
+        /// Location.
+        span: Span,
+    },
+    /// `use TraitA, TraitB;`
+    UseTrait(Vec<String>, Span),
+}
+
+/// A `catch (Type $e)` clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Catch {
+    /// Caught class name.
+    pub class: String,
+    /// Exception variable including `$`.
+    pub var: String,
+    /// Handler body.
+    pub body: Vec<Stmt>,
+}
+
+/// One `case`/`default` arm of a `switch`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchCase {
+    /// Case value; `None` for `default`.
+    pub value: Option<Expr>,
+    /// Arm body.
+    pub body: Vec<Stmt>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// `echo a, b, c;` (also synthesized for `<?= ... ?>`).
+    Echo(Vec<Expr>, Span),
+    /// Raw HTML between PHP blocks — an *output* in taint terms.
+    InlineHtml(String, Span),
+    /// `if` with any number of `elseif`s and an optional `else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// `then` branch.
+        then: Vec<Stmt>,
+        /// `elseif` chain.
+        elseifs: Vec<(Expr, Vec<Stmt>)>,
+        /// `else` branch.
+        otherwise: Option<Vec<Stmt>>,
+        /// Location.
+        span: Span,
+    },
+    /// `while`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Location.
+        span: Span,
+    },
+    /// `do { } while ()`
+    DoWhile {
+        /// Body.
+        body: Vec<Stmt>,
+        /// Condition.
+        cond: Expr,
+        /// Location.
+        span: Span,
+    },
+    /// `for (init; cond; step)`
+    For {
+        /// Init expressions.
+        init: Vec<Expr>,
+        /// Condition expressions.
+        cond: Vec<Expr>,
+        /// Step expressions.
+        step: Vec<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Location.
+        span: Span,
+    },
+    /// `foreach ($subject as $key => $value)`
+    Foreach {
+        /// Iterated expression.
+        subject: Expr,
+        /// Key variable, if present.
+        key: Option<Expr>,
+        /// Value binding target.
+        value: Expr,
+        /// `as &$v` by-reference binding.
+        by_ref: bool,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Location.
+        span: Span,
+    },
+    /// `switch`
+    Switch {
+        /// Scrutinee.
+        subject: Expr,
+        /// Arms.
+        cases: Vec<SwitchCase>,
+        /// Location.
+        span: Span,
+    },
+    /// `break [n];`
+    Break(Span),
+    /// `continue [n];`
+    Continue(Span),
+    /// `return [expr];`
+    Return(Option<Expr>, Span),
+    /// `global $a, $b;`
+    Global(Vec<String>, Span),
+    /// `static $a = 1;` (function-static variables).
+    StaticVars(Vec<(String, Option<Expr>)>, Span),
+    /// `unset($a, $b);`
+    Unset(Vec<Expr>, Span),
+    /// `throw expr;`
+    Throw(Expr, Span),
+    /// `try { } catch () { } finally { }`
+    Try {
+        /// Protected body.
+        body: Vec<Stmt>,
+        /// Catch clauses.
+        catches: Vec<Catch>,
+        /// Finally block.
+        finally: Option<Vec<Stmt>>,
+        /// Location.
+        span: Span,
+    },
+    /// A bare `{ ... }` block.
+    Block(Vec<Stmt>, Span),
+    /// Named function declaration.
+    Function(FunctionDecl),
+    /// Class / interface / trait declaration.
+    Class(ClassDecl),
+    /// `const NAME = value;` at top level.
+    ConstDecl(Vec<(String, Expr)>, Span),
+    /// `;` empty statement.
+    Nop(Span),
+    /// Placeholder produced by error recovery.
+    Error(Span),
+}
+
+impl Stmt {
+    /// The source span of this statement (best effort).
+    pub fn span(&self) -> Span {
+        use Stmt::*;
+        match self {
+            Expr(e) => e.span(),
+            Echo(_, s) | InlineHtml(_, s) | Break(s) | Continue(s) | Return(_, s)
+            | Global(_, s) | StaticVars(_, s) | Unset(_, s) | Block(_, s) | ConstDecl(_, s)
+            | Nop(s) | Error(s) => *s,
+            Throw(e, _) => e.span(),
+            If { span, .. }
+            | While { span, .. }
+            | DoWhile { span, .. }
+            | For { span, .. }
+            | Foreach { span, .. }
+            | Switch { span, .. }
+            | Try { span, .. } => *span,
+            Function(f) => f.span,
+            Class(c) => c.span,
+        }
+    }
+}
+
+/// A parse diagnostic: the parser recovers and keeps going, recording these.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Location.
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A fully parsed PHP file: top-level statements plus recovered errors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParsedFile {
+    /// Top-level statements (functions/classes appear as statements, as in
+    /// PHP).
+    pub stmts: Vec<Stmt>,
+    /// Parse errors recovered from.
+    pub errors: Vec<ParseError>,
+}
+
+impl ParsedFile {
+    /// Whether the file parsed without any recovered errors.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cast_sanitization_classes() {
+        assert!(CastKind::Int.sanitizes());
+        assert!(CastKind::Bool.sanitizes());
+        assert!(!CastKind::String.sanitizes());
+        assert!(!CastKind::Array.sanitizes());
+    }
+
+    #[test]
+    fn assign_op_reads_target() {
+        assert!(!AssignOp::Assign.reads_target());
+        assert!(AssignOp::ConcatAssign.reads_target());
+        assert!(AssignOp::AddAssign.reads_target());
+    }
+
+    #[test]
+    fn expr_spans() {
+        let e = Expr::var("$x", 7);
+        assert_eq!(e.span().line, 7);
+        let call = Expr::Call {
+            callee: Callee::Function("f".into()),
+            args: vec![Arg::pos(Expr::str("v", 7))],
+            span: Span::at(7),
+        };
+        assert_eq!(call.span().line, 7);
+    }
+
+    #[test]
+    fn class_method_lookup_is_case_insensitive() {
+        let c = ClassDecl {
+            name: "C".into(),
+            kind: ClassKind::Class,
+            parent: None,
+            interfaces: vec![],
+            is_abstract: false,
+            is_final: false,
+            members: vec![ClassMember::Method(
+                Modifiers::default(),
+                FunctionDecl {
+                    name: "Render".into(),
+                    params: vec![],
+                    by_ref: false,
+                    body: vec![],
+                    span: Span::at(1),
+                },
+            )],
+            span: Span::at(1),
+        };
+        assert!(c.method("render").is_some());
+        assert!(c.method("RENDER").is_some());
+        assert!(c.method("missing").is_none());
+    }
+
+    #[test]
+    fn member_as_name() {
+        assert_eq!(Member::Name("p".into()).as_name(), Some("p"));
+        assert_eq!(
+            Member::Dynamic(Box::new(Expr::var("$f", 1))).as_name(),
+            None
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # php-ast
+//!
+//! A typed abstract syntax tree and error-tolerant recursive-descent parser
+//! for the PHP 5 language subset used by CMS plugins — the model the
+//! phpSAFE paper builds in its *model construction* stage (§III.B).
+//!
+//! The parser consumes tokens from [`php_lexer`] and produces a
+//! [`ParsedFile`]. It never fails: malformed constructs are recorded as
+//! [`ParseError`]s and replaced with `Error` placeholder nodes so the
+//! analyzers can keep going (plugin robustness is one of the paper's
+//! evaluation dimensions).
+//!
+//! ```
+//! use php_ast::{parse, Stmt};
+//!
+//! let file = parse("<?php class C { function m() { echo $_GET['x']; } }");
+//! assert!(file.is_clean());
+//! assert!(matches!(file.stmts[0], Stmt::Class(_)));
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod parser;
+pub mod printer;
+pub mod visit;
+
+pub use ast::*;
+pub use parser::parse;

@@ -1,0 +1,825 @@
+//! Pretty-printer from AST back to PHP source.
+//!
+//! Used by the corpus round-trip tests (`parse(print(ast))` must be
+//! structurally equivalent) and for rendering data-flow traces in reports.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a whole parsed file as PHP source (including `<?php` header).
+pub fn print_file(file: &ParsedFile) -> String {
+    let mut p = Printer::new();
+    p.out.push_str("<?php\n");
+    for s in &file.stmts {
+        p.stmt(s);
+    }
+    p.out
+}
+
+/// Renders a single expression as PHP source.
+pub fn print_expr(expr: &Expr) -> String {
+    let mut p = Printer::new();
+    p.expr(expr);
+    p.out
+}
+
+/// Renders a single statement as PHP source.
+pub fn print_stmt(stmt: &Stmt) -> String {
+    let mut p = Printer::new();
+    p.stmt(stmt);
+    p.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn new() -> Self {
+        Printer {
+            out: String::new(),
+            indent: 0,
+        }
+    }
+
+    fn pad(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+    }
+
+    fn line(&mut self, s: &str) {
+        self.pad();
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn block(&mut self, body: &[Stmt]) {
+        self.out.push_str(" {\n");
+        self.indent += 1;
+        for s in body {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.pad();
+        self.out.push_str("}\n");
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Expr(e) => {
+                self.pad();
+                self.expr(e);
+                self.out.push_str(";\n");
+            }
+            Stmt::Echo(es, _) => {
+                self.pad();
+                self.out.push_str("echo ");
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(e);
+                }
+                self.out.push_str(";\n");
+            }
+            Stmt::InlineHtml(html, _) => {
+                self.pad();
+                self.out.push_str("?>");
+                self.out.push_str(html);
+                self.out.push_str("<?php\n");
+            }
+            Stmt::If {
+                cond,
+                then,
+                elseifs,
+                otherwise,
+                ..
+            } => {
+                self.pad();
+                self.out.push_str("if (");
+                self.expr(cond);
+                self.out.push(')');
+                self.block_inline(then);
+                for (c, b) in elseifs {
+                    self.pad();
+                    self.out.push_str("elseif (");
+                    self.expr(c);
+                    self.out.push(')');
+                    self.block_inline(b);
+                }
+                if let Some(b) = otherwise {
+                    self.pad();
+                    self.out.push_str("else");
+                    self.block_inline(b);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                self.pad();
+                self.out.push_str("while (");
+                self.expr(cond);
+                self.out.push(')');
+                self.block_inline(body);
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                self.pad();
+                self.out.push_str("do");
+                self.out.push_str(" {\n");
+                self.indent += 1;
+                for s in body {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.pad();
+                self.out.push_str("} while (");
+                self.expr(cond);
+                self.out.push_str(");\n");
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                self.pad();
+                self.out.push_str("for (");
+                self.expr_list(init);
+                self.out.push_str("; ");
+                self.expr_list(cond);
+                self.out.push_str("; ");
+                self.expr_list(step);
+                self.out.push(')');
+                self.block_inline(body);
+            }
+            Stmt::Foreach {
+                subject,
+                key,
+                value,
+                by_ref,
+                body,
+                ..
+            } => {
+                self.pad();
+                self.out.push_str("foreach (");
+                self.expr(subject);
+                self.out.push_str(" as ");
+                if let Some(k) = key {
+                    self.expr(k);
+                    self.out.push_str(" => ");
+                }
+                if *by_ref {
+                    self.out.push('&');
+                }
+                self.expr(value);
+                self.out.push(')');
+                self.block_inline(body);
+            }
+            Stmt::Switch { subject, cases, .. } => {
+                self.pad();
+                self.out.push_str("switch (");
+                self.expr(subject);
+                self.out.push_str(") {\n");
+                self.indent += 1;
+                for c in cases {
+                    self.pad();
+                    match &c.value {
+                        Some(v) => {
+                            self.out.push_str("case ");
+                            self.expr(v);
+                            self.out.push_str(":\n");
+                        }
+                        None => self.out.push_str("default:\n"),
+                    }
+                    self.indent += 1;
+                    for s in &c.body {
+                        self.stmt(s);
+                    }
+                    self.indent -= 1;
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            Stmt::Break(_) => self.line("break;"),
+            Stmt::Continue(_) => self.line("continue;"),
+            Stmt::Return(e, _) => {
+                self.pad();
+                self.out.push_str("return");
+                if let Some(e) = e {
+                    self.out.push(' ');
+                    self.expr(e);
+                }
+                self.out.push_str(";\n");
+            }
+            Stmt::Global(names, _) => {
+                self.pad();
+                self.out.push_str("global ");
+                self.out.push_str(&names.join(", "));
+                self.out.push_str(";\n");
+            }
+            Stmt::StaticVars(vars, _) => {
+                self.pad();
+                self.out.push_str("static ");
+                for (i, (n, d)) in vars.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.out.push_str(n);
+                    if let Some(d) = d {
+                        self.out.push_str(" = ");
+                        self.expr(d);
+                    }
+                }
+                self.out.push_str(";\n");
+            }
+            Stmt::Unset(es, _) => {
+                self.pad();
+                self.out.push_str("unset(");
+                self.expr_list(es);
+                self.out.push_str(");\n");
+            }
+            Stmt::Throw(e, _) => {
+                self.pad();
+                self.out.push_str("throw ");
+                self.expr(e);
+                self.out.push_str(";\n");
+            }
+            Stmt::Try {
+                body,
+                catches,
+                finally,
+                ..
+            } => {
+                self.pad();
+                self.out.push_str("try");
+                self.out.push_str(" {\n");
+                self.indent += 1;
+                for s in body {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.pad();
+                self.out.push('}');
+                for c in catches {
+                    write!(self.out, " catch ({} {})", c.class, c.var).expect("write");
+                    self.out.push_str(" {\n");
+                    self.indent += 1;
+                    for s in &c.body {
+                        self.stmt(s);
+                    }
+                    self.indent -= 1;
+                    self.pad();
+                    self.out.push('}');
+                }
+                if let Some(f) = finally {
+                    self.out.push_str(" finally {\n");
+                    self.indent += 1;
+                    for s in f {
+                        self.stmt(s);
+                    }
+                    self.indent -= 1;
+                    self.pad();
+                    self.out.push('}');
+                }
+                self.out.push('\n');
+            }
+            Stmt::Block(body, _) => {
+                self.pad();
+                self.out.push('{');
+                self.out.push('\n');
+                self.indent += 1;
+                for s in body {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            Stmt::Function(f) => self.function(f, None),
+            Stmt::Class(c) => self.class(c),
+            Stmt::ConstDecl(cs, _) => {
+                self.pad();
+                self.out.push_str("const ");
+                for (i, (n, e)) in cs.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.out.push_str(n);
+                    self.out.push_str(" = ");
+                    self.expr(e);
+                }
+                self.out.push_str(";\n");
+            }
+            Stmt::Nop(_) => {}
+            Stmt::Error(_) => self.line("/* parse error */;"),
+        }
+    }
+
+    fn block_inline(&mut self, body: &[Stmt]) {
+        self.block(body);
+    }
+
+    fn function(&mut self, f: &FunctionDecl, mods: Option<&Modifiers>) {
+        self.pad();
+        if let Some(m) = mods {
+            match m.visibility {
+                Visibility::Public => self.out.push_str("public "),
+                Visibility::Protected => self.out.push_str("protected "),
+                Visibility::Private => self.out.push_str("private "),
+            }
+            if m.is_static {
+                self.out.push_str("static ");
+            }
+            if m.is_abstract {
+                self.out.push_str("abstract ");
+            }
+            if m.is_final {
+                self.out.push_str("final ");
+            }
+        }
+        self.out.push_str("function ");
+        if f.by_ref {
+            self.out.push('&');
+        }
+        self.out.push_str(&f.name);
+        self.out.push('(');
+        self.params(&f.params);
+        self.out.push(')');
+        if f.body.is_empty() && mods.map(|m| m.is_abstract).unwrap_or(false) {
+            self.out.push_str(";\n");
+        } else {
+            self.block(&f.body);
+        }
+    }
+
+    fn params(&mut self, params: &[Param]) {
+        for (i, p) in params.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            if let Some(h) = &p.type_hint {
+                self.out.push_str(h);
+                self.out.push(' ');
+            }
+            if p.by_ref {
+                self.out.push('&');
+            }
+            if p.variadic {
+                self.out.push_str("...");
+            }
+            self.out.push_str(&p.name);
+            if let Some(d) = &p.default {
+                self.out.push_str(" = ");
+                self.expr(d);
+            }
+        }
+    }
+
+    fn class(&mut self, c: &ClassDecl) {
+        self.pad();
+        if c.is_abstract {
+            self.out.push_str("abstract ");
+        }
+        if c.is_final {
+            self.out.push_str("final ");
+        }
+        match c.kind {
+            ClassKind::Class => self.out.push_str("class "),
+            ClassKind::Interface => self.out.push_str("interface "),
+            ClassKind::Trait => self.out.push_str("trait "),
+        }
+        self.out.push_str(&c.name);
+        if let Some(p) = &c.parent {
+            self.out.push_str(" extends ");
+            self.out.push_str(p);
+        }
+        if !c.interfaces.is_empty() {
+            self.out.push_str(" implements ");
+            self.out.push_str(&c.interfaces.join(", "));
+        }
+        self.out.push_str(" {\n");
+        self.indent += 1;
+        for m in &c.members {
+            match m {
+                ClassMember::Property {
+                    name,
+                    default,
+                    modifiers,
+                    ..
+                } => {
+                    self.pad();
+                    match modifiers.visibility {
+                        Visibility::Public => self.out.push_str("public "),
+                        Visibility::Protected => self.out.push_str("protected "),
+                        Visibility::Private => self.out.push_str("private "),
+                    }
+                    if modifiers.is_static {
+                        self.out.push_str("static ");
+                    }
+                    self.out.push_str(name);
+                    if let Some(d) = default {
+                        self.out.push_str(" = ");
+                        self.expr(d);
+                    }
+                    self.out.push_str(";\n");
+                }
+                ClassMember::Method(mods, f) => self.function(f, Some(mods)),
+                ClassMember::Const { name, value, .. } => {
+                    self.pad();
+                    self.out.push_str("const ");
+                    self.out.push_str(name);
+                    self.out.push_str(" = ");
+                    self.expr(value);
+                    self.out.push_str(";\n");
+                }
+                ClassMember::UseTrait(names, _) => {
+                    self.pad();
+                    self.out.push_str("use ");
+                    self.out.push_str(&names.join(", "));
+                    self.out.push_str(";\n");
+                }
+            }
+        }
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn expr_list(&mut self, es: &[Expr]) {
+        for (i, e) in es.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.expr(e);
+        }
+    }
+
+    fn member(&mut self, m: &Member) {
+        match m {
+            Member::Name(n) => self.out.push_str(n),
+            Member::Dynamic(e) => {
+                self.out.push('{');
+                self.expr(e);
+                self.out.push('}');
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Var(n, _) => self.out.push_str(n),
+            Expr::VarVar(inner, _) => {
+                self.out.push_str("${");
+                self.expr(inner);
+                self.out.push('}');
+            }
+            Expr::Lit(l, _) => match l {
+                Lit::Int(t) | Lit::Float(t) => self.out.push_str(t),
+                Lit::Str(s) => {
+                    self.out.push('\'');
+                    // escape single quotes and backslashes
+                    for c in s.chars() {
+                        if c == '\'' || c == '\\' {
+                            self.out.push('\\');
+                        }
+                        self.out.push(c);
+                    }
+                    self.out.push('\'');
+                }
+                Lit::Bool(true) => self.out.push_str("true"),
+                Lit::Bool(false) => self.out.push_str("false"),
+                Lit::Null => self.out.push_str("null"),
+            },
+            Expr::Interp(parts, _) => {
+                self.out.push('"');
+                for p in parts {
+                    match p {
+                        InterpPart::Lit(s) => self.out.push_str(s),
+                        InterpPart::Expr(e) => {
+                            self.out.push('{');
+                            self.expr(e);
+                            self.out.push('}');
+                        }
+                    }
+                }
+                self.out.push('"');
+            }
+            Expr::ShellExec(parts, _) => {
+                self.out.push('`');
+                for p in parts {
+                    match p {
+                        InterpPart::Lit(s) => self.out.push_str(s),
+                        InterpPart::Expr(e) => {
+                            self.out.push('{');
+                            self.expr(e);
+                            self.out.push('}');
+                        }
+                    }
+                }
+                self.out.push('`');
+            }
+            Expr::ConstFetch(n, _) => self.out.push_str(n),
+            Expr::ClassConst(c, n, _) => {
+                write!(self.out, "{c}::{n}").expect("write");
+            }
+            Expr::ArrayLit(items, _) => {
+                self.out.push_str("array(");
+                for (i, (k, v)) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    if let Some(k) = k {
+                        self.expr(k);
+                        self.out.push_str(" => ");
+                    }
+                    self.expr(v);
+                }
+                self.out.push(')');
+            }
+            Expr::Index(b, i, _) => {
+                self.expr(b);
+                self.out.push('[');
+                if let Some(i) = i {
+                    self.expr(i);
+                }
+                self.out.push(']');
+            }
+            Expr::Prop(b, m, _) => {
+                self.expr(b);
+                self.out.push_str("->");
+                self.member(m);
+            }
+            Expr::StaticProp(c, p, _) => {
+                write!(self.out, "{c}::{p}").expect("write");
+            }
+            Expr::Assign {
+                target,
+                op,
+                value,
+                by_ref,
+                ..
+            } => {
+                self.expr(target);
+                self.out.push(' ');
+                self.out.push_str(op.symbol());
+                if *by_ref {
+                    self.out.push('&');
+                }
+                self.out.push(' ');
+                self.expr(value);
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                self.out.push('(');
+                self.expr(lhs);
+                self.out.push(' ');
+                self.out.push_str(op.symbol());
+                self.out.push(' ');
+                self.expr(rhs);
+                self.out.push(')');
+            }
+            Expr::Unary { op, expr, .. } => {
+                match op {
+                    UnOp::Not => self.out.push('!'),
+                    UnOp::Neg => self.out.push('-'),
+                    UnOp::Plus => self.out.push('+'),
+                    UnOp::BitNot => self.out.push('~'),
+                }
+                self.expr(expr);
+            }
+            Expr::IncDec {
+                prefix,
+                increment,
+                expr,
+                ..
+            } => {
+                let sym = if *increment { "++" } else { "--" };
+                if *prefix {
+                    self.out.push_str(sym);
+                    self.expr(expr);
+                } else {
+                    self.expr(expr);
+                    self.out.push_str(sym);
+                }
+            }
+            Expr::Call { callee, args, .. } => {
+                match callee {
+                    Callee::Function(n) => self.out.push_str(n),
+                    Callee::Dynamic(e) => self.expr(e),
+                    Callee::Method { base, name } => {
+                        self.expr(base);
+                        self.out.push_str("->");
+                        self.member(name);
+                    }
+                    Callee::StaticMethod { class, name } => {
+                        self.out.push_str(class);
+                        self.out.push_str("::");
+                        self.member(name);
+                    }
+                }
+                self.out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    if a.by_ref {
+                        self.out.push('&');
+                    }
+                    self.expr(&a.value);
+                }
+                self.out.push(')');
+            }
+            Expr::New { class, args, .. } => {
+                self.out.push_str("new ");
+                match class {
+                    Member::Name(n) => self.out.push_str(n),
+                    Member::Dynamic(e) => self.expr(e),
+                }
+                self.out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(&a.value);
+                }
+                self.out.push(')');
+            }
+            Expr::Clone(e, _) => {
+                self.out.push_str("clone ");
+                self.expr(e);
+            }
+            Expr::Ternary {
+                cond,
+                then,
+                otherwise,
+                ..
+            } => {
+                self.out.push('(');
+                self.expr(cond);
+                self.out.push_str(" ? ");
+                if let Some(t) = then {
+                    self.expr(t);
+                }
+                self.out.push_str(" : ");
+                self.expr(otherwise);
+                self.out.push(')');
+            }
+            Expr::Cast(k, e, _) => {
+                self.out.push_str(k.symbol());
+                self.expr(e);
+            }
+            Expr::Isset(es, _) => {
+                self.out.push_str("isset(");
+                self.expr_list(es);
+                self.out.push(')');
+            }
+            Expr::Empty(e, _) => {
+                self.out.push_str("empty(");
+                self.expr(e);
+                self.out.push(')');
+            }
+            Expr::ErrorSuppress(e, _) => {
+                self.out.push('@');
+                self.expr(e);
+            }
+            Expr::Print(e, _) => {
+                self.out.push_str("print ");
+                self.expr(e);
+            }
+            Expr::Exit(e, _) => {
+                self.out.push_str("exit(");
+                if let Some(e) = e {
+                    self.expr(e);
+                }
+                self.out.push(')');
+            }
+            Expr::Include(k, e, _) => {
+                self.out.push_str(k.keyword());
+                self.out.push(' ');
+                self.expr(e);
+            }
+            Expr::Instanceof(e, c, _) => {
+                self.expr(e);
+                self.out.push_str(" instanceof ");
+                self.out.push_str(c);
+            }
+            Expr::ListIntrinsic(items, _) => {
+                self.out.push_str("list(");
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    if let Some(e) = it {
+                        self.expr(e);
+                    }
+                }
+                self.out.push(')');
+            }
+            Expr::Closure {
+                params, uses, body, ..
+            } => {
+                self.out.push_str("function (");
+                self.params(params);
+                self.out.push(')');
+                if !uses.is_empty() {
+                    self.out.push_str(" use (");
+                    for (i, (n, by_ref)) in uses.iter().enumerate() {
+                        if i > 0 {
+                            self.out.push_str(", ");
+                        }
+                        if *by_ref {
+                            self.out.push('&');
+                        }
+                        self.out.push_str(n);
+                    }
+                    self.out.push(')');
+                }
+                self.out.push_str(" {\n");
+                self.indent += 1;
+                for s in body {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.pad();
+                self.out.push('}');
+            }
+            Expr::Ref(e, _) => {
+                self.out.push('&');
+                self.expr(e);
+            }
+            Expr::Error(_) => self.out.push_str("/* error */null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip_structural(src: &str) {
+        let f1 = parse(src);
+        assert!(f1.is_clean(), "first parse must be clean: {:?}", f1.errors);
+        let printed = print_file(&f1);
+        let f2 = parse(&printed);
+        assert!(
+            f2.is_clean(),
+            "printed source must reparse cleanly:\n{printed}\nerrors: {:?}",
+            f2.errors
+        );
+    }
+
+    #[test]
+    fn roundtrip_simple_statements() {
+        roundtrip_structural("<?php $a = 1; echo $a; $b = $a . 'x';");
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        roundtrip_structural(
+            "<?php if ($a) { echo 1; } elseif ($b) { echo 2; } else { echo 3; }
+             while ($x) { $x--; }
+             for ($i = 0; $i < 10; $i++) { echo $i; }
+             foreach ($rows as $k => $v) { echo $v; }
+             switch ($n) { case 1: echo 'a'; break; default: echo 'b'; }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_oop() {
+        roundtrip_structural(
+            "<?php
+            class Widget extends Base implements I1, I2 {
+                const VERSION = '1.0';
+                public static $registry = array();
+                private $name;
+                public function __construct($name) { $this->name = $name; }
+                public function render() { echo $this->name; }
+            }
+            $w = new Widget($_GET['n']);
+            $w->render();
+            Widget::$registry[] = $w;",
+        );
+    }
+
+    #[test]
+    fn roundtrip_interpolation() {
+        roundtrip_structural(r#"<?php $q = "SELECT * FROM {$wpdb->prefix}posts WHERE id = $id";"#);
+    }
+
+    #[test]
+    fn roundtrip_closures_and_arrays() {
+        roundtrip_structural(
+            "<?php $f = function ($a) use (&$b) { return $a + $b; };
+             $m = array('k' => 1, 2, 'x' => array(3));
+             $s = [1, 2, 'three'];",
+        );
+    }
+
+    #[test]
+    fn print_expr_renders_calls() {
+        let f = parse("<?php foo($_GET['x'], 2);");
+        let Stmt::Expr(e) = &f.stmts[0] else {
+            panic!("expected expr stmt")
+        };
+        assert_eq!(print_expr(e), "foo($_GET['x'], 2)");
+    }
+}

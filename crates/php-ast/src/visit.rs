@@ -1,0 +1,387 @@
+//! A depth-first visitor over the AST, used by symbol collection and the
+//! baseline analyzers.
+
+use crate::ast::*;
+
+/// Depth-first AST visitor. Override the `visit_*` hooks you care about;
+/// call the corresponding `walk_*` function to recurse into children.
+pub trait Visitor {
+    /// Called for every expression (before children).
+    fn visit_expr(&mut self, expr: &Expr) {
+        walk_expr(self, expr);
+    }
+
+    /// Called for every statement (before children).
+    fn visit_stmt(&mut self, stmt: &Stmt) {
+        walk_stmt(self, stmt);
+    }
+
+    /// Called for every named function declaration (including methods).
+    fn visit_function(&mut self, func: &FunctionDecl) {
+        walk_function(self, func);
+    }
+
+    /// Called for every class declaration.
+    fn visit_class(&mut self, class: &ClassDecl) {
+        walk_class(self, class);
+    }
+}
+
+/// Visits every statement of a parsed file.
+pub fn walk_file<V: Visitor + ?Sized>(v: &mut V, file: &ParsedFile) {
+    for s in &file.stmts {
+        v.visit_stmt(s);
+    }
+}
+
+/// Recurses into the children of `stmt`.
+pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt) {
+    match stmt {
+        Stmt::Expr(e) => v.visit_expr(e),
+        Stmt::Echo(es, _) => {
+            for e in es {
+                v.visit_expr(e);
+            }
+        }
+        Stmt::InlineHtml(..) | Stmt::Break(_) | Stmt::Continue(_) | Stmt::Nop(_)
+        | Stmt::Error(_) | Stmt::Global(..) => {}
+        Stmt::If {
+            cond,
+            then,
+            elseifs,
+            otherwise,
+            ..
+        } => {
+            v.visit_expr(cond);
+            for s in then {
+                v.visit_stmt(s);
+            }
+            for (c, b) in elseifs {
+                v.visit_expr(c);
+                for s in b {
+                    v.visit_stmt(s);
+                }
+            }
+            if let Some(b) = otherwise {
+                for s in b {
+                    v.visit_stmt(s);
+                }
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            v.visit_expr(cond);
+            for s in body {
+                v.visit_stmt(s);
+            }
+        }
+        Stmt::DoWhile { body, cond, .. } => {
+            for s in body {
+                v.visit_stmt(s);
+            }
+            v.visit_expr(cond);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            for e in init.iter().chain(cond).chain(step) {
+                v.visit_expr(e);
+            }
+            for s in body {
+                v.visit_stmt(s);
+            }
+        }
+        Stmt::Foreach {
+            subject,
+            key,
+            value,
+            body,
+            ..
+        } => {
+            v.visit_expr(subject);
+            if let Some(k) = key {
+                v.visit_expr(k);
+            }
+            v.visit_expr(value);
+            for s in body {
+                v.visit_stmt(s);
+            }
+        }
+        Stmt::Switch { subject, cases, .. } => {
+            v.visit_expr(subject);
+            for c in cases {
+                if let Some(val) = &c.value {
+                    v.visit_expr(val);
+                }
+                for s in &c.body {
+                    v.visit_stmt(s);
+                }
+            }
+        }
+        Stmt::Return(e, _) => {
+            if let Some(e) = e {
+                v.visit_expr(e);
+            }
+        }
+        Stmt::StaticVars(vars, _) => {
+            for (_, d) in vars {
+                if let Some(d) = d {
+                    v.visit_expr(d);
+                }
+            }
+        }
+        Stmt::Unset(es, _) => {
+            for e in es {
+                v.visit_expr(e);
+            }
+        }
+        Stmt::Throw(e, _) => v.visit_expr(e),
+        Stmt::Try {
+            body,
+            catches,
+            finally,
+            ..
+        } => {
+            for s in body {
+                v.visit_stmt(s);
+            }
+            for c in catches {
+                for s in &c.body {
+                    v.visit_stmt(s);
+                }
+            }
+            if let Some(f) = finally {
+                for s in f {
+                    v.visit_stmt(s);
+                }
+            }
+        }
+        Stmt::Block(body, _) => {
+            for s in body {
+                v.visit_stmt(s);
+            }
+        }
+        Stmt::Function(f) => v.visit_function(f),
+        Stmt::Class(c) => v.visit_class(c),
+        Stmt::ConstDecl(cs, _) => {
+            for (_, e) in cs {
+                v.visit_expr(e);
+            }
+        }
+    }
+}
+
+/// Recurses into the children of `expr`.
+pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, expr: &Expr) {
+    match expr {
+        Expr::Var(..) | Expr::Lit(..) | Expr::ConstFetch(..) | Expr::ClassConst(..)
+        | Expr::StaticProp(..) | Expr::Error(_) => {}
+        Expr::VarVar(e, _)
+        | Expr::Clone(e, _)
+        | Expr::Cast(_, e, _)
+        | Expr::Empty(e, _)
+        | Expr::ErrorSuppress(e, _)
+        | Expr::Print(e, _)
+        | Expr::Include(_, e, _)
+        | Expr::Instanceof(e, _, _)
+        | Expr::Ref(e, _) => v.visit_expr(e),
+        Expr::Interp(parts, _) | Expr::ShellExec(parts, _) => {
+            for p in parts {
+                if let InterpPart::Expr(e) = p {
+                    v.visit_expr(e);
+                }
+            }
+        }
+        Expr::ArrayLit(items, _) => {
+            for (k, val) in items {
+                if let Some(k) = k {
+                    v.visit_expr(k);
+                }
+                v.visit_expr(val);
+            }
+        }
+        Expr::Index(base, idx, _) => {
+            v.visit_expr(base);
+            if let Some(i) = idx {
+                v.visit_expr(i);
+            }
+        }
+        Expr::Prop(base, member, _) => {
+            v.visit_expr(base);
+            if let Member::Dynamic(e) = member {
+                v.visit_expr(e);
+            }
+        }
+        Expr::Assign { target, value, .. } => {
+            v.visit_expr(target);
+            v.visit_expr(value);
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            v.visit_expr(lhs);
+            v.visit_expr(rhs);
+        }
+        Expr::Unary { expr, .. } | Expr::IncDec { expr, .. } => v.visit_expr(expr),
+        Expr::Call { callee, args, .. } => {
+            match callee {
+                Callee::Function(_) => {}
+                Callee::Dynamic(e) => v.visit_expr(e),
+                Callee::Method { base, name } => {
+                    v.visit_expr(base);
+                    if let Member::Dynamic(e) = name {
+                        v.visit_expr(e);
+                    }
+                }
+                Callee::StaticMethod { name, .. } => {
+                    if let Member::Dynamic(e) = name {
+                        v.visit_expr(e);
+                    }
+                }
+            }
+            for a in args {
+                v.visit_expr(&a.value);
+            }
+        }
+        Expr::New { class, args, .. } => {
+            if let Member::Dynamic(e) = class {
+                v.visit_expr(e);
+            }
+            for a in args {
+                v.visit_expr(&a.value);
+            }
+        }
+        Expr::Ternary {
+            cond,
+            then,
+            otherwise,
+            ..
+        } => {
+            v.visit_expr(cond);
+            if let Some(t) = then {
+                v.visit_expr(t);
+            }
+            v.visit_expr(otherwise);
+        }
+        Expr::Isset(es, _) => {
+            for e in es {
+                v.visit_expr(e);
+            }
+        }
+        Expr::Exit(e, _) => {
+            if let Some(e) = e {
+                v.visit_expr(e);
+            }
+        }
+        Expr::ListIntrinsic(items, _) => {
+            for e in items.iter().flatten() {
+                v.visit_expr(e);
+            }
+        }
+        Expr::Closure { params, body, .. } => {
+            for p in params {
+                if let Some(d) = &p.default {
+                    v.visit_expr(d);
+                }
+            }
+            for s in body {
+                v.visit_stmt(s);
+            }
+        }
+    }
+}
+
+/// Recurses into the children of a function declaration.
+pub fn walk_function<V: Visitor + ?Sized>(v: &mut V, func: &FunctionDecl) {
+    for p in &func.params {
+        if let Some(d) = &p.default {
+            v.visit_expr(d);
+        }
+    }
+    for s in &func.body {
+        v.visit_stmt(s);
+    }
+}
+
+/// Recurses into the children of a class declaration.
+pub fn walk_class<V: Visitor + ?Sized>(v: &mut V, class: &ClassDecl) {
+    for m in &class.members {
+        match m {
+            ClassMember::Property { default, .. } => {
+                if let Some(d) = default {
+                    v.visit_expr(d);
+                }
+            }
+            ClassMember::Method(_, f) => v.visit_function(f),
+            ClassMember::Const { value, .. } => v.visit_expr(value),
+            ClassMember::UseTrait(..) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    struct Counter {
+        vars: usize,
+        calls: usize,
+        functions: usize,
+        classes: usize,
+    }
+
+    impl Visitor for Counter {
+        fn visit_expr(&mut self, expr: &Expr) {
+            match expr {
+                Expr::Var(..) => self.vars += 1,
+                Expr::Call { .. } => self.calls += 1,
+                _ => {}
+            }
+            walk_expr(self, expr);
+        }
+        fn visit_function(&mut self, f: &FunctionDecl) {
+            self.functions += 1;
+            walk_function(self, f);
+        }
+        fn visit_class(&mut self, c: &ClassDecl) {
+            self.classes += 1;
+            walk_class(self, c);
+        }
+    }
+
+    #[test]
+    fn visitor_reaches_nested_nodes() {
+        let file = parse(
+            "<?php
+            class A { function m($x) { return foo($x); } }
+            function top() { if ($a) { echo bar($b); } }
+            ",
+        );
+        let mut c = Counter {
+            vars: 0,
+            calls: 0,
+            functions: 0,
+            classes: 0,
+        };
+        walk_file(&mut c, &file);
+        assert_eq!(c.classes, 1);
+        assert_eq!(c.functions, 2); // method + top
+        assert_eq!(c.calls, 2);
+        assert!(c.vars >= 3); // $x, $a, $b (plus $x in call)
+    }
+
+    #[test]
+    fn visitor_reaches_closure_bodies() {
+        let file = parse("<?php $f = function($a) { echo $a; };");
+        let mut c = Counter {
+            vars: 0,
+            calls: 0,
+            functions: 0,
+            classes: 0,
+        };
+        walk_file(&mut c, &file);
+        assert!(c.vars >= 2);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests: the parser is total, recovery always makes
+//! progress, and printing then reparsing is stable.
+
+use php_ast::{parse, printer::print_file};
+use proptest::prelude::*;
+
+fn php_soup() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just("<?php ".to_string()),
+        Just("$x = $_GET['a']; ".to_string()),
+        Just("echo $x; ".to_string()),
+        Just("if ($a) { echo 1; } else { echo 2; } ".to_string()),
+        Just("function f($p) { return $p; } ".to_string()),
+        Just("class C { var $p; function m() {} } ".to_string()),
+        Just("$o = new C(); $o->m(); ".to_string()),
+        Just("foreach ($r as $k => $v) echo $v; ".to_string()),
+        Just("\"str $interp\"; ".to_string()),
+        Just("$a[1]['k'] = 2; ".to_string()),
+        Just("while (".to_string()),   // deliberately broken
+        Just("} } ) ; ".to_string()),  // deliberately broken
+        Just("$wpdb->query(\"DELETE\"); ".to_string()),
+        Just("?><b>html</b><?php ".to_string()),
+        Just("list($a,$b) = $x; ".to_string()),
+        Just("switch($v){case 1: break; default: ;} ".to_string()),
+        Just("@include 'x.php'; ".to_string()),
+        Just("$$v = 1; ".to_string()),
+        "[ -~]{0,16}".prop_map(|s| s),
+    ];
+    prop::collection::vec(fragment, 0..20).prop_map(|v| v.concat())
+}
+
+proptest! {
+    /// The parser terminates and never panics on construct soup.
+    #[test]
+    fn parser_is_total(src in php_soup()) {
+        let _ = parse(&src);
+    }
+
+    /// The parser never panics on arbitrary unicode.
+    #[test]
+    fn parser_is_total_on_unicode(src in "\\PC{0,80}") {
+        let _ = parse(&src);
+    }
+
+    /// Printing a cleanly parsed file reparses cleanly, and a second
+    /// print-parse cycle is a fixed point (structural stability).
+    #[test]
+    fn print_parse_stabilizes(src in php_soup()) {
+        let f1 = parse(&src);
+        if !f1.is_clean() {
+            return Ok(());
+        }
+        let p1 = print_file(&f1);
+        let f2 = parse(&p1);
+        prop_assert!(f2.is_clean(), "printed output failed to reparse:\n{}\nerrors: {:?}", p1, f2.errors);
+        let p2 = print_file(&f2);
+        let f3 = parse(&p2);
+        prop_assert!(f3.is_clean());
+        prop_assert_eq!(print_file(&f3), p2, "printer must reach a fixed point");
+    }
+
+    /// Statement spans are 1-based and within the file.
+    #[test]
+    fn spans_in_range(src in php_soup()) {
+        let f = parse(&src);
+        let max_line = src.lines().count().max(1) as u32 + 1;
+        for s in &f.stmts {
+            let sp = s.span();
+            prop_assert!(sp.line >= 1 && sp.line <= max_line);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Pure implementations of the PHP standard-library behaviour the executor
+//! needs: escaping, hashing, string surgery. (The dispatch lives in
+//! `exec.rs`; these helpers are deliberately side-effect free.)
+
+/// `htmlentities` / `htmlspecialchars` / `esc_html`.
+pub fn escape_html(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#039;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// `html_entity_decode` / `htmlspecialchars_decode`.
+pub fn unescape_html(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&#039;", "'")
+        .replace("&#39;", "'")
+        .replace("&amp;", "&")
+}
+
+/// `addslashes` (also our stand-in for `mysql_real_escape_string`).
+pub fn addslashes(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\'' | '"' | '\\' => {
+                out.push('\\');
+                out.push(c);
+            }
+            '\0' => out.push_str("\\0"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// `stripslashes`.
+pub fn stripslashes(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(n) = chars.next() {
+                out.push(n);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// `strip_tags` (naive tag stripper, as plugin authors assume).
+pub fn strip_tags(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_tag = false;
+    for c in s.chars() {
+        match c {
+            '<' => in_tag = true,
+            '>' => in_tag = false,
+            other if !in_tag => out.push(other),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `is_numeric`.
+pub fn is_numeric(s: &str) -> bool {
+    let t = s.trim();
+    !t.is_empty() && t.parse::<f64>().is_ok()
+}
+
+/// `urlencode` (RFC 1738-ish).
+pub fn urlencode(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' => out.push(b as char),
+            b' ' => out.push('+'),
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+/// `urldecode`.
+pub fn urldecode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or("");
+                match u8::from_str_radix(hex, 16) {
+                    Ok(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    Err(_) => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Deterministic stand-in for `md5`/`sha1` (FNV-1a expanded to 32 hex
+/// chars — stable, collision-irrelevant for exploit confirmation).
+pub fn fake_hash(s: &str) -> String {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    format!("{h:016x}{:016x}", h.rotate_left(31))
+}
+
+/// `sprintf` with the subset plugin code uses (`%s`, `%d`, `%%`, `%f`).
+pub fn sprintf(fmt: &str, args: &[String]) -> String {
+    let mut out = String::new();
+    let mut ai = 0;
+    let mut chars = fmt.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('%') => out.push('%'),
+            Some('s') => {
+                out.push_str(args.get(ai).map(|s| s.as_str()).unwrap_or(""));
+                ai += 1;
+            }
+            Some('d') => {
+                let v = args
+                    .get(ai)
+                    .map(|s| crate::value::parse_leading_number(s) as i64)
+                    .unwrap_or(0);
+                ai += 1;
+                out.push_str(&v.to_string());
+            }
+            Some('f') => {
+                let v = args
+                    .get(ai)
+                    .map(|s| crate::value::parse_leading_number(s))
+                    .unwrap_or(0.0);
+                ai += 1;
+                out.push_str(&format!("{v:.6}"));
+            }
+            Some(other) => {
+                out.push('%');
+                out.push(other);
+            }
+            None => out.push('%'),
+        }
+    }
+    out
+}
+
+/// A conservative `preg_replace` for whitelist patterns: when the pattern
+/// looks like `/[^...]/<flags>` we keep only ASCII alphanumerics and
+/// underscores (what plugin cleaners intend); other patterns return the
+/// subject unchanged.
+pub fn preg_replace_approx(pattern: &str, replacement: &str, subject: &str) -> (String, bool) {
+    let _ = replacement;
+    if pattern.contains("[^") {
+        let cleaned: String = subject
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        (cleaned, true)
+    } else {
+        (subject.to_string(), false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trip() {
+        let s = "<script>alert('x')</script>";
+        let e = escape_html(s);
+        assert!(!e.contains('<'));
+        assert_eq!(unescape_html(&e), s);
+    }
+
+    #[test]
+    fn slashes_round_trip() {
+        let s = "O'Reilly \"quoted\" \\ backslash";
+        assert_eq!(stripslashes(&addslashes(s)), s);
+    }
+
+    #[test]
+    fn strip_tags_removes_markup() {
+        assert_eq!(strip_tags("<b>bold</b> text"), "bold text");
+        assert_eq!(strip_tags("no tags"), "no tags");
+        assert_eq!(strip_tags("<script>x</script>"), "x");
+    }
+
+    #[test]
+    fn numeric_check() {
+        assert!(is_numeric("42"));
+        assert!(is_numeric(" 3.5 "));
+        assert!(!is_numeric("42abc"));
+        assert!(!is_numeric(""));
+    }
+
+    #[test]
+    fn url_round_trip() {
+        let s = "a b&c<d>'";
+        assert_eq!(urldecode(&urlencode(s)), s);
+    }
+
+    #[test]
+    fn sprintf_subset() {
+        assert_eq!(
+            sprintf("%s has %d items (%d%%)", &["cart".into(), "3".into(), "50".into()]),
+            "cart has 3 items (50%)"
+        );
+    }
+
+    #[test]
+    fn fake_hash_is_stable_and_hexy() {
+        let h = fake_hash("x");
+        assert_eq!(h.len(), 32);
+        assert_eq!(h, fake_hash("x"));
+        assert_ne!(h, fake_hash("y"));
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn preg_replace_whitelist_neutralizes() {
+        let (out, applied) = preg_replace_approx("/[^a-z0-9_]/i", "", "<img src=x>");
+        assert!(applied);
+        assert_eq!(out, "imgsrcx");
+        let (out, applied) = preg_replace_approx("/foo/", "bar", "<img>");
+        assert!(!applied);
+        assert_eq!(out, "<img>");
+    }
+}

@@ -1,0 +1,1611 @@
+//! The concrete executor: runs plugin code with attacker-controlled inputs
+//! injected, recording page output and executed SQL.
+//!
+//! This is *not* a full PHP runtime — it is the dynamic-confirmation
+//! harness the paper performed manually ("the malicious code is injected
+//! in his web browser, executing the attack (which we confirmed in an
+//! experiment)"). Unsupported constructs degrade to `null` plus a recorded
+//! warning rather than failing, and all loops/steps are bounded.
+
+use crate::value::{ArrayKey, ClosureValue, Object, PhpArray, Value};
+use php_ast::{
+    Arg, AssignOp, BinOp, Callee, Expr, FunctionDecl, IncludeKind, InterpPart, Lit, Member,
+    ParsedFile, Stmt, UnOp,
+};
+use phpsafe::symbols::SymbolTable;
+use phpsafe::PluginProject;
+use std::collections::{HashMap, HashSet};
+
+/// Attacker-input configuration for a run.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Payload for `$_GET` reads.
+    pub get_payload: Option<String>,
+    /// Payload for `$_POST` / `$_FILES` reads.
+    pub post_payload: Option<String>,
+    /// Payload for `$_COOKIE` reads.
+    pub cookie_payload: Option<String>,
+    /// Payload for `$_SERVER` reads.
+    pub server_payload: Option<String>,
+    /// Payload for `$_REQUEST` reads (GET/POST/COOKIE merged).
+    pub request_payload: Option<String>,
+    /// Payload stored in every database cell (stored-attack simulation).
+    pub db_payload: Option<String>,
+    /// Payload returned by file/environment reads (`fgets`, `getenv`).
+    pub io_payload: Option<String>,
+    /// Hard step budget for the whole run.
+    pub step_limit: u64,
+    /// Iteration cap per loop.
+    pub loop_limit: u32,
+    /// After top-level execution, invoke registered hook callbacks and
+    /// never-called functions (simulates the CMS driving the plugin).
+    pub fire_hooks: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            get_payload: None,
+            post_payload: None,
+            cookie_payload: None,
+            server_payload: None,
+            request_payload: None,
+            db_payload: None,
+            io_payload: None,
+            step_limit: 200_000,
+            loop_limit: 64,
+            fire_hooks: true,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Sets the same payload on every request-side channel (GET, POST,
+    /// COOKIE, SERVER and `$_REQUEST`) — a full request-surface attack.
+    pub fn with_all_request(mut self, payload: &str) -> Self {
+        let p = Some(payload.to_string());
+        self.get_payload = p.clone();
+        self.post_payload = p.clone();
+        self.cookie_payload = p.clone();
+        self.server_payload = p.clone();
+        self.request_payload = p;
+        self
+    }
+}
+
+/// What a run produced.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOutcome {
+    /// Everything echoed/printed (the rendered page).
+    pub output: String,
+    /// SQL strings sent to any database sink.
+    pub queries: Vec<String>,
+    /// Steps consumed.
+    pub steps: u64,
+    /// Unsupported constructs encountered (best-effort notes).
+    pub warnings: Vec<String>,
+    /// Hook callbacks invoked.
+    pub hooks_fired: usize,
+}
+
+/// Control-flow signal from statement execution.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value),
+    Exit,
+}
+
+/// One concrete scope.
+#[derive(Default)]
+struct Frame {
+    vars: HashMap<String, Value>,
+    globals_decl: HashSet<String>,
+    this: Option<Object>,
+    is_global: bool,
+}
+
+/// The concrete executor. Create with [`Executor::new`], run with
+/// [`Executor::run_project`] or [`Executor::run_file`].
+pub struct Executor<'p> {
+    project: &'p PluginProject,
+    parsed: HashMap<String, ParsedFile>,
+    symbols: SymbolTable,
+    pub(crate) cfg: ExecConfig,
+    pub(crate) output: String,
+    pub(crate) queries: Vec<String>,
+    pub(crate) warnings: Vec<String>,
+    steps: u64,
+    exhausted: bool,
+    /// `exit`/`die` was executed: the current request is over.
+    halted: bool,
+    globals: HashMap<String, Value>,
+    included: HashSet<String>,
+    hooks: Vec<Value>,
+    hooks_fired: usize,
+    call_depth: u32,
+}
+
+impl<'p> Executor<'p> {
+    /// Parses the project and prepares an executor.
+    pub fn new(project: &'p PluginProject, cfg: ExecConfig) -> Self {
+        let parsed: HashMap<String, ParsedFile> = project
+            .files()
+            .iter()
+            .map(|f| (f.path.clone(), php_ast::parse(&f.content)))
+            .collect();
+        let symbols = SymbolTable::build(parsed.iter().map(|(p, a)| (p.as_str(), a)));
+        Executor {
+            project,
+            parsed,
+            symbols,
+            cfg,
+            output: String::new(),
+            queries: Vec::new(),
+            warnings: Vec::new(),
+            steps: 0,
+            exhausted: false,
+            halted: false,
+            globals: HashMap::new(),
+            included: HashSet::new(),
+            hooks: Vec::new(),
+            hooks_fired: 0,
+            call_depth: 0,
+        }
+    }
+
+    /// Runs every file of the project as a web entry point (fresh globals
+    /// per entry), then fires hooks/uncalled callables, and returns the
+    /// combined outcome.
+    pub fn run_project(mut self) -> ExecOutcome {
+        let mut paths: Vec<String> = self.parsed.keys().cloned().collect();
+        paths.sort();
+        for path in &paths {
+            self.globals.clear();
+            self.included.clear();
+            self.included.insert(path.clone());
+            self.halted = false; // each entry is a fresh request
+            self.exec_entry(path);
+            if self.steps >= self.cfg.step_limit {
+                break;
+            }
+        }
+        if self.cfg.fire_hooks {
+            self.fire_hooks_and_uncalled();
+        }
+        self.finish()
+    }
+
+    /// Runs a single file as the entry point (plus hooks).
+    pub fn run_file(mut self, path: &str) -> ExecOutcome {
+        self.included.insert(path.to_string());
+        self.exec_entry(path);
+        if self.cfg.fire_hooks {
+            self.fire_hooks_and_uncalled();
+        }
+        self.finish()
+    }
+
+    fn finish(self) -> ExecOutcome {
+        ExecOutcome {
+            output: self.output,
+            queries: self.queries,
+            steps: self.steps,
+            warnings: self.warnings,
+            hooks_fired: self.hooks_fired,
+        }
+    }
+
+    fn exec_entry(&mut self, path: &str) {
+        let Some(ast) = self.parsed.get(path).cloned() else {
+            return;
+        };
+        let mut frame = Frame {
+            is_global: true,
+            ..Frame::default()
+        };
+        self.exec_stmts(&ast.stmts, &mut frame);
+    }
+
+    /// Simulates the CMS: invoke registered hook callbacks, then every
+    /// never-called function/method (with probe arguments).
+    fn fire_hooks_and_uncalled(&mut self) {
+        let hooks = std::mem::take(&mut self.hooks);
+        for cb in hooks {
+            self.hooks_fired += 1;
+            self.halted = false;
+            self.invoke_callable(cb, vec![]);
+        }
+        for r in self.symbols.uncalled() {
+            self.halted = false;
+            match r {
+                phpsafe::symbols::FnRef::Function(name) => {
+                    if let Some(info) = self.symbols.function(&name) {
+                        let decl = info.decl.clone();
+                        let args = self.probe_args(&decl);
+                        self.call_user_function(&decl, args, None);
+                    }
+                }
+                phpsafe::symbols::FnRef::Method(class, name) => {
+                    if let Some((_, decl)) = self.symbols.method(&class, &name) {
+                        let decl = decl.clone();
+                        let args = self.probe_args(&decl);
+                        let this = Object::new(&class);
+                        self.call_user_function(&decl, args, Some(this));
+                    }
+                }
+            }
+            if self.steps >= self.cfg.step_limit {
+                break;
+            }
+        }
+    }
+
+    /// Hook/uncalled parameters: empty strings (hook args are usually
+    /// trusted CMS data; the interesting inputs are superglobals/DB).
+    fn probe_args(&self, decl: &FunctionDecl) -> Vec<Value> {
+        decl.params.iter().map(|_| Value::Str(String::new())).collect()
+    }
+
+    fn invoke_callable(&mut self, cb: Value, args: Vec<Value>) -> Value {
+        match cb {
+            Value::Str(name) => {
+                if let Some(info) = self.symbols.function(&name) {
+                    let decl = info.decl.clone();
+                    return self.call_user_function(&decl, args, None);
+                }
+                Value::Null
+            }
+            Value::Closure(c) => {
+                let mut frame = Frame::default();
+                for (name, v) in &c.captured {
+                    frame.vars.insert(name.clone(), v.clone());
+                }
+                for (i, p) in c.params.iter().enumerate() {
+                    let v = args.get(i).cloned().unwrap_or(Value::Null);
+                    frame.vars.insert(p.name.clone(), v);
+                }
+                match self.exec_stmts(&c.body, &mut frame) {
+                    Flow::Return(v) => v,
+                    _ => Value::Null,
+                }
+            }
+            _ => Value::Null,
+        }
+    }
+
+    fn tick(&mut self) -> bool {
+        self.steps += 1;
+        if self.steps >= self.cfg.step_limit {
+            self.exhausted = true;
+        }
+        !self.exhausted
+    }
+
+    pub(crate) fn warn(&mut self, msg: impl Into<String>) {
+        if self.warnings.len() < 64 {
+            self.warnings.push(msg.into());
+        }
+    }
+
+    // ================= statements =================
+
+    fn exec_stmts(&mut self, stmts: &[Stmt], f: &mut Frame) -> Flow {
+        for s in stmts {
+            match self.exec_stmt(s, f) {
+                Flow::Normal => {}
+                other => return other,
+            }
+        }
+        Flow::Normal
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, f: &mut Frame) -> Flow {
+        if self.halted || !self.tick() {
+            return Flow::Exit;
+        }
+        match stmt {
+            Stmt::Expr(e) => {
+                match self.eval(e, f) {
+                    EvalResult::Value(_) => Flow::Normal,
+                    EvalResult::Exit => Flow::Exit,
+                }
+            }
+            Stmt::Echo(es, _) => {
+                for e in es {
+                    match self.eval(e, f) {
+                        EvalResult::Value(v) => {
+                            let s = v.to_php_string();
+                            self.output.push_str(&s);
+                        }
+                        EvalResult::Exit => return Flow::Exit,
+                    }
+                }
+                Flow::Normal
+            }
+            Stmt::InlineHtml(html, _) => {
+                self.output.push_str(html);
+                Flow::Normal
+            }
+            Stmt::If {
+                cond,
+                then,
+                elseifs,
+                otherwise,
+                ..
+            } => {
+                if self.eval_value(cond, f).truthy() {
+                    return self.exec_stmts(then, f);
+                }
+                for (c, body) in elseifs {
+                    if self.eval_value(c, f).truthy() {
+                        return self.exec_stmts(body, f);
+                    }
+                }
+                if let Some(body) = otherwise {
+                    return self.exec_stmts(body, f);
+                }
+                Flow::Normal
+            }
+            Stmt::While { cond, body, .. } => {
+                let mut iters = 0;
+                while self.eval_value(cond, f).truthy() {
+                    iters += 1;
+                    if iters > self.cfg.loop_limit || self.exhausted {
+                        self.warn("loop cap reached");
+                        break;
+                    }
+                    match self.exec_stmts(body, f) {
+                        Flow::Break => break,
+                        Flow::Continue | Flow::Normal => {}
+                        other => return other,
+                    }
+                }
+                Flow::Normal
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                let mut iters = 0;
+                loop {
+                    iters += 1;
+                    if iters > self.cfg.loop_limit || self.exhausted {
+                        break;
+                    }
+                    match self.exec_stmts(body, f) {
+                        Flow::Break => break,
+                        Flow::Continue | Flow::Normal => {}
+                        other => return other,
+                    }
+                    if !self.eval_value(cond, f).truthy() {
+                        break;
+                    }
+                }
+                Flow::Normal
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                for e in init {
+                    self.eval_value(e, f);
+                }
+                let mut iters = 0;
+                loop {
+                    let go = cond.iter().all(|c| self.eval_value(c, f).truthy());
+                    if !go {
+                        break;
+                    }
+                    iters += 1;
+                    if iters > self.cfg.loop_limit || self.exhausted {
+                        self.warn("for cap reached");
+                        break;
+                    }
+                    match self.exec_stmts(body, f) {
+                        Flow::Break => break,
+                        Flow::Continue | Flow::Normal => {}
+                        other => return other,
+                    }
+                    for e in step {
+                        self.eval_value(e, f);
+                    }
+                }
+                Flow::Normal
+            }
+            Stmt::Foreach {
+                subject,
+                key,
+                value,
+                body,
+                ..
+            } => {
+                let subj = self.eval_value(subject, f);
+                let pairs: Vec<(Value, Value)> = match subj {
+                    Value::Array(a) => a
+                        .iter()
+                        .map(|(k, v)| {
+                            (
+                                match k {
+                                    ArrayKey::Int(i) => Value::Int(*i),
+                                    ArrayKey::Str(s) => Value::Str(s.clone()),
+                                },
+                                v.clone(),
+                            )
+                        })
+                        .collect(),
+                    // Iterating a probe yields one attacker-shaped element.
+                    Value::Probe(p) => vec![(Value::Int(0), Value::Probe(p))],
+                    _ => vec![],
+                };
+                for (i, (k, v)) in pairs.into_iter().enumerate() {
+                    if i as u32 >= self.cfg.loop_limit || self.exhausted {
+                        break;
+                    }
+                    if let Some(ke) = key {
+                        self.assign_to(ke, k, f);
+                    }
+                    self.assign_to(value, v, f);
+                    match self.exec_stmts(body, f) {
+                        Flow::Break => break,
+                        Flow::Continue | Flow::Normal => {}
+                        other => return other,
+                    }
+                }
+                Flow::Normal
+            }
+            Stmt::Switch { subject, cases, .. } => {
+                let v = self.eval_value(subject, f);
+                let mut matched = false;
+                for c in cases {
+                    if !matched {
+                        match &c.value {
+                            Some(val) => {
+                                let cv = self.eval_value(val, f);
+                                if v.loose_eq(&cv) {
+                                    matched = true;
+                                }
+                            }
+                            None => matched = true,
+                        }
+                    }
+                    if matched {
+                        match self.exec_stmts(&c.body, f) {
+                            Flow::Break => return Flow::Normal,
+                            Flow::Normal => {} // fallthrough
+                            other => return other,
+                        }
+                    }
+                }
+                Flow::Normal
+            }
+            Stmt::Break(_) => Flow::Break,
+            Stmt::Continue(_) => Flow::Continue,
+            Stmt::Return(e, _) => {
+                let v = match e {
+                    Some(e) => self.eval_value(e, f),
+                    None => Value::Null,
+                };
+                Flow::Return(v)
+            }
+            Stmt::Global(names, _) => {
+                for n in names {
+                    f.globals_decl.insert(n.clone());
+                }
+                Flow::Normal
+            }
+            Stmt::StaticVars(vars, _) => {
+                for (name, default) in vars {
+                    let v = match default {
+                        Some(d) => self.eval_value(d, f),
+                        None => Value::Null,
+                    };
+                    f.vars.entry(name.clone()).or_insert(v);
+                }
+                Flow::Normal
+            }
+            Stmt::Unset(es, _) => {
+                for e in es {
+                    if let Expr::Var(name, _) = e {
+                        f.vars.remove(name);
+                        if f.is_global {
+                            self.globals.remove(name);
+                        }
+                    }
+                }
+                Flow::Normal
+            }
+            Stmt::Throw(e, _) => {
+                self.eval_value(e, f);
+                // No exception machinery: treat as end of this body.
+                Flow::Return(Value::Null)
+            }
+            Stmt::Try {
+                body,
+                catches: _,
+                finally,
+                ..
+            } => {
+                let flow = self.exec_stmts(body, f);
+                if let Some(fin) = finally {
+                    self.exec_stmts(fin, f);
+                }
+                flow
+            }
+            Stmt::Block(body, _) => self.exec_stmts(body, f),
+            Stmt::Function(_) | Stmt::Class(_) | Stmt::ConstDecl(..) | Stmt::Nop(_)
+            | Stmt::Error(_) => Flow::Normal,
+        }
+    }
+
+    // ================= expressions =================
+
+    fn eval_value(&mut self, e: &Expr, f: &mut Frame) -> Value {
+        match self.eval(e, f) {
+            EvalResult::Value(v) => v,
+            EvalResult::Exit => Value::Null,
+        }
+    }
+
+    fn eval(&mut self, e: &Expr, f: &mut Frame) -> EvalResult {
+        if !self.tick() {
+            return EvalResult::Exit;
+        }
+        let v = match e {
+            Expr::Var(name, _) => self.read_var(name, f),
+            Expr::VarVar(..) => Value::Null,
+            Expr::Lit(l, _) => match l {
+                Lit::Int(t) => Value::Int(parse_int(t)),
+                Lit::Float(t) => Value::Float(t.parse().unwrap_or(0.0)),
+                Lit::Str(s) => Value::Str(s.clone()),
+                Lit::Bool(b) => Value::Bool(*b),
+                Lit::Null => Value::Null,
+            },
+            Expr::Interp(parts, _) => {
+                let mut out = String::new();
+                for p in parts {
+                    match p {
+                        InterpPart::Lit(s) => out.push_str(&unescape_dq(s)),
+                        InterpPart::Expr(pe) => {
+                            out.push_str(&self.eval_value(pe, f).to_php_string())
+                        }
+                    }
+                }
+                Value::Str(out)
+            }
+            Expr::ShellExec(..) => Value::Str(String::new()),
+            Expr::ConstFetch(name, _) => match name.as_str() {
+                "__FILE__" => Value::Str("plugin.php".into()),
+                "PHP_EOL" => Value::Str("\n".into()),
+                _ => Value::Str(name.clone()),
+            },
+            Expr::ClassConst(..) => Value::Null,
+            Expr::ArrayLit(items, _) => {
+                let mut a = PhpArray::new();
+                for (k, val) in items {
+                    let v = self.eval_value(val, f);
+                    match k {
+                        Some(ke) => {
+                            let kv = self.eval_value(ke, f);
+                            a.set(ArrayKey::from_value(&kv), v);
+                        }
+                        None => a.push(v),
+                    }
+                }
+                Value::Array(a)
+            }
+            Expr::Index(base, idx, _) => {
+                let b = self.eval_value(base, f);
+                match (b, idx) {
+                    (Value::Array(a), Some(i)) => {
+                        let k = self.eval_value(i, f);
+                        a.get(&ArrayKey::from_value(&k)).cloned().unwrap_or(Value::Null)
+                    }
+                    (Value::Probe(p), _) => Value::Probe(p),
+                    (Value::Str(s), Some(i)) => {
+                        let k = self.eval_value(i, f).to_number() as usize;
+                        s.chars()
+                            .nth(k)
+                            .map(|c| Value::Str(c.to_string()))
+                            .unwrap_or(Value::Str(String::new()))
+                    }
+                    _ => Value::Null,
+                }
+            }
+            Expr::Prop(base, member, _) => {
+                let b = self.eval_value(base, f);
+                let name = match member {
+                    Member::Name(n) => n.clone(),
+                    Member::Dynamic(e) => self.eval_value(e, f).to_php_string(),
+                };
+                match b {
+                    Value::Object(o) => {
+                        if o.class == "wpdb" && name == "prefix" {
+                            Value::Str("wp_".into())
+                        } else {
+                            o.props.get(&name).cloned().unwrap_or(Value::Null)
+                        }
+                    }
+                    Value::Probe(p) => Value::Probe(p),
+                    _ => Value::Null,
+                }
+            }
+            Expr::StaticProp(class, prop, _) => self
+                .globals
+                .get(&format!("{}::{}", class.to_ascii_lowercase(), prop))
+                .cloned()
+                .unwrap_or(Value::Null),
+            Expr::Assign {
+                target,
+                op,
+                value,
+                ..
+            } => {
+                let rhs = self.eval_value(value, f);
+                let newv = if *op == AssignOp::Assign {
+                    rhs
+                } else {
+                    let old = self.eval_value(target, f);
+                    apply_compound(*op, &old, &rhs)
+                };
+                self.assign_to(target, newv.clone(), f);
+                newv
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                // Short-circuit logicals.
+                match op {
+                    BinOp::And => {
+                        let l = self.eval_value(lhs, f);
+                        if !l.truthy() {
+                            return EvalResult::Value(Value::Bool(false));
+                        }
+                        let r = self.eval_value(rhs, f);
+                        return EvalResult::Value(Value::Bool(r.truthy()));
+                    }
+                    BinOp::Or => {
+                        let l = self.eval_value(lhs, f);
+                        if l.truthy() {
+                            return EvalResult::Value(Value::Bool(true));
+                        }
+                        let r = self.eval_value(rhs, f);
+                        return EvalResult::Value(Value::Bool(r.truthy()));
+                    }
+                    _ => {}
+                }
+                let l = self.eval_value(lhs, f);
+                let r = self.eval_value(rhs, f);
+                apply_binop(*op, &l, &r)
+            }
+            Expr::Unary { op, expr, .. } => {
+                let v = self.eval_value(expr, f);
+                match op {
+                    UnOp::Not => Value::Bool(!v.truthy()),
+                    UnOp::Neg => Value::Float(-v.to_number()),
+                    UnOp::Plus => Value::Float(v.to_number()),
+                    UnOp::BitNot => Value::Int(!(v.to_number() as i64)),
+                }
+            }
+            Expr::IncDec {
+                prefix,
+                increment,
+                expr,
+                ..
+            } => {
+                let old = self.eval_value(expr, f);
+                let delta = if *increment { 1.0 } else { -1.0 };
+                let newv = Value::Int((old.to_number() + delta) as i64);
+                self.assign_to(expr, newv.clone(), f);
+                if *prefix {
+                    newv
+                } else {
+                    old
+                }
+            }
+            Expr::Call { callee, args, .. } => return self.eval_call(callee, args, f),
+            Expr::New { class, args, .. } => {
+                let cname = match class {
+                    Member::Name(n) => n.to_ascii_lowercase(),
+                    Member::Dynamic(e) => self.eval_value(e, f).to_php_string().to_ascii_lowercase(),
+                };
+                let mut obj = Object::new(&cname);
+                // user constructor
+                let ctor = self
+                    .symbols
+                    .method(&cname, "__construct")
+                    .map(|(_, d)| d.clone());
+                if let Some(decl) = ctor {
+                    let argv: Vec<Value> =
+                        args.iter().map(|a| self.eval_value(&a.value, f)).collect();
+                    obj = self.call_method_on(obj, &decl, argv);
+                }
+                Value::Object(obj)
+            }
+            Expr::Clone(e, _) => self.eval_value(e, f),
+            Expr::Ternary {
+                cond,
+                then,
+                otherwise,
+                ..
+            } => {
+                let c = self.eval_value(cond, f);
+                if c.truthy() {
+                    match then {
+                        Some(t) => self.eval_value(t, f),
+                        None => c,
+                    }
+                } else {
+                    self.eval_value(otherwise, f)
+                }
+            }
+            Expr::Cast(kind, inner, _) => {
+                let v = self.eval_value(inner, f);
+                match kind {
+                    php_ast::CastKind::Int => Value::Int(v.to_number() as i64),
+                    php_ast::CastKind::Float => Value::Float(v.to_number()),
+                    php_ast::CastKind::Bool => Value::Bool(v.truthy()),
+                    php_ast::CastKind::String => Value::Str(v.to_php_string()),
+                    php_ast::CastKind::Unset => Value::Null,
+                    _ => v,
+                }
+            }
+            Expr::Isset(es, _) => {
+                let mut all = true;
+                for e in es {
+                    let v = self.eval_value(e, f);
+                    if matches!(v, Value::Null) {
+                        all = false;
+                    }
+                }
+                Value::Bool(all)
+            }
+            Expr::Empty(e, _) => {
+                let v = self.eval_value(e, f);
+                Value::Bool(!v.truthy())
+            }
+            Expr::ErrorSuppress(e, _) | Expr::Ref(e, _) => self.eval_value(e, f),
+            Expr::Print(e, _) => {
+                let s = self.eval_value(e, f).to_php_string();
+                self.output.push_str(&s);
+                Value::Int(1)
+            }
+            Expr::Exit(arg, _) => {
+                if let Some(a) = arg {
+                    let s = self.eval_value(a, f).to_php_string();
+                    self.output.push_str(&s);
+                }
+                self.halted = true;
+                return EvalResult::Exit;
+            }
+            Expr::Include(kind, path, _) => {
+                self.eval_include(*kind, path, f);
+                Value::Int(1)
+            }
+            Expr::Instanceof(e, _, _) => {
+                self.eval_value(e, f);
+                Value::Bool(false)
+            }
+            Expr::ListIntrinsic(..) => Value::Null,
+            Expr::Closure {
+                params, uses, body, ..
+            } => {
+                let captured = uses
+                    .iter()
+                    .map(|(name, _)| {
+                        let v = self.read_var(name, f);
+                        (name.clone(), v)
+                    })
+                    .collect();
+                Value::Closure(Box::new(ClosureValue {
+                    params: params.clone(),
+                    captured,
+                    body: body.clone(),
+                }))
+            }
+            Expr::Error(_) => Value::Null,
+        };
+        EvalResult::Value(v)
+    }
+
+    fn read_var(&mut self, name: &str, f: &mut Frame) -> Value {
+        match name {
+            "$_GET" | "$HTTP_GET_VARS" => {
+                return match &self.cfg.get_payload {
+                    Some(p) => Value::Probe(p.clone()),
+                    None => Value::Array(PhpArray::new()),
+                };
+            }
+            "$_POST" | "$_FILES" | "$HTTP_POST_VARS" => {
+                return match &self.cfg.post_payload {
+                    Some(p) => Value::Probe(p.clone()),
+                    None => Value::Array(PhpArray::new()),
+                };
+            }
+            "$_COOKIE" | "$HTTP_COOKIE_VARS" => {
+                return match &self.cfg.cookie_payload {
+                    Some(p) => Value::Probe(p.clone()),
+                    None => Value::Array(PhpArray::new()),
+                };
+            }
+            "$_SERVER" => {
+                return match &self.cfg.server_payload {
+                    Some(p) => Value::Probe(p.clone()),
+                    None => Value::Array(PhpArray::new()),
+                };
+            }
+            "$_REQUEST" => {
+                return match &self.cfg.request_payload {
+                    Some(p) => Value::Probe(p.clone()),
+                    None => Value::Array(PhpArray::new()),
+                };
+            }
+            "$wpdb" => return Value::Object(Object::new("wpdb")),
+            "$this" => {
+                return f
+                    .this
+                    .clone()
+                    .map(Value::Object)
+                    .unwrap_or(Value::Null);
+            }
+            _ => {}
+        }
+        let use_globals = f.is_global || f.globals_decl.contains(name);
+        if use_globals {
+            self.globals.get(name).cloned().unwrap_or(Value::Null)
+        } else {
+            f.vars.get(name).cloned().unwrap_or(Value::Null)
+        }
+    }
+
+    fn write_var(&mut self, name: &str, v: Value, f: &mut Frame) {
+        let use_globals = f.is_global || f.globals_decl.contains(name);
+        if use_globals {
+            self.globals.insert(name.to_string(), v);
+        } else {
+            f.vars.insert(name.to_string(), v);
+        }
+    }
+
+    fn assign_to(&mut self, target: &Expr, v: Value, f: &mut Frame) {
+        match target {
+            Expr::Var(name, _) => self.write_var(name, v, f),
+            Expr::Index(base, idx, _) => {
+                let mut container = self.eval_value(base, f);
+                if !matches!(container, Value::Array(_)) {
+                    container = Value::Array(PhpArray::new());
+                }
+                if let Value::Array(ref mut a) = container {
+                    match idx {
+                        Some(i) => {
+                            let k = self.eval_value(i, f);
+                            a.set(ArrayKey::from_value(&k), v);
+                        }
+                        None => a.push(v),
+                    }
+                }
+                self.assign_to(base, container, f);
+            }
+            Expr::Prop(base, member, _) => {
+                let name = match member {
+                    Member::Name(n) => n.clone(),
+                    Member::Dynamic(e) => self.eval_value(e, f).to_php_string(),
+                };
+                // `$this->x = v` mutates the live frame object.
+                if base.as_var_name() == Some("$this") {
+                    if let Some(this) = f.this.as_mut() {
+                        this.props.insert(name, v);
+                    }
+                    return;
+                }
+                let mut obj = self.eval_value(base, f);
+                if let Value::Object(ref mut o) = obj {
+                    o.props.insert(name, v);
+                    self.assign_to(base, obj, f);
+                }
+            }
+            Expr::StaticProp(class, prop, _) => {
+                self.globals
+                    .insert(format!("{}::{}", class.to_ascii_lowercase(), prop), v);
+            }
+            Expr::ListIntrinsic(items, _) => {
+                if let Value::Array(a) = v {
+                    for (i, item) in items.iter().enumerate() {
+                        if let Some(t) = item {
+                            let elem = a
+                                .get(&ArrayKey::Int(i as i64))
+                                .cloned()
+                                .unwrap_or(Value::Null);
+                            self.assign_to(t, elem, f);
+                        }
+                    }
+                }
+            }
+            Expr::Ref(inner, _) | Expr::ErrorSuppress(inner, _) => self.assign_to(inner, v, f),
+            _ => {}
+        }
+    }
+
+    // ================= calls =================
+
+    fn eval_call(&mut self, callee: &Callee, args: &[Arg], f: &mut Frame) -> EvalResult {
+        let argv: Vec<Value> = args.iter().map(|a| self.eval_value(&a.value, f)).collect();
+        match callee {
+            Callee::Function(name) => {
+                let lname = name.to_ascii_lowercase();
+                if let Some(result) = self.call_builtin(&lname, &argv, args, f) {
+                    return result;
+                }
+                if let Some(info) = self.symbols.function(&lname) {
+                    let decl = info.decl.clone();
+                    return EvalResult::Value(self.call_user_function(&decl, argv, None));
+                }
+                self.warn(format!("unknown function {name}()"));
+                EvalResult::Value(Value::Null)
+            }
+            Callee::Method { base, name } => {
+                let mname = match name.as_name() {
+                    Some(n) => n.to_string(),
+                    None => return EvalResult::Value(Value::Null),
+                };
+                let recv = self.eval_value(base, f);
+                match recv {
+                    Value::Object(obj) => {
+                        if obj.class == "wpdb" {
+                            return EvalResult::Value(self.call_wpdb(&mname, &argv));
+                        }
+                        let decl = self
+                            .symbols
+                            .method(&obj.class, &mname)
+                            .map(|(_, d)| d.clone());
+                        match decl {
+                            Some(d) => {
+                                let updated = self.call_method_capture(obj, &d, argv.clone());
+                                let (obj2, ret) = updated;
+                                // Write the mutated object back when the
+                                // receiver is a simple variable.
+                                if let Some(vn) = base.as_var_name() {
+                                    if vn != "$this" && vn != "$wpdb" {
+                                        self.write_var(vn, Value::Object(obj2), f);
+                                    } else if vn == "$this" {
+                                        f.this = Some(obj2);
+                                    }
+                                }
+                                EvalResult::Value(ret)
+                            }
+                            None => {
+                                self.warn(format!("unknown method {}::{mname}()", obj.class));
+                                EvalResult::Value(Value::Null)
+                            }
+                        }
+                    }
+                    Value::Probe(p) => EvalResult::Value(Value::Probe(p)),
+                    _ => EvalResult::Value(Value::Null),
+                }
+            }
+            Callee::StaticMethod { class, name } => {
+                let mname = match name.as_name() {
+                    Some(n) => n.to_string(),
+                    None => return EvalResult::Value(Value::Null),
+                };
+                let cname = class.to_ascii_lowercase();
+                let decl = self.symbols.method(&cname, &mname).map(|(_, d)| d.clone());
+                match decl {
+                    Some(d) => {
+                        let this = Object::new(&cname);
+                        let (_, ret) = self.call_method_capture(this, &d, argv);
+                        EvalResult::Value(ret)
+                    }
+                    None => EvalResult::Value(Value::Null),
+                }
+            }
+            Callee::Dynamic(inner) => {
+                let cb = self.eval_value(inner, f);
+                EvalResult::Value(self.invoke_callable(cb, argv))
+            }
+        }
+    }
+
+    /// Native-stack guard: PHP recursion deeper than this returns null.
+    const MAX_CALL_DEPTH: u32 = 48;
+
+    pub(crate) fn call_user_function(
+        &mut self,
+        decl: &FunctionDecl,
+        args: Vec<Value>,
+        this: Option<Object>,
+    ) -> Value {
+        if self.call_depth >= Self::MAX_CALL_DEPTH {
+            self.warn("call depth cap reached");
+            return Value::Null;
+        }
+        self.call_depth += 1;
+        let mut frame = Frame {
+            this,
+            ..Frame::default()
+        };
+        for (i, p) in decl.params.iter().enumerate() {
+            let v = match args.get(i) {
+                Some(v) => v.clone(),
+                None => match &p.default {
+                    Some(d) => self.eval_value(d, &mut frame),
+                    None => Value::Null,
+                },
+            };
+            frame.vars.insert(p.name.clone(), v);
+        }
+        let ret = match self.exec_stmts(&decl.body, &mut frame) {
+            Flow::Return(v) => v,
+            _ => Value::Null,
+        };
+        self.call_depth -= 1;
+        ret
+    }
+
+    /// Calls a method and returns `(possibly mutated receiver, return)`.
+    fn call_method_capture(
+        &mut self,
+        this: Object,
+        decl: &FunctionDecl,
+        args: Vec<Value>,
+    ) -> (Object, Value) {
+        if self.call_depth >= Self::MAX_CALL_DEPTH {
+            self.warn("call depth cap reached");
+            return (this, Value::Null);
+        }
+        self.call_depth += 1;
+        let mut frame = Frame {
+            this: Some(this),
+            ..Frame::default()
+        };
+        for (i, p) in decl.params.iter().enumerate() {
+            let v = match args.get(i) {
+                Some(v) => v.clone(),
+                None => match &p.default {
+                    Some(d) => self.eval_value(d, &mut frame),
+                    None => Value::Null,
+                },
+            };
+            frame.vars.insert(p.name.clone(), v);
+        }
+        let ret = match self.exec_stmts(&decl.body, &mut frame) {
+            Flow::Return(v) => v,
+            _ => Value::Null,
+        };
+        self.call_depth -= 1;
+        (frame.this.take().unwrap_or_else(|| Object::new("stdclass")), ret)
+    }
+
+    fn call_method_on(&mut self, this: Object, decl: &FunctionDecl, args: Vec<Value>) -> Object {
+        self.call_method_capture(this, decl, args).0
+    }
+
+    /// The mock WordPress database object.
+    fn call_wpdb(&mut self, method: &str, args: &[Value]) -> Value {
+        match method.to_ascii_lowercase().as_str() {
+            "query" | "get_results" | "get_row" | "get_var" | "get_col" => {
+                if let Some(sql) = args.first() {
+                    self.queries.push(sql.to_php_string());
+                }
+                let payload = self.cfg.db_payload.clone();
+                match method.to_ascii_lowercase().as_str() {
+                    "get_results" | "get_col" => {
+                        let mut rows = PhpArray::new();
+                        if let Some(p) = payload {
+                            rows.push(Value::Probe(p.clone()));
+                            rows.push(Value::Probe(p));
+                        }
+                        Value::Array(rows)
+                    }
+                    "get_row" => payload.map(Value::Probe).unwrap_or(Value::Null),
+                    "get_var" => payload.map(Value::Str).unwrap_or(Value::Null),
+                    _ => Value::Int(1),
+                }
+            }
+            "prepare" => {
+                // Parameterization: %s is escaped, %d coerced — safe.
+                let fmt = args.first().map(|v| v.to_php_string()).unwrap_or_default();
+                let mut out = String::new();
+                let mut ai = 1;
+                let mut chars = fmt.chars().peekable();
+                while let Some(c) = chars.next() {
+                    if c == '%' {
+                        match chars.next() {
+                            Some('d') => {
+                                let v = args.get(ai).map(|v| v.to_number() as i64).unwrap_or(0);
+                                ai += 1;
+                                out.push_str(&v.to_string());
+                            }
+                            Some('s') => {
+                                let v = args
+                                    .get(ai)
+                                    .map(|v| v.to_php_string())
+                                    .unwrap_or_default();
+                                ai += 1;
+                                out.push_str(&crate::builtins::addslashes(&v));
+                            }
+                            Some('%') => out.push('%'),
+                            Some(other) => {
+                                out.push('%');
+                                out.push(other);
+                            }
+                            None => out.push('%'),
+                        }
+                    } else {
+                        out.push(c);
+                    }
+                }
+                Value::Str(out)
+            }
+            "escape" | "_escape" => Value::Str(crate::builtins::addslashes(
+                &args.first().map(|v| v.to_php_string()).unwrap_or_default(),
+            )),
+            _ => Value::Null,
+        }
+    }
+
+    fn eval_include(&mut self, kind: IncludeKind, path_expr: &Expr, f: &mut Frame) {
+        let raw = self.eval_value(path_expr, f).to_php_string();
+        let Some(file) = self.project.find_file(raw.trim_start_matches('/')) else {
+            return;
+        };
+        let path = file.path.clone();
+        let once = matches!(kind, IncludeKind::IncludeOnce | IncludeKind::RequireOnce);
+        if once && self.included.contains(&path) {
+            return;
+        }
+        self.included.insert(path.clone());
+        if let Some(ast) = self.parsed.get(&path).cloned() {
+            self.exec_stmts(&ast.stmts, f);
+        }
+    }
+
+    /// Registers a hook callback value (used by the builtin layer).
+    pub(crate) fn register_hook(&mut self, cb: Value) {
+        if self.hooks.len() < 256 {
+            self.hooks.push(cb);
+        }
+    }
+}
+
+/// Result of expression evaluation (values or a `die()`/`exit`).
+pub(crate) enum EvalResult {
+    Value(Value),
+    Exit,
+}
+
+fn parse_int(t: &str) -> i64 {
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        return i64::from_str_radix(hex, 16).unwrap_or(0);
+    }
+    if let Some(bin) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        return i64::from_str_radix(bin, 2).unwrap_or(0);
+    }
+    t.parse().unwrap_or(0)
+}
+
+/// Resolves double-quote escapes left verbatim by the lexer in
+/// interpolated fragments.
+fn unescape_dq(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('$') => out.push('$'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+fn apply_compound(op: AssignOp, old: &Value, rhs: &Value) -> Value {
+    match op {
+        AssignOp::ConcatAssign => {
+            Value::Str(old.to_php_string() + &rhs.to_php_string())
+        }
+        AssignOp::AddAssign => num(old.to_number() + rhs.to_number()),
+        AssignOp::SubAssign => num(old.to_number() - rhs.to_number()),
+        AssignOp::MulAssign => num(old.to_number() * rhs.to_number()),
+        AssignOp::DivAssign => {
+            let d = rhs.to_number();
+            if d == 0.0 {
+                Value::Bool(false)
+            } else {
+                num(old.to_number() / d)
+            }
+        }
+        AssignOp::ModAssign => {
+            let d = rhs.to_number() as i64;
+            if d == 0 {
+                Value::Bool(false)
+            } else {
+                Value::Int(old.to_number() as i64 % d)
+            }
+        }
+        _ => rhs.clone(),
+    }
+}
+
+fn num(f: f64) -> Value {
+    if f.fract() == 0.0 && f.abs() < i64::MAX as f64 {
+        Value::Int(f as i64)
+    } else {
+        Value::Float(f)
+    }
+}
+
+fn apply_binop(op: BinOp, l: &Value, r: &Value) -> Value {
+    match op {
+        BinOp::Concat => Value::Str(l.to_php_string() + &r.to_php_string()),
+        BinOp::Add => num(l.to_number() + r.to_number()),
+        BinOp::Sub => num(l.to_number() - r.to_number()),
+        BinOp::Mul => num(l.to_number() * r.to_number()),
+        BinOp::Div => {
+            let d = r.to_number();
+            if d == 0.0 {
+                Value::Bool(false)
+            } else {
+                num(l.to_number() / d)
+            }
+        }
+        BinOp::Mod => {
+            let d = r.to_number() as i64;
+            if d == 0 {
+                Value::Bool(false)
+            } else {
+                Value::Int(l.to_number() as i64 % d)
+            }
+        }
+        BinOp::Pow => num(l.to_number().powf(r.to_number())),
+        BinOp::Eq => Value::Bool(l.loose_eq(r)),
+        BinOp::NotEq => Value::Bool(!l.loose_eq(r)),
+        BinOp::Identical => Value::Bool(l.strict_eq(r)),
+        BinOp::NotIdentical => Value::Bool(!l.strict_eq(r)),
+        BinOp::Lt => Value::Bool(l.to_number() < r.to_number()),
+        BinOp::Gt => Value::Bool(l.to_number() > r.to_number()),
+        BinOp::Le => Value::Bool(l.to_number() <= r.to_number()),
+        BinOp::Ge => Value::Bool(l.to_number() >= r.to_number()),
+        BinOp::And => Value::Bool(l.truthy() && r.truthy()),
+        BinOp::Or => Value::Bool(l.truthy() || r.truthy()),
+        BinOp::Xor => Value::Bool(l.truthy() != r.truthy()),
+        BinOp::BitAnd => Value::Int((l.to_number() as i64) & (r.to_number() as i64)),
+        BinOp::BitOr => Value::Int((l.to_number() as i64) | (r.to_number() as i64)),
+        BinOp::BitXor => Value::Int((l.to_number() as i64) ^ (r.to_number() as i64)),
+        BinOp::Shl => Value::Int((l.to_number() as i64) << ((r.to_number() as i64) & 63)),
+        BinOp::Shr => Value::Int((l.to_number() as i64) >> ((r.to_number() as i64) & 63)),
+    }
+}
+
+impl Executor<'_> {
+    /// The built-in function layer. Returns `None` when `name` is not a
+    /// modeled built-in (the caller then tries user functions).
+    #[allow(clippy::too_many_lines)]
+    fn call_builtin(
+        &mut self,
+        name: &str,
+        argv: &[Value],
+        args: &[Arg],
+        f: &mut Frame,
+    ) -> Option<EvalResult> {
+        use crate::builtins as b;
+        let s0 = || argv.first().map(|v| v.to_php_string()).unwrap_or_default();
+        let v = match name {
+            // --- escaping / sanitizing ---
+            "htmlentities" | "htmlspecialchars" | "esc_html" | "esc_attr" | "esc_textarea"
+            | "esc_js" | "check_plain" | "tag_escape" => Value::Str(b::escape_html(&s0())),
+            "wp_kses" | "wp_kses_post" | "wp_kses_data" | "filter_xss" => {
+                Value::Str(b::escape_html(&s0()))
+            }
+            "esc_url" | "esc_url_raw" => Value::Str(b::escape_html(&s0())),
+            "sanitize_text_field" | "sanitize_title" | "sanitize_key" => {
+                Value::Str(b::strip_tags(&s0()).trim().to_string())
+            }
+            "strip_tags" => Value::Str(b::strip_tags(&s0())),
+            "htmlspecialchars_decode" | "html_entity_decode" | "wp_specialchars_decode" => {
+                Value::Str(b::unescape_html(&s0()))
+            }
+            "addslashes" | "mysql_real_escape_string" | "mysql_escape_string"
+            | "mysqli_real_escape_string" | "esc_sql" | "db_escape_string" => {
+                // mysqli takes (link, string)
+                let s = if name == "mysqli_real_escape_string" && argv.len() > 1 {
+                    argv[1].to_php_string()
+                } else {
+                    s0()
+                };
+                Value::Str(b::addslashes(&s))
+            }
+            "stripslashes" | "wp_unslash" => Value::Str(b::stripslashes(&s0())),
+            "intval" | "absint" => {
+                let n = argv.first().map(|v| v.to_number()).unwrap_or(0.0) as i64;
+                Value::Int(if name == "absint" { n.abs() } else { n })
+            }
+            "floatval" | "doubleval" => {
+                Value::Float(argv.first().map(|v| v.to_number()).unwrap_or(0.0))
+            }
+            "boolval" => Value::Bool(argv.first().map(|v| v.truthy()).unwrap_or(false)),
+            "is_numeric" => Value::Bool(b::is_numeric(&s0())),
+            "urlencode" | "rawurlencode" => Value::Str(b::urlencode(&s0())),
+            "urldecode" | "rawurldecode" => Value::Str(b::urldecode(&s0())),
+            "md5" | "sha1" | "crc32" | "hash" => Value::Str(b::fake_hash(&s0())),
+            "preg_replace" => {
+                let pattern = s0();
+                let subject = argv.get(2).map(|v| v.to_php_string()).unwrap_or_default();
+                let replacement = argv.get(1).map(|v| v.to_php_string()).unwrap_or_default();
+                let (out, applied) = b::preg_replace_approx(&pattern, &replacement, &subject);
+                if !applied {
+                    self.warn("preg_replace pattern not modeled; identity");
+                }
+                Value::Str(out)
+            }
+            "preg_quote" => Value::Str(s0()),
+            "preg_match" | "preg_match_all" => {
+                // No concrete regex engine: no match, no captures.
+                Value::Int(0)
+            }
+            // --- strings ---
+            "strlen" => Value::Int(s0().len() as i64),
+            "strtolower" => Value::Str(s0().to_lowercase()),
+            "strtoupper" => Value::Str(s0().to_uppercase()),
+            "trim" => Value::Str(s0().trim().to_string()),
+            "ltrim" => Value::Str(s0().trim_start().to_string()),
+            "rtrim" | "chop" => Value::Str(s0().trim_end().to_string()),
+            "nl2br" => Value::Str(s0().replace('\n', "<br />\n")),
+            "substr" => {
+                let s = s0();
+                let start = argv.get(1).map(|v| v.to_number() as i64).unwrap_or(0);
+                let chars: Vec<char> = s.chars().collect();
+                let len = chars.len() as i64;
+                let from = if start < 0 { (len + start).max(0) } else { start.min(len) };
+                let take = argv
+                    .get(2)
+                    .map(|v| v.to_number() as i64)
+                    .unwrap_or(len - from)
+                    .max(0);
+                Value::Str(chars[from as usize..((from + take).min(len)) as usize]
+                    .iter()
+                    .collect())
+            }
+            "str_replace" => {
+                let search = s0();
+                let replace = argv.get(1).map(|v| v.to_php_string()).unwrap_or_default();
+                let subject = argv.get(2).map(|v| v.to_php_string()).unwrap_or_default();
+                Value::Str(subject.replace(&search, &replace))
+            }
+            "sprintf" => {
+                let fmt = s0();
+                let rest: Vec<String> = argv[1..].iter().map(|v| v.to_php_string()).collect();
+                Value::Str(b::sprintf(&fmt, &rest))
+            }
+            "printf" => {
+                let fmt = s0();
+                let rest: Vec<String> = argv[1..].iter().map(|v| v.to_php_string()).collect();
+                let s = b::sprintf(&fmt, &rest);
+                self.output.push_str(&s);
+                Value::Int(s.len() as i64)
+            }
+            "print_r" => {
+                let s = s0();
+                self.output.push_str(&s);
+                Value::Bool(true)
+            }
+            "implode" | "join" => {
+                let (glue, arr) = if let Some(Value::Array(a)) = argv.first() {
+                    (String::new(), Some(a.clone()))
+                } else {
+                    let g = s0();
+                    let a = match argv.get(1) {
+                        Some(Value::Array(a)) => Some(a.clone()),
+                        _ => None,
+                    };
+                    (g, a)
+                };
+                match arr {
+                    Some(a) => Value::Str(
+                        a.iter()
+                            .map(|(_, v)| v.to_php_string())
+                            .collect::<Vec<_>>()
+                            .join(&glue),
+                    ),
+                    None => Value::Str(String::new()),
+                }
+            }
+            "explode" => {
+                let delim = s0();
+                let subj = argv.get(1).map(|v| v.to_php_string()).unwrap_or_default();
+                let mut a = PhpArray::new();
+                if delim.is_empty() {
+                    a.push(Value::Str(subj));
+                } else {
+                    for part in subj.split(&delim) {
+                        a.push(Value::Str(part.to_string()));
+                    }
+                }
+                Value::Array(a)
+            }
+            // --- arrays ---
+            "count" | "sizeof" => match argv.first() {
+                Some(Value::Array(a)) => Value::Int(a.len() as i64),
+                Some(Value::Null) => Value::Int(0),
+                _ => Value::Int(1),
+            },
+            "in_array" => {
+                let needle = argv.first().cloned().unwrap_or(Value::Null);
+                match argv.get(1) {
+                    Some(Value::Array(a)) => {
+                        Value::Bool(a.iter().any(|(_, v)| v.loose_eq(&needle)))
+                    }
+                    _ => Value::Bool(false),
+                }
+            }
+            "array_keys" => match argv.first() {
+                Some(Value::Array(a)) => {
+                    let mut out = PhpArray::new();
+                    for (k, _) in a.iter() {
+                        out.push(match k {
+                            ArrayKey::Int(i) => Value::Int(*i),
+                            ArrayKey::Str(s) => Value::Str(s.clone()),
+                        });
+                    }
+                    Value::Array(out)
+                }
+                _ => Value::Array(PhpArray::new()),
+            },
+            "array_values" => match argv.first() {
+                Some(Value::Array(a)) => {
+                    let mut out = PhpArray::new();
+                    for (_, v) in a.iter() {
+                        out.push(v.clone());
+                    }
+                    Value::Array(out)
+                }
+                _ => Value::Array(PhpArray::new()),
+            },
+            "array_merge" => {
+                let mut out = PhpArray::new();
+                for v in argv {
+                    if let Value::Array(a) = v {
+                        for (k, val) in a.iter() {
+                            match k {
+                                ArrayKey::Int(_) => out.push(val.clone()),
+                                ArrayKey::Str(s) => out.set(ArrayKey::Str(s.clone()), val.clone()),
+                            }
+                        }
+                    }
+                }
+                Value::Array(out)
+            }
+            "extract" => {
+                if let Some(Value::Array(a)) = argv.first() {
+                    for (k, v) in a.clone().iter() {
+                        if let ArrayKey::Str(s) = k {
+                            self.write_var(&format!("${s}"), v.clone(), f);
+                        }
+                    }
+                }
+                Value::Int(0)
+            }
+            // --- environment / io ---
+            "getenv" | "file_get_contents" | "fgets" | "fread" | "fgetc" => {
+                match &self.cfg.io_payload {
+                    Some(p) => Value::Str(p.clone()),
+                    None => Value::Str(String::new()),
+                }
+            }
+            "fopen" => Value::Resource("file"),
+            "fclose" | "fwrite" | "fputs" => Value::Bool(true),
+            "file_exists" | "is_file" | "is_dir" => Value::Bool(false),
+            "date" => Value::Str("2014-06-01".into()),
+            "time" => Value::Int(1_400_000_000),
+            "rand" | "mt_rand" => Value::Int(4),
+            "uniqid" => Value::Str("u1400000000".into()),
+            "dirname" => {
+                let s = s0();
+                Value::Str(match s.rfind('/') {
+                    Some(i) => s[..i].to_string(),
+                    None => ".".to_string(),
+                })
+            }
+            "plugin_dir_path" | "plugin_dir_url" | "trailingslashit" => Value::Str(String::new()),
+            "function_exists" => Value::Bool(self.symbols.function(&s0()).is_some()),
+            "class_exists" => Value::Bool(self.symbols.class(&s0()).is_some()),
+            "defined" => Value::Bool(false),
+            "define" | "error_reporting" | "ini_set" | "header" | "setcookie" => Value::Bool(true),
+            // --- legacy mysql / database ---
+            "mysql_query" | "mysql_db_query" | "mysqli_query" | "pg_query" | "db_query" => {
+                // query may be arg 0 or arg 1 (with a link first)
+                let q = argv
+                    .iter()
+                    .map(|v| v.to_php_string())
+                    .find(|s| s.to_ascii_lowercase().contains("select")
+                        || s.to_ascii_lowercase().contains("insert")
+                        || s.to_ascii_lowercase().contains("update")
+                        || s.to_ascii_lowercase().contains("delete"))
+                    .unwrap_or_else(s0);
+                self.queries.push(q);
+                Value::Resource("mysql_result")
+            }
+            "mysql_fetch_assoc" | "mysql_fetch_array" | "mysql_fetch_row"
+            | "mysql_fetch_object" | "mysqli_fetch_assoc" | "mysqli_fetch_array"
+            | "db_fetch_object" | "db_fetch_array" => match &self.cfg.db_payload {
+                Some(p) => Value::Probe(p.clone()),
+                None => Value::Bool(false),
+            },
+            "mysql_result" | "mysql_num_rows" => Value::Int(1),
+            // --- WordPress runtime ---
+            "get_option" | "get_post_meta" | "get_user_meta" | "get_transient"
+            | "variable_get" => match &self.cfg.db_payload {
+                Some(p) => Value::Str(p.clone()),
+                None => Value::Str(String::new()),
+            },
+            "update_option" | "add_option" | "set_transient" | "delete_option" => {
+                Value::Bool(true)
+            }
+            "add_action" | "add_filter" | "add_shortcode" | "register_activation_hook"
+            | "register_deactivation_hook" => {
+                if let Some(cb) = argv.get(1) {
+                    self.register_hook(cb.clone());
+                }
+                Value::Bool(true)
+            }
+            "do_action" => Value::Null,
+            "apply_filters" => argv.get(1).cloned().unwrap_or(Value::Null),
+            "wp_die" => {
+                self.output.push_str(&s0());
+                self.halted = true;
+                return Some(EvalResult::Exit);
+            }
+            "__" | "_e" | "esc_html__" | "esc_html_e" | "esc_attr__" | "esc_attr_e" => {
+                // Translation passthrough; the *_e variants echo.
+                let s = if name.ends_with("_e") {
+                    let t = if name.starts_with("esc") {
+                        b::escape_html(&s0())
+                    } else {
+                        s0()
+                    };
+                    self.output.push_str(&t);
+                    t
+                } else if name.starts_with("esc") {
+                    b::escape_html(&s0())
+                } else {
+                    s0()
+                };
+                Value::Str(s)
+            }
+            "parse_str" => {
+                // parse_str($query, $out): fill $out with parsed pairs.
+                let q = s0();
+                let mut a = PhpArray::new();
+                for pair in q.split('&') {
+                    let mut it = pair.splitn(2, '=');
+                    let k = it.next().unwrap_or("");
+                    let v = it.next().unwrap_or("");
+                    if !k.is_empty() {
+                        a.set(
+                            ArrayKey::Str(b::urldecode(k)),
+                            Value::Str(b::urldecode(v)),
+                        );
+                    }
+                }
+                if let Some(arg) = args.get(1) {
+                    self.assign_to(&arg.value, Value::Array(a), f);
+                }
+                Value::Null
+            }
+            "isset" | "unset" | "empty" => unreachable!("language constructs"),
+            _ => return None,
+        };
+        Some(EvalResult::Value(v))
+    }
+}

@@ -1,0 +1,38 @@
+//! # php-exec
+//!
+//! A bounded concrete PHP executor with a mock WordPress environment, plus
+//! an **exploit-confirmation harness**: run a plugin with attack payloads
+//! injected through a chosen input vector (request, database, file/env)
+//! and check whether the attack actually manifests in the rendered page
+//! (XSS) or in an executed SQL string (SQLi).
+//!
+//! This automates the dynamic verification the phpSAFE paper performed by
+//! hand — "any subscriber can inject malicious code into the database.
+//! When a victim visits the page … executing the attack (which we
+//! confirmed in an experiment)" (§III.E).
+//!
+//! The executor is deliberately *not* a full PHP runtime: unsupported
+//! constructs degrade to `null` with a recorded warning, every loop and
+//! the whole run are step-bounded, and nondeterministic built-ins return
+//! fixed values, so confirmation runs are total and reproducible.
+//!
+//! ```
+//! use phpsafe::{PluginProject, SourceFile};
+//! use php_exec::{ExecConfig, Executor};
+//!
+//! let p = PluginProject::new("demo")
+//!     .with_file(SourceFile::new("d.php", "<?php echo 'Hello ' . $_GET['n'];"));
+//! let cfg = ExecConfig::default().with_all_request("WORLD");
+//! let out = Executor::new(&p, cfg).run_project();
+//! assert_eq!(out.output, "Hello WORLD");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builtins;
+mod exec;
+pub mod value;
+mod verify;
+
+pub use exec::{ExecConfig, ExecOutcome, Executor};
+pub use verify::{attack_surface, confirm_vulnerability, Confirmation};

@@ -1,0 +1,335 @@
+//! Concrete PHP values for the executor: the dynamic-typing semantics
+//! (string/number juggling, truthiness, loose comparison) needed to run
+//! plugin code for real.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A concrete PHP value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// Booleans.
+    Bool(bool),
+    /// Integers.
+    Int(i64),
+    /// Floats.
+    Float(f64),
+    /// Strings.
+    Str(String),
+    /// Ordered associative array (PHP arrays are ordered maps).
+    Array(PhpArray),
+    /// An object: class name (lowercase) + properties.
+    Object(Object),
+    /// A *probe*: a value that answers any index/property access with the
+    /// attacker payload. Used by the exploit harness to stand in for
+    /// superglobals and database rows without enumerating keys.
+    Probe(String),
+    /// A closure value (parameters, captured environment, body).
+    Closure(Box<ClosureValue>),
+    /// An opaque resource (database links, file handles).
+    Resource(&'static str),
+}
+
+/// A captured anonymous function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosureValue {
+    /// Parameters as declared.
+    pub params: Vec<php_ast::Param>,
+    /// Captured variables (by value).
+    pub captured: Vec<(String, Value)>,
+    /// Body statements.
+    pub body: Vec<php_ast::Stmt>,
+}
+
+/// An ordered PHP array.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhpArray {
+    entries: Vec<(ArrayKey, Value)>,
+    next_index: i64,
+}
+
+/// PHP array keys are ints or strings.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArrayKey {
+    /// Integer key.
+    Int(i64),
+    /// String key.
+    Str(String),
+}
+
+impl fmt::Display for ArrayKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayKey::Int(i) => write!(f, "{i}"),
+            ArrayKey::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl ArrayKey {
+    /// Converts a value to an array key per PHP rules (numeric strings
+    /// become ints).
+    pub fn from_value(v: &Value) -> ArrayKey {
+        match v {
+            Value::Int(i) => ArrayKey::Int(*i),
+            Value::Bool(b) => ArrayKey::Int(*b as i64),
+            Value::Float(fl) => ArrayKey::Int(*fl as i64),
+            Value::Str(s) => match s.parse::<i64>() {
+                Ok(i) if i.to_string() == *s => ArrayKey::Int(i),
+                _ => ArrayKey::Str(s.clone()),
+            },
+            Value::Null => ArrayKey::Str(String::new()),
+            other => ArrayKey::Str(other.to_php_string()),
+        }
+    }
+}
+
+impl PhpArray {
+    /// Empty array.
+    pub fn new() -> Self {
+        PhpArray::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the array empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Gets by key.
+    pub fn get(&self, key: &ArrayKey) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Sets by key (replacing in place to keep order).
+    pub fn set(&mut self, key: ArrayKey, value: Value) {
+        if let ArrayKey::Int(i) = key {
+            self.next_index = self.next_index.max(i + 1);
+        }
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Appends with the next integer key (`$a[] = v`).
+    pub fn push(&mut self, value: Value) {
+        let key = ArrayKey::Int(self.next_index);
+        self.next_index += 1;
+        self.entries.push((key, value));
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &(ArrayKey, Value)> {
+        self.entries.iter()
+    }
+
+    /// Builds from pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (ArrayKey, Value)>) -> Self {
+        let mut a = PhpArray::new();
+        for (k, v) in pairs {
+            a.set(k, v);
+        }
+        a
+    }
+}
+
+/// A concrete object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Object {
+    /// Lowercase class name (`wpdb`, `stdclass`, `__dbrow`, user classes).
+    pub class: String,
+    /// Property values (names without `$`).
+    pub props: BTreeMap<String, Value>,
+}
+
+impl Object {
+    /// New empty object of `class`.
+    pub fn new(class: &str) -> Object {
+        Object {
+            class: class.to_ascii_lowercase(),
+            props: BTreeMap::new(),
+        }
+    }
+}
+
+impl Value {
+    /// PHP string conversion (as `echo` performs it).
+    pub fn to_php_string(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(true) => "1".into(),
+            Value::Bool(false) => String::new(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() {
+                    format!("{}", *f as i64)
+                } else {
+                    format!("{f}")
+                }
+            }
+            Value::Str(s) => s.clone(),
+            Value::Array(_) => "Array".into(),
+            Value::Object(_) => "Object".into(),
+            Value::Probe(payload) => payload.clone(),
+            Value::Closure(_) => "Closure".into(),
+            Value::Resource(name) => format!("Resource({name})"),
+        }
+    }
+
+    /// PHP truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty() && s != "0",
+            Value::Array(a) => !a.is_empty(),
+            Value::Object(_) | Value::Closure(_) | Value::Resource(_) => true,
+            Value::Probe(_) => true,
+        }
+    }
+
+    /// Numeric coercion (PHP's leading-number parse).
+    pub fn to_number(&self) -> f64 {
+        match self {
+            Value::Null => 0.0,
+            Value::Bool(b) => *b as i64 as f64,
+            Value::Int(i) => *i as f64,
+            Value::Float(f) => *f,
+            Value::Str(s) | Value::Probe(s) => parse_leading_number(s),
+            Value::Array(a) if a.is_empty() => 0.0,
+            _ => 1.0,
+        }
+    }
+
+    /// PHP loose equality (`==`) — simplified to the cases plugin code
+    /// uses: numeric comparison when either side is numeric-ish, string
+    /// comparison otherwise.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(a), b) => *a == b.truthy(),
+            (a, Bool(b)) => a.truthy() == *b,
+            (Int(_) | Float(_), _) | (_, Int(_) | Float(_)) => {
+                (self.to_number() - other.to_number()).abs() < f64::EPSILON
+            }
+            (Str(a), Str(b)) => a == b,
+            (Array(a), Array(b)) => a == b,
+            _ => self.to_php_string() == other.to_php_string(),
+        }
+    }
+
+    /// Strict equality (`===`).
+    pub fn strict_eq(&self, other: &Value) -> bool {
+        self == other
+    }
+}
+
+/// Parses the leading numeric prefix of a string, PHP-style.
+pub fn parse_leading_number(s: &str) -> f64 {
+    let t = s.trim_start();
+    let mut end = 0;
+    let bytes = t.as_bytes();
+    let mut seen_digit = false;
+    let mut seen_dot = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'+' | b'-' if i == 0 => end = i + 1,
+            b'0'..=b'9' => {
+                seen_digit = true;
+                end = i + 1;
+            }
+            b'.' if !seen_dot => {
+                seen_dot = true;
+                end = i + 1;
+            }
+            _ => break,
+        }
+    }
+    if !seen_digit {
+        return 0.0;
+    }
+    t[..end].parse::<f64>().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stringify_matches_php() {
+        assert_eq!(Value::Null.to_php_string(), "");
+        assert_eq!(Value::Bool(true).to_php_string(), "1");
+        assert_eq!(Value::Bool(false).to_php_string(), "");
+        assert_eq!(Value::Int(-3).to_php_string(), "-3");
+        assert_eq!(Value::Float(2.0).to_php_string(), "2");
+        assert_eq!(Value::Str("x".into()).to_php_string(), "x");
+        assert_eq!(Value::Array(PhpArray::new()).to_php_string(), "Array");
+    }
+
+    #[test]
+    fn truthiness_matches_php() {
+        assert!(!Value::Str("0".into()).truthy());
+        assert!(!Value::Str("".into()).truthy());
+        assert!(Value::Str("00".into()).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-1).truthy());
+        assert!(!Value::Array(PhpArray::new()).truthy());
+    }
+
+    #[test]
+    fn leading_number_parse() {
+        assert_eq!(parse_leading_number("42abc"), 42.0);
+        assert_eq!(parse_leading_number("  3.5x"), 3.5);
+        assert_eq!(parse_leading_number("-7"), -7.0);
+        assert_eq!(parse_leading_number("abc"), 0.0);
+        assert_eq!(parse_leading_number(""), 0.0);
+    }
+
+    #[test]
+    fn loose_equality_juggles() {
+        assert!(Value::Str("1".into()).loose_eq(&Value::Int(1)));
+        assert!(Value::Int(0).loose_eq(&Value::Str("a".into()))); // PHP5!
+        assert!(Value::Bool(true).loose_eq(&Value::Str("yes".into())));
+        assert!(!Value::Str("a".into()).loose_eq(&Value::Str("b".into())));
+    }
+
+    #[test]
+    fn array_ordering_and_next_index() {
+        let mut a = PhpArray::new();
+        a.push(Value::Int(10));
+        a.set(ArrayKey::Int(5), Value::Int(50));
+        a.push(Value::Int(60)); // takes index 6
+        let keys: Vec<String> = a.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(keys, vec!["0", "5", "6"]);
+    }
+
+    #[test]
+    fn numeric_string_keys_collapse() {
+        assert_eq!(
+            ArrayKey::from_value(&Value::Str("7".into())),
+            ArrayKey::Int(7)
+        );
+        assert_eq!(
+            ArrayKey::from_value(&Value::Str("07".into())),
+            ArrayKey::Str("07".into())
+        );
+    }
+
+    #[test]
+    fn probe_answers_everything() {
+        let p = Value::Probe("PAYLOAD".into());
+        assert_eq!(p.to_php_string(), "PAYLOAD");
+        assert!(p.truthy());
+    }
+}

@@ -1,0 +1,297 @@
+//! Exploit confirmation: execute the plugin with attack payloads injected
+//! and check whether the attack actually manifests — the automation of the
+//! paper's manual verification step ("each vulnerability confirmed by the
+//! expert was further analyzed…", "which we confirmed in an experiment").
+
+use crate::exec::{ExecConfig, ExecOutcome, Executor};
+use phpsafe::{PluginProject, Vulnerability};
+use taint_config::{SourceKind, VulnClass};
+
+/// Unambiguous probe strings: must survive into output/SQL *unescaped* to
+/// count as a successful attack.
+const XSS_PROBE: &str = "<script>phpsafe_probe(7)</script>";
+const SQLI_PROBE: &str = "1' OR 'phpsafe_probe'='phpsafe_probe";
+
+/// The result of attempting to confirm a finding dynamically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Confirmation {
+    /// The XSS payload reached the rendered page unescaped.
+    ConfirmedXss {
+        /// A window of the rendered output around the payload.
+        evidence: String,
+    },
+    /// The SQLi payload reached an executed query with its quote intact.
+    ConfirmedSqli {
+        /// The offending query.
+        query: String,
+    },
+    /// Execution completed but the payload never manifested.
+    NotConfirmed,
+}
+
+impl Confirmation {
+    /// Did the exploit work?
+    pub fn is_confirmed(&self) -> bool {
+        !matches!(self, Confirmation::NotConfirmed)
+    }
+}
+
+/// Builds the attack configuration for a vulnerability's input vector.
+fn attack_config(class: VulnClass, vector: SourceKind) -> ExecConfig {
+    let payload = match class {
+        VulnClass::Xss => XSS_PROBE,
+        VulnClass::Sqli => SQLI_PROBE,
+    }
+    .to_string();
+    let mut cfg = ExecConfig::default();
+    let p = Some(payload);
+    match vector {
+        // An attacker sending a GET parameter reaches both $_GET and
+        // $_REQUEST, and so on per channel.
+        SourceKind::Get => {
+            cfg.get_payload = p.clone();
+            cfg.request_payload = p;
+        }
+        SourceKind::Post => {
+            cfg.post_payload = p.clone();
+            cfg.request_payload = p;
+        }
+        SourceKind::Cookie => {
+            cfg.cookie_payload = p.clone();
+            cfg.request_payload = p;
+        }
+        SourceKind::Request => {
+            cfg.get_payload = p.clone();
+            cfg.post_payload = p.clone();
+            cfg.cookie_payload = p.clone();
+            cfg.request_payload = p;
+        }
+        SourceKind::Server => cfg.server_payload = p,
+        SourceKind::Database => cfg.db_payload = p,
+        SourceKind::File | SourceKind::Function | SourceKind::Array => cfg.io_payload = p,
+    }
+    cfg
+}
+
+/// Evidence window around the first occurrence of `needle` in `hay`.
+fn window(hay: &str, needle: &str) -> String {
+    match hay.find(needle) {
+        Some(pos) => {
+            let start = hay[..pos]
+                .char_indices()
+                .rev()
+                .nth(40)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let end = (pos + needle.len() + 40).min(hay.len());
+            // Clamp to char boundaries.
+            let mut s = start;
+            while !hay.is_char_boundary(s) {
+                s -= 1;
+            }
+            let mut e = end;
+            while !hay.is_char_boundary(e) {
+                e += 1;
+            }
+            hay[s..e].to_string()
+        }
+        None => String::new(),
+    }
+}
+
+/// Checks an execution outcome for a successful attack of `class`.
+fn judge(class: VulnClass, outcome: &ExecOutcome) -> Confirmation {
+    match class {
+        VulnClass::Xss => {
+            if outcome.output.contains(XSS_PROBE) {
+                Confirmation::ConfirmedXss {
+                    evidence: window(&outcome.output, XSS_PROBE),
+                }
+            } else {
+                Confirmation::NotConfirmed
+            }
+        }
+        VulnClass::Sqli => {
+            for q in &outcome.queries {
+                // The quote must arrive *unescaped* to break the query.
+                if q.contains(SQLI_PROBE) {
+                    return Confirmation::ConfirmedSqli { query: q.clone() };
+                }
+            }
+            Confirmation::NotConfirmed
+        }
+    }
+}
+
+/// Attempts to confirm one reported vulnerability by running the plugin
+/// with the matching payload injected through the reported input vector.
+///
+/// # Examples
+///
+/// ```
+/// use phpsafe::{PhpSafe, PluginProject, SourceFile};
+/// use php_exec::confirm_vulnerability;
+///
+/// let p = PluginProject::new("d")
+///     .with_file(SourceFile::new("d.php", "<?php echo $_GET['x'];"));
+/// let outcome = PhpSafe::new().analyze(&p);
+/// let confirmation = confirm_vulnerability(&p, &outcome.vulns[0]);
+/// assert!(confirmation.is_confirmed());
+/// ```
+pub fn confirm_vulnerability(project: &PluginProject, vuln: &Vulnerability) -> Confirmation {
+    let cfg = attack_config(vuln.class, vuln.source_kind);
+    let outcome = Executor::new(project, cfg).run_project();
+    judge(vuln.class, &outcome)
+}
+
+/// Attack the whole plugin with a payload on every vector at once and
+/// report whether each class is exploitable at all (a plugin-level smoke
+/// attack, independent of any analyzer report).
+pub fn attack_surface(project: &PluginProject) -> (Confirmation, Confirmation) {
+    let mut xss_cfg = ExecConfig::default().with_all_request(XSS_PROBE);
+    xss_cfg.db_payload = Some(XSS_PROBE.into());
+    xss_cfg.io_payload = Some(XSS_PROBE.into());
+    let xss_out = Executor::new(project, xss_cfg).run_project();
+
+    let mut sqli_cfg = ExecConfig::default().with_all_request(SQLI_PROBE);
+    sqli_cfg.io_payload = Some(SQLI_PROBE.into());
+    let sqli_out = Executor::new(project, sqli_cfg).run_project();
+
+    (
+        judge(VulnClass::Xss, &xss_out),
+        judge(VulnClass::Sqli, &sqli_out),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phpsafe::SourceFile;
+
+    fn plugin(src: &str) -> PluginProject {
+        PluginProject::new("t").with_file(SourceFile::new("t.php", src))
+    }
+
+    fn vuln(class: VulnClass, vector: SourceKind) -> Vulnerability {
+        Vulnerability {
+            class,
+            file: "t.php".into(),
+            line: 1,
+            sink: "echo".into(),
+            var: "$x".into(),
+            source_kind: vector,
+            via_oop: false,
+            numeric_hint: false,
+            trace: vec![],
+        }
+    }
+
+    #[test]
+    fn reflected_xss_confirms() {
+        let p = plugin("<?php echo '<div>' . $_GET['q'] . '</div>';");
+        let c = confirm_vulnerability(&p, &vuln(VulnClass::Xss, SourceKind::Get));
+        assert!(c.is_confirmed(), "{c:?}");
+        if let Confirmation::ConfirmedXss { evidence } = c {
+            assert!(evidence.contains("<script>phpsafe_probe"));
+        }
+    }
+
+    #[test]
+    fn escaped_output_does_not_confirm() {
+        let p = plugin("<?php echo htmlentities($_GET['q']);");
+        let c = confirm_vulnerability(&p, &vuln(VulnClass::Xss, SourceKind::Get));
+        assert!(!c.is_confirmed());
+    }
+
+    #[test]
+    fn intval_does_not_confirm() {
+        let p = plugin("<?php echo intval($_GET['q']);");
+        let c = confirm_vulnerability(&p, &vuln(VulnClass::Xss, SourceKind::Get));
+        assert!(!c.is_confirmed());
+    }
+
+    #[test]
+    fn sqli_through_wpdb_confirms() {
+        let p = plugin(
+            "<?php $id = $_GET['id'];
+             $wpdb->query(\"DELETE FROM {$wpdb->prefix}t WHERE name = '$id'\");",
+        );
+        let c = confirm_vulnerability(&p, &vuln(VulnClass::Sqli, SourceKind::Get));
+        assert!(c.is_confirmed(), "{c:?}");
+        if let Confirmation::ConfirmedSqli { query } = c {
+            assert!(query.starts_with("DELETE FROM wp_t"));
+            assert!(query.contains("1' OR "));
+        }
+    }
+
+    #[test]
+    fn prepared_query_does_not_confirm() {
+        let p = plugin(
+            "<?php $wpdb->query($wpdb->prepare(
+                \"SELECT * FROM t WHERE name = '%s'\", $_GET['n']));",
+        );
+        let c = confirm_vulnerability(&p, &vuln(VulnClass::Sqli, SourceKind::Get));
+        assert!(!c.is_confirmed(), "escaped quote cannot break out");
+    }
+
+    #[test]
+    fn stored_xss_via_db_confirms() {
+        let p = plugin(
+            "<?php $rows = $wpdb->get_results('SELECT * FROM t');
+             foreach ($rows as $r) { echo '<li>' . $r->name . '</li>'; }",
+        );
+        let c = confirm_vulnerability(&p, &vuln(VulnClass::Xss, SourceKind::Database));
+        assert!(c.is_confirmed(), "{c:?}");
+    }
+
+    #[test]
+    fn hook_handler_confirms_via_cms_simulation() {
+        let p = plugin(
+            "<?php add_action('init', 'boom');
+             function boom() { echo $_REQUEST['x']; }",
+        );
+        let c = confirm_vulnerability(&p, &vuln(VulnClass::Xss, SourceKind::Request));
+        assert!(c.is_confirmed(), "hooks must fire");
+    }
+
+    #[test]
+    fn file_payload_confirms_file_vector() {
+        let p = plugin("<?php $l = fgets($fp, 128); echo $l;");
+        let c = confirm_vulnerability(&p, &vuln(VulnClass::Xss, SourceKind::File));
+        assert!(c.is_confirmed());
+    }
+
+    #[test]
+    fn guarded_false_positive_does_not_confirm() {
+        // The FpGuardedEcho bait: static analysis reports it, dynamic
+        // execution proves the guard works.
+        let p = plugin(
+            "<?php $pg = $_GET['pg'];
+             if (!is_numeric($pg)) { die('bad'); }
+             echo 'Page: ' . $pg;",
+        );
+        let c = confirm_vulnerability(&p, &vuln(VulnClass::Xss, SourceKind::Get));
+        assert!(!c.is_confirmed(), "die() stops the tainted path");
+    }
+
+    #[test]
+    fn custom_cleaner_false_positive_does_not_confirm() {
+        let p = plugin(
+            "<?php $t = preg_replace('/[^a-z0-9_]/i', '', $_GET['t']); echo $t;",
+        );
+        let c = confirm_vulnerability(&p, &vuln(VulnClass::Xss, SourceKind::Get));
+        assert!(!c.is_confirmed(), "whitelist cleaner strips the payload");
+    }
+
+    #[test]
+    fn attack_surface_smoke() {
+        let p = plugin(
+            "<?php echo $_GET['a'];
+             $x = $_POST['b'];
+             mysql_query(\"SELECT * FROM t WHERE x = '$x'\");",
+        );
+        let (xss, sqli) = attack_surface(&p);
+        assert!(xss.is_confirmed());
+        assert!(sqli.is_confirmed());
+    }
+}

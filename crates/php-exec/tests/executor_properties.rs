@@ -1,0 +1,105 @@
+//! Property tests for the concrete executor: it is total (bounded) and
+//! deterministic on arbitrary inputs, including the whole synthetic corpus.
+
+use php_exec::{ExecConfig, Executor};
+use phpsafe::{PluginProject, SourceFile};
+use proptest::prelude::*;
+
+fn php_soup() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just("<?php ".to_string()),
+        Just("$x = $_GET['a']; echo $x; ".to_string()),
+        Just("for ($i = 0; $i < 100000; $i++) { $n = $i * 2; } ".to_string()),
+        Just("while (true) { $a = 1; } ".to_string()), // loop cap
+        Just("function f($v) { return f($v); } f(1); ".to_string()), // recursion
+        Just("$r = $wpdb->get_results('SELECT 1'); foreach ($r as $x) echo $x->p; ".to_string()),
+        Just("echo htmlentities($_POST['b']); ".to_string()),
+        Just("$arr = array('k' => 1); echo $arr['k']; ".to_string()),
+        Just("add_action('x', function () { echo 'hook'; }); ".to_string()),
+        Just("if ($_GET['m'] == 'x') { echo 'yes'; } else { echo 'no'; } ".to_string()),
+        Just("include 'other.php'; ".to_string()),
+        Just("garbage ((( ".to_string()),
+        "[ -~]{0,16}".prop_map(|s| s),
+    ];
+    prop::collection::vec(fragment, 0..12).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The executor terminates on arbitrary construct soup (step bound)
+    /// and never panics.
+    #[test]
+    fn executor_is_total(src in php_soup()) {
+        let p = PluginProject::new("soup")
+            .with_file(SourceFile::new("soup.php", src))
+            .with_file(SourceFile::new("other.php", "<?php echo 'inc';"));
+        let cfg = ExecConfig {
+            step_limit: 20_000,
+            ..ExecConfig::default()
+        };
+        let out = Executor::new(&p, cfg).run_project();
+        prop_assert!(out.steps <= 20_000 + 16, "budget respected: {}", out.steps);
+    }
+
+    /// Execution is deterministic (fixed clock/rand built-ins).
+    #[test]
+    fn executor_is_deterministic(src in php_soup()) {
+        let p = PluginProject::new("det").with_file(SourceFile::new("d.php", src));
+        let cfg = ExecConfig::default().with_all_request("P");
+        let a = Executor::new(&p, cfg.clone()).run_project();
+        let b = Executor::new(&p, cfg).run_project();
+        prop_assert_eq!(a.output, b.output);
+        prop_assert_eq!(a.queries, b.queries);
+    }
+
+    /// Escaped output never contains a raw probe even though the probe
+    /// flowed through.
+    #[test]
+    fn escaping_is_airtight(key in "[a-z]{1,6}") {
+        let src = format!(
+            "<?php echo htmlentities($_GET['{key}']); echo esc_html($_POST['{key}']);"
+        );
+        let p = PluginProject::new("esc").with_file(SourceFile::new("e.php", src));
+        let cfg = ExecConfig::default().with_all_request("<script>x</script>");
+        let out = Executor::new(&p, cfg).run_project();
+        prop_assert!(!out.output.contains("<script>"), "{}", out.output);
+        prop_assert!(out.output.contains("&lt;script&gt;"));
+    }
+}
+
+/// The executor survives every plugin of the full synthetic corpus under
+/// attack payloads (both versions) within its budget.
+#[test]
+fn executor_survives_the_corpus() {
+    use phpsafe_corpus::{Corpus, Version};
+    let corpus = Corpus::generate();
+    for plugin in corpus.plugins() {
+        for v in Version::ALL {
+            let cfg = ExecConfig::default().with_all_request("<p>probe</p>");
+            let out = Executor::new(plugin.project(v), cfg).run_project();
+            assert!(
+                out.steps <= ExecConfig::default().step_limit + 16,
+                "{} {v:?}",
+                plugin.name
+            );
+        }
+    }
+}
+
+/// Output is reproducible across runs on a corpus plugin.
+#[test]
+fn corpus_execution_is_deterministic() {
+    use phpsafe_corpus::{Corpus, Version};
+    let corpus = Corpus::generate();
+    let plugin = &corpus.plugins()[0];
+    let cfg = ExecConfig {
+        db_payload: Some("INJ".into()),
+        ..ExecConfig::default().with_all_request("REQ")
+    };
+    let a = Executor::new(plugin.project(Version::V2014), cfg.clone()).run_project();
+    let b = Executor::new(plugin.project(Version::V2014), cfg).run_project();
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.queries, b.queries);
+    assert_eq!(a.hooks_fired, b.hooks_fired);
+}

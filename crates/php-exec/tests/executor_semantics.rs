@@ -1,0 +1,278 @@
+//! Construct-level semantics tests for the concrete executor: each test
+//! pins the PHP behaviour one construct must exhibit at runtime.
+
+use php_exec::{ExecConfig, Executor};
+use phpsafe::{PluginProject, SourceFile};
+
+fn run(src: &str) -> String {
+    let p = PluginProject::new("t").with_file(SourceFile::new("t.php", src));
+    Executor::new(&p, ExecConfig::default()).run_project().output
+}
+
+fn run_with(src: &str, cfg: ExecConfig) -> php_exec::ExecOutcome {
+    let p = PluginProject::new("t").with_file(SourceFile::new("t.php", src));
+    Executor::new(&p, cfg).run_project()
+}
+
+#[test]
+fn echo_and_string_ops() {
+    assert_eq!(run("<?php echo 'a' . 'b' . (1 + 1);"), "ab2");
+    // PHP 5 gives `.` and `+` equal precedence (left-assoc):
+    // (('a'.'b').1)+1 => numeric coercion of 'ab1' => 0, plus 1.
+    assert_eq!(run("<?php echo 'a' . 'b' . 1 + 1;"), "1");
+}
+
+#[test]
+fn arithmetic_and_juggling() {
+    assert_eq!(run("<?php echo 2 + 3 * 4;"), "14");
+    assert_eq!(run("<?php echo '5' + '10';"), "15");
+    assert_eq!(run("<?php echo 10 / 4;"), "2.5");
+    assert_eq!(run("<?php echo 7 % 3;"), "1");
+}
+
+#[test]
+fn interpolation_renders_values() {
+    assert_eq!(
+        run("<?php $n = 'World'; echo \"Hello $n!\";"),
+        "Hello World!"
+    );
+    assert_eq!(
+        run("<?php $a = array('k' => 'v'); echo \"x={$a['k']}\";"),
+        "x=v"
+    );
+}
+
+#[test]
+fn html_passthrough() {
+    assert_eq!(
+        run("<h1>Title</h1><?php echo 'mid'; ?><p>end</p>"),
+        "<h1>Title</h1>mid<p>end</p>"
+    );
+}
+
+#[test]
+fn if_else_chains() {
+    assert_eq!(
+        run("<?php $x = 5; if ($x > 10) echo 'big'; elseif ($x > 3) echo 'mid'; else echo 'small';"),
+        "mid"
+    );
+}
+
+#[test]
+fn loops_with_break_continue() {
+    assert_eq!(
+        run("<?php for ($i = 0; $i < 10; $i++) { if ($i == 2) continue; if ($i == 5) break; echo $i; }"),
+        "0134"
+    );
+    assert_eq!(run("<?php $i = 3; while ($i--) { echo $i; }"), "210");
+}
+
+#[test]
+fn foreach_iterates_in_order() {
+    assert_eq!(
+        run("<?php foreach (array('a' => 1, 'b' => 2) as $k => $v) { echo \"$k$v\"; }"),
+        "a1b2"
+    );
+}
+
+#[test]
+fn switch_with_fallthrough() {
+    assert_eq!(
+        run("<?php switch (2) { case 1: echo 'one'; case 2: echo 'two'; case 3: echo 'three'; break; default: echo 'other'; }"),
+        "twothree"
+    );
+}
+
+#[test]
+fn functions_and_defaults() {
+    assert_eq!(
+        run("<?php function greet($n = 'anon') { return 'hi ' . $n; } echo greet(); echo greet('bob');"),
+        "hi anonhi bob"
+    );
+}
+
+#[test]
+fn recursion_with_real_base_case() {
+    assert_eq!(
+        run("<?php function fact($n) { if ($n <= 1) return 1; return $n * fact($n - 1); } echo fact(5);"),
+        "120"
+    );
+}
+
+#[test]
+fn objects_hold_state_across_method_calls() {
+    assert_eq!(
+        run(
+            "<?php
+            class Counter {
+                private $n;
+                public function __construct($start) { $this->n = $start; }
+                public function bump() { $this->n = $this->n + 1; }
+                public function get() { return $this->n; }
+            }
+            $c = new Counter(10);
+            $c->bump();
+            $c->bump();
+            echo $c->get();"
+        ),
+        "12"
+    );
+}
+
+#[test]
+fn global_keyword_shares_state() {
+    assert_eq!(
+        run(
+            "<?php $total = 5;
+            function add() { global $total; $total = $total + 3; }
+            add();
+            echo $total;"
+        ),
+        "8"
+    );
+}
+
+#[test]
+fn include_executes_in_scope() {
+    let p = PluginProject::new("t")
+        .with_file(SourceFile::new(
+            "main.php",
+            "<?php $name = 'inc'; include 'part.php';",
+        ))
+        .with_file(SourceFile::new("part.php", "<?php echo 'from ' . $name;"));
+    let out = Executor::new(&p, ExecConfig::default()).run_file("main.php");
+    assert_eq!(out.output, "from inc");
+}
+
+#[test]
+fn closures_capture_by_value() {
+    assert_eq!(
+        run(
+            "<?php $x = 'captured';
+            $f = function () use ($x) { echo $x; };
+            $x = 'changed';
+            $f();"
+        ),
+        "captured"
+    );
+}
+
+#[test]
+fn hooks_fire_after_top_level() {
+    assert_eq!(
+        run("<?php add_action('init', function () { echo 'hook!'; }); echo 'main;';"),
+        "main;hook!"
+    );
+}
+
+#[test]
+fn superglobal_payload_injection() {
+    let cfg = ExecConfig::default().with_all_request("INJ");
+    let out = run_with("<?php echo 'v=' . $_GET['anything'];", cfg);
+    assert_eq!(out.output, "v=INJ");
+}
+
+#[test]
+fn wpdb_queries_are_recorded() {
+    let out = run_with(
+        "<?php $wpdb->query(\"DELETE FROM {$wpdb->prefix}x WHERE id = 3\");",
+        ExecConfig::default(),
+    );
+    assert_eq!(out.queries, vec!["DELETE FROM wp_x WHERE id = 3".to_string()]);
+}
+
+#[test]
+fn wpdb_prepare_escapes() {
+    let cfg = ExecConfig::default().with_all_request("a' OR '1'='1");
+    let out = run_with(
+        "<?php $wpdb->query($wpdb->prepare(\"SELECT '%s'\", $_GET['x']));",
+        cfg,
+    );
+    assert_eq!(out.queries, vec![r#"SELECT 'a\' OR \'1\'=\'1'"#.to_string()]);
+}
+
+#[test]
+fn db_rows_carry_payload() {
+    let cfg = ExecConfig {
+        db_payload: Some("ROW".into()),
+        ..ExecConfig::default()
+    };
+    let out = run_with(
+        "<?php foreach ($wpdb->get_results('SELECT 1') as $r) { echo $r->any . ';'; }",
+        cfg,
+    );
+    assert_eq!(out.output, "ROW;ROW;");
+}
+
+#[test]
+fn die_halts_entry() {
+    assert_eq!(run("<?php echo 'a'; die('X'); echo 'b';"), "aX");
+}
+
+#[test]
+fn exit_inside_function_halts() {
+    assert_eq!(
+        run("<?php function f() { echo '1'; exit(); echo '2'; } f(); echo '3';"),
+        "1"
+    );
+}
+
+#[test]
+fn sprintf_printf() {
+    assert_eq!(
+        run("<?php printf('%s is %d%%', 'cpu', 93);"),
+        "cpu is 93%"
+    );
+    assert_eq!(run("<?php echo sprintf('[%s]', 'x');"), "[x]");
+}
+
+#[test]
+fn implode_explode_round_trip() {
+    assert_eq!(
+        run("<?php echo implode('-', explode(',', 'a,b,c'));"),
+        "a-b-c"
+    );
+}
+
+#[test]
+fn isset_and_empty() {
+    assert_eq!(
+        run("<?php $a = 1; echo isset($a) ? 'set' : 'unset'; echo empty($b) ? ' empty' : ' full';"),
+        "set empty"
+    );
+}
+
+#[test]
+fn static_properties_persist() {
+    assert_eq!(
+        run(
+            "<?php class Reg { public static $v; }
+            Reg::$v = 'stored';
+            echo Reg::$v;"
+        ),
+        "stored"
+    );
+}
+
+#[test]
+fn inherited_methods_execute() {
+    assert_eq!(
+        run(
+            "<?php class Base { public function hi() { return 'base-hi'; } }
+            class Kid extends Base {}
+            $k = new Kid();
+            echo $k->hi();"
+        ),
+        "base-hi"
+    );
+}
+
+#[test]
+fn unknown_function_degrades_with_warning() {
+    let out = run_with("<?php echo mystery_fn('x'); echo 'after';", ExecConfig::default());
+    assert_eq!(out.output, "after");
+    assert!(out
+        .warnings
+        .iter()
+        .any(|w| w.contains("mystery_fn")));
+}

@@ -1,0 +1,145 @@
+//! A character cursor over source text with line tracking and lookahead.
+
+/// Char-level cursor used by the lexer.
+///
+/// Operates on a `Vec<char>` snapshot of the input so multi-byte UTF-8
+/// characters index uniformly; plugin sources are small enough that the
+/// up-front copy is irrelevant next to analysis cost.
+#[derive(Debug, Clone)]
+pub(crate) struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    pub(crate) fn new(src: &str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    /// Current 1-based line number.
+    pub(crate) fn line(&self) -> u32 {
+        self.line
+    }
+
+    pub(crate) fn is_eof(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    /// Peeks `n` characters ahead (0 = current).
+    pub(crate) fn peek_at(&self, n: usize) -> Option<char> {
+        self.chars.get(self.pos + n).copied()
+    }
+
+    pub(crate) fn peek(&self) -> Option<char> {
+        self.peek_at(0)
+    }
+
+    /// Consumes and returns the current character, tracking newlines.
+    pub(crate) fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes the current char if it equals `c`.
+    pub(crate) fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if the upcoming characters match `s` (ASCII case-insensitive
+    /// when `ci` is set).
+    pub(crate) fn starts_with(&self, s: &str, ci: bool) -> bool {
+        for (i, want) in s.chars().enumerate() {
+            match self.peek_at(i) {
+                Some(have) => {
+                    let matches = if ci {
+                        have.eq_ignore_ascii_case(&want)
+                    } else {
+                        have == want
+                    };
+                    if !matches {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Consumes `n` characters, maintaining line counts.
+    pub(crate) fn advance(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.bump().is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Consumes characters while `pred` holds, returning the consumed text.
+    pub(crate) fn eat_while(&mut self, mut pred: impl FnMut(char) -> bool) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_lines_across_bumps() {
+        let mut c = Cursor::new("a\nb\nc");
+        assert_eq!(c.line(), 1);
+        c.bump(); // a
+        c.bump(); // \n
+        assert_eq!(c.line(), 2);
+        c.advance(2); // b, \n
+        assert_eq!(c.line(), 3);
+        assert_eq!(c.bump(), Some('c'));
+        assert!(c.is_eof());
+    }
+
+    #[test]
+    fn starts_with_case_modes() {
+        let c = Cursor::new("<?PHP echo");
+        assert!(c.starts_with("<?php", true));
+        assert!(!c.starts_with("<?php", false));
+        assert!(c.starts_with("<?PHP", false));
+    }
+
+    #[test]
+    fn eat_while_stops_at_predicate_boundary() {
+        let mut c = Cursor::new("abc123");
+        let word = c.eat_while(|ch| ch.is_ascii_alphabetic());
+        assert_eq!(word, "abc");
+        assert_eq!(c.peek(), Some('1'));
+    }
+
+    #[test]
+    fn handles_multibyte_chars() {
+        let mut c = Cursor::new("éé$x");
+        c.advance(2);
+        assert_eq!(c.peek(), Some('$'));
+    }
+}

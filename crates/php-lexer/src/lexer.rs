@@ -1,0 +1,1036 @@
+//! The PHP lexer: a faithful, total re-implementation of the behaviour the
+//! paper relies on from PHP's `token_get_all`.
+//!
+//! The lexer is *total*: any byte sequence produces a token stream, never an
+//! error (unclassifiable bytes become [`TokenKind::Unknown`]). Concatenating
+//! the `text` of every token reproduces the input exactly; the
+//! `phpsafe` analyzer and both baselines depend on this when mapping findings
+//! back to source lines.
+
+use crate::cursor::Cursor;
+use crate::token::{keyword_kind, Token, TokenKind};
+
+/// Lexes a complete PHP source file (starting in HTML mode, as PHP does).
+///
+/// # Examples
+///
+/// ```
+/// use php_lexer::{tokenize, TokenKind};
+/// let toks = tokenize("<?php echo $_GET['id']; ?>");
+/// assert!(toks.iter().any(|t| t.kind == TokenKind::Variable && t.text == "$_GET"));
+/// ```
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+/// Lexes source and drops trivia (whitespace/comments), the view parsers use.
+pub fn tokenize_significant(src: &str) -> Vec<Token> {
+    tokenize(src)
+        .into_iter()
+        .filter(|t| !t.kind.is_trivia())
+        .collect()
+}
+
+/// What terminates an interpolated scanning region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum InterpEnd {
+    DoubleQuote,
+    Backtick,
+    Heredoc(String),
+}
+
+/// Streaming PHP lexer. Construct with [`Lexer::new`], consume with
+/// [`Lexer::run`].
+#[derive(Debug)]
+pub struct Lexer {
+    cur: Cursor,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &str) -> Self {
+        Lexer {
+            cur: Cursor::new(src),
+            out: Vec::new(),
+        }
+    }
+
+    /// Runs the lexer to completion, returning the token stream.
+    pub fn run(mut self) -> Vec<Token> {
+        while !self.cur.is_eof() {
+            self.lex_html_until_open_tag();
+            // Inside PHP until a close tag flips us back to HTML mode.
+            while !self.cur.is_eof() {
+                if self.cur.starts_with("?>", false) {
+                    let line = self.cur.line();
+                    self.cur.advance(2);
+                    self.push(TokenKind::CloseTag, "?>", line);
+                    break;
+                }
+                self.lex_php_token();
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: TokenKind, text: impl Into<String>, line: u32) {
+        self.out.push(Token::new(kind, text, line));
+    }
+
+    /// HTML mode: consume inline HTML until an open tag (or EOF).
+    fn lex_html_until_open_tag(&mut self) {
+        let line = self.cur.line();
+        let mut html = String::new();
+        loop {
+            if self.cur.is_eof() {
+                break;
+            }
+            if self.cur.starts_with("<?", false) {
+                if !html.is_empty() {
+                    self.push(TokenKind::InlineHtml, std::mem::take(&mut html), line);
+                }
+                let tag_line = self.cur.line();
+                if self.cur.starts_with("<?php", true) {
+                    self.cur.advance(5);
+                    self.push(TokenKind::OpenTag, "<?php", tag_line);
+                } else if self.cur.starts_with("<?=", false) {
+                    self.cur.advance(3);
+                    self.push(TokenKind::OpenTagWithEcho, "<?=", tag_line);
+                } else {
+                    self.cur.advance(2);
+                    self.push(TokenKind::OpenTag, "<?", tag_line);
+                }
+                return;
+            }
+            html.push(self.cur.bump().expect("not eof"));
+        }
+        if !html.is_empty() {
+            self.push(TokenKind::InlineHtml, html, line);
+        }
+    }
+
+    /// Lexes exactly one PHP-mode token (never called at `?>` or EOF).
+    fn lex_php_token(&mut self) {
+        let line = self.cur.line();
+        let c = match self.cur.peek() {
+            Some(c) => c,
+            None => return,
+        };
+
+        // Whitespace
+        if c.is_whitespace() {
+            let ws = self.cur.eat_while(|ch| ch.is_whitespace());
+            self.push(TokenKind::Whitespace, ws, line);
+            return;
+        }
+
+        // Comments
+        if self.cur.starts_with("/**", false) && self.cur.peek_at(3) != Some('/') {
+            let text = self.block_comment();
+            self.push(TokenKind::DocComment, text, line);
+            return;
+        }
+        if self.cur.starts_with("/*", false) {
+            let text = self.block_comment();
+            self.push(TokenKind::Comment, text, line);
+            return;
+        }
+        if self.cur.starts_with("//", false) || c == '#' {
+            let text = self.line_comment();
+            self.push(TokenKind::Comment, text, line);
+            return;
+        }
+
+        // Variables
+        if c == '$' {
+            if matches!(self.cur.peek_at(1), Some(n) if is_ident_start(n)) {
+                self.cur.bump();
+                let name = self.cur.eat_while(is_ident_continue);
+                self.push(TokenKind::Variable, format!("${name}"), line);
+            } else {
+                self.cur.bump();
+                self.push(TokenKind::Dollar, "$", line);
+            }
+            return;
+        }
+
+        // Numbers
+        if c.is_ascii_digit() || (c == '.' && matches!(self.cur.peek_at(1), Some(d) if d.is_ascii_digit())) {
+            self.lex_number(line);
+            return;
+        }
+
+        // Identifiers / keywords / magic constants
+        if is_ident_start(c) {
+            let word = self.cur.eat_while(is_ident_continue);
+            let kind = keyword_kind(&word).unwrap_or(TokenKind::Identifier);
+            self.push(kind, word, line);
+            return;
+        }
+
+        // Strings
+        if c == '\'' {
+            self.lex_single_quoted(line);
+            return;
+        }
+        if c == '"' {
+            self.lex_double_quoted(line);
+            return;
+        }
+        if c == '`' {
+            self.cur.bump();
+            self.push(TokenKind::Backtick, "`", line);
+            self.lex_interpolated(InterpEnd::Backtick);
+            return;
+        }
+        if self.cur.starts_with("<<<", false) {
+            self.lex_heredoc(line);
+            return;
+        }
+
+        // Casts: "(" ws* keyword ws* ")"
+        if c == '(' {
+            if let Some((kind, text)) = self.try_cast() {
+                self.push(kind, text, line);
+                return;
+            }
+        }
+
+        // Operators & punctuation
+        self.lex_operator(line);
+    }
+
+    fn block_comment(&mut self) -> String {
+        let mut text = String::new();
+        // consume "/*"
+        text.push(self.cur.bump().expect("slash"));
+        text.push(self.cur.bump().expect("star"));
+        loop {
+            if self.cur.is_eof() {
+                break;
+            }
+            if self.cur.starts_with("*/", false) {
+                text.push(self.cur.bump().expect("star"));
+                text.push(self.cur.bump().expect("slash"));
+                break;
+            }
+            text.push(self.cur.bump().expect("not eof"));
+        }
+        text
+    }
+
+    fn line_comment(&mut self) -> String {
+        let mut text = String::new();
+        loop {
+            match self.cur.peek() {
+                None => break,
+                Some('\n') => break,
+                // A line comment ends at a close tag, which must be re-lexed.
+                _ if self.cur.starts_with("?>", false) => break,
+                Some(c) => {
+                    text.push(c);
+                    self.cur.bump();
+                }
+            }
+        }
+        text
+    }
+
+    fn lex_number(&mut self, line: u32) {
+        let mut text = String::new();
+        if self.cur.starts_with("0x", true) || self.cur.starts_with("0X", false) {
+            text.push(self.cur.bump().expect("0"));
+            text.push(self.cur.bump().expect("x"));
+            text.push_str(&self.cur.eat_while(|c| c.is_ascii_hexdigit() || c == '_'));
+            self.push(TokenKind::LNumber, text, line);
+            return;
+        }
+        if self.cur.starts_with("0b", true) {
+            text.push(self.cur.bump().expect("0"));
+            text.push(self.cur.bump().expect("b"));
+            text.push_str(&self.cur.eat_while(|c| c == '0' || c == '1' || c == '_'));
+            self.push(TokenKind::LNumber, text, line);
+            return;
+        }
+        let mut is_float = false;
+        text.push_str(&self.cur.eat_while(|c| c.is_ascii_digit()));
+        if self.cur.peek() == Some('.')
+            && matches!(self.cur.peek_at(1), Some(d) if d.is_ascii_digit())
+        {
+            is_float = true;
+            text.push(self.cur.bump().expect("dot"));
+            text.push_str(&self.cur.eat_while(|c| c.is_ascii_digit()));
+        } else if self.cur.peek() == Some('.') && text.is_empty() {
+            // ".5" style float
+            is_float = true;
+            text.push(self.cur.bump().expect("dot"));
+            text.push_str(&self.cur.eat_while(|c| c.is_ascii_digit()));
+        }
+        if matches!(self.cur.peek(), Some('e') | Some('E')) {
+            let mut k = 1;
+            if matches!(self.cur.peek_at(1), Some('+') | Some('-')) {
+                k = 2;
+            }
+            if matches!(self.cur.peek_at(k), Some(d) if d.is_ascii_digit()) {
+                is_float = true;
+                for _ in 0..k {
+                    text.push(self.cur.bump().expect("exp"));
+                }
+                text.push_str(&self.cur.eat_while(|c| c.is_ascii_digit()));
+            }
+        }
+        let kind = if is_float {
+            TokenKind::DNumber
+        } else {
+            TokenKind::LNumber
+        };
+        self.push(kind, text, line);
+    }
+
+    fn lex_single_quoted(&mut self, line: u32) {
+        let mut text = String::new();
+        text.push(self.cur.bump().expect("quote"));
+        loop {
+            match self.cur.peek() {
+                None => break,
+                Some('\\') => {
+                    text.push(self.cur.bump().expect("bs"));
+                    if let Some(e) = self.cur.bump() {
+                        text.push(e);
+                    }
+                }
+                Some('\'') => {
+                    text.push(self.cur.bump().expect("quote"));
+                    break;
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.cur.bump();
+                }
+            }
+        }
+        self.push(TokenKind::ConstantEncapsedString, text, line);
+    }
+
+    /// Double-quoted strings: emitted as a single
+    /// `T_CONSTANT_ENCAPSED_STRING` when free of interpolation, otherwise as
+    /// `"` + interpolation parts + `"`, exactly as PHP does.
+    fn lex_double_quoted(&mut self, line: u32) {
+        // Scan ahead (on a cursor clone) to decide whether the string
+        // interpolates, so simple strings stay one token.
+        let mut probe = self.cur.clone();
+        probe.bump(); // opening quote
+        let mut interpolates = false;
+        let mut raw = String::from("\"");
+        let mut closed = false;
+        loop {
+            match probe.peek() {
+                None => break,
+                Some('\\') => {
+                    raw.push(probe.bump().expect("bs"));
+                    if let Some(e) = probe.bump() {
+                        raw.push(e);
+                    }
+                }
+                Some('"') => {
+                    raw.push(probe.bump().expect("quote"));
+                    closed = true;
+                    break;
+                }
+                Some('$') => {
+                    if matches!(probe.peek_at(1), Some(n) if is_ident_start(n) || n == '{') {
+                        interpolates = true;
+                    }
+                    raw.push(probe.bump().expect("dollar"));
+                }
+                Some('{') => {
+                    if probe.peek_at(1) == Some('$') {
+                        interpolates = true;
+                    }
+                    raw.push(probe.bump().expect("brace"));
+                }
+                Some(c) => {
+                    raw.push(c);
+                    probe.bump();
+                }
+            }
+        }
+        if !interpolates {
+            // Commit the probe's progress.
+            self.cur = probe;
+            let kind = if closed || !raw.is_empty() {
+                TokenKind::ConstantEncapsedString
+            } else {
+                TokenKind::Unknown
+            };
+            self.push(kind, raw, line);
+            return;
+        }
+        self.cur.bump(); // opening quote
+        self.push(TokenKind::DoubleQuote, "\"", line);
+        self.lex_interpolated(InterpEnd::DoubleQuote);
+    }
+
+    fn lex_heredoc(&mut self, line: u32) {
+        let mut text = String::from("<<<");
+        self.cur.advance(3);
+        text.push_str(&self.cur.eat_while(|c| c == ' ' || c == '\t'));
+        let mut nowdoc = false;
+        let mut quoted = false;
+        if self.cur.eat('\'') {
+            nowdoc = true;
+            text.push('\'');
+        } else if self.cur.eat('"') {
+            quoted = true;
+            text.push('"');
+        }
+        let label = self.cur.eat_while(is_ident_continue);
+        text.push_str(&label);
+        if nowdoc && self.cur.eat('\'') {
+            text.push('\'');
+        }
+        if quoted && self.cur.eat('"') {
+            text.push('"');
+        }
+        if self.cur.peek() == Some('\r') {
+            text.push(self.cur.bump().expect("cr"));
+        }
+        if self.cur.peek() == Some('\n') {
+            text.push(self.cur.bump().expect("nl"));
+        }
+        self.push(TokenKind::StartHeredoc, text, line);
+        if nowdoc {
+            // Nowdoc: raw until terminator, no interpolation.
+            let mut body = String::new();
+            let body_line = self.cur.line();
+            loop {
+                if self.cur.is_eof() {
+                    break;
+                }
+                if self.at_heredoc_end(&label) {
+                    break;
+                }
+                body.push(self.cur.bump().expect("not eof"));
+            }
+            if !body.is_empty() {
+                self.push(TokenKind::EncapsedAndWhitespace, body, body_line);
+            }
+            let end_line = self.cur.line();
+            self.cur.advance(label.chars().count());
+            self.push(TokenKind::EndHeredoc, label.clone(), end_line);
+        } else {
+            self.lex_interpolated(InterpEnd::Heredoc(label));
+        }
+    }
+
+    /// True when the cursor sits at the start of a line containing exactly
+    /// the heredoc terminator label (optionally followed by `;` or `,`).
+    fn at_heredoc_end(&self, label: &str) -> bool {
+        // Must be at start of line: previous char was '\n' — we approximate
+        // by only calling this after consuming a '\n' or at the body start.
+        if !self.cur.starts_with(label, false) {
+            return false;
+        }
+        let after = self.cur.peek_at(label.chars().count());
+        matches!(after, None | Some(';') | Some(',') | Some('\n') | Some('\r') | Some(')'))
+    }
+
+    /// Scans interpolated content (double-quoted string, backtick, heredoc),
+    /// emitting `T_ENCAPSED_AND_WHITESPACE` runs, simple `$var` accesses and
+    /// `{$ ... }` complex expressions, until the terminator.
+    fn lex_interpolated(&mut self, end: InterpEnd) {
+        let mut run = String::new();
+        let mut run_line = self.cur.line();
+        let mut at_line_start = matches!(end, InterpEnd::Heredoc(_));
+        loop {
+            if self.cur.is_eof() {
+                break;
+            }
+            // Terminator?
+            match &end {
+                InterpEnd::DoubleQuote => {
+                    if self.cur.peek() == Some('"') {
+                        if !run.is_empty() {
+                            self.push(
+                                TokenKind::EncapsedAndWhitespace,
+                                std::mem::take(&mut run),
+                                run_line,
+                            );
+                        }
+                        let line = self.cur.line();
+                        self.cur.bump();
+                        self.push(TokenKind::DoubleQuote, "\"", line);
+                        return;
+                    }
+                }
+                InterpEnd::Backtick => {
+                    if self.cur.peek() == Some('`') {
+                        if !run.is_empty() {
+                            self.push(
+                                TokenKind::EncapsedAndWhitespace,
+                                std::mem::take(&mut run),
+                                run_line,
+                            );
+                        }
+                        let line = self.cur.line();
+                        self.cur.bump();
+                        self.push(TokenKind::Backtick, "`", line);
+                        return;
+                    }
+                }
+                InterpEnd::Heredoc(label) => {
+                    if at_line_start && self.at_heredoc_end(label) {
+                        if !run.is_empty() {
+                            self.push(
+                                TokenKind::EncapsedAndWhitespace,
+                                std::mem::take(&mut run),
+                                run_line,
+                            );
+                        }
+                        let line = self.cur.line();
+                        self.cur.advance(label.chars().count());
+                        self.push(TokenKind::EndHeredoc, label.clone(), line);
+                        return;
+                    }
+                }
+            }
+            at_line_start = false;
+            match self.cur.peek() {
+                Some('\\') if end != InterpEnd::Heredoc(String::new()) => {
+                    // Escapes stay verbatim inside the encapsed run.
+                    run.push(self.cur.bump().expect("bs"));
+                    if let Some(e) = self.cur.bump() {
+                        if e == '\n' {
+                            at_line_start = true;
+                        }
+                        run.push(e);
+                    }
+                }
+                Some('$')
+                    if matches!(self.cur.peek_at(1), Some(n) if is_ident_start(n)) =>
+                {
+                    if !run.is_empty() {
+                        self.push(
+                            TokenKind::EncapsedAndWhitespace,
+                            std::mem::take(&mut run),
+                            run_line,
+                        );
+                    }
+                    let line = self.cur.line();
+                    self.cur.bump(); // $
+                    let name = self.cur.eat_while(is_ident_continue);
+                    self.push(TokenKind::Variable, format!("${name}"), line);
+                    // Simple-syntax suffixes: ->prop or [index]
+                    if self.cur.starts_with("->", false)
+                        && matches!(self.cur.peek_at(2), Some(n) if is_ident_start(n))
+                    {
+                        let line = self.cur.line();
+                        self.cur.advance(2);
+                        self.push(TokenKind::ObjectOperator, "->", line);
+                        let prop = self.cur.eat_while(is_ident_continue);
+                        self.push(TokenKind::Identifier, prop, line);
+                    } else if self.cur.peek() == Some('[')
+                        && matches!(
+                            self.cur.peek_at(1),
+                            Some(c) if c == '$' || c == '\'' || c.is_ascii_digit() || is_ident_start(c)
+                        )
+                    {
+                        let line = self.cur.line();
+                        self.cur.bump();
+                        self.push(TokenKind::OpenBracket, "[", line);
+                        // index: $var | number | bareword
+                        if self.cur.peek() == Some('$') {
+                            self.cur.bump();
+                            let iname = self.cur.eat_while(is_ident_continue);
+                            self.push(TokenKind::Variable, format!("${iname}"), line);
+                        } else if matches!(self.cur.peek(), Some(d) if d.is_ascii_digit()) {
+                            let num = self.cur.eat_while(|c| c.is_ascii_digit());
+                            self.push(TokenKind::LNumber, num, line);
+                        } else {
+                            let word = self.cur.eat_while(|c| is_ident_continue(c) || c == '\'');
+                            self.push(TokenKind::Identifier, word, line);
+                        }
+                        if self.cur.eat(']') {
+                            self.push(TokenKind::CloseBracket, "]", line);
+                        }
+                    }
+                    run_line = self.cur.line();
+                }
+                Some('{') if self.cur.peek_at(1) == Some('$') => {
+                    if !run.is_empty() {
+                        self.push(
+                            TokenKind::EncapsedAndWhitespace,
+                            std::mem::take(&mut run),
+                            run_line,
+                        );
+                    }
+                    let line = self.cur.line();
+                    self.cur.bump();
+                    self.push(TokenKind::CurlyOpen, "{", line);
+                    self.lex_php_until_matching_brace();
+                    run_line = self.cur.line();
+                }
+                Some('$') if self.cur.peek_at(1) == Some('{') => {
+                    if !run.is_empty() {
+                        self.push(
+                            TokenKind::EncapsedAndWhitespace,
+                            std::mem::take(&mut run),
+                            run_line,
+                        );
+                    }
+                    let line = self.cur.line();
+                    self.cur.advance(2);
+                    self.push(TokenKind::DollarOpenCurlyBraces, "${", line);
+                    self.lex_php_until_matching_brace();
+                    run_line = self.cur.line();
+                }
+                Some(c) => {
+                    if c == '\n' {
+                        at_line_start = true;
+                    }
+                    run.push(c);
+                    self.cur.bump();
+                }
+                None => break,
+            }
+        }
+        if !run.is_empty() {
+            self.push(TokenKind::EncapsedAndWhitespace, run, run_line);
+        }
+    }
+
+    /// Lexes full PHP tokens inside `{$ ... }` until the matching `}` (which
+    /// is emitted as `}`), tracking nesting.
+    fn lex_php_until_matching_brace(&mut self) {
+        let mut depth = 1usize;
+        while !self.cur.is_eof() {
+            if self.cur.peek() == Some('{') {
+                depth += 1;
+            } else if self.cur.peek() == Some('}') {
+                depth -= 1;
+                let line = self.cur.line();
+                self.cur.bump();
+                self.push(TokenKind::CloseBrace, "}", line);
+                if depth == 0 {
+                    return;
+                }
+                continue;
+            }
+            self.lex_php_token();
+        }
+    }
+
+    /// Attempts to lex a cast like `(int)`; restores the cursor on failure.
+    fn try_cast(&mut self) -> Option<(TokenKind, String)> {
+        let snapshot = self.cur.clone();
+        let mut text = String::new();
+        text.push(self.cur.bump().expect("paren"));
+        text.push_str(&self.cur.eat_while(|c| c == ' ' || c == '\t'));
+        let word = self.cur.eat_while(|c| c.is_ascii_alphabetic());
+        let kind = match word.to_ascii_lowercase().as_str() {
+            "int" | "integer" => TokenKind::IntCast,
+            "float" | "double" | "real" => TokenKind::DoubleCast,
+            "string" | "binary" => TokenKind::StringCast,
+            "array" => TokenKind::ArrayCast,
+            "object" => TokenKind::ObjectCast,
+            "bool" | "boolean" => TokenKind::BoolCast,
+            "unset" => TokenKind::UnsetCast,
+            _ => {
+                self.cur = snapshot;
+                return None;
+            }
+        };
+        text.push_str(&word);
+        text.push_str(&self.cur.eat_while(|c| c == ' ' || c == '\t'));
+        if self.cur.eat(')') {
+            text.push(')');
+            Some((kind, text))
+        } else {
+            self.cur = snapshot;
+            None
+        }
+    }
+
+    fn lex_operator(&mut self, line: u32) {
+        use TokenKind::*;
+        // Longest-match first.
+        const THREE: &[(&str, TokenKind)] = &[
+            ("===", Identical),
+            ("!==", NotIdentical),
+            ("<<=", SlEqual),
+            (">>=", SrEqual),
+            ("...", Ellipsis),
+        ];
+        const TWO: &[(&str, TokenKind)] = &[
+            ("->", ObjectOperator),
+            ("::", DoubleColon),
+            ("=>", DoubleArrow),
+            ("++", Inc),
+            ("--", Dec),
+            ("==", Equal),
+            ("!=", NotEqual),
+            ("<>", NotEqual),
+            ("<=", SmallerOrEqual),
+            (">=", GreaterOrEqual),
+            ("&&", BooleanAnd),
+            ("||", BooleanOr),
+            ("+=", PlusEqual),
+            ("-=", MinusEqual),
+            ("*=", MulEqual),
+            ("/=", DivEqual),
+            (".=", ConcatEqual),
+            ("%=", ModEqual),
+            ("&=", AndEqual),
+            ("|=", OrEqual),
+            ("^=", XorEqual),
+            ("<<", Sl),
+            (">>", Sr),
+            ("**", Pow),
+        ];
+        for (s, k) in THREE {
+            if self.cur.starts_with(s, false) {
+                self.cur.advance(3);
+                self.push(*k, *s, line);
+                return;
+            }
+        }
+        for (s, k) in TWO {
+            if self.cur.starts_with(s, false) {
+                self.cur.advance(2);
+                self.push(*k, *s, line);
+                return;
+            }
+        }
+        let c = self.cur.bump().expect("operator char");
+        let kind = match c {
+            ';' => Semicolon,
+            ',' => Comma,
+            '(' => OpenParen,
+            ')' => CloseParen,
+            '{' => OpenBrace,
+            '}' => CloseBrace,
+            '[' => OpenBracket,
+            ']' => CloseBracket,
+            '+' => Plus,
+            '-' => Minus,
+            '*' => Star,
+            '/' => Slash,
+            '%' => Percent,
+            '.' => Dot,
+            '=' => Assign,
+            '<' => Lt,
+            '>' => Gt,
+            '!' => Bang,
+            '?' => Question,
+            ':' => Colon,
+            '&' => Amp,
+            '|' => Pipe,
+            '^' => Caret,
+            '~' => Tilde,
+            '@' => At,
+            '$' => Dollar,
+            '\\' => Backslash,
+            _ => Unknown,
+        };
+        self.push(kind, c.to_string(), line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || (c as u32) >= 0x80
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || (c as u32) >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as K;
+
+    fn kinds(src: &str) -> Vec<K> {
+        tokenize_significant(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize_significant(src).into_iter().map(|t| t.text).collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let joined: String = tokenize(src).iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(joined, src, "token texts must reconstruct the source");
+    }
+
+    #[test]
+    fn html_then_php() {
+        let toks = tokenize("<h1>Hi</h1><?php echo 1; ?><p>bye</p>");
+        assert_eq!(toks[0].kind, K::InlineHtml);
+        assert_eq!(toks[0].text, "<h1>Hi</h1>");
+        assert_eq!(toks[1].kind, K::OpenTag);
+        assert!(toks.iter().any(|t| t.kind == K::CloseTag));
+        assert_eq!(toks.last().unwrap().kind, K::InlineHtml);
+        roundtrip("<h1>Hi</h1><?php echo 1; ?><p>bye</p>");
+    }
+
+    #[test]
+    fn open_tag_with_echo() {
+        let toks = tokenize("<?= $x ?>");
+        assert_eq!(toks[0].kind, K::OpenTagWithEcho);
+        assert_eq!(toks[2].kind, K::Variable);
+    }
+
+    #[test]
+    fn variables_and_superglobals() {
+        assert_eq!(
+            kinds("<?php $_POST;"),
+            vec![K::OpenTag, K::Variable, K::Semicolon]
+        );
+        assert_eq!(texts("<?php $_POST;")[1], "$_POST");
+    }
+
+    #[test]
+    fn variable_line_numbers_match_source() {
+        let toks = tokenize("<?php\n\n$x = 1;\n$y = 2;");
+        let x = toks.iter().find(|t| t.text == "$x").unwrap();
+        let y = toks.iter().find(|t| t.text == "$y").unwrap();
+        assert_eq!(x.line, 3);
+        assert_eq!(y.line, 4);
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        let k = kinds("<?php function foo() { return bar; }");
+        assert_eq!(
+            k,
+            vec![
+                K::OpenTag,
+                K::Function,
+                K::Identifier,
+                K::OpenParen,
+                K::CloseParen,
+                K::OpenBrace,
+                K::Return,
+                K::Identifier,
+                K::Semicolon,
+                K::CloseBrace
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let k = kinds("<?php 1 1.5 0x1F 0b101 1e3 .5;");
+        assert_eq!(
+            k,
+            vec![
+                K::OpenTag,
+                K::LNumber,
+                K::DNumber,
+                K::LNumber,
+                K::LNumber,
+                K::DNumber,
+                K::DNumber,
+                K::Semicolon
+            ]
+        );
+    }
+
+    #[test]
+    fn single_quoted_string_is_one_token() {
+        let t = tokenize_significant("<?php 'a $x b';");
+        assert_eq!(t[1].kind, K::ConstantEncapsedString);
+        assert_eq!(t[1].text, "'a $x b'");
+    }
+
+    #[test]
+    fn plain_double_quoted_string_is_one_token() {
+        let t = tokenize_significant("<?php \"hello world\";");
+        assert_eq!(t[1].kind, K::ConstantEncapsedString);
+        assert_eq!(t[1].text, "\"hello world\"");
+    }
+
+    #[test]
+    fn interpolated_string_splits() {
+        let t = tokenize_significant("<?php \"abc $x def\";");
+        let k: Vec<K> = t.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            k,
+            vec![
+                K::OpenTag,
+                K::DoubleQuote,
+                K::EncapsedAndWhitespace,
+                K::Variable,
+                K::EncapsedAndWhitespace,
+                K::DoubleQuote,
+                K::Semicolon
+            ]
+        );
+        assert_eq!(t[3].text, "$x");
+        roundtrip("<?php \"abc $x def\";");
+    }
+
+    #[test]
+    fn interpolated_property_access() {
+        let t = tokenize_significant("<?php \"v={$row->sml_name}\";");
+        assert!(t.iter().any(|t| t.kind == K::CurlyOpen));
+        assert!(t.iter().any(|t| t.kind == K::ObjectOperator));
+        assert!(t.iter().any(|t| t.text == "sml_name"));
+        roundtrip("<?php \"v={$row->sml_name}\";");
+    }
+
+    #[test]
+    fn simple_syntax_property_access_in_string() {
+        let t = tokenize_significant("<?php \"v=$row->name!\";");
+        let k: Vec<K> = t.iter().map(|t| t.kind).collect();
+        assert!(k.contains(&K::ObjectOperator));
+        roundtrip("<?php \"v=$row->name!\";");
+    }
+
+    #[test]
+    fn simple_syntax_array_index_in_string() {
+        let t = tokenize_significant("<?php \"v=$a[key] w=$b[0] x=$c[$i]\";");
+        let brackets = t.iter().filter(|t| t.kind == K::OpenBracket).count();
+        assert_eq!(brackets, 3);
+        roundtrip("<?php \"v=$a[key] w=$b[0] x=$c[$i]\";");
+    }
+
+    #[test]
+    fn escaped_dollar_does_not_interpolate() {
+        let t = tokenize_significant("<?php \"a \\$x b\";");
+        assert_eq!(t[1].kind, K::ConstantEncapsedString);
+    }
+
+    #[test]
+    fn heredoc_with_interpolation() {
+        let src = "<?php $s = <<<EOT\nhello $name\nEOT;\n";
+        let t = tokenize_significant(src);
+        let k: Vec<K> = t.iter().map(|t| t.kind).collect();
+        assert!(k.contains(&K::StartHeredoc));
+        assert!(k.contains(&K::Variable));
+        assert!(k.contains(&K::EndHeredoc));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn nowdoc_has_no_interpolation() {
+        let src = "<?php $s = <<<'EOT'\nhello $name\nEOT;\n";
+        let t = tokenize_significant(src);
+        assert!(t.iter().any(|t| t.kind == K::StartHeredoc));
+        assert!(!t.iter().any(|t| t.kind == K::Variable && t.text == "$name"));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn comments() {
+        let t = tokenize("<?php // line\n# hash\n/* block */ /** doc */ 1;");
+        let k: Vec<K> = t.iter().map(|t| t.kind).collect();
+        assert_eq!(k.iter().filter(|&&x| x == K::Comment).count(), 3);
+        assert_eq!(k.iter().filter(|&&x| x == K::DocComment).count(), 1);
+    }
+
+    #[test]
+    fn line_comment_stops_at_close_tag() {
+        let t = tokenize("<?php // c ?>after");
+        assert!(t.iter().any(|t| t.kind == K::CloseTag));
+        assert_eq!(t.last().unwrap().kind, K::InlineHtml);
+        roundtrip("<?php // c ?>after");
+    }
+
+    #[test]
+    fn object_and_static_operators() {
+        let k = kinds("<?php $wpdb->get_results(); Foo::bar();");
+        assert!(k.contains(&K::ObjectOperator));
+        assert!(k.contains(&K::DoubleColon));
+    }
+
+    #[test]
+    fn casts() {
+        let k = kinds("<?php (int)$x; (string) $y; ( array )$z; (bool)$w;");
+        assert!(k.contains(&K::IntCast));
+        assert!(k.contains(&K::StringCast));
+        assert!(k.contains(&K::ArrayCast));
+        assert!(k.contains(&K::BoolCast));
+    }
+
+    #[test]
+    fn non_cast_paren_is_paren() {
+        let k = kinds("<?php (1 + 2);");
+        assert_eq!(k[1], K::OpenParen);
+    }
+
+    #[test]
+    fn three_char_operators() {
+        let k = kinds("<?php $a === $b; $a !== $b;");
+        assert!(k.contains(&K::Identical));
+        assert!(k.contains(&K::NotIdentical));
+    }
+
+    #[test]
+    fn assignment_operator_family() {
+        let k = kinds("<?php $a .= 'x'; $a += 1; $a <<= 2;");
+        assert!(k.contains(&K::ConcatEqual));
+        assert!(k.contains(&K::PlusEqual));
+        assert!(k.contains(&K::SlEqual));
+    }
+
+    #[test]
+    fn variable_variable() {
+        let k = kinds("<?php $$name;");
+        assert_eq!(k[1], K::Dollar);
+        assert_eq!(k[2], K::Variable);
+    }
+
+    #[test]
+    fn unclosed_string_is_total() {
+        // Must not panic and must round-trip.
+        roundtrip("<?php $x = 'never closed");
+        roundtrip("<?php $x = \"never closed $y");
+    }
+
+    #[test]
+    fn empty_and_html_only_inputs() {
+        assert!(tokenize("").is_empty());
+        let t = tokenize("just html, no php");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].kind, K::InlineHtml);
+    }
+
+    #[test]
+    fn short_open_tag() {
+        let t = tokenize("<? echo 1;");
+        assert_eq!(t[0].kind, K::OpenTag);
+        assert_eq!(t[0].text, "<?");
+    }
+
+    #[test]
+    fn roundtrip_realistic_plugin_snippet() {
+        let src = r#"<?php
+/*
+Plugin Name: Example
+*/
+class My_Plugin {
+    private $db;
+    public function __construct() {
+        global $wpdb;
+        $this->db = $wpdb;
+    }
+    function render() {
+        $rows = $this->db->get_results("SELECT * FROM {$this->db->prefix}sml");
+        foreach ($rows as $row) {
+            echo '<li>' . $row->sml_name . '</li>';
+        }
+    }
+}
+$p = new My_Plugin();
+$p->render();
+"#;
+        roundtrip(src);
+        let k = kinds(src);
+        assert!(k.contains(&K::Class));
+        assert!(k.contains(&K::Private));
+        assert!(k.contains(&K::Foreach));
+        assert!(k.contains(&K::New));
+    }
+}

@@ -1,0 +1,146 @@
+//! Drupal 7 profile — the first of the paper's stated extension targets
+//! (§VI: *"analysis of other CMS applications like Drupal or Joomla"*).
+//!
+//! Covers the Drupal 7 APIs relevant to XSS/SQLi taint analysis: the
+//! database abstraction (`db_query`, `db_fetch_*`), the variable system
+//! (database-backed configuration), and the output sanitizers
+//! (`check_plain`, `filter_xss`, `check_url`).
+
+use crate::model::*;
+use crate::php::generic_php;
+
+/// Builds the Drupal-specific additions only.
+pub fn drupal_additions() -> TaintConfig {
+    let mut c = TaintConfig::empty("drupal-additions");
+
+    // ---- sources ----
+    for f in [
+        "variable_get",
+        "db_fetch_object",
+        "db_fetch_array",
+        "db_result",
+        "field_get_items",
+        "node_load_value", // synthetic accessor used by contrib modules
+    ] {
+        c.add_source(SourceSpec::Callable {
+            name: FuncName::function(f),
+            kind: SourceKind::Database,
+        });
+    }
+    // The database connection object (Drupal 7 DBTNG).
+    c.add_known_object("$database", "databaseconnection");
+    for m in ["query", "queryRange"] {
+        c.add_source(SourceSpec::Callable {
+            name: FuncName::method("databaseconnection", m),
+            kind: SourceKind::Database,
+        });
+        c.add_sink(SinkSpec {
+            name: FuncName::method("databaseconnection", m),
+            class: VulnClass::Sqli,
+            args: Some(vec![0]),
+        });
+    }
+
+    // ---- sanitizers ----
+    for f in ["check_plain", "filter_xss", "filter_xss_admin", "check_markup"] {
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::function(f),
+            protects: vec![VulnClass::Xss],
+        });
+    }
+    c.add_sanitizer(SanitizerSpec {
+        name: FuncName::function("check_url"),
+        protects: vec![VulnClass::Xss],
+    });
+    for f in ["db_escape_string", "db_escape_table", "db_escape_field"] {
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::function(f),
+            protects: vec![VulnClass::Sqli],
+        });
+    }
+
+    // ---- reverts ----
+    c.add_revert(RevertSpec {
+        name: FuncName::function("decode_entities"),
+    });
+
+    // ---- sinks ----
+    for f in ["db_query", "db_query_range", "db_select_raw"] {
+        c.add_sink(SinkSpec {
+            name: FuncName::function(f),
+            class: VulnClass::Sqli,
+            args: Some(vec![0]),
+        });
+    }
+    for f in ["drupal_set_message", "drupal_set_title", "theme_output"] {
+        c.add_sink(SinkSpec {
+            name: FuncName::function(f),
+            class: VulnClass::Xss,
+            args: Some(vec![0]),
+        });
+    }
+
+    c
+}
+
+/// The complete Drupal 7 profile (generic PHP + Drupal additions).
+pub fn drupal() -> TaintConfig {
+    let mut c = generic_php();
+    c.profile = "drupal".into();
+    c.extend_with(&drupal_additions());
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_query_is_sqli_sink() {
+        let c = drupal();
+        assert!(c
+            .sink_specs(None, "db_query")
+            .iter()
+            .any(|s| s.class == VulnClass::Sqli));
+    }
+
+    #[test]
+    fn check_plain_protects_xss_only() {
+        let c = drupal();
+        assert_eq!(c.sanitizer_protects(None, "check_plain"), &[VulnClass::Xss]);
+    }
+
+    #[test]
+    fn variable_get_is_database_source() {
+        let c = drupal();
+        assert_eq!(
+            c.source_function(None, "variable_get"),
+            Some(SourceKind::Database)
+        );
+    }
+
+    #[test]
+    fn layers_on_generic_php() {
+        let c = drupal();
+        assert!(c.superglobal_kind("$_GET").is_some());
+        assert!(c.is_revert(None, "stripslashes"));
+        assert_eq!(c.profile, "drupal");
+    }
+
+    #[test]
+    fn no_wordpress_knowledge() {
+        let c = drupal();
+        assert!(c.source_function(Some("wpdb"), "get_results").is_none());
+        assert!(c.sanitizer_protects(None, "esc_html").is_empty());
+    }
+
+    #[test]
+    fn dbtng_object_methods() {
+        let c = drupal();
+        assert_eq!(c.known_object_class("$database"), Some("databaseconnection"));
+        assert_eq!(
+            c.source_function(Some("databaseconnection"), "query"),
+            Some(SourceKind::Database)
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Joomla 2.5/3 profile — the second of the paper's stated extension
+//! targets (§VI). Joomla extensions access the request through `JRequest` /
+//! `JInput` and the database through the `JDatabase` object.
+
+use crate::model::*;
+use crate::php::generic_php;
+
+/// Builds the Joomla-specific additions only.
+pub fn joomla_additions() -> TaintConfig {
+    let mut c = TaintConfig::empty("joomla-additions");
+
+    // ---- sources: the request wrappers ----
+    for m in ["getVar", "getString", "getCmd", "get"] {
+        c.add_source(SourceSpec::Callable {
+            name: FuncName::method("jrequest", m),
+            kind: SourceKind::Request,
+        });
+        c.add_source(SourceSpec::Callable {
+            name: FuncName::method("jinput", m),
+            kind: SourceKind::Request,
+        });
+    }
+    // `getInt`/`getUint` coerce numerically — safe accessors, modeled as
+    // sanitizing sources (they return clean data, so simply not sources).
+    // ---- sources: database reads ----
+    c.add_known_object("$db", "jdatabase");
+    c.add_known_object("$dbo", "jdatabase");
+    for m in [
+        "loadResult",
+        "loadRow",
+        "loadRowList",
+        "loadObject",
+        "loadObjectList",
+        "loadAssoc",
+        "loadAssocList",
+    ] {
+        c.add_source(SourceSpec::Callable {
+            name: FuncName::method("jdatabase", m),
+            kind: SourceKind::Database,
+        });
+    }
+
+    // ---- sanitizers ----
+    for m in ["quote", "escape", "quoteName"] {
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::method("jdatabase", m),
+            protects: vec![VulnClass::Sqli],
+        });
+    }
+    for f in ["jfilteroutput_clean", "htmlspecialchars_joomla"] {
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::function(f),
+            protects: vec![VulnClass::Xss],
+        });
+    }
+    {
+        let m = "clean";
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::method("jfilterinput", m),
+            protects: vec![VulnClass::Xss, VulnClass::Sqli],
+        });
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::method("jfilteroutput", m),
+            protects: vec![VulnClass::Xss],
+        });
+    }
+
+    // ---- sinks ----
+    for m in ["setQuery", "execute", "query"] {
+        c.add_sink(SinkSpec {
+            name: FuncName::method("jdatabase", m),
+            class: VulnClass::Sqli,
+            args: Some(vec![0]),
+        });
+    }
+    {
+        let m = "enqueueMessage";
+        c.add_sink(SinkSpec {
+            name: FuncName::method("japplication", m),
+            class: VulnClass::Xss,
+            args: Some(vec![0]),
+        });
+    }
+    c.add_known_object("$app", "japplication");
+    c.add_known_object("$mainframe", "japplication");
+
+    c
+}
+
+/// The complete Joomla profile (generic PHP + Joomla additions).
+pub fn joomla() -> TaintConfig {
+    let mut c = generic_php();
+    c.profile = "joomla".into();
+    c.extend_with(&joomla_additions());
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jrequest_getvar_is_request_source() {
+        let c = joomla();
+        assert_eq!(
+            c.source_function(Some("jrequest"), "getVar"),
+            Some(SourceKind::Request)
+        );
+    }
+
+    #[test]
+    fn jdatabase_is_source_sanitizer_and_sink() {
+        let c = joomla();
+        assert_eq!(
+            c.source_function(Some("jdatabase"), "loadObjectList"),
+            Some(SourceKind::Database)
+        );
+        assert_eq!(
+            c.sanitizer_protects(Some("jdatabase"), "quote"),
+            &[VulnClass::Sqli]
+        );
+        assert!(c
+            .sink_specs(Some("jdatabase"), "setQuery")
+            .iter()
+            .any(|s| s.class == VulnClass::Sqli));
+    }
+
+    #[test]
+    fn known_objects_resolve() {
+        let c = joomla();
+        assert_eq!(c.known_object_class("$db"), Some("jdatabase"));
+        assert_eq!(c.known_object_class("$app"), Some("japplication"));
+    }
+
+    #[test]
+    fn layers_on_generic_php() {
+        let c = joomla();
+        assert!(c.superglobal_kind("$_POST").is_some());
+        assert_eq!(c.profile, "joomla");
+    }
+}

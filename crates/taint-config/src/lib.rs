@@ -1,0 +1,44 @@
+//! # taint-config
+//!
+//! Vulnerability configuration for PHP taint analysis — phpSAFE's
+//! *configuration stage* (paper §III.A). A [`TaintConfig`] groups the four
+//! sections the paper describes:
+//!
+//! 1. **sources** — potentially malicious inputs (`$_GET`, file reads,
+//!    database reads, `$wpdb->get_results`, …),
+//! 2. **sanitizers** — functions that untaint a value for specific
+//!    vulnerability classes (`intval`, `htmlentities`, `esc_html`, …),
+//! 3. **reverts** — functions that undo sanitization (`stripslashes`, …),
+//! 4. **sinks** — sensitive outputs where an attack manifests
+//!    (`mysql_query`, `printf`, `$wpdb->query`, …).
+//!
+//! Two profiles ship out of the box: [`generic_php`] and [`wordpress`]
+//! (generic PHP + WordPress API knowledge). Other CMSs are supported by
+//! constructing additional profiles with the same builder methods — exactly
+//! the extensibility story the paper gives for Drupal/Joomla.
+//!
+//! ```
+//! use taint_config::{wordpress, SourceKind, VulnClass};
+//!
+//! let cfg = wordpress();
+//! assert_eq!(cfg.source_function(Some("wpdb"), "get_results"),
+//!            Some(SourceKind::Database));
+//! assert_eq!(cfg.sanitizer_protects(None, "esc_html"), &[VulnClass::Xss]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod drupal;
+mod joomla;
+mod model;
+mod php;
+mod wordpress;
+
+pub use model::{
+    FuncName, RevertSpec, SanitizerSpec, SinkSpec, SourceKind, SourceSpec, TaintConfig,
+    VectorClass, VulnClass,
+};
+pub use drupal::{drupal, drupal_additions};
+pub use joomla::{joomla, joomla_additions};
+pub use php::generic_php;
+pub use wordpress::{wordpress, wordpress_additions};

@@ -1,0 +1,509 @@
+//! Configuration model: the four sections of phpSAFE's configuration stage
+//! (§III.A) — sources, sanitizers/filters, revert functions and sensitive
+//! sinks — plus the input-vector taxonomy of §V.C / Table II.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Vulnerability classes phpSAFE detects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VulnClass {
+    /// Cross-site scripting.
+    Xss,
+    /// SQL injection.
+    Sqli,
+}
+
+impl VulnClass {
+    /// Both classes, in the paper's table order.
+    pub const ALL: [VulnClass; 2] = [VulnClass::Xss, VulnClass::Sqli];
+
+    /// Short display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            VulnClass::Xss => "XSS",
+            VulnClass::Sqli => "SQLi",
+        }
+    }
+}
+
+impl fmt::Display for VulnClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where tainted data enters the plugin — drives Table II and the paper's
+/// root-cause analysis (§V.C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SourceKind {
+    /// `$_GET`
+    Get,
+    /// `$_POST`
+    Post,
+    /// `$_COOKIE`
+    Cookie,
+    /// `$_REQUEST` (GET/POST/COOKIE merged)
+    Request,
+    /// `$_SERVER` (attacker-influenced headers)
+    Server,
+    /// Values read from the database.
+    Database,
+    /// Values read from files.
+    File,
+    /// Return values of other untrusted functions.
+    Function,
+    /// Values from arrays / other variables whose origin is unknown.
+    Array,
+}
+
+impl SourceKind {
+    /// Collapses into the paper's Table II row taxonomy.
+    pub fn vector_class(self) -> VectorClass {
+        match self {
+            SourceKind::Post => VectorClass::Post,
+            SourceKind::Get => VectorClass::Get,
+            SourceKind::Cookie | SourceKind::Request | SourceKind::Server => VectorClass::Mixed,
+            SourceKind::Database => VectorClass::Database,
+            SourceKind::File | SourceKind::Function | SourceKind::Array => {
+                VectorClass::FileFunctionArray
+            }
+        }
+    }
+
+    /// Whether an occasional attacker can trivially control this vector
+    /// (the paper's "likely to be directly manipulated" type 1).
+    pub fn directly_exploitable(self) -> bool {
+        matches!(
+            self,
+            SourceKind::Get | SourceKind::Post | SourceKind::Cookie | SourceKind::Request
+        )
+    }
+}
+
+impl fmt::Display for SourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SourceKind::Get => "GET",
+            SourceKind::Post => "POST",
+            SourceKind::Cookie => "COOKIE",
+            SourceKind::Request => "REQUEST",
+            SourceKind::Server => "SERVER",
+            SourceKind::Database => "DB",
+            SourceKind::File => "FILE",
+            SourceKind::Function => "FUNCTION",
+            SourceKind::Array => "ARRAY",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Table II row taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VectorClass {
+    /// `POST`
+    Post,
+    /// `GET`
+    Get,
+    /// `POST/GET/COOKIE`
+    Mixed,
+    /// `DB`
+    Database,
+    /// `File/Function/Array`
+    FileFunctionArray,
+}
+
+impl VectorClass {
+    /// All rows in the paper's Table II order.
+    pub const ALL: [VectorClass; 5] = [
+        VectorClass::Post,
+        VectorClass::Get,
+        VectorClass::Mixed,
+        VectorClass::Database,
+        VectorClass::FileFunctionArray,
+    ];
+
+    /// Row label as printed in Table II.
+    pub fn label(self) -> &'static str {
+        match self {
+            VectorClass::Post => "POST",
+            VectorClass::Get => "GET",
+            VectorClass::Mixed => "POST/GET/COOKIE",
+            VectorClass::Database => "DB",
+            VectorClass::FileFunctionArray => "File/Function/Array",
+        }
+    }
+}
+
+impl fmt::Display for VectorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A possibly receiver-qualified callable name, e.g. plain `intval` or
+/// `wpdb::get_results` (reachable through `$wpdb->get_results(...)`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FuncName {
+    /// Receiver class for methods (`wpdb`), `None` for plain functions.
+    /// Stored lowercase.
+    pub receiver: Option<String>,
+    /// Function or method name, stored lowercase (PHP resolves function
+    /// names case-insensitively).
+    pub name: String,
+}
+
+impl FuncName {
+    /// A plain function name.
+    pub fn function(name: &str) -> Self {
+        FuncName {
+            receiver: None,
+            name: name.to_ascii_lowercase(),
+        }
+    }
+
+    /// A method on `class` (e.g. `FuncName::method("wpdb", "get_results")`).
+    pub fn method(class: &str, name: &str) -> Self {
+        FuncName {
+            receiver: Some(class.to_ascii_lowercase()),
+            name: name.to_ascii_lowercase(),
+        }
+    }
+}
+
+impl fmt::Display for FuncName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.receiver {
+            Some(r) => write!(f, "{r}::{}", self.name),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+/// A taint source entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SourceSpec {
+    /// A superglobal (or other global) variable whose elements are tainted.
+    Superglobal {
+        /// Variable name including `$` (e.g. `$_GET`).
+        var: String,
+        /// Input vector classification.
+        kind: SourceKind,
+    },
+    /// A function/method whose return value is tainted.
+    Callable {
+        /// Function or method name.
+        name: FuncName,
+        /// Input vector classification.
+        kind: SourceKind,
+    },
+}
+
+/// A sanitizer entry: calling it untaints its argument for `protects`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SanitizerSpec {
+    /// Function or method name.
+    pub name: FuncName,
+    /// Which vulnerability classes the sanitizer protects against.
+    pub protects: Vec<VulnClass>,
+}
+
+/// A revert entry: calling it undoes prior sanitization (`stripslashes`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RevertSpec {
+    /// Function or method name.
+    pub name: FuncName,
+}
+
+/// A sensitive sink entry: passing tainted data to it manifests `class`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SinkSpec {
+    /// Function or method name (`echo`/`print` are handled as language
+    /// constructs by the analyzer, not listed here).
+    pub name: FuncName,
+    /// Vulnerability class this sink manifests.
+    pub class: VulnClass,
+    /// Argument positions that are sensitive (`None` = all arguments).
+    pub args: Option<Vec<usize>>,
+}
+
+/// The complete configuration consumed by an analyzer: phpSAFE's
+/// `class-vulnerable-input.php`, `class-vulnerable-filter.php` and
+/// `class-vulnerable_output.php` rolled into one queryable structure.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TaintConfig {
+    /// Profile name (for reports), e.g. `"php"` or `"wordpress"`.
+    pub profile: String,
+    superglobals: HashMap<String, SourceKind>,
+    source_fns: HashMap<FuncName, SourceKind>,
+    sanitizers: HashMap<FuncName, Vec<VulnClass>>,
+    reverts: HashMap<FuncName, ()>,
+    sinks: HashMap<FuncName, Vec<SinkSpec>>,
+    /// Known global object variables mapped to their class, e.g.
+    /// `$wpdb` → `wpdb`. This is how phpSAFE resolves `$wpdb->get_results`
+    /// without seeing the class definition.
+    known_objects: HashMap<String, String>,
+}
+
+impl TaintConfig {
+    /// An empty configuration (no sources, no sinks — analysis finds
+    /// nothing). Useful as a baseline for ablations.
+    pub fn empty(profile: &str) -> Self {
+        TaintConfig {
+            profile: profile.to_string(),
+            ..Default::default()
+        }
+    }
+
+    // --- construction ---
+
+    /// Registers a source.
+    pub fn add_source(&mut self, spec: SourceSpec) -> &mut Self {
+        match spec {
+            SourceSpec::Superglobal { var, kind } => {
+                self.superglobals.insert(var, kind);
+            }
+            SourceSpec::Callable { name, kind } => {
+                self.source_fns.insert(name, kind);
+            }
+        }
+        self
+    }
+
+    /// Registers a sanitizer.
+    pub fn add_sanitizer(&mut self, spec: SanitizerSpec) -> &mut Self {
+        self.sanitizers
+            .entry(spec.name)
+            .or_default()
+            .extend(spec.protects);
+        self
+    }
+
+    /// Registers a revert function.
+    pub fn add_revert(&mut self, spec: RevertSpec) -> &mut Self {
+        self.reverts.insert(spec.name, ());
+        self
+    }
+
+    /// Registers a sink.
+    pub fn add_sink(&mut self, spec: SinkSpec) -> &mut Self {
+        self.sinks.entry(spec.name.clone()).or_default().push(spec);
+        self
+    }
+
+    /// Declares a well-known global object (`$wpdb` is a `wpdb`).
+    pub fn add_known_object(&mut self, var: &str, class: &str) -> &mut Self {
+        self.known_objects
+            .insert(var.to_string(), class.to_ascii_lowercase());
+        self
+    }
+
+    /// Merges `other` into `self` (used to layer WordPress on generic PHP).
+    pub fn extend_with(&mut self, other: &TaintConfig) -> &mut Self {
+        self.superglobals
+            .extend(other.superglobals.iter().map(|(k, v)| (k.clone(), *v)));
+        self.source_fns
+            .extend(other.source_fns.iter().map(|(k, v)| (k.clone(), *v)));
+        for (k, v) in &other.sanitizers {
+            self.sanitizers
+                .entry(k.clone())
+                .or_default()
+                .extend(v.iter().copied());
+        }
+        self.reverts
+            .extend(other.reverts.keys().map(|k| (k.clone(), ())));
+        for (k, v) in &other.sinks {
+            self.sinks
+                .entry(k.clone())
+                .or_default()
+                .extend(v.iter().cloned());
+        }
+        self.known_objects.extend(
+            other
+                .known_objects
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone())),
+        );
+        self
+    }
+
+    // --- queries (all case-insensitive on function names) ---
+
+    /// Is `var` (e.g. `$_GET`) a tainted superglobal? Returns its kind.
+    pub fn superglobal_kind(&self, var: &str) -> Option<SourceKind> {
+        self.superglobals.get(var).copied()
+    }
+
+    /// Is a call to `name` (optionally on receiver class `receiver`) a
+    /// taint source? Returns its kind.
+    pub fn source_function(&self, receiver: Option<&str>, name: &str) -> Option<SourceKind> {
+        let key = match receiver {
+            Some(r) => FuncName::method(r, name),
+            None => FuncName::function(name),
+        };
+        self.source_fns.get(&key).copied()
+    }
+
+    /// Which vulnerability classes does `name` sanitize? Empty slice means
+    /// "not a sanitizer".
+    pub fn sanitizer_protects(&self, receiver: Option<&str>, name: &str) -> &[VulnClass] {
+        let key = match receiver {
+            Some(r) => FuncName::method(r, name),
+            None => FuncName::function(name),
+        };
+        self.sanitizers.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Is `name` a revert function (undoes sanitization)?
+    pub fn is_revert(&self, receiver: Option<&str>, name: &str) -> bool {
+        let key = match receiver {
+            Some(r) => FuncName::method(r, name),
+            None => FuncName::function(name),
+        };
+        self.reverts.contains_key(&key)
+    }
+
+    /// Sink specs for a call to `name` (possibly several classes).
+    pub fn sink_specs(&self, receiver: Option<&str>, name: &str) -> &[SinkSpec] {
+        let key = match receiver {
+            Some(r) => FuncName::method(r, name),
+            None => FuncName::function(name),
+        };
+        self.sinks.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Resolves a well-known global object variable (`$wpdb`) to its class.
+    pub fn known_object_class(&self, var: &str) -> Option<&str> {
+        self.known_objects.get(var).map(|s| s.as_str())
+    }
+
+    /// Number of configured entries per section (sources, sanitizers,
+    /// reverts, sinks) — used in docs/benches to sanity-check profiles.
+    pub fn section_sizes(&self) -> (usize, usize, usize, usize) {
+        (
+            self.superglobals.len() + self.source_fns.len(),
+            self.sanitizers.len(),
+            self.reverts.len(),
+            self.sinks.values().map(|v| v.len()).sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TaintConfig {
+        let mut c = TaintConfig::empty("test");
+        c.add_source(SourceSpec::Superglobal {
+            var: "$_GET".into(),
+            kind: SourceKind::Get,
+        });
+        c.add_source(SourceSpec::Callable {
+            name: FuncName::method("wpdb", "get_results"),
+            kind: SourceKind::Database,
+        });
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::function("htmlentities"),
+            protects: vec![VulnClass::Xss],
+        });
+        c.add_revert(RevertSpec {
+            name: FuncName::function("stripslashes"),
+        });
+        c.add_sink(SinkSpec {
+            name: FuncName::function("mysql_query"),
+            class: VulnClass::Sqli,
+            args: Some(vec![0]),
+        });
+        c.add_known_object("$wpdb", "wpdb");
+        c
+    }
+
+    #[test]
+    fn superglobal_lookup() {
+        let c = sample();
+        assert_eq!(c.superglobal_kind("$_GET"), Some(SourceKind::Get));
+        assert_eq!(c.superglobal_kind("$_POST"), None);
+    }
+
+    #[test]
+    fn method_source_lookup_is_case_insensitive() {
+        let c = sample();
+        assert_eq!(
+            c.source_function(Some("wpdb"), "GET_RESULTS"),
+            Some(SourceKind::Database)
+        );
+        assert_eq!(c.source_function(Some("WPDB"), "get_results"), Some(SourceKind::Database));
+        assert_eq!(c.source_function(None, "get_results"), None);
+    }
+
+    #[test]
+    fn sanitizer_and_revert_lookup() {
+        let c = sample();
+        assert_eq!(
+            c.sanitizer_protects(None, "HTMLENTITIES"),
+            &[VulnClass::Xss]
+        );
+        assert!(c.sanitizer_protects(None, "other").is_empty());
+        assert!(c.is_revert(None, "stripslashes"));
+        assert!(!c.is_revert(None, "htmlentities"));
+    }
+
+    #[test]
+    fn sink_lookup() {
+        let c = sample();
+        let sinks = c.sink_specs(None, "mysql_query");
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(sinks[0].class, VulnClass::Sqli);
+        assert!(c.sink_specs(None, "echo").is_empty());
+    }
+
+    #[test]
+    fn known_objects() {
+        let c = sample();
+        assert_eq!(c.known_object_class("$wpdb"), Some("wpdb"));
+        assert_eq!(c.known_object_class("$other"), None);
+    }
+
+    #[test]
+    fn extend_with_merges_sections() {
+        let mut base = TaintConfig::empty("base");
+        base.add_source(SourceSpec::Superglobal {
+            var: "$_POST".into(),
+            kind: SourceKind::Post,
+        });
+        let other = sample();
+        base.extend_with(&other);
+        assert!(base.superglobal_kind("$_GET").is_some());
+        assert!(base.superglobal_kind("$_POST").is_some());
+        assert!(base.is_revert(None, "stripslashes"));
+        let (src, san, rev, snk) = base.section_sizes();
+        assert_eq!((src, san, rev, snk), (3, 1, 1, 1));
+    }
+
+    #[test]
+    fn vector_class_mapping_matches_table2_rows() {
+        assert_eq!(SourceKind::Post.vector_class(), VectorClass::Post);
+        assert_eq!(SourceKind::Get.vector_class(), VectorClass::Get);
+        assert_eq!(SourceKind::Cookie.vector_class(), VectorClass::Mixed);
+        assert_eq!(SourceKind::Request.vector_class(), VectorClass::Mixed);
+        assert_eq!(SourceKind::Database.vector_class(), VectorClass::Database);
+        assert_eq!(
+            SourceKind::File.vector_class(),
+            VectorClass::FileFunctionArray
+        );
+        assert_eq!(
+            SourceKind::Array.vector_class(),
+            VectorClass::FileFunctionArray
+        );
+    }
+
+    #[test]
+    fn direct_exploitability() {
+        assert!(SourceKind::Get.directly_exploitable());
+        assert!(SourceKind::Post.directly_exploitable());
+        assert!(!SourceKind::Database.directly_exploitable());
+        assert!(!SourceKind::File.directly_exploitable());
+    }
+}

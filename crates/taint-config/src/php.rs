@@ -1,0 +1,247 @@
+//! The generic PHP profile: sources, sanitizers, reverts and sinks for
+//! plain PHP code. Mirrors phpSAFE's default configuration, which the paper
+//! notes is "based on the default configurations of the RIPS tool" (§III.A).
+
+use crate::model::*;
+
+/// Builds the generic PHP configuration.
+pub fn generic_php() -> TaintConfig {
+    let mut c = TaintConfig::empty("php");
+
+    // ---- sources: superglobals ----
+    for (var, kind) in [
+        ("$_GET", SourceKind::Get),
+        ("$_POST", SourceKind::Post),
+        ("$_COOKIE", SourceKind::Cookie),
+        ("$_REQUEST", SourceKind::Request),
+        ("$_SERVER", SourceKind::Server),
+        ("$_FILES", SourceKind::Post),
+        ("$HTTP_GET_VARS", SourceKind::Get),
+        ("$HTTP_POST_VARS", SourceKind::Post),
+        ("$HTTP_COOKIE_VARS", SourceKind::Cookie),
+        ("$HTTP_RAW_POST_DATA", SourceKind::Post),
+    ] {
+        c.add_source(SourceSpec::Superglobal {
+            var: var.into(),
+            kind,
+        });
+    }
+
+    // ---- sources: file input functions ----
+    for f in [
+        "file_get_contents",
+        "fgets",
+        "fgetc",
+        "fgetss",
+        "fread",
+        "file",
+        "readdir",
+        "fscanf",
+        "glob",
+        "scandir",
+        "parse_ini_file",
+        "bzread",
+        "gzread",
+        "gzgets",
+    ] {
+        c.add_source(SourceSpec::Callable {
+            name: FuncName::function(f),
+            kind: SourceKind::File,
+        });
+    }
+
+    // ---- sources: database read functions (legacy mysql/mysqli) ----
+    for f in [
+        "mysql_fetch_array",
+        "mysql_fetch_assoc",
+        "mysql_fetch_row",
+        "mysql_fetch_object",
+        "mysql_fetch_field",
+        "mysql_result",
+        "mysqli_fetch_array",
+        "mysqli_fetch_assoc",
+        "mysqli_fetch_row",
+        "mysqli_fetch_object",
+        "pg_fetch_array",
+        "pg_fetch_assoc",
+        "pg_fetch_row",
+        "sqlite_fetch_array",
+    ] {
+        c.add_source(SourceSpec::Callable {
+            name: FuncName::function(f),
+            kind: SourceKind::Database,
+        });
+    }
+
+    // ---- sources: other environment/untrusted functions ----
+    for f in ["getenv", "get_headers", "getallheaders", "gethostbyaddr"] {
+        c.add_source(SourceSpec::Callable {
+            name: FuncName::function(f),
+            kind: SourceKind::Function,
+        });
+    }
+
+    // ---- sanitizers ----
+    // Numeric coercions protect against both classes.
+    for f in ["intval", "floatval", "doubleval", "boolval", "count", "strlen", "sizeof",
+              "abs", "round", "floor", "ceil", "rand", "mt_rand", "time", "mktime"] {
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::function(f),
+            protects: vec![VulnClass::Xss, VulnClass::Sqli],
+        });
+    }
+    // Hashes / encoders produce inert output for both classes.
+    for f in ["md5", "sha1", "crc32", "hash", "base64_encode", "bin2hex", "uniqid",
+              "number_format", "urlencode", "rawurlencode"] {
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::function(f),
+            protects: vec![VulnClass::Xss, VulnClass::Sqli],
+        });
+    }
+    // HTML encoding protects against XSS only.
+    for f in ["htmlentities", "htmlspecialchars", "strip_tags", "nl2br"] {
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::function(f),
+            protects: vec![VulnClass::Xss],
+        });
+    }
+    // SQL escaping protects against SQLi only.
+    for f in [
+        "mysql_escape_string",
+        "mysql_real_escape_string",
+        "mysqli_escape_string",
+        "mysqli_real_escape_string",
+        "addslashes",
+        "addcslashes",
+        "pg_escape_string",
+        "sqlite_escape_string",
+    ] {
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::function(f),
+            protects: vec![VulnClass::Sqli],
+        });
+    }
+    // Regex validators commonly used defensively.
+    for f in ["preg_quote", "escapeshellarg", "escapeshellcmd", "ctype_digit", "ctype_alnum"] {
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::function(f),
+            protects: vec![VulnClass::Xss, VulnClass::Sqli],
+        });
+    }
+
+    // ---- reverts ----
+    for f in [
+        "stripslashes",
+        "stripcslashes",
+        "html_entity_decode",
+        "htmlspecialchars_decode",
+        "urldecode",
+        "rawurldecode",
+        "base64_decode",
+        "quoted_printable_decode",
+    ] {
+        c.add_revert(RevertSpec {
+            name: FuncName::function(f),
+        });
+    }
+
+    // ---- sinks: XSS (echo/print/exit are language constructs handled by
+    //      the analyzers directly; these are the function-call sinks) ----
+    for f in ["printf", "vprintf", "print_r", "var_dump", "trigger_error", "user_error"] {
+        c.add_sink(SinkSpec {
+            name: FuncName::function(f),
+            class: VulnClass::Xss,
+            args: None,
+        });
+    }
+
+    // ---- sinks: SQLi ----
+    for f in [
+        "mysql_query",
+        "mysql_db_query",
+        "mysql_unbuffered_query",
+        "mysqli_query",
+        "mysqli_multi_query",
+        "mysqli_real_query",
+        "pg_query",
+        "pg_send_query",
+        "sqlite_query",
+        "sqlite_exec",
+    ] {
+        c.add_sink(SinkSpec {
+            name: FuncName::function(f),
+            class: VulnClass::Sqli,
+            args: Some(vec![0, 1]), // query is arg 0, or arg 1 with a link
+        });
+    }
+
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_has_all_sections() {
+        let c = generic_php();
+        let (src, san, rev, snk) = c.section_sizes();
+        assert!(src >= 30, "sources: {src}");
+        assert!(san >= 30, "sanitizers: {san}");
+        assert!(rev >= 6, "reverts: {rev}");
+        assert!(snk >= 12, "sinks: {snk}");
+    }
+
+    #[test]
+    fn superglobals_present() {
+        let c = generic_php();
+        assert_eq!(c.superglobal_kind("$_GET"), Some(SourceKind::Get));
+        assert_eq!(c.superglobal_kind("$_POST"), Some(SourceKind::Post));
+        assert_eq!(c.superglobal_kind("$_COOKIE"), Some(SourceKind::Cookie));
+        assert_eq!(c.superglobal_kind("$_REQUEST"), Some(SourceKind::Request));
+    }
+
+    #[test]
+    fn file_functions_are_file_sources() {
+        let c = generic_php();
+        assert_eq!(c.source_function(None, "fgets"), Some(SourceKind::File));
+        assert_eq!(
+            c.source_function(None, "file_get_contents"),
+            Some(SourceKind::File)
+        );
+    }
+
+    #[test]
+    fn sanitizer_classes_are_specific() {
+        let c = generic_php();
+        assert_eq!(c.sanitizer_protects(None, "htmlentities"), &[VulnClass::Xss]);
+        assert_eq!(
+            c.sanitizer_protects(None, "mysql_real_escape_string"),
+            &[VulnClass::Sqli]
+        );
+        let both = c.sanitizer_protects(None, "intval");
+        assert!(both.contains(&VulnClass::Xss) && both.contains(&VulnClass::Sqli));
+    }
+
+    #[test]
+    fn mysql_query_is_sqli_sink() {
+        let c = generic_php();
+        let sinks = c.sink_specs(None, "mysql_query");
+        assert!(sinks.iter().any(|s| s.class == VulnClass::Sqli));
+    }
+
+    #[test]
+    fn stripslashes_is_revert_not_sanitizer() {
+        let c = generic_php();
+        assert!(c.is_revert(None, "stripslashes"));
+        assert!(c.sanitizer_protects(None, "stripslashes").is_empty());
+    }
+
+    #[test]
+    fn no_wordpress_knowledge_in_generic_profile() {
+        let c = generic_php();
+        assert!(c.sanitizer_protects(None, "esc_html").is_empty());
+        assert!(c.source_function(Some("wpdb"), "get_results").is_none());
+        assert!(c.known_object_class("$wpdb").is_none());
+    }
+}

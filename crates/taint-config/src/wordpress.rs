@@ -1,0 +1,199 @@
+//! The WordPress profile: CMS-framework functions and `wpdb` methods layered
+//! on top of the generic PHP profile. This out-of-the-box WordPress
+//! knowledge is the capability the paper credits for phpSAFE's detection
+//! performance (§V.A) — RIPS and Pixy lack it entirely.
+
+use crate::model::*;
+use crate::php::generic_php;
+
+/// Builds the WordPress-specific additions only (no generic PHP entries).
+pub fn wordpress_additions() -> TaintConfig {
+    let mut c = TaintConfig::empty("wordpress-additions");
+
+    // The global `$wpdb` object is a `wpdb` instance; `$this->wpdb`-style
+    // aliases are resolved by the analyzer's data flow.
+    c.add_known_object("$wpdb", "wpdb");
+
+    // ---- sources: wpdb read methods return database-tainted data ----
+    for m in ["get_results", "get_row", "get_var", "get_col"] {
+        c.add_source(SourceSpec::Callable {
+            name: FuncName::method("wpdb", m),
+            kind: SourceKind::Database,
+        });
+    }
+    // WordPress option / meta accessors read from the database.
+    for f in [
+        "get_option",
+        "get_post_meta",
+        "get_user_meta",
+        "get_comment_meta",
+        "get_term_meta",
+        "get_metadata",
+        "get_transient",
+        "get_site_option",
+        "bloginfo_value", // synthetic alias used by some plugins
+    ] {
+        c.add_source(SourceSpec::Callable {
+            name: FuncName::function(f),
+            kind: SourceKind::Database,
+        });
+    }
+    // Query-var accessors surface request data.
+    for f in ["get_query_var", "wp_unslash_request"] {
+        c.add_source(SourceSpec::Callable {
+            name: FuncName::function(f),
+            kind: SourceKind::Request,
+        });
+    }
+
+    // ---- sanitizers: the esc_*/sanitize_* family ----
+    for f in [
+        "esc_html",
+        "esc_attr",
+        "esc_url",
+        "esc_js",
+        "esc_textarea",
+        "esc_html__",
+        "esc_html_e",
+        "esc_attr__",
+        "esc_attr_e",
+        "tag_escape",
+        "wp_kses",
+        "wp_kses_post",
+        "wp_kses_data",
+    ] {
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::function(f),
+            protects: vec![VulnClass::Xss],
+        });
+    }
+    for f in [
+        "sanitize_text_field",
+        "sanitize_email",
+        "sanitize_key",
+        "sanitize_title",
+        "sanitize_file_name",
+        "sanitize_html_class",
+        "sanitize_user",
+        "absint",
+        "wp_parse_id_list",
+    ] {
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::function(f),
+            protects: vec![VulnClass::Xss, VulnClass::Sqli],
+        });
+    }
+    for f in ["esc_sql", "like_escape"] {
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::function(f),
+            protects: vec![VulnClass::Sqli],
+        });
+    }
+    // wpdb::prepare parameterizes the query — the canonical SQLi defense.
+    for m in ["prepare", "escape", "_escape", "esc_like"] {
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::method("wpdb", m),
+            protects: vec![VulnClass::Sqli],
+        });
+    }
+
+    // ---- reverts ----
+    for f in ["wp_specialchars_decode", "wp_unslash"] {
+        c.add_revert(RevertSpec {
+            name: FuncName::function(f),
+        });
+    }
+
+    // ---- sinks: wpdb write/query methods are SQLi sinks ----
+    for m in ["query", "get_results", "get_row", "get_var", "get_col"] {
+        c.add_sink(SinkSpec {
+            name: FuncName::method("wpdb", m),
+            class: VulnClass::Sqli,
+            args: Some(vec![0]),
+        });
+    }
+    // WordPress output helpers are XSS sinks.
+    for f in ["wp_die", "_e", "_ex", "comment_text_output"] {
+        c.add_sink(SinkSpec {
+            name: FuncName::function(f),
+            class: VulnClass::Xss,
+            args: Some(vec![0]),
+        });
+    }
+
+    c
+}
+
+/// Builds the complete WordPress profile: generic PHP plus the WordPress
+/// additions. This is phpSAFE's shipped default (§III.A: *"deployed with a
+/// default configuration that is ready … for plugins for the WordPress
+/// framework"*).
+pub fn wordpress() -> TaintConfig {
+    let mut c = generic_php();
+    c.profile = "wordpress".into();
+    c.extend_with(&wordpress_additions());
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wpdb_get_results_is_source_and_sink() {
+        let c = wordpress();
+        assert_eq!(
+            c.source_function(Some("wpdb"), "get_results"),
+            Some(SourceKind::Database)
+        );
+        assert!(c
+            .sink_specs(Some("wpdb"), "get_results")
+            .iter()
+            .any(|s| s.class == VulnClass::Sqli));
+    }
+
+    #[test]
+    fn wpdb_prepare_sanitizes_sqli_only() {
+        let c = wordpress();
+        assert_eq!(
+            c.sanitizer_protects(Some("wpdb"), "prepare"),
+            &[VulnClass::Sqli]
+        );
+    }
+
+    #[test]
+    fn esc_html_protects_xss_only() {
+        let c = wordpress();
+        assert_eq!(c.sanitizer_protects(None, "esc_html"), &[VulnClass::Xss]);
+        assert!(!c
+            .sanitizer_protects(None, "esc_html")
+            .contains(&VulnClass::Sqli));
+    }
+
+    #[test]
+    fn profile_layers_on_generic_php() {
+        let c = wordpress();
+        // generic PHP entries survive
+        assert!(c.superglobal_kind("$_GET").is_some());
+        assert!(c.is_revert(None, "stripslashes"));
+        // WP entries added
+        assert_eq!(c.known_object_class("$wpdb"), Some("wpdb"));
+        assert!(c.source_function(None, "get_option").is_some());
+    }
+
+    #[test]
+    fn get_option_is_database_source() {
+        let c = wordpress();
+        assert_eq!(
+            c.source_function(None, "get_option"),
+            Some(SourceKind::Database)
+        );
+    }
+
+    #[test]
+    fn additions_alone_have_no_php_builtins() {
+        let a = wordpress_additions();
+        assert!(a.superglobal_kind("$_GET").is_none());
+        assert!(a.sanitizer_protects(None, "htmlentities").is_empty());
+    }
+}

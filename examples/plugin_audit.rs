@@ -1,0 +1,106 @@
+//! Audit of a realistic multi-file OOP plugin — the scenario that motivates
+//! the paper (§III.E): a WordPress plugin storing subscriber data and
+//! rendering it back, with the vulnerable flow passing through `$wpdb`
+//! object methods and class properties that OOP-blind tools cannot follow.
+//!
+//! The plugin below is modeled on `mail-subscribe-list 2.1.1`, whose
+//! stored-XSS the phpSAFE authors found and got fixed.
+//!
+//! ```text
+//! cargo run --example plugin_audit
+//! ```
+
+use phpsafe::{PhpSafe, PluginProject, SourceFile};
+
+fn build_plugin() -> PluginProject {
+    PluginProject::new("mail-subscribe-list")
+        .with_file(SourceFile::new(
+            "mail-subscribe-list.php",
+            r#"<?php
+/*
+Plugin Name: Mail Subscribe List
+*/
+include_once 'includes/class-subscriber-table.php';
+include_once 'includes/admin-page.php';
+
+$sml_table = new Sml_Subscriber_Table();
+add_action('admin_menu', 'sml_register_menu');
+"#,
+        ))
+        .with_file(SourceFile::new(
+            "includes/class-subscriber-table.php",
+            r#"<?php
+class Sml_Subscriber_Table {
+    private $db;
+
+    public function __construct() {
+        global $wpdb;
+        $this->db = $wpdb;
+    }
+
+    /** Stored XSS: subscriber names come from the database unescaped. */
+    public function render() {
+        $results = $this->db->get_results("SELECT * FROM " . $this->db->prefix . "sml");
+        foreach ($results as $row) {
+            echo '<li>' . $row->sml_name . '</li>';
+        }
+    }
+
+    /** Safe variant: output escaped with the WordPress API. */
+    public function render_safe() {
+        $results = $this->db->get_results("SELECT * FROM " . $this->db->prefix . "sml");
+        foreach ($results as $row) {
+            echo '<li>' . esc_html($row->sml_name) . '</li>';
+        }
+    }
+
+    /** SQLi: the unsubscribe handler interpolates request data. */
+    public function unsubscribe() {
+        $email = $_POST['email'];
+        $this->db->query("DELETE FROM {$this->db->prefix}sml WHERE email = '$email'");
+    }
+}
+"#,
+        ))
+        .with_file(SourceFile::new(
+            "includes/admin-page.php",
+            r#"<?php
+// Hook handler — never called from plugin code, only by WordPress.
+function sml_register_menu() {
+    $tab = $_GET['tab'];
+    echo '<a class="nav-tab" href="?tab=' . $tab . '">' . $tab . '</a>';
+}
+"#,
+        ))
+}
+
+fn main() {
+    let plugin = build_plugin();
+    let outcome = PhpSafe::new().analyze(&plugin);
+
+    println!("== phpSAFE audit of `{}` ==\n", outcome.plugin);
+    for v in &outcome.vulns {
+        let oop = if v.via_oop { " [via WordPress object]" } else { "" };
+        println!("{} at {}:{}{}", v.class, v.file, v.line, oop);
+        println!("  sink `{}`, vulnerable expression `{}`", v.sink, v.var);
+        println!("  entry vector: {}", v.source_kind);
+        for step in &v.trace {
+            println!("    flow: {}:{} {}", step.file, step.line, step.what);
+        }
+        println!();
+    }
+
+    // The normalized JSON format the paper's methodology merges tool
+    // outputs into (§IV.B step 5).
+    let json = outcome.to_json().expect("report serialization");
+    println!(
+        "JSON report: {} bytes; first lines:\n{}",
+        json.len(),
+        json.lines().take(8).collect::<Vec<_>>().join("\n")
+    );
+
+    assert!(
+        outcome.vulns.iter().any(|v| v.via_oop),
+        "the stored XSS through $wpdb must be found"
+    );
+}

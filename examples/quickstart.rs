@@ -1,0 +1,53 @@
+//! Quickstart: analyze a tiny vulnerable plugin with phpSAFE.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use phpsafe::{PhpSafe, PluginProject, SourceFile};
+
+fn main() {
+    let plugin = PluginProject::new("hello-plugin").with_file(SourceFile::new(
+        "hello-plugin.php",
+        r#"<?php
+/*
+Plugin Name: Hello Plugin
+*/
+
+// 1. Reflected XSS: request data echoed without sanitization.
+$name = $_GET['name'];
+echo '<h1>Hello ' . $name . '</h1>';
+
+// 2. Safe: the same flow, properly escaped.
+echo '<h1>Hello ' . htmlentities($_GET['name']) . '</h1>';
+
+// 3. SQL injection through the WordPress database object.
+$id = $_GET['id'];
+$wpdb->query("DELETE FROM {$wpdb->prefix}greetings WHERE id = $id");
+
+// 4. Safe: parameterized with wpdb::prepare.
+$wpdb->query($wpdb->prepare("DELETE FROM {$wpdb->prefix}greetings WHERE id = %d", $id));
+"#,
+    ));
+
+    let outcome = PhpSafe::new().analyze(&plugin);
+
+    println!(
+        "phpSAFE found {} vulnerabilities in `{}`:\n",
+        outcome.vulns.len(),
+        outcome.plugin
+    );
+    for v in &outcome.vulns {
+        println!(
+            "  [{}] {}:{} sink `{}` on `{}` (entered via {})",
+            v.class, v.file, v.line, v.sink, v.var, v.source_kind
+        );
+        for step in &v.trace {
+            println!("      <- {}:{} {}", step.file, step.line, step.what);
+        }
+    }
+    println!(
+        "\nstats: {} files ok, {} functions, {} work units",
+        outcome.stats.files_ok, outcome.stats.functions, outcome.stats.work_units
+    );
+}

@@ -1,0 +1,28 @@
+//! Plugin security evolution over time — the paper's §VI future-work
+//! feature ("enabling historic data in phpSAFE"): compare the 2012 and
+//! 2014 snapshots of every corpus plugin and report what was fixed, what
+//! was carried over unfixed, and what is new.
+//!
+//! ```text
+//! cargo run --release --example security_evolution
+//! ```
+
+use phpsafe_corpus::Corpus;
+use phpsafe_eval::{evolution, evolution_report};
+
+fn main() {
+    let corpus = Corpus::generate();
+    println!("{}", evolution_report(&corpus));
+
+    // Highlight the most concerning plugins: large carried counts mean the
+    // 2013 disclosure was ignored (§V.D).
+    let mut rows = evolution(&corpus);
+    rows.sort_by_key(|r| std::cmp::Reverse(r.carried));
+    println!("top 5 plugins by disclosed-yet-unfixed vulnerabilities:");
+    for r in rows.iter().take(5) {
+        println!(
+            "  {:22} {} carried of {} (2014); {} fixed since 2012",
+            r.plugin, r.carried, r.vulns_2014, r.fixed
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! # phpsafe-repro — workspace umbrella
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the substance lives in
+//! the member crates, re-exported here for convenience:
+//!
+//! * [`phpsafe`] — the analyzer (the paper's contribution);
+//! * [`php_lexer`] / [`php_ast`] — the PHP front end;
+//! * [`taint_config`] — vulnerability configuration profiles;
+//! * [`phpsafe_baselines`] — the RIPS-like and Pixy-like comparison tools;
+//! * [`php_exec`] — the concrete executor / exploit-confirmation harness;
+//! * [`phpsafe_corpus`] — the 35-plugin synthetic corpus with ground truth;
+//! * [`phpsafe_eval`] — the evaluation pipeline regenerating the paper's
+//!   tables and figures.
+//!
+//! Start at the README, or run:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! cargo run -p phpsafe-bench --bin repro --release
+//! ```
+
+pub use php_ast;
+pub use php_exec;
+pub use php_lexer;
+pub use phpsafe;
+pub use phpsafe_baselines;
+pub use phpsafe_corpus;
+pub use phpsafe_eval;
+pub use taint_config;

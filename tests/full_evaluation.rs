@@ -1,0 +1,190 @@
+//! Full-pipeline integration test: generate the corpus, run all three
+//! tools on both versions, and assert every headline relation of the
+//! paper's evaluation section in one place.
+
+use phpsafe_corpus::Version;
+use phpsafe_eval::{tables, Evaluation, RecallMode};
+use std::sync::OnceLock;
+use taint_config::{VectorClass, VulnClass};
+
+fn eval() -> &'static Evaluation {
+    static E: OnceLock<Evaluation> = OnceLock::new();
+    E.get_or_init(Evaluation::run)
+}
+
+/// Table I headline: phpSAFE leads every metric, in both versions.
+#[test]
+fn table1_tool_ranking() {
+    let e = eval();
+    for v in Version::ALL {
+        for class in [None, Some(VulnClass::Xss)] {
+            let p = e.metrics("phpSAFE", v, class, RecallMode::PaperOptimistic);
+            let r = e.metrics("RIPS", v, class, RecallMode::PaperOptimistic);
+            let x = e.metrics("Pixy", v, class, RecallMode::PaperOptimistic);
+            assert!(p.tp > r.tp && r.tp > x.tp, "{v:?} {class:?} TP ranking");
+            assert!(
+                p.precision() > r.precision() && r.precision() > x.precision(),
+                "{v:?} {class:?} precision ranking"
+            );
+            assert!(
+                p.recall() > r.recall() && r.recall() > x.recall(),
+                "{v:?} {class:?} recall ranking"
+            );
+            assert!(
+                p.f_score() > r.f_score() && x.f_score() < r.f_score(),
+                "{v:?} {class:?} f-score ranking"
+            );
+        }
+    }
+}
+
+/// Table I SQLi block: phpSAFE is the only tool detecting SQL injection.
+#[test]
+fn table1_sqli_exclusive_to_phpsafe() {
+    let e = eval();
+    for v in Version::ALL {
+        let p = e.metrics("phpSAFE", v, Some(VulnClass::Sqli), RecallMode::FullGroundTruth);
+        assert!(p.tp >= 8 && p.recall().unwrap() >= 0.85, "{v:?}: {p:?}");
+        for tool in ["RIPS", "Pixy"] {
+            let m = e.metrics(tool, v, Some(VulnClass::Sqli), RecallMode::FullGroundTruth);
+            assert_eq!(m.tp, 0, "{tool} {v:?}");
+        }
+    }
+    // RIPS's lone 2014 SQLi false positive (Table I).
+    let r14 = e.metrics("RIPS", Version::V2014, Some(VulnClass::Sqli), RecallMode::FullGroundTruth);
+    assert_eq!(r14.fp, 1);
+}
+
+/// §V.A trends: phpSAFE & RIPS improve with the 2014 code, Pixy collapses;
+/// RIPS's XSS detection jumps sharply (paper: +115%).
+#[test]
+fn temporal_trends() {
+    let e = eval();
+    let tp = |tool: &str, v: Version| e.cell(tool, v).detected.len();
+    assert!(tp("phpSAFE", Version::V2014) > tp("phpSAFE", Version::V2012));
+    let rips_growth = tp("RIPS", Version::V2014) as f64 / tp("RIPS", Version::V2012) as f64;
+    assert!(rips_growth > 1.5, "RIPS XSS jump: {rips_growth:.2}x");
+    assert!(tp("Pixy", Version::V2014) < tp("Pixy", Version::V2012));
+}
+
+/// Fig. 2: distinct confirmed vulnerabilities grow ~50% in two years, and
+/// every tool has exclusive findings in 2012 ("no silver bullet").
+#[test]
+fn fig2_overlap_shape() {
+    let e = eval();
+    let v12 = tables::venn_counts(e, Version::V2012);
+    let v14 = tables::venn_counts(e, Version::V2014);
+    assert_eq!(v12.total, 394, "paper: 394 distinct in 2012");
+    assert!((550..=586).contains(&v14.total), "paper: 586 distinct in 2014");
+    let growth = v14.total as f64 / v12.total as f64 - 1.0;
+    assert!((0.40..=0.60).contains(&growth), "paper: +51%, got {growth:.2}");
+    assert!(v12.only_phpsafe > 0 && v12.only_rips > 0 && v12.only_pixy > 0);
+}
+
+/// Table II: the input-vector distribution matches the paper's columns.
+#[test]
+fn table2_vector_distribution() {
+    let rows = tables::table2_counts(eval());
+    let get = |vc: VectorClass| *rows.iter().find(|r| r.0 == vc).expect("row");
+    // Paper 2012 column: POST 22, GET 96, mixed 24, DB 211, F/F/A 41.
+    assert_eq!(get(VectorClass::Post).1, 22);
+    assert_eq!(get(VectorClass::Get).1, 96);
+    assert_eq!(get(VectorClass::Mixed).1, 24);
+    assert_eq!(get(VectorClass::Database).1, 211);
+    assert_eq!(get(VectorClass::FileFunctionArray).1, 41);
+    // Paper 2014 column: POST 43, GET 111, mixed 57, DB 363, F/F/A 11.
+    assert_eq!(get(VectorClass::Post).2, 43);
+    assert_eq!(get(VectorClass::Get).2, 111);
+    assert_eq!(get(VectorClass::Mixed).2, 57);
+    assert_eq!(get(VectorClass::Database).2, 363);
+    assert_eq!(get(VectorClass::FileFunctionArray).2, 11);
+}
+
+/// §V.A OOP: phpSAFE alone finds the WordPress-object vulnerabilities —
+/// 151 in 10 plugins (2012), 179 in 7 plugins (2014).
+#[test]
+fn oop_vulnerability_counts() {
+    let e = eval();
+    for (v, expect_n, expect_plugins) in
+        [(Version::V2012, 151, 10), (Version::V2014, 179, 7)]
+    {
+        let truth = e.truth_map(v);
+        let detected: Vec<_> = e
+            .cell("phpSAFE", v)
+            .detected
+            .iter()
+            .filter(|id| truth.get(id.as_str()).map(|t| t.oop).unwrap_or(false))
+            .collect();
+        assert_eq!(detected.len(), expect_n, "{v:?}");
+        let plugins: std::collections::HashSet<_> = detected
+            .iter()
+            .filter_map(|id| truth.get(id.as_str()).map(|t| t.plugin.as_str()))
+            .collect();
+        assert_eq!(plugins.len(), expect_plugins, "{v:?}");
+    }
+}
+
+/// §V.D inertia: a large share of the 2014 vulnerabilities were disclosed
+/// to developers in 2013 and never fixed.
+#[test]
+fn inertia_in_fixing() {
+    let (total, carried, easy) = tables::inertia_counts(eval());
+    let share = carried as f64 / total as f64;
+    assert!((0.35..=0.50).contains(&share), "paper: 42%; got {share:.2}");
+    let easy_share = easy as f64 / carried as f64;
+    assert!(
+        (0.15..=0.45).contains(&easy_share),
+        "paper: 24% trivially exploitable; got {easy_share:.2}"
+    );
+}
+
+/// §V.E robustness: phpSAFE fails 1 file (2012) / 3 files (2014); RIPS
+/// completes everything; Pixy fails dozens of OOP files and errors on
+/// 2014-era syntax.
+#[test]
+fn robustness_and_responsiveness() {
+    let e = eval();
+    assert_eq!(e.cell("phpSAFE", Version::V2012).failed_resource, 1);
+    assert_eq!(e.cell("phpSAFE", Version::V2014).failed_resource, 3);
+    for v in Version::ALL {
+        assert_eq!(e.cell("RIPS", v).failed_resource, 0);
+        assert_eq!(e.cell("RIPS", v).failed_unsupported, 0);
+    }
+    let px12 = e.cell("Pixy", Version::V2012).failed_unsupported;
+    let px14 = e.cell("Pixy", Version::V2014).failed_unsupported;
+    assert!(px12 >= 25, "paper: 32 failed files; got {px12}");
+    assert!(px14 > px12, "paper: +37 errors in 2014; got {px12} -> {px14}");
+    // Timing exists and is nonzero for every cell.
+    for tool in phpsafe_eval::TOOLS {
+        for v in Version::ALL {
+            assert!(e.cell(tool, v).seconds > 0.0);
+        }
+    }
+}
+
+/// §V.C: numeric-intent share of vulnerable variables is in the paper's
+/// band (39%).
+#[test]
+fn numeric_variable_share() {
+    let e = eval();
+    let truth = e.truth_map(Version::V2014);
+    let u = e.union_detected(Version::V2014);
+    let numeric = u
+        .iter()
+        .filter(|id| truth.get(**id).map(|t| t.numeric).unwrap_or(false))
+        .count();
+    let share = numeric as f64 / u.len() as f64;
+    assert!((0.25..=0.50).contains(&share), "paper: 39%; got {share:.2}");
+}
+
+/// The corpus itself matches the paper's growth narrative.
+#[test]
+fn corpus_scale() {
+    let c = eval().corpus();
+    let (f12, l12) = c.size_of(Version::V2012);
+    let (f14, l14) = c.size_of(Version::V2014);
+    assert!(f12 >= 150, "2012 files: {f12}");
+    assert!(f14 > f12);
+    assert!(l12 >= 15_000, "2012 LOC: {l12}");
+    assert!(l14 as f64 / l12 as f64 >= 1.5, "LOC growth {l12} -> {l14}");
+}

@@ -1,0 +1,134 @@
+//! End-to-end tests of the concrete code examples quoted in the paper
+//! (§III.E and §V.C), run through all three tools.
+
+use phpsafe::{PhpSafe, PluginProject, SourceFile};
+use phpsafe_baselines::{AnalysisTool, Pixy, Rips};
+use taint_config::{SourceKind, VulnClass};
+
+fn plugin(name: &str, src: &str) -> PluginProject {
+    PluginProject::new(name).with_file(SourceFile::new(format!("{name}.php"), src))
+}
+
+/// §III.E — mail-subscribe-list 2.1.1: subscriber rows rendered without
+/// sanitization, reachable only through `$wpdb` object methods.
+#[test]
+fn mail_subscribe_list_example() {
+    let p = plugin(
+        "mail-subscribe-list",
+        r#"<?php
+$results = $wpdb->get_results("SELECT * FROM " . $wpdb->prefix . "sml");
+foreach ($results as $row) {
+    echo $row->sml_name;
+}
+"#,
+    );
+    let phpsafe = PhpSafe::new().analyze(&p);
+    assert_eq!(phpsafe.vulns.len(), 1, "{:?}", phpsafe.vulns);
+    let v = &phpsafe.vulns[0];
+    assert_eq!(v.class, VulnClass::Xss);
+    assert_eq!(v.source_kind, SourceKind::Database);
+    assert!(v.via_oop, "the flow passes $wpdb->get_results");
+    assert_eq!(v.line, 4);
+
+    // "Failing to detect the method $wpdb->get_results prevents finding
+    // this vulnerability" — and indeed the baselines fail.
+    assert!(Rips::new().analyze(&p).vulns.is_empty());
+    let pixy = Pixy::new().analyze(&p);
+    assert!(pixy.vulns.is_empty());
+    assert_eq!(pixy.stats.files_failed, 1, "Pixy rejects the OOP file");
+}
+
+/// §V.C type 1 — wp-symposium: POST data directly echoed (the
+/// "likely to be directly manipulated by attackers" class).
+#[test]
+fn wp_symposium_post_example() {
+    let p = plugin(
+        "wp-symposium",
+        r#"<?php
+echo 'Created ' . $_POST['img_path'] . '.';
+"#,
+    );
+    for (outcome, tool) in [
+        (PhpSafe::new().analyze(&p), "phpSAFE"),
+        (Rips::new().analyze(&p), "RIPS"),
+        (Pixy::new().analyze(&p), "Pixy"),
+    ] {
+        assert_eq!(outcome.vulns.len(), 1, "{tool}: {:?}", outcome.vulns);
+        assert_eq!(outcome.vulns[0].class, VulnClass::Xss);
+        assert_eq!(outcome.vulns[0].source_kind, SourceKind::Post);
+    }
+}
+
+/// §V.C type 2 — wp-photo-album-plus: blended attack where the query is
+/// parameterized (no SQLi) but the stored value is echoed after
+/// `stripslashes`, reverting any escaping (stored XSS).
+#[test]
+fn wp_photo_album_plus_blended_example() {
+    let p = plugin(
+        "wp-photo-album-plus",
+        r#"<?php
+$image = $wpdb->get_var(
+    $wpdb->prepare("SELECT name FROM photos WHERE id = %d", $_GET['id']));
+echo stripslashes($image);
+"#,
+    );
+    let outcome = PhpSafe::new().analyze(&p);
+    assert_eq!(outcome.vulns.len(), 1, "{:?}", outcome.vulns);
+    let v = &outcome.vulns[0];
+    assert_eq!(v.class, VulnClass::Xss);
+    assert_eq!(v.source_kind, SourceKind::Database);
+    assert!(v.via_oop);
+    // No SQLi: prepare() parameterizes the query.
+    assert!(outcome.vulns.iter().all(|v| v.class != VulnClass::Sqli));
+}
+
+/// §V.C type 3 — qtranslate: file contents echoed (the hard-to-control
+/// File/Function/Array class).
+#[test]
+fn qtranslate_file_example() {
+    let p = plugin(
+        "qtranslate",
+        r#"<?php
+$res = fgets($fp, 128);
+echo $res;
+"#,
+    );
+    let outcome = PhpSafe::new().analyze(&p);
+    assert_eq!(outcome.vulns.len(), 1);
+    assert_eq!(outcome.vulns[0].source_kind, SourceKind::File);
+    // RIPS models file functions too.
+    assert_eq!(Rips::new().analyze(&p).vulns.len(), 1);
+}
+
+/// §V.A — the register_globals vulnerability class only Pixy models.
+#[test]
+fn register_globals_only_pixy() {
+    let p = plugin(
+        "legacy",
+        r#"<?php
+echo '<a href="?o=' . $sort_order . '">order</a>';
+"#,
+    );
+    assert!(PhpSafe::new().analyze(&p).vulns.is_empty());
+    assert!(Rips::new().analyze(&p).vulns.is_empty());
+    assert_eq!(Pixy::new().analyze(&p).vulns.len(), 1);
+}
+
+/// §V.A — "although phpSAFE and RIPS are able to detect vulnerabilities in
+/// functions that are not called from the plugin code, Pixy is unable to
+/// do so."
+#[test]
+fn uncalled_function_coverage_difference() {
+    let p = plugin(
+        "hooks",
+        r#"<?php
+add_action('init', 'handle');
+function handle() {
+    echo $_REQUEST['q'];
+}
+"#,
+    );
+    assert_eq!(PhpSafe::new().analyze(&p).vulns.len(), 1);
+    assert_eq!(Rips::new().analyze(&p).vulns.len(), 1);
+    assert!(Pixy::new().analyze(&p).vulns.is_empty());
+}

@@ -1,0 +1,144 @@
+//! Cross-crate property tests: the analyzers are total and deterministic
+//! on arbitrary inputs, the taint lattice obeys its laws, and metrics stay
+//! in bounds.
+
+use phpsafe::taint::Taint;
+use phpsafe::{PhpSafe, PluginProject, SourceFile};
+use phpsafe_baselines::{AnalysisTool, Pixy, Rips};
+use phpsafe_eval::Metrics;
+use proptest::prelude::*;
+use taint_config::{SourceKind, VulnClass};
+
+fn php_soup() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just("<?php ".to_string()),
+        Just("$x = $_GET['a']; ".to_string()),
+        Just("echo $x; ".to_string()),
+        Just("echo htmlentities($y); ".to_string()),
+        Just("$wpdb->query(\"DELETE $q\"); ".to_string()),
+        Just("class C { function m() { echo $_POST['p']; } } ".to_string()),
+        Just("function f($a) { return $a . 'x'; } ".to_string()),
+        Just("foreach ($r as $k => $v) { echo $v; } ".to_string()),
+        Just("include 'other.php'; ".to_string()),
+        Just("if ($a) { $x = intval($x); } else { ".to_string()), // broken
+        Just("} ) ; ?> <b>html</b> <?php ".to_string()),          // broken
+        Just("$o = new C(); $o->m(); ".to_string()),
+        Just("list($a,$b) = explode(',', $_COOKIE['c']); ".to_string()),
+        Just("\"interp {$obj->prop} $plain\"; ".to_string()),
+        Just("switch($v){case 1: echo $v; default: break;} ".to_string()),
+        "[ -~]{0,20}".prop_map(|s| s),
+    ];
+    prop::collection::vec(fragment, 0..16).prop_map(|v| v.concat())
+}
+
+fn source_kind() -> impl Strategy<Value = Option<SourceKind>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(SourceKind::Get)),
+        Just(Some(SourceKind::Post)),
+        Just(Some(SourceKind::Cookie)),
+        Just(Some(SourceKind::Request)),
+        Just(Some(SourceKind::Server)),
+        Just(Some(SourceKind::Database)),
+        Just(Some(SourceKind::File)),
+        Just(Some(SourceKind::Function)),
+        Just(Some(SourceKind::Array)),
+    ]
+}
+
+fn taint() -> impl Strategy<Value = Taint> {
+    (source_kind(), source_kind(), any::<bool>()).prop_map(|(xss, sqli, oop)| Taint {
+        xss,
+        sqli,
+        oop: oop && (xss.is_some() || sqli.is_some()),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every tool terminates without panicking on arbitrary construct soup.
+    #[test]
+    fn analyzers_are_total(src in php_soup()) {
+        let p = PluginProject::new("soup")
+            .with_file(SourceFile::new("soup.php", src.clone()))
+            .with_file(SourceFile::new("other.php", "<?php echo $x;"));
+        let _ = PhpSafe::new().analyze(&p);
+        let _ = Rips::new().analyze(&p);
+        let _ = Pixy::new().analyze(&p);
+    }
+
+    /// Analysis is deterministic: same input, same outcome.
+    #[test]
+    fn analysis_is_deterministic(src in php_soup()) {
+        let p = PluginProject::new("det").with_file(SourceFile::new("det.php", src));
+        let a = PhpSafe::new().analyze(&p);
+        let b = PhpSafe::new().analyze(&p);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Taint join is commutative, associative, idempotent, with CLEAN as
+    /// the identity.
+    #[test]
+    fn taint_lattice_laws(a in taint(), b in taint(), c in taint()) {
+        prop_assert_eq!(a.join(b), b.join(a));
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+        prop_assert_eq!(a.join(a), a);
+        prop_assert_eq!(a.join(Taint::CLEAN), a);
+        prop_assert_eq!(Taint::CLEAN.join(a), a);
+    }
+
+    /// Sanitize removes exactly the requested classes, and reverting (join
+    /// with the removed part) restores taintedness.
+    #[test]
+    fn sanitize_revert_inverse(a in taint()) {
+        for classes in [&[VulnClass::Xss][..], &[VulnClass::Sqli][..], &VulnClass::ALL[..]] {
+            let (kept, removed) = a.sanitize(classes);
+            for &cl in classes {
+                prop_assert!(!kept.is_tainted(cl));
+            }
+            let restored = kept.join(removed);
+            for cl in VulnClass::ALL {
+                prop_assert_eq!(restored.is_tainted(cl), a.is_tainted(cl),
+                    "class {:?} of {:?}", cl, a);
+            }
+        }
+    }
+
+    /// Precision/recall/F-score stay within [0, 1] and F lies between the
+    /// harmonic bound and min(P, R) ... i.e. F <= min(P,R) is NOT generally
+    /// true, but F <= max(P,R) and F >= min(P,R) are harmonic-mean facts.
+    #[test]
+    fn metric_bounds(tp in 0usize..500, fp in 0usize..500, fn_ in 0usize..500) {
+        let m = Metrics::new(tp, fp, fn_);
+        if let (Some(p), Some(r), Some(f)) = (m.precision(), m.recall(), m.f_score()) {
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!((0.0..=1.0).contains(&r));
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f <= p.max(r) + 1e-9);
+            prop_assert!(f >= p.min(r) - 1e-9);
+        }
+    }
+
+    /// A sanitizer call on any soup-derived value never yields a finding
+    /// for the sanitized class at that sink.
+    #[test]
+    fn sanitized_sink_never_reported(key in "[a-z]{1,8}") {
+        let src = format!("<?php echo htmlentities($_GET['{key}']);");
+        let p = PluginProject::new("san").with_file(SourceFile::new("san.php", src));
+        let o = PhpSafe::new().analyze(&p);
+        prop_assert!(o.vulns.is_empty(), "{:?}", o.vulns);
+    }
+
+    /// A direct superglobal echo is always reported exactly once,
+    /// whichever superglobal it is.
+    #[test]
+    fn direct_echo_always_found(key in "[a-z]{1,8}", sg in 0usize..4) {
+        let name = ["$_GET", "$_POST", "$_COOKIE", "$_REQUEST"][sg];
+        let src = format!("<?php echo {name}['{key}'];");
+        let p = PluginProject::new("d").with_file(SourceFile::new("d.php", src));
+        let o = PhpSafe::new().analyze(&p);
+        prop_assert_eq!(o.vulns.len(), 1);
+        prop_assert_eq!(o.vulns[0].class, VulnClass::Xss);
+    }
+}

@@ -1,0 +1,175 @@
+//! Cross-validation of the static analyzer against the concrete executor:
+//! for each pattern family the corpus plants, a minimal plugin is checked
+//! both ways. True vulnerabilities must be (a) reported by phpSAFE and
+//! (b) confirmed by actually exploiting them; false-positive bait must be
+//! reported by at least one static tool yet *never* confirm dynamically.
+
+use php_exec::confirm_vulnerability;
+use phpsafe::{PhpSafe, PluginProject, SourceFile};
+use phpsafe_baselines::{AnalysisTool, Pixy, Rips};
+
+fn plugin(src: &str) -> PluginProject {
+    PluginProject::new("xval").with_file(SourceFile::new("xval.php", src))
+}
+
+/// Static finds it AND the exploit works.
+fn assert_true_positive(src: &str) {
+    let p = plugin(src);
+    let outcome = PhpSafe::new().analyze(&p);
+    assert!(!outcome.vulns.is_empty(), "static analysis must report:\n{src}");
+    let confirmed = outcome
+        .vulns
+        .iter()
+        .any(|v| confirm_vulnerability(&p, v).is_confirmed());
+    assert!(confirmed, "exploit must succeed:\n{src}");
+}
+
+/// Some static tool reports it, but no exploit works.
+fn assert_false_positive_bait(src: &str) {
+    let p = plugin(src);
+    let phpsafe = PhpSafe::new().analyze(&p);
+    let rips = Rips::new().analyze(&p);
+    let pixy = Pixy::new().analyze(&p);
+    let reported = phpsafe.vulns.len() + rips.vulns.len() + pixy.vulns.len();
+    assert!(reported > 0, "bait must trip some tool:\n{src}");
+    for v in phpsafe
+        .vulns
+        .iter()
+        .chain(rips.vulns.iter())
+        .chain(pixy.vulns.iter())
+    {
+        assert!(
+            !confirm_vulnerability(&p, v).is_confirmed(),
+            "bait must not be exploitable:\n{src}\nfinding: {v:?}"
+        );
+    }
+}
+
+#[test]
+fn direct_get_echo() {
+    assert_true_positive("<?php echo '<b>' . $_GET['q'] . '</b>';");
+}
+
+#[test]
+fn post_hook_handler() {
+    assert_true_positive(
+        "<?php add_action('init', 'h'); function h() { echo $_POST['m']; }",
+    );
+}
+
+#[test]
+fn cookie_echo() {
+    assert_true_positive("<?php echo $_COOKIE['pref'];");
+}
+
+#[test]
+fn wpdb_stored_xss_oop() {
+    assert_true_positive(
+        "<?php
+        class T {
+            public function show() {
+                global $wpdb;
+                $rows = $wpdb->get_results('SELECT * FROM x');
+                foreach ($rows as $r) { echo '<li>' . $r->v . '</li>'; }
+            }
+        }",
+    );
+}
+
+#[test]
+fn wpdb_sqli() {
+    assert_true_positive(
+        "<?php $n = $_GET['n'];
+         $wpdb->query(\"SELECT * FROM t WHERE name = '$n'\");",
+    );
+}
+
+#[test]
+fn legacy_db_xss() {
+    assert_true_positive(
+        "<?php $r = mysql_query('SELECT * FROM t');
+         $row = mysql_fetch_assoc($r);
+         echo $row['label'];",
+    );
+}
+
+#[test]
+fn get_option_xss() {
+    assert_true_positive("<?php echo '<div>' . get_option('banner') . '</div>';");
+}
+
+#[test]
+fn file_read_xss() {
+    assert_true_positive("<?php $l = fgets($fp, 128); echo $l;");
+}
+
+#[test]
+fn include_split_flow() {
+    let p = PluginProject::new("xval")
+        .with_file(SourceFile::new(
+            "main.php",
+            "<?php $view_data = $_GET['v']; include 'view.php';",
+        ))
+        .with_file(SourceFile::new("view.php", "<?php echo '<h2>' . $view_data . '</h2>';"));
+    let outcome = PhpSafe::new().analyze(&p);
+    assert_eq!(outcome.vulns.len(), 1);
+    assert!(confirm_vulnerability(&p, &outcome.vulns[0]).is_confirmed());
+}
+
+#[test]
+fn interpolated_query_concat_chain() {
+    assert_true_positive(
+        "<?php
+        $w = $_GET['w'];
+        $sql = \"SELECT * FROM t WHERE a = '\" . $w . \"'\";
+        $wpdb->query($sql);",
+    );
+}
+
+// ---- false-positive bait: static noise, dynamically safe ----
+
+#[test]
+fn bait_guarded_numeric() {
+    assert_false_positive_bait(
+        "<?php $pg = $_GET['pg'];
+         if (!is_numeric($pg)) { die('bad'); }
+         echo 'Page ' . $pg;",
+    );
+}
+
+#[test]
+fn bait_custom_whitelist_cleaner() {
+    assert_false_positive_bait(
+        "<?php $t = preg_replace('/[^a-z0-9_]/i', '', $_GET['t']); echo $t;",
+    );
+}
+
+#[test]
+fn bait_wordpress_escaping_unknown_to_baselines() {
+    assert_false_positive_bait("<?php echo '<i>' . esc_html($_GET['q']) . '</i>';");
+}
+
+#[test]
+fn bait_guarded_wpdb_query() {
+    assert_false_positive_bait(
+        "<?php $uid = $_GET['uid'];
+         if (!is_numeric($uid)) { wp_die('bad id'); }
+         $wpdb->query(\"UPDATE t SET seen = 1 WHERE id = $uid\");",
+    );
+}
+
+#[test]
+fn bait_register_globals_noise() {
+    // Pixy flags the undefined variable; a modern runtime never populates
+    // it, so the attack cannot land.
+    assert_false_positive_bait("<?php echo '<div class=\"' . $theme_class . '\">';");
+}
+
+#[test]
+fn bait_legacy_query_with_wp_sanitizer() {
+    assert_false_positive_bait(
+        "<?php $cat = absint($_GET['cat']);
+         mysql_query(\"SELECT * FROM c WHERE id = $cat\");
+         $t = new WP_Tracker();",
+    );
+}
