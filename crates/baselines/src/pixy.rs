@@ -46,7 +46,12 @@ pub fn pixy_config() -> TaintConfig {
             kind: SourceKind::File,
         });
     }
-    for f in ["mysql_fetch_array", "mysql_fetch_assoc", "mysql_fetch_row", "mysql_result"] {
+    for f in [
+        "mysql_fetch_array",
+        "mysql_fetch_assoc",
+        "mysql_fetch_row",
+        "mysql_result",
+    ] {
         c.add_source(SourceSpec::Callable {
             name: FuncName::function(f),
             kind: SourceKind::Database,
@@ -64,7 +69,11 @@ pub fn pixy_config() -> TaintConfig {
             protects: vec![VulnClass::Xss, VulnClass::Sqli],
         });
     }
-    for f in ["addslashes", "mysql_escape_string", "mysql_real_escape_string"] {
+    for f in [
+        "addslashes",
+        "mysql_escape_string",
+        "mysql_real_escape_string",
+    ] {
         c.add_sanitizer(SanitizerSpec {
             name: FuncName::function(f),
             protects: vec![VulnClass::Sqli],
@@ -143,6 +152,14 @@ impl AnalysisTool for Pixy {
     fn analyze(&self, project: &PluginProject) -> AnalysisOutcome {
         self.engine.analyze(project)
     }
+
+    fn analyze_cached(
+        &self,
+        project: &PluginProject,
+        caches: &phpsafe::EngineCaches,
+    ) -> AnalysisOutcome {
+        self.engine.analyze_with_caches(project, Some(caches))
+    }
 }
 
 #[cfg(test)]
@@ -164,9 +181,7 @@ mod tests {
 
     #[test]
     fn fails_files_with_oop() {
-        let o = Pixy::new().analyze(&plugin(
-            "<?php class C { } echo $_GET['q'];",
-        ));
+        let o = Pixy::new().analyze(&plugin("<?php class C { } echo $_GET['q'];"));
         assert_eq!(o.stats.files_failed, 1);
         assert!(o.vulns.is_empty(), "rejected file yields nothing");
     }
@@ -198,9 +213,7 @@ mod tests {
 
     #[test]
     fn does_not_analyze_uncalled_functions() {
-        let o = Pixy::new().analyze(&plugin(
-            "<?php function handler() { echo $_POST['x']; }",
-        ));
+        let o = Pixy::new().analyze(&plugin("<?php function handler() { echo $_POST['x']; }"));
         assert!(o.vulns.is_empty(), "{:?}", o.vulns);
     }
 
@@ -216,9 +229,7 @@ mod tests {
 
     #[test]
     fn knows_classic_sanitizers() {
-        let o = Pixy::new().analyze(&plugin(
-            "<?php echo htmlentities($_GET['q']);",
-        ));
+        let o = Pixy::new().analyze(&plugin("<?php echo htmlentities($_GET['q']);"));
         assert!(o.vulns.is_empty());
     }
 }

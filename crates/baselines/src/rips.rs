@@ -70,6 +70,14 @@ impl AnalysisTool for Rips {
     fn analyze(&self, project: &PluginProject) -> AnalysisOutcome {
         self.engine.analyze(project)
     }
+
+    fn analyze_cached(
+        &self,
+        project: &PluginProject,
+        caches: &phpsafe::EngineCaches,
+    ) -> AnalysisOutcome {
+        self.engine.analyze_with_caches(project, Some(caches))
+    }
 }
 
 #[cfg(test)]
@@ -141,9 +149,7 @@ mod tests {
 
     #[test]
     fn analyzes_uncalled_functions() {
-        let o = Rips::new().analyze(&plugin(
-            "<?php function handler() { echo $_POST['x']; }",
-        ));
+        let o = Rips::new().analyze(&plugin("<?php function handler() { echo $_POST['x']; }"));
         assert_eq!(o.vulns.len(), 1);
     }
 

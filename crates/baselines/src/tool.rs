@@ -2,15 +2,23 @@
 //! RIPS-like baseline and the Pixy-like baseline all implement
 //! [`AnalysisTool`].
 
-use phpsafe::{AnalysisOutcome, PhpSafe, PluginProject};
+use phpsafe::{AnalysisOutcome, EngineCaches, PhpSafe, PluginProject};
 
 /// A static analysis tool that can be pointed at a plugin project.
-pub trait AnalysisTool {
+///
+/// `Send + Sync` so the engine's worker pool can fan jobs referencing one
+/// tool instance across threads.
+pub trait AnalysisTool: Send + Sync {
     /// Tool display name (`phpSAFE`, `RIPS`, `Pixy`).
     fn name(&self) -> &str;
 
     /// Analyzes a plugin and returns its findings.
     fn analyze(&self, project: &PluginProject) -> AnalysisOutcome;
+
+    /// [`AnalysisTool::analyze`] sharing parse results and call summaries
+    /// through the engine caches. Must return exactly what `analyze`
+    /// returns — only faster.
+    fn analyze_cached(&self, project: &PluginProject, caches: &EngineCaches) -> AnalysisOutcome;
 }
 
 impl AnalysisTool for PhpSafe {
@@ -20,6 +28,10 @@ impl AnalysisTool for PhpSafe {
 
     fn analyze(&self, project: &PluginProject) -> AnalysisOutcome {
         PhpSafe::analyze(self, project)
+    }
+
+    fn analyze_cached(&self, project: &PluginProject, caches: &EngineCaches) -> AnalysisOutcome {
+        self.analyze_with_caches(project, Some(caches))
     }
 }
 

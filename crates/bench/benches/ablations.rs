@@ -49,7 +49,9 @@ fn bench_ablations(c: &mut Criterion) {
         .expect("plugin");
     let project = plugin.project(Version::V2014);
     let mut group = c.benchmark_group("ablations/mail_subscribe_list_2014");
-    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
     for (name, tool) in variants() {
         group.bench_function(name, |b| {
             b.iter(|| std::hint::black_box(tool.analyze(project)))

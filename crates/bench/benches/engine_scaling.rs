@@ -1,0 +1,44 @@
+//! `engine_scaling` — the full 3 tools × 2 versions × 35 plugins
+//! evaluation through the engine scheduler at 1/2/4/8 workers, against the
+//! serial (uncached, single-thread) baseline.
+//!
+//! Two effects are measured at once: thread-level parallelism (bounded by
+//! the machine's cores) and shared-cache reuse (one parse per distinct
+//! file content across all six tool×version passes, plus cross-run
+//! pure-leaf call summaries), which pays off even on a single core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phpsafe_corpus::Corpus;
+use phpsafe_eval::Evaluation;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn corpus() -> &'static Corpus {
+    static C: OnceLock<Corpus> = OnceLock::new();
+    C.get_or_init(Corpus::generate)
+}
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut group = c.benchmark_group("engine_scaling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+
+    group.bench_function("serial", |b| {
+        b.iter(|| std::hint::black_box(Evaluation::run_with(corpus.clone())))
+    });
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("jobs/{workers}"), |b| {
+            b.iter(|| std::hint::black_box(Evaluation::run_engine_with(corpus.clone(), workers)))
+        });
+    }
+    group.finish();
+
+    // One verbose run so the report shows what the caches did.
+    let (_, stats) = Evaluation::run_engine_with(corpus.clone(), 4);
+    println!("{stats}");
+}
+
+criterion_group!(benches, bench_engine_scaling);
+criterion_main!(benches);

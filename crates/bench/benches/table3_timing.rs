@@ -19,7 +19,9 @@ fn bench_table3(c: &mut Criterion) {
         let (files, loc) = corpus.size_of(version);
         println!("{version}: {files} files, {loc} LOC");
         let mut group = c.benchmark_group(format!("table3/{version}"));
-        group.sample_size(10).measurement_time(Duration::from_secs(8));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(8));
         for tool in paper_tools() {
             group.bench_function(tool.name(), |b| {
                 b.iter(|| {

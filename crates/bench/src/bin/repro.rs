@@ -9,15 +9,79 @@
 //!
 //! Artifacts: `table1`, `table1-full`, `fig2`, `table2`, `table3`, `oop`,
 //! `inertia`, `rootcause`, `all` (default).
+//!
+//! Options:
+//!
+//! * `--jobs N` — worker threads for the engine scheduler (default: the
+//!   machine's available parallelism). Results are identical at any `N`.
+//! * `--serial` — bypass the engine entirely: one thread, no shared
+//!   caches, every tool meets every plugin cold. This is the paper's
+//!   Table III timing methodology; use it when comparing `table3` seconds.
+//! * `--engine-stats` — print scheduler/stage/cache statistics to stderr
+//!   after the run (engine mode only).
 
 use phpsafe_eval::{tables, Evaluation, RecallMode};
 
+struct Opts {
+    what: String,
+    jobs: usize,
+    serial: bool,
+    engine_stats: bool,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        what: "all".to_string(),
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        serial: false,
+        engine_stats: false,
+    };
+    let mut what: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--serial" => opts.serial = true,
+            "--engine-stats" => opts.engine_stats = true,
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs requires a value")?;
+                opts.jobs = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            other => {
+                if what.is_some() {
+                    return Err("only one artifact may be requested".to_string());
+                }
+                what = Some(other.to_string());
+            }
+        }
+    }
+    if let Some(w) = what {
+        opts.what = w;
+    }
+    Ok(opts)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(|s| s.as_str()).unwrap_or("all");
-    eprintln!("generating corpus and running phpSAFE, RIPS and Pixy over 35 plugins x 2 versions...");
-    let e = Evaluation::run();
-    match what {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "generating corpus and running phpSAFE, RIPS and Pixy over 35 plugins x 2 versions..."
+    );
+    let e = if opts.serial {
+        Evaluation::run()
+    } else {
+        let (e, stats) = Evaluation::run_engine(opts.jobs);
+        if opts.engine_stats {
+            eprintln!("{stats}");
+        }
+        e
+    };
+    match opts.what.as_str() {
         "table1" => print!("{}", tables::table1(&e, RecallMode::PaperOptimistic)),
         "table1-full" => print!("{}", tables::table1(&e, RecallMode::FullGroundTruth)),
         "fig2" => print!("{}", tables::fig2(&e)),
@@ -30,7 +94,10 @@ fn main() {
         "evolution" => print!("{}", phpsafe_eval::evolution_report(e.corpus())),
         "confirm" => print!("{}", phpsafe_eval::confirmation_report(e.corpus())),
         "csv" => {
-            print!("{}", phpsafe_eval::table1_csv(&e, RecallMode::PaperOptimistic));
+            print!(
+                "{}",
+                phpsafe_eval::table1_csv(&e, RecallMode::PaperOptimistic)
+            );
             print!("{}", phpsafe_eval::per_plugin_csv(e.corpus()));
         }
         "all" => print!("{}", tables::full_report(&e)),

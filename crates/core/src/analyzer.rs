@@ -4,6 +4,7 @@
 //! be analyzed and delivers the results"*) — plus the capability switches
 //! that also power the baselines and the ablation benches.
 
+use crate::caching::EngineCaches;
 use crate::interp::Interp;
 use crate::project::PluginProject;
 use crate::report::{AnalysisOutcome, AnalysisStats, FileFailure, FileReport};
@@ -11,6 +12,7 @@ use crate::symbols::SymbolTable;
 use php_ast::visit::{self, Visitor};
 use php_ast::{parse, Callee, ClassDecl, Expr, ParsedFile};
 use std::collections::HashMap;
+use std::sync::Arc;
 use taint_config::{wordpress, TaintConfig};
 
 /// Capability switches for the analysis engine.
@@ -138,12 +140,27 @@ impl PhpSafe {
     /// Runs the full four-stage pipeline over a plugin and returns the
     /// deduplicated findings plus robustness/statistics records.
     pub fn analyze(&self, project: &PluginProject) -> AnalysisOutcome {
+        self.analyze_with_caches(project, None)
+    }
+
+    /// [`PhpSafe::analyze`], optionally sharing parse results and pure-leaf
+    /// call summaries through an [`EngineCaches`] set. Passing `None` is
+    /// the plain serial mode; passing a cache set never changes the
+    /// outcome, only the cost of producing it.
+    pub fn analyze_with_caches(
+        &self,
+        project: &PluginProject,
+        caches: Option<&EngineCaches>,
+    ) -> AnalysisOutcome {
         // ---- stage 2: model construction ----
-        let mut parsed: HashMap<String, ParsedFile> = HashMap::new();
+        let mut parsed: HashMap<String, Arc<ParsedFile>> = HashMap::new();
         let mut reports: Vec<FileReport> = Vec::new();
         let mut rejected: Vec<String> = Vec::new();
         for file in project.files() {
-            let ast = parse(&file.content);
+            let ast = match caches {
+                Some(c) => c.ast().parse(&file.content),
+                None => Arc::new(parse(&file.content)),
+            };
             let mut report = FileReport {
                 path: file.path.clone(),
                 loc: file.loc(),
@@ -166,10 +183,18 @@ impl PhpSafe {
             reports.push(report);
         }
 
-        let symbols = SymbolTable::build(parsed.iter().map(|(p, a)| (p.as_str(), a)));
+        let symbols = SymbolTable::build(parsed.iter().map(|(p, a)| (p.as_str(), a.as_ref())));
 
         // ---- stage 3: analysis ----
-        let mut interp = Interp::new(&self.config, &self.options, &symbols, project, &parsed);
+        let summaries = caches.map(|c| c.summaries_for(&self.tool_name));
+        let mut interp = Interp::new(
+            &self.config,
+            &self.options,
+            &symbols,
+            project,
+            &parsed,
+            summaries,
+        );
         let mut total_work = 0u64;
         let mut failed_paths: Vec<(String, String)> = Vec::new();
         let mut paths: Vec<&String> = parsed.keys().collect();
@@ -223,9 +248,9 @@ impl PhpSafe {
             stats,
         };
         outcome.dedup();
-        outcome.vulns.sort_by(|a, b| {
-            (&a.file, a.line, a.class).cmp(&(&b.file, b.line, b.class))
-        });
+        outcome
+            .vulns
+            .sort_by(|a, b| (&a.file, a.line, a.class).cmp(&(&b.file, b.line, b.class)));
         outcome
     }
 }

@@ -1,15 +1,17 @@
 //! `phpsafe` — command-line front end for the analyzer.
 //!
 //! ```text
-//! phpsafe [OPTIONS] <PATH>
+//! phpsafe [OPTIONS] <PATH>...
 //!
 //! ARGS:
-//!   <PATH>                a plugin directory or a single PHP file
+//!   <PATH>...             plugin directories and/or single PHP files
 //!
 //! OPTIONS:
 //!   --profile <NAME>      wordpress (default) | php | drupal | joomla
 //!   --json                emit the normalized JSON report instead of text
 //!   --html                emit a standalone HTML report instead of text
+//!   --jobs <N>            analyze multiple paths on N worker threads
+//!   --engine-stats        print engine statistics to stderr after the run
 //!   --no-oop              disable OOP resolution (baseline mode)
 //!   --no-includes         disable include resolution
 //!   --no-uncalled         skip never-called functions
@@ -17,10 +19,12 @@
 //!   -h, --help            this help
 //! ```
 
-use phpsafe::{AnalyzerOptions, PhpSafe, PluginProject, SourceFile};
+use phpsafe::{AnalyzerOptions, EngineCaches, PhpSafe, PluginProject, SourceFile};
+use phpsafe_engine::{run_ordered, EngineStats};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 /// Prints to stdout, tolerating a closed pipe (`phpsafe ... | head`).
 macro_rules! out {
@@ -35,10 +39,11 @@ const HELP: &str = "\
 phpsafe - OOP-aware static taint analyzer for PHP plugins (XSS, SQLi)
 
 USAGE:
-    phpsafe [OPTIONS] <PATH>
+    phpsafe [OPTIONS] <PATH>...
 
 ARGS:
-    <PATH>              a plugin directory or a single PHP file
+    <PATH>...           plugin directories and/or single PHP files; each
+                        path is analyzed as one plugin project
 
 OPTIONS:
     --profile <NAME>    wordpress (default) | php | drupal | joomla
@@ -46,6 +51,10 @@ OPTIONS:
     --html              emit a standalone HTML report instead of text
     --inspect           emit the project inventory (variables, functions,
                         classes, include graph) as JSON and exit
+    --jobs <N>          worker threads when analyzing several paths
+                        (default: available parallelism; results do not
+                        depend on N)
+    --engine-stats      print scheduler/cache statistics to stderr
     --no-oop            disable OOP resolution (baseline mode)
     --no-includes       disable include resolution
     --no-uncalled       skip functions never called from plugin code
@@ -53,17 +62,37 @@ OPTIONS:
     -h, --help          show this help
 ";
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Cli {
-    path: Option<PathBuf>,
+    paths: Vec<PathBuf>,
     profile: Option<String>,
     json: bool,
     html: bool,
     inspect: bool,
+    jobs: usize,
+    engine_stats: bool,
     no_oop: bool,
     no_includes: bool,
     no_uncalled: bool,
     trace: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            paths: Vec::new(),
+            profile: None,
+            json: false,
+            html: false,
+            inspect: false,
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            engine_stats: false,
+            no_oop: false,
+            no_includes: false,
+            no_uncalled: false,
+            trace: false,
+        }
+    }
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -75,10 +104,19 @@ fn parse_args() -> Result<Cli, String> {
             "--json" => cli.json = true,
             "--html" => cli.html = true,
             "--inspect" => cli.inspect = true,
+            "--engine-stats" => cli.engine_stats = true,
             "--no-oop" => cli.no_oop = true,
             "--no-includes" => cli.no_includes = true,
             "--no-uncalled" => cli.no_uncalled = true,
             "--trace" => cli.trace = true,
+            "--jobs" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| "--jobs requires a value".to_string())?;
+                cli.jobs = v
+                    .parse()
+                    .map_err(|_| format!("--jobs requires a number, got `{v}`"))?;
+            }
             "--profile" => {
                 cli.profile = Some(
                     args.next()
@@ -88,15 +126,10 @@ fn parse_args() -> Result<Cli, String> {
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
             }
-            other => {
-                if cli.path.is_some() {
-                    return Err("only one path may be given".to_string());
-                }
-                cli.path = Some(PathBuf::from(other));
-            }
+            other => cli.paths.push(PathBuf::from(other)),
         }
     }
-    if cli.path.is_none() {
+    if cli.paths.is_empty() {
         return Err("missing <PATH>".to_string());
     }
     Ok(cli)
@@ -146,6 +179,23 @@ fn collect_files(root: &Path) -> std::io::Result<Vec<SourceFile>> {
     Ok(out)
 }
 
+/// Loads one path as a plugin project.
+fn load_project(path: &Path) -> Result<PluginProject, String> {
+    let files = collect_files(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if files.is_empty() {
+        return Err(format!("no PHP files found under {}", path.display()));
+    }
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "plugin".into());
+    let mut project = PluginProject::new(name);
+    for f in files {
+        project.push_file(f);
+    }
+    Ok(project)
+}
+
 fn main() -> ExitCode {
     let cli = match parse_args() {
         Ok(c) => c,
@@ -158,7 +208,6 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let path = cli.path.expect("validated");
     let config = match cli.profile.as_deref().unwrap_or("wordpress") {
         "wordpress" => taint_config::wordpress(),
         "php" => taint_config::generic_php(),
@@ -176,82 +225,100 @@ fn main() -> ExitCode {
         ..AnalyzerOptions::default()
     };
 
-    let files = match collect_files(&path) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: cannot read {}: {e}", path.display());
-            return ExitCode::from(2);
+    let mut projects = Vec::new();
+    for path in &cli.paths {
+        match load_project(path) {
+            Ok(p) => projects.push(p),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
         }
-    };
-    if files.is_empty() {
-        eprintln!("error: no PHP files found under {}", path.display());
-        return ExitCode::from(2);
-    }
-    let name = path
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "plugin".into());
-    let mut project = PluginProject::new(name);
-    for f in files {
-        project.push_file(f);
     }
 
     if cli.inspect {
-        let inventory = phpsafe::inspect(&project);
-        match serde_json::to_string_pretty(&inventory) {
-            Ok(j) => out!("{j}"),
-            Err(e) => {
-                eprintln!("error: serialization failed: {e}");
-                return ExitCode::from(2);
+        for project in &projects {
+            let inventory = phpsafe::inspect(project);
+            match serde_json::to_string_pretty(&inventory) {
+                Ok(j) => out!("{j}"),
+                Err(e) => {
+                    eprintln!("error: serialization failed: {e}");
+                    return ExitCode::from(2);
+                }
             }
         }
         return ExitCode::SUCCESS;
     }
 
+    // Fan the projects across the engine's worker pool; output order
+    // follows the command line regardless of scheduling.
     let analyzer = PhpSafe::new().with_config(config).with_options(options);
-    let outcome = analyzer.analyze(&project);
+    let caches = EngineCaches::new();
+    let analyze_started = Instant::now();
+    let (outcomes, pool) = run_ordered(projects, cli.jobs, |_, project| {
+        analyzer.analyze_with_caches(&project, Some(&caches))
+    });
+    let analyze_time = analyze_started.elapsed();
 
-    if cli.html {
-        out!("{}", phpsafe::render_html(&outcome));
-    } else if cli.json {
-        match outcome.to_json() {
-            Ok(j) => out!("{j}"),
-            Err(e) => {
-                eprintln!("error: serialization failed: {e}");
-                return ExitCode::from(2);
+    if cli.engine_stats {
+        let mut stats = EngineStats::default();
+        stats.absorb_pool(&pool);
+        caches.record(&mut stats);
+        stats.stages.analyze += analyze_time;
+        eprintln!("{stats}");
+    }
+
+    let mut any_vulns = false;
+    for outcome in &outcomes {
+        any_vulns |= !outcome.vulns.is_empty();
+        if cli.html {
+            out!("{}", phpsafe::render_html(outcome));
+        } else if cli.json {
+            match outcome.to_json() {
+                Ok(j) => out!("{j}"),
+                Err(e) => {
+                    eprintln!("error: serialization failed: {e}");
+                    return ExitCode::from(2);
+                }
             }
-        }
-    } else {
-        out!(
-            "phpsafe: analyzed {} files ({} LOC), {} failed",
-            outcome.files.len(),
-            outcome.stats.loc,
-            outcome.stats.files_failed
-        );
-        for f in outcome.files.iter().filter(|f| f.failure.is_some()) {
+        } else {
             out!(
-                "  FAILED {}: {}",
-                f.path,
-                f.failure.as_ref().expect("filtered")
+                "phpsafe: analyzed {} files ({} LOC), {} failed",
+                outcome.files.len(),
+                outcome.stats.loc,
+                outcome.stats.files_failed
             );
-        }
-        out!("{} vulnerabilities:\n", outcome.vulns.len());
-        for v in &outcome.vulns {
-            let oop = if v.via_oop { " [OOP]" } else { "" };
-            out!(
-                "{}:{}: {} via {} at sink `{}`{} — {}",
-                v.file, v.line, v.class, v.source_kind, v.sink, oop, v.var
-            );
-            if cli.trace {
-                for s in &v.trace {
-                    out!("    <- {}:{} {}", s.file, s.line, s.what);
+            for f in outcome.files.iter().filter(|f| f.failure.is_some()) {
+                out!(
+                    "  FAILED {}: {}",
+                    f.path,
+                    f.failure.as_ref().expect("filtered")
+                );
+            }
+            out!("{} vulnerabilities:\n", outcome.vulns.len());
+            for v in &outcome.vulns {
+                let oop = if v.via_oop { " [OOP]" } else { "" };
+                out!(
+                    "{}:{}: {} via {} at sink `{}`{} — {}",
+                    v.file,
+                    v.line,
+                    v.class,
+                    v.source_kind,
+                    v.sink,
+                    oop,
+                    v.var
+                );
+                if cli.trace {
+                    for s in &v.trace {
+                        out!("    <- {}:{} {}", s.file, s.line, s.what);
+                    }
                 }
             }
         }
     }
-    if outcome.vulns.is_empty() {
-        ExitCode::SUCCESS
-    } else {
+    if any_vulns {
         ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }

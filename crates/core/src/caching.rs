@@ -1,0 +1,448 @@
+//! Shared analysis artifacts: the parse cache and cross-run call summaries.
+//!
+//! The evaluation pipeline analyzes the same plugin sources many times —
+//! three tools × two corpus versions, and most files are byte-identical
+//! between the 2012 and 2014 snapshots. This module wires the generic
+//! [`phpsafe_engine`] artifact caches into the analyzer so that:
+//!
+//! * each distinct file **content** is lexed and parsed exactly once
+//!   ([`AstCache`], keyed by [`ContentKey`]), and every analysis shares the
+//!   resulting [`ParsedFile`] behind an `Arc`;
+//! * user functions whose analysis provably cannot depend on anything
+//!   outside their declaration are summarized **across analysis runs** in a
+//!   per-tool [`SummaryCache`] — extending the paper's intra-run "every
+//!   function is analyzed only the first time it is called" memoization to
+//!   the whole evaluation.
+//!
+//! Cross-run sharing is deliberately conservative so cached and uncached
+//! runs produce byte-identical reports; see [`shareable_calls`] and
+//! [`SharedSummary`] for the exact conditions.
+
+use crate::taint::{Taint, VarState};
+use php_ast::printer::{print_expr, print_stmt};
+use php_ast::visit::{self, Visitor};
+use php_ast::{parse_tokens, Callee, ClassDecl, Expr, FunctionDecl, ParsedFile, Stmt};
+use php_lexer::tokenize;
+use phpsafe_engine::{fnv1a_64, ArtifactCache, CacheCounters, ContentKey, EngineStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A shared token-stream/AST cache: one lex + parse per distinct file
+/// content, no matter how many tools, versions or plugins present it.
+#[derive(Default)]
+pub struct AstCache {
+    cache: ArtifactCache<ContentKey, ParsedFile>,
+    lex_ns: AtomicU64,
+    parse_ns: AtomicU64,
+}
+
+impl AstCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses `src`, sharing the artifact with every analysis that sees the
+    /// same bytes. Lex/parse wall time accumulates on misses only (hits
+    /// cost a hash plus a map lookup).
+    pub fn parse(&self, src: &str) -> Arc<ParsedFile> {
+        let key = ContentKey::of(src.as_bytes());
+        let (ast, _hit) = self.cache.get_or_build(key, || {
+            let lex_started = Instant::now();
+            let toks = tokenize(src);
+            let lexed = lex_started.elapsed();
+            let parse_started = Instant::now();
+            let ast = parse_tokens(toks);
+            self.lex_ns
+                .fetch_add(lexed.as_nanos() as u64, Ordering::Relaxed);
+            self.parse_ns
+                .fetch_add(parse_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            ast
+        });
+        ast
+    }
+
+    /// Hit/miss counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.cache.counters()
+    }
+
+    /// Total lexing time spent on misses.
+    pub fn lex_time(&self) -> Duration {
+        Duration::from_nanos(self.lex_ns.load(Ordering::Relaxed))
+    }
+
+    /// Total parsing time spent on misses.
+    pub fn parse_time(&self) -> Duration {
+        Duration::from_nanos(self.parse_ns.load(Ordering::Relaxed))
+    }
+
+    /// Number of distinct file contents parsed so far.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether nothing has been parsed yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+/// Key for a cross-run call summary: a span-insensitive fingerprint of the
+/// declaration text plus the abstract state of the arguments.
+///
+/// The fingerprint hashes the *pretty-printed* declaration, so a function
+/// that merely moved to a different line (the dominant 2012 → 2014 diff
+/// shape) still hits. The argument signature carries both the current
+/// taint and the sanitized-away taint of each argument — revert functions
+/// can resurrect the latter, so two calls agreeing only on current taint
+/// are not interchangeable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SummaryKey {
+    decl_fp: u64,
+    sig: Vec<(Taint, Taint)>,
+}
+
+impl SummaryKey {
+    /// Builds the key for calling `decl` with `args`.
+    pub fn new(decl: &FunctionDecl, args: &[VarState]) -> SummaryKey {
+        SummaryKey {
+            decl_fp: fingerprint_decl(decl),
+            sig: args.iter().map(|s| (s.taint, s.sanitized_from)).collect(),
+        }
+    }
+}
+
+/// A call summary that may be replayed by a later analysis run.
+///
+/// Only recorded when executing the body (a) emitted no vulnerability, (b)
+/// returned a fully clean [`VarState`] and (c) left the failure flag unset
+/// — so replaying is exactly "spend the work, return clean". Together with
+/// the [`shareable_calls`] purity conditions this makes a replay
+/// indistinguishable from re-execution.
+#[derive(Debug, Clone)]
+pub struct SharedSummary {
+    /// Work units the body execution cost.
+    pub work: u64,
+    /// Lowercased names of the functions the body calls. A consumer must
+    /// re-check that none of them resolve to *its* project's user code
+    /// before replaying.
+    pub calls: Vec<String>,
+}
+
+/// Per-tool cache of cross-run call summaries.
+pub type SummaryCache = ArtifactCache<SummaryKey, SharedSummary>;
+
+/// The shared caches one engine run threads through every analysis: a
+/// parse cache common to all tools, and one summary cache per tool (the
+/// tools differ in taint configuration and capability switches, so their
+/// summaries must not mix).
+///
+/// A given tool name must map to a single (configuration, options) pair
+/// for the lifetime of the cache set.
+#[derive(Default)]
+pub struct EngineCaches {
+    ast: AstCache,
+    summaries: Mutex<HashMap<String, Arc<SummaryCache>>>,
+}
+
+impl EngineCaches {
+    /// Fresh, empty caches.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared parse cache.
+    pub fn ast(&self) -> &AstCache {
+        &self.ast
+    }
+
+    /// The summary cache for `tool`, created on first use.
+    pub fn summaries_for(&self, tool: &str) -> Arc<SummaryCache> {
+        self.summaries
+            .lock()
+            .unwrap()
+            .entry(tool.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Folds this cache set's counters and stage times into `stats`.
+    pub fn record(&self, stats: &mut EngineStats) {
+        stats.parse_cache = stats.parse_cache.merged(&self.ast.counters());
+        stats.stages.lex += self.ast.lex_time();
+        stats.stages.parse += self.ast.parse_time();
+        for cache in self.summaries.lock().unwrap().values() {
+            stats.summary_cache = stats.summary_cache.merged(&cache.counters());
+        }
+    }
+}
+
+/// Span-insensitive fingerprint of a declaration: name, parameter list and
+/// pretty-printed body, hashed with FNV-1a.
+fn fingerprint_decl(decl: &FunctionDecl) -> u64 {
+    let mut text = String::new();
+    text.push_str(&decl.name.to_ascii_lowercase());
+    if decl.by_ref {
+        text.push('&');
+    }
+    for p in &decl.params {
+        text.push('(');
+        text.push_str(&p.name);
+        if p.by_ref {
+            text.push('&');
+        }
+        if p.variadic {
+            text.push_str("...");
+        }
+        if let Some(d) = &p.default {
+            text.push('=');
+            text.push_str(&print_expr(d));
+        }
+        text.push(')');
+    }
+    text.push('{');
+    for s in &decl.body {
+        text.push_str(&print_stmt(s));
+        text.push(';');
+    }
+    text.push('}');
+    fnv1a_64(text.as_bytes())
+}
+
+/// Decides whether a declaration is a *pure leaf* whose analysis result
+/// can only depend on the declaration text and the argument states.
+///
+/// Returns the (lowercased, deduplicated) names of all functions the body
+/// calls when shareable, `None` otherwise. Rejected constructs are exactly
+/// those through which an analysis could read or write state that outlives
+/// the call frame, or reach code outside the declaration:
+///
+/// * `global` / `static` variable statements (cross-call stores);
+/// * property or static-property access, `new`, and method calls (the
+///   per-class property store, constructors, `$this`);
+/// * `include`/`require` (reaches other files);
+/// * closures, variable-variables and dynamic calls (callees unknowable);
+/// * nested function/class declarations;
+/// * by-reference parameters (argument write-back).
+///
+/// Plain function calls are allowed but *collected*: both the producer and
+/// any consumer of a summary must check that none of the names resolve to
+/// a user function in their symbol table, so only built-in/configured
+/// functions — which behave identically everywhere — are ever involved.
+pub fn shareable_calls(decl: &FunctionDecl) -> Option<Vec<String>> {
+    if decl.params.iter().any(|p| p.by_ref) {
+        return None;
+    }
+    struct Purity {
+        pure: bool,
+        calls: Vec<String>,
+    }
+    impl Visitor for Purity {
+        fn visit_stmt(&mut self, s: &Stmt) {
+            if !self.pure {
+                return;
+            }
+            match s {
+                Stmt::Global(..) | Stmt::StaticVars(..) | Stmt::Function(_) | Stmt::Class(_) => {
+                    self.pure = false;
+                }
+                _ => visit::walk_stmt(self, s),
+            }
+        }
+        fn visit_expr(&mut self, e: &Expr) {
+            if !self.pure {
+                return;
+            }
+            match e {
+                Expr::Prop(..)
+                | Expr::StaticProp(..)
+                | Expr::New { .. }
+                | Expr::Include(..)
+                | Expr::Closure { .. }
+                | Expr::VarVar(..) => {
+                    self.pure = false;
+                    return;
+                }
+                Expr::Call { callee, .. } => match callee {
+                    Callee::Function(name) => self.calls.push(name.to_ascii_lowercase()),
+                    Callee::Dynamic(_) | Callee::Method { .. } | Callee::StaticMethod { .. } => {
+                        self.pure = false;
+                        return;
+                    }
+                },
+                _ => {}
+            }
+            visit::walk_expr(self, e);
+        }
+        fn visit_class(&mut self, _c: &ClassDecl) {
+            self.pure = false;
+        }
+    }
+    let mut v = Purity {
+        pure: true,
+        calls: Vec::new(),
+    };
+    for p in &decl.params {
+        if let Some(d) = &p.default {
+            v.visit_expr(d);
+        }
+    }
+    for s in &decl.body {
+        v.visit_stmt(s);
+    }
+    if !v.pure {
+        return None;
+    }
+    v.calls.sort();
+    v.calls.dedup();
+    Some(v.calls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use php_ast::parse;
+
+    fn first_fn(src: &str) -> FunctionDecl {
+        let file = parse(src);
+        for s in &file.stmts {
+            if let Stmt::Function(f) = s {
+                return f.clone();
+            }
+        }
+        panic!("no function in {src}");
+    }
+
+    #[test]
+    fn ast_cache_shares_identical_content() {
+        let cache = AstCache::new();
+        let a = cache.parse("<?php echo 1;");
+        let b = cache.parse("<?php echo 1;");
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lex_time() + cache.parse_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn ast_cache_distinguishes_content() {
+        let cache = AstCache::new();
+        let a = cache.parse("<?php echo 1;");
+        let b = cache.parse("<?php echo 2;");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.counters().misses, 2);
+    }
+
+    #[test]
+    fn fingerprint_ignores_spans() {
+        let a = first_fn("<?php function f($x) { return $x + 1; }");
+        let b = first_fn("<?php\n\n\nfunction f($x) { return $x + 1; }");
+        assert_ne!(a.span, b.span);
+        assert_eq!(fingerprint_decl(&a), fingerprint_decl(&b));
+    }
+
+    #[test]
+    fn fingerprint_sees_body_changes() {
+        let a = first_fn("<?php function f($x) { return $x + 1; }");
+        let b = first_fn("<?php function f($x) { return $x + 2; }");
+        assert_ne!(fingerprint_decl(&a), fingerprint_decl(&b));
+    }
+
+    #[test]
+    fn pure_leaf_is_shareable_and_calls_collected() {
+        let f = first_fn("<?php function f($x) { return trim(strtolower($x)); }");
+        let calls = shareable_calls(&f).expect("pure leaf");
+        assert_eq!(calls, vec!["strtolower".to_string(), "trim".to_string()]);
+    }
+
+    #[test]
+    fn impure_constructs_are_rejected() {
+        for src in [
+            "<?php function f() { global $db; return $db; }",
+            "<?php function f() { static $n = 0; return $n; }",
+            "<?php function f($o) { return $o->prop; }",
+            "<?php function f($o) { return $o->m(); }",
+            "<?php function f() { return new Thing(); }",
+            "<?php function f() { include 'x.php'; }",
+            "<?php function f() { $g = function () {}; return $g; }",
+            "<?php function f($n) { return $$n; }",
+            "<?php function f($g) { return $g(); }",
+            "<?php function f(&$x) { $x = 1; }",
+            "<?php function f() { function g() {} }",
+        ] {
+            let f = first_fn(src);
+            assert!(shareable_calls(&f).is_none(), "should reject: {src}");
+        }
+    }
+
+    #[test]
+    fn summary_key_distinguishes_sanitized_from() {
+        let f = first_fn("<?php function f($x) { return 1; }");
+        let clean = VarState::clean();
+        let mut washed = VarState::clean();
+        washed.sanitized_from = Taint::from_source(taint_config::SourceKind::Get);
+        let a = SummaryKey::new(&f, std::slice::from_ref(&clean));
+        let b = SummaryKey::new(&f, std::slice::from_ref(&washed));
+        assert_ne!(a, b, "revertible sanitization must split the key");
+    }
+
+    #[test]
+    fn cached_analysis_matches_uncached_and_reuses_summaries() {
+        use crate::{PhpSafe, PluginProject, SourceFile};
+        let plugin = PluginProject::new("p").with_file(SourceFile::new(
+            "p.php",
+            r#"<?php
+            function pad($s) { return str_pad($s, 8); }
+            function risky($v) { echo $v; }
+            echo pad("x");
+            risky($_GET['q']);
+            "#,
+        ));
+        let tool = PhpSafe::new();
+        let plain = tool.analyze(&plugin);
+
+        let caches = EngineCaches::new();
+        let first = tool.analyze_with_caches(&plugin, Some(&caches));
+        let second = tool.analyze_with_caches(&plugin, Some(&caches));
+        assert_eq!(plain, first);
+        assert_eq!(plain, second);
+
+        // The second run re-parsed nothing and replayed `pad`'s summary
+        // (`risky` emits a vulnerability, so it must never be recorded).
+        assert!(caches.ast().counters().hits >= 1);
+        let sums = caches.summaries_for("phpSAFE");
+        assert!(sums.counters().hits >= 1, "{:?}", sums.counters());
+        assert_eq!(first.stats.work_units, second.stats.work_units);
+    }
+
+    #[test]
+    fn caches_record_into_engine_stats() {
+        let caches = EngineCaches::new();
+        caches.ast().parse("<?php echo 1;");
+        caches.ast().parse("<?php echo 1;");
+        let sums = caches.summaries_for("phpSAFE");
+        let f = first_fn("<?php function f() { return 1; }");
+        let key = SummaryKey::new(&f, &[]);
+        assert!(sums.get(&key).is_none());
+        sums.insert(
+            key.clone(),
+            SharedSummary {
+                work: 3,
+                calls: vec![],
+            },
+        );
+        assert!(sums.get(&key).is_some());
+        // The same tool name maps to the same cache.
+        assert!(Arc::ptr_eq(&sums, &caches.summaries_for("phpSAFE")));
+
+        let mut stats = EngineStats::default();
+        caches.record(&mut stats);
+        assert_eq!(stats.parse_cache.hits, 1);
+        assert_eq!(stats.summary_cache.lookups(), 2);
+        assert!(stats.stages.lex + stats.stages.parse > Duration::ZERO);
+    }
+}

@@ -81,7 +81,11 @@ functions: {functions} · classes: {classes} · never-called callables: {uncalle
         uncalled = outcome.stats.uncalled_functions,
     );
 
-    let failed: Vec<_> = outcome.files.iter().filter(|f| f.failure.is_some()).collect();
+    let failed: Vec<_> = outcome
+        .files
+        .iter()
+        .filter(|f| f.failure.is_some())
+        .collect();
     if !failed.is_empty() {
         h.push_str("<h2>Files not analyzed</h2>\n<ul>\n");
         for f in failed {
@@ -159,8 +163,14 @@ mod tests {
     #[test]
     fn report_is_not_itself_injectable() {
         let html = render_html(&outcome_with_payload());
-        assert!(!html.contains("<script>alert"), "plugin name must be escaped");
-        assert!(!html.contains("<img onerror"), "payload in var must be escaped");
+        assert!(
+            !html.contains("<script>alert"),
+            "plugin name must be escaped"
+        );
+        assert!(
+            !html.contains("<img onerror"),
+            "payload in var must be escaped"
+        );
         assert!(html.contains("&lt;script&gt;"));
     }
 

@@ -105,7 +105,9 @@ impl Visitor for FileScan {
                         self.visit_stmt(s);
                     }
                 }
-                php_ast::ClassMember::Property { default: Some(d), .. } => self.visit_expr(d),
+                php_ast::ClassMember::Property {
+                    default: Some(d), ..
+                } => self.visit_expr(d),
                 php_ast::ClassMember::Const { value, .. } => self.visit_expr(value),
                 _ => {}
             }
@@ -232,7 +234,11 @@ mod tests {
     fn inventory_collects_symbols_per_file() {
         let inv = inspect(&project());
         assert_eq!(inv.files.len(), 2);
-        let lib = inv.files.iter().find(|f| f.path == "includes/lib.php").unwrap();
+        let lib = inv
+            .files
+            .iter()
+            .find(|f| f.path == "includes/lib.php")
+            .unwrap();
         assert_eq!(lib.functions, vec!["helper".to_string()]);
         let main = inv.files.iter().find(|f| f.path == "main.php").unwrap();
         assert_eq!(main.functions, vec!["used".to_string()]);
@@ -245,10 +251,7 @@ mod tests {
     #[test]
     fn include_edges_resolve() {
         let inv = inspect(&project());
-        assert_eq!(
-            inv.include_edges(),
-            vec![("main.php", "includes/lib.php")]
-        );
+        assert_eq!(inv.include_edges(), vec![("main.php", "includes/lib.php")]);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //!   behaviour the paper measured.
 
 use crate::analyzer::AnalyzerOptions;
+use crate::caching::{shareable_calls, SharedSummary, SummaryCache, SummaryKey};
 use crate::report::{numeric_intent, Vulnerability};
 use crate::symbols::{FnRef, SymbolTable};
 use crate::taint::{Taint, TraceStep, VarState};
@@ -29,6 +30,7 @@ use php_ast::{
     Span, Stmt,
 };
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use taint_config::{SourceKind, TaintConfig, VulnClass};
 
 /// One execution scope (the global scope or a function/method body).
@@ -73,7 +75,10 @@ pub(crate) struct Interp<'a> {
     opts: &'a AnalyzerOptions,
     syms: &'a SymbolTable,
     project: &'a PluginProject,
-    parsed: &'a HashMap<String, ParsedFile>,
+    parsed: &'a HashMap<String, Arc<ParsedFile>>,
+    /// Cross-run pure-leaf summaries shared through the engine caches
+    /// (`None` in plain serial mode).
+    shared: Option<Arc<SummaryCache>>,
 
     pub(crate) vulns: Vec<Vulnerability>,
     memo: HashMap<CallKey, CallResult>,
@@ -95,7 +100,8 @@ impl<'a> Interp<'a> {
         opts: &'a AnalyzerOptions,
         syms: &'a SymbolTable,
         project: &'a PluginProject,
-        parsed: &'a HashMap<String, ParsedFile>,
+        parsed: &'a HashMap<String, Arc<ParsedFile>>,
+        shared: Option<Arc<SummaryCache>>,
     ) -> Self {
         Interp {
             cfg,
@@ -103,6 +109,7 @@ impl<'a> Interp<'a> {
             syms,
             project,
             parsed,
+            shared,
             vulns: Vec::new(),
             memo: HashMap::new(),
             in_progress: HashSet::new(),
@@ -561,7 +568,12 @@ impl<'a> Interp<'a> {
                         TraceStep {
                             file: self.current_file().to_string(),
                             line: span.line,
-                            what: format!("{} {} {}", print_expr(target), op.symbol(), print_expr(value)),
+                            what: format!(
+                                "{} {} {}",
+                                print_expr(target),
+                                op.symbol(),
+                                print_expr(value)
+                            ),
                         },
                         self.opts.trace_limit,
                     );
@@ -853,10 +865,7 @@ impl<'a> Interp<'a> {
                         None => return,
                     },
                 };
-                let entry = self
-                    .class_props
-                    .entry((key_class, pname))
-                    .or_default();
+                let entry = self.class_props.entry((key_class, pname)).or_default();
                 let joined = std::mem::take(entry).join(&st, self.opts.trace_limit);
                 *entry = joined;
             }
@@ -865,10 +874,7 @@ impl<'a> Interp<'a> {
                     return;
                 }
                 let class = self.resolve_class_name(class, f);
-                let entry = self
-                    .class_props
-                    .entry((class, prop.clone()))
-                    .or_default();
+                let entry = self.class_props.entry((class, prop.clone())).or_default();
                 let joined = std::mem::take(entry).join(&st, self.opts.trace_limit);
                 *entry = joined;
             }
@@ -908,15 +914,7 @@ impl<'a> Interp<'a> {
                 match name.as_name() {
                     Some(n) => {
                         let n = n.to_string();
-                        self.dispatch_named_call(
-                            Some(class),
-                            &n,
-                            args,
-                            arg_states,
-                            span,
-                            f,
-                            None,
-                        )
+                        self.dispatch_named_call(Some(class), &n, args, arg_states, span, f, None)
                     }
                     None => self.join_all(&arg_states),
                 }
@@ -1173,11 +1171,45 @@ impl<'a> Interp<'a> {
             // called recursively are parsed only once").
             return VarState::clean();
         }
-        if self.opts.summaries && !force {
-            if let Some(hit) = self.memo.get(&key) {
-                return hit.ret.clone();
+        // Cross-run sharing: consult the engine's summary cache after the
+        // intra-run memo (memo-first keeps cached and uncached runs in
+        // lockstep) and remember where to store a fresh summary. A `force`
+        // call (the uncalled sweep) skips the memo but may still replay a
+        // shared summary: one exists only if executing the body would be
+        // observationally silent anyway.
+        let mut shared_slot: Option<(Arc<SummaryCache>, SummaryKey, Vec<String>)> = None;
+        if self.opts.summaries {
+            if !force {
+                if let Some(hit) = self.memo.get(&key) {
+                    return hit.ret.clone();
+                }
+            }
+            if this_class.is_none() {
+                if let Some(cache) = self.shared.clone() {
+                    if let Some(calls) = shareable_calls(decl) {
+                        let skey = SummaryKey::new(decl, &arg_states);
+                        if let Some(sum) = cache.get(&skey) {
+                            // Replay only if the recorded built-in calls are
+                            // still unshadowed here and spending the stored
+                            // work cannot trip this entry's budget (a
+                            // borderline run executes for real instead).
+                            let applies = sum.calls.iter().all(|n| self.syms.function(n).is_none())
+                                && self.work + sum.work <= self.opts.work_limit;
+                            if applies {
+                                self.work += sum.work;
+                                let ret = VarState::clean();
+                                self.memo.insert(key, CallResult { ret: ret.clone() });
+                                return ret;
+                            }
+                        }
+                        shared_slot = Some((cache, skey, calls));
+                    }
+                }
             }
         }
+        let vulns_before = self.vulns.len();
+        let work_before = self.work;
+        let failed_before = self.failed.is_some();
         self.in_progress.insert(key.clone());
 
         let mut frame = Frame {
@@ -1204,6 +1236,25 @@ impl<'a> Interp<'a> {
         self.in_progress.remove(&key);
         if self.opts.summaries {
             self.memo.insert(key, CallResult { ret: ret.clone() });
+        }
+        if let Some((cache, skey, calls)) = shared_slot {
+            // Record for other runs only when the execution was fully
+            // inert: nothing reported, a clean return, no budget failure,
+            // and every called name resolved to a built-in.
+            let inert = self.vulns.len() == vulns_before
+                && ret == VarState::clean()
+                && !failed_before
+                && self.failed.is_none()
+                && calls.iter().all(|n| self.syms.function(n).is_none());
+            if inert {
+                cache.insert(
+                    skey,
+                    SharedSummary {
+                        work: self.work - work_before,
+                        calls,
+                    },
+                );
+            }
         }
         ret
     }

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod analyzer;
+pub mod caching;
 mod html;
 mod inspect;
 mod interp;
@@ -47,6 +48,7 @@ pub mod symbols;
 pub mod taint;
 
 pub use analyzer::{AnalyzerOptions, PhpSafe};
+pub use caching::EngineCaches;
 pub use html::{escape_html, render_html};
 pub use inspect::{inspect, FileInventory, Inspection};
 pub use project::{PluginProject, SourceFile};

@@ -257,7 +257,10 @@ mod tests {
     #[test]
     fn collects_functions_and_classes_across_files() {
         let t = table(&[
-            ("a.php", "<?php function alpha() {} class Widget { function render() {} }"),
+            (
+                "a.php",
+                "<?php function alpha() {} class Widget { function render() {} }",
+            ),
             ("b.php", "<?php function beta() { alpha(); }"),
         ]);
         assert!(t.function("alpha").is_some());

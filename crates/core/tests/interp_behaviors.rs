@@ -117,7 +117,10 @@ fn switch_branches_join() {
 
 #[test]
 fn while_loop_body_executes() {
-    assert_eq!(count("<?php while ($i < 3) { echo $_COOKIE['c']; $i++; }"), 1);
+    assert_eq!(
+        count("<?php while ($i < 3) { echo $_COOKIE['c']; $i++; }"),
+        1
+    );
 }
 
 #[test]
@@ -127,7 +130,10 @@ fn do_while_executes_body() {
 
 #[test]
 fn for_loop_executes_body() {
-    assert_eq!(count("<?php for ($i = 0; $i < 2; $i++) { echo $_GET['q']; }"), 1);
+    assert_eq!(
+        count("<?php for ($i = 0; $i < 2; $i++) { echo $_GET['q']; }"),
+        1
+    );
 }
 
 #[test]
@@ -167,12 +173,18 @@ fn array_element_write_taints_container() {
 
 #[test]
 fn array_push_syntax_taints() {
-    assert_eq!(count("<?php $a = array(); $a[] = $_POST['v']; foreach ($a as $x) echo $x;"), 1);
+    assert_eq!(
+        count("<?php $a = array(); $a[] = $_POST['v']; foreach ($a as $x) echo $x;"),
+        1
+    );
 }
 
 #[test]
 fn array_literal_with_tainted_member() {
-    assert_eq!(count("<?php $a = array('k' => $_GET['v']); echo $a['k'];"), 1);
+    assert_eq!(
+        count("<?php $a = array('k' => $_GET['v']); echo $a['k'];"),
+        1
+    );
 }
 
 #[test]
@@ -597,7 +609,10 @@ fn parse_str_fills_output_argument() {
         count("<?php parse_str($_SERVER['QUERY_STRING'], $params); echo $params['q'];"),
         1
     );
-    assert_eq!(count("<?php parse_str('a=1&b=2', $params); echo $params['a'];"), 0);
+    assert_eq!(
+        count("<?php parse_str('a=1&b=2', $params); echo $params['a'];"),
+        0
+    );
 }
 
 #[test]
@@ -648,9 +663,8 @@ fn work_scales_roughly_linearly_with_code_size() {
 fn summaries_bound_repeated_call_cost() {
     // 200 calls to the same function with the same taint signature must
     // not cost 200 body analyses.
-    let mut src = String::from(
-        "<?php function body($v) { $a = $v . 'x'; $b = $a . 'y'; return $b; }\n",
-    );
+    let mut src =
+        String::from("<?php function body($v) { $a = $v . 'x'; $b = $a . 'y'; return $b; }\n");
     for _ in 0..200 {
         src.push_str("body('k');\n");
     }
@@ -662,7 +676,8 @@ fn summaries_bound_repeated_call_cost() {
             ..AnalyzerOptions::default()
         })
         .analyze(&p)
-        .stats.work_units;
+        .stats
+        .work_units;
     assert!(
         without > with * 2,
         "re-analysis must dominate: with={with} without={without}"

@@ -87,9 +87,9 @@ fn r(range: std::ops::Range<usize>) -> Vec<usize> {
 }
 
 fn rows() -> Vec<Row> {
+    use crate::spec::Placement as L;
     use Pattern as P;
     use SourceKind as SK;
-    use crate::spec::Placement as L;
     let row = |pattern, n12, n14, carried, members12: Vec<usize>, members14: Vec<usize>| Row {
         pattern,
         n12,
@@ -100,19 +100,89 @@ fn rows() -> Vec<Row> {
     };
     vec![
         // ---- ground-truth positives ----
-        row(P::XssEchoDirect(SK::Get, L::TopLevel), 32, 33, 14, r(G2_LEGACY), r(10..16)),
-        row(P::XssEchoDirect(SK::Get, L::FreeFn), 30, 38, 16, r(G3_HOOK), r(G3_HOOK)),
-        row(P::XssEchoDirect(SK::Get, L::Method), 18, 19, 12, r(G1_OOP), r(G1_OOP)),
+        row(
+            P::XssEchoDirect(SK::Get, L::TopLevel),
+            32,
+            33,
+            14,
+            r(G2_LEGACY),
+            r(10..16),
+        ),
+        row(
+            P::XssEchoDirect(SK::Get, L::FreeFn),
+            30,
+            38,
+            16,
+            r(G3_HOOK),
+            r(G3_HOOK),
+        ),
+        row(
+            P::XssEchoDirect(SK::Get, L::Method),
+            18,
+            19,
+            12,
+            r(G1_OOP),
+            r(G1_OOP),
+        ),
         row(P::XssIncludeSplit, 8, 12, 5, r(G3_PROC), r(G3_PROC)),
-        row(P::XssEchoDirect(SK::Post, L::FreeFn), 10, 20, 8, r(G3_HOOK), r(G3_HOOK)),
-        row(P::XssEchoDirect(SK::Post, L::Method), 12, 23, 12, r(G1_OOP), r(G1_OOP)),
-        row(P::XssEchoDirect(SK::Request, L::FreeFn), 6, 25, 6, r(G3_HOOK), r(G3_HOOK)),
-        row(P::XssEchoDirect(SK::Cookie, L::TopLevel), 8, 28, 8, r(G5_OOP), r(G5_OOP)),
-        row(P::XssRegisterGlobals, 10, 4, 2, r(G2_LEGACY), r(G2_CLEAN_2014)),
+        row(
+            P::XssEchoDirect(SK::Post, L::FreeFn),
+            10,
+            20,
+            8,
+            r(G3_HOOK),
+            r(G3_HOOK),
+        ),
+        row(
+            P::XssEchoDirect(SK::Post, L::Method),
+            12,
+            23,
+            12,
+            r(G1_OOP),
+            r(G1_OOP),
+        ),
+        row(
+            P::XssEchoDirect(SK::Request, L::FreeFn),
+            6,
+            25,
+            6,
+            r(G3_HOOK),
+            r(G3_HOOK),
+        ),
+        row(
+            P::XssEchoDirect(SK::Cookie, L::TopLevel),
+            8,
+            28,
+            8,
+            r(G5_OOP),
+            r(G5_OOP),
+        ),
+        row(
+            P::XssRegisterGlobals,
+            10,
+            4,
+            2,
+            r(G2_LEGACY),
+            r(G2_CLEAN_2014),
+        ),
         row(P::XssWpdbOop, 130, 155, 80, r(G1_OOP), r(G1_OOP_2014)),
         row(P::XssWpdbTop, 13, 15, 6, r(G1_OOP), r(G1_OOP_2014)),
-        row(P::SqliWpdb(L::Method), 8, 9, 4, r(G1_SQLI_2012), r(G1_SQLI_2014)),
-        row(P::XssDbLegacy(L::TopLevel), 3, 10, 1, r(G2_LEGACY), r(G2_OOPIFIED)),
+        row(
+            P::SqliWpdb(L::Method),
+            8,
+            9,
+            4,
+            r(G1_SQLI_2012),
+            r(G1_SQLI_2014),
+        ),
+        row(
+            P::XssDbLegacy(L::TopLevel),
+            3,
+            10,
+            1,
+            r(G2_LEGACY),
+            r(G2_OOPIFIED),
+        ),
         row(P::XssDbOption(L::TopLevel), 0, 3, 0, r(G5_MISC), r(G5_MISC)),
         row(
             P::XssFileSource(L::TopLevel),
@@ -127,14 +197,42 @@ fn rows() -> Vec<Row> {
             r(G5_OOP),
         ),
         row(P::XssFileSource(L::FreeFn), 8, 2, 2, r(G3_HOOK), r(G3_HOOK)),
-        row(P::XssFunctionSource(L::FreeFn), 21, 5, 5, r(G5_MISC), r(G5_MISC)),
+        row(
+            P::XssFunctionSource(L::FreeFn),
+            21,
+            5,
+            5,
+            r(G5_MISC),
+            r(G5_MISC),
+        ),
         // ---- false-positive bait (ground-truth negatives) ----
-        row(P::FpGuardedEcho(L::TopLevel), 18, 9, 0, r(G3_PROC), r(G3_PROC)),
-        row(P::FpCustomClean(L::TopLevel), 15, 8, 0, r(G3_PROC), r(G3_PROC)),
+        row(
+            P::FpGuardedEcho(L::TopLevel),
+            18,
+            9,
+            0,
+            r(G3_PROC),
+            r(G3_PROC),
+        ),
+        row(
+            P::FpCustomClean(L::TopLevel),
+            15,
+            8,
+            0,
+            r(G3_PROC),
+            r(G3_PROC),
+        ),
         row(P::FpGuardedEcho(L::Method), 17, 22, 0, r(G1_OOP), r(G1_OOP)),
         row(P::FpCustomClean(L::Method), 13, 18, 0, r(G1_OOP), r(G1_OOP)),
         row(P::FpEscapedWp(L::TopLevel), 44, 65, 0, r(G5_OOP), r(G5_OOP)),
-        row(P::FpUndefinedEcho, 160, 195, 0, r(G2_LEGACY), r(G2_CLEAN_2014)),
+        row(
+            P::FpUndefinedEcho,
+            160,
+            195,
+            0,
+            r(G2_LEGACY),
+            r(G2_CLEAN_2014),
+        ),
         row(P::FpSqliGuarded, 2, 5, 0, r(G1_SQLI_2012), r(G1_SQLI_2014)),
         row(P::FpSqliLegacyWp, 0, 1, 0, vec![2], vec![2]),
         row(P::SafeSanitized, 20, 30, 0, r(G5_MISC), r(G5_MISC)),
@@ -214,10 +312,7 @@ pub fn catalog() -> Vec<PluginSpec> {
         .iter()
         .enumerate()
         .map(|(i, name)| {
-            let style = if G1_OOP.contains(&i)
-                || (18..22).contains(&i)
-                || G5_OOP.contains(&i)
-            {
+            let style = if G1_OOP.contains(&i) || (18..22).contains(&i) || G5_OOP.contains(&i) {
                 Style::Oop
             } else {
                 Style::Procedural
@@ -290,8 +385,14 @@ mod tests {
                 .map(|pc| pc.for_version(v))
                 .sum()
         };
-        let n2012 = cat.iter().filter(|p| oop_vulns(p, Version::V2012) > 0).count();
-        let n2014 = cat.iter().filter(|p| oop_vulns(p, Version::V2014) > 0).count();
+        let n2012 = cat
+            .iter()
+            .filter(|p| oop_vulns(p, Version::V2012) > 0)
+            .count();
+        let n2014 = cat
+            .iter()
+            .filter(|p| oop_vulns(p, Version::V2014) > 0)
+            .count();
         assert_eq!(n2012, 10, "paper: OOP vulns in 10 plugins (2012)");
         assert_eq!(n2014, 7, "paper: OOP vulns in 7 plugins (2014)");
         let t2012: u32 = cat.iter().map(|p| oop_vulns(p, Version::V2012)).sum();

@@ -91,9 +91,15 @@ const TEXT_NAMES: [&str; 8] = [
 /// vulnerable variables are numeric-intent, per the paper.
 pub fn pick_name(ordinal: u32) -> (&'static str, bool) {
     if ordinal % 13 < 5 {
-        (NUMERIC_NAMES[(ordinal as usize / 13) % NUMERIC_NAMES.len()], true)
+        (
+            NUMERIC_NAMES[(ordinal as usize / 13) % NUMERIC_NAMES.len()],
+            true,
+        )
     } else {
-        (TEXT_NAMES[(ordinal as usize / 13) % TEXT_NAMES.len()], false)
+        (
+            TEXT_NAMES[(ordinal as usize / 13) % TEXT_NAMES.len()],
+            false,
+        )
     }
 }
 
@@ -199,7 +205,9 @@ pub fn emit(
         }
         Pattern::XssRegisterGlobals => {
             // 2012-era code relying on register_globals defaults.
-            b.push(format!("if (!isset({v})) {{ /* expects register_globals default */ }}"));
+            b.push(format!(
+                "if (!isset({v})) {{ /* expects register_globals default */ }}"
+            ));
             let line = b.push(format!("echo '<a href=\"?o=' . {v} . '\">order</a>';"));
             b.blank();
             ctx.record(id, pattern, &file, line, carried, numeric);
@@ -234,30 +242,28 @@ pub fn emit(
             ctx.record(id, pattern, &file, line, carried, numeric);
             line
         }
-        Pattern::SqliWpdb(placement) => {
-            match placement {
-                Placement::TopLevel => {
-                    b.push(format!("{v} = $_GET['{key}'];"));
-                    let line = b.push(format!(
-                        "$wpdb->query(\"DELETE FROM {{$wpdb->prefix}}{key} WHERE id = {v}\");"
-                    ));
-                    b.blank();
-                    ctx.record(id, pattern, &file, line, carried, numeric);
-                    line
-                }
-                _ => {
-                    b.push(format!("{method_vis}function purge_{key}() {{"));
-                    b.push(format!("{pad}    global $wpdb;"));
-                    b.push(format!("{pad}    {v} = $_GET['{key}'];"));
-                    let line = b.push(format!(
-                        "{pad}    $wpdb->query(\"DELETE FROM {{$wpdb->prefix}}{key} WHERE id = {v}\");"
-                    ));
-                    b.push(format!("{pad}}}"));
-                    ctx.record(id, pattern, &file, line, carried, numeric);
-                    line
-                }
+        Pattern::SqliWpdb(placement) => match placement {
+            Placement::TopLevel => {
+                b.push(format!("{v} = $_GET['{key}'];"));
+                let line = b.push(format!(
+                    "$wpdb->query(\"DELETE FROM {{$wpdb->prefix}}{key} WHERE id = {v}\");"
+                ));
+                b.blank();
+                ctx.record(id, pattern, &file, line, carried, numeric);
+                line
             }
-        }
+            _ => {
+                b.push(format!("{method_vis}function purge_{key}() {{"));
+                b.push(format!("{pad}    global $wpdb;"));
+                b.push(format!("{pad}    {v} = $_GET['{key}'];"));
+                let line = b.push(format!(
+                    "{pad}    $wpdb->query(\"DELETE FROM {{$wpdb->prefix}}{key} WHERE id = {v}\");"
+                ));
+                b.push(format!("{pad}}}"));
+                ctx.record(id, pattern, &file, line, carried, numeric);
+                line
+            }
+        },
         Pattern::XssDbLegacy(placement) => {
             let emit_body = |b: &mut FileBuilder, indent: &str| -> u32 {
                 b.push(format!(
@@ -266,9 +272,7 @@ pub fn emit(
                 b.push(format!(
                     "{indent}$row_{ordinal} = mysql_fetch_assoc($res_{ordinal});"
                 ));
-                b.push(format!(
-                    "{indent}echo $row_{ordinal}['{base}_label'];"
-                ))
+                b.push(format!("{indent}echo $row_{ordinal}['{base}_label'];"))
             };
             match placement {
                 Placement::TopLevel => {
@@ -295,7 +299,10 @@ pub fn emit(
             }
         }
         Pattern::XssDbOption(_) => {
-            b.push(format!("{v} = get_option('{}_banner_{ordinal}');", ctx.plugin.replace('-', "_")));
+            b.push(format!(
+                "{v} = get_option('{}_banner_{ordinal}');",
+                ctx.plugin.replace('-', "_")
+            ));
             let line = b.push(format!("echo '<div class=\"banner\">' . {v} . '</div>';"));
             b.blank();
             ctx.record(id, pattern, &file, line, carried, numeric);
@@ -304,7 +311,9 @@ pub fn emit(
         Pattern::XssFileSource(placement) => {
             let emit_body = |b: &mut FileBuilder, indent: &str| -> u32 {
                 b.push(format!("$fp_{ordinal} = fopen('data/{key}.txt', 'r');"));
-                b.push(format!("{indent}$res_{ordinal} = fgets($fp_{ordinal}, 128);"));
+                b.push(format!(
+                    "{indent}$res_{ordinal} = fgets($fp_{ordinal}, 128);"
+                ));
                 b.push(format!("{indent}echo $res_{ordinal};"))
             };
             match placement {
@@ -326,7 +335,10 @@ pub fn emit(
         }
         Pattern::XssFunctionSource(_) => {
             b.push(format!("function env_{key}() {{"));
-            b.push(format!("    $ua_{ordinal} = getenv('HTTP_{}');", key.to_uppercase()));
+            b.push(format!(
+                "    $ua_{ordinal} = getenv('HTTP_{}');",
+                key.to_uppercase()
+            ));
             let line = b.push(format!("    echo '<!-- ' . $ua_{ordinal} . ' -->';"));
             b.push("}");
             b.blank();
@@ -439,18 +451,9 @@ pub fn emit_include_split_view(
     let (base, numeric) = pick_name(ordinal);
     let mut b = FileBuilder::new(format!("views/view_{ordinal}.php"));
     b.push(format!("/* partial view for {base} */"));
-    let line = b.push(format!(
-        "echo '<h2>' . $view_data_{ordinal} . '</h2>';"
-    ));
+    let line = b.push(format!("echo '<h2>' . $view_data_{ordinal} . '</h2>';"));
     let file = b.path().to_string();
-    ctx.record(
-        id,
-        Pattern::XssIncludeSplit,
-        &file,
-        line,
-        carried,
-        numeric,
-    );
+    ctx.record(id, Pattern::XssIncludeSplit, &file, line, carried, numeric);
     b.finish()
 }
 
@@ -459,7 +462,9 @@ pub fn emit_include_split_view(
 pub fn emit_noise(b: &mut FileBuilder, ordinal: u32) {
     let pad = if b.in_class() { "    " } else { "" };
     let vis = if b.in_class() { "    public " } else { "" };
-    b.push(format!("{vis}function util_{ordinal}($a_{ordinal}, $b_{ordinal} = 10) {{"));
+    b.push(format!(
+        "{vis}function util_{ordinal}($a_{ordinal}, $b_{ordinal} = 10) {{"
+    ));
     b.push(format!("{pad}    $t_{ordinal} = date('Y-m-d');"));
     b.push(format!(
         "{pad}    $parts_{ordinal} = array('a' => $a_{ordinal}, 'b' => intval($b_{ordinal}));"
@@ -483,7 +488,9 @@ pub fn emit_plugin_header(b: &mut FileBuilder, name: &str, version: Version) {
     b.push("/*");
     b.push(format!("Plugin Name: {name}"));
     b.push(format!("Version: {ver}"));
-    b.push(format!("Description: Synthetic corpus plugin `{name}` for the phpSAFE reproduction."));
+    b.push(format!(
+        "Description: Synthetic corpus plugin `{name}` for the phpSAFE reproduction."
+    ));
     b.push("Author: corpus-generator");
     b.push("*/");
     b.blank();
@@ -554,7 +561,14 @@ mod tests {
         use crate::spec::{Pattern as P, Placement as L};
         let (file, truth) = ctx_harness(|b, ctx| {
             b.begin_class("Demo_Widget");
-            emit(P::XssEchoDirect(SourceKind::Post, L::Method), "m1", 1, false, b, ctx);
+            emit(
+                P::XssEchoDirect(SourceKind::Post, L::Method),
+                "m1",
+                1,
+                false,
+                b,
+                ctx,
+            );
             emit(P::XssWpdbOop, "m2", 2, false, b, ctx);
             emit(P::SqliWpdb(L::Method), "m3", 3, false, b, ctx);
             b.end_class();
@@ -571,7 +585,14 @@ mod tests {
     fn ground_truth_lines_point_at_sinks() {
         use crate::spec::{Pattern as P, Placement as L};
         let (file, truth) = ctx_harness(|b, ctx| {
-            emit(P::XssEchoDirect(SourceKind::Get, L::TopLevel), "g1", 0, false, b, ctx);
+            emit(
+                P::XssEchoDirect(SourceKind::Get, L::TopLevel),
+                "g1",
+                0,
+                false,
+                b,
+                ctx,
+            );
         });
         assert_eq!(truth.len(), 1);
         let sink_line = truth[0].line as usize;

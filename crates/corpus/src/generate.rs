@@ -57,10 +57,7 @@ impl Corpus {
 
     /// All ground truth entries for a version.
     pub fn truth_for(&self, v: Version) -> Vec<&GroundTruthEntry> {
-        self.plugins
-            .iter()
-            .flat_map(|p| p.truth_for(v))
-            .collect()
+        self.plugins.iter().flat_map(|p| p.truth_for(v)).collect()
     }
 
     /// Total files and LOC for a version (the paper's Table III context
@@ -228,8 +225,7 @@ fn build_version(
                 };
                 if need_new {
                     let k = class_builders.len();
-                    let mut b =
-                        FileBuilder::new(format!("includes/class-module-{k}.php"));
+                    let mut b = FileBuilder::new(format!("includes/class-module-{k}.php"));
                     b.push("/* module class generated for the corpus */");
                     b.begin_class(&format!("{class_base}_Module_{k}"));
                     class_builders.push((b, 0));
@@ -239,7 +235,14 @@ fn build_version(
                 *used += 1;
             }
             Route::IncludeSplit => {
-                emit(inst.pattern, &inst.id, ordinal, inst.carried, &mut main, &mut ctx);
+                emit(
+                    inst.pattern,
+                    &inst.id,
+                    ordinal,
+                    inst.carried,
+                    &mut main,
+                    &mut ctx,
+                );
                 views.push(emit_include_split_view(
                     &inst.id,
                     ordinal,
@@ -382,9 +385,7 @@ fn build_monster(
                 b.push(format!(
                     "$mres_{v_idx} = mysql_query(\"SELECT * FROM archive_{v_idx}\");"
                 ));
-                b.push(format!(
-                    "$mrow_{v_idx} = mysql_fetch_assoc($mres_{v_idx});"
-                ));
+                b.push(format!("$mrow_{v_idx} = mysql_fetch_assoc($mres_{v_idx});"));
                 let line = b.push(format!("echo $mrow_{v_idx}['label_{v_idx}'];"));
                 let file = b.path().to_string();
                 ctx.record(
@@ -464,7 +465,11 @@ mod tests {
             .map(|t| t.id.as_str())
             .collect();
         for t in t14.iter().filter(|t| t.carried) {
-            assert!(ids12.contains(t.id.as_str()), "carried id missing in 2012: {}", t.id);
+            assert!(
+                ids12.contains(t.id.as_str()),
+                "carried id missing in 2012: {}",
+                t.id
+            );
         }
     }
 

@@ -33,6 +33,4 @@ mod spec;
 pub use catalog::{catalog, MONSTER_CARRIED, PLUGIN_NAMES};
 pub use codegen::{emit_noise, emit_plugin_header, FileBuilder};
 pub use generate::{Corpus, GeneratedPlugin};
-pub use spec::{
-    GroundTruthEntry, Pattern, PatternCount, Placement, PluginSpec, Style, Version,
-};
+pub use spec::{GroundTruthEntry, Pattern, PatternCount, Placement, PluginSpec, Style, Version};

@@ -1,0 +1,28 @@
+//! The execution layer of the phpSAFE reproduction: *how* analyses run,
+//! independent of *what* an analysis is.
+//!
+//! The paper's 2015 artifact analyzed one file at a time on one core,
+//! re-parsing every file for every tool even though the 2014 plugin
+//! snapshots carry most 2012 files over unchanged. This crate supplies the
+//! three pieces a production-scale runner needs, with no dependencies on
+//! the analysis crates (they depend on us):
+//!
+//! * [`pool`] — a `std::thread` worker pool that fans jobs out across `N`
+//!   workers and joins results in submission order, so downstream table
+//!   output is byte-identical to a serial run;
+//! * [`cache`] + [`hash`] — content-hash-keyed artifact stores with
+//!   hit/miss counters, used by the analyzer for shared token-stream/AST
+//!   artifacts and per-tool function summaries;
+//! * [`stats`] — the [`EngineStats`] observability record (jobs run, queue
+//!   wait, per-stage wall time, cache hit rates) surfaced by the `repro`
+//!   and `phpsafe` binaries.
+
+pub mod cache;
+pub mod hash;
+pub mod pool;
+pub mod stats;
+
+pub use cache::{ArtifactCache, CacheCounters};
+pub use hash::{fnv1a_64, ContentKey};
+pub use pool::{run_ordered, PoolStats};
+pub use stats::{EngineStats, StageTimes};

@@ -1,0 +1,154 @@
+//! A `std::thread` worker pool with deterministic join order.
+//!
+//! Jobs are pulled from a shared queue by `N` scoped workers; each result
+//! is written into the slot matching its submission index, so
+//! [`run_ordered`] returns outputs in exactly the order the jobs were
+//! passed in — regardless of scheduling. Downstream consumers (the table
+//! renderers) therefore produce byte-identical output at any worker count.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Scheduler-level statistics for one [`run_ordered`] call.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PoolStats {
+    /// Jobs executed.
+    pub jobs_run: u64,
+    /// Workers the pool ran with.
+    pub workers: usize,
+    /// Total time jobs spent queued before a worker picked them up,
+    /// summed across jobs.
+    pub queue_wait: Duration,
+    /// Wall time from submission to the last join.
+    pub wall: Duration,
+}
+
+/// Runs `jobs` on `workers` threads; `run` receives each job plus its
+/// submission index. Results come back in submission order.
+///
+/// With `workers <= 1` the jobs run inline on the calling thread (the
+/// serial mode the Table III timing methodology compares against).
+pub fn run_ordered<I, O, F>(jobs: Vec<I>, workers: usize, run: F) -> (Vec<O>, PoolStats)
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, I) -> O + Sync,
+{
+    let started = Instant::now();
+    let n = jobs.len();
+    let workers = workers.max(1).min(n.max(1));
+
+    if workers == 1 {
+        let mut queue_wait = Duration::ZERO;
+        let outputs: Vec<O> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| {
+                // A job "waits" from submission until it starts running.
+                queue_wait += started.elapsed();
+                run(i, job)
+            })
+            .collect();
+        let stats = PoolStats {
+            jobs_run: n as u64,
+            workers: 1,
+            queue_wait,
+            wall: started.elapsed(),
+        };
+        return (outputs, stats);
+    }
+
+    let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let waited_ns = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().unwrap().pop_front();
+                let Some((idx, item)) = job else { break };
+                waited_ns.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                let out = run(idx, item);
+                *slots[idx].lock().unwrap() = Some(out);
+            });
+        }
+    });
+
+    let outputs: Vec<O> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker completed every dequeued job")
+        })
+        .collect();
+    let stats = PoolStats {
+        jobs_run: n as u64,
+        workers,
+        queue_wait: Duration::from_nanos(waited_ns.load(Ordering::Relaxed)),
+        wall: started.elapsed(),
+    };
+    (outputs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_submission_order() {
+        let jobs: Vec<u64> = (0..64).collect();
+        for workers in [1, 2, 4, 8] {
+            let (out, stats) = run_ordered(jobs.clone(), workers, |i, j| {
+                // Vary per-job latency so fast jobs finish out of order.
+                let spin = (j % 7) * 1000;
+                std::hint::black_box((0..spin).sum::<u64>());
+                (i, j * 2)
+            });
+            assert_eq!(out.len(), 64);
+            for (i, (idx, doubled)) in out.iter().enumerate() {
+                assert_eq!(*idx, i, "workers={workers}");
+                assert_eq!(*doubled, jobs[i] * 2);
+            }
+            assert_eq!(stats.jobs_run, 64);
+        }
+    }
+
+    #[test]
+    fn identical_results_across_worker_counts() {
+        let work = |_, j: u64| j.wrapping_mul(0x9e37).rotate_left(7);
+        let jobs: Vec<u64> = (0..40).collect();
+        let (serial, _) = run_ordered(jobs.clone(), 1, work);
+        for workers in [2, 4, 8] {
+            let (parallel, _) = run_ordered(jobs.clone(), workers, work);
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let (out, stats) = run_ordered(Vec::<u8>::new(), 4, |_, j| j);
+        assert!(out.is_empty());
+        assert_eq!(stats.jobs_run, 0);
+    }
+
+    #[test]
+    fn worker_count_capped_by_jobs() {
+        let (out, stats) = run_ordered(vec![1, 2], 16, |_, j| j);
+        assert_eq!(out, vec![1, 2]);
+        assert!(stats.workers <= 2);
+    }
+
+    #[test]
+    fn queue_wait_accumulates() {
+        let (_, stats) = run_ordered((0..8).collect::<Vec<u64>>(), 2, |_, j| {
+            std::thread::sleep(Duration::from_millis(1));
+            j
+        });
+        // Later jobs waited while earlier ones ran.
+        assert!(stats.queue_wait > Duration::ZERO);
+        assert!(stats.wall > Duration::ZERO);
+    }
+}

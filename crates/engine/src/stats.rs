@@ -1,0 +1,152 @@
+//! Engine observability: what ran, where time went, what the caches did.
+
+use crate::cache::CacheCounters;
+use crate::pool::PoolStats;
+use std::fmt;
+use std::time::Duration;
+
+/// Wall time attributed to each pipeline stage, summed across jobs (on a
+/// multi-worker run the stage times can exceed the wall clock).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StageTimes {
+    /// Tokenization of source files (cache misses only).
+    pub lex: Duration,
+    /// Token-stream-to-AST parsing (cache misses only).
+    pub parse: Duration,
+    /// Taint analysis proper.
+    pub analyze: Duration,
+    /// Oracle verification against ground truth (outside the timed
+    /// Table III region).
+    pub verify: Duration,
+}
+
+impl StageTimes {
+    pub fn merged(&self, other: &StageTimes) -> StageTimes {
+        StageTimes {
+            lex: self.lex + other.lex,
+            parse: self.parse + other.parse,
+            analyze: self.analyze + other.analyze,
+            verify: self.verify + other.verify,
+        }
+    }
+}
+
+/// One engine run's statistics: scheduler, stages and caches.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EngineStats {
+    /// Jobs the scheduler executed.
+    pub jobs_run: u64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Total queue wait, summed across jobs.
+    pub queue_wait: Duration,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// Per-stage attribution.
+    pub stages: StageTimes,
+    /// Shared token-stream/AST cache counters.
+    pub parse_cache: CacheCounters,
+    /// Per-tool function-summary cache counters (summed over tools).
+    pub summary_cache: CacheCounters,
+}
+
+impl EngineStats {
+    /// Folds scheduler-level stats in.
+    pub fn absorb_pool(&mut self, pool: &PoolStats) {
+        self.jobs_run += pool.jobs_run;
+        self.workers = self.workers.max(pool.workers);
+        self.queue_wait += pool.queue_wait;
+        self.wall += pool.wall;
+    }
+}
+
+fn secs(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "engine stats")?;
+        writeln!(
+            f,
+            "  scheduler : {} jobs on {} worker(s), wall {}, queue wait {}",
+            self.jobs_run,
+            self.workers,
+            secs(self.wall),
+            secs(self.queue_wait)
+        )?;
+        writeln!(
+            f,
+            "  stages    : lex {} | parse {} | analyze {} | verify {}",
+            secs(self.stages.lex),
+            secs(self.stages.parse),
+            secs(self.stages.analyze),
+            secs(self.stages.verify)
+        )?;
+        writeln!(
+            f,
+            "  parse cache   : {} hits / {} lookups ({:.1}% hit rate, misses {})",
+            self.parse_cache.hits,
+            self.parse_cache.lookups(),
+            self.parse_cache.hit_rate() * 100.0,
+            self.parse_cache.misses
+        )?;
+        write!(
+            f,
+            "  summary cache : {} hits / {} lookups ({:.1}% hit rate, misses {})",
+            self.summary_cache.hits,
+            self.summary_cache.lookups(),
+            self.summary_cache.hit_rate() * 100.0,
+            self.summary_cache.misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_pool_accumulates() {
+        let mut stats = EngineStats::default();
+        stats.absorb_pool(&PoolStats {
+            jobs_run: 6,
+            workers: 4,
+            queue_wait: Duration::from_millis(10),
+            wall: Duration::from_millis(100),
+        });
+        stats.absorb_pool(&PoolStats {
+            jobs_run: 6,
+            workers: 2,
+            queue_wait: Duration::from_millis(5),
+            wall: Duration::from_millis(50),
+        });
+        assert_eq!(stats.jobs_run, 12);
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.queue_wait, Duration::from_millis(15));
+    }
+
+    #[test]
+    fn display_mentions_cache_hit_rate() {
+        let stats = EngineStats {
+            parse_cache: CacheCounters { hits: 3, misses: 1 },
+            ..EngineStats::default()
+        };
+        let text = stats.to_string();
+        assert!(text.contains("75.0% hit rate"), "{text}");
+        assert!(text.contains("engine stats"));
+    }
+
+    #[test]
+    fn stage_times_merge() {
+        let a = StageTimes {
+            lex: Duration::from_millis(1),
+            parse: Duration::from_millis(2),
+            analyze: Duration::from_millis(3),
+            verify: Duration::from_millis(4),
+        };
+        let m = a.merged(&a);
+        assert_eq!(m.lex, Duration::from_millis(2));
+        assert_eq!(m.verify, Duration::from_millis(8));
+    }
+}

@@ -4,9 +4,9 @@
 //! automated version of the paper's manual exploit confirmation, and a
 //! validity check on the corpus itself.
 
-use phpsafe_corpus::{Corpus, Version};
 use php_exec::{attack_surface, confirm_vulnerability, Confirmation};
 use phpsafe::Vulnerability;
+use phpsafe_corpus::{Corpus, Version};
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use taint_config::{SourceKind, VulnClass};
@@ -128,7 +128,11 @@ pub fn confirmation_report(corpus: &Corpus) -> String {
         if !unconfirmed.is_empty() {
             let mut list: Vec<&str> = unconfirmed.into_iter().collect();
             list.sort_unstable();
-            let _ = writeln!(out, "  plugins with unconfirmed groups: {}", list.join(", "));
+            let _ = writeln!(
+                out,
+                "  plugins with unconfirmed groups: {}",
+                list.join(", ")
+            );
         }
     }
     out

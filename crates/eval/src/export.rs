@@ -23,9 +23,7 @@ pub fn table1_csv(e: &Evaluation, mode: RecallMode) -> String {
                 (None, "global"),
             ] {
                 let m = e.metrics(tool, version, class, mode);
-                let fmt = |v: Option<f64>| {
-                    v.map(|x| format!("{x:.4}")).unwrap_or_default()
-                };
+                let fmt = |v: Option<f64>| v.map(|x| format!("{x:.4}")).unwrap_or_default();
                 let _ = writeln!(
                     out,
                     "{tool},{},{label},{},{},{},{},{},{}",

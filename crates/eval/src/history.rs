@@ -51,10 +51,7 @@ pub fn evolution(corpus: &Corpus) -> Vec<PluginEvolution> {
         .plugins()
         .iter()
         .map(|p| {
-            let ids12: HashSet<&str> = p
-                .truth_for(Version::V2012)
-                .map(|t| t.id.as_str())
-                .collect();
+            let ids12: HashSet<&str> = p.truth_for(Version::V2012).map(|t| t.id.as_str()).collect();
             let t14: Vec<_> = p.truth_for(Version::V2014).collect();
             let carried = t14.iter().filter(|t| ids12.contains(t.id.as_str())).count();
             PluginEvolution {
@@ -84,7 +81,12 @@ pub fn evolution_report(corpus: &Corpus) -> String {
         let _ = writeln!(
             out,
             "{:22}|{:>6}|{:>6}|{:>6}|{:>8}|{:>11}|{:>+5}",
-            r.plugin, r.vulns_2012, r.vulns_2014, r.fixed, r.carried, r.introduced,
+            r.plugin,
+            r.vulns_2012,
+            r.vulns_2014,
+            r.fixed,
+            r.carried,
+            r.introduced,
             r.net_change()
         );
     }
@@ -145,7 +147,10 @@ mod tests {
         // The paper's trend: vulnerability counts increase over time.
         let worsened = rows().iter().filter(|r| r.net_change() > 0).count();
         let improved = rows().iter().filter(|r| r.improved()).count();
-        assert!(worsened > improved, "worsened {worsened} vs improved {improved}");
+        assert!(
+            worsened > improved,
+            "worsened {worsened} vs improved {improved}"
+        );
     }
 
     #[test]

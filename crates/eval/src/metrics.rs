@@ -111,7 +111,10 @@ mod tests {
             for fp in 0..6 {
                 for fn_ in 0..6 {
                     let m = Metrics::new(tp, fp, fn_);
-                    for v in [m.precision(), m.recall(), m.f_score()].into_iter().flatten() {
+                    for v in [m.precision(), m.recall(), m.f_score()]
+                        .into_iter()
+                        .flatten()
+                    {
                         assert!((0.0..=1.0).contains(&v));
                     }
                 }

@@ -4,11 +4,12 @@
 
 use crate::metrics::{Metrics, RecallMode};
 use crate::oracle::{verify, MatchResult};
-use phpsafe::{FileFailure, Vulnerability};
+use phpsafe::{AnalysisOutcome, EngineCaches, FileFailure, Vulnerability};
 use phpsafe_baselines::paper_tools;
 use phpsafe_corpus::{Corpus, GroundTruthEntry, Version};
+use phpsafe_engine::{run_ordered, EngineStats};
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use taint_config::VulnClass;
 
 /// The three tool names, in the paper's column order.
@@ -48,45 +49,133 @@ impl Evaluation {
         Self::run_with(Corpus::generate())
     }
 
-    /// Runs all tools over a prepared corpus.
+    /// Runs all tools over a prepared corpus, serially and uncached — the
+    /// Table III timing methodology (each tool meets each plugin cold).
     pub fn run_with(corpus: Corpus) -> Evaluation {
         let mut cells = Vec::new();
         for tool in paper_tools() {
             for version in Version::ALL {
-                let mut cell = ToolCell {
-                    tool: tool.name().to_string(),
-                    version,
-                    detected: HashSet::new(),
-                    false_positives: Vec::new(),
-                    seconds: 0.0,
-                    failed_resource: 0,
-                    failed_unsupported: 0,
-                    work_units: 0,
-                };
+                // The clock covers only the analyses; oracle verification
+                // is evaluation bookkeeping the paper's timings exclude.
                 let start = Instant::now();
-                for plugin in corpus.plugins() {
-                    let outcome = tool.analyze(plugin.project(version));
-                    let truth: Vec<&GroundTruthEntry> = plugin.truth_for(version).collect();
-                    let MatchResult {
-                        detected,
-                        false_positives,
-                    } = verify(&outcome, &truth);
-                    cell.detected.extend(detected);
-                    cell.false_positives.extend(false_positives);
-                    for f in &outcome.files {
-                        match &f.failure {
-                            Some(FileFailure::ResourceLimit(_)) => cell.failed_resource += 1,
-                            Some(FileFailure::Unsupported(_)) => cell.failed_unsupported += 1,
-                            None => {}
-                        }
-                    }
-                    cell.work_units += outcome.stats.work_units;
-                }
-                cell.seconds = start.elapsed().as_secs_f64();
+                let outcomes: Vec<AnalysisOutcome> = corpus
+                    .plugins()
+                    .iter()
+                    .map(|plugin| tool.analyze(plugin.project(version)))
+                    .collect();
+                let seconds = start.elapsed().as_secs_f64();
+                let mut cell = Self::fold_cell(&corpus, tool.name(), version, &outcomes);
+                cell.seconds = seconds;
                 cells.push(cell);
             }
         }
         Evaluation { corpus, cells }
+    }
+
+    /// Generates the corpus and runs the engine-scheduled evaluation on
+    /// `jobs` workers.
+    pub fn run_engine(jobs: usize) -> (Evaluation, EngineStats) {
+        Self::run_engine_with(Corpus::generate(), jobs)
+    }
+
+    /// Runs all tools over a prepared corpus through the
+    /// [`phpsafe_engine`] worker pool, sharing one parse cache across the
+    /// 3 tools × 2 versions and a per-tool summary cache across plugins
+    /// and versions.
+    ///
+    /// Jobs are `(tool, version, plugin)` triples; results are joined in
+    /// submission order, so the produced cells — and everything rendered
+    /// from them except wall-clock seconds — are identical to
+    /// [`Evaluation::run_with`] at any worker count. Each cell's `seconds`
+    /// is the summed analysis time of its 35 jobs (per-cell wall clock is
+    /// meaningless when cells interleave across workers).
+    pub fn run_engine_with(corpus: Corpus, jobs: usize) -> (Evaluation, EngineStats) {
+        let tools = paper_tools();
+        let caches = EngineCaches::new();
+
+        // Submission order = cell order = the serial loop's order.
+        let mut specs: Vec<(usize, Version, usize)> = Vec::new();
+        for t in 0..tools.len() {
+            for version in Version::ALL {
+                for p in 0..corpus.plugins().len() {
+                    specs.push((t, version, p));
+                }
+            }
+        }
+
+        let (results, pool) = run_ordered(specs, jobs, |_, (t, version, p)| {
+            let plugin = &corpus.plugins()[p];
+            let started = Instant::now();
+            let outcome = tools[t].analyze_cached(plugin.project(version), &caches);
+            (outcome, started.elapsed())
+        });
+
+        let mut stats = EngineStats::default();
+        stats.absorb_pool(&pool);
+        caches.record(&mut stats);
+
+        // Verification runs after the pool has drained — outside both the
+        // per-cell timings and the engine's analyze stage.
+        let verify_started = Instant::now();
+        let mut cells = Vec::new();
+        let mut results = results.into_iter();
+        for tool in &tools {
+            for version in Version::ALL {
+                let mut outcomes = Vec::with_capacity(corpus.plugins().len());
+                let mut analyze_time = Duration::ZERO;
+                for _ in 0..corpus.plugins().len() {
+                    let (outcome, spent) = results.next().expect("one result per job");
+                    outcomes.push(outcome);
+                    analyze_time += spent;
+                }
+                let mut cell = Self::fold_cell(&corpus, tool.name(), version, &outcomes);
+                cell.seconds = analyze_time.as_secs_f64();
+                stats.stages.analyze += analyze_time;
+                cells.push(cell);
+            }
+        }
+        stats.stages.verify += verify_started.elapsed();
+
+        (Evaluation { corpus, cells }, stats)
+    }
+
+    /// Oracle-verifies one (tool, version) run and aggregates its cell.
+    /// `outcomes` must be in corpus plugin order. Leaves `seconds` at zero
+    /// for the caller to fill in.
+    fn fold_cell(
+        corpus: &Corpus,
+        tool: &str,
+        version: Version,
+        outcomes: &[AnalysisOutcome],
+    ) -> ToolCell {
+        let mut cell = ToolCell {
+            tool: tool.to_string(),
+            version,
+            detected: HashSet::new(),
+            false_positives: Vec::new(),
+            seconds: 0.0,
+            failed_resource: 0,
+            failed_unsupported: 0,
+            work_units: 0,
+        };
+        for (plugin, outcome) in corpus.plugins().iter().zip(outcomes) {
+            let truth: Vec<&GroundTruthEntry> = plugin.truth_for(version).collect();
+            let MatchResult {
+                detected,
+                false_positives,
+            } = verify(outcome, &truth);
+            cell.detected.extend(detected);
+            cell.false_positives.extend(false_positives);
+            for f in &outcome.files {
+                match &f.failure {
+                    Some(FileFailure::ResourceLimit(_)) => cell.failed_resource += 1,
+                    Some(FileFailure::Unsupported(_)) => cell.failed_unsupported += 1,
+                    None => {}
+                }
+            }
+            cell.work_units += outcome.stats.work_units;
+        }
+        cell
     }
 
     /// The corpus analyzed.
@@ -143,7 +232,10 @@ impl Evaluation {
             .iter()
             .filter(|id| match class {
                 None => true,
-                Some(c) => truth.get(id.as_str()).map(|t| t.class == c).unwrap_or(false),
+                Some(c) => truth
+                    .get(id.as_str())
+                    .map(|t| t.class == c)
+                    .unwrap_or(false),
             })
             .map(|s| s.as_str())
             .collect()
@@ -215,9 +307,24 @@ mod tests {
     fn only_phpsafe_finds_sqli_true_positives() {
         let e = eval();
         for v in Version::ALL {
-            let p = e.metrics("phpSAFE", v, Some(VulnClass::Sqli), RecallMode::FullGroundTruth);
-            let r = e.metrics("RIPS", v, Some(VulnClass::Sqli), RecallMode::FullGroundTruth);
-            let x = e.metrics("Pixy", v, Some(VulnClass::Sqli), RecallMode::FullGroundTruth);
+            let p = e.metrics(
+                "phpSAFE",
+                v,
+                Some(VulnClass::Sqli),
+                RecallMode::FullGroundTruth,
+            );
+            let r = e.metrics(
+                "RIPS",
+                v,
+                Some(VulnClass::Sqli),
+                RecallMode::FullGroundTruth,
+            );
+            let x = e.metrics(
+                "Pixy",
+                v,
+                Some(VulnClass::Sqli),
+                RecallMode::FullGroundTruth,
+            );
             assert!(p.tp >= 8, "phpSAFE SQLi TPs {v:?}: {}", p.tp);
             assert_eq!(r.tp, 0, "RIPS finds no SQLi");
             assert_eq!(x.tp, 0, "Pixy finds no SQLi");
@@ -251,10 +358,7 @@ mod tests {
         let e = eval();
         let p12 = e.cell("Pixy", Version::V2012).detected.len();
         let p14 = e.cell("Pixy", Version::V2014).detected.len();
-        assert!(
-            p14 < p12,
-            "Pixy 2014 ({p14}) must fall below 2012 ({p12})"
-        );
+        assert!(p14 < p12, "Pixy 2014 ({p14}) must fall below 2012 ({p12})");
     }
 
     #[test]
@@ -311,7 +415,11 @@ mod tests {
             };
             assert_eq!(oop_count("RIPS"), 0, "{v:?}");
             assert_eq!(oop_count("Pixy"), 0, "{v:?}");
-            assert!(oop_count("phpSAFE") >= 140, "{v:?}: {}", oop_count("phpSAFE"));
+            assert!(
+                oop_count("phpSAFE") >= 140,
+                "{v:?}: {}",
+                oop_count("phpSAFE")
+            );
         }
     }
 }

@@ -112,7 +112,10 @@ pub fn venn_counts(e: &Evaluation, version: Version) -> VennCounts {
         all_three: 0,
         total: 0,
     };
-    let universe: HashSet<&str> = p.union(&r).copied().collect::<HashSet<_>>()
+    let universe: HashSet<&str> = p
+        .union(&r)
+        .copied()
+        .collect::<HashSet<_>>()
         .union(&x)
         .copied()
         .collect();
@@ -137,7 +140,11 @@ pub fn fig2(e: &Evaluation) -> String {
     let mut out = String::from("FIG. 2. TOOLS VULNERABILITY DETECTION OVERLAP\n");
     for version in Version::ALL {
         let v = venn_counts(e, version);
-        let _ = writeln!(out, "{}: {} distinct confirmed vulnerabilities", version, v.total);
+        let _ = writeln!(
+            out,
+            "{}: {} distinct confirmed vulnerabilities",
+            version, v.total
+        );
         let _ = writeln!(out, "  phpSAFE only          : {:>4}", v.only_phpsafe);
         let _ = writeln!(out, "  RIPS only             : {:>4}", v.only_rips);
         let _ = writeln!(out, "  Pixy only             : {:>4}", v.only_pixy);
@@ -168,11 +175,19 @@ pub fn table2_counts(e: &Evaluation) -> Vec<(VectorClass, usize, usize, usize)> 
     for vc in VectorClass::ALL {
         let c12 = u12
             .iter()
-            .filter(|id| t12.get(**id).map(|t| t.vector_class() == vc).unwrap_or(false))
+            .filter(|id| {
+                t12.get(**id)
+                    .map(|t| t.vector_class() == vc)
+                    .unwrap_or(false)
+            })
             .count();
         let c14 = u14
             .iter()
-            .filter(|id| t14.get(**id).map(|t| t.vector_class() == vc).unwrap_or(false))
+            .filter(|id| {
+                t14.get(**id)
+                    .map(|t| t.vector_class() == vc)
+                    .unwrap_or(false)
+            })
             .count();
         // "Both versions": 2014-confirmed entries carried over from 2012.
         let both = u14
@@ -197,7 +212,14 @@ pub fn table2(e: &Evaluation) -> String {
         "Input Vectors", "Version 2012", "Version 2014", "Both versions"
     );
     for (vc, c12, c14, both) in table2_counts(e) {
-        let _ = writeln!(out, "{:22}|{:>14}|{:>14}|{:>14}|", vc.label(), c12, c14, both);
+        let _ = writeln!(
+            out,
+            "{:22}|{:>14}|{:>14}|{:>14}|",
+            vc.label(),
+            c12,
+            c14,
+            both
+        );
     }
     out
 }

@@ -1,0 +1,82 @@
+//! The engine contract: scheduling and caching may change *when* work
+//! happens, never *what* comes out. The serial evaluation and the engine
+//! evaluation at any worker count must agree on every result — and on
+//! every rendered artifact that doesn't embed wall-clock time.
+
+use phpsafe_corpus::{Corpus, Version};
+use phpsafe_eval::{tables, Evaluation, RecallMode};
+
+#[test]
+fn engine_is_deterministic_and_matches_serial() {
+    let corpus = Corpus::generate();
+    let serial = Evaluation::run_with(corpus.clone());
+
+    for workers in [1, 2, 8] {
+        let (engine, stats) = Evaluation::run_engine_with(corpus.clone(), workers);
+
+        for tool in phpsafe_eval::TOOLS {
+            for version in Version::ALL {
+                let s = serial.cell(tool, version);
+                let e = engine.cell(tool, version);
+                assert_eq!(s.detected, e.detected, "{tool}/{version:?} x{workers}");
+                assert_eq!(
+                    s.false_positives, e.false_positives,
+                    "{tool}/{version:?} x{workers}"
+                );
+                assert_eq!(
+                    (s.failed_resource, s.failed_unsupported),
+                    (e.failed_resource, e.failed_unsupported),
+                    "{tool}/{version:?} x{workers}"
+                );
+                assert_eq!(s.work_units, e.work_units, "{tool}/{version:?} x{workers}");
+            }
+        }
+
+        // Every timing-free artifact is byte-identical (Table III embeds
+        // seconds, so it is compared through the cell fields above).
+        for (name, a, b) in [
+            (
+                "table1",
+                tables::table1(&serial, RecallMode::PaperOptimistic),
+                tables::table1(&engine, RecallMode::PaperOptimistic),
+            ),
+            ("fig2", tables::fig2(&serial), tables::fig2(&engine)),
+            ("table2", tables::table2(&serial), tables::table2(&engine)),
+            (
+                "oop",
+                tables::oop_breakdown(&serial),
+                tables::oop_breakdown(&engine),
+            ),
+            (
+                "inertia",
+                tables::inertia(&serial),
+                tables::inertia(&engine),
+            ),
+            (
+                "rootcause",
+                tables::root_cause(&serial),
+                tables::root_cause(&engine),
+            ),
+        ] {
+            assert_eq!(a, b, "artifact {name} differs at {workers} workers");
+        }
+
+        // The 3 tools × 2 versions see mostly identical file contents, so
+        // the shared parse cache must demonstrate real reuse.
+        assert_eq!(stats.jobs_run, 6 * corpus.plugins().len() as u64);
+        assert!(
+            stats.parse_cache.hits > stats.parse_cache.misses,
+            "parse cache should be dominated by hits: {:?}",
+            stats.parse_cache
+        );
+        assert_eq!(
+            stats.parse_cache.hits + stats.parse_cache.misses,
+            stats.parse_cache.lookups()
+        );
+        assert!(
+            stats.summary_cache.hits > 0,
+            "pure-leaf summaries should carry across versions: {:?}",
+            stats.summary_cache
+        );
+    }
+}

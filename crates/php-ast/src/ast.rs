@@ -8,7 +8,9 @@ use std::fmt;
 
 /// A lightweight source position (1-based line). The analyzers report
 /// findings by file + line, mirroring the paper's output.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Span {
     /// 1-based line number.
     pub line: u32,
@@ -175,7 +177,10 @@ impl CastKind {
     /// Whether this cast neutralizes injection payloads (numeric/bool casts
     /// sanitize; string/array/object casts do not).
     pub fn sanitizes(self) -> bool {
-        matches!(self, CastKind::Int | CastKind::Float | CastKind::Bool | CastKind::Unset)
+        matches!(
+            self,
+            CastKind::Int | CastKind::Float | CastKind::Bool | CastKind::Unset
+        )
     }
 
     /// PHP spelling.
@@ -425,11 +430,28 @@ impl Expr {
     pub fn span(&self) -> Span {
         use Expr::*;
         match self {
-            Var(_, s) | VarVar(_, s) | Lit(_, s) | Interp(_, s) | ConstFetch(_, s)
-            | ClassConst(_, _, s) | ArrayLit(_, s) | Index(_, _, s) | Prop(_, _, s)
-            | StaticProp(_, _, s) | Clone(_, s) | Cast(_, _, s) | Isset(_, s) | Empty(_, s)
-            | ErrorSuppress(_, s) | Print(_, s) | Exit(_, s) | Include(_, _, s)
-            | Instanceof(_, _, s) | ListIntrinsic(_, s) | ShellExec(_, s) | Ref(_, s)
+            Var(_, s)
+            | VarVar(_, s)
+            | Lit(_, s)
+            | Interp(_, s)
+            | ConstFetch(_, s)
+            | ClassConst(_, _, s)
+            | ArrayLit(_, s)
+            | Index(_, _, s)
+            | Prop(_, _, s)
+            | StaticProp(_, _, s)
+            | Clone(_, s)
+            | Cast(_, _, s)
+            | Isset(_, s)
+            | Empty(_, s)
+            | ErrorSuppress(_, s)
+            | Print(_, s)
+            | Exit(_, s)
+            | Include(_, _, s)
+            | Instanceof(_, _, s)
+            | ListIntrinsic(_, s)
+            | ShellExec(_, s)
+            | Ref(_, s)
             | Error(s) => *s,
             Assign { span, .. }
             | Binary { span, .. }
@@ -749,9 +771,18 @@ impl Stmt {
         use Stmt::*;
         match self {
             Expr(e) => e.span(),
-            Echo(_, s) | InlineHtml(_, s) | Break(s) | Continue(s) | Return(_, s)
-            | Global(_, s) | StaticVars(_, s) | Unset(_, s) | Block(_, s) | ConstDecl(_, s)
-            | Nop(s) | Error(s) => *s,
+            Echo(_, s)
+            | InlineHtml(_, s)
+            | Break(s)
+            | Continue(s)
+            | Return(_, s)
+            | Global(_, s)
+            | StaticVars(_, s)
+            | Unset(_, s)
+            | Block(_, s)
+            | ConstDecl(_, s)
+            | Nop(s)
+            | Error(s) => *s,
             Throw(e, _) => e.span(),
             If { span, .. }
             | While { span, .. }

@@ -26,4 +26,4 @@ pub mod printer;
 pub mod visit;
 
 pub use ast::*;
-pub use parser::parse;
+pub use parser::{parse, parse_tokens};

@@ -21,10 +21,25 @@ use php_lexer::{tokenize, Token, TokenKind as K};
 /// assert_eq!(file.stmts.len(), 1);
 /// ```
 pub fn parse(src: &str) -> ParsedFile {
-    let toks: Vec<Token> = tokenize(src)
-        .into_iter()
-        .filter(|t| !t.kind.is_trivia())
-        .collect();
+    parse_tokens(tokenize(src))
+}
+
+/// Parses a pre-lexed token stream (trivia is filtered here, so the stream
+/// may come straight from [`php_lexer::tokenize`]).
+///
+/// Splitting lexing from parsing lets callers time the two stages
+/// independently — the engine's stage statistics need that.
+///
+/// # Examples
+///
+/// ```
+/// use php_ast::parse_tokens;
+/// use php_lexer::tokenize;
+/// let file = parse_tokens(tokenize("<?php echo $_GET['id'];"));
+/// assert!(file.is_clean());
+/// ```
+pub fn parse_tokens(toks: Vec<Token>) -> ParsedFile {
+    let toks: Vec<Token> = toks.into_iter().filter(|t| !t.kind.is_trivia()).collect();
     Parser::new(toks).parse_file()
 }
 
@@ -301,9 +316,7 @@ impl Parser {
                 self.end_stmt();
                 Stmt::Global(names, span)
             }
-            Some(K::Static)
-                if matches!(self.peek_kind_at(1), Some(K::Variable)) =>
-            {
+            Some(K::Static) if matches!(self.peek_kind_at(1), Some(K::Variable)) => {
                 self.bump();
                 let mut vars = Vec::new();
                 while let Some(K::Variable) = self.peek_kind() {
@@ -350,9 +363,7 @@ impl Parser {
                 let f = self.parse_function_decl();
                 Stmt::Function(f)
             }
-            Some(K::Abstract) | Some(K::Final)
-                if self.lookahead_is_class() =>
-            {
+            Some(K::Abstract) | Some(K::Final) if self.lookahead_is_class() => {
                 self.parse_class_decl()
             }
             Some(K::Class) | Some(K::Interface) | Some(K::Trait) => self.parse_class_decl(),
@@ -435,10 +446,7 @@ impl Parser {
     /// After `abstract`/`final`, is a class declaration coming?
     fn lookahead_is_class(&self) -> bool {
         let mut i = 1;
-        while matches!(
-            self.peek_kind_at(i),
-            Some(K::Abstract) | Some(K::Final)
-        ) {
+        while matches!(self.peek_kind_at(i), Some(K::Abstract) | Some(K::Final)) {
             i += 1;
         }
         matches!(self.peek_kind_at(i), Some(K::Class))
@@ -1716,10 +1724,7 @@ impl Parser {
                                 let it = self.bump().expect("id");
                                 // The lexer may have captured quotes in a
                                 // sloppy `$a['k']` simple-syntax index.
-                                Some(Box::new(Expr::Lit(
-                                    Lit::Str(strip_quotes(&it.text)),
-                                    span,
-                                )))
+                                Some(Box::new(Expr::Lit(Lit::Str(strip_quotes(&it.text)), span)))
                             }
                             _ => None,
                         };

@@ -43,8 +43,12 @@ pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt) {
                 v.visit_expr(e);
             }
         }
-        Stmt::InlineHtml(..) | Stmt::Break(_) | Stmt::Continue(_) | Stmt::Nop(_)
-        | Stmt::Error(_) | Stmt::Global(..) => {}
+        Stmt::InlineHtml(..)
+        | Stmt::Break(_)
+        | Stmt::Continue(_)
+        | Stmt::Nop(_)
+        | Stmt::Error(_)
+        | Stmt::Global(..) => {}
         Stmt::If {
             cond,
             then,
@@ -177,8 +181,12 @@ pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt) {
 /// Recurses into the children of `expr`.
 pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, expr: &Expr) {
     match expr {
-        Expr::Var(..) | Expr::Lit(..) | Expr::ConstFetch(..) | Expr::ClassConst(..)
-        | Expr::StaticProp(..) | Expr::Error(_) => {}
+        Expr::Var(..)
+        | Expr::Lit(..)
+        | Expr::ConstFetch(..)
+        | Expr::ClassConst(..)
+        | Expr::StaticProp(..)
+        | Expr::Error(_) => {}
         Expr::VarVar(e, _)
         | Expr::Clone(e, _)
         | Expr::Cast(_, e, _)

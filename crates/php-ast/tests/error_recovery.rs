@@ -9,9 +9,9 @@ fn has_echo(file: &php_ast::ParsedFile) -> bool {
         stmts.iter().any(|s| match s {
             Stmt::Echo(..) => true,
             Stmt::Block(b, _) => in_stmts(b),
-            Stmt::If { then, otherwise, .. } => {
-                in_stmts(then) || otherwise.as_deref().map(in_stmts).unwrap_or(false)
-            }
+            Stmt::If {
+                then, otherwise, ..
+            } => in_stmts(then) || otherwise.as_deref().map(in_stmts).unwrap_or(false),
             Stmt::Function(f) => in_stmts(&f.body),
             _ => false,
         })

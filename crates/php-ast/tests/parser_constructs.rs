@@ -85,10 +85,7 @@ fn precedence_mul_over_add() {
 fn logical_and_or_keywords_bind_loosest() {
     // `$a = $b or die()` assigns $b to $a, then ors.
     let e = first_expr("<?php $a = $b or exit();");
-    assert!(matches!(
-        e,
-        Expr::Binary { op: BinOp::Or, .. }
-    ));
+    assert!(matches!(e, Expr::Binary { op: BinOp::Or, .. }));
 }
 
 #[test]
@@ -345,10 +342,7 @@ fn unset_and_isset_and_empty() {
 #[test]
 fn foreach_with_key_and_ref() {
     let f = parse_clean("<?php foreach ($rows as $k => &$v) { $v = 1; }");
-    let Stmt::Foreach {
-        key, by_ref, ..
-    } = &f.stmts[0]
-    else {
+    let Stmt::Foreach { key, by_ref, .. } = &f.stmts[0] else {
         panic!()
     };
     assert!(key.is_some());
@@ -364,7 +358,10 @@ fn alternative_syntax_blocks() {
          for ($i = 0; $i < 3; $i++): echo $i; endfor;",
     );
     assert!(f.stmts.len() >= 4);
-    let Stmt::If { elseifs, otherwise, .. } = &f.stmts[0] else {
+    let Stmt::If {
+        elseifs, otherwise, ..
+    } = &f.stmts[0]
+    else {
         panic!()
     };
     assert_eq!(elseifs.len(), 1);
@@ -375,7 +372,10 @@ fn alternative_syntax_blocks() {
 fn html_interleaving_inside_if() {
     let src = "<?php if ($ok) { ?><b>yes</b><?php } else { ?>no<?php } ?>";
     let f = parse_clean(src);
-    let Stmt::If { then, otherwise, .. } = &f.stmts[0] else {
+    let Stmt::If {
+        then, otherwise, ..
+    } = &f.stmts[0]
+    else {
         panic!("got {:?}", f.stmts)
     };
     assert!(matches!(&then[0], Stmt::InlineHtml(h, _) if h == "<b>yes</b>"));
@@ -395,15 +395,16 @@ fn include_require_expressions() {
         panic!()
     };
     assert_eq!(*k1, IncludeKind::RequireOnce);
-    assert!(matches!(&f.stmts[1], Stmt::Expr(Expr::Include(IncludeKind::Include, ..))));
+    assert!(matches!(
+        &f.stmts[1],
+        Stmt::Expr(Expr::Include(IncludeKind::Include, ..))
+    ));
 }
 
 #[test]
 fn closures_with_use() {
     let e = first_expr("<?php add_action('init', function () use ($self) { $self->run(); });");
-    let Expr::Call { args, .. } = e else {
-        panic!()
-    };
+    let Expr::Call { args, .. } = e else { panic!() };
     assert!(matches!(
         &args[1].value,
         Expr::Closure { uses, .. } if uses.len() == 1
@@ -513,10 +514,7 @@ fn error_recovery_keeps_going() {
     let f = parse("<?php $a = ; echo 'still here';");
     assert!(!f.is_clean());
     // The echo after the error must still be parsed.
-    assert!(f
-        .stmts
-        .iter()
-        .any(|s| matches!(s, Stmt::Echo(..))));
+    assert!(f.stmts.iter().any(|s| matches!(s, Stmt::Echo(..))));
 }
 
 #[test]

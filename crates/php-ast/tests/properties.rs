@@ -16,8 +16,8 @@ fn php_soup() -> impl Strategy<Value = String> {
         Just("foreach ($r as $k => $v) echo $v; ".to_string()),
         Just("\"str $interp\"; ".to_string()),
         Just("$a[1]['k'] = 2; ".to_string()),
-        Just("while (".to_string()),   // deliberately broken
-        Just("} } ) ; ".to_string()),  // deliberately broken
+        Just("while (".to_string()),  // deliberately broken
+        Just("} } ) ; ".to_string()), // deliberately broken
         Just("$wpdb->query(\"DELETE\"); ".to_string()),
         Just("?><b>html</b><?php ".to_string()),
         Just("list($a,$b) = $x; ".to_string()),

@@ -239,7 +239,10 @@ mod tests {
     #[test]
     fn sprintf_subset() {
         assert_eq!(
-            sprintf("%s has %d items (%d%%)", &["cart".into(), "3".into(), "50".into()]),
+            sprintf(
+                "%s has %d items (%d%%)",
+                &["cart".into(), "3".into(), "50".into()]
+            ),
             "cart has 3 items (50%)"
         );
     }

@@ -245,7 +245,10 @@ impl<'p> Executor<'p> {
     /// Hook/uncalled parameters: empty strings (hook args are usually
     /// trusted CMS data; the interesting inputs are superglobals/DB).
     fn probe_args(&self, decl: &FunctionDecl) -> Vec<Value> {
-        decl.params.iter().map(|_| Value::Str(String::new())).collect()
+        decl.params
+            .iter()
+            .map(|_| Value::Str(String::new()))
+            .collect()
     }
 
     fn invoke_callable(&mut self, cb: Value, args: Vec<Value>) -> Value {
@@ -306,12 +309,10 @@ impl<'p> Executor<'p> {
             return Flow::Exit;
         }
         match stmt {
-            Stmt::Expr(e) => {
-                match self.eval(e, f) {
-                    EvalResult::Value(_) => Flow::Normal,
-                    EvalResult::Exit => Flow::Exit,
-                }
-            }
+            Stmt::Expr(e) => match self.eval(e, f) {
+                EvalResult::Value(_) => Flow::Normal,
+                EvalResult::Exit => Flow::Exit,
+            },
             Stmt::Echo(es, _) => {
                 for e in es {
                     match self.eval(e, f) {
@@ -534,7 +535,10 @@ impl<'p> Executor<'p> {
                 flow
             }
             Stmt::Block(body, _) => self.exec_stmts(body, f),
-            Stmt::Function(_) | Stmt::Class(_) | Stmt::ConstDecl(..) | Stmt::Nop(_)
+            Stmt::Function(_)
+            | Stmt::Class(_)
+            | Stmt::ConstDecl(..)
+            | Stmt::Nop(_)
             | Stmt::Error(_) => Flow::Normal,
         }
     }
@@ -600,7 +604,9 @@ impl<'p> Executor<'p> {
                 match (b, idx) {
                     (Value::Array(a), Some(i)) => {
                         let k = self.eval_value(i, f);
-                        a.get(&ArrayKey::from_value(&k)).cloned().unwrap_or(Value::Null)
+                        a.get(&ArrayKey::from_value(&k))
+                            .cloned()
+                            .unwrap_or(Value::Null)
                     }
                     (Value::Probe(p), _) => Value::Probe(p),
                     (Value::Str(s), Some(i)) => {
@@ -637,10 +643,7 @@ impl<'p> Executor<'p> {
                 .cloned()
                 .unwrap_or(Value::Null),
             Expr::Assign {
-                target,
-                op,
-                value,
-                ..
+                target, op, value, ..
             } => {
                 let rhs = self.eval_value(value, f);
                 let newv = if *op == AssignOp::Assign {
@@ -706,7 +709,9 @@ impl<'p> Executor<'p> {
             Expr::New { class, args, .. } => {
                 let cname = match class {
                     Member::Name(n) => n.to_ascii_lowercase(),
-                    Member::Dynamic(e) => self.eval_value(e, f).to_php_string().to_ascii_lowercase(),
+                    Member::Dynamic(e) => {
+                        self.eval_value(e, f).to_php_string().to_ascii_lowercase()
+                    }
                 };
                 let mut obj = Object::new(&cname);
                 // user constructor
@@ -841,11 +846,7 @@ impl<'p> Executor<'p> {
             }
             "$wpdb" => return Value::Object(Object::new("wpdb")),
             "$this" => {
-                return f
-                    .this
-                    .clone()
-                    .map(Value::Object)
-                    .unwrap_or(Value::Null);
+                return f.this.clone().map(Value::Object).unwrap_or(Value::Null);
             }
             _ => {}
         }
@@ -1072,7 +1073,10 @@ impl<'p> Executor<'p> {
             _ => Value::Null,
         };
         self.call_depth -= 1;
-        (frame.this.take().unwrap_or_else(|| Object::new("stdclass")), ret)
+        (
+            frame.this.take().unwrap_or_else(|| Object::new("stdclass")),
+            ret,
+        )
     }
 
     fn call_method_on(&mut self, this: Object, decl: &FunctionDecl, args: Vec<Value>) -> Object {
@@ -1116,10 +1120,7 @@ impl<'p> Executor<'p> {
                                 out.push_str(&v.to_string());
                             }
                             Some('s') => {
-                                let v = args
-                                    .get(ai)
-                                    .map(|v| v.to_php_string())
-                                    .unwrap_or_default();
+                                let v = args.get(ai).map(|v| v.to_php_string()).unwrap_or_default();
                                 ai += 1;
                                 out.push_str(&crate::builtins::addslashes(&v));
                             }
@@ -1212,9 +1213,7 @@ fn unescape_dq(s: &str) -> String {
 
 fn apply_compound(op: AssignOp, old: &Value, rhs: &Value) -> Value {
     match op {
-        AssignOp::ConcatAssign => {
-            Value::Str(old.to_php_string() + &rhs.to_php_string())
-        }
+        AssignOp::ConcatAssign => Value::Str(old.to_php_string() + &rhs.to_php_string()),
         AssignOp::AddAssign => num(old.to_number() + rhs.to_number()),
         AssignOp::SubAssign => num(old.to_number() - rhs.to_number()),
         AssignOp::MulAssign => num(old.to_number() * rhs.to_number()),
@@ -1316,8 +1315,12 @@ impl Executor<'_> {
             "htmlspecialchars_decode" | "html_entity_decode" | "wp_specialchars_decode" => {
                 Value::Str(b::unescape_html(&s0()))
             }
-            "addslashes" | "mysql_real_escape_string" | "mysql_escape_string"
-            | "mysqli_real_escape_string" | "esc_sql" | "db_escape_string" => {
+            "addslashes"
+            | "mysql_real_escape_string"
+            | "mysql_escape_string"
+            | "mysqli_real_escape_string"
+            | "esc_sql"
+            | "db_escape_string" => {
                 // mysqli takes (link, string)
                 let s = if name == "mysqli_real_escape_string" && argv.len() > 1 {
                     argv[1].to_php_string()
@@ -1367,15 +1370,21 @@ impl Executor<'_> {
                 let start = argv.get(1).map(|v| v.to_number() as i64).unwrap_or(0);
                 let chars: Vec<char> = s.chars().collect();
                 let len = chars.len() as i64;
-                let from = if start < 0 { (len + start).max(0) } else { start.min(len) };
+                let from = if start < 0 {
+                    (len + start).max(0)
+                } else {
+                    start.min(len)
+                };
                 let take = argv
                     .get(2)
                     .map(|v| v.to_number() as i64)
                     .unwrap_or(len - from)
                     .max(0);
-                Value::Str(chars[from as usize..((from + take).min(len)) as usize]
-                    .iter()
-                    .collect())
+                Value::Str(
+                    chars[from as usize..((from + take).min(len)) as usize]
+                        .iter()
+                        .collect(),
+                )
             }
             "str_replace" => {
                 let search = s0();
@@ -1528,10 +1537,12 @@ impl Executor<'_> {
                 let q = argv
                     .iter()
                     .map(|v| v.to_php_string())
-                    .find(|s| s.to_ascii_lowercase().contains("select")
-                        || s.to_ascii_lowercase().contains("insert")
-                        || s.to_ascii_lowercase().contains("update")
-                        || s.to_ascii_lowercase().contains("delete"))
+                    .find(|s| {
+                        s.to_ascii_lowercase().contains("select")
+                            || s.to_ascii_lowercase().contains("insert")
+                            || s.to_ascii_lowercase().contains("update")
+                            || s.to_ascii_lowercase().contains("delete")
+                    })
                     .unwrap_or_else(s0);
                 self.queries.push(q);
                 Value::Resource("mysql_result")
@@ -1544,15 +1555,17 @@ impl Executor<'_> {
             },
             "mysql_result" | "mysql_num_rows" => Value::Int(1),
             // --- WordPress runtime ---
-            "get_option" | "get_post_meta" | "get_user_meta" | "get_transient"
-            | "variable_get" => match &self.cfg.db_payload {
-                Some(p) => Value::Str(p.clone()),
-                None => Value::Str(String::new()),
-            },
-            "update_option" | "add_option" | "set_transient" | "delete_option" => {
-                Value::Bool(true)
+            "get_option" | "get_post_meta" | "get_user_meta" | "get_transient" | "variable_get" => {
+                match &self.cfg.db_payload {
+                    Some(p) => Value::Str(p.clone()),
+                    None => Value::Str(String::new()),
+                }
             }
-            "add_action" | "add_filter" | "add_shortcode" | "register_activation_hook"
+            "update_option" | "add_option" | "set_transient" | "delete_option" => Value::Bool(true),
+            "add_action"
+            | "add_filter"
+            | "add_shortcode"
+            | "register_activation_hook"
             | "register_deactivation_hook" => {
                 if let Some(cb) = argv.get(1) {
                     self.register_hook(cb.clone());
@@ -1592,10 +1605,7 @@ impl Executor<'_> {
                     let k = it.next().unwrap_or("");
                     let v = it.next().unwrap_or("");
                     if !k.is_empty() {
-                        a.set(
-                            ArrayKey::Str(b::urldecode(k)),
-                            Value::Str(b::urldecode(v)),
-                        );
+                        a.set(ArrayKey::Str(b::urldecode(k)), Value::Str(b::urldecode(v)));
                     }
                 }
                 if let Some(arg) = args.get(1) {

@@ -276,9 +276,7 @@ mod tests {
 
     #[test]
     fn custom_cleaner_false_positive_does_not_confirm() {
-        let p = plugin(
-            "<?php $t = preg_replace('/[^a-z0-9_]/i', '', $_GET['t']); echo $t;",
-        );
+        let p = plugin("<?php $t = preg_replace('/[^a-z0-9_]/i', '', $_GET['t']); echo $t;");
         let c = confirm_vulnerability(&p, &vuln(VulnClass::Xss, SourceKind::Get));
         assert!(!c.is_confirmed(), "whitelist cleaner strips the payload");
     }

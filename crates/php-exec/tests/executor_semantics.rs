@@ -6,7 +6,9 @@ use phpsafe::{PluginProject, SourceFile};
 
 fn run(src: &str) -> String {
     let p = PluginProject::new("t").with_file(SourceFile::new("t.php", src));
-    Executor::new(&p, ExecConfig::default()).run_project().output
+    Executor::new(&p, ExecConfig::default())
+        .run_project()
+        .output
 }
 
 fn run_with(src: &str, cfg: ExecConfig) -> php_exec::ExecOutcome {
@@ -53,7 +55,9 @@ fn html_passthrough() {
 #[test]
 fn if_else_chains() {
     assert_eq!(
-        run("<?php $x = 5; if ($x > 10) echo 'big'; elseif ($x > 3) echo 'mid'; else echo 'small';"),
+        run(
+            "<?php $x = 5; if ($x > 10) echo 'big'; elseif ($x > 3) echo 'mid'; else echo 'small';"
+        ),
         "mid"
     );
 }
@@ -102,8 +106,7 @@ fn recursion_with_real_base_case() {
 #[test]
 fn objects_hold_state_across_method_calls() {
     assert_eq!(
-        run(
-            "<?php
+        run("<?php
             class Counter {
                 private $n;
                 public function __construct($start) { $this->n = $start; }
@@ -113,8 +116,7 @@ fn objects_hold_state_across_method_calls() {
             $c = new Counter(10);
             $c->bump();
             $c->bump();
-            echo $c->get();"
-        ),
+            echo $c->get();"),
         "12"
     );
 }
@@ -122,12 +124,10 @@ fn objects_hold_state_across_method_calls() {
 #[test]
 fn global_keyword_shares_state() {
     assert_eq!(
-        run(
-            "<?php $total = 5;
+        run("<?php $total = 5;
             function add() { global $total; $total = $total + 3; }
             add();
-            echo $total;"
-        ),
+            echo $total;"),
         "8"
     );
 }
@@ -147,12 +147,10 @@ fn include_executes_in_scope() {
 #[test]
 fn closures_capture_by_value() {
     assert_eq!(
-        run(
-            "<?php $x = 'captured';
+        run("<?php $x = 'captured';
             $f = function () use ($x) { echo $x; };
             $x = 'changed';
-            $f();"
-        ),
+            $f();"),
         "captured"
     );
 }
@@ -178,7 +176,10 @@ fn wpdb_queries_are_recorded() {
         "<?php $wpdb->query(\"DELETE FROM {$wpdb->prefix}x WHERE id = 3\");",
         ExecConfig::default(),
     );
-    assert_eq!(out.queries, vec!["DELETE FROM wp_x WHERE id = 3".to_string()]);
+    assert_eq!(
+        out.queries,
+        vec!["DELETE FROM wp_x WHERE id = 3".to_string()]
+    );
 }
 
 #[test]
@@ -188,7 +189,10 @@ fn wpdb_prepare_escapes() {
         "<?php $wpdb->query($wpdb->prepare(\"SELECT '%s'\", $_GET['x']));",
         cfg,
     );
-    assert_eq!(out.queries, vec![r#"SELECT 'a\' OR \'1\'=\'1'"#.to_string()]);
+    assert_eq!(
+        out.queries,
+        vec![r#"SELECT 'a\' OR \'1\'=\'1'"#.to_string()]
+    );
 }
 
 #[test]
@@ -219,10 +223,7 @@ fn exit_inside_function_halts() {
 
 #[test]
 fn sprintf_printf() {
-    assert_eq!(
-        run("<?php printf('%s is %d%%', 'cpu', 93);"),
-        "cpu is 93%"
-    );
+    assert_eq!(run("<?php printf('%s is %d%%', 'cpu', 93);"), "cpu is 93%");
     assert_eq!(run("<?php echo sprintf('[%s]', 'x');"), "[x]");
 }
 
@@ -245,11 +246,9 @@ fn isset_and_empty() {
 #[test]
 fn static_properties_persist() {
     assert_eq!(
-        run(
-            "<?php class Reg { public static $v; }
+        run("<?php class Reg { public static $v; }
             Reg::$v = 'stored';
-            echo Reg::$v;"
-        ),
+            echo Reg::$v;"),
         "stored"
     );
 }
@@ -269,10 +268,10 @@ fn inherited_methods_execute() {
 
 #[test]
 fn unknown_function_degrades_with_warning() {
-    let out = run_with("<?php echo mystery_fn('x'); echo 'after';", ExecConfig::default());
+    let out = run_with(
+        "<?php echo mystery_fn('x'); echo 'after';",
+        ExecConfig::default(),
+    );
     assert_eq!(out.output, "after");
-    assert!(out
-        .warnings
-        .iter()
-        .any(|w| w.contains("mystery_fn")));
+    assert!(out.warnings.iter().any(|w| w.contains("mystery_fn")));
 }

@@ -156,7 +156,9 @@ impl Lexer {
         }
 
         // Numbers
-        if c.is_ascii_digit() || (c == '.' && matches!(self.cur.peek_at(1), Some(d) if d.is_ascii_digit())) {
+        if c.is_ascii_digit()
+            || (c == '.' && matches!(self.cur.peek_at(1), Some(d) if d.is_ascii_digit()))
+        {
             self.lex_number(line);
             return;
         }
@@ -433,7 +435,10 @@ impl Lexer {
             return false;
         }
         let after = self.cur.peek_at(label.chars().count());
-        matches!(after, None | Some(';') | Some(',') | Some('\n') | Some('\r') | Some(')'))
+        matches!(
+            after,
+            None | Some(';') | Some(',') | Some('\n') | Some('\r') | Some(')')
+        )
     }
 
     /// Scans interpolated content (double-quoted string, backtick, heredoc),
@@ -507,9 +512,7 @@ impl Lexer {
                         run.push(e);
                     }
                 }
-                Some('$')
-                    if matches!(self.cur.peek_at(1), Some(n) if is_ident_start(n)) =>
-                {
+                Some('$') if matches!(self.cur.peek_at(1), Some(n) if is_ident_start(n)) => {
                     if !run.is_empty() {
                         self.push(
                             TokenKind::EncapsedAndWhitespace,
@@ -751,11 +754,17 @@ mod tests {
     use crate::token::TokenKind as K;
 
     fn kinds(src: &str) -> Vec<K> {
-        tokenize_significant(src).into_iter().map(|t| t.kind).collect()
+        tokenize_significant(src)
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     fn texts(src: &str) -> Vec<String> {
-        tokenize_significant(src).into_iter().map(|t| t.text).collect()
+        tokenize_significant(src)
+            .into_iter()
+            .map(|t| t.text)
+            .collect()
     }
 
     fn roundtrip(src: &str) {

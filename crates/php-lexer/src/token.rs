@@ -468,7 +468,13 @@ impl Token {
 
 impl fmt::Display for Token {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}, {:?}, {}]", self.kind.php_name(), self.text, self.line)
+        write!(
+            f,
+            "[{}, {:?}, {}]",
+            self.kind.php_name(),
+            self.text,
+            self.line
+        )
     }
 }
 

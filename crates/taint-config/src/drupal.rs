@@ -42,7 +42,12 @@ pub fn drupal_additions() -> TaintConfig {
     }
 
     // ---- sanitizers ----
-    for f in ["check_plain", "filter_xss", "filter_xss_admin", "check_markup"] {
+    for f in [
+        "check_plain",
+        "filter_xss",
+        "filter_xss_admin",
+        "check_markup",
+    ] {
         c.add_sanitizer(SanitizerSpec {
             name: FuncName::function(f),
             protects: vec![VulnClass::Xss],
@@ -137,7 +142,10 @@ mod tests {
     #[test]
     fn dbtng_object_methods() {
         let c = drupal();
-        assert_eq!(c.known_object_class("$database"), Some("databaseconnection"));
+        assert_eq!(
+            c.known_object_class("$database"),
+            Some("databaseconnection")
+        );
         assert_eq!(
             c.source_function(Some("databaseconnection"), "query"),
             Some(SourceKind::Database)

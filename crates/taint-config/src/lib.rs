@@ -34,11 +34,11 @@ mod model;
 mod php;
 mod wordpress;
 
+pub use drupal::{drupal, drupal_additions};
+pub use joomla::{joomla, joomla_additions};
 pub use model::{
     FuncName, RevertSpec, SanitizerSpec, SinkSpec, SourceKind, SourceSpec, TaintConfig,
     VectorClass, VulnClass,
 };
-pub use drupal::{drupal, drupal_additions};
-pub use joomla::{joomla, joomla_additions};
 pub use php::generic_php;
 pub use wordpress::{wordpress, wordpress_additions};

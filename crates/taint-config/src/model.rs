@@ -352,7 +352,10 @@ impl TaintConfig {
             Some(r) => FuncName::method(r, name),
             None => FuncName::function(name),
         };
-        self.sanitizers.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+        self.sanitizers
+            .get(&key)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Is `name` a revert function (undoes sanitization)?
@@ -434,7 +437,10 @@ mod tests {
             c.source_function(Some("wpdb"), "GET_RESULTS"),
             Some(SourceKind::Database)
         );
-        assert_eq!(c.source_function(Some("WPDB"), "get_results"), Some(SourceKind::Database));
+        assert_eq!(
+            c.source_function(Some("WPDB"), "get_results"),
+            Some(SourceKind::Database)
+        );
         assert_eq!(c.source_function(None, "get_results"), None);
     }
 

@@ -83,16 +83,41 @@ pub fn generic_php() -> TaintConfig {
 
     // ---- sanitizers ----
     // Numeric coercions protect against both classes.
-    for f in ["intval", "floatval", "doubleval", "boolval", "count", "strlen", "sizeof",
-              "abs", "round", "floor", "ceil", "rand", "mt_rand", "time", "mktime"] {
+    for f in [
+        "intval",
+        "floatval",
+        "doubleval",
+        "boolval",
+        "count",
+        "strlen",
+        "sizeof",
+        "abs",
+        "round",
+        "floor",
+        "ceil",
+        "rand",
+        "mt_rand",
+        "time",
+        "mktime",
+    ] {
         c.add_sanitizer(SanitizerSpec {
             name: FuncName::function(f),
             protects: vec![VulnClass::Xss, VulnClass::Sqli],
         });
     }
     // Hashes / encoders produce inert output for both classes.
-    for f in ["md5", "sha1", "crc32", "hash", "base64_encode", "bin2hex", "uniqid",
-              "number_format", "urlencode", "rawurlencode"] {
+    for f in [
+        "md5",
+        "sha1",
+        "crc32",
+        "hash",
+        "base64_encode",
+        "bin2hex",
+        "uniqid",
+        "number_format",
+        "urlencode",
+        "rawurlencode",
+    ] {
         c.add_sanitizer(SanitizerSpec {
             name: FuncName::function(f),
             protects: vec![VulnClass::Xss, VulnClass::Sqli],
@@ -122,7 +147,13 @@ pub fn generic_php() -> TaintConfig {
         });
     }
     // Regex validators commonly used defensively.
-    for f in ["preg_quote", "escapeshellarg", "escapeshellcmd", "ctype_digit", "ctype_alnum"] {
+    for f in [
+        "preg_quote",
+        "escapeshellarg",
+        "escapeshellcmd",
+        "ctype_digit",
+        "ctype_alnum",
+    ] {
         c.add_sanitizer(SanitizerSpec {
             name: FuncName::function(f),
             protects: vec![VulnClass::Xss, VulnClass::Sqli],
@@ -147,7 +178,14 @@ pub fn generic_php() -> TaintConfig {
 
     // ---- sinks: XSS (echo/print/exit are language constructs handled by
     //      the analyzers directly; these are the function-call sinks) ----
-    for f in ["printf", "vprintf", "print_r", "var_dump", "trigger_error", "user_error"] {
+    for f in [
+        "printf",
+        "vprintf",
+        "print_r",
+        "var_dump",
+        "trigger_error",
+        "user_error",
+    ] {
         c.add_sink(SinkSpec {
             name: FuncName::function(f),
             class: VulnClass::Xss,
@@ -214,7 +252,10 @@ mod tests {
     #[test]
     fn sanitizer_classes_are_specific() {
         let c = generic_php();
-        assert_eq!(c.sanitizer_protects(None, "htmlentities"), &[VulnClass::Xss]);
+        assert_eq!(
+            c.sanitizer_protects(None, "htmlentities"),
+            &[VulnClass::Xss]
+        );
         assert_eq!(
             c.sanitizer_protects(None, "mysql_real_escape_string"),
             &[VulnClass::Sqli]

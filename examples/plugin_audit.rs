@@ -80,7 +80,11 @@ fn main() {
 
     println!("== phpSAFE audit of `{}` ==\n", outcome.plugin);
     for v in &outcome.vulns {
-        let oop = if v.via_oop { " [via WordPress object]" } else { "" };
+        let oop = if v.via_oop {
+            " [via WordPress object]"
+        } else {
+            ""
+        };
         println!("{} at {}:{}{}", v.class, v.file, v.line, oop);
         println!("  sink `{}`, vulnerable expression `{}`", v.sink, v.var);
         println!("  entry vector: {}", v.source_kind);

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, release build, full test suite.
+# Run from anywhere; operates on the repository that contains this script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo build --workspace --release --offline
+cargo test -q --offline --workspace

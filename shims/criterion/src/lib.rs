@@ -1,0 +1,229 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the harness surface the workspace's benches use —
+//! `Criterion::bench_function` / `benchmark_group`, chainable
+//! `sample_size` / `measurement_time` / `throughput`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros — backed by a
+//! plain wall-clock sampler. No statistical analysis, plots, or baseline
+//! storage: each benchmark prints min/mean/max per-iteration time (plus
+//! throughput when configured) to stdout.
+
+use std::time::{Duration, Instant};
+
+/// Throughput declared for a benchmark group; reported alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BenchConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> BenchConfig {
+        BenchConfig {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+}
+
+/// Benchmark driver handed to `bench_function` closures.
+pub struct Bencher {
+    config: BenchConfig,
+}
+
+/// Per-iteration timing summary, in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+struct Sampled {
+    min_ns: f64,
+    mean_ns: f64,
+    max_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, warming up first, then collecting
+    /// `sample_size` samples spread over `measurement_time`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: run for a fraction of the measurement time to stabilise
+        // caches and estimate the per-iteration cost.
+        let warmup_budget = self.config.measurement_time / 10;
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= warmup_budget {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+        // Iterations per sample so all samples fit the measurement budget.
+        let samples = self.config.sample_size.max(1);
+        let per_sample = self.config.measurement_time.as_secs_f64() / samples as f64;
+        let iters_per_sample = ((per_sample / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            times.push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0f64, f64::max);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        self.report(Sampled {
+            min_ns: min,
+            mean_ns: mean,
+            max_ns: max,
+        });
+    }
+
+    fn report(&self, s: Sampled) {
+        let mut line = format!(
+            "time: [{} {} {}]",
+            fmt_ns(s.min_ns),
+            fmt_ns(s.mean_ns),
+            fmt_ns(s.max_ns)
+        );
+        if let Some(tp) = self.config.throughput {
+            let per_sec = |units: u64| units as f64 / (s.mean_ns / 1e9);
+            match tp {
+                Throughput::Bytes(b) => {
+                    line.push_str(&format!(
+                        " thrpt: {:.3} MiB/s",
+                        per_sec(b) / (1024.0 * 1024.0)
+                    ));
+                }
+                Throughput::Elements(e) => {
+                    line.push_str(&format!(" thrpt: {:.1} elem/s", per_sec(e)));
+                }
+            }
+        }
+        println!("                        {line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: BenchConfig,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.config.throughput = Some(tp);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        println!("{}/{id}", self.name);
+        let mut b = Bencher {
+            config: self.config,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// No-op: reports are printed as benches run.
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness state.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        println!("{id}");
+        let mut b = Bencher {
+            config: BenchConfig::default(),
+        };
+        f(&mut b);
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: BenchConfig::default(),
+            _parent: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .throughput(Throughput::Elements(10));
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                std::hint::black_box((0..100u64).sum::<u64>());
+            })
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,427 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest the workspace's property tests use:
+//! `Strategy` with `prop_map`, `Just`, tuple/range/`&str`-pattern
+//! strategies, `prop::collection::vec`, `prop_oneof!`, `any::<bool>()`,
+//! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from the real crate, acceptable for a vendored shim:
+//! * generation is driven by a fixed-seed xorshift RNG, so runs are
+//!   deterministic (no persisted failure seeds);
+//! * failing cases are reported, not shrunk;
+//! * `&str` strategies support only the `[x-y]{m,n}` pattern form the
+//!   tests use, not full regex.
+
+use std::marker::PhantomData;
+
+/// Deterministic xorshift64* generator driving all case generation.
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed | 1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed `prop_assert!` — carried out of the test body as an `Err`.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        strategy::Map { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// `&str` patterns: supports the two forms the tests use — a single
+/// character class `[x-y]{m,n}`, and `\PC{m,n}` (any non-control
+/// character) with an inclusive repetition range.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut Rng) -> String {
+        let (class, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("proptest shim: unsupported pattern {self:?}"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len).map(|_| class.generate(rng)).collect()
+    }
+}
+
+enum CharClass {
+    Range(char, char),
+    NonControl,
+}
+
+impl CharClass {
+    fn generate(&self, rng: &mut Rng) -> char {
+        match self {
+            CharClass::Range(lo, hi) => {
+                let span = (*hi as u32) - (*lo as u32) + 1;
+                char::from_u32(*lo as u32 + rng.below(span as u64) as u32).unwrap()
+            }
+            CharClass::NonControl => loop {
+                // Mostly printable ASCII, with some multi-byte scalars so
+                // the lexer/parser see real UTF-8 variety.
+                let c = match rng.below(10) {
+                    0..=6 => char::from_u32(0x20 + rng.below(0x5f) as u32),
+                    7..=8 => char::from_u32(0xa0 + rng.below(0x2f60) as u32),
+                    _ => char::from_u32(0x1f300 + rng.below(0x150) as u32),
+                };
+                if let Some(c) = c.filter(|c| !c.is_control()) {
+                    return c;
+                }
+            },
+        }
+    }
+}
+
+/// Parses `[x-y]{m,n}` / `\PC{m,n}` into a class and length bounds.
+fn parse_class_pattern(pattern: &str) -> Option<(CharClass, usize, usize)> {
+    let (class, rest) = if let Some(rest) = pattern.strip_prefix("\\PC") {
+        (CharClass::NonControl, rest)
+    } else {
+        let rest = pattern.strip_prefix('[')?;
+        let (class, rest) = rest.split_once(']')?;
+        let mut chars = class.chars();
+        let lo = chars.next()?;
+        if chars.next()? != '-' {
+            return None;
+        }
+        let hi = chars.next()?;
+        if chars.next().is_some() || hi < lo {
+            return None;
+        }
+        (CharClass::Range(lo, hi), rest)
+    };
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = counts.split_once(',')?;
+    let (min, max) = (min.parse().ok()?, max.parse().ok()?);
+    if min > max {
+        return None;
+    }
+    Some((class, min, max))
+}
+
+pub mod strategy {
+    use super::{Rng, Strategy};
+
+    /// `Just(value)`: always yields a clone of `value`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut Rng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut Rng) -> T {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($S:ident . $idx:tt),+))*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod collection {
+    use super::{Rng, Strategy};
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            assert!(self.len.start < self.len.end, "empty length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Types with a canonical strategy (`any::<T>()`). Only what the
+/// workspace needs.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut Rng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(::std::boxed::Box::new($arm)),+];
+        $crate::strategy::Union::new(arms)
+    }};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::Rng::new(0x9e37_79b9_7f4a_7c15);
+            for _case in 0..config.cases {
+                $(let $pat = $crate::Strategy::generate(&$strat, &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("property `{}` failed: {}", stringify!($name), e);
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts inside a `proptest!` body; failure fails the case, not the
+/// whole process, mirroring proptest's error-based flow.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r)
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l == r, $($fmt)+)
+            }
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::Just;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_strategy_respects_class_and_len() {
+        let mut rng = crate::Rng::new(7);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[ -~]{0,16}", &mut rng);
+            assert!(s.len() <= 16);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn union_and_vec_generate() {
+        let strat = prop::collection::vec(
+            prop_oneof![Just("a".to_string()), "[b-d]{1,2}".prop_map(|s| s)],
+            0..5,
+        );
+        let mut rng = crate::Rng::new(3);
+        for _ in 0..50 {
+            let v = crate::Strategy::generate(&strat, &mut rng);
+            assert!(v.len() < 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        fn macro_generates_cases(x in 0u32..10, flag in any::<bool>()) {
+            prop_assert!(x < 10);
+            let negated = !flag;
+            prop_assert_eq!(flag, !negated);
+        }
+    }
+}

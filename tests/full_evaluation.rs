@@ -43,7 +43,12 @@ fn table1_tool_ranking() {
 fn table1_sqli_exclusive_to_phpsafe() {
     let e = eval();
     for v in Version::ALL {
-        let p = e.metrics("phpSAFE", v, Some(VulnClass::Sqli), RecallMode::FullGroundTruth);
+        let p = e.metrics(
+            "phpSAFE",
+            v,
+            Some(VulnClass::Sqli),
+            RecallMode::FullGroundTruth,
+        );
         assert!(p.tp >= 8 && p.recall().unwrap() >= 0.85, "{v:?}: {p:?}");
         for tool in ["RIPS", "Pixy"] {
             let m = e.metrics(tool, v, Some(VulnClass::Sqli), RecallMode::FullGroundTruth);
@@ -51,7 +56,12 @@ fn table1_sqli_exclusive_to_phpsafe() {
         }
     }
     // RIPS's lone 2014 SQLi false positive (Table I).
-    let r14 = e.metrics("RIPS", Version::V2014, Some(VulnClass::Sqli), RecallMode::FullGroundTruth);
+    let r14 = e.metrics(
+        "RIPS",
+        Version::V2014,
+        Some(VulnClass::Sqli),
+        RecallMode::FullGroundTruth,
+    );
     assert_eq!(r14.fp, 1);
 }
 
@@ -75,9 +85,15 @@ fn fig2_overlap_shape() {
     let v12 = tables::venn_counts(e, Version::V2012);
     let v14 = tables::venn_counts(e, Version::V2014);
     assert_eq!(v12.total, 394, "paper: 394 distinct in 2012");
-    assert!((550..=586).contains(&v14.total), "paper: 586 distinct in 2014");
+    assert!(
+        (550..=586).contains(&v14.total),
+        "paper: 586 distinct in 2014"
+    );
     let growth = v14.total as f64 / v12.total as f64 - 1.0;
-    assert!((0.40..=0.60).contains(&growth), "paper: +51%, got {growth:.2}");
+    assert!(
+        (0.40..=0.60).contains(&growth),
+        "paper: +51%, got {growth:.2}"
+    );
     assert!(v12.only_phpsafe > 0 && v12.only_rips > 0 && v12.only_pixy > 0);
 }
 
@@ -105,9 +121,7 @@ fn table2_vector_distribution() {
 #[test]
 fn oop_vulnerability_counts() {
     let e = eval();
-    for (v, expect_n, expect_plugins) in
-        [(Version::V2012, 151, 10), (Version::V2014, 179, 7)]
-    {
+    for (v, expect_n, expect_plugins) in [(Version::V2012, 151, 10), (Version::V2014, 179, 7)] {
         let truth = e.truth_map(v);
         let detected: Vec<_> = e
             .cell("phpSAFE", v)
@@ -153,7 +167,10 @@ fn robustness_and_responsiveness() {
     let px12 = e.cell("Pixy", Version::V2012).failed_unsupported;
     let px14 = e.cell("Pixy", Version::V2014).failed_unsupported;
     assert!(px12 >= 25, "paper: 32 failed files; got {px12}");
-    assert!(px14 > px12, "paper: +37 errors in 2014; got {px12} -> {px14}");
+    assert!(
+        px14 > px12,
+        "paper: +37 errors in 2014; got {px12} -> {px14}"
+    );
     // Timing exists and is nonzero for every cell.
     for tool in phpsafe_eval::TOOLS {
         for v in Version::ALL {

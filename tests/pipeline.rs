@@ -9,10 +9,7 @@ use std::path::Path;
 
 /// Unique-ish temp dir per test run.
 fn temp_dir(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "phpsafe-pipeline-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("phpsafe-pipeline-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("create temp dir");
     dir
@@ -45,7 +42,10 @@ fn read_project(root: &Path, name: &str) -> PluginProject {
                     .expect("prefix")
                     .to_string_lossy()
                     .replace('\\', "/");
-                out.push(SourceFile::new(rel, std::fs::read_to_string(&p).expect("read")));
+                out.push(SourceFile::new(
+                    rel,
+                    std::fs::read_to_string(&p).expect("read"),
+                ));
             }
         }
     }
@@ -102,10 +102,8 @@ fn json_report_round_trips_through_disk() {
 
 #[test]
 fn html_report_written_to_disk_is_wellformed() {
-    let p = PluginProject::new("h").with_file(SourceFile::new(
-        "h.php",
-        "<?php echo $_GET['<payload>'];",
-    ));
+    let p = PluginProject::new("h")
+        .with_file(SourceFile::new("h.php", "<?php echo $_GET['<payload>'];"));
     let outcome = PhpSafe::new().analyze(&p);
     let html = phpsafe::render_html(&outcome);
     let dir = temp_dir("html");

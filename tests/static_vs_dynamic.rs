@@ -16,7 +16,10 @@ fn plugin(src: &str) -> PluginProject {
 fn assert_true_positive(src: &str) {
     let p = plugin(src);
     let outcome = PhpSafe::new().analyze(&p);
-    assert!(!outcome.vulns.is_empty(), "static analysis must report:\n{src}");
+    assert!(
+        !outcome.vulns.is_empty(),
+        "static analysis must report:\n{src}"
+    );
     let confirmed = outcome
         .vulns
         .iter()
@@ -52,9 +55,7 @@ fn direct_get_echo() {
 
 #[test]
 fn post_hook_handler() {
-    assert_true_positive(
-        "<?php add_action('init', 'h'); function h() { echo $_POST['m']; }",
-    );
+    assert_true_positive("<?php add_action('init', 'h'); function h() { echo $_POST['m']; }");
 }
 
 #[test]
@@ -110,7 +111,10 @@ fn include_split_flow() {
             "main.php",
             "<?php $view_data = $_GET['v']; include 'view.php';",
         ))
-        .with_file(SourceFile::new("view.php", "<?php echo '<h2>' . $view_data . '</h2>';"));
+        .with_file(SourceFile::new(
+            "view.php",
+            "<?php echo '<h2>' . $view_data . '</h2>';",
+        ));
     let outcome = PhpSafe::new().analyze(&p);
     assert_eq!(outcome.vulns.len(), 1);
     assert!(confirm_vulnerability(&p, &outcome.vulns[0]).is_confirmed());
