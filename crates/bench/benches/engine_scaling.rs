@@ -35,9 +35,11 @@ fn bench_engine_scaling(c: &mut Criterion) {
     }
     group.finish();
 
-    // One verbose run so the report shows what the caches did.
-    let (_, stats) = Evaluation::run_engine_with(corpus.clone(), 4);
-    println!("{stats}");
+    // One instrumented run so the report shows what the caches did.
+    phpsafe_obs::set_enabled(true);
+    let (_, snapshot) = Evaluation::run_engine_with(corpus.clone(), 4);
+    phpsafe_obs::set_enabled(false);
+    println!("{}", snapshot.render(&["engine.", "cache.", "stage."]));
 }
 
 criterion_group!(benches, bench_engine_scaling);

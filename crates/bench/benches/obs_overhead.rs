@@ -1,0 +1,60 @@
+//! `obs_overhead` — what the observability layer costs the analyzer.
+//!
+//! Three configurations over the same corpus plugin, single-threaded:
+//!
+//! * `disabled` — the default: every `count`/`time`/`span!` call is a
+//!   relaxed atomic load and an early return. This is the price every
+//!   production run pays and it must stay within noise (<2%) of an
+//!   uninstrumented build.
+//! * `metrics` — counters, histograms and the span tree recording.
+//! * `metrics+events` — additionally streaming taint events into the
+//!   ring buffer, the `--explain` configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phpsafe::PhpSafe;
+use phpsafe_corpus::{Corpus, Version};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn corpus() -> &'static Corpus {
+    static C: OnceLock<Corpus> = OnceLock::new();
+    C.get_or_init(Corpus::generate)
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let corpus = corpus();
+    let plugin = &corpus.plugins()[0];
+    let tool = PhpSafe::new();
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
+
+    phpsafe_obs::set_enabled(false);
+    phpsafe_obs::set_events_enabled(false);
+    group.bench_function("disabled", |b| {
+        b.iter(|| std::hint::black_box(tool.analyze(plugin.project(Version::V2014))))
+    });
+
+    phpsafe_obs::set_enabled(true);
+    group.bench_function("metrics", |b| {
+        b.iter(|| std::hint::black_box(tool.analyze(plugin.project(Version::V2014))))
+    });
+
+    phpsafe_obs::set_events_enabled(true);
+    group.bench_function("metrics+events", |b| {
+        b.iter(|| {
+            phpsafe_obs::drain_events();
+            std::hint::black_box(tool.analyze(plugin.project(Version::V2014)))
+        })
+    });
+
+    phpsafe_obs::set_enabled(false);
+    phpsafe_obs::set_events_enabled(false);
+    phpsafe_obs::drain_events();
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -18,15 +18,30 @@
 //!   caches, every tool meets every plugin cold. This is the paper's
 //!   Table III timing methodology; use it when comparing `table3` seconds.
 //! * `--engine-stats` — print scheduler/stage/cache statistics to stderr
-//!   after the run (engine mode only).
+//!   after the run.
+//! * `--engine-stats-json FILE` — write the same statistics as JSON.
+//! * `--metrics-out FILE` — write the full observability snapshot
+//!   (all counters and timing histograms) as JSON.
+//! * `--trace` — print the span self-profile tree to stderr after the run.
+//! * `--explain` — after the run, re-analyze corpus plugins with taint
+//!   events enabled and print the provenance chains of the first plugin
+//!   with findings.
 
+use phpsafe_corpus::Version;
 use phpsafe_eval::{tables, Evaluation, RecallMode};
+
+/// Snapshot name prefixes that make up the engine-stats view.
+const ENGINE_PREFIXES: &[&str] = &["engine.", "cache.", "stage."];
 
 struct Opts {
     what: String,
     jobs: usize,
     serial: bool,
     engine_stats: bool,
+    engine_stats_json: Option<String>,
+    metrics_out: Option<String>,
+    trace: bool,
+    explain: bool,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -35,6 +50,10 @@ fn parse_opts() -> Result<Opts, String> {
         jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
         serial: false,
         engine_stats: false,
+        engine_stats_json: None,
+        metrics_out: None,
+        trace: false,
+        explain: false,
     };
     let mut what: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -42,6 +61,16 @@ fn parse_opts() -> Result<Opts, String> {
         match a.as_str() {
             "--serial" => opts.serial = true,
             "--engine-stats" => opts.engine_stats = true,
+            "--trace" => opts.trace = true,
+            "--explain" => opts.explain = true,
+            "--engine-stats-json" => {
+                let v = args.next().ok_or("--engine-stats-json requires a file")?;
+                opts.engine_stats_json = Some(v);
+            }
+            "--metrics-out" => {
+                let v = args.next().ok_or("--metrics-out requires a file")?;
+                opts.metrics_out = Some(v);
+            }
             "--jobs" => {
                 let v = args.next().ok_or("--jobs requires a value")?;
                 opts.jobs = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
@@ -69,18 +98,44 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let want_obs = opts.engine_stats
+        || opts.engine_stats_json.is_some()
+        || opts.metrics_out.is_some()
+        || opts.trace;
+    if want_obs {
+        phpsafe_obs::set_enabled(true);
+    }
     eprintln!(
         "generating corpus and running phpSAFE, RIPS and Pixy over 35 plugins x 2 versions..."
     );
+    let before = phpsafe_obs::snapshot();
     let e = if opts.serial {
         Evaluation::run()
     } else {
-        let (e, stats) = Evaluation::run_engine(opts.jobs);
-        if opts.engine_stats {
-            eprintln!("{stats}");
-        }
-        e
+        Evaluation::run_engine(opts.jobs).0
     };
+    let snap = phpsafe_obs::snapshot().since(&before);
+    if opts.engine_stats {
+        eprintln!("{}", snap.render(ENGINE_PREFIXES));
+    }
+    if let Some(path) = &opts.engine_stats_json {
+        if let Err(err) = std::fs::write(path, snap.filtered(ENGINE_PREFIXES).to_json()) {
+            eprintln!("error: cannot write {path}: {err}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = &opts.metrics_out {
+        if let Err(err) = std::fs::write(path, snap.to_json()) {
+            eprintln!("error: cannot write {path}: {err}");
+            std::process::exit(1);
+        }
+    }
+    if opts.trace {
+        eprintln!("{}", phpsafe_obs::span_tree_text());
+    }
+    if opts.explain {
+        explain_first_findings(&e);
+    }
     match opts.what.as_str() {
         "table1" => print!("{}", tables::table1(&e, RecallMode::PaperOptimistic)),
         "table1-full" => print!("{}", tables::table1(&e, RecallMode::FullGroundTruth)),
@@ -106,4 +161,24 @@ fn main() {
             std::process::exit(2);
         }
     }
+}
+
+/// Re-analyzes corpus plugins with taint events on and prints the
+/// provenance chains of the first plugin phpSAFE reports findings for.
+/// (The evaluation retains confirmed ground-truth ids, not the raw
+/// `Vulnerability` records, so the chains come from a fresh pass.)
+fn explain_first_findings(e: &Evaluation) {
+    phpsafe_obs::set_events_enabled(true);
+    let tool = phpsafe::PhpSafe::new();
+    for plugin in e.corpus().plugins() {
+        phpsafe_obs::drain_events();
+        let outcome = tool.analyze(plugin.project(Version::V2014));
+        if outcome.vulns.is_empty() {
+            continue;
+        }
+        let events = phpsafe_obs::drain_events();
+        print!("{}", phpsafe::explain_outcome(&outcome, &events));
+        break;
+    }
+    phpsafe_obs::set_events_enabled(false);
 }

@@ -152,7 +152,10 @@ impl PhpSafe {
         project: &PluginProject,
         caches: Option<&EngineCaches>,
     ) -> AnalysisOutcome {
+        let _span = phpsafe_obs::span!("stage.analyze", project.name());
+
         // ---- stage 2: model construction ----
+        let span_model = phpsafe_obs::span!("analyze.model");
         let mut parsed: HashMap<String, Arc<ParsedFile>> = HashMap::new();
         let mut reports: Vec<FileReport> = Vec::new();
         let mut rejected: Vec<String> = Vec::new();
@@ -184,8 +187,10 @@ impl PhpSafe {
         }
 
         let symbols = SymbolTable::build(parsed.iter().map(|(p, a)| (p.as_str(), a.as_ref())));
+        drop(span_model);
 
         // ---- stage 3: analysis ----
+        let span_taint = phpsafe_obs::span!("analyze.taint");
         let summaries = caches.map(|c| c.summaries_for(&self.tool_name));
         let mut interp = Interp::new(
             &self.config,
@@ -215,8 +220,10 @@ impl PhpSafe {
             interp.run_uncalled(&uncalled);
             total_work += interp.work;
         }
+        drop(span_taint);
 
         // ---- stage 4: results processing ----
+        let span_results = phpsafe_obs::span!("analyze.results");
         for (path, msg) in &failed_paths {
             if let Some(r) = reports.iter_mut().find(|r| &r.path == path) {
                 r.failure = Some(FileFailure::ResourceLimit(msg.clone()));
@@ -251,6 +258,11 @@ impl PhpSafe {
         outcome
             .vulns
             .sort_by(|a, b| (&a.file, a.line, a.class).cmp(&(&b.file, b.line, b.class)));
+        drop(span_results);
+
+        phpsafe_obs::count("analyze.files", outcome.files.len() as u64);
+        phpsafe_obs::count("analyze.vulns", outcome.vulns.len() as u64);
+        phpsafe_obs::count("analyze.work_units", outcome.stats.work_units);
         outcome
     }
 }

@@ -12,19 +12,21 @@
 //!   --html                emit a standalone HTML report instead of text
 //!   --jobs <N>            analyze multiple paths on N worker threads
 //!   --engine-stats        print engine statistics to stderr after the run
+//!   --engine-stats-json <FILE>  write the same statistics as JSON
+//!   --metrics-out <FILE>  write the full metrics snapshot as JSON
 //!   --no-oop              disable OOP resolution (baseline mode)
 //!   --no-includes         disable include resolution
 //!   --no-uncalled         skip never-called functions
-//!   --trace               print full data-flow traces
+//!   --trace               print data-flow traces and the span self-profile
+//!   --explain             print source→sanitizer→sink provenance chains
 //!   -h, --help            this help
 //! ```
 
 use phpsafe::{AnalyzerOptions, EngineCaches, PhpSafe, PluginProject, SourceFile};
-use phpsafe_engine::{run_ordered, EngineStats};
+use phpsafe_engine::run_ordered;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
 
 /// Prints to stdout, tolerating a closed pipe (`phpsafe ... | head`).
 macro_rules! out {
@@ -55,12 +57,23 @@ OPTIONS:
                         (default: available parallelism; results do not
                         depend on N)
     --engine-stats      print scheduler/cache statistics to stderr
+    --engine-stats-json <FILE>
+                        write the same statistics as JSON to FILE
+    --metrics-out <FILE>
+                        write the full metrics snapshot (every counter
+                        and timing histogram) as JSON to FILE
     --no-oop            disable OOP resolution (baseline mode)
     --no-includes       disable include resolution
     --no-uncalled       skip functions never called from plugin code
-    --trace             print full data-flow traces
+    --trace             print full data-flow traces, plus the per-stage
+                        span self-profile tree to stderr
+    --explain           print a source→sanitizer→sink provenance chain
+                        for every reported vulnerability
     -h, --help          show this help
 ";
+
+/// Snapshot name prefixes that make up the engine-stats view.
+const ENGINE_PREFIXES: &[&str] = &["engine.", "cache.", "stage."];
 
 #[derive(Debug)]
 struct Cli {
@@ -71,10 +84,13 @@ struct Cli {
     inspect: bool,
     jobs: usize,
     engine_stats: bool,
+    engine_stats_json: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
     no_oop: bool,
     no_includes: bool,
     no_uncalled: bool,
     trace: bool,
+    explain: bool,
 }
 
 impl Default for Cli {
@@ -87,10 +103,13 @@ impl Default for Cli {
             inspect: false,
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             engine_stats: false,
+            engine_stats_json: None,
+            metrics_out: None,
             no_oop: false,
             no_includes: false,
             no_uncalled: false,
             trace: false,
+            explain: false,
         }
     }
 }
@@ -109,6 +128,19 @@ fn parse_args() -> Result<Cli, String> {
             "--no-includes" => cli.no_includes = true,
             "--no-uncalled" => cli.no_uncalled = true,
             "--trace" => cli.trace = true,
+            "--explain" => cli.explain = true,
+            "--engine-stats-json" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| "--engine-stats-json requires a file".to_string())?;
+                cli.engine_stats_json = Some(PathBuf::from(v));
+            }
+            "--metrics-out" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| "--metrics-out requires a file".to_string())?;
+                cli.metrics_out = Some(PathBuf::from(v));
+            }
             "--jobs" => {
                 let v = args
                     .next()
@@ -250,22 +282,47 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    let want_obs = cli.engine_stats
+        || cli.engine_stats_json.is_some()
+        || cli.metrics_out.is_some()
+        || cli.trace;
+    if want_obs {
+        phpsafe_obs::set_enabled(true);
+    }
+    if cli.explain {
+        phpsafe_obs::set_events_enabled(true);
+    }
+
     // Fan the projects across the engine's worker pool; output order
     // follows the command line regardless of scheduling.
     let analyzer = PhpSafe::new().with_config(config).with_options(options);
     let caches = EngineCaches::new();
-    let analyze_started = Instant::now();
-    let (outcomes, pool) = run_ordered(projects, cli.jobs, |_, project| {
+    let (outcomes, _pool) = run_ordered(projects, cli.jobs, |_, project| {
         analyzer.analyze_with_caches(&project, Some(&caches))
     });
-    let analyze_time = analyze_started.elapsed();
+    let events = phpsafe_obs::drain_events();
 
-    if cli.engine_stats {
-        let mut stats = EngineStats::default();
-        stats.absorb_pool(&pool);
-        caches.record(&mut stats);
-        stats.stages.analyze += analyze_time;
-        eprintln!("{stats}");
+    if want_obs {
+        caches.record();
+        let snap = phpsafe_obs::snapshot();
+        if cli.engine_stats {
+            eprintln!("{}", snap.render(ENGINE_PREFIXES));
+        }
+        if let Some(path) = &cli.engine_stats_json {
+            if let Err(e) = std::fs::write(path, snap.filtered(ENGINE_PREFIXES).to_json()) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Some(path) = &cli.metrics_out {
+            if let Err(e) = std::fs::write(path, snap.to_json()) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        if cli.trace {
+            eprintln!("{}", phpsafe_obs::span_tree_text());
+        }
     }
 
     let mut any_vulns = false;
@@ -313,6 +370,9 @@ fn main() -> ExitCode {
                         out!("    <- {}:{} {}", s.file, s.line, s.what);
                     }
                 }
+            }
+            if cli.explain && !outcome.vulns.is_empty() {
+                out!("{}", phpsafe::explain_outcome(outcome, &events).trim_end());
             }
         }
     }

@@ -23,19 +23,15 @@ use php_ast::printer::{print_expr, print_stmt};
 use php_ast::visit::{self, Visitor};
 use php_ast::{parse_tokens, Callee, ClassDecl, Expr, FunctionDecl, ParsedFile, Stmt};
 use php_lexer::tokenize;
-use phpsafe_engine::{fnv1a_64, ArtifactCache, CacheCounters, ContentKey, EngineStats};
+use phpsafe_engine::{fnv1a_64, ArtifactCache, CacheCounters, ContentKey};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
 
 /// A shared token-stream/AST cache: one lex + parse per distinct file
 /// content, no matter how many tools, versions or plugins present it.
 #[derive(Default)]
 pub struct AstCache {
     cache: ArtifactCache<ContentKey, ParsedFile>,
-    lex_ns: AtomicU64,
-    parse_ns: AtomicU64,
 }
 
 impl AstCache {
@@ -45,38 +41,18 @@ impl AstCache {
     }
 
     /// Parses `src`, sharing the artifact with every analysis that sees the
-    /// same bytes. Lex/parse wall time accumulates on misses only (hits
-    /// cost a hash plus a map lookup).
+    /// same bytes. Lex/parse wall time lands in the `stage.lex` /
+    /// `stage.parse` histograms on misses only (hits cost a hash plus a
+    /// map lookup).
     pub fn parse(&self, src: &str) -> Arc<ParsedFile> {
         let key = ContentKey::of(src.as_bytes());
-        let (ast, _hit) = self.cache.get_or_build(key, || {
-            let lex_started = Instant::now();
-            let toks = tokenize(src);
-            let lexed = lex_started.elapsed();
-            let parse_started = Instant::now();
-            let ast = parse_tokens(toks);
-            self.lex_ns
-                .fetch_add(lexed.as_nanos() as u64, Ordering::Relaxed);
-            self.parse_ns
-                .fetch_add(parse_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            ast
-        });
+        let (ast, _hit) = self.cache.get_or_build(key, || parse_tokens(tokenize(src)));
         ast
     }
 
     /// Hit/miss counters.
     pub fn counters(&self) -> CacheCounters {
         self.cache.counters()
-    }
-
-    /// Total lexing time spent on misses.
-    pub fn lex_time(&self) -> Duration {
-        Duration::from_nanos(self.lex_ns.load(Ordering::Relaxed))
-    }
-
-    /// Total parsing time spent on misses.
-    pub fn parse_time(&self) -> Duration {
-        Duration::from_nanos(self.parse_ns.load(Ordering::Relaxed))
     }
 
     /// Number of distinct file contents parsed so far.
@@ -169,15 +145,40 @@ impl EngineCaches {
             .clone()
     }
 
-    /// Folds this cache set's counters and stage times into `stats`.
-    pub fn record(&self, stats: &mut EngineStats) {
-        stats.parse_cache = stats.parse_cache.merged(&self.ast.counters());
-        stats.stages.lex += self.ast.lex_time();
-        stats.stages.parse += self.ast.parse_time();
+    /// Current cache totals: the shared parse cache plus every per-tool
+    /// summary cache summed together.
+    pub fn totals(&self) -> CacheTotals {
+        let mut summary = CacheCounters::default();
         for cache in self.summaries.lock().unwrap().values() {
-            stats.summary_cache = stats.summary_cache.merged(&cache.counters());
+            summary = summary.merged(&cache.counters());
+        }
+        CacheTotals {
+            parse: self.ast.counters(),
+            summary,
         }
     }
+
+    /// Folds this cache set's counters into the global observability
+    /// registry (`cache.parse.*` / `cache.summary.*`; no-op while
+    /// instrumentation is disabled) and returns them. Call once per engine
+    /// run — counters are cumulative over the cache set's lifetime.
+    pub fn record(&self) -> CacheTotals {
+        let totals = self.totals();
+        phpsafe_obs::count("cache.parse.hits", totals.parse.hits);
+        phpsafe_obs::count("cache.parse.misses", totals.parse.misses);
+        phpsafe_obs::count("cache.summary.hits", totals.summary.hits);
+        phpsafe_obs::count("cache.summary.misses", totals.summary.misses);
+        totals
+    }
+}
+
+/// Combined hit/miss counters of an [`EngineCaches`] set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheTotals {
+    /// Shared token-stream/AST cache.
+    pub parse: CacheCounters,
+    /// Per-tool summary caches, summed.
+    pub summary: CacheCounters,
 }
 
 /// Span-insensitive fingerprint of a declaration: name, parameter list and
@@ -325,7 +326,6 @@ mod tests {
         let c = cache.counters();
         assert_eq!((c.hits, c.misses), (1, 1));
         assert_eq!(cache.len(), 1);
-        assert!(cache.lex_time() + cache.parse_time() > Duration::ZERO);
     }
 
     #[test]
@@ -420,7 +420,7 @@ mod tests {
     }
 
     #[test]
-    fn caches_record_into_engine_stats() {
+    fn caches_total_their_counters() {
         let caches = EngineCaches::new();
         caches.ast().parse("<?php echo 1;");
         caches.ast().parse("<?php echo 1;");
@@ -439,10 +439,8 @@ mod tests {
         // The same tool name maps to the same cache.
         assert!(Arc::ptr_eq(&sums, &caches.summaries_for("phpSAFE")));
 
-        let mut stats = EngineStats::default();
-        caches.record(&mut stats);
-        assert_eq!(stats.parse_cache.hits, 1);
-        assert_eq!(stats.summary_cache.lookups(), 2);
-        assert!(stats.stages.lex + stats.stages.parse > Duration::ZERO);
+        let totals = caches.record();
+        assert_eq!(totals.parse.hits, 1);
+        assert_eq!(totals.summary.lookups(), 2);
     }
 }

@@ -1,0 +1,222 @@
+//! `--explain`: provenance chains behind reported vulnerabilities.
+//!
+//! A [`crate::Vulnerability`] carries the data-flow trace the interpreter
+//! recorded (source → propagation → sink). With taint events enabled
+//! ([`phpsafe_obs::set_events_enabled`]) the interpreter additionally emits
+//! a [`TaintEvent`] per transition, using the *same wording* as the trace
+//! steps. [`explain_vuln`] joins the two: every trace step is anchored to
+//! its event (kind label, global order), and sanitizer applications — which
+//! leave no trace step of their own — are woven back in between the anchors
+//! they happened between. The result is the full
+//! source → sanitizer → sink story of one finding.
+
+use crate::report::{AnalysisOutcome, Vulnerability};
+use crate::taint::TraceStep;
+use phpsafe_obs::{TaintEvent, TaintEventKind};
+use std::fmt::Write as _;
+
+/// Infers a chain label for a trace step that no event anchors (events
+/// disabled, ring buffer wrapped, or the step predates this session).
+fn infer_label(step: &TraceStep) -> &'static str {
+    if step.what.starts_with("source ")
+        || step.what.starts_with("register_globals ")
+        || step.what.ends_with("injected by extract()")
+    {
+        TaintEventKind::Introduced.label()
+    } else if step.what.starts_with("revert ") {
+        TaintEventKind::Reverted.label()
+    } else {
+        TaintEventKind::Propagated.label()
+    }
+}
+
+/// Renders the provenance chain of one vulnerability.
+///
+/// `events` is the taint-event stream of the run (e.g.
+/// [`phpsafe_obs::events`]); pass an empty slice to explain from the trace
+/// alone. The chain always ends in the sink line, and always states which
+/// sanitizers the flow passed — explicitly saying so when there were none.
+pub fn explain_vuln(vuln: &Vulnerability, events: &[TaintEvent]) -> String {
+    let mut out = format!(
+        "{} in {}:{} — `{}` reaches sink `{}` (source: {})\n",
+        vuln.class, vuln.file, vuln.line, vuln.var, vuln.sink, vuln.source_kind
+    );
+
+    // Anchor each trace step to the first event with identical position and
+    // wording; anchored steps carry the event's kind and global order.
+    let anchor = |step: &TraceStep| {
+        events
+            .iter()
+            .find(|e| e.file == step.file && e.line == step.line && e.detail == step.what)
+    };
+    let anchors: Vec<Option<&TaintEvent>> = vuln.trace.iter().map(anchor).collect();
+    let seqs: Vec<u64> = anchors.iter().flatten().map(|e| e.seq).collect();
+    let window = match (seqs.iter().min(), seqs.iter().max()) {
+        (Some(&lo), Some(&hi)) => Some((lo, hi)),
+        _ => None,
+    };
+
+    // Sanitizer applications emit events but record no trace step — weave
+    // the ones that happened between this chain's anchors back in by
+    // sequence number.
+    let mut extra: Vec<&TaintEvent> = match window {
+        Some((lo, hi)) => events
+            .iter()
+            .filter(|e| {
+                e.kind == TaintEventKind::Sanitized
+                    && e.seq > lo
+                    && e.seq < hi
+                    && anchors.iter().flatten().all(|a| a.seq != e.seq)
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    extra.sort_by_key(|e| e.seq);
+    let mut extra = extra.into_iter().peekable();
+
+    let mut sanitizers: Vec<String> = Vec::new();
+    let mut n = 0usize;
+    let mut push_line = |out: &mut String, label: &str, file: &str, line: u32, what: &str| {
+        n += 1;
+        let _ = writeln!(out, "  {n}. {label:<10} {file}:{line}  {what}");
+    };
+
+    for (step, anchor) in vuln.trace.iter().zip(&anchors) {
+        if let Some(&(_, _)) = window.as_ref() {
+            let step_seq = anchor.map(|a| a.seq);
+            while let Some(ev) = extra.peek() {
+                if step_seq.is_some_and(|s| ev.seq > s) {
+                    break;
+                }
+                push_line(&mut out, ev.kind.label(), &ev.file, ev.line, &ev.detail);
+                sanitizers.push(ev.detail.clone());
+                extra.next();
+            }
+        }
+        let label = anchor.map(|a| a.kind.label()).unwrap_or(infer_label(step));
+        if label == TaintEventKind::Reverted.label() {
+            sanitizers.push(step.what.clone());
+        }
+        push_line(&mut out, label, &step.file, step.line, &step.what);
+    }
+    for ev in extra {
+        push_line(&mut out, ev.kind.label(), &ev.file, ev.line, &ev.detail);
+        sanitizers.push(ev.detail.clone());
+    }
+    push_line(
+        &mut out,
+        TaintEventKind::SinkHit.label(),
+        &vuln.file,
+        vuln.line,
+        &format!("{} reaches {}", vuln.var, vuln.sink),
+    );
+
+    if sanitizers.is_empty() {
+        out.push_str("  sanitization: none — taint reached the sink unsanitized\n");
+    } else {
+        let _ = writeln!(out, "  sanitization: {}", sanitizers.join("; "));
+    }
+    out
+}
+
+/// Renders the provenance chains of every vulnerability in an outcome.
+pub fn explain_outcome(outcome: &AnalysisOutcome, events: &[TaintEvent]) -> String {
+    let mut out = format!(
+        "explain: {} — {} vulnerabilit{}\n",
+        outcome.plugin,
+        outcome.vulns.len(),
+        if outcome.vulns.len() == 1 { "y" } else { "ies" }
+    );
+    for v in &outcome.vulns {
+        out.push('\n');
+        out.push_str(&explain_vuln(v, events));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PhpSafe, PluginProject, SourceFile};
+
+    fn analyze_with_events(file: &str, src: &str) -> (AnalysisOutcome, Vec<TaintEvent>) {
+        phpsafe_obs::set_events_enabled(true);
+        let plugin = PluginProject::new("demo").with_file(SourceFile::new(file, src));
+        let outcome = PhpSafe::new().analyze(&plugin);
+        phpsafe_obs::set_events_enabled(false);
+        // Unique file names keep this test's events apart from any other
+        // test that happens to run while the global switch is on.
+        let events = phpsafe_obs::events()
+            .into_iter()
+            .filter(|e| e.file == file)
+            .collect();
+        (outcome, events)
+    }
+
+    #[test]
+    fn chain_weaves_sanitizer_and_revert() {
+        let (outcome, events) = analyze_with_events(
+            "explain_revert_demo.php",
+            "<?php
+            $s = addslashes($_GET['s']);
+            $raw = stripslashes($s);
+            mysql_query(\"SELECT * FROM t WHERE s = '$raw'\");",
+        );
+        assert_eq!(outcome.vulns.len(), 1, "{:?}", outcome.vulns);
+        let text = explain_vuln(&outcome.vulns[0], &events);
+        assert!(text.contains("source $_GET"), "{text}");
+        assert!(text.contains("sanitized by addslashes()"), "{text}");
+        assert!(
+            text.contains("revert stripslashes() restores taint"),
+            "{text}"
+        );
+        assert!(text.contains("reaches mysql_query"), "{text}");
+        let sanitized_at = text.find("sanitized by").unwrap();
+        let reverted_at = text.find("revert stripslashes").unwrap();
+        assert!(
+            sanitized_at < reverted_at,
+            "sanitizer must precede its revert:\n{text}"
+        );
+        assert!(text.contains("sanitization: sanitized by addslashes()"));
+    }
+
+    #[test]
+    fn unsanitized_chain_says_so() {
+        let (outcome, events) =
+            analyze_with_events("explain_direct_demo.php", "<?php echo $_GET['name'];");
+        assert_eq!(outcome.vulns.len(), 1);
+        let text = explain_vuln(&outcome.vulns[0], &events);
+        assert!(text.contains("introduced"), "{text}");
+        assert!(text.contains("sink-hit"), "{text}");
+        assert!(
+            text.contains("sanitization: none — taint reached the sink unsanitized"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn explains_from_trace_alone_when_events_are_off() {
+        let plugin = PluginProject::new("demo").with_file(SourceFile::new(
+            "explain_noevents.php",
+            "<?php $x = $_POST['m']; echo $x;",
+        ));
+        let outcome = PhpSafe::new().analyze(&plugin);
+        assert_eq!(outcome.vulns.len(), 1);
+        let text = explain_vuln(&outcome.vulns[0], &[]);
+        assert!(text.contains("introduced"), "{text}");
+        assert!(text.contains("source $_POST"), "{text}");
+        assert!(text.contains("sink-hit"), "{text}");
+    }
+
+    #[test]
+    fn outcome_rendering_counts_vulns() {
+        let plugin = PluginProject::new("demo").with_file(SourceFile::new(
+            "explain_outcome.php",
+            "<?php echo $_GET['a'];\necho $_POST['b'];",
+        ));
+        let outcome = PhpSafe::new().analyze(&plugin);
+        let text = explain_outcome(&outcome, &[]);
+        assert!(text.contains("2 vulnerabilities"), "{text}");
+        assert_eq!(text.matches("sink-hit").count(), 2);
+    }
+}

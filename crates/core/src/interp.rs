@@ -29,6 +29,7 @@ use php_ast::{
     Arg, AssignOp, Callee, Expr, FunctionDecl, IncludeKind, InterpPart, Lit, Member, ParsedFile,
     Span, Stmt,
 };
+use phpsafe_obs::TaintEventKind;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use taint_config::{SourceKind, TaintConfig, VulnClass};
@@ -292,14 +293,15 @@ impl<'a> Interp<'a> {
                     object_class: None,
                     trace: subj.trace.clone(),
                 };
-                elem.push_trace(
-                    TraceStep {
-                        file: self.current_file().to_string(),
-                        line: stmt.span().line,
-                        what: format!("foreach over {}", print_expr(subject)),
-                    },
-                    self.opts.trace_limit,
-                );
+                let step = TraceStep {
+                    file: self.current_file().to_string(),
+                    line: stmt.span().line,
+                    what: format!("foreach over {}", print_expr(subject)),
+                };
+                if elem.taint.any() {
+                    self.emit_event(TaintEventKind::Propagated, step.line, &step.what);
+                }
+                elem.push_trace(step, self.opts.trace_limit);
                 if let Some(k) = key {
                     self.assign_to(k, VarState::clean(), f);
                 }
@@ -521,14 +523,13 @@ impl<'a> Interp<'a> {
                 let mut st = self.eval(base, f);
                 st.object_class = None;
                 if st.taint.any() {
-                    st.push_trace(
-                        TraceStep {
-                            file: self.current_file().to_string(),
-                            line: span.line,
-                            what: format!("read {}", print_expr(e)),
-                        },
-                        self.opts.trace_limit,
-                    );
+                    let step = TraceStep {
+                        file: self.current_file().to_string(),
+                        line: span.line,
+                        what: format!("read {}", print_expr(e)),
+                    };
+                    self.emit_event(TaintEventKind::Propagated, step.line, &step.what);
+                    st.push_trace(step, self.opts.trace_limit);
                 }
                 st
             }
@@ -564,19 +565,18 @@ impl<'a> Interp<'a> {
                     rhs
                 };
                 if st.taint.any() {
-                    st.push_trace(
-                        TraceStep {
-                            file: self.current_file().to_string(),
-                            line: span.line,
-                            what: format!(
-                                "{} {} {}",
-                                print_expr(target),
-                                op.symbol(),
-                                print_expr(value)
-                            ),
-                        },
-                        self.opts.trace_limit,
-                    );
+                    let step = TraceStep {
+                        file: self.current_file().to_string(),
+                        line: span.line,
+                        what: format!(
+                            "{} {} {}",
+                            print_expr(target),
+                            op.symbol(),
+                            print_expr(value)
+                        ),
+                    };
+                    self.emit_event(TaintEventKind::Propagated, step.line, &step.what);
+                    st.push_trace(step, self.opts.trace_limit);
                 }
                 self.assign_to(target, st.clone(), f);
                 st
@@ -702,14 +702,13 @@ impl<'a> Interp<'a> {
     /// scope and the known-object table.
     fn read_var(&mut self, name: &str, span: Span, f: &mut Frame) -> VarState {
         if let Some(kind) = self.cfg.superglobal_kind(name) {
-            return VarState::tainted(
-                Taint::from_source(kind),
-                TraceStep {
-                    file: self.current_file().to_string(),
-                    line: span.line,
-                    what: format!("source {name}"),
-                },
-            );
+            let step = TraceStep {
+                file: self.current_file().to_string(),
+                line: span.line,
+                what: format!("source {name}"),
+            };
+            self.emit_event(TaintEventKind::Introduced, span.line, &step.what);
+            return VarState::tainted(Taint::from_source(kind), step);
         }
         let use_globals = f.is_global || f.globals_decl.contains(name);
         let existing = if use_globals {
@@ -731,26 +730,24 @@ impl<'a> Interp<'a> {
         }
         // `extract()` on tainted data spills taint over the whole scope.
         if f.extracted.any() && name != "$this" {
-            return VarState::tainted(
-                f.extracted,
-                TraceStep {
-                    file: self.current_file().to_string(),
-                    line: span.line,
-                    what: format!("{name} injected by extract()"),
-                },
-            );
+            let step = TraceStep {
+                file: self.current_file().to_string(),
+                line: span.line,
+                what: format!("{name} injected by extract()"),
+            };
+            self.emit_event(TaintEventKind::Introduced, span.line, &step.what);
+            return VarState::tainted(f.extracted, step);
         }
         // Pixy-era register_globals: an undefined global variable can be
         // injected through the request (§V.A: half of Pixy's findings).
         if self.opts.register_globals && use_globals && name != "$this" {
-            return VarState::tainted(
-                Taint::from_source(SourceKind::Request),
-                TraceStep {
-                    file: self.current_file().to_string(),
-                    line: span.line,
-                    what: format!("register_globals {name}"),
-                },
-            );
+            let step = TraceStep {
+                file: self.current_file().to_string(),
+                line: span.line,
+                what: format!("register_globals {name}"),
+            };
+            self.emit_event(TaintEventKind::Introduced, span.line, &step.what);
+            return VarState::tainted(Taint::from_source(SourceKind::Request), step);
         }
         VarState::clean()
     }
@@ -822,14 +819,13 @@ impl<'a> Interp<'a> {
         if base_st.taint.any() {
             let mut st = base_st;
             st.object_class = None;
-            st.push_trace(
-                TraceStep {
-                    file: self.current_file().to_string(),
-                    line: span.line,
-                    what: format!("read property {pname} of tainted object"),
-                },
-                self.opts.trace_limit,
-            );
+            let step = TraceStep {
+                file: self.current_file().to_string(),
+                line: span.line,
+                what: format!("read property {pname} of tainted object"),
+            };
+            self.emit_event(TaintEventKind::Propagated, step.line, &step.what);
+            st.push_trace(step, self.opts.trace_limit);
             return st;
         }
         VarState::clean()
@@ -995,14 +991,13 @@ impl<'a> Interp<'a> {
             } else {
                 Taint::from_source(kind)
             };
-            return VarState::tainted(
-                taint,
-                TraceStep {
-                    file: self.current_file().to_string(),
-                    line: span.line,
-                    what: format!("source {sink_label}()"),
-                },
-            );
+            let step = TraceStep {
+                file: self.current_file().to_string(),
+                line: span.line,
+                what: format!("source {sink_label}()"),
+            };
+            self.emit_event(TaintEventKind::Introduced, span.line, &step.what);
+            return VarState::tainted(taint, step);
         }
 
         // --- sanitizer ---
@@ -1010,6 +1005,13 @@ impl<'a> Interp<'a> {
         if !protects.is_empty() {
             let joined = self.join_all(&arg_states);
             let (kept, removed) = joined.taint.sanitize(&protects);
+            if removed.any() && phpsafe_obs::events_enabled() {
+                self.emit_event(
+                    TaintEventKind::Sanitized,
+                    span.line,
+                    &format!("sanitized by {sink_label}()"),
+                );
+            }
             return VarState {
                 taint: kept,
                 sanitized_from: joined.sanitized_from.join(removed),
@@ -1024,14 +1026,13 @@ impl<'a> Interp<'a> {
             let mut st = joined.clone();
             st.taint = st.taint.join(joined.sanitized_from);
             if st.taint.any() {
-                st.push_trace(
-                    TraceStep {
-                        file: self.current_file().to_string(),
-                        line: span.line,
-                        what: format!("revert {sink_label}() restores taint"),
-                    },
-                    limit,
-                );
+                let step = TraceStep {
+                    file: self.current_file().to_string(),
+                    line: span.line,
+                    what: format!("revert {sink_label}() restores taint"),
+                };
+                self.emit_event(TaintEventKind::Reverted, span.line, &step.what);
+                st.push_trace(step, limit);
             }
             return st;
         }
@@ -1091,14 +1092,13 @@ impl<'a> Interp<'a> {
                         );
                         self.writeback_refs(&decl, args, f);
                         if ret.taint.any() {
-                            ret.push_trace(
-                                TraceStep {
-                                    file: self.current_file().to_string(),
-                                    line: span.line,
-                                    what: format!("returned by {sink_label}()"),
-                                },
-                                limit,
-                            );
+                            let step = TraceStep {
+                                file: self.current_file().to_string(),
+                                line: span.line,
+                                what: format!("returned by {sink_label}()"),
+                            };
+                            self.emit_event(TaintEventKind::Propagated, span.line, &step.what);
+                            ret.push_trace(step, limit);
                         }
                         return ret;
                     }
@@ -1129,14 +1129,13 @@ impl<'a> Interp<'a> {
                     let mut ret = self.call_decl(&decl, &file, arg_states, None, false);
                     self.writeback_refs(&decl, args, f);
                     if ret.taint.any() {
-                        ret.push_trace(
-                            TraceStep {
-                                file: self.current_file().to_string(),
-                                line: span.line,
-                                what: format!("returned by {name}()"),
-                            },
-                            limit,
-                        );
+                        let step = TraceStep {
+                            file: self.current_file().to_string(),
+                            line: span.line,
+                            what: format!("returned by {name}()"),
+                        };
+                        self.emit_event(TaintEventKind::Propagated, span.line, &step.what);
+                        ret.push_trace(step, limit);
                     }
                     return ret;
                 }
@@ -1400,10 +1399,26 @@ impl<'a> Interp<'a> {
         }
     }
 
+    /// Forwards one taint transition to the observability event buffer
+    /// (`--explain`). `detail` matches the wording of the data-flow trace
+    /// step recorded at the same site, so events and traces correlate.
+    fn emit_event(&self, kind: TaintEventKind, line: u32, detail: &str) {
+        if phpsafe_obs::events_enabled() {
+            phpsafe_obs::emit(kind, self.current_file(), line, detail.to_string());
+        }
+    }
+
     fn report(&mut self, class: VulnClass, span: Span, sink: &str, st: &VarState, var: String) {
         let Some(kind) = st.taint.kind_for(class) else {
             return;
         };
+        if phpsafe_obs::events_enabled() {
+            self.emit_event(
+                TaintEventKind::SinkHit,
+                span.line,
+                &format!("{var} reaches {sink}"),
+            );
+        }
         self.vulns.push(Vulnerability {
             class,
             file: self.current_file().to_string(),

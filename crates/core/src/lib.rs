@@ -39,6 +39,7 @@
 
 mod analyzer;
 pub mod caching;
+pub mod explain;
 mod html;
 mod inspect;
 mod interp;
@@ -48,7 +49,8 @@ pub mod symbols;
 pub mod taint;
 
 pub use analyzer::{AnalyzerOptions, PhpSafe};
-pub use caching::EngineCaches;
+pub use caching::{CacheTotals, EngineCaches};
+pub use explain::{explain_outcome, explain_vuln};
 pub use html::{escape_html, render_html};
 pub use inspect::{inspect, FileInventory, Inspection};
 pub use project::{PluginProject, SourceFile};

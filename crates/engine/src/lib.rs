@@ -12,17 +12,19 @@
 //!   output is byte-identical to a serial run;
 //! * [`cache`] + [`hash`] — content-hash-keyed artifact stores with
 //!   hit/miss counters, used by the analyzer for shared token-stream/AST
-//!   artifacts and per-tool function summaries;
-//! * [`stats`] — the [`EngineStats`] observability record (jobs run, queue
-//!   wait, per-stage wall time, cache hit rates) surfaced by the `repro`
-//!   and `phpsafe` binaries.
+//!   artifacts and per-tool function summaries.
+//!
+//! Observability lives in `phpsafe-obs`: each [`run_ordered`] call records
+//! its scheduler statistics (`engine.*` counters, `engine.wall` /
+//! `engine.queue_wait` histograms) into the global registry when
+//! instrumentation is enabled, and the cache counters are folded in by the
+//! analyzer's cache layer — one stats story surfaced by the `repro` and
+//! `phpsafe` binaries.
 
 pub mod cache;
 pub mod hash;
 pub mod pool;
-pub mod stats;
 
 pub use cache::{ArtifactCache, CacheCounters};
 pub use hash::{fnv1a_64, ContentKey};
 pub use pool::{run_ordered, PoolStats};
-pub use stats::{EngineStats, StageTimes};

@@ -25,6 +25,22 @@ pub struct PoolStats {
     pub wall: Duration,
 }
 
+impl PoolStats {
+    /// Records this run into the global observability registry (no-op
+    /// while instrumentation is disabled). `engine.workers` accumulates
+    /// across runs; divide by `engine.runs` for the mean pool width.
+    fn record(&self) {
+        if !phpsafe_obs::enabled() {
+            return;
+        }
+        phpsafe_obs::count("engine.runs", 1);
+        phpsafe_obs::count("engine.jobs_run", self.jobs_run);
+        phpsafe_obs::count("engine.workers", self.workers as u64);
+        phpsafe_obs::time("engine.queue_wait", self.queue_wait);
+        phpsafe_obs::time("engine.wall", self.wall);
+    }
+}
+
 /// Runs `jobs` on `workers` threads; `run` receives each job plus its
 /// submission index. Results come back in submission order.
 ///
@@ -57,6 +73,7 @@ where
             queue_wait,
             wall: started.elapsed(),
         };
+        stats.record();
         return (outputs, stats);
     }
 
@@ -90,6 +107,7 @@ where
         queue_wait: Duration::from_nanos(waited_ns.load(Ordering::Relaxed)),
         wall: started.elapsed(),
     };
+    stats.record();
     (outputs, stats)
 }
 

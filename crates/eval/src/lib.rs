@@ -30,5 +30,5 @@ pub use export::{per_plugin, per_plugin_csv, table1_csv, PluginCell};
 pub use history::{evolution, evolution_report, PluginEvolution};
 pub use metrics::{pct, Metrics, RecallMode};
 pub use oracle::{verify, MatchResult};
-pub use phpsafe_engine::EngineStats;
+pub use phpsafe_obs::Snapshot;
 pub use runner::{Evaluation, ToolCell, TOOLS};

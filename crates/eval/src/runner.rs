@@ -7,7 +7,8 @@ use crate::oracle::{verify, MatchResult};
 use phpsafe::{AnalysisOutcome, EngineCaches, FileFailure, Vulnerability};
 use phpsafe_baselines::paper_tools;
 use phpsafe_corpus::{Corpus, GroundTruthEntry, Version};
-use phpsafe_engine::{run_ordered, EngineStats};
+use phpsafe_engine::run_ordered;
+use phpsafe_obs::Snapshot;
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 use taint_config::VulnClass;
@@ -74,7 +75,7 @@ impl Evaluation {
 
     /// Generates the corpus and runs the engine-scheduled evaluation on
     /// `jobs` workers.
-    pub fn run_engine(jobs: usize) -> (Evaluation, EngineStats) {
+    pub fn run_engine(jobs: usize) -> (Evaluation, Snapshot) {
         Self::run_engine_with(Corpus::generate(), jobs)
     }
 
@@ -89,7 +90,13 @@ impl Evaluation {
     /// [`Evaluation::run_with`] at any worker count. Each cell's `seconds`
     /// is the summed analysis time of its 35 jobs (per-cell wall clock is
     /// meaningless when cells interleave across workers).
-    pub fn run_engine_with(corpus: Corpus, jobs: usize) -> (Evaluation, EngineStats) {
+    ///
+    /// The returned [`Snapshot`] is the observability delta of this run:
+    /// `engine.*` scheduler counters, `cache.*` hit/miss counters and the
+    /// `stage.*` timing histograms. It is empty unless
+    /// [`phpsafe_obs::set_enabled`] was switched on.
+    pub fn run_engine_with(corpus: Corpus, jobs: usize) -> (Evaluation, Snapshot) {
+        let before = phpsafe_obs::snapshot();
         let tools = paper_tools();
         let caches = EngineCaches::new();
 
@@ -103,20 +110,19 @@ impl Evaluation {
             }
         }
 
-        let (results, pool) = run_ordered(specs, jobs, |_, (t, version, p)| {
+        let (results, _pool) = run_ordered(specs, jobs, |_, (t, version, p)| {
             let plugin = &corpus.plugins()[p];
             let started = Instant::now();
             let outcome = tools[t].analyze_cached(plugin.project(version), &caches);
             (outcome, started.elapsed())
         });
 
-        let mut stats = EngineStats::default();
-        stats.absorb_pool(&pool);
-        caches.record(&mut stats);
+        caches.record();
 
         // Verification runs after the pool has drained — outside both the
-        // per-cell timings and the engine's analyze stage.
-        let verify_started = Instant::now();
+        // per-cell timings and the engine's analyze stage. The `stage.eval`
+        // span covers exactly this oracle/fold step.
+        let span_eval = phpsafe_obs::span!("stage.eval");
         let mut cells = Vec::new();
         let mut results = results.into_iter();
         for tool in &tools {
@@ -130,13 +136,13 @@ impl Evaluation {
                 }
                 let mut cell = Self::fold_cell(&corpus, tool.name(), version, &outcomes);
                 cell.seconds = analyze_time.as_secs_f64();
-                stats.stages.analyze += analyze_time;
                 cells.push(cell);
             }
         }
-        stats.stages.verify += verify_started.elapsed();
+        drop(span_eval);
 
-        (Evaluation { corpus, cells }, stats)
+        let snapshot = phpsafe_obs::snapshot().since(&before);
+        (Evaluation { corpus, cells }, snapshot)
     }
 
     /// Oracle-verifies one (tool, version) run and aggregates its cell.

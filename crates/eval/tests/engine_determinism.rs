@@ -11,8 +11,13 @@ fn engine_is_deterministic_and_matches_serial() {
     let corpus = Corpus::generate();
     let serial = Evaluation::run_with(corpus.clone());
 
+    // Counters only record while the observability switch is on; the
+    // snapshot returned by each run is a per-run delta, so runs don't
+    // contaminate each other.
+    phpsafe_obs::set_enabled(true);
+
     for workers in [1, 2, 8] {
-        let (engine, stats) = Evaluation::run_engine_with(corpus.clone(), workers);
+        let (engine, snap) = Evaluation::run_engine_with(corpus.clone(), workers);
 
         for tool in phpsafe_eval::TOOLS {
             for version in Version::ALL {
@@ -63,20 +68,21 @@ fn engine_is_deterministic_and_matches_serial() {
 
         // The 3 tools × 2 versions see mostly identical file contents, so
         // the shared parse cache must demonstrate real reuse.
-        assert_eq!(stats.jobs_run, 6 * corpus.plugins().len() as u64);
-        assert!(
-            stats.parse_cache.hits > stats.parse_cache.misses,
-            "parse cache should be dominated by hits: {:?}",
-            stats.parse_cache
-        );
         assert_eq!(
-            stats.parse_cache.hits + stats.parse_cache.misses,
-            stats.parse_cache.lookups()
+            snap.counter("engine.jobs_run"),
+            6 * corpus.plugins().len() as u64
         );
         assert!(
-            stats.summary_cache.hits > 0,
-            "pure-leaf summaries should carry across versions: {:?}",
-            stats.summary_cache
+            snap.counter("cache.parse.hits") > snap.counter("cache.parse.misses"),
+            "parse cache should be dominated by hits: {} hits / {} misses",
+            snap.counter("cache.parse.hits"),
+            snap.counter("cache.parse.misses")
+        );
+        assert!(
+            snap.counter("cache.summary.hits") > 0,
+            "pure-leaf summaries should carry across versions"
         );
     }
+
+    phpsafe_obs::set_enabled(false);
 }

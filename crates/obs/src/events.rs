@@ -1,0 +1,177 @@
+//! Structured taint events in a bounded ring buffer.
+//!
+//! The interpreter emits one [`TaintEvent`] per interesting taint
+//! transition; the buffer keeps the most recent [`DEFAULT_CAPACITY`]
+//! of them so `--explain` can reconstruct the provenance chain
+//! (source → propagation → sanitizer → sink) behind each reported
+//! vulnerability without unbounded memory growth.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default capacity of the global ring buffer: large enough to hold every
+/// event of a plugin-sized analysis, small enough to bound memory on
+/// corpus-scale runs.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// What happened to a taint mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaintEventKind {
+    /// Taint entered the program (superglobal read, source function, ...).
+    Introduced,
+    /// Taint flowed through an assignment, index, property or call.
+    Propagated,
+    /// A sanitizer cleared the taint for its vulnerability class.
+    Sanitized,
+    /// A revert function (e.g. `stripslashes`) restored cleared taint.
+    Reverted,
+    /// Tainted data reached a sink — a vulnerability is reported.
+    SinkHit,
+}
+
+impl TaintEventKind {
+    /// Short lowercase label used in `--explain` output.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaintEventKind::Introduced => "introduced",
+            TaintEventKind::Propagated => "propagated",
+            TaintEventKind::Sanitized => "sanitized",
+            TaintEventKind::Reverted => "reverted",
+            TaintEventKind::SinkHit => "sink-hit",
+        }
+    }
+}
+
+/// One taint transition, ordered process-wide by `seq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintEvent {
+    /// Global emission order (monotonic across threads and buffers).
+    pub seq: u64,
+    /// The kind of transition.
+    pub kind: TaintEventKind,
+    /// File the transition happened in.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description; matches the wording of the data-flow
+    /// trace steps so events and traces can be correlated.
+    pub detail: String,
+}
+
+/// A bounded FIFO of taint events; the oldest events are dropped once the
+/// capacity is reached.
+pub struct RingBuffer {
+    capacity: usize,
+    seq: AtomicU64,
+    buf: Mutex<VecDeque<TaintEvent>>,
+}
+
+impl RingBuffer {
+    /// An empty buffer holding at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> RingBuffer {
+        RingBuffer {
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            buf: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the buffer is full.
+    pub fn emit(&self, kind: TaintEventKind, file: &str, line: u32, detail: String) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(TaintEvent {
+            seq,
+            kind,
+            file: file.to_string(),
+            line,
+            detail,
+        });
+    }
+
+    /// Clones the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TaintEvent> {
+        self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Removes and returns the buffered events, oldest first. The sequence
+    /// counter keeps running, so later events still order after these.
+    pub fn drain(&self) -> Vec<TaintEvent> {
+        self.buf.lock().unwrap().drain(..).collect()
+    }
+
+    /// Discards all buffered events.
+    pub fn clear(&self) {
+        self.buf.lock().unwrap().clear();
+    }
+
+    /// Number of currently buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever emitted, including evicted ones.
+    pub fn emitted(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraparound_keeps_newest_and_seq_stays_monotonic() {
+        let ring = RingBuffer::with_capacity(4);
+        for i in 0..6u32 {
+            ring.emit(TaintEventKind::Propagated, "a.php", i, format!("step {i}"));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.emitted(), 6);
+        let events = ring.events();
+        assert_eq!(events.first().unwrap().seq, 2, "two oldest evicted");
+        assert_eq!(events.last().unwrap().seq, 5);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(events[0].line, 2);
+        assert_eq!(events[0].detail, "step 2");
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_counting() {
+        let ring = RingBuffer::with_capacity(8);
+        ring.emit(TaintEventKind::Introduced, "a.php", 1, "src".into());
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(ring.is_empty());
+        ring.emit(TaintEventKind::SinkHit, "a.php", 9, "echo".into());
+        let after = ring.events();
+        assert_eq!(after.len(), 1);
+        assert!(after[0].seq > drained[0].seq);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.emitted(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let ring = RingBuffer::with_capacity(0);
+        ring.emit(TaintEventKind::SinkHit, "a.php", 1, "echo".into());
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(TaintEventKind::Introduced.label(), "introduced");
+        assert_eq!(TaintEventKind::SinkHit.label(), "sink-hit");
+        assert_eq!(TaintEventKind::Reverted.label(), "reverted");
+    }
+}

@@ -1,0 +1,509 @@
+//! Named counters and microsecond histograms with JSON-serializable,
+//! diffable snapshots.
+//!
+//! A [`Registry`] maps static names to atomic counters and to log2-bucketed
+//! [`Histogram`]s of microsecond durations. Recording is lock-light (one
+//! mutex lookup to fetch the handle, atomics after that) and reading is
+//! always safe while recorders are running. [`Snapshot`] freezes the whole
+//! registry; [`Snapshot::since`] subtracts an earlier snapshot so callers
+//! can attribute counts and timings to one run of a long-lived process.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of log2 buckets: bucket `i` holds values whose bit length is `i`
+/// (bucket 0 is exactly zero), so the largest representable value class is
+/// `2^63..`. 64 buckets cover every `u64` microsecond count.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index of a microsecond value: its bit length, clamped.
+fn bucket_of(us: u64) -> usize {
+    ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of a bucket, used as the reported quantile value.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A thread-safe histogram of microsecond durations.
+///
+/// Values land in power-of-two buckets, so quantiles are approximate (the
+/// reported value is the bucket's upper bound, capped at the exact
+/// maximum) while count/sum/max are exact.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration sample.
+    pub fn record(&self, d: Duration) {
+        self.record_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one sample given in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Freezes the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Frozen histogram state with quantile accessors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, microseconds.
+    pub sum_us: u64,
+    /// Largest sample, microseconds. After [`Snapshot::since`] this is the
+    /// process-lifetime maximum capped to the delta's occupied buckets.
+    pub max_us: u64,
+    /// Per-bucket sample counts (see [`BUCKETS`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0..=1.0`) in microseconds: the upper bound of
+    /// the bucket holding the `ceil(q * count)`-th sample, capped at the
+    /// exact maximum. Returns 0 for an empty histogram.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Median, microseconds.
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 95th percentile, microseconds.
+    pub fn p95_us(&self) -> u64 {
+        self.quantile_us(0.95)
+    }
+
+    /// Samples recorded since `earlier`. `max_us` cannot be diffed exactly;
+    /// it is capped to the highest bucket that gained samples.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        let mut top = 0usize;
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets[i].saturating_sub(earlier.buckets[i]);
+            if *b > 0 {
+                top = i;
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum_us: self.sum_us.saturating_sub(earlier.sum_us),
+            max_us: self.max_us.min(bucket_upper(top)),
+            buckets,
+        }
+    }
+}
+
+/// A registry of named counters and histograms.
+///
+/// The process-wide instance lives behind [`crate::global`]; independent
+/// instances exist for tests and embedding.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<HashMap<&'static str, Arc<AtomicU64>>>,
+    histograms: Mutex<HashMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero on first use.
+    pub fn count(&self, name: &'static str, delta: u64) {
+        let counter = self
+            .counters
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_default()
+            .clone();
+        counter.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Records a duration into the named histogram, creating it on first
+    /// use.
+    pub fn time(&self, name: &'static str, d: Duration) {
+        let hist = self
+            .histograms
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_default()
+            .clone();
+        hist.record(d);
+    }
+
+    /// Freezes every counter and histogram.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, v)| (name.to_string(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, h)| (name.to_string(), h.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Drops every counter and histogram.
+    pub fn clear(&self) {
+        self.counters.lock().unwrap().clear();
+        self.histograms.lock().unwrap().clear();
+    }
+}
+
+/// A frozen, ordered view of a [`Registry`]: the one stats story the CLIs
+/// print (`--engine-stats`), serialize (`--metrics-out`,
+/// `--engine-stats-json`) and diff per run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The named counter's value, zero if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// What changed since `earlier`: counters keep their positive deltas,
+    /// histograms keep the samples gained. Entries that did not move are
+    /// dropped.
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(name, &v)| {
+                let delta = v.saturating_sub(earlier.counter(name));
+                (delta > 0).then(|| (name.clone(), delta))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|(name, h)| {
+                let delta = match earlier.histograms.get(name) {
+                    Some(e) => h.since(e),
+                    None => h.clone(),
+                };
+                (delta.count > 0).then(|| (name.clone(), delta))
+            })
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Keeps only entries whose name starts with one of `prefixes`.
+    pub fn filtered(&self, prefixes: &[&str]) -> Snapshot {
+        let keep = |name: &str| prefixes.iter().any(|p| name.starts_with(p));
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .map(|(n, v)| (n.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .map(|(n, h)| (n.clone(), h.clone()))
+                .collect(),
+        }
+    }
+
+    /// Serializes as JSON: `{"counters": {...}, "histograms": {name:
+    /// {"count","sum_us","p50_us","p95_us","max_us"}}}`. Deterministic key
+    /// order (lexicographic).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    {}: {v}", json_string(name));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {}: {{\"count\": {}, \"sum_us\": {}, \"p50_us\": {}, \"p95_us\": {}, \"max_us\": {}}}",
+                json_string(name),
+                h.count,
+                h.sum_us,
+                h.p50_us(),
+                h.p95_us(),
+                h.max_us
+            );
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Renders a human-readable table of the entries matching `prefixes`
+    /// (all entries when empty) — the `--engine-stats` output.
+    pub fn render(&self, prefixes: &[&str]) -> String {
+        let view = if prefixes.is_empty() {
+            self.clone()
+        } else {
+            self.filtered(prefixes)
+        };
+        let mut out = String::from("observability snapshot\n");
+        if !view.counters.is_empty() {
+            out.push_str("  counters:\n");
+            let width = view.counters.keys().map(|n| n.len()).max().unwrap_or(0);
+            for (name, v) in &view.counters {
+                let _ = writeln!(out, "    {name:width$}  {v}");
+            }
+        }
+        if !view.histograms.is_empty() {
+            out.push_str("  timings:\n");
+            let width = view.histograms.keys().map(|n| n.len()).max().unwrap_or(0);
+            for (name, h) in &view.histograms {
+                let _ = writeln!(
+                    out,
+                    "    {name:width$}  count {}  total {:.3}s  p50 {}us  p95 {}us  max {}us",
+                    h.count,
+                    h.sum_us as f64 / 1e6,
+                    h.p50_us(),
+                    h.p95_us(),
+                    h.max_us
+                );
+            }
+        }
+        if view.counters.is_empty() && view.histograms.is_empty() {
+            out.push_str("  (empty — was instrumentation enabled?)\n");
+        }
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        for us in [0u64, 1, 2, 3, 7, 8, 1000, u64::MAX] {
+            assert!(us <= bucket_upper(bucket_of(us)), "{us}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_samples() {
+        let h = Histogram::new();
+        for us in 1..=1000u64 {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max_us, 1000);
+        assert_eq!(s.sum_us, 500_500);
+        // p50 of 1..=1000 is 500, whose bucket is 512..1023 => upper 1023,
+        // capped to the exact max of that rank's bucket range.
+        assert_eq!(s.p50_us(), 511);
+        assert_eq!(s.p95_us(), 1000, "p95 rank lands in the max bucket");
+        assert_eq!(s.quantile_us(1.0), 1000);
+        assert_eq!(s.quantile_us(0.0), 1);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let h = Histogram::new();
+        for us in [3u64, 5, 9, 17, 33, 65, 129, 1025, 70_000] {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        let mut prev = 0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = s.quantile_us(q);
+            assert!(v >= prev, "quantiles must not decrease (q={q})");
+            assert!(v <= s.max_us);
+            prev = v;
+        }
+        assert_eq!(s.quantile_us(1.0), 70_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.sum_us, s.max_us), (0, 0, 0));
+        assert_eq!(s.p50_us(), 0);
+        assert_eq!(s.p95_us(), 0);
+    }
+
+    #[test]
+    fn histogram_since_subtracts_samples() {
+        let h = Histogram::new();
+        h.record_us(10);
+        h.record_us(1000);
+        let before = h.snapshot();
+        h.record_us(20);
+        h.record_us(30);
+        let delta = h.snapshot().since(&before);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum_us, 50);
+        // The delta only gained samples in the 16..31 bucket.
+        assert!(delta.max_us <= 31, "max capped to gained buckets");
+        assert!(delta.p95_us() <= 31);
+    }
+
+    #[test]
+    fn registry_snapshot_and_since() {
+        let r = Registry::new();
+        r.count("a.hits", 3);
+        r.time("a.time", Duration::from_micros(7));
+        let before = r.snapshot();
+        r.count("a.hits", 2);
+        r.count("b.new", 1);
+        r.time("a.time", Duration::from_micros(9));
+        let delta = r.snapshot().since(&before);
+        assert_eq!(delta.counter("a.hits"), 2);
+        assert_eq!(delta.counter("b.new"), 1);
+        assert_eq!(delta.histogram("a.time").unwrap().count, 1);
+        // Unchanged entries disappear from the delta.
+        r.count("c.idle", 1);
+        let snap = r.snapshot();
+        assert!(!snap.since(&snap).counters.contains_key("a.hits"));
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let r = Registry::new();
+        r.count("cache.parse.hits", 12);
+        r.time("stage.lex", Duration::from_micros(100));
+        let j = r.snapshot().to_json();
+        assert!(j.contains("\"cache.parse.hits\": 12"));
+        assert!(j.contains("\"stage.lex\""));
+        assert!(j.contains("\"p95_us\""));
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let empty = Snapshot::default().to_json();
+        assert!(empty.contains("\"counters\": {}"));
+    }
+
+    #[test]
+    fn render_filters_by_prefix() {
+        let r = Registry::new();
+        r.count("cache.parse.hits", 1);
+        r.count("span.other", 2);
+        let text = r.snapshot().render(&["cache."]);
+        assert!(text.contains("cache.parse.hits"));
+        assert!(!text.contains("span.other"));
+        let empty = Snapshot::default().render(&[]);
+        assert!(empty.contains("empty"));
+    }
+}

@@ -1,0 +1,193 @@
+//! RAII spans and the self-profile tree.
+//!
+//! [`Span::enter`] (or the [`crate::span!`] macro) opens a named span; when
+//! the guard drops it records the elapsed wall time into the global
+//! histogram of the same name and into a call tree keyed by the nesting of
+//! open spans. Each thread accumulates into a thread-local tree and merges
+//! it into the process-wide tree when its outermost span closes, so the
+//! only cross-thread synchronization happens once per root span.
+//!
+//! While instrumentation is disabled ([`crate::enabled`] is false) entering
+//! a span costs one relaxed atomic load and one `Instant::now()` is never
+//! taken — the guard is inert.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// One node of the self-profile tree: how often a span ran at this position
+/// in the nesting and how long it took in total.
+#[derive(Default)]
+struct Node {
+    count: u64,
+    total: Duration,
+    children: BTreeMap<&'static str, Node>,
+}
+
+impl Node {
+    fn at_path(&mut self, path: &[&'static str]) -> &mut Node {
+        let mut node = self;
+        for name in path {
+            node = node.children.entry(name).or_default();
+        }
+        node
+    }
+
+    fn merge(&mut self, other: &Node) {
+        self.count += other.count;
+        self.total += other.total;
+        for (name, child) in &other.children {
+            self.children.entry(name).or_default().merge(child);
+        }
+    }
+
+    fn render(&self, out: &mut String, depth: usize) {
+        for (name, child) in &self.children {
+            let avg_us = (child.total.as_micros() as u64)
+                .checked_div(child.count)
+                .unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{:indent$}{name}  count {}  total {:.3}s  avg {avg_us}us",
+                "",
+                child.count,
+                child.total.as_secs_f64(),
+                indent = depth * 2,
+            );
+            child.render(out, depth + 1);
+        }
+    }
+}
+
+fn global_tree() -> &'static Mutex<Node> {
+    static TREE: OnceLock<Mutex<Node>> = OnceLock::new();
+    TREE.get_or_init(|| Mutex::new(Node::default()))
+}
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// This thread's private profile tree, merged globally at root close.
+    static LOCAL_TREE: RefCell<Node> = RefCell::new(Node::default());
+}
+
+/// Guard for one timed region. Create with [`Span::enter`] or
+/// [`crate::span!`] and keep it bound for the region's lifetime.
+#[must_use = "an unbound span drops immediately and measures nothing"]
+pub struct Span {
+    name: &'static str,
+    /// `None` when instrumentation was disabled at entry.
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Opens a span. Inert (no clock read, no stack push) while
+    /// instrumentation is disabled.
+    pub fn enter(name: &'static str) -> Span {
+        if !crate::enabled() {
+            return Span { name, start: None };
+        }
+        STACK.with(|s| s.borrow_mut().push(name));
+        Span {
+            name,
+            start: Some(Instant::now()),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = start.elapsed();
+        // Record into the histogram unconditionally: the span was entered
+        // while enabled, so its sample belongs to this measurement session
+        // even if the switch flipped mid-span.
+        crate::global().time(self.name, elapsed);
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            stack.pop();
+            LOCAL_TREE.with(|t| {
+                let mut tree = t.borrow_mut();
+                let node = tree.at_path(&stack).children.entry(self.name).or_default();
+                node.count += 1;
+                node.total += elapsed;
+            });
+            if stack.is_empty() {
+                let local = LOCAL_TREE.with(|t| std::mem::take(&mut *t.borrow_mut()));
+                global_tree().lock().unwrap().merge(&local);
+            }
+        });
+    }
+}
+
+/// Renders the process-wide self-profile tree, children indented under
+/// their parents in name order. Only completed root spans are visible.
+pub fn tree_text() -> String {
+    let mut out = String::from("span self-profile\n");
+    let tree = global_tree().lock().unwrap();
+    if tree.children.is_empty() {
+        out.push_str("  (no spans recorded — was instrumentation enabled?)\n");
+    } else {
+        tree.render(&mut out, 1);
+    }
+    out
+}
+
+/// Discards the process-wide tree (thread-local in-progress trees are
+/// untouched and will merge into the fresh tree when their roots close).
+pub fn clear_tree() {
+    *global_tree().lock().unwrap() = Node::default();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_a_tree_and_threads_merge() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        {
+            let _root = Span::enter("span.test.root");
+            {
+                let _child = Span::enter("span.test.child");
+            }
+            {
+                let _child = Span::enter("span.test.child");
+            }
+        }
+        // A second thread contributes the same shape; counts must add up.
+        std::thread::spawn(|| {
+            let _root = Span::enter("span.test.root");
+            let _child = Span::enter("span.test.child");
+        })
+        .join()
+        .unwrap();
+        crate::set_enabled(false);
+
+        let tree = global_tree().lock().unwrap();
+        let root = tree.children.get("span.test.root").expect("root node");
+        assert_eq!(root.count, 2);
+        assert_eq!(root.children.get("span.test.child").unwrap().count, 3);
+        drop(tree);
+
+        let text = tree_text();
+        let root_at = text.find("span.test.root").unwrap();
+        let child_at = text.find("span.test.child").unwrap();
+        assert!(child_at > root_at, "children render under their parent");
+    }
+
+    #[test]
+    fn disabled_spans_touch_nothing() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(false);
+        {
+            let _s = Span::enter("span.test.disabled");
+        }
+        assert!(!tree_text().contains("span.test.disabled"));
+        assert!(crate::snapshot().histogram("span.test.disabled").is_none());
+        STACK.with(|s| assert!(s.borrow().is_empty()));
+    }
+}

@@ -39,8 +39,12 @@ pub fn parse(src: &str) -> ParsedFile {
 /// assert!(file.is_clean());
 /// ```
 pub fn parse_tokens(toks: Vec<Token>) -> ParsedFile {
+    let _span = phpsafe_obs::span!("stage.parse", toks.len());
     let toks: Vec<Token> = toks.into_iter().filter(|t| !t.kind.is_trivia()).collect();
-    Parser::new(toks).parse_file()
+    let file = Parser::new(toks).parse_file();
+    phpsafe_obs::count("parse.files", 1);
+    phpsafe_obs::count("parse.errors", file.errors.len() as u64);
+    file
 }
 
 struct Parser {

@@ -20,7 +20,11 @@ use crate::token::{keyword_kind, Token, TokenKind};
 /// assert!(toks.iter().any(|t| t.kind == TokenKind::Variable && t.text == "$_GET"));
 /// ```
 pub fn tokenize(src: &str) -> Vec<Token> {
-    Lexer::new(src).run()
+    let _span = phpsafe_obs::span!("stage.lex", src);
+    let toks = Lexer::new(src).run();
+    phpsafe_obs::count("lex.files", 1);
+    phpsafe_obs::count("lex.tokens", toks.len() as u64);
+    toks
 }
 
 /// Lexes source and drops trivia (whitespace/comments), the view parsers use.

@@ -9,3 +9,39 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo build --workspace --release --offline
 cargo test -q --offline --workspace
+
+# Observability crate in isolation (its tests also run in the workspace
+# pass above; this keeps a failure attributable).
+cargo test -q --offline -p phpsafe-obs
+
+# Smoke: a metrics snapshot from a real corpus run must report every
+# pipeline stage and the shared-cache counters.
+metrics="$(mktemp)"
+trap 'rm -f "$metrics"' EXIT
+cargo run -q --release --offline -p phpsafe-bench --bin repro -- \
+    --metrics-out "$metrics" table2 >/dev/null
+for key in stage.lex stage.parse stage.analyze stage.eval cache.parse.hits; do
+    grep -q "\"$key\"" "$metrics" || {
+        echo "verify: $metrics is missing required key $key" >&2
+        exit 1
+    }
+done
+
+# Smoke: --explain must print at least one provenance chain ending in a
+# sink for a known-vulnerable corpus plugin. (`phpsafe` exits 1 when it
+# finds vulnerabilities, so capture output before grepping.)
+plugin_dir="$(mktemp -d)"
+trap 'rm -f "$metrics"; rm -rf "$plugin_dir"' EXIT
+cargo run -q --release --offline -p phpsafe-corpus --bin corpus-dump -- "$plugin_dir" >/dev/null
+explain_ok=0
+for d in "$plugin_dir"/2014/*/; do
+    out="$(cargo run -q --release --offline -p phpsafe --bin phpsafe -- --explain "$d" || true)"
+    if printf '%s' "$out" | grep -q "reaches sink"; then
+        explain_ok=1
+        break
+    fi
+done
+if [ "$explain_ok" -ne 1 ]; then
+    echo "verify: --explain printed no provenance chain for any 2014 plugin" >&2
+    exit 1
+fi
