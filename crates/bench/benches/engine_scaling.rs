@@ -39,7 +39,10 @@ fn bench_engine_scaling(c: &mut Criterion) {
     phpsafe_obs::set_enabled(true);
     let (_, snapshot) = Evaluation::run_engine_with(corpus.clone(), 4);
     phpsafe_obs::set_enabled(false);
-    println!("{}", snapshot.render(&["engine.", "cache.", "stage."]));
+    println!(
+        "{}",
+        snapshot.render(&["engine.", "cache.", "stage.", "intern.", "cow."])
+    );
 }
 
 criterion_group!(benches, bench_engine_scaling);

@@ -186,7 +186,9 @@ impl PhpSafe {
             reports.push(report);
         }
 
+        let span_symbols = phpsafe_obs::span!("model.symbols");
         let symbols = SymbolTable::build(parsed.iter().map(|(p, a)| (p.as_str(), a.as_ref())));
+        drop(span_symbols);
         drop(span_model);
 
         // ---- stage 3: analysis ----

@@ -185,13 +185,13 @@ pub struct CacheTotals {
 /// pretty-printed body, hashed with FNV-1a.
 fn fingerprint_decl(decl: &FunctionDecl) -> u64 {
     let mut text = String::new();
-    text.push_str(&decl.name.to_ascii_lowercase());
+    text.push_str(&decl.name.as_str().to_ascii_lowercase());
     if decl.by_ref {
         text.push('&');
     }
     for p in &decl.params {
         text.push('(');
-        text.push_str(&p.name);
+        text.push_str(p.name.as_str());
         if p.by_ref {
             text.push('&');
         }
@@ -268,7 +268,7 @@ pub fn shareable_calls(decl: &FunctionDecl) -> Option<Vec<String>> {
                     return;
                 }
                 Expr::Call { callee, .. } => match callee {
-                    Callee::Function(name) => self.calls.push(name.to_ascii_lowercase()),
+                    Callee::Function(name) => self.calls.push(name.as_str().to_ascii_lowercase()),
                     Callee::Dynamic(_) | Callee::Method { .. } | Callee::StaticMethod { .. } => {
                         self.pure = false;
                         return;

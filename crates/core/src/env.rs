@@ -1,0 +1,170 @@
+//! Copy-on-write variable environments for the taint interpreter.
+//!
+//! The interpreter is path-insensitive: every `if`/`switch`/`catch` arm
+//! runs on a *snapshot* of the current scope and the results are joined
+//! (§III.C "conditions and loops do not change the data flow"). Snapshots
+//! used to deep-clone the whole variable map per arm; an [`Env`] instead
+//! shares the map behind an [`Arc`] and clones it only when an arm first
+//! writes — branches that merely read (the overwhelmingly common case in
+//! plugin code) cost nothing. The `cow.env_clones` counter records how
+//! often a write actually had to materialize a private copy.
+//!
+//! Sharing is sound because the join is idempotent: merging an untouched
+//! snapshot back into itself is a no-op, which [`Env::join_from`] detects
+//! by pointer identity instead of walking the entries.
+
+use crate::taint::VarState;
+use phpsafe_intern::{FnvHashMap, Symbol};
+use std::sync::Arc;
+
+/// The underlying variable map: interned name → abstract state.
+pub(crate) type VarMap = FnvHashMap<Symbol, VarState>;
+
+/// A scope's variables with copy-on-write snapshot semantics.
+///
+/// `clone()` is O(1) (an `Arc` bump); the first mutation through a shared
+/// handle clones the map once.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Env {
+    map: Arc<VarMap>,
+}
+
+impl Env {
+    /// Reads a variable's state.
+    pub fn get(&self, name: Symbol) -> Option<&VarState> {
+        self.map.get(&name)
+    }
+
+    /// Writes a variable's state, materializing a private map if shared.
+    pub fn insert(&mut self, name: Symbol, st: VarState) {
+        self.make_mut().insert(name, st);
+    }
+
+    /// Resets to empty without cloning whatever was shared.
+    pub fn clear(&mut self) {
+        if !self.map.is_empty() {
+            self.map = Arc::default();
+        }
+    }
+
+    /// Do both handles share one underlying map?
+    pub fn ptr_eq(&self, other: &Env) -> bool {
+        Arc::ptr_eq(&self.map, &other.map)
+    }
+
+    /// Branch merge: pointwise [`VarState::join`] over the union of keys.
+    ///
+    /// Fast paths: joining an env into itself is a no-op (idempotent join),
+    /// and joining into an empty env adopts `other`'s storage wholesale —
+    /// so N untouched branch snapshots merge without a single map clone.
+    pub fn join_from(&mut self, other: Env, trace_limit: usize) {
+        if self.ptr_eq(&other) {
+            return;
+        }
+        if self.map.is_empty() {
+            self.map = other.map;
+            return;
+        }
+        let map = self.make_mut();
+        let mut join_one = |k: Symbol, v: VarState| match map.remove(&k) {
+            Some(prev) => {
+                map.insert(k, prev.join(&v, trace_limit));
+            }
+            None => {
+                map.insert(k, v);
+            }
+        };
+        match Arc::try_unwrap(other.map) {
+            Ok(owned) => {
+                for (k, v) in owned {
+                    join_one(k, v);
+                }
+            }
+            Err(shared) => {
+                for (&k, v) in shared.iter() {
+                    join_one(k, v.clone());
+                }
+            }
+        }
+    }
+
+    fn make_mut(&mut self) -> &mut VarMap {
+        if Arc::get_mut(&mut self.map).is_none() {
+            phpsafe_obs::count("cow.env_clones", 1);
+        }
+        Arc::make_mut(&mut self.map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taint::{Taint, TraceStep};
+    use taint_config::SourceKind;
+
+    fn tainted(line: u32) -> VarState {
+        VarState::tainted(
+            Taint::from_source(SourceKind::Get),
+            TraceStep {
+                file: Symbol::intern("env_test.php"),
+                line,
+                what: format!("step {line}"),
+            },
+        )
+    }
+
+    #[test]
+    fn clone_shares_until_write() {
+        let mut base = Env::default();
+        base.insert(Symbol::intern("$a"), tainted(1));
+        let mut branch = base.clone();
+        assert!(base.ptr_eq(&branch));
+        branch.insert(Symbol::intern("$b"), tainted(2));
+        assert!(!base.ptr_eq(&branch), "write must detach the snapshot");
+        assert!(base.get(Symbol::intern("$b")).is_none());
+        assert!(branch.get(Symbol::intern("$a")).is_some());
+    }
+
+    #[test]
+    fn join_is_union_with_pointwise_join() {
+        let a_sym = Symbol::intern("$x");
+        let mut left = Env::default();
+        left.insert(a_sym, tainted(1));
+        left.insert(Symbol::intern("$only_left"), VarState::clean());
+        let mut right = Env::default();
+        right.insert(a_sym, tainted(2));
+        right.insert(Symbol::intern("$only_right"), VarState::clean());
+        left.join_from(right, 8);
+        assert!(left.get(Symbol::intern("$only_left")).is_some());
+        assert!(left.get(Symbol::intern("$only_right")).is_some());
+        assert!(left.get(a_sym).unwrap().taint.any());
+    }
+
+    #[test]
+    fn join_of_shared_snapshot_is_noop() {
+        let mut base = Env::default();
+        base.insert(Symbol::intern("$v"), tainted(3));
+        let snapshot = base.clone();
+        base.join_from(snapshot, 8);
+        assert!(base.get(Symbol::intern("$v")).unwrap().taint.any());
+    }
+
+    #[test]
+    fn empty_adopts_other_without_clone() {
+        let mut filled = Env::default();
+        filled.insert(Symbol::intern("$w"), tainted(4));
+        let mut empty = Env::default();
+        empty.join_from(filled.clone(), 8);
+        assert!(empty.ptr_eq(&filled), "empty env must adopt storage");
+    }
+
+    #[test]
+    fn clear_resets_without_detaching_sharers() {
+        let mut base = Env::default();
+        base.insert(Symbol::intern("$c"), tainted(5));
+        let keeper = base.clone();
+        base.clear();
+        assert!(base.get(Symbol::intern("$c")).is_none());
+        assert!(keeper.get(Symbol::intern("$c")).is_some());
+    }
+}

@@ -47,7 +47,7 @@ pub fn explain_vuln(vuln: &Vulnerability, events: &[TaintEvent]) -> String {
     let anchor = |step: &TraceStep| {
         events
             .iter()
-            .find(|e| e.file == step.file && e.line == step.line && e.detail == step.what)
+            .find(|e| e.file == step.file.as_str() && e.line == step.line && e.detail == step.what)
     };
     let anchors: Vec<Option<&TaintEvent>> = vuln.trace.iter().map(anchor).collect();
     let seqs: Vec<u64> = anchors.iter().flatten().map(|e| e.seq).collect();
@@ -97,7 +97,7 @@ pub fn explain_vuln(vuln: &Vulnerability, events: &[TaintEvent]) -> String {
         if label == TaintEventKind::Reverted.label() {
             sanitizers.push(step.what.clone());
         }
-        push_line(&mut out, label, &step.file, step.line, &step.what);
+        push_line(&mut out, label, step.file.as_str(), step.line, &step.what);
     }
     for ev in extra {
         push_line(&mut out, ev.kind.label(), &ev.file, ev.line, &ev.detail);

@@ -127,7 +127,7 @@ sink <code>{sink}</code> · vulnerable expression <code>{var}</code> · entry ve
             let _ = writeln!(
                 h,
                 "<div class=\"trace\">&larr; <code>{}:{}</code> {}</div>",
-                escape_html(&step.file),
+                escape_html(step.file.as_str()),
                 step.line,
                 escape_html(&step.what)
             );

@@ -74,7 +74,7 @@ impl Visitor for FileScan {
     fn visit_expr(&mut self, e: &Expr) {
         match e {
             Expr::Var(name, _) => {
-                self.variables.insert(name.clone());
+                self.variables.insert(name.to_string());
             }
             Expr::Include(_, path, _) => {
                 if let Some(p) = simple_const_string(path) {
@@ -90,12 +90,12 @@ impl Visitor for FileScan {
         // Methods are collected under their class via visit_class order;
         // only top-of-stack free functions arrive here directly because
         // the class visitor below intercepts class members.
-        self.functions.push(f.name.clone());
+        self.functions.push(f.name.to_string());
         visit::walk_function(self, f);
     }
 
     fn visit_class(&mut self, c: &php_ast::ClassDecl) {
-        self.classes.push(c.name.clone());
+        self.classes.push(c.name.to_string());
         // Walk members but suppress method names from the free-function
         // list by walking bodies manually.
         for m in &c.members {
@@ -134,7 +134,7 @@ fn simple_const_string(e: &Expr) -> Option<String> {
             callee: Callee::Function(name),
             ..
         } if matches!(
-            name.to_ascii_lowercase().as_str(),
+            name.as_str().to_ascii_lowercase().as_str(),
             "dirname" | "plugin_dir_path" | "trailingslashit"
         ) =>
         {

@@ -20,6 +20,7 @@
 
 use crate::analyzer::AnalyzerOptions;
 use crate::caching::{shareable_calls, SharedSummary, SummaryCache, SummaryKey};
+use crate::env::Env;
 use crate::report::{numeric_intent, Vulnerability};
 use crate::symbols::{FnRef, SymbolTable};
 use crate::taint::{Taint, TraceStep, VarState};
@@ -29,17 +30,21 @@ use php_ast::{
     Arg, AssignOp, Callee, Expr, FunctionDecl, IncludeKind, InterpPart, Lit, Member, ParsedFile,
     Span, Stmt,
 };
+use phpsafe_intern::{FnvHashMap, FnvHashSet, Symbol};
 use phpsafe_obs::TaintEventKind;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 use taint_config::{SourceKind, TaintConfig, VulnClass};
 
 /// One execution scope (the global scope or a function/method body).
+///
+/// Cloning a frame is cheap: `vars` is a copy-on-write [`Env`], so branch
+/// snapshots share the variable map until an arm writes.
 #[derive(Debug, Default, Clone)]
 struct Frame {
-    vars: HashMap<String, VarState>,
-    globals_decl: HashSet<String>,
-    this_class: Option<String>,
+    vars: Env,
+    globals_decl: FnvHashSet<Symbol>,
+    this_class: Option<Symbol>,
     ret: VarState,
     is_global: bool,
     /// Taint spilled into the scope by `extract()` on a tainted array:
@@ -56,11 +61,15 @@ impl Frame {
     }
 }
 
-/// Memoization key for a user-callable invocation.
+/// Memoization key for a user-callable invocation. Interned names replace
+/// the former `"fn:<name>"` / `"m:<class>::<name>"` string keys, so no
+/// allocation happens per call lookup.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CallKey {
-    /// `"fn:<name>"` or `"m:<class>::<name>"`, lowercase.
-    callable: String,
+    /// Receiver class (lowercase) for methods, `None` for free functions.
+    class: Option<Symbol>,
+    /// Callable name, lowercase.
+    name: Symbol,
     /// Taint signature of the arguments.
     sig: Vec<Taint>,
 }
@@ -82,15 +91,15 @@ pub(crate) struct Interp<'a> {
     shared: Option<Arc<SummaryCache>>,
 
     pub(crate) vulns: Vec<Vulnerability>,
-    memo: HashMap<CallKey, CallResult>,
-    in_progress: HashSet<CallKey>,
+    memo: FnvHashMap<CallKey, CallResult>,
+    in_progress: FnvHashSet<CallKey>,
     /// Object-insensitive per-class property store: `(class, $prop)` → state.
-    class_props: HashMap<(String, String), VarState>,
-    globals: HashMap<String, VarState>,
+    class_props: FnvHashMap<(Symbol, Symbol), VarState>,
+    globals: Env,
 
-    file_stack: Vec<String>,
+    file_stack: Vec<Symbol>,
     include_depth: usize,
-    included_once: HashSet<String>,
+    included_once: FnvHashSet<String>,
     pub(crate) work: u64,
     pub(crate) failed: Option<String>,
 }
@@ -112,20 +121,23 @@ impl<'a> Interp<'a> {
             parsed,
             shared,
             vulns: Vec::new(),
-            memo: HashMap::new(),
-            in_progress: HashSet::new(),
-            class_props: HashMap::new(),
-            globals: HashMap::new(),
+            memo: FnvHashMap::default(),
+            in_progress: FnvHashSet::default(),
+            class_props: FnvHashMap::default(),
+            globals: Env::default(),
             file_stack: Vec::new(),
             include_depth: 0,
-            included_once: HashSet::new(),
+            included_once: FnvHashSet::default(),
             work: 0,
             failed: None,
         }
     }
 
-    fn current_file(&self) -> &str {
-        self.file_stack.last().map(|s| s.as_str()).unwrap_or("?")
+    fn current_file(&self) -> Symbol {
+        self.file_stack
+            .last()
+            .copied()
+            .unwrap_or_else(|| Symbol::intern("?"))
     }
 
     /// Spends one work unit; flips the failure flag when the entry budget is
@@ -150,7 +162,7 @@ impl<'a> Interp<'a> {
         self.globals.clear();
         self.included_once.clear();
         self.included_once.insert(path.to_string());
-        self.file_stack.push(path.to_string());
+        self.file_stack.push(Symbol::intern(path));
         let ast = match self.parsed.get(path) {
             Some(a) => a.clone(),
             None => {
@@ -191,7 +203,7 @@ impl<'a> Interp<'a> {
                             decl.params.iter().map(|_| VarState::clean()).collect();
                         let file = cinfo.file.clone();
                         let decl = decl.clone();
-                        self.call_decl(&decl, &file, args, Some(class.clone()), true);
+                        self.call_decl(&decl, &file, args, Some(Symbol::intern(class)), true);
                     }
                 }
             }
@@ -294,7 +306,7 @@ impl<'a> Interp<'a> {
                     trace: subj.trace.clone(),
                 };
                 let step = TraceStep {
-                    file: self.current_file().to_string(),
+                    file: self.current_file(),
                     line: stmt.span().line,
                     what: format!("foreach over {}", print_expr(subject)),
                 };
@@ -329,7 +341,7 @@ impl<'a> Interp<'a> {
             }
             Stmt::Global(names, _) => {
                 for n in names {
-                    f.globals_decl.insert(n.clone());
+                    f.globals_decl.insert(*n);
                 }
             }
             Stmt::StaticVars(vars, _) => {
@@ -338,7 +350,7 @@ impl<'a> Interp<'a> {
                         Some(d) => self.eval(d, f),
                         None => VarState::clean(),
                     };
-                    f.vars.insert(name.clone(), st);
+                    f.vars.insert(*name, st);
                 }
             }
             Stmt::Unset(es, _) => {
@@ -367,7 +379,7 @@ impl<'a> Interp<'a> {
                     for c in catches {
                         let mut b = base_frame.clone();
                         self.globals = base_globals.clone();
-                        b.vars.insert(c.var.clone(), VarState::clean());
+                        b.vars.insert(c.var, VarState::clean());
                         self.exec_stmts(&c.body, &mut b);
                         frames.push(b);
                         globals_versions.push(std::mem::take(&mut self.globals));
@@ -375,18 +387,9 @@ impl<'a> Interp<'a> {
                     frames.push(base_frame);
                     globals_versions.push(base_globals);
                     let limit = self.opts.trace_limit;
-                    let mut merged: HashMap<String, VarState> = HashMap::new();
+                    let mut merged = Env::default();
                     for g in globals_versions {
-                        for (k, v) in g {
-                            match merged.remove(&k) {
-                                Some(prev) => {
-                                    merged.insert(k, prev.join(&v, limit));
-                                }
-                                None => {
-                                    merged.insert(k, v);
-                                }
-                            }
-                        }
+                        merged.join_from(g, limit);
                     }
                     self.globals = merged;
                     self.merge_frames(f, frames);
@@ -410,7 +413,7 @@ impl<'a> Interp<'a> {
         let base_frame = f.clone();
         let base_globals = self.globals.clone();
         let mut frames: Vec<Frame> = Vec::new();
-        let mut globals_versions: Vec<HashMap<String, VarState>> = Vec::new();
+        let mut globals_versions: Vec<Env> = Vec::new();
         for body in bodies {
             let mut b = base_frame.clone();
             self.globals = base_globals.clone();
@@ -422,41 +425,25 @@ impl<'a> Interp<'a> {
             frames.push(base_frame);
             globals_versions.push(base_globals);
         }
-        // Join globals across worlds.
+        // Join globals across worlds. Branches that never wrote a global
+        // still share the base snapshot and merge by pointer identity.
         let limit = self.opts.trace_limit;
-        let mut merged_globals: HashMap<String, VarState> = HashMap::new();
+        let mut merged_globals = Env::default();
         for g in globals_versions {
-            for (k, v) in g {
-                match merged_globals.remove(&k) {
-                    Some(prev) => {
-                        merged_globals.insert(k, prev.join(&v, limit));
-                    }
-                    None => {
-                        merged_globals.insert(k, v);
-                    }
-                }
-            }
+            merged_globals.join_from(g, limit);
         }
         self.globals = merged_globals;
         self.merge_frames(f, frames);
     }
 
-    /// Joins branch frames back into the live frame.
+    /// Joins branch frames back into the live frame. Untouched branch
+    /// snapshots (the common case) merge without walking any entries.
     fn merge_frames(&self, f: &mut Frame, branches: Vec<Frame>) {
         let limit = self.opts.trace_limit;
-        let mut merged: HashMap<String, VarState> = HashMap::new();
+        let mut merged = Env::default();
         let mut globals_decl = std::mem::take(&mut f.globals_decl);
         for b in branches {
-            for (k, v) in b.vars {
-                match merged.remove(&k) {
-                    Some(prev) => {
-                        merged.insert(k, prev.join(&v, limit));
-                    }
-                    None => {
-                        merged.insert(k, v);
-                    }
-                }
-            }
+            merged.join_from(b.vars, limit);
             globals_decl.extend(b.globals_decl);
             f.ret = std::mem::take(&mut f.ret).join(&b.ret, limit);
             f.extracted = f.extracted.join(b.extracted);
@@ -472,7 +459,7 @@ impl<'a> Interp<'a> {
             return VarState::clean();
         }
         match e {
-            Expr::Var(name, span) => self.read_var(name, *span, f),
+            Expr::Var(name, span) => self.read_var(*name, *span, f),
             Expr::VarVar(inner, _) => {
                 self.eval(inner, f);
                 VarState::clean()
@@ -524,7 +511,7 @@ impl<'a> Interp<'a> {
                 st.object_class = None;
                 if st.taint.any() {
                     let step = TraceStep {
-                        file: self.current_file().to_string(),
+                        file: self.current_file(),
                         line: span.line,
                         what: format!("read {}", print_expr(e)),
                     };
@@ -538,9 +525,9 @@ impl<'a> Interp<'a> {
                 if !self.opts.oop {
                     return VarState::clean();
                 }
-                let class = self.resolve_class_name(class, f);
+                let class = self.resolve_class_name(*class, f);
                 self.class_props
-                    .get(&(class, prop.clone()))
+                    .get(&(class, *prop))
                     .cloned()
                     .unwrap_or_default()
             }
@@ -566,7 +553,7 @@ impl<'a> Interp<'a> {
                 };
                 if st.taint.any() {
                     let step = TraceStep {
-                        file: self.current_file().to_string(),
+                        file: self.current_file(),
                         line: span.line,
                         what: format!(
                             "{} {} {}",
@@ -674,22 +661,22 @@ impl<'a> Interp<'a> {
                 // Analyze the closure body immediately for coverage (hook
                 // callbacks are usually never invoked from plugin code).
                 let mut inner = Frame {
-                    this_class: f.this_class.clone(),
+                    this_class: f.this_class,
                     ..Frame::default()
                 };
                 for p in params {
-                    inner.vars.insert(p.name.clone(), VarState::clean());
+                    inner.vars.insert(p.name, VarState::clean());
                 }
                 for (name, _) in uses {
                     // `use` captures resolve in the enclosing scope, which
                     // at top level is the global store.
                     let st = if f.is_global || f.globals_decl.contains(name) {
-                        self.globals.get(name).cloned()
+                        self.globals.get(*name).cloned()
                     } else {
-                        f.vars.get(name).cloned()
+                        f.vars.get(*name).cloned()
                     }
                     .unwrap_or_default();
-                    inner.vars.insert(name.clone(), st);
+                    inner.vars.insert(*name, st);
                 }
                 self.exec_stmts(body, &mut inner);
                 VarState::clean()
@@ -700,17 +687,17 @@ impl<'a> Interp<'a> {
 
     /// Reads a variable, consulting superglobal config, the frame/global
     /// scope and the known-object table.
-    fn read_var(&mut self, name: &str, span: Span, f: &mut Frame) -> VarState {
-        if let Some(kind) = self.cfg.superglobal_kind(name) {
+    fn read_var(&mut self, name: Symbol, span: Span, f: &mut Frame) -> VarState {
+        if let Some(kind) = self.cfg.superglobal_kind(name.as_str()) {
             let step = TraceStep {
-                file: self.current_file().to_string(),
+                file: self.current_file(),
                 line: span.line,
                 what: format!("source {name}"),
             };
             self.emit_event(TaintEventKind::Introduced, span.line, &step.what);
             return VarState::tainted(Taint::from_source(kind), step);
         }
-        let use_globals = f.is_global || f.globals_decl.contains(name);
+        let use_globals = f.is_global || f.globals_decl.contains(&name);
         let existing = if use_globals {
             self.globals.get(name).cloned()
         } else {
@@ -721,9 +708,9 @@ impl<'a> Interp<'a> {
         }
         // Well-known CMS globals resolve even without an assignment.
         if self.opts.oop {
-            if let Some(class) = self.cfg.known_object_class(name) {
+            if let Some(class) = self.cfg.known_object_class(name.as_str()) {
                 return VarState {
-                    object_class: Some(class.to_string()),
+                    object_class: Some(Symbol::intern(class)),
                     ..VarState::clean()
                 };
             }
@@ -731,7 +718,7 @@ impl<'a> Interp<'a> {
         // `extract()` on tainted data spills taint over the whole scope.
         if f.extracted.any() && name != "$this" {
             let step = TraceStep {
-                file: self.current_file().to_string(),
+                file: self.current_file(),
                 line: span.line,
                 what: format!("{name} injected by extract()"),
             };
@@ -742,7 +729,7 @@ impl<'a> Interp<'a> {
         // injected through the request (§V.A: half of Pixy's findings).
         if self.opts.register_globals && use_globals && name != "$this" {
             let step = TraceStep {
-                file: self.current_file().to_string(),
+                file: self.current_file(),
                 line: span.line,
                 what: format!("register_globals {name}"),
             };
@@ -752,46 +739,45 @@ impl<'a> Interp<'a> {
         VarState::clean()
     }
 
-    fn write_var(&mut self, name: &str, st: VarState, f: &mut Frame) {
-        let use_globals = f.is_global || f.globals_decl.contains(name);
+    fn write_var(&mut self, name: Symbol, st: VarState, f: &mut Frame) {
+        let use_globals = f.is_global || f.globals_decl.contains(&name);
         if use_globals {
-            self.globals.insert(name.to_string(), st);
+            self.globals.insert(name, st);
         } else {
-            f.vars.insert(name.to_string(), st);
+            f.vars.insert(name, st);
         }
     }
 
     /// Resolves `self`/`static`/`parent` against the current frame.
-    fn resolve_class_name(&self, class: &str, f: &Frame) -> String {
-        let lc = class.to_ascii_lowercase();
+    fn resolve_class_name(&self, class: Symbol, f: &Frame) -> Symbol {
+        let lc = class.to_lowercase();
         match lc.as_str() {
-            "self" | "static" => f.this_class.clone().unwrap_or(lc),
+            "self" | "static" => f.this_class.unwrap_or(lc),
             "parent" => f
                 .this_class
-                .as_ref()
-                .and_then(|c| self.syms.class(c))
-                .and_then(|i| i.decl.parent.clone())
-                .map(|p| p.to_ascii_lowercase())
+                .and_then(|c| self.syms.class(c.as_str()))
+                .and_then(|i| i.decl.parent)
+                .map(|p| p.to_lowercase())
                 .unwrap_or(lc),
             _ => lc,
         }
     }
 
     /// Resolves the class an object expression holds, if statically known.
-    fn receiver_class(&mut self, base: &Expr, f: &mut Frame) -> (VarState, Option<String>) {
+    fn receiver_class(&mut self, base: &Expr, f: &mut Frame) -> (VarState, Option<Symbol>) {
         let st = self.eval(base, f);
         if !self.opts.oop {
             return (st, None);
         }
-        if let Some(c) = &st.object_class {
-            return (st.clone(), Some(c.clone()));
+        if let Some(c) = st.object_class {
+            return (st, Some(c));
         }
         if let Expr::Var(name, _) = base {
-            if name == "$this" {
-                return (st, f.this_class.clone());
+            if name.as_str() == "$this" {
+                return (st, f.this_class);
             }
-            if let Some(c) = self.cfg.known_object_class(name) {
-                return (st, Some(c.to_string()));
+            if let Some(c) = self.cfg.known_object_class(name.as_str()) {
+                return (st, Some(Symbol::intern(c)));
             }
         }
         (st, None)
@@ -804,14 +790,14 @@ impl<'a> Interp<'a> {
             return VarState::clean();
         }
         let pname = match member {
-            Member::Name(n) => format!("${n}"),
+            Member::Name(n) => Symbol::intern(&format!("${n}")),
             Member::Dynamic(e) => {
                 self.eval(e, f);
                 return base_st; // dynamic property: fall back to object taint
             }
         };
         if let Some(c) = class {
-            if let Some(st) = self.class_props.get(&(c.clone(), pname.clone())) {
+            if let Some(st) = self.class_props.get(&(c, pname)) {
                 return st.clone();
             }
         }
@@ -820,7 +806,7 @@ impl<'a> Interp<'a> {
             let mut st = base_st;
             st.object_class = None;
             let step = TraceStep {
-                file: self.current_file().to_string(),
+                file: self.current_file(),
                 line: span.line,
                 what: format!("read property {pname} of tainted object"),
             };
@@ -833,7 +819,7 @@ impl<'a> Interp<'a> {
 
     fn assign_to(&mut self, target: &Expr, st: VarState, f: &mut Frame) {
         match target {
-            Expr::Var(name, _) => self.write_var(name, st, f),
+            Expr::Var(name, _) => self.write_var(*name, st, f),
             Expr::Index(base, idx, _) => {
                 if let Some(i) = idx {
                     self.eval(i, f);
@@ -849,7 +835,7 @@ impl<'a> Interp<'a> {
                 }
                 let (_, class) = self.receiver_class(base, f);
                 let pname = match member {
-                    Member::Name(n) => format!("${n}"),
+                    Member::Name(n) => Symbol::intern(&format!("${n}")),
                     Member::Dynamic(_) => return,
                 };
                 let key_class = match class {
@@ -857,7 +843,7 @@ impl<'a> Interp<'a> {
                     None => match base.as_var_name() {
                         // Track `$obj->prop` for unknown classes by variable
                         // identity so same-scope flows still connect.
-                        Some(v) => format!("var:{v}"),
+                        Some(v) => Symbol::intern(&format!("var:{v}")),
                         None => return,
                     },
                 };
@@ -869,8 +855,8 @@ impl<'a> Interp<'a> {
                 if !self.opts.oop {
                     return;
                 }
-                let class = self.resolve_class_name(class, f);
-                let entry = self.class_props.entry((class, prop.clone())).or_default();
+                let class = self.resolve_class_name(*class, f);
+                let entry = self.class_props.entry((class, *prop)).or_default();
                 let joined = std::mem::take(entry).join(&st, self.opts.trace_limit);
                 *entry = joined;
             }
@@ -903,10 +889,10 @@ impl<'a> Interp<'a> {
         let arg_states = self.eval_args(args, f);
         match callee {
             Callee::Function(name) => {
-                self.dispatch_named_call(None, name, args, arg_states, span, f, None)
+                self.dispatch_named_call(None, name.as_str(), args, arg_states, span, f, None)
             }
             Callee::StaticMethod { class, name } => {
-                let class = self.resolve_class_name(class, f);
+                let class = self.resolve_class_name(*class, f);
                 match name.as_name() {
                     Some(n) => {
                         let n = n.to_string();
@@ -949,7 +935,7 @@ impl<'a> Interp<'a> {
     #[allow(clippy::too_many_arguments)]
     fn dispatch_named_call(
         &mut self,
-        receiver: Option<String>,
+        receiver: Option<Symbol>,
         name: &str,
         args: &[Arg],
         arg_states: Vec<VarState>,
@@ -957,7 +943,9 @@ impl<'a> Interp<'a> {
         f: &mut Frame,
         base_state: Option<VarState>,
     ) -> VarState {
-        let rcv = receiver.as_deref();
+        // `as_str` hands out `&'static str`, so `rcv` does not borrow
+        // `receiver` and both stay usable below.
+        let rcv: Option<&str> = receiver.map(|s| s.as_str());
         let limit = self.opts.trace_limit;
         let sink_label = match rcv {
             Some(r) => format!("{r}::{name}"),
@@ -992,7 +980,7 @@ impl<'a> Interp<'a> {
                 Taint::from_source(kind)
             };
             let step = TraceStep {
-                file: self.current_file().to_string(),
+                file: self.current_file(),
                 line: span.line,
                 what: format!("source {sink_label}()"),
             };
@@ -1027,7 +1015,7 @@ impl<'a> Interp<'a> {
             st.taint = st.taint.join(joined.sanitized_from);
             if st.taint.any() {
                 let step = TraceStep {
-                    file: self.current_file().to_string(),
+                    file: self.current_file(),
                     line: span.line,
                     what: format!("revert {sink_label}() restores taint"),
                 };
@@ -1076,24 +1064,18 @@ impl<'a> Interp<'a> {
         }
 
         // --- user-defined callables ---
-        match rcv {
+        match receiver {
             Some(class) => {
                 let syms = self.syms;
                 if self.opts.oop {
-                    if let Some((cinfo, decl)) = syms.method(class, name) {
+                    if let Some((cinfo, decl)) = syms.method(class.as_str(), name) {
                         let file = cinfo.file.clone();
                         let decl = decl.clone();
-                        let mut ret = self.call_decl(
-                            &decl,
-                            &file,
-                            arg_states,
-                            Some(class.to_string()),
-                            false,
-                        );
+                        let mut ret = self.call_decl(&decl, &file, arg_states, Some(class), false);
                         self.writeback_refs(&decl, args, f);
                         if ret.taint.any() {
                             let step = TraceStep {
-                                file: self.current_file().to_string(),
+                                file: self.current_file(),
                                 line: span.line,
                                 what: format!("returned by {sink_label}()"),
                             };
@@ -1130,7 +1112,7 @@ impl<'a> Interp<'a> {
                     self.writeback_refs(&decl, args, f);
                     if ret.taint.any() {
                         let step = TraceStep {
-                            file: self.current_file().to_string(),
+                            file: self.current_file(),
                             line: span.line,
                             what: format!("returned by {name}()"),
                         };
@@ -1154,15 +1136,12 @@ impl<'a> Interp<'a> {
         decl: &FunctionDecl,
         decl_file: &str,
         arg_states: Vec<VarState>,
-        this_class: Option<String>,
+        this_class: Option<Symbol>,
         force: bool,
     ) -> VarState {
-        let callable = match &this_class {
-            Some(c) => format!("m:{c}::{}", decl.name.to_ascii_lowercase()),
-            None => format!("fn:{}", decl.name.to_ascii_lowercase()),
-        };
         let key = CallKey {
-            callable,
+            class: this_class,
+            name: decl.name.to_lowercase(),
             sig: arg_states.iter().map(|s| s.taint).collect(),
         };
         if self.in_progress.contains(&key) {
@@ -1223,9 +1202,9 @@ impl<'a> Interp<'a> {
                     None => VarState::clean(),
                 },
             };
-            frame.vars.insert(p.name.clone(), st);
+            frame.vars.insert(p.name, st);
         }
-        self.file_stack.push(decl_file.to_string());
+        self.file_stack.push(Symbol::intern(decl_file));
         self.exec_stmts(&decl.body, &mut frame);
         self.file_stack.pop();
 
@@ -1268,7 +1247,7 @@ impl<'a> Interp<'a> {
     fn eval_new(&mut self, class: &Member, args: &[Arg], span: Span, f: &mut Frame) -> VarState {
         let arg_states = self.eval_args(args, f);
         let cname = match class {
-            Member::Name(n) => self.resolve_class_name(n, f),
+            Member::Name(n) => self.resolve_class_name(*n, f),
             Member::Dynamic(e) => {
                 self.eval(e, f);
                 return VarState::clean();
@@ -1280,18 +1259,18 @@ impl<'a> Interp<'a> {
         // Run the constructor if the class is user-defined.
         let syms = self.syms;
         let ctor = syms
-            .method(&cname, "__construct")
-            .or_else(|| syms.method(&cname, &cname));
+            .method(cname.as_str(), "__construct")
+            .or_else(|| syms.method(cname.as_str(), cname.as_str()));
         if let Some((cinfo, decl)) = ctor {
             let file = cinfo.file.clone();
             let decl = decl.clone();
-            self.call_decl(&decl, &file, arg_states, Some(cname.clone()), false);
+            self.call_decl(&decl, &file, arg_states, Some(cname), false);
         }
         let mut st = VarState::clean();
-        st.object_class = Some(cname.clone());
+        st.object_class = Some(cname);
         st.push_trace(
             TraceStep {
-                file: self.current_file().to_string(),
+                file: self.current_file(),
                 line: span.line,
                 what: format!("new {cname}"),
             },
@@ -1334,7 +1313,7 @@ impl<'a> Interp<'a> {
             return;
         };
         self.include_depth += 1;
-        self.file_stack.push(path);
+        self.file_stack.push(Symbol::intern(&path));
         // PHP executes includes in the calling scope.
         self.exec_stmts(&ast.stmts, f);
         self.file_stack.pop();
@@ -1355,8 +1334,10 @@ impl<'a> Interp<'a> {
                 let r = self.const_string(rhs)?;
                 Some(l + &r)
             }
-            Expr::ConstFetch(n, _) if n == "__FILE__" => Some(self.current_file().to_string()),
-            Expr::ConstFetch(n, _) if n.to_ascii_uppercase().ends_with("_DIR") => {
+            Expr::ConstFetch(n, _) if n.as_str() == "__FILE__" => {
+                Some(self.current_file().to_string())
+            }
+            Expr::ConstFetch(n, _) if n.as_str().to_ascii_uppercase().ends_with("_DIR") => {
                 // Plugin-dir constants resolve to the plugin root.
                 Some(String::new())
             }
@@ -1364,7 +1345,7 @@ impl<'a> Interp<'a> {
                 callee: Callee::Function(name),
                 args,
                 ..
-            } => match name.to_ascii_lowercase().as_str() {
+            } => match name.as_str().to_ascii_lowercase().as_str() {
                 "dirname" => {
                     let inner = self.const_string(&args.first()?.value)?;
                     match inner.rfind('/') {
@@ -1404,7 +1385,7 @@ impl<'a> Interp<'a> {
     /// step recorded at the same site, so events and traces correlate.
     fn emit_event(&self, kind: TaintEventKind, line: u32, detail: &str) {
         if phpsafe_obs::events_enabled() {
-            phpsafe_obs::emit(kind, self.current_file(), line, detail.to_string());
+            phpsafe_obs::emit(kind, self.current_file().as_str(), line, detail.to_string());
         }
     }
 

@@ -39,6 +39,7 @@
 
 mod analyzer;
 pub mod caching;
+mod env;
 pub mod explain;
 mod html;
 mod inspect;

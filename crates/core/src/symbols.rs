@@ -8,7 +8,7 @@
 
 use php_ast::visit::{self, Visitor};
 use php_ast::{Callee, ClassDecl, Expr, FunctionDecl, Member, ParsedFile, Stmt};
-use std::collections::{HashMap, HashSet};
+use phpsafe_intern::{FnvHashMap as HashMap, FnvHashSet as HashSet};
 
 /// A user-defined free function and where it lives.
 #[derive(Debug, Clone)]
@@ -96,7 +96,7 @@ impl SymbolTable {
             }
             match &info.decl.parent {
                 Some(p) => {
-                    current = p.to_ascii_lowercase();
+                    current = p.as_str().to_ascii_lowercase();
                     hops += 1;
                 }
                 None => return None,
@@ -163,7 +163,7 @@ impl SymbolTable {
         for cname in class_names {
             let info = &self.classes[cname];
             for (_, m) in info.decl.methods() {
-                let mname = m.name.to_ascii_lowercase();
+                let mname = m.name.as_str().to_ascii_lowercase();
                 let is_ctor = mname == "__construct" || mname == *cname;
                 let called = if is_ctor {
                     self.instantiated.contains(cname)
@@ -193,7 +193,7 @@ impl Visitor for Collector<'_> {
             if self.class_stack.is_empty() {
                 self.table
                     .functions
-                    .entry(f.name.to_ascii_lowercase())
+                    .entry(f.name.as_str().to_ascii_lowercase())
                     .or_insert_with(|| FnInfo {
                         decl: f.clone(),
                         file: self.file.to_string(),
@@ -206,12 +206,13 @@ impl Visitor for Collector<'_> {
     fn visit_class(&mut self, class: &ClassDecl) {
         self.table
             .classes
-            .entry(class.name.to_ascii_lowercase())
+            .entry(class.name.as_str().to_ascii_lowercase())
             .or_insert_with(|| ClassInfo {
                 decl: class.clone(),
                 file: self.file.to_string(),
             });
-        self.class_stack.push(class.name.to_ascii_lowercase());
+        self.class_stack
+            .push(class.name.as_str().to_ascii_lowercase());
         visit::walk_class(self, class);
         self.class_stack.pop();
     }
@@ -220,11 +221,15 @@ impl Visitor for Collector<'_> {
         match expr {
             Expr::Call { callee, .. } => match callee {
                 Callee::Function(name) => {
-                    self.table.called_fns.insert(name.to_ascii_lowercase());
+                    self.table
+                        .called_fns
+                        .insert(name.as_str().to_ascii_lowercase());
                 }
                 Callee::Method { name, .. } | Callee::StaticMethod { name, .. } => {
                     if let Member::Name(n) = name {
-                        self.table.called_methods.insert(n.to_ascii_lowercase());
+                        self.table
+                            .called_methods
+                            .insert(n.as_str().to_ascii_lowercase());
                     }
                 }
                 Callee::Dynamic(_) => {}
@@ -233,7 +238,9 @@ impl Visitor for Collector<'_> {
                 class: Member::Name(n),
                 ..
             } => {
-                self.table.instantiated.insert(n.to_ascii_lowercase());
+                self.table
+                    .instantiated
+                    .insert(n.as_str().to_ascii_lowercase());
             }
             _ => {}
         }

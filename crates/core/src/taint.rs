@@ -4,6 +4,7 @@
 //! functions can restore it), the object class a variable holds, and the
 //! data-flow trace back to the entry point.
 
+use phpsafe_intern::Symbol;
 use serde::{Deserialize, Serialize};
 use taint_config::{SourceKind, VulnClass};
 
@@ -136,8 +137,8 @@ impl Taint {
 /// from variable to variable").
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceStep {
-    /// File path.
-    pub file: String,
+    /// File path (interned; serializes as a plain string).
+    pub file: Symbol,
     /// 1-based line.
     pub line: u32,
     /// Human-readable description, e.g. `$id <- $_GET['id']`.
@@ -153,7 +154,7 @@ pub struct VarState {
     pub sanitized_from: Taint,
     /// Class of the object this variable holds, lowercase, if known
     /// (`$wpdb` holds a `wpdb`).
-    pub object_class: Option<String>,
+    pub object_class: Option<Symbol>,
     /// Data-flow history, oldest first, capped by the analyzer.
     pub trace: Vec<TraceStep>,
 }
@@ -179,7 +180,7 @@ impl VarState {
         self.taint = self.taint.join(other.taint);
         self.sanitized_from = self.sanitized_from.join(other.sanitized_from);
         if self.object_class.is_none() {
-            self.object_class = other.object_class.clone();
+            self.object_class = other.object_class;
         }
         // Prefer the trace of the tainted side; otherwise merge and cap.
         if self.trace.is_empty() {
@@ -293,9 +294,9 @@ mod tests {
         let mut b = VarState::clean();
         b.object_class = Some("wpdb".into());
         let j = a.clone().join(&b, 8);
-        assert_eq!(j.object_class.as_deref(), Some("wpdb"));
+        assert_eq!(j.object_class.map(|c| c.as_str()), Some("wpdb"));
         a.object_class = Some("other".into());
         let j2 = a.join(&b, 8);
-        assert_eq!(j2.object_class.as_deref(), Some("other"));
+        assert_eq!(j2.object_class.map(|c| c.as_str()), Some("other"));
     }
 }

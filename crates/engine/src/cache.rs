@@ -7,7 +7,7 @@
 //! summaries. Counters are atomic so statistics can be read while workers
 //! are still running.
 
-use std::collections::HashMap;
+use phpsafe_intern::FnvHashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -46,7 +46,7 @@ impl CacheCounters {
 /// A thread-safe, `Arc`-sharing, hit/miss-counting map from keys to
 /// immutable artifacts.
 pub struct ArtifactCache<K, V> {
-    map: Mutex<HashMap<K, Arc<V>>>,
+    map: Mutex<FnvHashMap<K, Arc<V>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -60,7 +60,7 @@ impl<K: Eq + Hash, V> Default for ArtifactCache<K, V> {
 impl<K: Eq + Hash, V> ArtifactCache<K, V> {
     pub fn new() -> Self {
         ArtifactCache {
-            map: Mutex::new(HashMap::new()),
+            map: Mutex::new(FnvHashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }

@@ -1,99 +1,9 @@
 //! Content hashing for cache keys.
 //!
-//! A 64-bit FNV-1a implementation written in-crate (the container vendors
-//! no hashing crates). FNV-1a is a multiply-xor hash with good avalanche
-//! behaviour on short keys; cache keys additionally carry the input length
-//! so a collision must match both digest and size.
+//! The FNV-1a implementation used to live here; it is now the shared
+//! `phpsafe-intern::fnv` module (tests included) so `core` can use the same
+//! digest — and its `BuildHasher` — without depending on the engine. This
+//! module re-exports the pieces under their historical `phpsafe_engine::`
+//! paths.
 
-/// FNV-1a offset basis (64-bit).
-const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
-/// FNV-1a prime (64-bit).
-const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// Hashes `bytes` with 64-bit FNV-1a.
-pub fn fnv1a_64(bytes: &[u8]) -> u64 {
-    let mut h = OFFSET_BASIS;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(PRIME);
-    }
-    h
-}
-
-/// A content-derived cache key: FNV-1a digest plus input length.
-///
-/// Two sources map to the same key only if both their 64-bit digest and
-/// their byte length agree — good enough to treat "same key" as "same
-/// content" for cache purposes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ContentKey {
-    /// FNV-1a digest of the content.
-    pub hash: u64,
-    /// Content length in bytes.
-    pub len: u64,
-}
-
-impl ContentKey {
-    /// Keys the given content.
-    pub fn of(bytes: &[u8]) -> ContentKey {
-        ContentKey {
-            hash: fnv1a_64(bytes),
-            len: bytes.len() as u64,
-        }
-    }
-}
-
-/// Extends a digest with more data (order-sensitive), for keys built from
-/// several parts.
-pub fn fnv1a_64_extend(seed: u64, bytes: &[u8]) -> u64 {
-    let mut h = if seed == 0 { OFFSET_BASIS } else { seed };
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(PRIME);
-    }
-    h
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn same_bytes_same_hash() {
-        let a = fnv1a_64(b"<?php echo $_GET['x'];");
-        let b = fnv1a_64(b"<?php echo $_GET['x'];");
-        assert_eq!(a, b);
-        assert_eq!(
-            ContentKey::of(b"<?php echo $_GET['x'];"),
-            ContentKey::of(b"<?php echo $_GET['x'];")
-        );
-    }
-
-    #[test]
-    fn one_byte_edit_changes_hash() {
-        let a = fnv1a_64(b"<?php echo $_GET['x'];");
-        let b = fnv1a_64(b"<?php echo $_GET['y'];");
-        assert_ne!(a, b);
-    }
-
-    #[test]
-    fn known_vector() {
-        // Standard FNV-1a test vectors.
-        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
-    }
-
-    #[test]
-    fn length_disambiguates() {
-        let short = ContentKey::of(b"ab");
-        let long = ContentKey::of(b"abab");
-        assert_ne!(short, long);
-    }
-
-    #[test]
-    fn extend_matches_oneshot() {
-        let whole = fnv1a_64(b"hello world");
-        let parts = fnv1a_64_extend(fnv1a_64(b"hello "), b"world");
-        assert_eq!(whole, parts);
-    }
-}
+pub use phpsafe_intern::{fnv1a_64, fnv1a_64_extend, ContentKey};

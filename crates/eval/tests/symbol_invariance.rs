@@ -1,0 +1,55 @@
+//! The interning contract: `Symbol` ids are assigned in first-intern
+//! order, which differs between a serial run and any parallel schedule
+//! — so no id may ever leak into a rendered artifact. Everything the
+//! pipeline prints must go through `Symbol::as_str()`/`Display`, and
+//! every map keyed by symbols must produce order-independent joins.
+//! This test pins that down: the full artifact set must be
+//! byte-identical across worker counts and across repeated runs (which
+//! reuse the already-populated global arena, shifting every id).
+
+use phpsafe_corpus::Corpus;
+use phpsafe_eval::{tables, Evaluation, RecallMode};
+
+/// Renders every timing-free artifact into one string.
+fn artifacts(e: &Evaluation) -> String {
+    let mut out = String::new();
+    out.push_str(&tables::table1(e, RecallMode::PaperOptimistic));
+    out.push_str(&tables::table1(e, RecallMode::FullGroundTruth));
+    out.push_str(&tables::fig2(e));
+    out.push_str(&tables::table2(e));
+    out.push_str(&tables::oop_breakdown(e));
+    out.push_str(&tables::inertia(e));
+    out.push_str(&tables::root_cause(e));
+    out.push_str(&phpsafe_eval::table1_csv(e, RecallMode::PaperOptimistic));
+    out
+}
+
+#[test]
+fn artifacts_identical_across_worker_counts_and_intern_order() {
+    let corpus = Corpus::generate();
+
+    // Serial first: this populates the interner arena in source order.
+    let serial = artifacts(&Evaluation::run_with(corpus.clone()));
+
+    // One worker through the engine: same schedule order as serial jobs,
+    // but a warm arena — every Symbol id differs from a cold process.
+    let one = artifacts(&Evaluation::run_engine_with(corpus.clone(), 1).0);
+
+    // Eight workers: nondeterministic intern interleaving across threads.
+    let eight = artifacts(&Evaluation::run_engine_with(corpus.clone(), 8).0);
+
+    assert_eq!(
+        serial, one,
+        "serial vs 1-worker artifacts diverged: a Symbol id or map \
+         iteration order leaked into rendered output"
+    );
+    assert_eq!(
+        one, eight,
+        "1-worker vs 8-worker artifacts diverged: parallel interning \
+         changed rendered output"
+    );
+
+    // Second 8-worker run on the now fully-warm arena must also agree.
+    let eight_again = artifacts(&Evaluation::run_engine_with(corpus, 8).0);
+    assert_eq!(eight, eight_again, "rerun with warm arena diverged");
+}

@@ -1,0 +1,23 @@
+//! # phpsafe-intern
+//!
+//! Shared leaf crate for the two primitives the whole pipeline hashes with:
+//!
+//! - [`Symbol`]: a global string interner handing out `Copy` `u32` handles
+//!   for PHP identifiers, variable names, classes, methods and properties.
+//!   Interned once at lex/parse time, threaded end to end so the
+//!   interpreter keys its taint environments by `u32` instead of
+//!   heap-allocated `String`s.
+//! - [`fnv`]: the FNV-1a digest previously private to `phpsafe-engine`,
+//!   promoted here so `core` and `engine` can share it without a dep
+//!   cycle, plus [`FnvBuildHasher`] to replace SipHash in hot-path maps.
+//!
+//! Depends only on `phpsafe-obs` (for `intern.*` counters) and the vendored
+//! `serde` shim, so every other crate can sit on top of it.
+
+pub mod fnv;
+pub mod sym;
+
+pub use fnv::{
+    fnv1a_64, fnv1a_64_extend, ContentKey, FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher,
+};
+pub use sym::Symbol;

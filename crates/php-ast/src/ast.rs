@@ -3,6 +3,7 @@
 //! the OOP constructs (classes, interfaces, traits, properties, methods)
 //! whose handling distinguishes phpSAFE from RIPS/Pixy.
 
+use phpsafe_intern::Symbol;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -224,7 +225,7 @@ impl IncludeKind {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Member {
     /// `->name`
-    Name(String),
+    Name(Symbol),
     /// `->$var` or `->{expr}`
     Dynamic(Box<Expr>),
 }
@@ -233,7 +234,7 @@ impl Member {
     /// The fixed name, if statically known.
     pub fn as_name(&self) -> Option<&str> {
         match self {
-            Member::Name(n) => Some(n),
+            Member::Name(n) => Some(n.as_str()),
             Member::Dynamic(_) => None,
         }
     }
@@ -243,7 +244,7 @@ impl Member {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Callee {
     /// `foo(...)` — a plain (possibly namespaced) function name.
-    Function(String),
+    Function(Symbol),
     /// `$f(...)` or `($expr)(...)` — dynamic call.
     Dynamic(Box<Expr>),
     /// `$obj->m(...)`
@@ -256,7 +257,7 @@ pub enum Callee {
     /// `Cls::m(...)` / `self::m(...)` / `static::m(...)`
     StaticMethod {
         /// The class name as written.
-        class: String,
+        class: Symbol,
         /// The method selector.
         name: Member,
     },
@@ -294,7 +295,7 @@ pub enum InterpPart {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Expr {
     /// `$name`
-    Var(String, Span),
+    Var(Symbol, Span),
     /// Variable-variable `$$name` or `${expr}`.
     VarVar(Box<Expr>, Span),
     /// Literal.
@@ -302,9 +303,9 @@ pub enum Expr {
     /// Interpolated double-quoted string / heredoc.
     Interp(Vec<InterpPart>, Span),
     /// Bareword constant fetch (`FOO`, `PHP_EOL`).
-    ConstFetch(String, Span),
+    ConstFetch(Symbol, Span),
     /// `CLS::CONST`
-    ClassConst(String, String, Span),
+    ClassConst(Symbol, Symbol, Span),
     /// `array(...)` / `[...]`
     ArrayLit(Vec<(Option<Expr>, Expr)>, Span),
     /// `$base[index]`; `index` is `None` for push syntax `$a[] = ...`.
@@ -312,7 +313,7 @@ pub enum Expr {
     /// `$base->member`
     Prop(Box<Expr>, Member, Span),
     /// `CLS::$prop`
-    StaticProp(String, String, Span),
+    StaticProp(Symbol, Symbol, Span),
     /// Assignment (including compound and by-reference).
     Assign {
         /// Assignment target (lvalue).
@@ -403,7 +404,7 @@ pub enum Expr {
     /// `include`/`require` expression.
     Include(IncludeKind, Box<Expr>, Span),
     /// `$x instanceof Cls`
-    Instanceof(Box<Expr>, String, Span),
+    Instanceof(Box<Expr>, Symbol, Span),
     /// `list($a, $b) = ...` target.
     ListIntrinsic(Vec<Option<Expr>>, Span),
     /// Anonymous function.
@@ -411,7 +412,7 @@ pub enum Expr {
         /// Parameters.
         params: Vec<Param>,
         /// `use (...)` captures: (name, by_ref).
-        uses: Vec<(String, bool)>,
+        uses: Vec<(Symbol, bool)>,
         /// Body statements.
         body: Vec<Stmt>,
         /// Location.
@@ -465,7 +466,7 @@ impl Expr {
     }
 
     /// Convenience: `$name` variable expression.
-    pub fn var(name: impl Into<String>, line: u32) -> Expr {
+    pub fn var(name: impl Into<Symbol>, line: u32) -> Expr {
         Expr::Var(name.into(), Span::at(line))
     }
 
@@ -477,7 +478,7 @@ impl Expr {
     /// If this is `$name`, return the name (with `$`).
     pub fn as_var_name(&self) -> Option<&str> {
         match self {
-            Expr::Var(n, _) => Some(n),
+            Expr::Var(n, _) => Some(n.as_str()),
             _ => None,
         }
     }
@@ -487,7 +488,7 @@ impl Expr {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Param {
     /// Parameter variable name including `$`.
-    pub name: String,
+    pub name: Symbol,
     /// Declared by reference (`&$x`).
     pub by_ref: bool,
     /// Default value, if any.
@@ -500,7 +501,7 @@ pub struct Param {
 
 impl Param {
     /// A plain by-value parameter with no default.
-    pub fn simple(name: impl Into<String>) -> Self {
+    pub fn simple(name: impl Into<Symbol>) -> Self {
         Param {
             name: name.into(),
             by_ref: false,
@@ -541,7 +542,7 @@ pub enum Visibility {
 pub struct FunctionDecl {
     /// Function name as written (case preserved; PHP resolves
     /// case-insensitively).
-    pub name: String,
+    pub name: Symbol,
     /// Parameters.
     pub params: Vec<Param>,
     /// Returns by reference (`function &f()`).
@@ -556,12 +557,12 @@ pub struct FunctionDecl {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClassDecl {
     /// Declared name.
-    pub name: String,
+    pub name: Symbol,
     /// Declaration flavor.
     pub kind: ClassKind,
     /// `extends` parent, if any (interfaces may extend several; we keep the
     /// first — enough for method resolution in plugin code).
-    pub parent: Option<String>,
+    pub parent: Option<Symbol>,
     /// `implements` list.
     pub interfaces: Vec<String>,
     /// `abstract class`.
@@ -586,7 +587,7 @@ impl ClassDecl {
     /// Looks up a method by case-insensitive name.
     pub fn method(&self, name: &str) -> Option<&FunctionDecl> {
         self.methods()
-            .find(|(_, f)| f.name.eq_ignore_ascii_case(name))
+            .find(|(_, f)| f.name.as_str().eq_ignore_ascii_case(name))
             .map(|(_, f)| f)
     }
 }
@@ -606,7 +607,7 @@ pub enum ClassMember {
     /// `public $x = default;`
     Property {
         /// Property name including `$`.
-        name: String,
+        name: Symbol,
         /// Default value.
         default: Option<Expr>,
         /// Modifiers.
@@ -635,7 +636,7 @@ pub struct Catch {
     /// Caught class name.
     pub class: String,
     /// Exception variable including `$`.
-    pub var: String,
+    pub var: Symbol,
     /// Handler body.
     pub body: Vec<Stmt>,
 }
@@ -733,9 +734,9 @@ pub enum Stmt {
     /// `return [expr];`
     Return(Option<Expr>, Span),
     /// `global $a, $b;`
-    Global(Vec<String>, Span),
+    Global(Vec<Symbol>, Span),
     /// `static $a = 1;` (function-static variables).
-    StaticVars(Vec<(String, Option<Expr>)>, Span),
+    StaticVars(Vec<(Symbol, Option<Expr>)>, Span),
     /// `unset($a, $b);`
     Unset(Vec<Expr>, Span),
     /// `throw expr;`

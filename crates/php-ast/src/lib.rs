@@ -27,3 +27,4 @@ pub mod visit;
 
 pub use ast::*;
 pub use parser::{parse, parse_tokens};
+pub use phpsafe_intern::Symbol;

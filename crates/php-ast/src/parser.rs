@@ -9,6 +9,7 @@
 
 use crate::ast::*;
 use php_lexer::{tokenize, Token, TokenKind as K};
+use phpsafe_intern::Symbol;
 
 /// Parses a complete PHP source file (HTML mode at start, like PHP itself).
 ///
@@ -308,7 +309,7 @@ impl Parser {
                 let mut names = Vec::new();
                 loop {
                     if let Some(K::Variable) = self.peek_kind() {
-                        names.push(self.bump().expect("var").text);
+                        names.push(self.bump().expect("var").sym);
                     } else {
                         self.error("expected variable after `global`");
                         break;
@@ -324,7 +325,7 @@ impl Parser {
                 self.bump();
                 let mut vars = Vec::new();
                 while let Some(K::Variable) = self.peek_kind() {
-                    let name = self.bump().expect("var").text;
+                    let name = self.bump().expect("var").sym;
                     let default = if self.eat(K::Assign) {
                         Some(self.parse_expr())
                     } else {
@@ -740,7 +741,7 @@ impl Parser {
                 "Exception".into()
             });
             let var = if self.at(K::Variable) {
-                self.bump().expect("var").text
+                self.bump().expect("var").sym
             } else {
                 self.error("expected catch variable");
                 "$e".into()
@@ -809,10 +810,10 @@ impl Parser {
         self.bump(); // function
         let by_ref = self.eat(K::Amp);
         let name = if self.at(K::Identifier) {
-            self.bump().expect("id").text
+            self.bump().expect("id").sym
         } else {
             self.error("expected function name");
-            format!("__anon_{}", span.line)
+            format!("__anon_{}", span.line).into()
         };
         let params = self.parse_params();
         let body = if self.eat(K::OpenBrace) {
@@ -852,7 +853,7 @@ impl Parser {
             let by_ref = self.eat(K::Amp);
             let variadic = self.eat(K::Ellipsis);
             let name = if self.at(K::Variable) {
-                self.bump().expect("var").text
+                self.bump().expect("var").sym
             } else {
                 self.error("expected parameter variable");
                 break;
@@ -901,15 +902,15 @@ impl Parser {
         };
         self.bump(); // class/interface/trait
         let name = if self.at(K::Identifier) {
-            self.bump().expect("id").text
+            self.bump().expect("id").sym
         } else {
             self.error("expected class name");
-            format!("__anon_class_{}", span.line)
+            format!("__anon_class_{}", span.line).into()
         };
         let mut parent = None;
         let mut interfaces = Vec::new();
         if self.eat(K::Extends) {
-            parent = self.parse_name();
+            parent = self.parse_name().map(Symbol::from);
             if parent.is_none() {
                 self.error("expected parent class name after `extends`");
             }
@@ -1040,7 +1041,7 @@ impl Parser {
                 }
                 Some(K::Variable) => {
                     loop {
-                        let name = self.bump().expect("var").text;
+                        let name = self.bump().expect("var").sym;
                         let default = if self.eat(K::Assign) {
                             Some(self.parse_expr())
                         } else {
@@ -1135,15 +1136,15 @@ impl Parser {
                 }
                 let span = self.span();
                 self.bump();
-                let class = self.parse_name().unwrap_or_else(|| {
+                let class = match self.parse_name() {
+                    Some(n) => Symbol::intern(&n),
                     // dynamic instanceof target
-                    if self.at(K::Variable) {
-                        self.bump().expect("var").text
-                    } else {
+                    None if self.at(K::Variable) => self.bump().expect("var").sym,
+                    None => {
                         self.error("expected class after instanceof");
                         "?".into()
                     }
-                });
+                };
                 lhs = Expr::Instanceof(Box::new(lhs), class, span);
                 continue;
             }
@@ -1177,7 +1178,7 @@ impl Parser {
         let e = match k {
             K::Variable => {
                 let t = self.bump().expect("var");
-                Expr::Var(t.text, Span::at(t.line))
+                Expr::Var(t.sym, Span::at(t.line))
             }
             K::Dollar => {
                 self.bump();
@@ -1303,10 +1304,10 @@ impl Parser {
                 self.bump();
                 let class = if self.at(K::Variable) {
                     let t = self.bump().expect("var");
-                    Member::Dynamic(Box::new(Expr::Var(t.text, Span::at(t.line))))
+                    Member::Dynamic(Box::new(Expr::Var(t.sym, Span::at(t.line))))
                 } else {
                     match self.parse_name() {
-                        Some(n) => Member::Name(n),
+                        Some(n) => Member::Name(n.into()),
                         None => {
                             self.error("expected class name after new");
                             Member::Name("?".into())
@@ -1337,7 +1338,7 @@ impl Parser {
                     loop {
                         let by_ref = self.eat(K::Amp);
                         if self.at(K::Variable) {
-                            uses.push((self.bump().expect("var").text, by_ref));
+                            uses.push((self.bump().expect("var").sym, by_ref));
                         } else {
                             break;
                         }
@@ -1436,7 +1437,7 @@ impl Parser {
             }
             K::LineC | K::FileC | K::ClassC | K::FuncC | K::MethodC | K::NsC => {
                 let t = self.bump().expect("magic");
-                Expr::ConstFetch(t.text, span)
+                Expr::ConstFetch(t.symbol(), span)
             }
             K::Backslash => {
                 // leading-backslash global name
@@ -1472,13 +1473,26 @@ impl Parser {
     /// Parses identifier-led expressions: calls, static access, constants.
     fn parse_identifier_expr(&mut self) -> Expr {
         let span = self.span();
-        let name = self.parse_name().unwrap_or_else(|| "?".into());
+        // Fast path: a plain identifier reuses the symbol the lexer already
+        // interned; only namespaced / keyword-led names re-intern.
+        let name = match self.peek_kind() {
+            Some(K::Identifier) if !matches!(self.peek_kind_at(1), Some(K::Backslash)) => {
+                self.bump().expect("id").sym
+            }
+            _ => match self.parse_name() {
+                Some(n) => Symbol::intern(&n),
+                None => "?".into(),
+            },
+        };
         // Boolean / null literals
-        match name.to_ascii_lowercase().as_str() {
-            "true" => return Expr::Lit(Lit::Bool(true), span),
-            "false" => return Expr::Lit(Lit::Bool(false), span),
-            "null" => return Expr::Lit(Lit::Null, span),
-            _ => {}
+        if name.as_str().eq_ignore_ascii_case("true") {
+            return Expr::Lit(Lit::Bool(true), span);
+        }
+        if name.as_str().eq_ignore_ascii_case("false") {
+            return Expr::Lit(Lit::Bool(false), span);
+        }
+        if name.as_str().eq_ignore_ascii_case("null") {
+            return Expr::Lit(Lit::Null, span);
         }
         self.parse_identifier_continuation_named(name, span)
     }
@@ -1489,13 +1503,13 @@ impl Parser {
         self.parse_identifier_continuation_named("?".into(), span)
     }
 
-    fn parse_identifier_continuation_named(&mut self, name: String, span: Span) -> Expr {
+    fn parse_identifier_continuation_named(&mut self, name: Symbol, span: Span) -> Expr {
         if self.at(K::DoubleColon) {
             self.bump();
             match self.peek_kind() {
                 Some(K::Variable) => {
                     let t = self.bump().expect("var");
-                    Expr::StaticProp(name, t.text, Span::at(t.line))
+                    Expr::StaticProp(name, t.sym, Span::at(t.line))
                 }
                 Some(K::Identifier) | Some(K::Class) => {
                     let m = self.bump().expect("id");
@@ -1506,13 +1520,13 @@ impl Parser {
                         Expr::Call {
                             callee: Callee::StaticMethod {
                                 class: name,
-                                name: Member::Name(m.text),
+                                name: Member::Name(m.symbol()),
                             },
                             args,
                             span,
                         }
                     } else {
-                        Expr::ClassConst(name, m.text, span)
+                        Expr::ClassConst(name, m.symbol(), span)
                     }
                 }
                 Some(K::Dollar) | Some(K::OpenBrace) => {
@@ -1602,18 +1616,18 @@ impl Parser {
                     let span = self.span();
                     self.bump();
                     let member = match self.peek_kind() {
-                        Some(K::Identifier) => Member::Name(self.bump().expect("id").text),
+                        Some(K::Identifier) => Member::Name(self.bump().expect("id").sym),
                         // Keywords are valid member names in PHP (`$q->list`).
                         Some(kk)
                             if php_lexer::keyword_kind(
                                 self.peek().map(|t| t.text.as_str()).unwrap_or(""),
                             ) == Some(kk) =>
                         {
-                            Member::Name(self.bump().expect("kw").text)
+                            Member::Name(self.bump().expect("kw").symbol())
                         }
                         Some(K::Variable) => {
                             let t = self.bump().expect("var");
-                            Member::Dynamic(Box::new(Expr::Var(t.text, Span::at(t.line))))
+                            Member::Dynamic(Box::new(Expr::Var(t.sym, Span::at(t.line))))
                         }
                         Some(K::OpenBrace) => {
                             self.bump();
@@ -1703,14 +1717,14 @@ impl Parser {
                 }
                 Some(K::Variable) => {
                     let t = self.bump().expect("var");
-                    let mut e = Expr::Var(t.text, Span::at(t.line));
+                    let mut e = Expr::Var(t.sym, Span::at(t.line));
                     // simple-syntax suffix emitted by the lexer
                     if self.at(K::ObjectOperator) {
                         let span = self.span();
                         self.bump();
                         if self.at(K::Identifier) {
                             let m = self.bump().expect("id");
-                            e = Expr::Prop(Box::new(e), Member::Name(m.text), span);
+                            e = Expr::Prop(Box::new(e), Member::Name(m.sym), span);
                         }
                     } else if self.at(K::OpenBracket) {
                         let span = self.span();
@@ -1718,7 +1732,7 @@ impl Parser {
                         let idx = match self.peek_kind() {
                             Some(K::Variable) => {
                                 let it = self.bump().expect("var");
-                                Some(Box::new(Expr::Var(it.text, Span::at(it.line))))
+                                Some(Box::new(Expr::Var(it.sym, Span::at(it.line))))
                             }
                             Some(K::LNumber) => {
                                 let it = self.bump().expect("num");
@@ -1748,7 +1762,7 @@ impl Parser {
                     let span = self.span();
                     let e = if self.at(K::Identifier) {
                         let t = self.bump().expect("id");
-                        Expr::Var(format!("${}", t.text), Span::at(t.line))
+                        Expr::Var(format!("${}", t.text).into(), Span::at(t.line))
                     } else {
                         self.parse_expr()
                     };

@@ -215,7 +215,12 @@ impl Printer {
             Stmt::Global(names, _) => {
                 self.pad();
                 self.out.push_str("global ");
-                self.out.push_str(&names.join(", "));
+                for (i, n) in names.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.out.push_str(n.as_str());
+                }
                 self.out.push_str(";\n");
             }
             Stmt::StaticVars(vars, _) => {
@@ -225,7 +230,7 @@ impl Printer {
                     if i > 0 {
                         self.out.push_str(", ");
                     }
-                    self.out.push_str(n);
+                    self.out.push_str(n.as_str());
                     if let Some(d) = d {
                         self.out.push_str(" = ");
                         self.expr(d);
@@ -341,7 +346,7 @@ impl Printer {
         if f.by_ref {
             self.out.push('&');
         }
-        self.out.push_str(&f.name);
+        self.out.push_str(f.name.as_str());
         self.out.push('(');
         self.params(&f.params);
         self.out.push(')');
@@ -367,7 +372,7 @@ impl Printer {
             if p.variadic {
                 self.out.push_str("...");
             }
-            self.out.push_str(&p.name);
+            self.out.push_str(p.name.as_str());
             if let Some(d) = &p.default {
                 self.out.push_str(" = ");
                 self.expr(d);
@@ -388,10 +393,10 @@ impl Printer {
             ClassKind::Interface => self.out.push_str("interface "),
             ClassKind::Trait => self.out.push_str("trait "),
         }
-        self.out.push_str(&c.name);
+        self.out.push_str(c.name.as_str());
         if let Some(p) = &c.parent {
             self.out.push_str(" extends ");
-            self.out.push_str(p);
+            self.out.push_str(p.as_str());
         }
         if !c.interfaces.is_empty() {
             self.out.push_str(" implements ");
@@ -416,7 +421,7 @@ impl Printer {
                     if modifiers.is_static {
                         self.out.push_str("static ");
                     }
-                    self.out.push_str(name);
+                    self.out.push_str(name.as_str());
                     if let Some(d) = default {
                         self.out.push_str(" = ");
                         self.expr(d);
@@ -455,7 +460,7 @@ impl Printer {
 
     fn member(&mut self, m: &Member) {
         match m {
-            Member::Name(n) => self.out.push_str(n),
+            Member::Name(n) => self.out.push_str(n.as_str()),
             Member::Dynamic(e) => {
                 self.out.push('{');
                 self.expr(e);
@@ -466,7 +471,7 @@ impl Printer {
 
     fn expr(&mut self, e: &Expr) {
         match e {
-            Expr::Var(n, _) => self.out.push_str(n),
+            Expr::Var(n, _) => self.out.push_str(n.as_str()),
             Expr::VarVar(inner, _) => {
                 self.out.push_str("${");
                 self.expr(inner);
@@ -517,7 +522,7 @@ impl Printer {
                 }
                 self.out.push('`');
             }
-            Expr::ConstFetch(n, _) => self.out.push_str(n),
+            Expr::ConstFetch(n, _) => self.out.push_str(n.as_str()),
             Expr::ClassConst(c, n, _) => {
                 write!(self.out, "{c}::{n}").expect("write");
             }
@@ -602,7 +607,7 @@ impl Printer {
             }
             Expr::Call { callee, args, .. } => {
                 match callee {
-                    Callee::Function(n) => self.out.push_str(n),
+                    Callee::Function(n) => self.out.push_str(n.as_str()),
                     Callee::Dynamic(e) => self.expr(e),
                     Callee::Method { base, name } => {
                         self.expr(base);
@@ -610,7 +615,7 @@ impl Printer {
                         self.member(name);
                     }
                     Callee::StaticMethod { class, name } => {
-                        self.out.push_str(class);
+                        self.out.push_str(class.as_str());
                         self.out.push_str("::");
                         self.member(name);
                     }
@@ -630,7 +635,7 @@ impl Printer {
             Expr::New { class, args, .. } => {
                 self.out.push_str("new ");
                 match class {
-                    Member::Name(n) => self.out.push_str(n),
+                    Member::Name(n) => self.out.push_str(n.as_str()),
                     Member::Dynamic(e) => self.expr(e),
                 }
                 self.out.push('(');
@@ -699,7 +704,7 @@ impl Printer {
             Expr::Instanceof(e, c, _) => {
                 self.expr(e);
                 self.out.push_str(" instanceof ");
-                self.out.push_str(c);
+                self.out.push_str(c.as_str());
             }
             Expr::ListIntrinsic(items, _) => {
                 self.out.push_str("list(");
@@ -728,7 +733,7 @@ impl Printer {
                         if *by_ref {
                             self.out.push('&');
                         }
-                        self.out.push_str(n);
+                        self.out.push_str(n.as_str());
                     }
                     self.out.push(')');
                 }

@@ -276,7 +276,7 @@ fn class_with_members() {
     };
     assert_eq!(c.name, "Base");
     assert!(c.is_abstract);
-    assert_eq!(c.parent.as_deref(), Some("Root"));
+    assert_eq!(c.parent.map(|p| p.as_str()), Some("Root"));
     assert_eq!(c.interfaces, vec!["A".to_string(), "B".to_string()]);
     assert_eq!(c.members.len(), 5);
     assert!(c.method("helper").is_some());

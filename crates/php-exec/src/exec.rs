@@ -267,7 +267,7 @@ impl<'p> Executor<'p> {
                 }
                 for (i, p) in c.params.iter().enumerate() {
                     let v = args.get(i).cloned().unwrap_or(Value::Null);
-                    frame.vars.insert(p.name.clone(), v);
+                    frame.vars.insert(p.name.to_string(), v);
                 }
                 match self.exec_stmts(&c.body, &mut frame) {
                     Flow::Return(v) => v,
@@ -492,7 +492,7 @@ impl<'p> Executor<'p> {
             }
             Stmt::Global(names, _) => {
                 for n in names {
-                    f.globals_decl.insert(n.clone());
+                    f.globals_decl.insert(n.to_string());
                 }
                 Flow::Normal
             }
@@ -502,16 +502,16 @@ impl<'p> Executor<'p> {
                         Some(d) => self.eval_value(d, f),
                         None => Value::Null,
                     };
-                    f.vars.entry(name.clone()).or_insert(v);
+                    f.vars.entry(name.to_string()).or_insert(v);
                 }
                 Flow::Normal
             }
             Stmt::Unset(es, _) => {
                 for e in es {
                     if let Expr::Var(name, _) = e {
-                        f.vars.remove(name);
+                        f.vars.remove(name.as_str());
                         if f.is_global {
-                            self.globals.remove(name);
+                            self.globals.remove(name.as_str());
                         }
                     }
                 }
@@ -557,7 +557,7 @@ impl<'p> Executor<'p> {
             return EvalResult::Exit;
         }
         let v = match e {
-            Expr::Var(name, _) => self.read_var(name, f),
+            Expr::Var(name, _) => self.read_var(name.as_str(), f),
             Expr::VarVar(..) => Value::Null,
             Expr::Lit(l, _) => match l {
                 Lit::Int(t) => Value::Int(parse_int(t)),
@@ -582,7 +582,7 @@ impl<'p> Executor<'p> {
             Expr::ConstFetch(name, _) => match name.as_str() {
                 "__FILE__" => Value::Str("plugin.php".into()),
                 "PHP_EOL" => Value::Str("\n".into()),
-                _ => Value::Str(name.clone()),
+                _ => Value::Str(name.to_string()),
             },
             Expr::ClassConst(..) => Value::Null,
             Expr::ArrayLit(items, _) => {
@@ -622,7 +622,7 @@ impl<'p> Executor<'p> {
             Expr::Prop(base, member, _) => {
                 let b = self.eval_value(base, f);
                 let name = match member {
-                    Member::Name(n) => n.clone(),
+                    Member::Name(n) => n.to_string(),
                     Member::Dynamic(e) => self.eval_value(e, f).to_php_string(),
                 };
                 match b {
@@ -639,7 +639,11 @@ impl<'p> Executor<'p> {
             }
             Expr::StaticProp(class, prop, _) => self
                 .globals
-                .get(&format!("{}::{}", class.to_ascii_lowercase(), prop))
+                .get(&format!(
+                    "{}::{}",
+                    class.as_str().to_ascii_lowercase(),
+                    prop
+                ))
                 .cloned()
                 .unwrap_or(Value::Null),
             Expr::Assign {
@@ -708,7 +712,7 @@ impl<'p> Executor<'p> {
             Expr::Call { callee, args, .. } => return self.eval_call(callee, args, f),
             Expr::New { class, args, .. } => {
                 let cname = match class {
-                    Member::Name(n) => n.to_ascii_lowercase(),
+                    Member::Name(n) => n.as_str().to_ascii_lowercase(),
                     Member::Dynamic(e) => {
                         self.eval_value(e, f).to_php_string().to_ascii_lowercase()
                     }
@@ -797,8 +801,8 @@ impl<'p> Executor<'p> {
                 let captured = uses
                     .iter()
                     .map(|(name, _)| {
-                        let v = self.read_var(name, f);
-                        (name.clone(), v)
+                        let v = self.read_var(name.as_str(), f);
+                        (name.to_string(), v)
                     })
                     .collect();
                 Value::Closure(Box::new(ClosureValue {
@@ -869,7 +873,7 @@ impl<'p> Executor<'p> {
 
     fn assign_to(&mut self, target: &Expr, v: Value, f: &mut Frame) {
         match target {
-            Expr::Var(name, _) => self.write_var(name, v, f),
+            Expr::Var(name, _) => self.write_var(name.as_str(), v, f),
             Expr::Index(base, idx, _) => {
                 let mut container = self.eval_value(base, f);
                 if !matches!(container, Value::Array(_)) {
@@ -888,7 +892,7 @@ impl<'p> Executor<'p> {
             }
             Expr::Prop(base, member, _) => {
                 let name = match member {
-                    Member::Name(n) => n.clone(),
+                    Member::Name(n) => n.to_string(),
                     Member::Dynamic(e) => self.eval_value(e, f).to_php_string(),
                 };
                 // `$this->x = v` mutates the live frame object.
@@ -905,8 +909,10 @@ impl<'p> Executor<'p> {
                 }
             }
             Expr::StaticProp(class, prop, _) => {
-                self.globals
-                    .insert(format!("{}::{}", class.to_ascii_lowercase(), prop), v);
+                self.globals.insert(
+                    format!("{}::{}", class.as_str().to_ascii_lowercase(), prop),
+                    v,
+                );
             }
             Expr::ListIntrinsic(items, _) => {
                 if let Value::Array(a) = v {
@@ -932,7 +938,7 @@ impl<'p> Executor<'p> {
         let argv: Vec<Value> = args.iter().map(|a| self.eval_value(&a.value, f)).collect();
         match callee {
             Callee::Function(name) => {
-                let lname = name.to_ascii_lowercase();
+                let lname = name.as_str().to_ascii_lowercase();
                 if let Some(result) = self.call_builtin(&lname, &argv, args, f) {
                     return result;
                 }
@@ -988,7 +994,7 @@ impl<'p> Executor<'p> {
                     Some(n) => n.to_string(),
                     None => return EvalResult::Value(Value::Null),
                 };
-                let cname = class.to_ascii_lowercase();
+                let cname = class.as_str().to_ascii_lowercase();
                 let decl = self.symbols.method(&cname, &mname).map(|(_, d)| d.clone());
                 match decl {
                     Some(d) => {
@@ -1032,7 +1038,7 @@ impl<'p> Executor<'p> {
                     None => Value::Null,
                 },
             };
-            frame.vars.insert(p.name.clone(), v);
+            frame.vars.insert(p.name.to_string(), v);
         }
         let ret = match self.exec_stmts(&decl.body, &mut frame) {
             Flow::Return(v) => v,
@@ -1066,7 +1072,7 @@ impl<'p> Executor<'p> {
                     None => Value::Null,
                 },
             };
-            frame.vars.insert(p.name.clone(), v);
+            frame.vars.insert(p.name.to_string(), v);
         }
         let ret = match self.exec_stmts(&decl.body, &mut frame) {
             Flow::Return(v) => v,

@@ -1,13 +1,17 @@
 //! A character cursor over source text with line tracking and lookahead.
 
-/// Char-level cursor used by the lexer.
+use std::sync::Arc;
+
+/// Cursor used by the lexer: a byte offset into shared source text.
 ///
-/// Operates on a `Vec<char>` snapshot of the input so multi-byte UTF-8
-/// characters index uniformly; plugin sources are small enough that the
-/// up-front copy is irrelevant next to analysis cost.
+/// The source sits behind an [`Arc`] so the speculative cursor clones the
+/// lexer takes (cast probing, interpolation scanning) copy two integers
+/// instead of the whole file, and [`Cursor::slice_from`] lets token text
+/// be materialized as one exact-capacity copy of the consumed region
+/// rather than a char-by-char rebuild.
 #[derive(Debug, Clone)]
 pub(crate) struct Cursor {
-    chars: Vec<char>,
+    src: Arc<str>,
     pos: usize,
     line: u32,
 }
@@ -15,7 +19,7 @@ pub(crate) struct Cursor {
 impl Cursor {
     pub(crate) fn new(src: &str) -> Self {
         Cursor {
-            chars: src.chars().collect(),
+            src: Arc::from(src),
             pos: 0,
             line: 1,
         }
@@ -26,23 +30,34 @@ impl Cursor {
         self.line
     }
 
+    /// Current byte offset (a valid UTF-8 boundary).
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// The source text between `start` (an earlier [`Cursor::pos`]) and the
+    /// current position.
+    pub(crate) fn slice_from(&self, start: usize) -> &str {
+        &self.src[start..self.pos]
+    }
+
     pub(crate) fn is_eof(&self) -> bool {
-        self.pos >= self.chars.len()
+        self.pos >= self.src.len()
     }
 
     /// Peeks `n` characters ahead (0 = current).
     pub(crate) fn peek_at(&self, n: usize) -> Option<char> {
-        self.chars.get(self.pos + n).copied()
+        self.src[self.pos..].chars().nth(n)
     }
 
     pub(crate) fn peek(&self) -> Option<char> {
-        self.peek_at(0)
+        self.src[self.pos..].chars().next()
     }
 
     /// Consumes and returns the current character, tracking newlines.
     pub(crate) fn bump(&mut self) -> Option<char> {
-        let c = self.chars.get(self.pos).copied()?;
-        self.pos += 1;
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
         if c == '\n' {
             self.line += 1;
         }
@@ -60,24 +75,19 @@ impl Cursor {
     }
 
     /// True if the upcoming characters match `s` (ASCII case-insensitive
-    /// when `ci` is set).
+    /// when `ci` is set). `s` must be ASCII, which every caller's pattern is.
     pub(crate) fn starts_with(&self, s: &str, ci: bool) -> bool {
-        for (i, want) in s.chars().enumerate() {
-            match self.peek_at(i) {
-                Some(have) => {
-                    let matches = if ci {
-                        have.eq_ignore_ascii_case(&want)
-                    } else {
-                        have == want
-                    };
-                    if !matches {
-                        return false;
-                    }
-                }
-                None => return false,
-            }
+        let rest = self.src.as_bytes();
+        let (pat, n) = (s.as_bytes(), s.len());
+        if self.pos + n > rest.len() {
+            return false;
         }
-        true
+        let have = &rest[self.pos..self.pos + n];
+        if ci {
+            have.eq_ignore_ascii_case(pat)
+        } else {
+            have == pat
+        }
     }
 
     /// Consumes `n` characters, maintaining line counts.
@@ -90,16 +100,36 @@ impl Cursor {
     }
 
     /// Consumes characters while `pred` holds, returning the consumed text.
-    pub(crate) fn eat_while(&mut self, mut pred: impl FnMut(char) -> bool) -> String {
-        let mut out = String::new();
-        while let Some(c) = self.peek() {
-            if !pred(c) {
-                break;
+    pub(crate) fn eat_while(&mut self, pred: impl FnMut(char) -> bool) -> String {
+        let start = self.pos;
+        self.skip_while(pred);
+        self.src[start..self.pos].to_string()
+    }
+
+    /// Consumes characters while `pred` holds without materializing text;
+    /// pair with [`Cursor::slice_from`] to read the region. ASCII bytes
+    /// take a decode-free fast path — this runs per character of every
+    /// identifier, number, and whitespace run.
+    pub(crate) fn skip_while(&mut self, mut pred: impl FnMut(char) -> bool) {
+        let bytes = self.src.as_bytes();
+        while self.pos < bytes.len() {
+            let b = bytes[self.pos];
+            if b < 0x80 {
+                if !pred(b as char) {
+                    break;
+                }
+                self.pos += 1;
+                if b == b'\n' {
+                    self.line += 1;
+                }
+            } else {
+                let c = self.src[self.pos..].chars().next().expect("utf8 boundary");
+                if !pred(c) {
+                    break;
+                }
+                self.pos += c.len_utf8();
             }
-            out.push(c);
-            self.bump();
         }
-        out
     }
 }
 
@@ -141,5 +171,13 @@ mod tests {
         let mut c = Cursor::new("éé$x");
         c.advance(2);
         assert_eq!(c.peek(), Some('$'));
+    }
+
+    #[test]
+    fn slice_from_reproduces_consumed_text() {
+        let mut c = Cursor::new("héllo world");
+        let start = c.pos();
+        c.skip_while(|ch| !ch.is_whitespace());
+        assert_eq!(c.slice_from(start), "héllo");
     }
 }

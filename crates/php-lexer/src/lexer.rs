@@ -29,10 +29,9 @@ pub fn tokenize(src: &str) -> Vec<Token> {
 
 /// Lexes source and drops trivia (whitespace/comments), the view parsers use.
 pub fn tokenize_significant(src: &str) -> Vec<Token> {
-    tokenize(src)
-        .into_iter()
-        .filter(|t| !t.kind.is_trivia())
-        .collect()
+    let mut toks = tokenize(src);
+    toks.retain(|t| !t.kind.is_trivia());
+    toks
 }
 
 /// What terminates an interpolated scanning region.
@@ -56,7 +55,9 @@ impl Lexer {
     pub fn new(src: &str) -> Self {
         Lexer {
             cur: Cursor::new(src),
-            out: Vec::new(),
+            // PHP source averages well under one token per 4 bytes; one
+            // up-front guess avoids the doubling-regrowth copies.
+            out: Vec::with_capacity(src.len() / 4),
         }
     }
 
@@ -85,14 +86,15 @@ impl Lexer {
     /// HTML mode: consume inline HTML until an open tag (or EOF).
     fn lex_html_until_open_tag(&mut self) {
         let line = self.cur.line();
-        let mut html = String::new();
+        let start = self.cur.pos();
         loop {
             if self.cur.is_eof() {
                 break;
             }
             if self.cur.starts_with("<?", false) {
-                if !html.is_empty() {
-                    self.push(TokenKind::InlineHtml, std::mem::take(&mut html), line);
+                if self.cur.pos() > start {
+                    let html = self.cur.slice_from(start).to_string();
+                    self.push(TokenKind::InlineHtml, html, line);
                 }
                 let tag_line = self.cur.line();
                 if self.cur.starts_with("<?php", true) {
@@ -107,9 +109,10 @@ impl Lexer {
                 }
                 return;
             }
-            html.push(self.cur.bump().expect("not eof"));
+            self.cur.bump();
         }
-        if !html.is_empty() {
+        if self.cur.pos() > start {
+            let html = self.cur.slice_from(start).to_string();
             self.push(TokenKind::InlineHtml, html, line);
         }
     }
@@ -149,9 +152,11 @@ impl Lexer {
         // Variables
         if c == '$' {
             if matches!(self.cur.peek_at(1), Some(n) if is_ident_start(n)) {
+                let start = self.cur.pos();
                 self.cur.bump();
-                let name = self.cur.eat_while(is_ident_continue);
-                self.push(TokenKind::Variable, format!("${name}"), line);
+                self.cur.skip_while(is_ident_continue);
+                let name = self.cur.slice_from(start).to_string();
+                self.push(TokenKind::Variable, name, line);
             } else {
                 self.cur.bump();
                 self.push(TokenKind::Dollar, "$", line);
@@ -208,70 +213,66 @@ impl Lexer {
     }
 
     fn block_comment(&mut self) -> String {
-        let mut text = String::new();
-        // consume "/*"
-        text.push(self.cur.bump().expect("slash"));
-        text.push(self.cur.bump().expect("star"));
+        let start = self.cur.pos();
+        self.cur.advance(2); // "/*"
         loop {
             if self.cur.is_eof() {
                 break;
             }
             if self.cur.starts_with("*/", false) {
-                text.push(self.cur.bump().expect("star"));
-                text.push(self.cur.bump().expect("slash"));
+                self.cur.advance(2);
                 break;
             }
-            text.push(self.cur.bump().expect("not eof"));
+            self.cur.bump();
         }
-        text
+        self.cur.slice_from(start).to_string()
     }
 
     fn line_comment(&mut self) -> String {
-        let mut text = String::new();
+        let start = self.cur.pos();
         loop {
             match self.cur.peek() {
                 None => break,
                 Some('\n') => break,
                 // A line comment ends at a close tag, which must be re-lexed.
                 _ if self.cur.starts_with("?>", false) => break,
-                Some(c) => {
-                    text.push(c);
+                Some(_) => {
                     self.cur.bump();
                 }
             }
         }
-        text
+        self.cur.slice_from(start).to_string()
     }
 
     fn lex_number(&mut self, line: u32) {
-        let mut text = String::new();
+        let start = self.cur.pos();
         if self.cur.starts_with("0x", true) || self.cur.starts_with("0X", false) {
-            text.push(self.cur.bump().expect("0"));
-            text.push(self.cur.bump().expect("x"));
-            text.push_str(&self.cur.eat_while(|c| c.is_ascii_hexdigit() || c == '_'));
+            self.cur.advance(2);
+            self.cur.skip_while(|c| c.is_ascii_hexdigit() || c == '_');
+            let text = self.cur.slice_from(start).to_string();
             self.push(TokenKind::LNumber, text, line);
             return;
         }
         if self.cur.starts_with("0b", true) {
-            text.push(self.cur.bump().expect("0"));
-            text.push(self.cur.bump().expect("b"));
-            text.push_str(&self.cur.eat_while(|c| c == '0' || c == '1' || c == '_'));
+            self.cur.advance(2);
+            self.cur.skip_while(|c| c == '0' || c == '1' || c == '_');
+            let text = self.cur.slice_from(start).to_string();
             self.push(TokenKind::LNumber, text, line);
             return;
         }
         let mut is_float = false;
-        text.push_str(&self.cur.eat_while(|c| c.is_ascii_digit()));
+        self.cur.skip_while(|c| c.is_ascii_digit());
         if self.cur.peek() == Some('.')
             && matches!(self.cur.peek_at(1), Some(d) if d.is_ascii_digit())
         {
             is_float = true;
-            text.push(self.cur.bump().expect("dot"));
-            text.push_str(&self.cur.eat_while(|c| c.is_ascii_digit()));
-        } else if self.cur.peek() == Some('.') && text.is_empty() {
+            self.cur.bump();
+            self.cur.skip_while(|c| c.is_ascii_digit());
+        } else if self.cur.peek() == Some('.') && self.cur.pos() == start {
             // ".5" style float
             is_float = true;
-            text.push(self.cur.bump().expect("dot"));
-            text.push_str(&self.cur.eat_while(|c| c.is_ascii_digit()));
+            self.cur.bump();
+            self.cur.skip_while(|c| c.is_ascii_digit());
         }
         if matches!(self.cur.peek(), Some('e') | Some('E')) {
             let mut k = 1;
@@ -280,10 +281,8 @@ impl Lexer {
             }
             if matches!(self.cur.peek_at(k), Some(d) if d.is_ascii_digit()) {
                 is_float = true;
-                for _ in 0..k {
-                    text.push(self.cur.bump().expect("exp"));
-                }
-                text.push_str(&self.cur.eat_while(|c| c.is_ascii_digit()));
+                self.cur.advance(k);
+                self.cur.skip_while(|c| c.is_ascii_digit());
             }
         }
         let kind = if is_float {
@@ -291,31 +290,30 @@ impl Lexer {
         } else {
             TokenKind::LNumber
         };
+        let text = self.cur.slice_from(start).to_string();
         self.push(kind, text, line);
     }
 
     fn lex_single_quoted(&mut self, line: u32) {
-        let mut text = String::new();
-        text.push(self.cur.bump().expect("quote"));
+        let start = self.cur.pos();
+        self.cur.bump(); // opening quote
         loop {
             match self.cur.peek() {
                 None => break,
                 Some('\\') => {
-                    text.push(self.cur.bump().expect("bs"));
-                    if let Some(e) = self.cur.bump() {
-                        text.push(e);
-                    }
+                    self.cur.bump();
+                    self.cur.bump();
                 }
                 Some('\'') => {
-                    text.push(self.cur.bump().expect("quote"));
+                    self.cur.bump();
                     break;
                 }
-                Some(c) => {
-                    text.push(c);
+                Some(_) => {
                     self.cur.bump();
                 }
             }
         }
+        let text = self.cur.slice_from(start).to_string();
         self.push(TokenKind::ConstantEncapsedString, text, line);
     }
 
@@ -323,24 +321,23 @@ impl Lexer {
     /// `T_CONSTANT_ENCAPSED_STRING` when free of interpolation, otherwise as
     /// `"` + interpolation parts + `"`, exactly as PHP does.
     fn lex_double_quoted(&mut self, line: u32) {
-        // Scan ahead (on a cursor clone) to decide whether the string
-        // interpolates, so simple strings stay one token.
+        // Scan ahead (on a cheap cursor clone — the source is shared) to
+        // decide whether the string interpolates, so simple strings stay
+        // one token.
+        let start = self.cur.pos();
         let mut probe = self.cur.clone();
         probe.bump(); // opening quote
         let mut interpolates = false;
-        let mut raw = String::from("\"");
         let mut closed = false;
         loop {
             match probe.peek() {
                 None => break,
                 Some('\\') => {
-                    raw.push(probe.bump().expect("bs"));
-                    if let Some(e) = probe.bump() {
-                        raw.push(e);
-                    }
+                    probe.bump();
+                    probe.bump();
                 }
                 Some('"') => {
-                    raw.push(probe.bump().expect("quote"));
+                    probe.bump();
                     closed = true;
                     break;
                 }
@@ -348,16 +345,15 @@ impl Lexer {
                     if matches!(probe.peek_at(1), Some(n) if is_ident_start(n) || n == '{') {
                         interpolates = true;
                     }
-                    raw.push(probe.bump().expect("dollar"));
+                    probe.bump();
                 }
                 Some('{') => {
                     if probe.peek_at(1) == Some('$') {
                         interpolates = true;
                     }
-                    raw.push(probe.bump().expect("brace"));
+                    probe.bump();
                 }
-                Some(c) => {
-                    raw.push(c);
+                Some(_) => {
                     probe.bump();
                 }
             }
@@ -365,6 +361,7 @@ impl Lexer {
         if !interpolates {
             // Commit the probe's progress.
             self.cur = probe;
+            let raw = self.cur.slice_from(start).to_string();
             let kind = if closed || !raw.is_empty() {
                 TokenKind::ConstantEncapsedString
             } else {
@@ -379,36 +376,34 @@ impl Lexer {
     }
 
     fn lex_heredoc(&mut self, line: u32) {
-        let mut text = String::from("<<<");
-        self.cur.advance(3);
-        text.push_str(&self.cur.eat_while(|c| c == ' ' || c == '\t'));
+        let start = self.cur.pos();
+        self.cur.advance(3); // "<<<"
+        self.cur.skip_while(|c| c == ' ' || c == '\t');
         let mut nowdoc = false;
         let mut quoted = false;
         if self.cur.eat('\'') {
             nowdoc = true;
-            text.push('\'');
         } else if self.cur.eat('"') {
             quoted = true;
-            text.push('"');
         }
         let label = self.cur.eat_while(is_ident_continue);
-        text.push_str(&label);
-        if nowdoc && self.cur.eat('\'') {
-            text.push('\'');
+        if nowdoc {
+            self.cur.eat('\'');
         }
-        if quoted && self.cur.eat('"') {
-            text.push('"');
+        if quoted {
+            self.cur.eat('"');
         }
         if self.cur.peek() == Some('\r') {
-            text.push(self.cur.bump().expect("cr"));
+            self.cur.bump();
         }
         if self.cur.peek() == Some('\n') {
-            text.push(self.cur.bump().expect("nl"));
+            self.cur.bump();
         }
+        let text = self.cur.slice_from(start).to_string();
         self.push(TokenKind::StartHeredoc, text, line);
         if nowdoc {
             // Nowdoc: raw until terminator, no interpolation.
-            let mut body = String::new();
+            let body_start = self.cur.pos();
             let body_line = self.cur.line();
             loop {
                 if self.cur.is_eof() {
@@ -417,9 +412,10 @@ impl Lexer {
                 if self.at_heredoc_end(&label) {
                     break;
                 }
-                body.push(self.cur.bump().expect("not eof"));
+                self.cur.bump();
             }
-            if !body.is_empty() {
+            if self.cur.pos() > body_start {
+                let body = self.cur.slice_from(body_start).to_string();
                 self.push(TokenKind::EncapsedAndWhitespace, body, body_line);
             }
             let end_line = self.cur.line();
@@ -449,7 +445,7 @@ impl Lexer {
     /// emitting `T_ENCAPSED_AND_WHITESPACE` runs, simple `$var` accesses and
     /// `{$ ... }` complex expressions, until the terminator.
     fn lex_interpolated(&mut self, end: InterpEnd) {
-        let mut run = String::new();
+        let mut run_start = self.cur.pos();
         let mut run_line = self.cur.line();
         let mut at_line_start = matches!(end, InterpEnd::Heredoc(_));
         loop {
@@ -460,13 +456,7 @@ impl Lexer {
             match &end {
                 InterpEnd::DoubleQuote => {
                     if self.cur.peek() == Some('"') {
-                        if !run.is_empty() {
-                            self.push(
-                                TokenKind::EncapsedAndWhitespace,
-                                std::mem::take(&mut run),
-                                run_line,
-                            );
-                        }
+                        self.flush_encapsed_run(run_start, run_line);
                         let line = self.cur.line();
                         self.cur.bump();
                         self.push(TokenKind::DoubleQuote, "\"", line);
@@ -475,13 +465,7 @@ impl Lexer {
                 }
                 InterpEnd::Backtick => {
                     if self.cur.peek() == Some('`') {
-                        if !run.is_empty() {
-                            self.push(
-                                TokenKind::EncapsedAndWhitespace,
-                                std::mem::take(&mut run),
-                                run_line,
-                            );
-                        }
+                        self.flush_encapsed_run(run_start, run_line);
                         let line = self.cur.line();
                         self.cur.bump();
                         self.push(TokenKind::Backtick, "`", line);
@@ -490,13 +474,7 @@ impl Lexer {
                 }
                 InterpEnd::Heredoc(label) => {
                     if at_line_start && self.at_heredoc_end(label) {
-                        if !run.is_empty() {
-                            self.push(
-                                TokenKind::EncapsedAndWhitespace,
-                                std::mem::take(&mut run),
-                                run_line,
-                            );
-                        }
+                        self.flush_encapsed_run(run_start, run_line);
                         let line = self.cur.line();
                         self.cur.advance(label.chars().count());
                         self.push(TokenKind::EndHeredoc, label.clone(), line);
@@ -508,26 +486,21 @@ impl Lexer {
             match self.cur.peek() {
                 Some('\\') if end != InterpEnd::Heredoc(String::new()) => {
                     // Escapes stay verbatim inside the encapsed run.
-                    run.push(self.cur.bump().expect("bs"));
+                    self.cur.bump();
                     if let Some(e) = self.cur.bump() {
                         if e == '\n' {
                             at_line_start = true;
                         }
-                        run.push(e);
                     }
                 }
                 Some('$') if matches!(self.cur.peek_at(1), Some(n) if is_ident_start(n)) => {
-                    if !run.is_empty() {
-                        self.push(
-                            TokenKind::EncapsedAndWhitespace,
-                            std::mem::take(&mut run),
-                            run_line,
-                        );
-                    }
+                    self.flush_encapsed_run(run_start, run_line);
                     let line = self.cur.line();
+                    let var_start = self.cur.pos();
                     self.cur.bump(); // $
-                    let name = self.cur.eat_while(is_ident_continue);
-                    self.push(TokenKind::Variable, format!("${name}"), line);
+                    self.cur.skip_while(is_ident_continue);
+                    let name = self.cur.slice_from(var_start).to_string();
+                    self.push(TokenKind::Variable, name, line);
                     // Simple-syntax suffixes: ->prop or [index]
                     if self.cur.starts_with("->", false)
                         && matches!(self.cur.peek_at(2), Some(n) if is_ident_start(n))
@@ -548,9 +521,11 @@ impl Lexer {
                         self.push(TokenKind::OpenBracket, "[", line);
                         // index: $var | number | bareword
                         if self.cur.peek() == Some('$') {
+                            let idx_start = self.cur.pos();
                             self.cur.bump();
-                            let iname = self.cur.eat_while(is_ident_continue);
-                            self.push(TokenKind::Variable, format!("${iname}"), line);
+                            self.cur.skip_while(is_ident_continue);
+                            let iname = self.cur.slice_from(idx_start).to_string();
+                            self.push(TokenKind::Variable, iname, line);
                         } else if matches!(self.cur.peek(), Some(d) if d.is_ascii_digit()) {
                             let num = self.cur.eat_while(|c| c.is_ascii_digit());
                             self.push(TokenKind::LNumber, num, line);
@@ -562,47 +537,44 @@ impl Lexer {
                             self.push(TokenKind::CloseBracket, "]", line);
                         }
                     }
+                    run_start = self.cur.pos();
                     run_line = self.cur.line();
                 }
                 Some('{') if self.cur.peek_at(1) == Some('$') => {
-                    if !run.is_empty() {
-                        self.push(
-                            TokenKind::EncapsedAndWhitespace,
-                            std::mem::take(&mut run),
-                            run_line,
-                        );
-                    }
+                    self.flush_encapsed_run(run_start, run_line);
                     let line = self.cur.line();
                     self.cur.bump();
                     self.push(TokenKind::CurlyOpen, "{", line);
                     self.lex_php_until_matching_brace();
+                    run_start = self.cur.pos();
                     run_line = self.cur.line();
                 }
                 Some('$') if self.cur.peek_at(1) == Some('{') => {
-                    if !run.is_empty() {
-                        self.push(
-                            TokenKind::EncapsedAndWhitespace,
-                            std::mem::take(&mut run),
-                            run_line,
-                        );
-                    }
+                    self.flush_encapsed_run(run_start, run_line);
                     let line = self.cur.line();
                     self.cur.advance(2);
                     self.push(TokenKind::DollarOpenCurlyBraces, "${", line);
                     self.lex_php_until_matching_brace();
+                    run_start = self.cur.pos();
                     run_line = self.cur.line();
                 }
                 Some(c) => {
                     if c == '\n' {
                         at_line_start = true;
                     }
-                    run.push(c);
                     self.cur.bump();
                 }
                 None => break,
             }
         }
-        if !run.is_empty() {
+        self.flush_encapsed_run(run_start, run_line);
+    }
+
+    /// Emits the pending `T_ENCAPSED_AND_WHITESPACE` run (source text from
+    /// `run_start` to the cursor), if non-empty.
+    fn flush_encapsed_run(&mut self, run_start: usize, run_line: u32) {
+        if self.cur.pos() > run_start {
+            let run = self.cur.slice_from(run_start).to_string();
             self.push(TokenKind::EncapsedAndWhitespace, run, run_line);
         }
     }
@@ -631,28 +603,36 @@ impl Lexer {
     /// Attempts to lex a cast like `(int)`; restores the cursor on failure.
     fn try_cast(&mut self) -> Option<(TokenKind, String)> {
         let snapshot = self.cur.clone();
-        let mut text = String::new();
-        text.push(self.cur.bump().expect("paren"));
-        text.push_str(&self.cur.eat_while(|c| c == ' ' || c == '\t'));
-        let word = self.cur.eat_while(|c| c.is_ascii_alphabetic());
-        let kind = match word.to_ascii_lowercase().as_str() {
-            "int" | "integer" => TokenKind::IntCast,
-            "float" | "double" | "real" => TokenKind::DoubleCast,
-            "string" | "binary" => TokenKind::StringCast,
-            "array" => TokenKind::ArrayCast,
-            "object" => TokenKind::ObjectCast,
-            "bool" | "boolean" => TokenKind::BoolCast,
-            "unset" => TokenKind::UnsetCast,
-            _ => {
-                self.cur = snapshot;
-                return None;
-            }
+        let start = self.cur.pos();
+        self.cur.bump(); // (
+        self.cur.skip_while(|c| c == ' ' || c == '\t');
+        let word_start = self.cur.pos();
+        self.cur.skip_while(|c| c.is_ascii_alphabetic());
+        let word = self.cur.slice_from(word_start);
+        let kind = if word.eq_ignore_ascii_case("int") || word.eq_ignore_ascii_case("integer") {
+            TokenKind::IntCast
+        } else if word.eq_ignore_ascii_case("float")
+            || word.eq_ignore_ascii_case("double")
+            || word.eq_ignore_ascii_case("real")
+        {
+            TokenKind::DoubleCast
+        } else if word.eq_ignore_ascii_case("string") || word.eq_ignore_ascii_case("binary") {
+            TokenKind::StringCast
+        } else if word.eq_ignore_ascii_case("array") {
+            TokenKind::ArrayCast
+        } else if word.eq_ignore_ascii_case("object") {
+            TokenKind::ObjectCast
+        } else if word.eq_ignore_ascii_case("bool") || word.eq_ignore_ascii_case("boolean") {
+            TokenKind::BoolCast
+        } else if word.eq_ignore_ascii_case("unset") {
+            TokenKind::UnsetCast
+        } else {
+            self.cur = snapshot;
+            return None;
         };
-        text.push_str(&word);
-        text.push_str(&self.cur.eat_while(|c| c == ' ' || c == '\t'));
+        self.cur.skip_while(|c| c == ' ' || c == '\t');
         if self.cur.eat(')') {
-            text.push(')');
-            Some((kind, text))
+            Some((kind, self.cur.slice_from(start).to_string()))
         } else {
             self.cur = snapshot;
             None
@@ -661,50 +641,34 @@ impl Lexer {
 
     fn lex_operator(&mut self, line: u32) {
         use TokenKind::*;
-        // Longest-match first.
-        const THREE: &[(&str, TokenKind)] = &[
-            ("===", Identical),
-            ("!==", NotIdentical),
-            ("<<=", SlEqual),
-            (">>=", SrEqual),
-            ("...", Ellipsis),
-        ];
-        const TWO: &[(&str, TokenKind)] = &[
-            ("->", ObjectOperator),
-            ("::", DoubleColon),
-            ("=>", DoubleArrow),
-            ("++", Inc),
-            ("--", Dec),
-            ("==", Equal),
-            ("!=", NotEqual),
-            ("<>", NotEqual),
-            ("<=", SmallerOrEqual),
-            (">=", GreaterOrEqual),
-            ("&&", BooleanAnd),
-            ("||", BooleanOr),
-            ("+=", PlusEqual),
-            ("-=", MinusEqual),
-            ("*=", MulEqual),
-            ("/=", DivEqual),
-            (".=", ConcatEqual),
-            ("%=", ModEqual),
-            ("&=", AndEqual),
-            ("|=", OrEqual),
-            ("^=", XorEqual),
-            ("<<", Sl),
-            (">>", Sr),
-            ("**", Pow),
-        ];
-        for (s, k) in THREE {
+        // Multi-char operators dispatched on the first char (longest match
+        // first within each group) so plain punctuation — the bulk of the
+        // operator stream — doesn't scan a global table.
+        let multi: &[(&str, TokenKind)] = match self.cur.peek() {
+            Some('=') => &[("===", Identical), ("==", Equal), ("=>", DoubleArrow)],
+            Some('!') => &[("!==", NotIdentical), ("!=", NotEqual)],
+            Some('<') => &[
+                ("<<=", SlEqual),
+                ("<<", Sl),
+                ("<=", SmallerOrEqual),
+                ("<>", NotEqual),
+            ],
+            Some('>') => &[(">>=", SrEqual), (">>", Sr), (">=", GreaterOrEqual)],
+            Some('.') => &[("...", Ellipsis), (".=", ConcatEqual)],
+            Some('-') => &[("->", ObjectOperator), ("--", Dec), ("-=", MinusEqual)],
+            Some('+') => &[("++", Inc), ("+=", PlusEqual)],
+            Some(':') => &[("::", DoubleColon)],
+            Some('&') => &[("&&", BooleanAnd), ("&=", AndEqual)],
+            Some('|') => &[("||", BooleanOr), ("|=", OrEqual)],
+            Some('*') => &[("**", Pow), ("*=", MulEqual)],
+            Some('/') => &[("/=", DivEqual)],
+            Some('%') => &[("%=", ModEqual)],
+            Some('^') => &[("^=", XorEqual)],
+            _ => &[],
+        };
+        for (s, k) in multi {
             if self.cur.starts_with(s, false) {
-                self.cur.advance(3);
-                self.push(*k, *s, line);
-                return;
-            }
-        }
-        for (s, k) in TWO {
-            if self.cur.starts_with(s, false) {
-                self.cur.advance(2);
+                self.cur.advance(s.len());
                 self.push(*k, *s, line);
                 return;
             }

@@ -5,6 +5,7 @@
 //! [`TokenKind`] variants; [`TokenKind::php_name`] recovers the PHP-style
 //! name the paper refers to (e.g. `"T_VARIABLE"`).
 
+use phpsafe_intern::Symbol;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -451,17 +452,38 @@ pub struct Token {
     pub kind: TokenKind,
     /// Verbatim text as it appeared in the source.
     pub text: String,
+    /// Interned name for identifier-like tokens ([`TokenKind::Variable`],
+    /// [`TokenKind::Identifier`]); [`Symbol::EMPTY`] for everything else.
+    /// Interning here means the parser and interpreter never re-hash the
+    /// name string — they thread the `Copy` id through the whole pipeline.
+    pub sym: Symbol,
     /// 1-based source line on which the token starts.
     pub line: u32,
 }
 
 impl Token {
-    /// Creates a token.
+    /// Creates a token, interning identifier/variable names.
     pub fn new(kind: TokenKind, text: impl Into<String>, line: u32) -> Self {
+        let text = text.into();
+        let sym = match kind {
+            TokenKind::Variable | TokenKind::Identifier => Symbol::intern(&text),
+            _ => Symbol::EMPTY,
+        };
         Token {
             kind,
-            text: text.into(),
+            text,
+            sym,
             line,
+        }
+    }
+
+    /// The interned text: `sym` when pre-interned at lex time, otherwise
+    /// interned on demand (keywords used as member names, magic constants).
+    pub fn symbol(&self) -> Symbol {
+        if self.sym.is_empty() && !self.text.is_empty() {
+            Symbol::intern(&self.text)
+        } else {
+            self.sym
         }
     }
 }
@@ -482,78 +504,88 @@ impl fmt::Display for Token {
 /// its token kind, or `None` if it is an ordinary identifier.
 pub fn keyword_kind(word: &str) -> Option<TokenKind> {
     use TokenKind::*;
-    let lower = word.to_ascii_lowercase();
-    Some(match lower.as_str() {
-        "abstract" => Abstract,
-        "array" => Array,
-        "as" => As,
-        "break" => Break,
-        "callable" => Callable,
-        "case" => Case,
-        "catch" => Catch,
-        "class" => Class,
-        "__class__" => ClassC,
-        "clone" => Clone,
-        "const" => Const,
-        "continue" => Continue,
-        "declare" => Declare,
-        "default" => Default,
-        "do" => Do,
-        "echo" => Echo,
-        "else" => Else,
-        "elseif" => Elseif,
-        "empty" => Empty,
-        "enddeclare" => EndDeclare,
-        "endfor" => EndFor,
-        "endforeach" => EndForeach,
-        "endif" => EndIf,
-        "endswitch" => EndSwitch,
-        "endwhile" => EndWhile,
-        "exit" | "die" => Exit,
-        "extends" => Extends,
-        "final" => Final,
-        "finally" => Finally,
-        "__file__" => FileC,
-        "for" => For,
-        "foreach" => Foreach,
-        "function" => Function,
-        "__function__" => FuncC,
-        "global" => Global,
-        "goto" => Goto,
-        "if" => If,
-        "implements" => Implements,
-        "include" => Include,
-        "include_once" => IncludeOnce,
-        "instanceof" => Instanceof,
-        "insteadof" => Insteadof,
-        "interface" => Interface,
-        "isset" => Isset,
-        "__line__" => LineC,
-        "list" => List,
-        "and" => LogicalAnd,
-        "or" => LogicalOr,
-        "xor" => LogicalXor,
-        "__method__" => MethodC,
-        "namespace" => Namespace,
-        "__namespace__" => NsC,
-        "new" => New,
-        "print" => Print,
-        "private" => Private,
-        "protected" => Protected,
-        "public" => Public,
-        "require" => Require,
-        "require_once" => RequireOnce,
-        "return" => Return,
-        "static" => Static,
-        "switch" => Switch,
-        "throw" => Throw,
-        "trait" => Trait,
-        "try" => Try,
-        "unset" => Unset,
-        "use" => Use,
-        "var" => Var,
-        "while" => While,
-        "yield" => Yield,
+    // Lowercase on the stack: this runs for every identifier-shaped token
+    // in the stream, and the longest keyword (`__namespace__`) is 13 bytes.
+    const MAX: usize = 13;
+    let bytes = word.as_bytes();
+    if bytes.len() > MAX {
+        return None;
+    }
+    let mut buf = [0u8; MAX];
+    for (dst, b) in buf.iter_mut().zip(bytes) {
+        *dst = b.to_ascii_lowercase();
+    }
+    Some(match &buf[..bytes.len()] {
+        b"abstract" => Abstract,
+        b"array" => Array,
+        b"as" => As,
+        b"break" => Break,
+        b"callable" => Callable,
+        b"case" => Case,
+        b"catch" => Catch,
+        b"class" => Class,
+        b"__class__" => ClassC,
+        b"clone" => Clone,
+        b"const" => Const,
+        b"continue" => Continue,
+        b"declare" => Declare,
+        b"default" => Default,
+        b"do" => Do,
+        b"echo" => Echo,
+        b"else" => Else,
+        b"elseif" => Elseif,
+        b"empty" => Empty,
+        b"enddeclare" => EndDeclare,
+        b"endfor" => EndFor,
+        b"endforeach" => EndForeach,
+        b"endif" => EndIf,
+        b"endswitch" => EndSwitch,
+        b"endwhile" => EndWhile,
+        b"exit" | b"die" => Exit,
+        b"extends" => Extends,
+        b"final" => Final,
+        b"finally" => Finally,
+        b"__file__" => FileC,
+        b"for" => For,
+        b"foreach" => Foreach,
+        b"function" => Function,
+        b"__function__" => FuncC,
+        b"global" => Global,
+        b"goto" => Goto,
+        b"if" => If,
+        b"implements" => Implements,
+        b"include" => Include,
+        b"include_once" => IncludeOnce,
+        b"instanceof" => Instanceof,
+        b"insteadof" => Insteadof,
+        b"interface" => Interface,
+        b"isset" => Isset,
+        b"__line__" => LineC,
+        b"list" => List,
+        b"and" => LogicalAnd,
+        b"or" => LogicalOr,
+        b"xor" => LogicalXor,
+        b"__method__" => MethodC,
+        b"namespace" => Namespace,
+        b"__namespace__" => NsC,
+        b"new" => New,
+        b"print" => Print,
+        b"private" => Private,
+        b"protected" => Protected,
+        b"public" => Public,
+        b"require" => Require,
+        b"require_once" => RequireOnce,
+        b"return" => Return,
+        b"static" => Static,
+        b"switch" => Switch,
+        b"throw" => Throw,
+        b"trait" => Trait,
+        b"try" => Try,
+        b"unset" => Unset,
+        b"use" => Use,
+        b"var" => Var,
+        b"while" => While,
+        b"yield" => Yield,
         _ => return None,
     })
 }

@@ -14,13 +14,18 @@ cargo test -q --offline --workspace
 # pass above; this keeps a failure attributable).
 cargo test -q --offline -p phpsafe-obs
 
+# Interning invariance: rendered artifacts must be byte-identical across
+# worker counts and interner arena states.
+cargo test -q --offline -p phpsafe-eval --test symbol_invariance
+
 # Smoke: a metrics snapshot from a real corpus run must report every
-# pipeline stage and the shared-cache counters.
+# pipeline stage, the shared-cache counters, and the interner counters.
 metrics="$(mktemp)"
 trap 'rm -f "$metrics"' EXIT
 cargo run -q --release --offline -p phpsafe-bench --bin repro -- \
     --metrics-out "$metrics" table2 >/dev/null
-for key in stage.lex stage.parse stage.analyze stage.eval cache.parse.hits; do
+for key in stage.lex stage.parse stage.analyze stage.eval cache.parse.hits \
+           intern.symbols intern.hits cow.env_clones; do
     grep -q "\"$key\"" "$metrics" || {
         echo "verify: $metrics is missing required key $key" >&2
         exit 1
