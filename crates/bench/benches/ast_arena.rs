@@ -1,0 +1,126 @@
+//! Measures the flat-AST hot paths introduced for the arena work: how
+//! fast files parse into per-file arenas, how fast a full visitor walk
+//! traverses the contiguous node pools (the memory-order access pattern
+//! the taint interpreter rides), and what the end-to-end serial analysis
+//! costs on both corpus versions — the Table III configuration. Run with
+//! `cargo bench --bench ast_arena`; the `ast.*` allocation counters
+//! (nodes, arena bytes, slice ranges) print after the groups so the
+//! footprint numbers land next to the timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use php_ast::visit::{self, Visitor};
+use php_ast::{Arena, ExprId, ParsedFile, StmtId};
+use phpsafe_corpus::{Corpus, Version};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn corpus() -> &'static Corpus {
+    static C: OnceLock<Corpus> = OnceLock::new();
+    C.get_or_init(Corpus::generate)
+}
+
+/// Every file source in the 2014 corpus (the larger of the two).
+fn corpus_sources() -> &'static Vec<String> {
+    static S: OnceLock<Vec<String>> = OnceLock::new();
+    S.get_or_init(|| {
+        let mut out = Vec::new();
+        for plugin in corpus().plugins() {
+            for file in plugin.project(Version::V2014).files() {
+                out.push(file.content.clone());
+            }
+        }
+        out
+    })
+}
+
+/// A visitor that touches every node — the traversal shape the analysis
+/// stage repeats thousands of times per plugin.
+#[derive(Default)]
+struct Touch {
+    nodes: u64,
+}
+
+impl Visitor for Touch {
+    fn visit_expr(&mut self, a: &Arena, e: ExprId) {
+        self.nodes += 1;
+        visit::walk_expr(self, a, e);
+    }
+    fn visit_stmt(&mut self, a: &Arena, s: StmtId) {
+        self.nodes += 1;
+        visit::walk_stmt(self, a, s);
+    }
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let sources = corpus_sources();
+    println!("corpus files: {}", sources.len());
+    let mut group = c.benchmark_group("ast_arena/parse");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("parse_2014", |b| {
+        b.iter(|| {
+            let mut nodes = 0usize;
+            for src in sources {
+                let f = php_ast::parse(src);
+                nodes += f.node_count();
+            }
+            std::hint::black_box(nodes)
+        })
+    });
+    group.finish();
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let parsed: Vec<ParsedFile> = corpus_sources().iter().map(|s| php_ast::parse(s)).collect();
+    let mut group = c.benchmark_group("ast_arena/walk");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("visit_all_nodes", |b| {
+        b.iter(|| {
+            let mut v = Touch::default();
+            for f in &parsed {
+                visit::walk_file(&mut v, f);
+            }
+            std::hint::black_box(v.nodes)
+        })
+    });
+    group.finish();
+}
+
+/// End-to-end: one serial phpSAFE pass per corpus version — the numbers
+/// the Table III methodology times, now over index-based nodes.
+fn bench_serial_analysis(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut group = c.benchmark_group("ast_arena/serial_analysis");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for (label, version) in [
+        ("phpsafe_2012", Version::V2012),
+        ("phpsafe_2014", Version::V2014),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                for plugin in corpus.plugins() {
+                    std::hint::black_box(phpsafe::PhpSafe::new().analyze(plugin.project(version)));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    // Counter snapshot so the arena footprint prints beside timings.
+    phpsafe_obs::reset();
+    phpsafe_obs::set_enabled(true);
+    for plugin in corpus.plugins() {
+        std::hint::black_box(phpsafe::PhpSafe::new().analyze(plugin.project(Version::V2014)));
+    }
+    let snap = phpsafe_obs::snapshot();
+    phpsafe_obs::set_enabled(false);
+    println!("{}", snap.render(&["ast."]));
+}
+
+criterion_group!(benches, bench_parse, bench_walk, bench_serial_analysis);
+criterion_main!(benches);

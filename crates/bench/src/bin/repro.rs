@@ -31,7 +31,7 @@ use phpsafe_corpus::Version;
 use phpsafe_eval::{tables, Evaluation, RecallMode};
 
 /// Snapshot name prefixes that make up the engine-stats view.
-const ENGINE_PREFIXES: &[&str] = &["engine.", "cache.", "stage.", "intern.", "cow."];
+const ENGINE_PREFIXES: &[&str] = &["engine.", "cache.", "stage.", "intern.", "cow.", "ast."];
 
 struct Opts {
     what: String,

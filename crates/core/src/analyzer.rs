@@ -10,7 +10,7 @@ use crate::project::PluginProject;
 use crate::report::{AnalysisOutcome, AnalysisStats, FileFailure, FileReport};
 use crate::symbols::SymbolTable;
 use php_ast::visit::{self, Visitor};
-use php_ast::{parse, Callee, ClassDecl, Expr, ParsedFile};
+use php_ast::{parse, Arena, Callee, ClassDecl, Expr, ExprId, ParsedFile};
 use std::collections::HashMap;
 use std::sync::Arc;
 use taint_config::{wordpress, TaintConfig};
@@ -187,7 +187,7 @@ impl PhpSafe {
         }
 
         let span_symbols = phpsafe_obs::span!("model.symbols");
-        let symbols = SymbolTable::build(parsed.iter().map(|(p, a)| (p.as_str(), a.as_ref())));
+        let symbols = SymbolTable::build(parsed.iter().map(|(p, a)| (p.as_str(), a)));
         drop(span_symbols);
         drop(span_model);
 
@@ -276,11 +276,11 @@ fn uses_oop(ast: &ParsedFile) -> bool {
         found: bool,
     }
     impl Visitor for Finder {
-        fn visit_class(&mut self, _c: &ClassDecl) {
+        fn visit_class(&mut self, _a: &Arena, _c: &ClassDecl) {
             self.found = true;
         }
-        fn visit_expr(&mut self, e: &Expr) {
-            match e {
+        fn visit_expr(&mut self, a: &Arena, e: ExprId) {
+            match a.expr(e) {
                 Expr::Prop(..) | Expr::StaticProp(..) | Expr::New { .. } => self.found = true,
                 Expr::Call {
                     callee: Callee::Method { .. } | Callee::StaticMethod { .. },
@@ -289,7 +289,7 @@ fn uses_oop(ast: &ParsedFile) -> bool {
                 _ => {}
             }
             if !self.found {
-                visit::walk_expr(self, e);
+                visit::walk_expr(self, a, e);
             }
         }
     }
@@ -304,12 +304,12 @@ fn uses_closures(ast: &ParsedFile) -> bool {
         found: bool,
     }
     impl Visitor for Finder {
-        fn visit_expr(&mut self, e: &Expr) {
-            if matches!(e, Expr::Closure { .. }) {
+        fn visit_expr(&mut self, a: &Arena, e: ExprId) {
+            if matches!(a.expr(e), Expr::Closure { .. }) {
                 self.found = true;
             }
             if !self.found {
-                visit::walk_expr(self, e);
+                visit::walk_expr(self, a, e);
             }
         }
     }

@@ -73,7 +73,7 @@ OPTIONS:
 ";
 
 /// Snapshot name prefixes that make up the engine-stats view.
-const ENGINE_PREFIXES: &[&str] = &["engine.", "cache.", "stage.", "intern.", "cow."];
+const ENGINE_PREFIXES: &[&str] = &["engine.", "cache.", "stage.", "intern.", "cow.", "ast."];
 
 #[derive(Debug)]
 struct Cli {

@@ -21,7 +21,9 @@
 use crate::taint::{Taint, VarState};
 use php_ast::printer::{print_expr, print_stmt};
 use php_ast::visit::{self, Visitor};
-use php_ast::{parse_tokens, Callee, ClassDecl, Expr, FunctionDecl, ParsedFile, Stmt};
+use php_ast::{
+    parse_tokens, Arena, Callee, ClassDecl, Expr, ExprId, FunctionDecl, ParsedFile, Stmt, StmtId,
+};
 use php_lexer::tokenize;
 use phpsafe_engine::{fnv1a_64, ArtifactCache, CacheCounters, ContentKey};
 use std::collections::HashMap;
@@ -82,10 +84,11 @@ pub struct SummaryKey {
 }
 
 impl SummaryKey {
-    /// Builds the key for calling `decl` with `args`.
-    pub fn new(decl: &FunctionDecl, args: &[VarState]) -> SummaryKey {
+    /// Builds the key for calling `decl` (arena handles into `a`) with
+    /// `args`.
+    pub fn new(a: &Arena, decl: &FunctionDecl, args: &[VarState]) -> SummaryKey {
         SummaryKey {
-            decl_fp: fingerprint_decl(decl),
+            decl_fp: fingerprint_decl(a, decl),
             sig: args.iter().map(|s| (s.taint, s.sanitized_from)).collect(),
         }
     }
@@ -183,13 +186,13 @@ pub struct CacheTotals {
 
 /// Span-insensitive fingerprint of a declaration: name, parameter list and
 /// pretty-printed body, hashed with FNV-1a.
-fn fingerprint_decl(decl: &FunctionDecl) -> u64 {
+fn fingerprint_decl(a: &Arena, decl: &FunctionDecl) -> u64 {
     let mut text = String::new();
     text.push_str(&decl.name.as_str().to_ascii_lowercase());
     if decl.by_ref {
         text.push('&');
     }
-    for p in &decl.params {
+    for p in a.params(decl.params) {
         text.push('(');
         text.push_str(p.name.as_str());
         if p.by_ref {
@@ -198,15 +201,15 @@ fn fingerprint_decl(decl: &FunctionDecl) -> u64 {
         if p.variadic {
             text.push_str("...");
         }
-        if let Some(d) = &p.default {
+        if let Some(d) = p.default {
             text.push('=');
-            text.push_str(&print_expr(d));
+            text.push_str(&print_expr(a, d));
         }
         text.push(')');
     }
     text.push('{');
-    for s in &decl.body {
-        text.push_str(&print_stmt(s));
+    for &s in a.stmt_list(decl.body) {
+        text.push_str(&print_stmt(a, s));
         text.push(';');
     }
     text.push('}');
@@ -233,8 +236,8 @@ fn fingerprint_decl(decl: &FunctionDecl) -> u64 {
 /// any consumer of a summary must check that none of the names resolve to
 /// a user function in their symbol table, so only built-in/configured
 /// functions — which behave identically everywhere — are ever involved.
-pub fn shareable_calls(decl: &FunctionDecl) -> Option<Vec<String>> {
-    if decl.params.iter().any(|p| p.by_ref) {
+pub fn shareable_calls(a: &Arena, decl: &FunctionDecl) -> Option<Vec<String>> {
+    if a.params(decl.params).iter().any(|p| p.by_ref) {
         return None;
     }
     struct Purity {
@@ -242,22 +245,22 @@ pub fn shareable_calls(decl: &FunctionDecl) -> Option<Vec<String>> {
         calls: Vec<String>,
     }
     impl Visitor for Purity {
-        fn visit_stmt(&mut self, s: &Stmt) {
+        fn visit_stmt(&mut self, a: &Arena, s: StmtId) {
             if !self.pure {
                 return;
             }
-            match s {
+            match a.stmt(s) {
                 Stmt::Global(..) | Stmt::StaticVars(..) | Stmt::Function(_) | Stmt::Class(_) => {
                     self.pure = false;
                 }
-                _ => visit::walk_stmt(self, s),
+                _ => visit::walk_stmt(self, a, s),
             }
         }
-        fn visit_expr(&mut self, e: &Expr) {
+        fn visit_expr(&mut self, a: &Arena, e: ExprId) {
             if !self.pure {
                 return;
             }
-            match e {
+            match a.expr(e) {
                 Expr::Prop(..)
                 | Expr::StaticProp(..)
                 | Expr::New { .. }
@@ -276,9 +279,9 @@ pub fn shareable_calls(decl: &FunctionDecl) -> Option<Vec<String>> {
                 },
                 _ => {}
             }
-            visit::walk_expr(self, e);
+            visit::walk_expr(self, a, e);
         }
-        fn visit_class(&mut self, _c: &ClassDecl) {
+        fn visit_class(&mut self, _a: &Arena, _c: &ClassDecl) {
             self.pure = false;
         }
     }
@@ -286,13 +289,13 @@ pub fn shareable_calls(decl: &FunctionDecl) -> Option<Vec<String>> {
         pure: true,
         calls: Vec::new(),
     };
-    for p in &decl.params {
-        if let Some(d) = &p.default {
-            v.visit_expr(d);
+    for p in a.params(decl.params) {
+        if let Some(d) = p.default {
+            v.visit_expr(a, d);
         }
     }
-    for s in &decl.body {
-        v.visit_stmt(s);
+    for &s in a.stmt_list(decl.body) {
+        v.visit_stmt(a, s);
     }
     if !v.pure {
         return None;
@@ -307,11 +310,12 @@ mod tests {
     use super::*;
     use php_ast::parse;
 
-    fn first_fn(src: &str) -> FunctionDecl {
+    fn first_fn(src: &str) -> (ParsedFile, FunctionDecl) {
         let file = parse(src);
-        for s in &file.stmts {
-            if let Stmt::Function(f) = s {
-                return f.clone();
+        for &s in file.top_stmts() {
+            if let Stmt::Function(f) = file.stmt(s) {
+                let f = *f;
+                return (file, f);
             }
         }
         panic!("no function in {src}");
@@ -339,23 +343,23 @@ mod tests {
 
     #[test]
     fn fingerprint_ignores_spans() {
-        let a = first_fn("<?php function f($x) { return $x + 1; }");
-        let b = first_fn("<?php\n\n\nfunction f($x) { return $x + 1; }");
+        let (fa, a) = first_fn("<?php function f($x) { return $x + 1; }");
+        let (fb, b) = first_fn("<?php\n\n\nfunction f($x) { return $x + 1; }");
         assert_ne!(a.span, b.span);
-        assert_eq!(fingerprint_decl(&a), fingerprint_decl(&b));
+        assert_eq!(fingerprint_decl(&fa, &a), fingerprint_decl(&fb, &b));
     }
 
     #[test]
     fn fingerprint_sees_body_changes() {
-        let a = first_fn("<?php function f($x) { return $x + 1; }");
-        let b = first_fn("<?php function f($x) { return $x + 2; }");
-        assert_ne!(fingerprint_decl(&a), fingerprint_decl(&b));
+        let (fa, a) = first_fn("<?php function f($x) { return $x + 1; }");
+        let (fb, b) = first_fn("<?php function f($x) { return $x + 2; }");
+        assert_ne!(fingerprint_decl(&fa, &a), fingerprint_decl(&fb, &b));
     }
 
     #[test]
     fn pure_leaf_is_shareable_and_calls_collected() {
-        let f = first_fn("<?php function f($x) { return trim(strtolower($x)); }");
-        let calls = shareable_calls(&f).expect("pure leaf");
+        let (file, f) = first_fn("<?php function f($x) { return trim(strtolower($x)); }");
+        let calls = shareable_calls(&file, &f).expect("pure leaf");
         assert_eq!(calls, vec!["strtolower".to_string(), "trim".to_string()]);
     }
 
@@ -374,19 +378,19 @@ mod tests {
             "<?php function f(&$x) { $x = 1; }",
             "<?php function f() { function g() {} }",
         ] {
-            let f = first_fn(src);
-            assert!(shareable_calls(&f).is_none(), "should reject: {src}");
+            let (file, f) = first_fn(src);
+            assert!(shareable_calls(&file, &f).is_none(), "should reject: {src}");
         }
     }
 
     #[test]
     fn summary_key_distinguishes_sanitized_from() {
-        let f = first_fn("<?php function f($x) { return 1; }");
+        let (file, f) = first_fn("<?php function f($x) { return 1; }");
         let clean = VarState::clean();
         let mut washed = VarState::clean();
         washed.sanitized_from = Taint::from_source(taint_config::SourceKind::Get);
-        let a = SummaryKey::new(&f, std::slice::from_ref(&clean));
-        let b = SummaryKey::new(&f, std::slice::from_ref(&washed));
+        let a = SummaryKey::new(&file, &f, std::slice::from_ref(&clean));
+        let b = SummaryKey::new(&file, &f, std::slice::from_ref(&washed));
         assert_ne!(a, b, "revertible sanitization must split the key");
     }
 
@@ -425,8 +429,8 @@ mod tests {
         caches.ast().parse("<?php echo 1;");
         caches.ast().parse("<?php echo 1;");
         let sums = caches.summaries_for("phpSAFE");
-        let f = first_fn("<?php function f() { return 1; }");
-        let key = SummaryKey::new(&f, &[]);
+        let (file, f) = first_fn("<?php function f() { return 1; }");
+        let key = SummaryKey::new(&file, &f, &[]);
         assert!(sums.get(&key).is_none());
         sums.insert(
             key.clone(),

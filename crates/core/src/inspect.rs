@@ -8,7 +8,7 @@
 use crate::project::PluginProject;
 use crate::symbols::{FnRef, SymbolTable};
 use php_ast::visit::{self, Visitor};
-use php_ast::{parse, Callee, Expr, Lit};
+use php_ast::{parse, Arena, Callee, Expr, ExprId, Lit};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -71,44 +71,44 @@ struct FileScan {
 }
 
 impl Visitor for FileScan {
-    fn visit_expr(&mut self, e: &Expr) {
-        match e {
+    fn visit_expr(&mut self, a: &Arena, e: ExprId) {
+        match a.expr(e) {
             Expr::Var(name, _) => {
                 self.variables.insert(name.to_string());
             }
             Expr::Include(_, path, _) => {
-                if let Some(p) = simple_const_string(path) {
+                if let Some(p) = simple_const_string(a, *path) {
                     self.raw_includes.push(p);
                 }
             }
             _ => {}
         }
-        visit::walk_expr(self, e);
+        visit::walk_expr(self, a, e);
     }
 
-    fn visit_function(&mut self, f: &php_ast::FunctionDecl) {
+    fn visit_function(&mut self, a: &Arena, f: &php_ast::FunctionDecl) {
         // Methods are collected under their class via visit_class order;
         // only top-of-stack free functions arrive here directly because
         // the class visitor below intercepts class members.
         self.functions.push(f.name.to_string());
-        visit::walk_function(self, f);
+        visit::walk_function(self, a, f);
     }
 
-    fn visit_class(&mut self, c: &php_ast::ClassDecl) {
+    fn visit_class(&mut self, a: &Arena, c: &php_ast::ClassDecl) {
         self.classes.push(c.name.to_string());
         // Walk members but suppress method names from the free-function
         // list by walking bodies manually.
-        for m in &c.members {
+        for m in a.members(c.members) {
             match m {
                 php_ast::ClassMember::Method(_, f) => {
-                    for s in &f.body {
-                        self.visit_stmt(s);
+                    for &s in a.stmt_list(f.body) {
+                        self.visit_stmt(a, s);
                     }
                 }
                 php_ast::ClassMember::Property {
                     default: Some(d), ..
-                } => self.visit_expr(d),
-                php_ast::ClassMember::Const { value, .. } => self.visit_expr(value),
+                } => self.visit_expr(a, *d),
+                php_ast::ClassMember::Const { value, .. } => self.visit_expr(a, *value),
                 _ => {}
             }
         }
@@ -117,8 +117,8 @@ impl Visitor for FileScan {
 
 /// Best-effort constant folding of an include path (literals, concats,
 /// `dirname(__FILE__)`-style prefixes collapse to relative paths).
-fn simple_const_string(e: &Expr) -> Option<String> {
-    match e {
+fn simple_const_string(a: &Arena, e: ExprId) -> Option<String> {
+    match a.expr(e) {
         Expr::Lit(Lit::Str(s), _) => Some(s.clone()),
         Expr::Binary {
             op: php_ast::BinOp::Concat,
@@ -126,8 +126,8 @@ fn simple_const_string(e: &Expr) -> Option<String> {
             rhs,
             ..
         } => {
-            let l = simple_const_string(lhs).unwrap_or_default();
-            let r = simple_const_string(rhs)?;
+            let l = simple_const_string(a, *lhs).unwrap_or_default();
+            let r = simple_const_string(a, *rhs)?;
             Some(l + &r)
         }
         Expr::Call {
@@ -141,7 +141,7 @@ fn simple_const_string(e: &Expr) -> Option<String> {
             Some(String::new())
         }
         Expr::ConstFetch(..) => Some(String::new()),
-        Expr::ErrorSuppress(inner, _) => simple_const_string(inner),
+        Expr::ErrorSuppress(inner, _) => simple_const_string(a, *inner),
         _ => None,
     }
 }
@@ -164,7 +164,7 @@ pub fn inspect(project: &PluginProject) -> Inspection {
     let mut files = Vec::new();
     let mut parsed = Vec::new();
     for f in project.files() {
-        let ast = parse(&f.content);
+        let ast = std::sync::Arc::new(parse(&f.content));
         let tokens = php_lexer::tokenize_significant(&f.content).len();
         let mut scan = FileScan::default();
         visit::walk_file(&mut scan, &ast);

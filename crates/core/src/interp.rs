@@ -17,6 +17,10 @@
 //! * **resource-bounded** — every node costs a work unit; exceeding the
 //!   budget marks the entry file failed, reproducing the robustness
 //!   behaviour the paper measured.
+//!
+//! Nodes are arena handles: every walk carries the [`Arena`] its ids
+//! resolve against (the current file's, or the declaring file's during a
+//! call), and node "copies" are 8-byte id/range copies, never deep clones.
 
 use crate::analyzer::AnalyzerOptions;
 use crate::caching::{shareable_calls, SharedSummary, SummaryCache, SummaryKey};
@@ -27,8 +31,8 @@ use crate::taint::{Taint, TraceStep, VarState};
 use crate::PluginProject;
 use php_ast::printer::print_expr;
 use php_ast::{
-    Arg, AssignOp, Callee, Expr, FunctionDecl, IncludeKind, InterpPart, Lit, Member, ParsedFile,
-    Span, Stmt,
+    Arena, ArgRange, AssignOp, Callee, Expr, ExprId, FunctionDecl, IncludeKind, InterpPart, Lit,
+    Member, ParsedFile, Span, Stmt, StmtRange,
 };
 use phpsafe_intern::{FnvHashMap, FnvHashSet, Symbol};
 use phpsafe_obs::TaintEventKind;
@@ -171,7 +175,7 @@ impl<'a> Interp<'a> {
             }
         };
         let mut frame = Frame::global();
-        self.exec_stmts(&ast.stmts, &mut frame);
+        self.exec_stmts(&ast, ast.top, &mut frame);
         self.file_stack.pop();
         self.failed.take()
     }
@@ -186,9 +190,8 @@ impl<'a> Interp<'a> {
                 FnRef::Function(name) => {
                     let syms = self.syms;
                     if let Some(info) = syms.function(name) {
-                        let args: Vec<VarState> =
-                            info.decl.params.iter().map(|_| VarState::clean()).collect();
-                        self.call_decl(&info.decl, &info.file.clone(), args, None, true);
+                        let args = vec![VarState::clean(); info.decl.params.len()];
+                        self.call_decl(&info.ast, &info.decl, &info.file, args, None, true);
                     }
                 }
                 FnRef::Method(class, name) => {
@@ -199,11 +202,15 @@ impl<'a> Interp<'a> {
                     }
                     let syms = self.syms;
                     if let Some((cinfo, decl)) = syms.method(class, name) {
-                        let args: Vec<VarState> =
-                            decl.params.iter().map(|_| VarState::clean()).collect();
-                        let file = cinfo.file.clone();
-                        let decl = decl.clone();
-                        self.call_decl(&decl, &file, args, Some(Symbol::intern(class)), true);
+                        let args = vec![VarState::clean(); decl.params.len()];
+                        self.call_decl(
+                            &cinfo.ast,
+                            decl,
+                            &cinfo.file,
+                            args,
+                            Some(Symbol::intern(class)),
+                            true,
+                        );
                     }
                 }
             }
@@ -218,27 +225,27 @@ impl<'a> Interp<'a> {
 
     // ================== statements ==================
 
-    fn exec_stmts(&mut self, stmts: &[Stmt], f: &mut Frame) {
-        for s in stmts {
+    fn exec_stmts(&mut self, a: &Arena, stmts: StmtRange, f: &mut Frame) {
+        for &s in a.stmt_list(stmts) {
             if self.failed.is_some() {
                 return;
             }
-            self.exec_stmt(s, f);
+            self.exec_stmt(a, s, f);
         }
     }
 
-    fn exec_stmt(&mut self, stmt: &Stmt, f: &mut Frame) {
+    fn exec_stmt(&mut self, a: &Arena, stmt: php_ast::StmtId, f: &mut Frame) {
         if !self.tick() {
             return;
         }
-        match stmt {
-            Stmt::Expr(e) => {
-                self.eval(e, f);
+        match a.stmt(stmt) {
+            Stmt::Expr(e, _) => {
+                self.eval(a, *e, f);
             }
             Stmt::Echo(es, span) => {
-                for e in es {
-                    let st = self.eval(e, f);
-                    self.check_xss_output(&st, *span, "echo", e);
+                for &e in a.expr_list(*es) {
+                    let st = self.eval(a, e, f);
+                    self.check_xss_output(a, &st, *span, "echo", e);
                 }
             }
             Stmt::InlineHtml(..) => {}
@@ -250,26 +257,26 @@ impl<'a> Interp<'a> {
                 ..
             } => {
                 // Evaluate every condition first (side effects, work cost).
-                self.eval(cond, f);
-                for (c, _) in elseifs {
-                    self.eval(c, f);
+                self.eval(a, *cond, f);
+                for &(c, _) in a.elseifs(*elseifs) {
+                    self.eval(a, c, f);
                 }
-                let mut bodies: Vec<&[Stmt]> = vec![then];
-                for (_, body) in elseifs {
+                let mut bodies: Vec<StmtRange> = vec![*then];
+                for &(_, body) in a.elseifs(*elseifs) {
                     bodies.push(body);
                 }
                 if let Some(body) = otherwise {
-                    bodies.push(body);
+                    bodies.push(*body);
                 }
-                self.exec_branches(f, &bodies, otherwise.is_none());
+                self.exec_branches(a, f, &bodies, otherwise.is_none());
             }
             Stmt::While { cond, body, .. } => {
-                self.eval(cond, f);
-                self.exec_stmts(body, f);
+                self.eval(a, *cond, f);
+                self.exec_stmts(a, *body, f);
             }
             Stmt::DoWhile { body, cond, .. } => {
-                self.exec_stmts(body, f);
-                self.eval(cond, f);
+                self.exec_stmts(a, *body, f);
+                self.eval(a, *cond, f);
             }
             Stmt::For {
                 init,
@@ -278,15 +285,15 @@ impl<'a> Interp<'a> {
                 body,
                 ..
             } => {
-                for e in init {
-                    self.eval(e, f);
+                for &e in a.expr_list(*init) {
+                    self.eval(a, e, f);
                 }
-                for e in cond {
-                    self.eval(e, f);
+                for &e in a.expr_list(*cond) {
+                    self.eval(a, e, f);
                 }
-                self.exec_stmts(body, f);
-                for e in step {
-                    self.eval(e, f);
+                self.exec_stmts(a, *body, f);
+                for &e in a.expr_list(*step) {
+                    self.eval(a, e, f);
                 }
             }
             Stmt::Foreach {
@@ -296,7 +303,7 @@ impl<'a> Interp<'a> {
                 body,
                 ..
             } => {
-                let subj = self.eval(subject, f);
+                let subj = self.eval(a, *subject, f);
                 // Elements of a tainted collection are tainted; row objects
                 // keep the collection's taint so `$row->field` flows.
                 let mut elem = VarState {
@@ -307,60 +314,61 @@ impl<'a> Interp<'a> {
                 };
                 let step = TraceStep {
                     file: self.current_file(),
-                    line: stmt.span().line,
-                    what: format!("foreach over {}", print_expr(subject)),
+                    line: a.stmt(stmt).span().line,
+                    what: format!("foreach over {}", print_expr(a, *subject)),
                 };
                 if elem.taint.any() {
                     self.emit_event(TaintEventKind::Propagated, step.line, &step.what);
                 }
                 elem.push_trace(step, self.opts.trace_limit);
                 if let Some(k) = key {
-                    self.assign_to(k, VarState::clean(), f);
+                    self.assign_to(a, *k, VarState::clean(), f);
                 }
-                self.assign_to(value, elem, f);
-                self.exec_stmts(body, f);
+                self.assign_to(a, *value, elem, f);
+                self.exec_stmts(a, *body, f);
             }
             Stmt::Switch { subject, cases, .. } => {
-                self.eval(subject, f);
-                for c in cases {
-                    if let Some(v) = &c.value {
-                        self.eval(v, f);
+                self.eval(a, *subject, f);
+                for c in a.cases(*cases) {
+                    if let Some(v) = c.value {
+                        self.eval(a, v, f);
                     }
                 }
-                let bodies: Vec<&[Stmt]> = cases.iter().map(|c| c.body.as_slice()).collect();
-                let has_default = cases.iter().any(|c| c.value.is_none());
-                self.exec_branches(f, &bodies, !has_default);
+                let case_list = a.cases(*cases);
+                let bodies: Vec<StmtRange> = case_list.iter().map(|c| c.body).collect();
+                let has_default = case_list.iter().any(|c| c.value.is_none());
+                self.exec_branches(a, f, &bodies, !has_default);
             }
             Stmt::Break(_) | Stmt::Continue(_) | Stmt::Nop(_) | Stmt::Error(_) => {}
             Stmt::Return(e, _) => {
                 if let Some(e) = e {
-                    let st = self.eval(e, f);
+                    let st = self.eval(a, *e, f);
                     let limit = self.opts.trace_limit;
                     f.ret = std::mem::take(&mut f.ret).join(&st, limit);
                 }
             }
             Stmt::Global(names, _) => {
-                for n in names {
-                    f.globals_decl.insert(*n);
+                for &n in a.syms(*names) {
+                    f.globals_decl.insert(n);
                 }
             }
             Stmt::StaticVars(vars, _) => {
-                for (name, default) in vars {
+                for &(name, default) in a.static_vars(*vars) {
                     let st = match default {
-                        Some(d) => self.eval(d, f),
+                        Some(d) => self.eval(a, d, f),
                         None => VarState::clean(),
                     };
-                    f.vars.insert(*name, st);
+                    f.vars.insert(name, st);
                 }
             }
             Stmt::Unset(es, _) => {
                 // §III.C T_UNSET: destroying a variable untaints it.
-                for e in es {
-                    self.assign_to(e, VarState::clean(), f);
+                for &e in a.expr_list(*es) {
+                    self.assign_to(a, e, VarState::clean(), f);
                 }
             }
             Stmt::Throw(e, _) => {
-                self.eval(e, f);
+                self.eval(a, *e, f);
             }
             Stmt::Try {
                 body,
@@ -368,19 +376,20 @@ impl<'a> Interp<'a> {
                 finally,
                 ..
             } => {
-                self.exec_stmts(body, f);
+                self.exec_stmts(a, *body, f);
                 // Each catch may or may not run: interpret them as joined
                 // branches (with the exception variable bound clean).
-                if !catches.is_empty() {
+                let catch_list = a.catches(*catches);
+                if !catch_list.is_empty() {
                     let base_frame = f.clone();
                     let base_globals = self.globals.clone();
                     let mut frames = vec![];
                     let mut globals_versions = vec![];
-                    for c in catches {
+                    for &c in catch_list {
                         let mut b = base_frame.clone();
                         self.globals = base_globals.clone();
                         b.vars.insert(c.var, VarState::clean());
-                        self.exec_stmts(&c.body, &mut b);
+                        self.exec_stmts(a, c.body, &mut b);
                         frames.push(b);
                         globals_versions.push(std::mem::take(&mut self.globals));
                     }
@@ -395,10 +404,10 @@ impl<'a> Interp<'a> {
                     self.merge_frames(f, frames);
                 }
                 if let Some(fin) = finally {
-                    self.exec_stmts(fin, f);
+                    self.exec_stmts(a, *fin, f);
                 }
             }
-            Stmt::Block(body, _) => self.exec_stmts(body, f),
+            Stmt::Block(body, _) => self.exec_stmts(a, *body, f),
             // Declarations are collected by the symbol pass; bodies are
             // analyzed on call (or in the uncalled sweep).
             Stmt::Function(_) | Stmt::Class(_) | Stmt::ConstDecl(..) => {}
@@ -409,15 +418,21 @@ impl<'a> Interp<'a> {
     /// each body runs on a clone of the frame *and* of the global/property
     /// state, and the results are joined. `include_skip` adds the
     /// "no branch taken" world (an `if` without `else`).
-    fn exec_branches(&mut self, f: &mut Frame, bodies: &[&[Stmt]], include_skip: bool) {
+    fn exec_branches(
+        &mut self,
+        a: &Arena,
+        f: &mut Frame,
+        bodies: &[StmtRange],
+        include_skip: bool,
+    ) {
         let base_frame = f.clone();
         let base_globals = self.globals.clone();
         let mut frames: Vec<Frame> = Vec::new();
         let mut globals_versions: Vec<Env> = Vec::new();
-        for body in bodies {
+        for &body in bodies {
             let mut b = base_frame.clone();
             self.globals = base_globals.clone();
-            self.exec_stmts(body, &mut b);
+            self.exec_stmts(a, body, &mut b);
             frames.push(b);
             globals_versions.push(std::mem::take(&mut self.globals));
         }
@@ -454,23 +469,23 @@ impl<'a> Interp<'a> {
 
     // ================== expressions ==================
 
-    fn eval(&mut self, e: &Expr, f: &mut Frame) -> VarState {
+    fn eval(&mut self, a: &Arena, e: ExprId, f: &mut Frame) -> VarState {
         if !self.tick() {
             return VarState::clean();
         }
-        match e {
+        match a.expr(e) {
             Expr::Var(name, span) => self.read_var(*name, *span, f),
             Expr::VarVar(inner, _) => {
-                self.eval(inner, f);
+                self.eval(a, *inner, f);
                 VarState::clean()
             }
             Expr::Lit(..) | Expr::ConstFetch(..) | Expr::ClassConst(..) => VarState::clean(),
             Expr::Interp(parts, _) => {
                 let limit = self.opts.trace_limit;
                 let mut st = VarState::clean();
-                for p in parts {
+                for p in a.interp(*parts) {
                     if let InterpPart::Expr(pe) = p {
-                        let ps = self.eval(pe, f);
+                        let ps = self.eval(a, *pe, f);
                         st = st.join(&ps, limit);
                     }
                 }
@@ -480,9 +495,9 @@ impl<'a> Interp<'a> {
             Expr::ShellExec(parts, _) => {
                 let limit = self.opts.trace_limit;
                 let mut st = VarState::clean();
-                for p in parts {
+                for p in a.interp(*parts) {
                     if let InterpPart::Expr(pe) = p {
-                        let ps = self.eval(pe, f);
+                        let ps = self.eval(a, *pe, f);
                         st = st.join(&ps, limit);
                     }
                 }
@@ -491,11 +506,11 @@ impl<'a> Interp<'a> {
             Expr::ArrayLit(items, _) => {
                 let limit = self.opts.trace_limit;
                 let mut st = VarState::clean();
-                for (k, v) in items {
+                for &(k, v) in a.items(*items) {
                     if let Some(k) = k {
-                        self.eval(k, f);
+                        self.eval(a, k, f);
                     }
-                    let vs = self.eval(v, f);
+                    let vs = self.eval(a, v, f);
                     st = st.join(&vs, limit);
                 }
                 st.object_class = None;
@@ -503,24 +518,24 @@ impl<'a> Interp<'a> {
             }
             Expr::Index(base, idx, span) => {
                 if let Some(i) = idx {
-                    self.eval(i, f);
+                    self.eval(a, *i, f);
                 }
                 // Reading an element of a tainted superglobal/array yields
                 // tainted data.
-                let mut st = self.eval(base, f);
+                let mut st = self.eval(a, *base, f);
                 st.object_class = None;
                 if st.taint.any() {
                     let step = TraceStep {
                         file: self.current_file(),
                         line: span.line,
-                        what: format!("read {}", print_expr(e)),
+                        what: format!("read {}", print_expr(a, e)),
                     };
                     self.emit_event(TaintEventKind::Propagated, step.line, &step.what);
                     st.push_trace(step, self.opts.trace_limit);
                 }
                 st
             }
-            Expr::Prop(base, member, span) => self.read_prop(base, member, *span, f),
+            Expr::Prop(base, member, span) => self.read_prop(a, *base, *member, *span, f),
             Expr::StaticProp(class, prop, _) => {
                 if !self.opts.oop {
                     return VarState::clean();
@@ -538,10 +553,11 @@ impl<'a> Interp<'a> {
                 span,
                 ..
             } => {
-                let rhs = self.eval(value, f);
+                let (target, op, value, span) = (*target, *op, *value, *span);
+                let rhs = self.eval(a, value, f);
                 let mut st = if op.reads_target() {
                     // `$a .= $b` keeps the old taint of $a.
-                    let old = self.eval(target, f);
+                    let old = self.eval(a, target, f);
                     if matches!(op, AssignOp::ConcatAssign) {
                         old.join(&rhs, self.opts.trace_limit)
                     } else {
@@ -557,20 +573,21 @@ impl<'a> Interp<'a> {
                         line: span.line,
                         what: format!(
                             "{} {} {}",
-                            print_expr(target),
+                            print_expr(a, target),
                             op.symbol(),
-                            print_expr(value)
+                            print_expr(a, value)
                         ),
                     };
                     self.emit_event(TaintEventKind::Propagated, step.line, &step.what);
                     st.push_trace(step, self.opts.trace_limit);
                 }
-                self.assign_to(target, st.clone(), f);
+                self.assign_to(a, target, st.clone(), f);
                 st
             }
             Expr::Binary { op, lhs, rhs, .. } => {
-                let l = self.eval(lhs, f);
-                let r = self.eval(rhs, f);
+                let (op, lhs, rhs) = (*op, *lhs, *rhs);
+                let l = self.eval(a, lhs, f);
+                let r = self.eval(a, rhs, f);
                 match op {
                     php_ast::BinOp::Concat => {
                         let mut st = l.join(&r, self.opts.trace_limit);
@@ -583,34 +600,37 @@ impl<'a> Interp<'a> {
                 }
             }
             Expr::Unary { expr, .. } => {
-                self.eval(expr, f);
+                self.eval(a, *expr, f);
                 VarState::clean()
             }
             Expr::IncDec { expr, .. } => {
-                self.eval(expr, f);
-                self.assign_to(expr, VarState::clean(), f);
+                let expr = *expr;
+                self.eval(a, expr, f);
+                self.assign_to(a, expr, VarState::clean(), f);
                 VarState::clean()
             }
-            Expr::Call { callee, args, span } => self.eval_call(callee, args, *span, f),
-            Expr::New { class, args, span } => self.eval_new(class, args, *span, f),
-            Expr::Clone(e, _) => self.eval(e, f),
+            Expr::Call { callee, args, span } => self.eval_call(a, *callee, *args, *span, f),
+            Expr::New { class, args, span } => self.eval_new(a, *class, *args, *span, f),
+            Expr::Clone(e, _) => self.eval(a, *e, f),
             Expr::Ternary {
                 cond,
                 then,
                 otherwise,
                 ..
             } => {
-                let c = self.eval(cond, f);
+                let (cond, then, otherwise) = (*cond, *then, *otherwise);
+                let c = self.eval(a, cond, f);
                 let limit = self.opts.trace_limit;
                 let t = match then {
-                    Some(t) => self.eval(t, f),
+                    Some(t) => self.eval(a, t, f),
                     None => c, // `?:` returns the condition value
                 };
-                let o = self.eval(otherwise, f);
+                let o = self.eval(a, otherwise, f);
                 t.join(&o, limit)
             }
             Expr::Cast(kind, inner, _) => {
-                let st = self.eval(inner, f);
+                let kind = *kind;
+                let st = self.eval(a, *inner, f);
                 if kind.sanitizes() {
                     VarState {
                         taint: Taint::CLEAN,
@@ -623,35 +643,36 @@ impl<'a> Interp<'a> {
                 }
             }
             Expr::Isset(es, _) => {
-                for e in es {
-                    self.eval(e, f);
+                for &e in a.expr_list(*es) {
+                    self.eval(a, e, f);
                 }
                 VarState::clean()
             }
-            Expr::Empty(e, _) | Expr::ErrorSuppress(e, _) | Expr::Ref(e, _) => self.eval(e, f),
+            Expr::Empty(e, _) | Expr::ErrorSuppress(e, _) | Expr::Ref(e, _) => self.eval(a, *e, f),
             Expr::Print(e, span) => {
-                let st = self.eval(e, f);
-                self.check_xss_output(&st, *span, "print", e);
+                let (e, span) = (*e, *span);
+                let st = self.eval(a, e, f);
+                self.check_xss_output(a, &st, span, "print", e);
                 VarState::clean()
             }
             Expr::Exit(arg, span) => {
-                if let Some(a) = arg {
-                    let st = self.eval(a, f);
-                    self.check_xss_output(&st, *span, "exit", a);
+                if let (Some(arg), span) = (*arg, *span) {
+                    let st = self.eval(a, arg, f);
+                    self.check_xss_output(a, &st, span, "exit", arg);
                 }
                 VarState::clean()
             }
             Expr::Include(kind, path, span) => {
-                self.eval_include(*kind, path, *span, f);
+                self.eval_include(a, *kind, *path, *span, f);
                 VarState::clean()
             }
             Expr::Instanceof(e, _, _) => {
-                self.eval(e, f);
+                self.eval(a, *e, f);
                 VarState::clean()
             }
             Expr::ListIntrinsic(items, _) => {
-                for e in items.iter().flatten() {
-                    self.eval(e, f);
+                for e in a.opt_exprs(*items).iter().flatten() {
+                    self.eval(a, *e, f);
                 }
                 VarState::clean()
             }
@@ -664,21 +685,21 @@ impl<'a> Interp<'a> {
                     this_class: f.this_class,
                     ..Frame::default()
                 };
-                for p in params {
+                for p in a.params(*params) {
                     inner.vars.insert(p.name, VarState::clean());
                 }
-                for (name, _) in uses {
+                for &(name, _) in a.uses(*uses) {
                     // `use` captures resolve in the enclosing scope, which
                     // at top level is the global store.
-                    let st = if f.is_global || f.globals_decl.contains(name) {
-                        self.globals.get(*name).cloned()
+                    let st = if f.is_global || f.globals_decl.contains(&name) {
+                        self.globals.get(name).cloned()
                     } else {
-                        f.vars.get(*name).cloned()
+                        f.vars.get(name).cloned()
                     }
                     .unwrap_or_default();
-                    inner.vars.insert(*name, st);
+                    inner.vars.insert(name, st);
                 }
-                self.exec_stmts(body, &mut inner);
+                self.exec_stmts(a, *body, &mut inner);
                 VarState::clean()
             }
             Expr::Error(_) => VarState::clean(),
@@ -764,15 +785,20 @@ impl<'a> Interp<'a> {
     }
 
     /// Resolves the class an object expression holds, if statically known.
-    fn receiver_class(&mut self, base: &Expr, f: &mut Frame) -> (VarState, Option<Symbol>) {
-        let st = self.eval(base, f);
+    fn receiver_class(
+        &mut self,
+        a: &Arena,
+        base: ExprId,
+        f: &mut Frame,
+    ) -> (VarState, Option<Symbol>) {
+        let st = self.eval(a, base, f);
         if !self.opts.oop {
             return (st, None);
         }
         if let Some(c) = st.object_class {
             return (st, Some(c));
         }
-        if let Expr::Var(name, _) = base {
+        if let Expr::Var(name, _) = a.expr(base) {
             if name.as_str() == "$this" {
                 return (st, f.this_class);
             }
@@ -783,8 +809,15 @@ impl<'a> Interp<'a> {
         (st, None)
     }
 
-    fn read_prop(&mut self, base: &Expr, member: &Member, span: Span, f: &mut Frame) -> VarState {
-        let (base_st, class) = self.receiver_class(base, f);
+    fn read_prop(
+        &mut self,
+        a: &Arena,
+        base: ExprId,
+        member: Member,
+        span: Span,
+        f: &mut Frame,
+    ) -> VarState {
+        let (base_st, class) = self.receiver_class(a, base, f);
         if !self.opts.oop {
             // OOP-blind tools miss encapsulated data entirely.
             return VarState::clean();
@@ -792,7 +825,7 @@ impl<'a> Interp<'a> {
         let pname = match member {
             Member::Name(n) => Symbol::intern(&format!("${n}")),
             Member::Dynamic(e) => {
-                self.eval(e, f);
+                self.eval(a, e, f);
                 return base_st; // dynamic property: fall back to object taint
             }
         };
@@ -817,30 +850,32 @@ impl<'a> Interp<'a> {
         VarState::clean()
     }
 
-    fn assign_to(&mut self, target: &Expr, st: VarState, f: &mut Frame) {
-        match target {
+    fn assign_to(&mut self, a: &Arena, target: ExprId, st: VarState, f: &mut Frame) {
+        match a.expr(target) {
             Expr::Var(name, _) => self.write_var(*name, st, f),
             Expr::Index(base, idx, _) => {
+                let (base, idx) = (*base, *idx);
                 if let Some(i) = idx {
-                    self.eval(i, f);
+                    self.eval(a, i, f);
                 }
                 // Weak update: the container joins the element's state.
-                let old = self.eval(base, f);
+                let old = self.eval(a, base, f);
                 let joined = old.join(&st, self.opts.trace_limit);
-                self.assign_to(base, joined, f);
+                self.assign_to(a, base, joined, f);
             }
             Expr::Prop(base, member, _) => {
+                let (base, member) = (*base, *member);
                 if !self.opts.oop {
                     return;
                 }
-                let (_, class) = self.receiver_class(base, f);
+                let (_, class) = self.receiver_class(a, base, f);
                 let pname = match member {
                     Member::Name(n) => Symbol::intern(&format!("${n}")),
                     Member::Dynamic(_) => return,
                 };
                 let key_class = match class {
                     Some(c) => c,
-                    None => match base.as_var_name() {
+                    None => match a.expr(base).as_var_name() {
                         // Track `$obj->prop` for unknown classes by variable
                         // identity so same-scope flows still connect.
                         Some(v) => Symbol::intern(&format!("var:{v}")),
@@ -861,19 +896,22 @@ impl<'a> Interp<'a> {
                 *entry = joined;
             }
             Expr::ListIntrinsic(items, _) => {
-                for item in items.iter().flatten() {
-                    self.assign_to(item, st.clone(), f);
+                for item in a.opt_exprs(*items).iter().flatten() {
+                    self.assign_to(a, *item, st.clone(), f);
                 }
             }
-            Expr::Ref(inner, _) | Expr::ErrorSuppress(inner, _) => self.assign_to(inner, st, f),
+            Expr::Ref(inner, _) | Expr::ErrorSuppress(inner, _) => self.assign_to(a, *inner, st, f),
             _ => {}
         }
     }
 
     // ================== calls ==================
 
-    fn eval_args(&mut self, args: &[Arg], f: &mut Frame) -> Vec<VarState> {
-        args.iter().map(|a| self.eval(&a.value, f)).collect()
+    fn eval_args(&mut self, a: &Arena, args: ArgRange, f: &mut Frame) -> Vec<VarState> {
+        a.args(args)
+            .iter()
+            .map(|arg| self.eval(a, arg.value, f))
+            .collect()
     }
 
     fn join_all(&self, states: &[VarState]) -> VarState {
@@ -885,37 +923,41 @@ impl<'a> Interp<'a> {
         st
     }
 
-    fn eval_call(&mut self, callee: &Callee, args: &[Arg], span: Span, f: &mut Frame) -> VarState {
-        let arg_states = self.eval_args(args, f);
+    fn eval_call(
+        &mut self,
+        a: &Arena,
+        callee: Callee,
+        args: ArgRange,
+        span: Span,
+        f: &mut Frame,
+    ) -> VarState {
+        let arg_states = self.eval_args(a, args, f);
         match callee {
             Callee::Function(name) => {
-                self.dispatch_named_call(None, name.as_str(), args, arg_states, span, f, None)
+                self.dispatch_named_call(a, None, name.as_str(), args, arg_states, span, f, None)
             }
             Callee::StaticMethod { class, name } => {
-                let class = self.resolve_class_name(*class, f);
+                let class = self.resolve_class_name(class, f);
                 match name.as_name() {
                     Some(n) => {
-                        let n = n.to_string();
-                        self.dispatch_named_call(Some(class), &n, args, arg_states, span, f, None)
+                        self.dispatch_named_call(a, Some(class), n, args, arg_states, span, f, None)
                     }
                     None => self.join_all(&arg_states),
                 }
             }
             Callee::Method { base, name } => {
-                let (base_st, class) = self.receiver_class(base, f);
+                let (base_st, class) = self.receiver_class(a, base, f);
                 match name.as_name() {
-                    Some(n) => {
-                        let n = n.to_string();
-                        self.dispatch_named_call(
-                            class,
-                            &n,
-                            args,
-                            arg_states,
-                            span,
-                            f,
-                            Some(base_st),
-                        )
-                    }
+                    Some(n) => self.dispatch_named_call(
+                        a,
+                        class,
+                        n,
+                        args,
+                        arg_states,
+                        span,
+                        f,
+                        Some(base_st),
+                    ),
                     None => {
                         let limit = self.opts.trace_limit;
                         self.join_all(&arg_states).join(&base_st, limit)
@@ -923,7 +965,7 @@ impl<'a> Interp<'a> {
                 }
             }
             Callee::Dynamic(inner) => {
-                self.eval(inner, f);
+                self.eval(a, inner, f);
                 self.join_all(&arg_states)
             }
         }
@@ -935,9 +977,10 @@ impl<'a> Interp<'a> {
     #[allow(clippy::too_many_arguments)]
     fn dispatch_named_call(
         &mut self,
+        a: &Arena,
         receiver: Option<Symbol>,
         name: &str,
-        args: &[Arg],
+        args: ArgRange,
         arg_states: Vec<VarState>,
         span: Span,
         f: &mut Frame,
@@ -962,9 +1005,10 @@ impl<'a> Interp<'a> {
             for &i in &positions {
                 if let Some(st) = arg_states.get(i) {
                     if st.taint.is_tainted(spec.class) {
-                        let desc = args
+                        let desc = a
+                            .args(args)
                             .get(i)
-                            .map(|a| print_expr(&a.value))
+                            .map(|arg| print_expr(a, arg.value))
                             .unwrap_or_else(|| "?".into());
                         self.report(spec.class, span, &sink_label, st, desc);
                     }
@@ -1044,16 +1088,20 @@ impl<'a> Interp<'a> {
                 }
                 // `parse_str($query, $result)` fills $result from $query.
                 "parse_str" | "mb_parse_str" => {
-                    if let (Some(src), Some(arg)) = (arg_states.first(), args.get(1)) {
-                        self.assign_to(&arg.value, src.clone(), f);
+                    if let (Some(src), Some(arg)) =
+                        (arg_states.first(), a.args(args).get(1).copied())
+                    {
+                        self.assign_to(a, arg.value, src.clone(), f);
                     }
                     return VarState::clean();
                 }
                 // `preg_match($pat, $subject, $matches)`: capture groups
                 // carry the subject's taint.
                 "preg_match" | "preg_match_all" => {
-                    if let (Some(subj), Some(arg)) = (arg_states.get(1), args.get(2)) {
-                        self.assign_to(&arg.value, subj.clone(), f);
+                    if let (Some(subj), Some(arg)) =
+                        (arg_states.get(1), a.args(args).get(2).copied())
+                    {
+                        self.assign_to(a, arg.value, subj.clone(), f);
                     }
                     return VarState::clean();
                 }
@@ -1069,10 +1117,15 @@ impl<'a> Interp<'a> {
                 let syms = self.syms;
                 if self.opts.oop {
                     if let Some((cinfo, decl)) = syms.method(class.as_str(), name) {
-                        let file = cinfo.file.clone();
-                        let decl = decl.clone();
-                        let mut ret = self.call_decl(&decl, &file, arg_states, Some(class), false);
-                        self.writeback_refs(&decl, args, f);
+                        let mut ret = self.call_decl(
+                            &cinfo.ast,
+                            decl,
+                            &cinfo.file,
+                            arg_states,
+                            Some(class),
+                            false,
+                        );
+                        self.writeback_refs(decl, args, f);
                         if ret.taint.any() {
                             let step = TraceStep {
                                 file: self.current_file(),
@@ -1106,10 +1159,9 @@ impl<'a> Interp<'a> {
                 }
                 let syms = self.syms;
                 if let Some(info) = syms.function(name) {
-                    let file = info.file.clone();
-                    let decl = info.decl.clone();
-                    let mut ret = self.call_decl(&decl, &file, arg_states, None, false);
-                    self.writeback_refs(&decl, args, f);
+                    let mut ret =
+                        self.call_decl(&info.ast, &info.decl, &info.file, arg_states, None, false);
+                    self.writeback_refs(&info.decl, args, f);
                     if ret.taint.any() {
                         let step = TraceStep {
                             file: self.current_file(),
@@ -1130,9 +1182,12 @@ impl<'a> Interp<'a> {
     }
 
     /// Interprets a user-defined callable with the given argument states,
-    /// memoized per (callable, argument-taint-signature).
+    /// memoized per (callable, argument-taint-signature). `decl`'s handles
+    /// resolve against `decl_ast` — the declaring file's arena, which may
+    /// differ from the caller's.
     fn call_decl(
         &mut self,
+        decl_ast: &Arena,
         decl: &FunctionDecl,
         decl_file: &str,
         arg_states: Vec<VarState>,
@@ -1164,8 +1219,8 @@ impl<'a> Interp<'a> {
             }
             if this_class.is_none() {
                 if let Some(cache) = self.shared.clone() {
-                    if let Some(calls) = shareable_calls(decl) {
-                        let skey = SummaryKey::new(decl, &arg_states);
+                    if let Some(calls) = shareable_calls(decl_ast, decl) {
+                        let skey = SummaryKey::new(decl_ast, decl, &arg_states);
                         if let Some(sum) = cache.get(&skey) {
                             // Replay only if the recorded built-in calls are
                             // still unshadowed here and spending the stored
@@ -1194,18 +1249,18 @@ impl<'a> Interp<'a> {
             this_class,
             ..Frame::default()
         };
-        for (i, p) in decl.params.iter().enumerate() {
+        for (i, p) in decl_ast.params(decl.params).iter().enumerate() {
             let st = match arg_states.get(i) {
                 Some(s) => s.clone(),
-                None => match &p.default {
-                    Some(d) => self.eval(d, &mut frame),
+                None => match p.default {
+                    Some(d) => self.eval(decl_ast, d, &mut frame),
                     None => VarState::clean(),
                 },
             };
             frame.vars.insert(p.name, st);
         }
         self.file_stack.push(Symbol::intern(decl_file));
-        self.exec_stmts(&decl.body, &mut frame);
+        self.exec_stmts(decl_ast, decl.body, &mut frame);
         self.file_stack.pop();
 
         let mut ret = std::mem::take(&mut frame.ret);
@@ -1242,14 +1297,21 @@ impl<'a> Interp<'a> {
     /// leaving the argument's state unchanged unless the callee is a known
     /// sanitizing pattern (kept simple: no-op). Kept as a hook for the
     /// ablation benches.
-    fn writeback_refs(&mut self, _decl: &FunctionDecl, _args: &[Arg], _f: &mut Frame) {}
+    fn writeback_refs(&mut self, _decl: &FunctionDecl, _args: ArgRange, _f: &mut Frame) {}
 
-    fn eval_new(&mut self, class: &Member, args: &[Arg], span: Span, f: &mut Frame) -> VarState {
-        let arg_states = self.eval_args(args, f);
+    fn eval_new(
+        &mut self,
+        a: &Arena,
+        class: Member,
+        args: ArgRange,
+        span: Span,
+        f: &mut Frame,
+    ) -> VarState {
+        let arg_states = self.eval_args(a, args, f);
         let cname = match class {
-            Member::Name(n) => self.resolve_class_name(*n, f),
+            Member::Name(n) => self.resolve_class_name(n, f),
             Member::Dynamic(e) => {
-                self.eval(e, f);
+                self.eval(a, e, f);
                 return VarState::clean();
             }
         };
@@ -1262,9 +1324,14 @@ impl<'a> Interp<'a> {
             .method(cname.as_str(), "__construct")
             .or_else(|| syms.method(cname.as_str(), cname.as_str()));
         if let Some((cinfo, decl)) = ctor {
-            let file = cinfo.file.clone();
-            let decl = decl.clone();
-            self.call_decl(&decl, &file, arg_states, Some(cname), false);
+            self.call_decl(
+                &cinfo.ast,
+                decl,
+                &cinfo.file,
+                arg_states,
+                Some(cname),
+                false,
+            );
         }
         let mut st = VarState::clean();
         st.object_class = Some(cname);
@@ -1281,14 +1348,21 @@ impl<'a> Interp<'a> {
 
     // ================== includes ==================
 
-    fn eval_include(&mut self, kind: IncludeKind, path_expr: &Expr, _span: Span, f: &mut Frame) {
+    fn eval_include(
+        &mut self,
+        a: &Arena,
+        kind: IncludeKind,
+        path_expr: ExprId,
+        _span: Span,
+        f: &mut Frame,
+    ) {
         // Evaluate for side effects regardless (taint through the path is a
         // file-inclusion issue, out of scope for XSS/SQLi).
-        self.eval(path_expr, f);
+        self.eval(a, path_expr, f);
         if !self.opts.resolve_includes {
             return;
         }
-        let Some(raw) = self.const_string(path_expr) else {
+        let Some(raw) = self.const_string(a, path_expr) else {
             return;
         };
         let Some(file) = self.project.find_file(&raw) else {
@@ -1315,14 +1389,14 @@ impl<'a> Interp<'a> {
         self.include_depth += 1;
         self.file_stack.push(Symbol::intern(&path));
         // PHP executes includes in the calling scope.
-        self.exec_stmts(&ast.stmts, f);
+        self.exec_stmts(&ast, ast.top, f);
         self.file_stack.pop();
         self.include_depth -= 1;
     }
 
     /// Best-effort constant evaluation of an include path.
-    fn const_string(&self, e: &Expr) -> Option<String> {
-        match e {
+    fn const_string(&self, a: &Arena, e: ExprId) -> Option<String> {
+        match a.expr(e) {
             Expr::Lit(Lit::Str(s), _) => Some(s.clone()),
             Expr::Binary {
                 op: php_ast::BinOp::Concat,
@@ -1330,8 +1404,8 @@ impl<'a> Interp<'a> {
                 rhs,
                 ..
             } => {
-                let l = self.const_string(lhs)?;
-                let r = self.const_string(rhs)?;
+                let l = self.const_string(a, *lhs)?;
+                let r = self.const_string(a, *rhs)?;
                 Some(l + &r)
             }
             Expr::ConstFetch(n, _) if n.as_str() == "__FILE__" => {
@@ -1347,7 +1421,7 @@ impl<'a> Interp<'a> {
                 ..
             } => match name.as_str().to_ascii_lowercase().as_str() {
                 "dirname" => {
-                    let inner = self.const_string(&args.first()?.value)?;
+                    let inner = self.const_string(a, a.args(*args).first()?.value)?;
                     match inner.rfind('/') {
                         Some(i) => Some(inner[..i].to_string()),
                         None => Some(String::new()),
@@ -1358,7 +1432,7 @@ impl<'a> Interp<'a> {
             },
             Expr::Interp(parts, _) => {
                 let mut out = String::new();
-                for p in parts {
+                for p in a.interp(*parts) {
                     match p {
                         InterpPart::Lit(s) => out.push_str(s),
                         InterpPart::Expr(_) => return None,
@@ -1366,16 +1440,16 @@ impl<'a> Interp<'a> {
                 }
                 Some(out)
             }
-            Expr::ErrorSuppress(inner, _) => self.const_string(inner),
+            Expr::ErrorSuppress(inner, _) => self.const_string(a, *inner),
             _ => None,
         }
     }
 
     // ================== reporting ==================
 
-    fn check_xss_output(&mut self, st: &VarState, span: Span, sink: &str, expr: &Expr) {
+    fn check_xss_output(&mut self, a: &Arena, st: &VarState, span: Span, sink: &str, expr: ExprId) {
         if st.taint.is_tainted(VulnClass::Xss) {
-            let desc = print_expr(expr);
+            let desc = print_expr(a, expr);
             self.report(VulnClass::Xss, span, sink, st, desc);
         }
     }

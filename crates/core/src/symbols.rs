@@ -6,15 +6,23 @@
 //! plugin, is a very important aspect of security tools targeting plugin
 //! code."*
 
+use std::sync::Arc;
+
 use php_ast::visit::{self, Visitor};
-use php_ast::{Callee, ClassDecl, Expr, FunctionDecl, Member, ParsedFile, Stmt};
+use php_ast::{
+    Arena, Callee, ClassDecl, Expr, ExprId, FunctionDecl, Member, ParsedFile, Stmt, StmtId,
+};
 use phpsafe_intern::{FnvHashMap as HashMap, FnvHashSet as HashSet};
 
 /// A user-defined free function and where it lives.
+///
+/// `decl` is a `Copy` bundle of arena handles; they resolve against `ast`.
 #[derive(Debug, Clone)]
 pub struct FnInfo {
-    /// The declaration.
+    /// The declaration (handles into `ast`).
     pub decl: FunctionDecl,
+    /// The parsed file the handles index into.
+    pub ast: Arc<ParsedFile>,
     /// File that declares it.
     pub file: String,
 }
@@ -22,8 +30,10 @@ pub struct FnInfo {
 /// A user-defined class and where it lives.
 #[derive(Debug, Clone)]
 pub struct ClassInfo {
-    /// The declaration.
+    /// The declaration (handles into `ast`).
     pub decl: ClassDecl,
+    /// The parsed file the handles index into.
+    pub ast: Arc<ParsedFile>,
     /// File that declares it.
     pub file: String,
 }
@@ -49,12 +59,15 @@ pub struct SymbolTable {
 
 impl SymbolTable {
     /// Builds the table from parsed files (`(path, ast)` pairs).
-    pub fn build<'a>(files: impl IntoIterator<Item = (&'a str, &'a ParsedFile)>) -> SymbolTable {
+    pub fn build<'a>(
+        files: impl IntoIterator<Item = (&'a str, &'a Arc<ParsedFile>)>,
+    ) -> SymbolTable {
         let mut t = SymbolTable::default();
         for (path, ast) in files {
             let mut c = Collector {
                 table: &mut t,
                 file: path,
+                ast,
                 class_stack: Vec::new(),
             };
             visit::walk_file(&mut c, ast);
@@ -79,15 +92,15 @@ impl SymbolTable {
         let mut hops = 0;
         while hops < 16 {
             let info = self.classes.get(&current)?;
-            if let Some(m) = info.decl.method(name) {
+            if let Some(m) = info.decl.method(&info.ast, name) {
                 return Some((info, m));
             }
             // Traits
-            for member in &info.decl.members {
+            for member in info.ast.members(info.decl.members) {
                 if let php_ast::ClassMember::UseTrait(traits, _) = member {
-                    for t in traits {
-                        if let Some(ti) = self.classes.get(&t.to_ascii_lowercase()) {
-                            if let Some(m) = ti.decl.method(name) {
+                    for t in info.ast.syms(*traits) {
+                        if let Some(ti) = self.classes.get(&t.as_str().to_ascii_lowercase()) {
+                            if let Some(m) = ti.decl.method(&ti.ast, name) {
                                 return Some((ti, m));
                             }
                         }
@@ -121,7 +134,7 @@ impl SymbolTable {
             + self
                 .classes
                 .values()
-                .map(|c| c.decl.methods().count())
+                .map(|c| c.decl.methods(&c.ast).count())
                 .sum::<usize>()
     }
 
@@ -162,7 +175,7 @@ impl SymbolTable {
         class_names.sort();
         for cname in class_names {
             let info = &self.classes[cname];
-            for (_, m) in info.decl.methods() {
+            for (_, m) in info.decl.methods(&info.ast) {
                 let mname = m.name.as_str().to_ascii_lowercase();
                 let is_ctor = mname == "__construct" || mname == *cname;
                 let called = if is_ctor {
@@ -182,12 +195,13 @@ impl SymbolTable {
 struct Collector<'a> {
     table: &'a mut SymbolTable,
     file: &'a str,
+    ast: &'a Arc<ParsedFile>,
     class_stack: Vec<String>,
 }
 
 impl Visitor for Collector<'_> {
-    fn visit_stmt(&mut self, stmt: &Stmt) {
-        if let Stmt::Function(f) = stmt {
+    fn visit_stmt(&mut self, a: &Arena, stmt: StmtId) {
+        if let Stmt::Function(f) = a.stmt(stmt) {
             // Only record as a free function when not inside a class body
             // (methods are collected via visit_class).
             if self.class_stack.is_empty() {
@@ -195,30 +209,32 @@ impl Visitor for Collector<'_> {
                     .functions
                     .entry(f.name.as_str().to_ascii_lowercase())
                     .or_insert_with(|| FnInfo {
-                        decl: f.clone(),
+                        decl: *f,
+                        ast: Arc::clone(self.ast),
                         file: self.file.to_string(),
                     });
             }
         }
-        visit::walk_stmt(self, stmt);
+        visit::walk_stmt(self, a, stmt);
     }
 
-    fn visit_class(&mut self, class: &ClassDecl) {
+    fn visit_class(&mut self, a: &Arena, class: &ClassDecl) {
         self.table
             .classes
             .entry(class.name.as_str().to_ascii_lowercase())
             .or_insert_with(|| ClassInfo {
-                decl: class.clone(),
+                decl: *class,
+                ast: Arc::clone(self.ast),
                 file: self.file.to_string(),
             });
         self.class_stack
             .push(class.name.as_str().to_ascii_lowercase());
-        visit::walk_class(self, class);
+        visit::walk_class(self, a, class);
         self.class_stack.pop();
     }
 
-    fn visit_expr(&mut self, expr: &Expr) {
-        match expr {
+    fn visit_expr(&mut self, a: &Arena, expr: ExprId) {
+        match a.expr(expr) {
             Expr::Call { callee, .. } => match callee {
                 Callee::Function(name) => {
                     self.table
@@ -244,7 +260,7 @@ impl Visitor for Collector<'_> {
             }
             _ => {}
         }
-        visit::walk_expr(self, expr);
+        visit::walk_expr(self, a, expr);
     }
 }
 
@@ -254,9 +270,9 @@ mod tests {
     use php_ast::parse;
 
     fn table(srcs: &[(&str, &str)]) -> SymbolTable {
-        let parsed: Vec<(String, ParsedFile)> = srcs
+        let parsed: Vec<(String, Arc<ParsedFile>)> = srcs
             .iter()
-            .map(|(p, s)| (p.to_string(), parse(s)))
+            .map(|(p, s)| (p.to_string(), Arc::new(parse(s))))
             .collect();
         SymbolTable::build(parsed.iter().map(|(p, a)| (p.as_str(), a)))
     }

@@ -2,16 +2,21 @@
 //! analysis: full expression grammar, statements, functions, closures and
 //! the OOP constructs (classes, interfaces, traits, properties, methods)
 //! whose handling distinguishes phpSAFE from RIPS/Pixy.
+//!
+//! Nodes live in per-file [`Arena`] pools and refer to each other through
+//! `Copy` index handles ([`ExprId`], [`StmtId`]) instead of `Box` pointers.
+//! Child lists (bodies, argument lists, array items, …) are `(start, len)`
+//! ranges into shared slice pools, so a whole [`ParsedFile`] is a handful
+//! of contiguous buffers: one allocation per pool rather than one per
+//! node, in the order the parser — and therefore the taint interpreter —
+//! visits them.
 
 use phpsafe_intern::Symbol;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A lightweight source position (1-based line). The analyzers report
 /// findings by file + line, mirroring the paper's output.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Span {
     /// 1-based line number.
     pub line: u32,
@@ -30,8 +35,307 @@ impl fmt::Display for Span {
     }
 }
 
+// ------------------------------------------------------------------ handles
+
+/// Index of an [`Expr`] in its file's [`Arena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(u32);
+
+/// Index of a [`Stmt`] in its file's [`Arena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(u32);
+
+macro_rules! define_range {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        ///
+        /// A `(start, len)` window into one of the [`Arena`] slice pools.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub struct $name {
+            start: u32,
+            len: u32,
+        }
+
+        impl $name {
+            /// The empty range.
+            pub const EMPTY: $name = $name { start: 0, len: 0 };
+
+            /// Number of elements in the range.
+            pub fn len(self) -> usize {
+                self.len as usize
+            }
+
+            /// Whether the range is empty.
+            pub fn is_empty(self) -> bool {
+                self.len == 0
+            }
+
+            fn slice(self) -> std::ops::Range<usize> {
+                self.start as usize..(self.start + self.len) as usize
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                $name::EMPTY
+            }
+        }
+    };
+}
+
+define_range!(
+    /// A list of expressions (echo arguments, `isset` targets, …).
+    ExprRange
+);
+define_range!(
+    /// A list of statements (a body or block).
+    StmtRange
+);
+define_range!(
+    /// A call argument list.
+    ArgRange
+);
+define_range!(
+    /// A parameter list.
+    ParamRange
+);
+define_range!(
+    /// Interpolated-string parts.
+    InterpRange
+);
+define_range!(
+    /// `array(...)` items.
+    ItemRange
+);
+define_range!(
+    /// `list(...)` slots (holes allowed).
+    OptExprRange
+);
+define_range!(
+    /// `elseif` arms.
+    ElseifRange
+);
+define_range!(
+    /// `switch` arms.
+    CaseRange
+);
+define_range!(
+    /// `catch` clauses.
+    CatchRange
+);
+define_range!(
+    /// Plain name lists (`global` names, interfaces, trait uses).
+    SymRange
+);
+define_range!(
+    /// `static $a = 1, $b;` declarations.
+    StaticVarRange
+);
+define_range!(
+    /// Closure `use (...)` captures.
+    UseRange
+);
+define_range!(
+    /// `const NAME = value` items.
+    ConstRange
+);
+define_range!(
+    /// Class members.
+    MemberRange
+);
+
+/// One `array(...)` item: optional key plus value.
+pub type ArrayItem = (Option<ExprId>, ExprId);
+/// One `elseif` arm: condition plus body.
+pub type Elseif = (ExprId, StmtRange);
+/// One `static` variable: name plus optional initializer.
+pub type StaticVar = (Symbol, Option<ExprId>);
+/// One closure capture: name plus by-reference flag.
+pub type ClosureUse = (Symbol, bool);
+/// One `const` item: name plus value.
+pub type ConstItem = (Symbol, ExprId);
+
+// -------------------------------------------------------------------- arena
+
+/// Per-file flat node storage. All [`Expr`]/[`Stmt`] nodes of a parsed file
+/// sit in two contiguous pools addressed by [`ExprId`]/[`StmtId`]; child
+/// lists are ranges into the typed slice pools. Nodes are appended in parse
+/// order, so traversal order matches memory order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Arena {
+    exprs: Vec<Expr>,
+    stmts: Vec<Stmt>,
+    expr_ids: Vec<ExprId>,
+    stmt_ids: Vec<StmtId>,
+    args: Vec<Arg>,
+    params: Vec<Param>,
+    interp_parts: Vec<InterpPart>,
+    array_items: Vec<ArrayItem>,
+    opt_exprs: Vec<Option<ExprId>>,
+    elseifs: Vec<Elseif>,
+    cases: Vec<SwitchCase>,
+    catches: Vec<Catch>,
+    syms: Vec<Symbol>,
+    static_vars: Vec<StaticVar>,
+    closure_uses: Vec<ClosureUse>,
+    consts: Vec<ConstItem>,
+    members: Vec<ClassMember>,
+    slices: u32,
+}
+
+macro_rules! pool_range {
+    ($alloc:ident, $get:ident, $field:ident, $elem:ty, $range:ident) => {
+        /// Moves the items into the pool and returns their range.
+        pub fn $alloc(&mut self, items: Vec<$elem>) -> $range {
+            if items.is_empty() {
+                return $range::EMPTY;
+            }
+            let start = self.$field.len() as u32;
+            let len = items.len() as u32;
+            self.$field.extend(items);
+            self.slices += 1;
+            $range { start, len }
+        }
+
+        /// The pool slice addressed by `range`.
+        pub fn $get(&self, range: $range) -> &[$elem] {
+            &self.$field[range.slice()]
+        }
+    };
+}
+
+impl Arena {
+    /// Fresh empty arena.
+    pub fn new() -> Arena {
+        Arena::default()
+    }
+
+    /// Appends an expression node, returning its handle.
+    pub fn alloc_expr(&mut self, e: Expr) -> ExprId {
+        let id = ExprId(self.exprs.len() as u32);
+        self.exprs.push(e);
+        id
+    }
+
+    /// Appends a statement node, returning its handle.
+    pub fn alloc_stmt(&mut self, s: Stmt) -> StmtId {
+        let id = StmtId(self.stmts.len() as u32);
+        self.stmts.push(s);
+        id
+    }
+
+    /// The expression node behind `id`.
+    pub fn expr(&self, id: ExprId) -> &Expr {
+        &self.exprs[id.0 as usize]
+    }
+
+    /// The statement node behind `id`.
+    pub fn stmt(&self, id: StmtId) -> &Stmt {
+        &self.stmts[id.0 as usize]
+    }
+
+    pool_range!(alloc_expr_list, expr_list, expr_ids, ExprId, ExprRange);
+    pool_range!(alloc_stmt_list, stmt_list, stmt_ids, StmtId, StmtRange);
+    pool_range!(alloc_args, args, args, Arg, ArgRange);
+    pool_range!(alloc_params, params, params, Param, ParamRange);
+    pool_range!(alloc_interp, interp, interp_parts, InterpPart, InterpRange);
+    pool_range!(alloc_items, items, array_items, ArrayItem, ItemRange);
+    pool_range!(
+        alloc_opt_exprs,
+        opt_exprs,
+        opt_exprs,
+        Option<ExprId>,
+        OptExprRange
+    );
+    pool_range!(alloc_elseifs, elseifs, elseifs, Elseif, ElseifRange);
+    pool_range!(alloc_cases, cases, cases, SwitchCase, CaseRange);
+    pool_range!(alloc_catches, catches, catches, Catch, CatchRange);
+    pool_range!(alloc_syms, syms, syms, Symbol, SymRange);
+    pool_range!(
+        alloc_static_vars,
+        static_vars,
+        static_vars,
+        StaticVar,
+        StaticVarRange
+    );
+    pool_range!(alloc_uses, uses, closure_uses, ClosureUse, UseRange);
+    pool_range!(alloc_consts, consts, consts, ConstItem, ConstRange);
+    pool_range!(alloc_members, members, members, ClassMember, MemberRange);
+
+    /// Total node count (expressions + statements).
+    pub fn node_count(&self) -> usize {
+        self.exprs.len() + self.stmts.len()
+    }
+
+    /// Number of slice-pool ranges allocated.
+    pub fn slice_count(&self) -> usize {
+        self.slices as usize
+    }
+
+    /// Approximate resident bytes of the flat pools (element sizes × pool
+    /// lengths; excludes heap strings inside literal nodes).
+    pub fn arena_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.exprs.len() * size_of::<Expr>()
+            + self.stmts.len() * size_of::<Stmt>()
+            + self.expr_ids.len() * size_of::<ExprId>()
+            + self.stmt_ids.len() * size_of::<StmtId>()
+            + self.args.len() * size_of::<Arg>()
+            + self.params.len() * size_of::<Param>()
+            + self.interp_parts.len() * size_of::<InterpPart>()
+            + self.array_items.len() * size_of::<ArrayItem>()
+            + self.opt_exprs.len() * size_of::<Option<ExprId>>()
+            + self.elseifs.len() * size_of::<Elseif>()
+            + self.cases.len() * size_of::<SwitchCase>()
+            + self.catches.len() * size_of::<Catch>()
+            + self.syms.len() * size_of::<Symbol>()
+            + self.static_vars.len() * size_of::<StaticVar>()
+            + self.closure_uses.len() * size_of::<ClosureUse>()
+            + self.consts.len() * size_of::<ConstItem>()
+            + self.members.len() * size_of::<ClassMember>()
+    }
+
+    /// Shrinks every pool to its exact length (done once after parsing, so
+    /// cached files don't hold parser headroom).
+    pub fn shrink_to_fit(&mut self) {
+        self.exprs.shrink_to_fit();
+        self.stmts.shrink_to_fit();
+        self.expr_ids.shrink_to_fit();
+        self.stmt_ids.shrink_to_fit();
+        self.args.shrink_to_fit();
+        self.params.shrink_to_fit();
+        self.interp_parts.shrink_to_fit();
+        self.array_items.shrink_to_fit();
+        self.opt_exprs.shrink_to_fit();
+        self.elseifs.shrink_to_fit();
+        self.cases.shrink_to_fit();
+        self.catches.shrink_to_fit();
+        self.syms.shrink_to_fit();
+        self.static_vars.shrink_to_fit();
+        self.closure_uses.shrink_to_fit();
+        self.consts.shrink_to_fit();
+        self.members.shrink_to_fit();
+    }
+}
+
+impl std::ops::Index<ExprId> for Arena {
+    type Output = Expr;
+    fn index(&self, id: ExprId) -> &Expr {
+        self.expr(id)
+    }
+}
+
+impl std::ops::Index<StmtId> for Arena {
+    type Output = Stmt;
+    fn index(&self, id: StmtId) -> &Stmt {
+        self.stmt(id)
+    }
+}
+
+// ---------------------------------------------------------------- literals
+
 /// Literal values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Lit {
     /// Integer literal (kept as text to preserve hex/octal/binary forms).
     Int(String),
@@ -46,7 +350,7 @@ pub enum Lit {
 }
 
 /// Binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum BinOp {
     Add,
@@ -107,7 +411,7 @@ impl BinOp {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum UnOp {
     Not,
@@ -116,8 +420,8 @@ pub enum UnOp {
     BitNot,
 }
 
-/// Compound-assignment operators (`$a .= $b` etc.); `None` is plain `=`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// Compound-assignment operators (`$a .= $b` etc.); `Assign` is plain `=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum AssignOp {
     Assign,
@@ -162,7 +466,7 @@ impl AssignOp {
 }
 
 /// Cast kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum CastKind {
     Int,
@@ -199,7 +503,7 @@ impl CastKind {
 }
 
 /// `include` / `require` family.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum IncludeKind {
     Include,
@@ -222,12 +526,12 @@ impl IncludeKind {
 
 /// A member selector after `->` or `::` — either a fixed name or a computed
 /// expression (`$obj->$field`, `$obj->{expr}`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Member {
     /// `->name`
     Name(Symbol),
     /// `->$var` or `->{expr}`
-    Dynamic(Box<Expr>),
+    Dynamic(ExprId),
 }
 
 impl Member {
@@ -241,16 +545,16 @@ impl Member {
 }
 
 /// What is being called in a [`Expr::Call`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Callee {
     /// `foo(...)` — a plain (possibly namespaced) function name.
     Function(Symbol),
     /// `$f(...)` or `($expr)(...)` — dynamic call.
-    Dynamic(Box<Expr>),
+    Dynamic(ExprId),
     /// `$obj->m(...)`
     Method {
         /// The receiver expression.
-        base: Box<Expr>,
+        base: ExprId,
         /// The method selector.
         name: Member,
     },
@@ -264,17 +568,17 @@ pub enum Callee {
 }
 
 /// A call argument (PHP 5: optional by-reference marker).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Arg {
     /// Argument expression.
-    pub value: Expr,
+    pub value: ExprId,
     /// `&$x` at the call site.
     pub by_ref: bool,
 }
 
 impl Arg {
     /// Positional argument.
-    pub fn pos(value: Expr) -> Self {
+    pub fn pos(value: ExprId) -> Self {
         Arg {
             value,
             by_ref: false,
@@ -283,45 +587,46 @@ impl Arg {
 }
 
 /// One piece of an interpolated string.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InterpPart {
     /// Literal fragment.
     Lit(String),
     /// Interpolated expression (`$x`, `$x->p`, `{$expr}`).
-    Expr(Expr),
+    Expr(ExprId),
 }
 
-/// Expressions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Expressions. Child nodes are [`ExprId`]/[`StmtId`] handles into the
+/// owning [`Arena`]; child lists are ranges into its slice pools.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// `$name`
     Var(Symbol, Span),
     /// Variable-variable `$$name` or `${expr}`.
-    VarVar(Box<Expr>, Span),
+    VarVar(ExprId, Span),
     /// Literal.
     Lit(Lit, Span),
     /// Interpolated double-quoted string / heredoc.
-    Interp(Vec<InterpPart>, Span),
+    Interp(InterpRange, Span),
     /// Bareword constant fetch (`FOO`, `PHP_EOL`).
     ConstFetch(Symbol, Span),
     /// `CLS::CONST`
     ClassConst(Symbol, Symbol, Span),
     /// `array(...)` / `[...]`
-    ArrayLit(Vec<(Option<Expr>, Expr)>, Span),
+    ArrayLit(ItemRange, Span),
     /// `$base[index]`; `index` is `None` for push syntax `$a[] = ...`.
-    Index(Box<Expr>, Option<Box<Expr>>, Span),
+    Index(ExprId, Option<ExprId>, Span),
     /// `$base->member`
-    Prop(Box<Expr>, Member, Span),
+    Prop(ExprId, Member, Span),
     /// `CLS::$prop`
     StaticProp(Symbol, Symbol, Span),
     /// Assignment (including compound and by-reference).
     Assign {
         /// Assignment target (lvalue).
-        target: Box<Expr>,
+        target: ExprId,
         /// Operator (plain or compound).
         op: AssignOp,
         /// Right-hand side.
-        value: Box<Expr>,
+        value: ExprId,
         /// `=& ` reference assignment.
         by_ref: bool,
         /// Location.
@@ -332,9 +637,9 @@ pub enum Expr {
         /// Operator.
         op: BinOp,
         /// Left operand.
-        lhs: Box<Expr>,
+        lhs: ExprId,
         /// Right operand.
-        rhs: Box<Expr>,
+        rhs: ExprId,
         /// Location.
         span: Span,
     },
@@ -343,7 +648,7 @@ pub enum Expr {
         /// Operator.
         op: UnOp,
         /// Operand.
-        expr: Box<Expr>,
+        expr: ExprId,
         /// Location.
         span: Span,
     },
@@ -354,7 +659,7 @@ pub enum Expr {
         /// Increment vs decrement.
         increment: bool,
         /// Operand.
-        expr: Box<Expr>,
+        expr: ExprId,
         /// Location.
         span: Span,
     },
@@ -363,7 +668,7 @@ pub enum Expr {
         /// Call target.
         callee: Callee,
         /// Arguments.
-        args: Vec<Arg>,
+        args: ArgRange,
         /// Location.
         span: Span,
     },
@@ -372,56 +677,56 @@ pub enum Expr {
         /// Class name if statically known.
         class: Member,
         /// Constructor arguments.
-        args: Vec<Arg>,
+        args: ArgRange,
         /// Location.
         span: Span,
     },
     /// `clone $x`
-    Clone(Box<Expr>, Span),
+    Clone(ExprId, Span),
     /// `$c ? $t : $e` (with `$t` optional for the `?:` short form).
     Ternary {
         /// Condition.
-        cond: Box<Expr>,
+        cond: ExprId,
         /// `then` branch (`None` for `?:`).
-        then: Option<Box<Expr>>,
+        then: Option<ExprId>,
         /// `else` branch.
-        otherwise: Box<Expr>,
+        otherwise: ExprId,
         /// Location.
         span: Span,
     },
     /// Type cast.
-    Cast(CastKind, Box<Expr>, Span),
+    Cast(CastKind, ExprId, Span),
     /// `isset($a, $b)`
-    Isset(Vec<Expr>, Span),
+    Isset(ExprRange, Span),
     /// `empty($x)`
-    Empty(Box<Expr>, Span),
+    Empty(ExprId, Span),
     /// `@expr`
-    ErrorSuppress(Box<Expr>, Span),
+    ErrorSuppress(ExprId, Span),
     /// `print $x` (an expression in PHP).
-    Print(Box<Expr>, Span),
+    Print(ExprId, Span),
     /// `exit($x)` / `die($x)`.
-    Exit(Option<Box<Expr>>, Span),
+    Exit(Option<ExprId>, Span),
     /// `include`/`require` expression.
-    Include(IncludeKind, Box<Expr>, Span),
+    Include(IncludeKind, ExprId, Span),
     /// `$x instanceof Cls`
-    Instanceof(Box<Expr>, Symbol, Span),
+    Instanceof(ExprId, Symbol, Span),
     /// `list($a, $b) = ...` target.
-    ListIntrinsic(Vec<Option<Expr>>, Span),
+    ListIntrinsic(OptExprRange, Span),
     /// Anonymous function.
     Closure {
         /// Parameters.
-        params: Vec<Param>,
+        params: ParamRange,
         /// `use (...)` captures: (name, by_ref).
-        uses: Vec<(Symbol, bool)>,
+        uses: UseRange,
         /// Body statements.
-        body: Vec<Stmt>,
+        body: StmtRange,
         /// Location.
         span: Span,
     },
     /// Backtick shell execution.
-    ShellExec(Vec<InterpPart>, Span),
+    ShellExec(InterpRange, Span),
     /// `&$x` reference in value position.
-    Ref(Box<Expr>, Span),
+    Ref(ExprId, Span),
     /// Placeholder produced by error recovery.
     Error(Span),
 }
@@ -485,16 +790,16 @@ impl Expr {
 }
 
 /// A function / method / closure parameter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Param {
     /// Parameter variable name including `$`.
     pub name: Symbol,
     /// Declared by reference (`&$x`).
     pub by_ref: bool,
     /// Default value, if any.
-    pub default: Option<Expr>,
+    pub default: Option<ExprId>,
     /// Type hint as written (`array`, class name), if any.
-    pub type_hint: Option<String>,
+    pub type_hint: Option<Symbol>,
     /// Variadic (`...$args`).
     pub variadic: bool,
 }
@@ -513,7 +818,7 @@ impl Param {
 }
 
 /// Member visibility / modifiers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Modifiers {
     /// `public` (default), `protected`, or `private`.
     pub visibility: Visibility,
@@ -526,7 +831,7 @@ pub struct Modifiers {
 }
 
 /// Member visibility.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Visibility {
     /// `public` / `var` / unspecified.
     #[default]
@@ -537,24 +842,26 @@ pub enum Visibility {
     Private,
 }
 
-/// A named function declaration (also used for methods).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A named function declaration (also used for methods). `Copy`: the body
+/// and parameter list are ranges into the declaring file's [`Arena`], so
+/// symbol tables and call sites hand declarations around by value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FunctionDecl {
     /// Function name as written (case preserved; PHP resolves
     /// case-insensitively).
     pub name: Symbol,
     /// Parameters.
-    pub params: Vec<Param>,
+    pub params: ParamRange,
     /// Returns by reference (`function &f()`).
     pub by_ref: bool,
     /// Body statements (empty for abstract/interface methods).
-    pub body: Vec<Stmt>,
+    pub body: StmtRange,
     /// Location of the declaration.
     pub span: Span,
 }
 
 /// A class / interface / trait declaration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClassDecl {
     /// Declared name.
     pub name: Symbol,
@@ -564,36 +871,39 @@ pub struct ClassDecl {
     /// first — enough for method resolution in plugin code).
     pub parent: Option<Symbol>,
     /// `implements` list.
-    pub interfaces: Vec<String>,
+    pub interfaces: SymRange,
     /// `abstract class`.
     pub is_abstract: bool,
     /// `final class`.
     pub is_final: bool,
     /// Members in declaration order.
-    pub members: Vec<ClassMember>,
+    pub members: MemberRange,
     /// Location.
     pub span: Span,
 }
 
 impl ClassDecl {
     /// Iterates the methods of the class.
-    pub fn methods(&self) -> impl Iterator<Item = (&Modifiers, &FunctionDecl)> {
-        self.members.iter().filter_map(|m| match m {
+    pub fn methods<'a>(
+        &self,
+        a: &'a Arena,
+    ) -> impl Iterator<Item = (&'a Modifiers, &'a FunctionDecl)> {
+        a.members(self.members).iter().filter_map(|m| match m {
             ClassMember::Method(mods, f) => Some((mods, f)),
             _ => None,
         })
     }
 
     /// Looks up a method by case-insensitive name.
-    pub fn method(&self, name: &str) -> Option<&FunctionDecl> {
-        self.methods()
+    pub fn method<'a>(&self, a: &'a Arena, name: &str) -> Option<&'a FunctionDecl> {
+        self.methods(a)
             .find(|(_, f)| f.name.as_str().eq_ignore_ascii_case(name))
             .map(|(_, f)| f)
     }
 }
 
 /// `class` vs `interface` vs `trait`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum ClassKind {
     Class,
@@ -602,14 +912,14 @@ pub enum ClassKind {
 }
 
 /// A class member.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClassMember {
     /// `public $x = default;`
     Property {
         /// Property name including `$`.
         name: Symbol,
         /// Default value.
-        default: Option<Expr>,
+        default: Option<ExprId>,
         /// Modifiers.
         modifiers: Modifiers,
         /// Location.
@@ -620,110 +930,110 @@ pub enum ClassMember {
     /// `const NAME = value;`
     Const {
         /// Constant name.
-        name: String,
+        name: Symbol,
         /// Value expression.
-        value: Expr,
+        value: ExprId,
         /// Location.
         span: Span,
     },
     /// `use TraitA, TraitB;`
-    UseTrait(Vec<String>, Span),
+    UseTrait(SymRange, Span),
 }
 
 /// A `catch (Type $e)` clause.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Catch {
     /// Caught class name.
-    pub class: String,
+    pub class: Symbol,
     /// Exception variable including `$`.
     pub var: Symbol,
     /// Handler body.
-    pub body: Vec<Stmt>,
+    pub body: StmtRange,
 }
 
 /// One `case`/`default` arm of a `switch`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SwitchCase {
     /// Case value; `None` for `default`.
-    pub value: Option<Expr>,
+    pub value: Option<ExprId>,
     /// Arm body.
-    pub body: Vec<Stmt>,
+    pub body: StmtRange,
 }
 
 /// Statements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// Expression statement.
-    Expr(Expr),
+    Expr(ExprId, Span),
     /// `echo a, b, c;` (also synthesized for `<?= ... ?>`).
-    Echo(Vec<Expr>, Span),
+    Echo(ExprRange, Span),
     /// Raw HTML between PHP blocks — an *output* in taint terms.
     InlineHtml(String, Span),
     /// `if` with any number of `elseif`s and an optional `else`.
     If {
         /// Condition.
-        cond: Expr,
+        cond: ExprId,
         /// `then` branch.
-        then: Vec<Stmt>,
+        then: StmtRange,
         /// `elseif` chain.
-        elseifs: Vec<(Expr, Vec<Stmt>)>,
+        elseifs: ElseifRange,
         /// `else` branch.
-        otherwise: Option<Vec<Stmt>>,
+        otherwise: Option<StmtRange>,
         /// Location.
         span: Span,
     },
     /// `while`
     While {
         /// Condition.
-        cond: Expr,
+        cond: ExprId,
         /// Body.
-        body: Vec<Stmt>,
+        body: StmtRange,
         /// Location.
         span: Span,
     },
     /// `do { } while ()`
     DoWhile {
         /// Body.
-        body: Vec<Stmt>,
+        body: StmtRange,
         /// Condition.
-        cond: Expr,
+        cond: ExprId,
         /// Location.
         span: Span,
     },
     /// `for (init; cond; step)`
     For {
         /// Init expressions.
-        init: Vec<Expr>,
+        init: ExprRange,
         /// Condition expressions.
-        cond: Vec<Expr>,
+        cond: ExprRange,
         /// Step expressions.
-        step: Vec<Expr>,
+        step: ExprRange,
         /// Body.
-        body: Vec<Stmt>,
+        body: StmtRange,
         /// Location.
         span: Span,
     },
     /// `foreach ($subject as $key => $value)`
     Foreach {
         /// Iterated expression.
-        subject: Expr,
+        subject: ExprId,
         /// Key variable, if present.
-        key: Option<Expr>,
+        key: Option<ExprId>,
         /// Value binding target.
-        value: Expr,
+        value: ExprId,
         /// `as &$v` by-reference binding.
         by_ref: bool,
         /// Body.
-        body: Vec<Stmt>,
+        body: StmtRange,
         /// Location.
         span: Span,
     },
     /// `switch`
     Switch {
         /// Scrutinee.
-        subject: Expr,
+        subject: ExprId,
         /// Arms.
-        cases: Vec<SwitchCase>,
+        cases: CaseRange,
         /// Location.
         span: Span,
     },
@@ -732,34 +1042,34 @@ pub enum Stmt {
     /// `continue [n];`
     Continue(Span),
     /// `return [expr];`
-    Return(Option<Expr>, Span),
+    Return(Option<ExprId>, Span),
     /// `global $a, $b;`
-    Global(Vec<Symbol>, Span),
+    Global(SymRange, Span),
     /// `static $a = 1;` (function-static variables).
-    StaticVars(Vec<(Symbol, Option<Expr>)>, Span),
+    StaticVars(StaticVarRange, Span),
     /// `unset($a, $b);`
-    Unset(Vec<Expr>, Span),
+    Unset(ExprRange, Span),
     /// `throw expr;`
-    Throw(Expr, Span),
+    Throw(ExprId, Span),
     /// `try { } catch () { } finally { }`
     Try {
         /// Protected body.
-        body: Vec<Stmt>,
+        body: StmtRange,
         /// Catch clauses.
-        catches: Vec<Catch>,
+        catches: CatchRange,
         /// Finally block.
-        finally: Option<Vec<Stmt>>,
+        finally: Option<StmtRange>,
         /// Location.
         span: Span,
     },
     /// A bare `{ ... }` block.
-    Block(Vec<Stmt>, Span),
+    Block(StmtRange, Span),
     /// Named function declaration.
     Function(FunctionDecl),
     /// Class / interface / trait declaration.
     Class(ClassDecl),
     /// `const NAME = value;` at top level.
-    ConstDecl(Vec<(String, Expr)>, Span),
+    ConstDecl(ConstRange, Span),
     /// `;` empty statement.
     Nop(Span),
     /// Placeholder produced by error recovery.
@@ -771,8 +1081,8 @@ impl Stmt {
     pub fn span(&self) -> Span {
         use Stmt::*;
         match self {
-            Expr(e) => e.span(),
-            Echo(_, s)
+            Expr(_, s)
+            | Echo(_, s)
             | InlineHtml(_, s)
             | Break(s)
             | Continue(s)
@@ -780,11 +1090,11 @@ impl Stmt {
             | Global(_, s)
             | StaticVars(_, s)
             | Unset(_, s)
+            | Throw(_, s)
             | Block(_, s)
             | ConstDecl(_, s)
             | Nop(s)
             | Error(s) => *s,
-            Throw(e, _) => e.span(),
             If { span, .. }
             | While { span, .. }
             | DoWhile { span, .. }
@@ -799,7 +1109,7 @@ impl Stmt {
 }
 
 /// A parse diagnostic: the parser recovers and keeps going, recording these.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Human-readable message.
     pub message: String,
@@ -815,12 +1125,16 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// A fully parsed PHP file: top-level statements plus recovered errors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A fully parsed PHP file: the node arena, the top-level statement list
+/// and recovered errors. Dereferences to its [`Arena`], so `file.expr(id)`
+/// etc. work directly.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ParsedFile {
+    /// Flat node storage for everything in the file.
+    pub arena: Arena,
     /// Top-level statements (functions/classes appear as statements, as in
     /// PHP).
-    pub stmts: Vec<Stmt>,
+    pub top: StmtRange,
     /// Parse errors recovered from.
     pub errors: Vec<ParseError>,
 }
@@ -829,6 +1143,18 @@ impl ParsedFile {
     /// Whether the file parsed without any recovered errors.
     pub fn is_clean(&self) -> bool {
         self.errors.is_empty()
+    }
+
+    /// The top-level statement ids.
+    pub fn top_stmts(&self) -> &[StmtId] {
+        self.arena.stmt_list(self.top)
+    }
+}
+
+impl std::ops::Deref for ParsedFile {
+    type Target = Arena;
+    fn deref(&self) -> &Arena {
+        &self.arena
     }
 }
 
@@ -852,49 +1178,67 @@ mod tests {
     }
 
     #[test]
-    fn expr_spans() {
-        let e = Expr::var("$x", 7);
-        assert_eq!(e.span().line, 7);
-        let call = Expr::Call {
+    fn expr_spans_and_node_ids() {
+        let mut a = Arena::new();
+        let e = a.alloc_expr(Expr::var("$x", 7));
+        assert_eq!(a[e].span().line, 7);
+        let arg = a.alloc_expr(Expr::str("v", 7));
+        let args = a.alloc_args(vec![Arg::pos(arg)]);
+        let call = a.alloc_expr(Expr::Call {
             callee: Callee::Function("f".into()),
-            args: vec![Arg::pos(Expr::str("v", 7))],
+            args,
             span: Span::at(7),
-        };
-        assert_eq!(call.span().line, 7);
+        });
+        assert_eq!(a[call].span().line, 7);
+        assert_eq!(a.node_count(), 3);
+        assert_eq!(a.args(args).len(), 1);
+        assert_eq!(a.slice_count(), 1);
+        assert!(a.arena_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_ranges_allocate_no_slices() {
+        let mut a = Arena::new();
+        let r = a.alloc_expr_list(vec![]);
+        assert!(r.is_empty());
+        assert_eq!(a.slice_count(), 0);
+        assert!(a.expr_list(r).is_empty());
     }
 
     #[test]
     fn class_method_lookup_is_case_insensitive() {
+        let mut a = Arena::new();
+        let body = StmtRange::EMPTY;
+        let members = a.alloc_members(vec![ClassMember::Method(
+            Modifiers::default(),
+            FunctionDecl {
+                name: "Render".into(),
+                params: ParamRange::EMPTY,
+                by_ref: false,
+                body,
+                span: Span::at(1),
+            },
+        )]);
         let c = ClassDecl {
             name: "C".into(),
             kind: ClassKind::Class,
             parent: None,
-            interfaces: vec![],
+            interfaces: SymRange::EMPTY,
             is_abstract: false,
             is_final: false,
-            members: vec![ClassMember::Method(
-                Modifiers::default(),
-                FunctionDecl {
-                    name: "Render".into(),
-                    params: vec![],
-                    by_ref: false,
-                    body: vec![],
-                    span: Span::at(1),
-                },
-            )],
+            members,
             span: Span::at(1),
         };
-        assert!(c.method("render").is_some());
-        assert!(c.method("RENDER").is_some());
-        assert!(c.method("missing").is_none());
+        assert!(c.method(&a, "render").is_some());
+        assert!(c.method(&a, "RENDER").is_some());
+        assert!(c.method(&a, "missing").is_none());
     }
 
     #[test]
     fn member_as_name() {
+        let mut a = Arena::new();
         assert_eq!(Member::Name("p".into()).as_name(), Some("p"));
-        assert_eq!(
-            Member::Dynamic(Box::new(Expr::var("$f", 1))).as_name(),
-            None
-        );
+        let dyn_e = a.alloc_expr(Expr::var("$f", 1));
+        assert_eq!(Member::Dynamic(dyn_e).as_name(), None);
     }
 }

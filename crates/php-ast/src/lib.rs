@@ -10,12 +10,18 @@
 //! analyzers can keep going (plugin robustness is one of the paper's
 //! evaluation dimensions).
 //!
+//! Nodes live in a per-file [`Arena`]: flat `Vec` pools addressed by
+//! `Copy` [`ExprId`]/[`StmtId`] handles, with child lists stored as
+//! `(start, len)` ranges into shared slice pools — one allocation per
+//! pool instead of one per node, and memory order matching traversal
+//! order for the taint walks.
+//!
 //! ```
 //! use php_ast::{parse, Stmt};
 //!
 //! let file = parse("<?php class C { function m() { echo $_GET['x']; } }");
 //! assert!(file.is_clean());
-//! assert!(matches!(file.stmts[0], Stmt::Class(_)));
+//! assert!(matches!(file.stmt(file.top_stmts()[0]), Stmt::Class(_)));
 //! ```
 
 #![warn(missing_docs)]

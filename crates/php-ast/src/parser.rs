@@ -1,11 +1,15 @@
 //! Recursive-descent / Pratt parser from token streams to [`crate::ast`]
-//! trees.
+//! arenas.
 //!
 //! The parser is *error-tolerant*: unexpected input produces
 //! [`Expr::Error`] / [`Stmt::Error`] placeholders plus a recorded
 //! [`ParseError`], and parsing continues. Analyzing plugins requires
 //! surviving whatever third-party developers ship (the paper's robustness
 //! metric counts exactly this).
+//!
+//! Nodes are allocated into the file's [`Arena`] as they are reduced, so
+//! pool order matches evaluation order and the returned [`ParsedFile`] is
+//! a few flat buffers rather than a pointer tree.
 
 use crate::ast::*;
 use php_lexer::{tokenize, Token, TokenKind as K};
@@ -19,7 +23,7 @@ use phpsafe_intern::Symbol;
 /// use php_ast::parse;
 /// let file = parse("<?php echo $_GET['id'];");
 /// assert!(file.is_clean());
-/// assert_eq!(file.stmts.len(), 1);
+/// assert_eq!(file.top_stmts().len(), 1);
 /// ```
 pub fn parse(src: &str) -> ParsedFile {
     parse_tokens(tokenize(src))
@@ -45,12 +49,16 @@ pub fn parse_tokens(toks: Vec<Token>) -> ParsedFile {
     let file = Parser::new(toks).parse_file();
     phpsafe_obs::count("parse.files", 1);
     phpsafe_obs::count("parse.errors", file.errors.len() as u64);
+    phpsafe_obs::count("ast.nodes", file.node_count() as u64);
+    phpsafe_obs::count("ast.arena_bytes", file.arena_bytes() as u64);
+    phpsafe_obs::count("ast.slices", file.slice_count() as u64);
     file
 }
 
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
+    arena: Arena,
     errors: Vec<ParseError>,
 }
 
@@ -59,6 +67,7 @@ impl Parser {
         Parser {
             toks,
             pos: 0,
+            arena: Arena::new(),
             errors: Vec::new(),
         }
     }
@@ -134,13 +143,21 @@ impl Parser {
         self.pos >= self.toks.len()
     }
 
+    fn expr(&mut self, e: Expr) -> ExprId {
+        self.arena.alloc_expr(e)
+    }
+
+    fn stmt(&mut self, s: Stmt) -> StmtId {
+        self.arena.alloc_stmt(s)
+    }
+
     // ---- file / block level ----
 
     fn parse_file(mut self) -> ParsedFile {
         let mut stmts = Vec::new();
         while !self.is_eof() {
             let before = self.pos;
-            if let Some(s) = self.parse_top(&mut stmts) {
+            if let Some(s) = self.parse_top() {
                 stmts.push(s);
             }
             if self.pos == before {
@@ -151,18 +168,23 @@ impl Parser {
                 ));
                 let span = self.span();
                 self.bump();
-                stmts.push(Stmt::Error(span));
+                let s = self.stmt(Stmt::Error(span));
+                stmts.push(s);
             }
         }
+        let top = self.arena.alloc_stmt_list(stmts);
+        let mut arena = self.arena;
+        arena.shrink_to_fit();
         ParsedFile {
-            stmts,
+            arena,
+            top,
             errors: self.errors,
         }
     }
 
     /// Handles top-of-loop tokens that are not statements proper (tags,
     /// HTML). Returns a statement when one was parsed.
-    fn parse_top(&mut self, _out: &mut Vec<Stmt>) -> Option<Stmt> {
+    fn parse_top(&mut self) -> Option<StmtId> {
         match self.peek_kind()? {
             K::OpenTag => {
                 self.bump();
@@ -174,7 +196,7 @@ impl Parser {
             }
             K::InlineHtml => {
                 let t = self.bump().expect("html");
-                Some(Stmt::InlineHtml(t.text, Span::at(t.line)))
+                Some(self.stmt(Stmt::InlineHtml(t.text, Span::at(t.line))))
             }
             K::OpenTagWithEcho => {
                 let line = self.line();
@@ -184,7 +206,8 @@ impl Parser {
                     exprs.push(self.parse_expr());
                 }
                 self.eat(K::Semicolon);
-                Some(Stmt::Echo(exprs, Span::at(line)))
+                let exprs = self.arena.alloc_expr_list(exprs);
+                Some(self.stmt(Stmt::Echo(exprs, Span::at(line))))
             }
             _ => Some(self.parse_stmt()),
         }
@@ -192,7 +215,7 @@ impl Parser {
 
     /// Parses statements until one of `enders` (alternative-syntax blocks),
     /// EOF, or a closing brace that isn't ours. Does not consume the ender.
-    fn parse_stmts_until(&mut self, enders: &[K]) -> Vec<Stmt> {
+    fn parse_stmts_until(&mut self, enders: &[K]) -> StmtRange {
         let mut out = Vec::new();
         loop {
             match self.peek_kind() {
@@ -203,10 +226,11 @@ impl Parser {
                 }
                 Some(K::InlineHtml) => {
                     let t = self.bump().expect("html");
-                    out.push(Stmt::InlineHtml(t.text, Span::at(t.line)));
+                    let s = self.stmt(Stmt::InlineHtml(t.text, Span::at(t.line)));
+                    out.push(s);
                 }
                 Some(K::OpenTagWithEcho) => {
-                    if let Some(s) = self.parse_top(&mut out) {
+                    if let Some(s) = self.parse_top() {
                         out.push(s);
                     }
                 }
@@ -217,18 +241,19 @@ impl Parser {
                         self.error("parser stuck; skipping token");
                         let span = self.span();
                         self.bump();
-                        out.push(Stmt::Error(span));
+                        let s = self.stmt(Stmt::Error(span));
+                        out.push(s);
                     }
                 }
             }
         }
-        out
+        self.arena.alloc_stmt_list(out)
     }
 
     /// Parses a `{ ... }` block or a single statement (PHP allows both as
     /// bodies); with alternative syntax, parses until one of `alt_enders`
     /// and consumes the ender keyword.
-    fn parse_body(&mut self, alt_enders: &[K]) -> Vec<Stmt> {
+    fn parse_body(&mut self, alt_enders: &[K]) -> StmtRange {
         if self.eat(K::Colon) {
             let body = self.parse_stmts_until(alt_enders);
             if let Some(k) = self.peek_kind() {
@@ -245,14 +270,15 @@ impl Parser {
             self.expect(K::CloseBrace, "`}`");
             return body;
         }
-        vec![self.parse_stmt()]
+        let s = self.parse_stmt();
+        self.arena.alloc_stmt_list(vec![s])
     }
 
     // ---- statements ----
 
-    fn parse_stmt(&mut self) -> Stmt {
+    fn parse_stmt(&mut self) -> StmtId {
         let span = self.span();
-        match self.peek_kind() {
+        let s = match self.peek_kind() {
             Some(K::Semicolon) => {
                 self.bump();
                 Stmt::Nop(span)
@@ -270,6 +296,7 @@ impl Parser {
                     exprs.push(self.parse_expr());
                 }
                 self.end_stmt();
+                let exprs = self.arena.alloc_expr_list(exprs);
                 Stmt::Echo(exprs, span)
             }
             Some(K::If) => self.parse_if(),
@@ -319,6 +346,7 @@ impl Parser {
                     }
                 }
                 self.end_stmt();
+                let names = self.arena.alloc_syms(names);
                 Stmt::Global(names, span)
             }
             Some(K::Static) if matches!(self.peek_kind_at(1), Some(K::Variable)) => {
@@ -337,6 +365,7 @@ impl Parser {
                     }
                 }
                 self.end_stmt();
+                let vars = self.arena.alloc_static_vars(vars);
                 Stmt::StaticVars(vars, span)
             }
             Some(K::Unset) => {
@@ -351,6 +380,7 @@ impl Parser {
                 }
                 self.expect(K::CloseParen, "`)`");
                 self.end_stmt();
+                let exprs = self.arena.alloc_expr_list(exprs);
                 Stmt::Unset(exprs, span)
             }
             Some(K::Throw) => {
@@ -377,7 +407,7 @@ impl Parser {
                 let mut consts = Vec::new();
                 loop {
                     let name = if self.at(K::Identifier) {
-                        self.bump().expect("ident").text
+                        self.bump().expect("ident").sym
                     } else {
                         self.error("expected constant name");
                         break;
@@ -390,6 +420,7 @@ impl Parser {
                     }
                 }
                 self.end_stmt();
+                let consts = self.arena.alloc_consts(consts);
                 Stmt::ConstDecl(consts, span)
             }
             Some(K::Namespace) => {
@@ -402,7 +433,7 @@ impl Parser {
                 if self.eat(K::OpenBrace) {
                     let body = self.parse_stmts_until(&[K::CloseBrace]);
                     self.expect(K::CloseBrace, "`}`");
-                    return Stmt::Block(body, span);
+                    return self.stmt(Stmt::Block(body, span));
                 }
                 self.end_stmt();
                 Stmt::Nop(span)
@@ -426,7 +457,7 @@ impl Parser {
                 if self.eat(K::OpenBrace) {
                     let body = self.parse_stmts_until(&[K::CloseBrace]);
                     self.expect(K::CloseBrace, "`}`");
-                    return Stmt::Block(body, span);
+                    return self.stmt(Stmt::Block(body, span));
                 }
                 self.end_stmt();
                 Stmt::Nop(span)
@@ -442,10 +473,11 @@ impl Parser {
             Some(_) => {
                 let e = self.parse_expr();
                 self.end_stmt();
-                Stmt::Expr(e)
+                Stmt::Expr(e, span)
             }
             None => Stmt::Nop(span),
-        }
+        };
+        self.stmt(s)
     }
 
     /// After `abstract`/`final`, is a class declaration coming?
@@ -528,6 +560,7 @@ impl Parser {
             }
             self.expect(K::EndIf, "`endif`");
             self.end_stmt();
+            let elseifs = self.arena.alloc_elseifs(elseifs);
             return Stmt::If {
                 cond,
                 then,
@@ -561,6 +594,7 @@ impl Parser {
                 break;
             }
         }
+        let elseifs = self.arena.alloc_elseifs(elseifs);
         Stmt::If {
             cond,
             then,
@@ -600,7 +634,7 @@ impl Parser {
         Stmt::DoWhile { body, cond, span }
     }
 
-    fn parse_expr_list(&mut self, stop: K) -> Vec<Expr> {
+    fn parse_expr_vec(&mut self, stop: K) -> Vec<ExprId> {
         let mut out = Vec::new();
         if self.at(stop) {
             return out;
@@ -610,6 +644,11 @@ impl Parser {
             out.push(self.parse_expr());
         }
         out
+    }
+
+    fn parse_expr_list(&mut self, stop: K) -> ExprRange {
+        let out = self.parse_expr_vec(stop);
+        self.arena.alloc_expr_list(out)
     }
 
     fn parse_for(&mut self) -> Stmt {
@@ -720,6 +759,7 @@ impl Parser {
         } else {
             self.expect(K::CloseBrace, "`}`");
         }
+        let cases = self.arena.alloc_cases(cases);
         Stmt::Switch {
             subject,
             cases,
@@ -736,10 +776,13 @@ impl Parser {
         let mut catches = Vec::new();
         while self.eat(K::Catch) {
             self.expect(K::OpenParen, "`(`");
-            let class = self.parse_name().unwrap_or_else(|| {
-                self.error("expected exception class");
-                "Exception".into()
-            });
+            let class = match self.parse_name() {
+                Some(n) => Symbol::intern(&n),
+                None => {
+                    self.error("expected exception class");
+                    "Exception".into()
+                }
+            };
             let var = if self.at(K::Variable) {
                 self.bump().expect("var").sym
             } else {
@@ -764,6 +807,7 @@ impl Parser {
         } else {
             None
         };
+        let catches = self.arena.alloc_catches(catches);
         Stmt::Try {
             body,
             catches,
@@ -822,7 +866,7 @@ impl Parser {
             b
         } else {
             self.end_stmt(); // abstract/interface method
-            Vec::new()
+            StmtRange::EMPTY
         };
         FunctionDecl {
             name,
@@ -833,20 +877,20 @@ impl Parser {
         }
     }
 
-    fn parse_params(&mut self) -> Vec<Param> {
+    fn parse_params(&mut self) -> ParamRange {
         let mut params = Vec::new();
         if !self.expect(K::OpenParen, "`(`") {
-            return params;
+            return ParamRange::EMPTY;
         }
         if self.eat(K::CloseParen) {
-            return params;
+            return ParamRange::EMPTY;
         }
         loop {
             let type_hint = if matches!(
                 self.peek_kind(),
                 Some(K::Identifier) | Some(K::Array) | Some(K::Callable) | Some(K::Backslash)
             ) {
-                self.parse_name()
+                self.parse_name().map(|n| Symbol::intern(&n))
             } else {
                 None
             };
@@ -875,7 +919,7 @@ impl Parser {
             }
         }
         self.expect(K::CloseParen, "`)`");
-        params
+        self.arena.alloc_params(params)
     }
 
     fn parse_class_decl(&mut self) -> Stmt {
@@ -917,13 +961,13 @@ impl Parser {
             // interfaces may extend a list; keep only the first as parent.
             while self.eat(K::Comma) {
                 if let Some(n) = self.parse_name() {
-                    interfaces.push(n);
+                    interfaces.push(Symbol::intern(&n));
                 }
             }
         }
         if self.eat(K::Implements) {
             while let Some(n) = self.parse_name() {
-                interfaces.push(n);
+                interfaces.push(Symbol::intern(&n));
                 if !self.eat(K::Comma) {
                     break;
                 }
@@ -932,6 +976,7 @@ impl Parser {
         self.expect(K::OpenBrace, "`{`");
         let members = self.parse_class_members();
         self.expect(K::CloseBrace, "`}`");
+        let interfaces = self.arena.alloc_syms(interfaces);
         Stmt::Class(ClassDecl {
             name,
             kind,
@@ -944,7 +989,7 @@ impl Parser {
         })
     }
 
-    fn parse_class_members(&mut self) -> Vec<ClassMember> {
+    fn parse_class_members(&mut self) -> MemberRange {
         let mut members = Vec::new();
         while !self.at(K::CloseBrace) && !self.is_eof() {
             let before = self.pos;
@@ -952,7 +997,7 @@ impl Parser {
             if self.eat(K::Use) {
                 let mut traits = Vec::new();
                 while let Some(n) = self.parse_name() {
-                    traits.push(n);
+                    traits.push(Symbol::intern(&n));
                     if !self.eat(K::Comma) {
                         break;
                     }
@@ -971,13 +1016,14 @@ impl Parser {
                 } else {
                     self.end_stmt();
                 }
+                let traits = self.arena.alloc_syms(traits);
                 members.push(ClassMember::UseTrait(traits, span));
                 continue;
             }
             if self.eat(K::Const) {
                 loop {
                     let name = if self.at(K::Identifier) {
-                        self.bump().expect("id").text
+                        self.bump().expect("id").sym
                     } else {
                         self.error("expected constant name");
                         break;
@@ -1074,16 +1120,16 @@ impl Parser {
                 }
             }
         }
-        members
+        self.arena.alloc_members(members)
     }
 
     // ---- expressions (Pratt) ----
 
-    fn parse_expr(&mut self) -> Expr {
+    fn parse_expr(&mut self) -> ExprId {
         self.parse_expr_bp(0)
     }
 
-    fn parse_expr_bp(&mut self, min_bp: u8) -> Expr {
+    fn parse_expr_bp(&mut self, min_bp: u8) -> ExprId {
         let mut lhs = self.parse_prefix();
         while let Some(k) = self.peek_kind() {
             // assignment (right associative, low precedence)
@@ -1096,13 +1142,13 @@ impl Parser {
                 self.bump();
                 let by_ref = op == AssignOp::Assign && self.eat(K::Amp);
                 let value = self.parse_expr_bp(ASSIGN_LBP - 1);
-                lhs = Expr::Assign {
-                    target: Box::new(lhs),
+                lhs = self.expr(Expr::Assign {
+                    target: lhs,
                     op,
-                    value: Box::new(value),
+                    value,
                     by_ref,
                     span,
-                };
+                });
                 continue;
             }
             // ternary
@@ -1116,16 +1162,16 @@ impl Parser {
                 let then = if self.at(K::Colon) {
                     None
                 } else {
-                    Some(Box::new(self.parse_expr_bp(0)))
+                    Some(self.parse_expr_bp(0))
                 };
                 self.expect(K::Colon, "`:` in ternary");
-                let otherwise = Box::new(self.parse_expr_bp(TERNARY_LBP - 1));
-                lhs = Expr::Ternary {
-                    cond: Box::new(lhs),
+                let otherwise = self.parse_expr_bp(TERNARY_LBP - 1);
+                lhs = self.expr(Expr::Ternary {
+                    cond: lhs,
                     then,
                     otherwise,
                     span,
-                };
+                });
                 continue;
             }
             // instanceof
@@ -1145,7 +1191,7 @@ impl Parser {
                         "?".into()
                     }
                 };
-                lhs = Expr::Instanceof(Box::new(lhs), class, span);
+                lhs = self.expr(Expr::Instanceof(lhs, class, span));
                 continue;
             }
             // binary operators
@@ -1156,12 +1202,7 @@ impl Parser {
                 let span = self.span();
                 self.bump();
                 let rhs = self.parse_expr_bp(rbp);
-                lhs = Expr::Binary {
-                    op,
-                    lhs: Box::new(lhs),
-                    rhs: Box::new(rhs),
-                    span,
-                };
+                lhs = self.expr(Expr::Binary { op, lhs, rhs, span });
                 continue;
             }
             break;
@@ -1169,11 +1210,11 @@ impl Parser {
         lhs
     }
 
-    fn parse_prefix(&mut self) -> Expr {
+    fn parse_prefix(&mut self) -> ExprId {
         let span = self.span();
         let Some(k) = self.peek_kind() else {
             self.error("unexpected end of input in expression");
-            return Expr::Error(span);
+            return self.expr(Expr::Error(span));
         };
         let e = match k {
             K::Variable => {
@@ -1185,10 +1226,10 @@ impl Parser {
                 if self.eat(K::OpenBrace) {
                     let inner = self.parse_expr();
                     self.expect(K::CloseBrace, "`}`");
-                    Expr::VarVar(Box::new(inner), span)
+                    Expr::VarVar(inner, span)
                 } else {
                     let inner = self.parse_prefix();
-                    Expr::VarVar(Box::new(inner), span)
+                    Expr::VarVar(inner, span)
                 }
             }
             K::LNumber => {
@@ -1218,9 +1259,13 @@ impl Parser {
                 let parts = self.parse_interp_parts(K::Backtick);
                 Expr::ShellExec(parts, span)
             }
-            K::Identifier => self.parse_identifier_expr(),
+            K::Identifier => {
+                let e = self.parse_identifier_expr();
+                return self.parse_postfix(e);
+            }
             K::Static if self.peek_kind_at(1) == Some(K::DoubleColon) => {
-                self.parse_identifier_expr()
+                let e = self.parse_identifier_expr();
+                return self.parse_postfix(e);
             }
             K::Array => {
                 self.bump();
@@ -1253,6 +1298,7 @@ impl Parser {
                     }
                 }
                 self.expect(K::CloseParen, "`)`");
+                let items = self.arena.alloc_opt_exprs(items);
                 Expr::ListIntrinsic(items, span)
             }
             K::Isset => {
@@ -1267,7 +1313,7 @@ impl Parser {
                 self.expect(K::OpenParen, "`(`");
                 let e = self.parse_expr();
                 self.expect(K::CloseParen, "`)`");
-                Expr::Empty(Box::new(e), span)
+                Expr::Empty(e, span)
             }
             K::Exit => {
                 self.bump();
@@ -1275,7 +1321,7 @@ impl Parser {
                     let a = if self.at(K::CloseParen) {
                         None
                     } else {
-                        Some(Box::new(self.parse_expr()))
+                        Some(self.parse_expr())
                     };
                     self.expect(K::CloseParen, "`)`");
                     a
@@ -1293,18 +1339,19 @@ impl Parser {
                 };
                 self.bump();
                 let e = self.parse_expr_bp(9);
-                Expr::Include(kind, Box::new(e), span)
+                Expr::Include(kind, e, span)
             }
             K::Print => {
                 self.bump();
                 let e = self.parse_expr_bp(9);
-                Expr::Print(Box::new(e), span)
+                Expr::Print(e, span)
             }
             K::New => {
                 self.bump();
                 let class = if self.at(K::Variable) {
                     let t = self.bump().expect("var");
-                    Member::Dynamic(Box::new(Expr::Var(t.sym, Span::at(t.line))))
+                    let v = self.expr(Expr::Var(t.sym, Span::at(t.line)));
+                    Member::Dynamic(v)
                 } else {
                     match self.parse_name() {
                         Some(n) => Member::Name(n.into()),
@@ -1319,14 +1366,14 @@ impl Parser {
                     self.expect(K::CloseParen, "`)`");
                     a
                 } else {
-                    Vec::new()
+                    ArgRange::EMPTY
                 };
                 Expr::New { class, args, span }
             }
             K::Clone => {
                 self.bump();
                 let e = self.parse_expr_bp(37);
-                Expr::Clone(Box::new(e), span)
+                Expr::Clone(e, span)
             }
             K::Function => {
                 self.bump();
@@ -1351,6 +1398,7 @@ impl Parser {
                 self.expect(K::OpenBrace, "`{`");
                 let body = self.parse_stmts_until(&[K::CloseBrace]);
                 self.expect(K::CloseBrace, "`}`");
+                let uses = self.arena.alloc_uses(uses);
                 Expr::Closure {
                     params,
                     uses,
@@ -1362,14 +1410,14 @@ impl Parser {
                 self.bump();
                 let e = self.parse_expr();
                 self.expect(K::CloseParen, "`)`");
-                e
+                return self.parse_postfix(e);
             }
             K::Bang => {
                 self.bump();
                 let e = self.parse_expr_bp(33);
                 Expr::Unary {
                     op: UnOp::Not,
-                    expr: Box::new(e),
+                    expr: e,
                     span,
                 }
             }
@@ -1378,7 +1426,7 @@ impl Parser {
                 let e = self.parse_expr_bp(37);
                 Expr::Unary {
                     op: UnOp::Neg,
-                    expr: Box::new(e),
+                    expr: e,
                     span,
                 }
             }
@@ -1387,7 +1435,7 @@ impl Parser {
                 let e = self.parse_expr_bp(37);
                 Expr::Unary {
                     op: UnOp::Plus,
-                    expr: Box::new(e),
+                    expr: e,
                     span,
                 }
             }
@@ -1396,19 +1444,19 @@ impl Parser {
                 let e = self.parse_expr_bp(37);
                 Expr::Unary {
                     op: UnOp::BitNot,
-                    expr: Box::new(e),
+                    expr: e,
                     span,
                 }
             }
             K::At => {
                 self.bump();
                 let e = self.parse_expr_bp(37);
-                Expr::ErrorSuppress(Box::new(e), span)
+                Expr::ErrorSuppress(e, span)
             }
             K::Amp => {
                 self.bump();
                 let e = self.parse_expr_bp(37);
-                Expr::Ref(Box::new(e), span)
+                Expr::Ref(e, span)
             }
             K::Inc | K::Dec => {
                 let increment = k == K::Inc;
@@ -1417,7 +1465,7 @@ impl Parser {
                 Expr::IncDec {
                     prefix: true,
                     increment,
-                    expr: Box::new(e),
+                    expr: e,
                     span,
                 }
             }
@@ -1433,7 +1481,7 @@ impl Parser {
                     _ => CastKind::Unset,
                 };
                 let e = self.parse_expr_bp(37);
-                Expr::Cast(kind, Box::new(e), span)
+                Expr::Cast(kind, e, span)
             }
             K::LineC | K::FileC | K::ClassC | K::FuncC | K::MethodC | K::NsC => {
                 let t = self.bump().expect("magic");
@@ -1442,7 +1490,10 @@ impl Parser {
             K::Backslash => {
                 // leading-backslash global name
                 match self.parse_name() {
-                    Some(_n) => self.parse_identifier_continuation(span),
+                    Some(_n) => {
+                        let e = self.parse_identifier_continuation(span);
+                        return self.parse_postfix(e);
+                    }
                     None => {
                         self.bump();
                         Expr::Error(span)
@@ -1464,14 +1515,15 @@ impl Parser {
                 ) {
                     self.bump();
                 }
-                return Expr::Error(span);
+                return self.expr(Expr::Error(span));
             }
         };
+        let e = self.expr(e);
         self.parse_postfix(e)
     }
 
     /// Parses identifier-led expressions: calls, static access, constants.
-    fn parse_identifier_expr(&mut self) -> Expr {
+    fn parse_identifier_expr(&mut self) -> ExprId {
         let span = self.span();
         // Fast path: a plain identifier reuses the symbol the lexer already
         // interned; only namespaced / keyword-led names re-intern.
@@ -1486,25 +1538,25 @@ impl Parser {
         };
         // Boolean / null literals
         if name.as_str().eq_ignore_ascii_case("true") {
-            return Expr::Lit(Lit::Bool(true), span);
+            return self.expr(Expr::Lit(Lit::Bool(true), span));
         }
         if name.as_str().eq_ignore_ascii_case("false") {
-            return Expr::Lit(Lit::Bool(false), span);
+            return self.expr(Expr::Lit(Lit::Bool(false), span));
         }
         if name.as_str().eq_ignore_ascii_case("null") {
-            return Expr::Lit(Lit::Null, span);
+            return self.expr(Expr::Lit(Lit::Null, span));
         }
         self.parse_identifier_continuation_named(name, span)
     }
 
-    fn parse_identifier_continuation(&mut self, span: Span) -> Expr {
+    fn parse_identifier_continuation(&mut self, span: Span) -> ExprId {
         // used after consuming a namespaced name we discarded; treat as
         // ConstFetch of unknown.
         self.parse_identifier_continuation_named("?".into(), span)
     }
 
-    fn parse_identifier_continuation_named(&mut self, name: Symbol, span: Span) -> Expr {
-        if self.at(K::DoubleColon) {
+    fn parse_identifier_continuation_named(&mut self, name: Symbol, span: Span) -> ExprId {
+        let e = if self.at(K::DoubleColon) {
             self.bump();
             match self.peek_kind() {
                 Some(K::Variable) => {
@@ -1535,9 +1587,9 @@ impl Parser {
                     Expr::Call {
                         callee: Callee::StaticMethod {
                             class: name,
-                            name: Member::Dynamic(Box::new(inner)),
+                            name: Member::Dynamic(inner),
                         },
-                        args: Vec::new(),
+                        args: ArgRange::EMPTY,
                         span,
                     }
                 }
@@ -1557,13 +1609,14 @@ impl Parser {
             }
         } else {
             Expr::ConstFetch(name, span)
-        }
+        };
+        self.expr(e)
     }
 
-    fn parse_args(&mut self) -> Vec<Arg> {
+    fn parse_args(&mut self) -> ArgRange {
         let mut args = Vec::new();
         if self.at(K::CloseParen) {
-            return args;
+            return ArgRange::EMPTY;
         }
         loop {
             let by_ref = self.eat(K::Amp);
@@ -1573,10 +1626,10 @@ impl Parser {
                 break;
             }
         }
-        args
+        self.arena.alloc_args(args)
     }
 
-    fn parse_array_items(&mut self, stop: K) -> Vec<(Option<Expr>, Expr)> {
+    fn parse_array_items(&mut self, stop: K) -> ItemRange {
         let mut items = Vec::new();
         while !self.at(stop) && !self.is_eof() {
             let first = self.parse_expr();
@@ -1584,8 +1637,8 @@ impl Parser {
                 let by_ref = self.eat(K::Amp);
                 let mut v = self.parse_expr();
                 if by_ref {
-                    let s = v.span();
-                    v = Expr::Ref(Box::new(v), s);
+                    let s = self.arena.expr(v).span();
+                    v = self.expr(Expr::Ref(v, s));
                 }
                 items.push((Some(first), v));
             } else {
@@ -1595,21 +1648,21 @@ impl Parser {
                 break;
             }
         }
-        items
+        self.arena.alloc_items(items)
     }
 
-    fn parse_postfix(&mut self, mut e: Expr) -> Expr {
+    fn parse_postfix(&mut self, mut e: ExprId) -> ExprId {
         loop {
             match self.peek_kind() {
                 Some(K::OpenBracket) => {
                     let span = self.span();
                     self.bump();
                     if self.eat(K::CloseBracket) {
-                        e = Expr::Index(Box::new(e), None, span);
+                        e = self.expr(Expr::Index(e, None, span));
                     } else {
                         let idx = self.parse_expr();
                         self.expect(K::CloseBracket, "`]`");
-                        e = Expr::Index(Box::new(e), Some(Box::new(idx)), span);
+                        e = self.expr(Expr::Index(e, Some(idx), span));
                     }
                 }
                 Some(K::ObjectOperator) => {
@@ -1627,13 +1680,14 @@ impl Parser {
                         }
                         Some(K::Variable) => {
                             let t = self.bump().expect("var");
-                            Member::Dynamic(Box::new(Expr::Var(t.sym, Span::at(t.line))))
+                            let v = self.expr(Expr::Var(t.sym, Span::at(t.line)));
+                            Member::Dynamic(v)
                         }
                         Some(K::OpenBrace) => {
                             self.bump();
                             let inner = self.parse_expr();
                             self.expect(K::CloseBrace, "`}`");
-                            Member::Dynamic(Box::new(inner))
+                            Member::Dynamic(inner)
                         }
                         _ => {
                             self.error("expected member name after `->`");
@@ -1644,22 +1698,22 @@ impl Parser {
                         self.bump();
                         let args = self.parse_args();
                         self.expect(K::CloseParen, "`)`");
-                        e = Expr::Call {
+                        e = self.expr(Expr::Call {
                             callee: Callee::Method {
-                                base: Box::new(e),
+                                base: e,
                                 name: member,
                             },
                             args,
                             span,
-                        };
+                        });
                     } else {
-                        e = Expr::Prop(Box::new(e), member, span);
+                        e = self.expr(Expr::Prop(e, member, span));
                     }
                 }
                 Some(K::OpenParen) => {
                     // Dynamic call on an arbitrary expression: `$f()`,
                     // `$obj->cb()` handled above; here `$arr['k']()` etc.
-                    match &e {
+                    match self.arena.expr(e) {
                         Expr::Var(..)
                         | Expr::Index(..)
                         | Expr::Prop(..)
@@ -1669,28 +1723,28 @@ impl Parser {
                             self.bump();
                             let args = self.parse_args();
                             self.expect(K::CloseParen, "`)`");
-                            e = Expr::Call {
-                                callee: Callee::Dynamic(Box::new(e)),
+                            e = self.expr(Expr::Call {
+                                callee: Callee::Dynamic(e),
                                 args,
                                 span,
-                            };
+                            });
                         }
                         _ => break,
                     }
                 }
                 Some(K::Inc) | Some(K::Dec) => {
                     // Postfix inc/dec only applies to lvalue-ish expressions.
-                    match &e {
+                    match self.arena.expr(e) {
                         Expr::Var(..) | Expr::Index(..) | Expr::Prop(..) | Expr::StaticProp(..) => {
                             let span = self.span();
                             let increment = self.peek_kind() == Some(K::Inc);
                             self.bump();
-                            e = Expr::IncDec {
+                            e = self.expr(Expr::IncDec {
                                 prefix: false,
                                 increment,
-                                expr: Box::new(e),
+                                expr: e,
                                 span,
-                            };
+                            });
                         }
                         _ => break,
                     }
@@ -1702,7 +1756,7 @@ impl Parser {
     }
 
     /// Parses interpolation parts until the given end token kind.
-    fn parse_interp_parts(&mut self, end: K) -> Vec<InterpPart> {
+    fn parse_interp_parts(&mut self, end: K) -> InterpRange {
         let mut parts = Vec::new();
         loop {
             match self.peek_kind() {
@@ -1717,14 +1771,14 @@ impl Parser {
                 }
                 Some(K::Variable) => {
                     let t = self.bump().expect("var");
-                    let mut e = Expr::Var(t.sym, Span::at(t.line));
+                    let mut e = self.expr(Expr::Var(t.sym, Span::at(t.line)));
                     // simple-syntax suffix emitted by the lexer
                     if self.at(K::ObjectOperator) {
                         let span = self.span();
                         self.bump();
                         if self.at(K::Identifier) {
                             let m = self.bump().expect("id");
-                            e = Expr::Prop(Box::new(e), Member::Name(m.sym), span);
+                            e = self.expr(Expr::Prop(e, Member::Name(m.sym), span));
                         }
                     } else if self.at(K::OpenBracket) {
                         let span = self.span();
@@ -1732,22 +1786,23 @@ impl Parser {
                         let idx = match self.peek_kind() {
                             Some(K::Variable) => {
                                 let it = self.bump().expect("var");
-                                Some(Box::new(Expr::Var(it.sym, Span::at(it.line))))
+                                Some(self.expr(Expr::Var(it.sym, Span::at(it.line))))
                             }
                             Some(K::LNumber) => {
                                 let it = self.bump().expect("num");
-                                Some(Box::new(Expr::Lit(Lit::Int(it.text), span)))
+                                Some(self.expr(Expr::Lit(Lit::Int(it.text), span)))
                             }
                             Some(K::Identifier) => {
                                 let it = self.bump().expect("id");
                                 // The lexer may have captured quotes in a
                                 // sloppy `$a['k']` simple-syntax index.
-                                Some(Box::new(Expr::Lit(Lit::Str(strip_quotes(&it.text)), span)))
+                                let lit = Expr::Lit(Lit::Str(strip_quotes(&it.text)), span);
+                                Some(self.expr(lit))
                             }
                             _ => None,
                         };
                         self.eat(K::CloseBracket);
-                        e = Expr::Index(Box::new(e), idx, span);
+                        e = self.expr(Expr::Index(e, idx, span));
                     }
                     parts.push(InterpPart::Expr(e));
                 }
@@ -1762,12 +1817,13 @@ impl Parser {
                     let span = self.span();
                     let e = if self.at(K::Identifier) {
                         let t = self.bump().expect("id");
-                        Expr::Var(format!("${}", t.text).into(), Span::at(t.line))
+                        self.expr(Expr::Var(format!("${}", t.text).into(), Span::at(t.line)))
                     } else {
                         self.parse_expr()
                     };
                     self.eat(K::CloseBrace);
-                    parts.push(InterpPart::Expr(Expr::VarVar(Box::new(e), span)));
+                    let vv = self.expr(Expr::VarVar(e, span));
+                    parts.push(InterpPart::Expr(vv));
                 }
                 Some(_) => {
                     // Unexpected token inside interpolation — take it as text.
@@ -1776,7 +1832,7 @@ impl Parser {
                 }
             }
         }
-        parts
+        self.arena.alloc_interp(parts)
     }
 }
 

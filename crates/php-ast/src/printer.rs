@@ -2,42 +2,47 @@
 //!
 //! Used by the corpus round-trip tests (`parse(print(ast))` must be
 //! structurally equivalent) and for rendering data-flow traces in reports.
+//!
+//! Nodes live in an [`Arena`], so every entry point takes the arena the
+//! ids resolve against.
 
 use crate::ast::*;
 use std::fmt::Write;
 
 /// Renders a whole parsed file as PHP source (including `<?php` header).
 pub fn print_file(file: &ParsedFile) -> String {
-    let mut p = Printer::new();
+    let mut p = Printer::new(&file.arena);
     p.out.push_str("<?php\n");
-    for s in &file.stmts {
+    for &s in file.top_stmts() {
         p.stmt(s);
     }
     p.out
 }
 
 /// Renders a single expression as PHP source.
-pub fn print_expr(expr: &Expr) -> String {
-    let mut p = Printer::new();
+pub fn print_expr(a: &Arena, expr: ExprId) -> String {
+    let mut p = Printer::new(a);
     p.expr(expr);
     p.out
 }
 
 /// Renders a single statement as PHP source.
-pub fn print_stmt(stmt: &Stmt) -> String {
-    let mut p = Printer::new();
+pub fn print_stmt(a: &Arena, stmt: StmtId) -> String {
+    let mut p = Printer::new(a);
     p.stmt(stmt);
     p.out
 }
 
-struct Printer {
+struct Printer<'a> {
+    a: &'a Arena,
     out: String,
     indent: usize,
 }
 
-impl Printer {
-    fn new() -> Self {
+impl<'a> Printer<'a> {
+    fn new(a: &'a Arena) -> Self {
         Printer {
+            a,
             out: String::new(),
             indent: 0,
         }
@@ -55,28 +60,32 @@ impl Printer {
         self.out.push('\n');
     }
 
-    fn block(&mut self, body: &[Stmt]) {
-        self.out.push_str(" {\n");
-        self.indent += 1;
-        for s in body {
+    fn stmts(&mut self, body: StmtRange) {
+        for &s in self.a.stmt_list(body) {
             self.stmt(s);
         }
+    }
+
+    fn block(&mut self, body: StmtRange) {
+        self.out.push_str(" {\n");
+        self.indent += 1;
+        self.stmts(body);
         self.indent -= 1;
         self.pad();
         self.out.push_str("}\n");
     }
 
-    fn stmt(&mut self, stmt: &Stmt) {
-        match stmt {
-            Stmt::Expr(e) => {
+    fn stmt(&mut self, stmt: StmtId) {
+        match self.a.stmt(stmt) {
+            Stmt::Expr(e, _) => {
                 self.pad();
-                self.expr(e);
+                self.expr(*e);
                 self.out.push_str(";\n");
             }
             Stmt::Echo(es, _) => {
                 self.pad();
                 self.out.push_str("echo ");
-                for (i, e) in es.iter().enumerate() {
+                for (i, &e) in self.a.expr_list(*es).iter().enumerate() {
                     if i > 0 {
                         self.out.push_str(", ");
                     }
@@ -97,12 +106,13 @@ impl Printer {
                 otherwise,
                 ..
             } => {
+                let (cond, then, elseifs, otherwise) = (*cond, *then, *elseifs, *otherwise);
                 self.pad();
                 self.out.push_str("if (");
                 self.expr(cond);
                 self.out.push(')');
                 self.block_inline(then);
-                for (c, b) in elseifs {
+                for &(c, b) in self.a.elseifs(elseifs) {
                     self.pad();
                     self.out.push_str("elseif (");
                     self.expr(c);
@@ -116,6 +126,7 @@ impl Printer {
                 }
             }
             Stmt::While { cond, body, .. } => {
+                let (cond, body) = (*cond, *body);
                 self.pad();
                 self.out.push_str("while (");
                 self.expr(cond);
@@ -123,13 +134,12 @@ impl Printer {
                 self.block_inline(body);
             }
             Stmt::DoWhile { body, cond, .. } => {
+                let (body, cond) = (*body, *cond);
                 self.pad();
                 self.out.push_str("do");
                 self.out.push_str(" {\n");
                 self.indent += 1;
-                for s in body {
-                    self.stmt(s);
-                }
+                self.stmts(body);
                 self.indent -= 1;
                 self.pad();
                 self.out.push_str("} while (");
@@ -143,6 +153,7 @@ impl Printer {
                 body,
                 ..
             } => {
+                let (init, cond, step, body) = (*init, *cond, *step, *body);
                 self.pad();
                 self.out.push_str("for (");
                 self.expr_list(init);
@@ -161,6 +172,7 @@ impl Printer {
                 body,
                 ..
             } => {
+                let (subject, key, value, by_ref, body) = (*subject, *key, *value, *by_ref, *body);
                 self.pad();
                 self.out.push_str("foreach (");
                 self.expr(subject);
@@ -169,7 +181,7 @@ impl Printer {
                     self.expr(k);
                     self.out.push_str(" => ");
                 }
-                if *by_ref {
+                if by_ref {
                     self.out.push('&');
                 }
                 self.expr(value);
@@ -177,14 +189,15 @@ impl Printer {
                 self.block_inline(body);
             }
             Stmt::Switch { subject, cases, .. } => {
+                let (subject, cases) = (*subject, *cases);
                 self.pad();
                 self.out.push_str("switch (");
                 self.expr(subject);
                 self.out.push_str(") {\n");
                 self.indent += 1;
-                for c in cases {
+                for &c in self.a.cases(cases) {
                     self.pad();
-                    match &c.value {
+                    match c.value {
                         Some(v) => {
                             self.out.push_str("case ");
                             self.expr(v);
@@ -193,9 +206,7 @@ impl Printer {
                         None => self.out.push_str("default:\n"),
                     }
                     self.indent += 1;
-                    for s in &c.body {
-                        self.stmt(s);
-                    }
+                    self.stmts(c.body);
                     self.indent -= 1;
                 }
                 self.indent -= 1;
@@ -204,6 +215,7 @@ impl Printer {
             Stmt::Break(_) => self.line("break;"),
             Stmt::Continue(_) => self.line("continue;"),
             Stmt::Return(e, _) => {
+                let e = *e;
                 self.pad();
                 self.out.push_str("return");
                 if let Some(e) = e {
@@ -213,9 +225,10 @@ impl Printer {
                 self.out.push_str(";\n");
             }
             Stmt::Global(names, _) => {
+                let names = *names;
                 self.pad();
                 self.out.push_str("global ");
-                for (i, n) in names.iter().enumerate() {
+                for (i, n) in self.a.syms(names).iter().enumerate() {
                     if i > 0 {
                         self.out.push_str(", ");
                     }
@@ -224,9 +237,10 @@ impl Printer {
                 self.out.push_str(";\n");
             }
             Stmt::StaticVars(vars, _) => {
+                let vars = *vars;
                 self.pad();
                 self.out.push_str("static ");
-                for (i, (n, d)) in vars.iter().enumerate() {
+                for (i, &(n, d)) in self.a.static_vars(vars).iter().enumerate() {
                     if i > 0 {
                         self.out.push_str(", ");
                     }
@@ -239,12 +253,14 @@ impl Printer {
                 self.out.push_str(";\n");
             }
             Stmt::Unset(es, _) => {
+                let es = *es;
                 self.pad();
                 self.out.push_str("unset(");
                 self.expr_list(es);
                 self.out.push_str(");\n");
             }
             Stmt::Throw(e, _) => {
+                let e = *e;
                 self.pad();
                 self.out.push_str("throw ");
                 self.expr(e);
@@ -256,23 +272,20 @@ impl Printer {
                 finally,
                 ..
             } => {
+                let (body, catches, finally) = (*body, *catches, *finally);
                 self.pad();
                 self.out.push_str("try");
                 self.out.push_str(" {\n");
                 self.indent += 1;
-                for s in body {
-                    self.stmt(s);
-                }
+                self.stmts(body);
                 self.indent -= 1;
                 self.pad();
                 self.out.push('}');
-                for c in catches {
+                for &c in self.a.catches(catches) {
                     write!(self.out, " catch ({} {})", c.class, c.var).expect("write");
                     self.out.push_str(" {\n");
                     self.indent += 1;
-                    for s in &c.body {
-                        self.stmt(s);
-                    }
+                    self.stmts(c.body);
                     self.indent -= 1;
                     self.pad();
                     self.out.push('}');
@@ -280,9 +293,7 @@ impl Printer {
                 if let Some(f) = finally {
                     self.out.push_str(" finally {\n");
                     self.indent += 1;
-                    for s in f {
-                        self.stmt(s);
-                    }
+                    self.stmts(f);
                     self.indent -= 1;
                     self.pad();
                     self.out.push('}');
@@ -290,26 +301,32 @@ impl Printer {
                 self.out.push('\n');
             }
             Stmt::Block(body, _) => {
+                let body = *body;
                 self.pad();
                 self.out.push('{');
                 self.out.push('\n');
                 self.indent += 1;
-                for s in body {
-                    self.stmt(s);
-                }
+                self.stmts(body);
                 self.indent -= 1;
                 self.line("}");
             }
-            Stmt::Function(f) => self.function(f, None),
-            Stmt::Class(c) => self.class(c),
+            Stmt::Function(f) => {
+                let f = *f;
+                self.function(&f, None);
+            }
+            Stmt::Class(c) => {
+                let c = *c;
+                self.class(&c);
+            }
             Stmt::ConstDecl(cs, _) => {
+                let cs = *cs;
                 self.pad();
                 self.out.push_str("const ");
-                for (i, (n, e)) in cs.iter().enumerate() {
+                for (i, &(n, e)) in self.a.consts(cs).iter().enumerate() {
                     if i > 0 {
                         self.out.push_str(", ");
                     }
-                    self.out.push_str(n);
+                    self.out.push_str(n.as_str());
                     self.out.push_str(" = ");
                     self.expr(e);
                 }
@@ -320,7 +337,7 @@ impl Printer {
         }
     }
 
-    fn block_inline(&mut self, body: &[Stmt]) {
+    fn block_inline(&mut self, body: StmtRange) {
         self.block(body);
     }
 
@@ -348,22 +365,22 @@ impl Printer {
         }
         self.out.push_str(f.name.as_str());
         self.out.push('(');
-        self.params(&f.params);
+        self.params(f.params);
         self.out.push(')');
         if f.body.is_empty() && mods.map(|m| m.is_abstract).unwrap_or(false) {
             self.out.push_str(";\n");
         } else {
-            self.block(&f.body);
+            self.block(f.body);
         }
     }
 
-    fn params(&mut self, params: &[Param]) {
-        for (i, p) in params.iter().enumerate() {
+    fn params(&mut self, params: ParamRange) {
+        for (i, &p) in self.a.params(params).iter().enumerate() {
             if i > 0 {
                 self.out.push_str(", ");
             }
-            if let Some(h) = &p.type_hint {
-                self.out.push_str(h);
+            if let Some(h) = p.type_hint {
+                self.out.push_str(h.as_str());
                 self.out.push(' ');
             }
             if p.by_ref {
@@ -373,7 +390,7 @@ impl Printer {
                 self.out.push_str("...");
             }
             self.out.push_str(p.name.as_str());
-            if let Some(d) = &p.default {
+            if let Some(d) = p.default {
                 self.out.push_str(" = ");
                 self.expr(d);
             }
@@ -394,17 +411,17 @@ impl Printer {
             ClassKind::Trait => self.out.push_str("trait "),
         }
         self.out.push_str(c.name.as_str());
-        if let Some(p) = &c.parent {
+        if let Some(p) = c.parent {
             self.out.push_str(" extends ");
             self.out.push_str(p.as_str());
         }
         if !c.interfaces.is_empty() {
             self.out.push_str(" implements ");
-            self.out.push_str(&c.interfaces.join(", "));
+            self.sym_list(c.interfaces);
         }
         self.out.push_str(" {\n");
         self.indent += 1;
-        for m in &c.members {
+        for &m in self.a.members(c.members) {
             match m {
                 ClassMember::Property {
                     name,
@@ -428,11 +445,11 @@ impl Printer {
                     }
                     self.out.push_str(";\n");
                 }
-                ClassMember::Method(mods, f) => self.function(f, Some(mods)),
+                ClassMember::Method(mods, f) => self.function(&f, Some(&mods)),
                 ClassMember::Const { name, value, .. } => {
                     self.pad();
                     self.out.push_str("const ");
-                    self.out.push_str(name);
+                    self.out.push_str(name.as_str());
                     self.out.push_str(" = ");
                     self.expr(value);
                     self.out.push_str(";\n");
@@ -440,7 +457,7 @@ impl Printer {
                 ClassMember::UseTrait(names, _) => {
                     self.pad();
                     self.out.push_str("use ");
-                    self.out.push_str(&names.join(", "));
+                    self.sym_list(names);
                     self.out.push_str(";\n");
                 }
             }
@@ -449,8 +466,17 @@ impl Printer {
         self.line("}");
     }
 
-    fn expr_list(&mut self, es: &[Expr]) {
-        for (i, e) in es.iter().enumerate() {
+    fn sym_list(&mut self, names: SymRange) {
+        for (i, n) in self.a.syms(names).iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.out.push_str(n.as_str());
+        }
+    }
+
+    fn expr_list(&mut self, es: ExprRange) {
+        for (i, &e) in self.a.expr_list(es).iter().enumerate() {
             if i > 0 {
                 self.out.push_str(", ");
             }
@@ -458,7 +484,7 @@ impl Printer {
         }
     }
 
-    fn member(&mut self, m: &Member) {
+    fn member(&mut self, m: Member) {
         match m {
             Member::Name(n) => self.out.push_str(n.as_str()),
             Member::Dynamic(e) => {
@@ -469,10 +495,25 @@ impl Printer {
         }
     }
 
-    fn expr(&mut self, e: &Expr) {
-        match e {
+    fn args(&mut self, args: ArgRange, print_ref: bool) {
+        self.out.push('(');
+        for (i, &a) in self.a.args(args).iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            if print_ref && a.by_ref {
+                self.out.push('&');
+            }
+            self.expr(a.value);
+        }
+        self.out.push(')');
+    }
+
+    fn expr(&mut self, id: ExprId) {
+        match self.a.expr(id) {
             Expr::Var(n, _) => self.out.push_str(n.as_str()),
             Expr::VarVar(inner, _) => {
+                let inner = *inner;
                 self.out.push_str("${");
                 self.expr(inner);
                 self.out.push('}');
@@ -495,31 +536,15 @@ impl Printer {
                 Lit::Null => self.out.push_str("null"),
             },
             Expr::Interp(parts, _) => {
+                let parts = *parts;
                 self.out.push('"');
-                for p in parts {
-                    match p {
-                        InterpPart::Lit(s) => self.out.push_str(s),
-                        InterpPart::Expr(e) => {
-                            self.out.push('{');
-                            self.expr(e);
-                            self.out.push('}');
-                        }
-                    }
-                }
+                self.interp_parts(parts);
                 self.out.push('"');
             }
             Expr::ShellExec(parts, _) => {
+                let parts = *parts;
                 self.out.push('`');
-                for p in parts {
-                    match p {
-                        InterpPart::Lit(s) => self.out.push_str(s),
-                        InterpPart::Expr(e) => {
-                            self.out.push('{');
-                            self.expr(e);
-                            self.out.push('}');
-                        }
-                    }
-                }
+                self.interp_parts(parts);
                 self.out.push('`');
             }
             Expr::ConstFetch(n, _) => self.out.push_str(n.as_str()),
@@ -527,8 +552,9 @@ impl Printer {
                 write!(self.out, "{c}::{n}").expect("write");
             }
             Expr::ArrayLit(items, _) => {
+                let items = *items;
                 self.out.push_str("array(");
-                for (i, (k, v)) in items.iter().enumerate() {
+                for (i, &(k, v)) in self.a.items(items).iter().enumerate() {
                     if i > 0 {
                         self.out.push_str(", ");
                     }
@@ -541,6 +567,7 @@ impl Printer {
                 self.out.push(')');
             }
             Expr::Index(b, i, _) => {
+                let (b, i) = (*b, *i);
                 self.expr(b);
                 self.out.push('[');
                 if let Some(i) = i {
@@ -549,6 +576,7 @@ impl Printer {
                 self.out.push(']');
             }
             Expr::Prop(b, m, _) => {
+                let (b, m) = (*b, *m);
                 self.expr(b);
                 self.out.push_str("->");
                 self.member(m);
@@ -563,16 +591,18 @@ impl Printer {
                 by_ref,
                 ..
             } => {
+                let (target, op, value, by_ref) = (*target, *op, *value, *by_ref);
                 self.expr(target);
                 self.out.push(' ');
                 self.out.push_str(op.symbol());
-                if *by_ref {
+                if by_ref {
                     self.out.push('&');
                 }
                 self.out.push(' ');
                 self.expr(value);
             }
             Expr::Binary { op, lhs, rhs, .. } => {
+                let (op, lhs, rhs) = (*op, *lhs, *rhs);
                 self.out.push('(');
                 self.expr(lhs);
                 self.out.push(' ');
@@ -582,6 +612,7 @@ impl Printer {
                 self.out.push(')');
             }
             Expr::Unary { op, expr, .. } => {
+                let (op, expr) = (*op, *expr);
                 match op {
                     UnOp::Not => self.out.push('!'),
                     UnOp::Neg => self.out.push('-'),
@@ -596,8 +627,9 @@ impl Printer {
                 expr,
                 ..
             } => {
-                let sym = if *increment { "++" } else { "--" };
-                if *prefix {
+                let (prefix, increment, expr) = (*prefix, *increment, *expr);
+                let sym = if increment { "++" } else { "--" };
+                if prefix {
                     self.out.push_str(sym);
                     self.expr(expr);
                 } else {
@@ -606,6 +638,7 @@ impl Printer {
                 }
             }
             Expr::Call { callee, args, .. } => {
+                let (callee, args) = (*callee, *args);
                 match callee {
                     Callee::Function(n) => self.out.push_str(n.as_str()),
                     Callee::Dynamic(e) => self.expr(e),
@@ -620,34 +653,19 @@ impl Printer {
                         self.member(name);
                     }
                 }
-                self.out.push('(');
-                for (i, a) in args.iter().enumerate() {
-                    if i > 0 {
-                        self.out.push_str(", ");
-                    }
-                    if a.by_ref {
-                        self.out.push('&');
-                    }
-                    self.expr(&a.value);
-                }
-                self.out.push(')');
+                self.args(args, true);
             }
             Expr::New { class, args, .. } => {
+                let (class, args) = (*class, *args);
                 self.out.push_str("new ");
                 match class {
                     Member::Name(n) => self.out.push_str(n.as_str()),
                     Member::Dynamic(e) => self.expr(e),
                 }
-                self.out.push('(');
-                for (i, a) in args.iter().enumerate() {
-                    if i > 0 {
-                        self.out.push_str(", ");
-                    }
-                    self.expr(&a.value);
-                }
-                self.out.push(')');
+                self.args(args, false);
             }
             Expr::Clone(e, _) => {
+                let e = *e;
                 self.out.push_str("clone ");
                 self.expr(e);
             }
@@ -657,6 +675,7 @@ impl Printer {
                 otherwise,
                 ..
             } => {
+                let (cond, then, otherwise) = (*cond, *then, *otherwise);
                 self.out.push('(');
                 self.expr(cond);
                 self.out.push_str(" ? ");
@@ -668,28 +687,34 @@ impl Printer {
                 self.out.push(')');
             }
             Expr::Cast(k, e, _) => {
+                let (k, e) = (*k, *e);
                 self.out.push_str(k.symbol());
                 self.expr(e);
             }
             Expr::Isset(es, _) => {
+                let es = *es;
                 self.out.push_str("isset(");
                 self.expr_list(es);
                 self.out.push(')');
             }
             Expr::Empty(e, _) => {
+                let e = *e;
                 self.out.push_str("empty(");
                 self.expr(e);
                 self.out.push(')');
             }
             Expr::ErrorSuppress(e, _) => {
+                let e = *e;
                 self.out.push('@');
                 self.expr(e);
             }
             Expr::Print(e, _) => {
+                let e = *e;
                 self.out.push_str("print ");
                 self.expr(e);
             }
             Expr::Exit(e, _) => {
+                let e = *e;
                 self.out.push_str("exit(");
                 if let Some(e) = e {
                     self.expr(e);
@@ -697,18 +722,21 @@ impl Printer {
                 self.out.push(')');
             }
             Expr::Include(k, e, _) => {
+                let (k, e) = (*k, *e);
                 self.out.push_str(k.keyword());
                 self.out.push(' ');
                 self.expr(e);
             }
             Expr::Instanceof(e, c, _) => {
+                let (e, c) = (*e, *c);
                 self.expr(e);
                 self.out.push_str(" instanceof ");
                 self.out.push_str(c.as_str());
             }
             Expr::ListIntrinsic(items, _) => {
+                let items = *items;
                 self.out.push_str("list(");
-                for (i, it) in items.iter().enumerate() {
+                for (i, &it) in self.a.opt_exprs(items).iter().enumerate() {
                     if i > 0 {
                         self.out.push_str(", ");
                     }
@@ -721,16 +749,17 @@ impl Printer {
             Expr::Closure {
                 params, uses, body, ..
             } => {
+                let (params, uses, body) = (*params, *uses, *body);
                 self.out.push_str("function (");
                 self.params(params);
                 self.out.push(')');
                 if !uses.is_empty() {
                     self.out.push_str(" use (");
-                    for (i, (n, by_ref)) in uses.iter().enumerate() {
+                    for (i, &(n, by_ref)) in self.a.uses(uses).iter().enumerate() {
                         if i > 0 {
                             self.out.push_str(", ");
                         }
-                        if *by_ref {
+                        if by_ref {
                             self.out.push('&');
                         }
                         self.out.push_str(n.as_str());
@@ -739,18 +768,31 @@ impl Printer {
                 }
                 self.out.push_str(" {\n");
                 self.indent += 1;
-                for s in body {
-                    self.stmt(s);
-                }
+                self.stmts(body);
                 self.indent -= 1;
                 self.pad();
                 self.out.push('}');
             }
             Expr::Ref(e, _) => {
+                let e = *e;
                 self.out.push('&');
                 self.expr(e);
             }
             Expr::Error(_) => self.out.push_str("/* error */null"),
+        }
+    }
+
+    fn interp_parts(&mut self, parts: InterpRange) {
+        let a = self.a;
+        for p in a.interp(parts) {
+            match p {
+                InterpPart::Lit(s) => self.out.push_str(s),
+                InterpPart::Expr(e) => {
+                    self.out.push('{');
+                    self.expr(*e);
+                    self.out.push('}');
+                }
+            }
         }
     }
 }
@@ -822,9 +864,9 @@ mod tests {
     #[test]
     fn print_expr_renders_calls() {
         let f = parse("<?php foo($_GET['x'], 2);");
-        let Stmt::Expr(e) = &f.stmts[0] else {
+        let Stmt::Expr(e, _) = f.stmt(f.top_stmts()[0]) else {
             panic!("expected expr stmt")
         };
-        assert_eq!(print_expr(e), "foo($_GET['x'], 2)");
+        assert_eq!(print_expr(&f.arena, *e), "foo($_GET['x'], 2)");
     }
 }

@@ -1,5 +1,8 @@
 //! A depth-first visitor over the AST, used by symbol collection and the
 //! baseline analyzers.
+//!
+//! Nodes are arena handles, so every hook takes the [`Arena`] the ids
+//! resolve against alongside the node.
 
 use crate::ast::*;
 
@@ -7,42 +10,50 @@ use crate::ast::*;
 /// call the corresponding `walk_*` function to recurse into children.
 pub trait Visitor {
     /// Called for every expression (before children).
-    fn visit_expr(&mut self, expr: &Expr) {
-        walk_expr(self, expr);
+    fn visit_expr(&mut self, a: &Arena, expr: ExprId) {
+        walk_expr(self, a, expr);
     }
 
     /// Called for every statement (before children).
-    fn visit_stmt(&mut self, stmt: &Stmt) {
-        walk_stmt(self, stmt);
+    fn visit_stmt(&mut self, a: &Arena, stmt: StmtId) {
+        walk_stmt(self, a, stmt);
     }
 
     /// Called for every named function declaration (including methods).
-    fn visit_function(&mut self, func: &FunctionDecl) {
-        walk_function(self, func);
+    fn visit_function(&mut self, a: &Arena, func: &FunctionDecl) {
+        walk_function(self, a, func);
     }
 
     /// Called for every class declaration.
-    fn visit_class(&mut self, class: &ClassDecl) {
-        walk_class(self, class);
+    fn visit_class(&mut self, a: &Arena, class: &ClassDecl) {
+        walk_class(self, a, class);
     }
 }
 
 /// Visits every statement of a parsed file.
 pub fn walk_file<V: Visitor + ?Sized>(v: &mut V, file: &ParsedFile) {
-    for s in &file.stmts {
-        v.visit_stmt(s);
+    for &s in file.top_stmts() {
+        v.visit_stmt(&file.arena, s);
+    }
+}
+
+fn visit_stmts<V: Visitor + ?Sized>(v: &mut V, a: &Arena, body: StmtRange) {
+    for &s in a.stmt_list(body) {
+        v.visit_stmt(a, s);
+    }
+}
+
+fn visit_exprs<V: Visitor + ?Sized>(v: &mut V, a: &Arena, es: ExprRange) {
+    for &e in a.expr_list(es) {
+        v.visit_expr(a, e);
     }
 }
 
 /// Recurses into the children of `stmt`.
-pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt) {
-    match stmt {
-        Stmt::Expr(e) => v.visit_expr(e),
-        Stmt::Echo(es, _) => {
-            for e in es {
-                v.visit_expr(e);
-            }
-        }
+pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, a: &Arena, stmt: StmtId) {
+    match a.stmt(stmt) {
+        Stmt::Expr(e, _) => v.visit_expr(a, *e),
+        Stmt::Echo(es, _) => visit_exprs(v, a, *es),
         Stmt::InlineHtml(..)
         | Stmt::Break(_)
         | Stmt::Continue(_)
@@ -56,33 +67,23 @@ pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt) {
             otherwise,
             ..
         } => {
-            v.visit_expr(cond);
-            for s in then {
-                v.visit_stmt(s);
-            }
-            for (c, b) in elseifs {
-                v.visit_expr(c);
-                for s in b {
-                    v.visit_stmt(s);
-                }
+            v.visit_expr(a, *cond);
+            visit_stmts(v, a, *then);
+            for &(c, b) in a.elseifs(*elseifs) {
+                v.visit_expr(a, c);
+                visit_stmts(v, a, b);
             }
             if let Some(b) = otherwise {
-                for s in b {
-                    v.visit_stmt(s);
-                }
+                visit_stmts(v, a, *b);
             }
         }
         Stmt::While { cond, body, .. } => {
-            v.visit_expr(cond);
-            for s in body {
-                v.visit_stmt(s);
-            }
+            v.visit_expr(a, *cond);
+            visit_stmts(v, a, *body);
         }
         Stmt::DoWhile { body, cond, .. } => {
-            for s in body {
-                v.visit_stmt(s);
-            }
-            v.visit_expr(cond);
+            visit_stmts(v, a, *body);
+            v.visit_expr(a, *cond);
         }
         Stmt::For {
             init,
@@ -91,12 +92,10 @@ pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt) {
             body,
             ..
         } => {
-            for e in init.iter().chain(cond).chain(step) {
-                v.visit_expr(e);
-            }
-            for s in body {
-                v.visit_stmt(s);
-            }
+            visit_exprs(v, a, *init);
+            visit_exprs(v, a, *cond);
+            visit_exprs(v, a, *step);
+            visit_stmts(v, a, *body);
         }
         Stmt::Foreach {
             subject,
@@ -105,82 +104,64 @@ pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt) {
             body,
             ..
         } => {
-            v.visit_expr(subject);
+            v.visit_expr(a, *subject);
             if let Some(k) = key {
-                v.visit_expr(k);
+                v.visit_expr(a, *k);
             }
-            v.visit_expr(value);
-            for s in body {
-                v.visit_stmt(s);
-            }
+            v.visit_expr(a, *value);
+            visit_stmts(v, a, *body);
         }
         Stmt::Switch { subject, cases, .. } => {
-            v.visit_expr(subject);
-            for c in cases {
-                if let Some(val) = &c.value {
-                    v.visit_expr(val);
+            v.visit_expr(a, *subject);
+            for &c in a.cases(*cases) {
+                if let Some(val) = c.value {
+                    v.visit_expr(a, val);
                 }
-                for s in &c.body {
-                    v.visit_stmt(s);
-                }
+                visit_stmts(v, a, c.body);
             }
         }
         Stmt::Return(e, _) => {
             if let Some(e) = e {
-                v.visit_expr(e);
+                v.visit_expr(a, *e);
             }
         }
         Stmt::StaticVars(vars, _) => {
-            for (_, d) in vars {
+            for &(_, d) in a.static_vars(*vars) {
                 if let Some(d) = d {
-                    v.visit_expr(d);
+                    v.visit_expr(a, d);
                 }
             }
         }
-        Stmt::Unset(es, _) => {
-            for e in es {
-                v.visit_expr(e);
-            }
-        }
-        Stmt::Throw(e, _) => v.visit_expr(e),
+        Stmt::Unset(es, _) => visit_exprs(v, a, *es),
+        Stmt::Throw(e, _) => v.visit_expr(a, *e),
         Stmt::Try {
             body,
             catches,
             finally,
             ..
         } => {
-            for s in body {
-                v.visit_stmt(s);
-            }
-            for c in catches {
-                for s in &c.body {
-                    v.visit_stmt(s);
-                }
+            visit_stmts(v, a, *body);
+            for &c in a.catches(*catches) {
+                visit_stmts(v, a, c.body);
             }
             if let Some(f) = finally {
-                for s in f {
-                    v.visit_stmt(s);
-                }
+                visit_stmts(v, a, *f);
             }
         }
-        Stmt::Block(body, _) => {
-            for s in body {
-                v.visit_stmt(s);
-            }
-        }
-        Stmt::Function(f) => v.visit_function(f),
-        Stmt::Class(c) => v.visit_class(c),
+        Stmt::Block(body, _) => visit_stmts(v, a, *body),
+        Stmt::Function(f) => v.visit_function(a, f),
+        Stmt::Class(c) => v.visit_class(a, c),
         Stmt::ConstDecl(cs, _) => {
-            for (_, e) in cs {
-                v.visit_expr(e);
+            for &(_, e) in a.consts(*cs) {
+                v.visit_expr(a, e);
             }
         }
     }
 }
 
 /// Recurses into the children of `expr`.
-pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, expr: &Expr) {
-    match expr {
+pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, a: &Arena, expr: ExprId) {
+    match a.expr(expr) {
         Expr::Var(..)
         | Expr::Lit(..)
         | Expr::ConstFetch(..)
@@ -195,69 +176,69 @@ pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, expr: &Expr) {
         | Expr::Print(e, _)
         | Expr::Include(_, e, _)
         | Expr::Instanceof(e, _, _)
-        | Expr::Ref(e, _) => v.visit_expr(e),
+        | Expr::Ref(e, _) => v.visit_expr(a, *e),
         Expr::Interp(parts, _) | Expr::ShellExec(parts, _) => {
-            for p in parts {
+            for p in a.interp(*parts) {
                 if let InterpPart::Expr(e) = p {
-                    v.visit_expr(e);
+                    v.visit_expr(a, *e);
                 }
             }
         }
         Expr::ArrayLit(items, _) => {
-            for (k, val) in items {
+            for &(k, val) in a.items(*items) {
                 if let Some(k) = k {
-                    v.visit_expr(k);
+                    v.visit_expr(a, k);
                 }
-                v.visit_expr(val);
+                v.visit_expr(a, val);
             }
         }
         Expr::Index(base, idx, _) => {
-            v.visit_expr(base);
+            v.visit_expr(a, *base);
             if let Some(i) = idx {
-                v.visit_expr(i);
+                v.visit_expr(a, *i);
             }
         }
         Expr::Prop(base, member, _) => {
-            v.visit_expr(base);
+            v.visit_expr(a, *base);
             if let Member::Dynamic(e) = member {
-                v.visit_expr(e);
+                v.visit_expr(a, *e);
             }
         }
         Expr::Assign { target, value, .. } => {
-            v.visit_expr(target);
-            v.visit_expr(value);
+            v.visit_expr(a, *target);
+            v.visit_expr(a, *value);
         }
         Expr::Binary { lhs, rhs, .. } => {
-            v.visit_expr(lhs);
-            v.visit_expr(rhs);
+            v.visit_expr(a, *lhs);
+            v.visit_expr(a, *rhs);
         }
-        Expr::Unary { expr, .. } | Expr::IncDec { expr, .. } => v.visit_expr(expr),
+        Expr::Unary { expr, .. } | Expr::IncDec { expr, .. } => v.visit_expr(a, *expr),
         Expr::Call { callee, args, .. } => {
             match callee {
                 Callee::Function(_) => {}
-                Callee::Dynamic(e) => v.visit_expr(e),
+                Callee::Dynamic(e) => v.visit_expr(a, *e),
                 Callee::Method { base, name } => {
-                    v.visit_expr(base);
+                    v.visit_expr(a, *base);
                     if let Member::Dynamic(e) = name {
-                        v.visit_expr(e);
+                        v.visit_expr(a, *e);
                     }
                 }
                 Callee::StaticMethod { name, .. } => {
                     if let Member::Dynamic(e) = name {
-                        v.visit_expr(e);
+                        v.visit_expr(a, *e);
                     }
                 }
             }
-            for a in args {
-                v.visit_expr(&a.value);
+            for &arg in a.args(*args) {
+                v.visit_expr(a, arg.value);
             }
         }
         Expr::New { class, args, .. } => {
             if let Member::Dynamic(e) = class {
-                v.visit_expr(e);
+                v.visit_expr(a, *e);
             }
-            for a in args {
-                v.visit_expr(&a.value);
+            for &arg in a.args(*args) {
+                v.visit_expr(a, arg.value);
             }
         }
         Expr::Ternary {
@@ -266,63 +247,55 @@ pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, expr: &Expr) {
             otherwise,
             ..
         } => {
-            v.visit_expr(cond);
+            v.visit_expr(a, *cond);
             if let Some(t) = then {
-                v.visit_expr(t);
+                v.visit_expr(a, *t);
             }
-            v.visit_expr(otherwise);
+            v.visit_expr(a, *otherwise);
         }
-        Expr::Isset(es, _) => {
-            for e in es {
-                v.visit_expr(e);
-            }
-        }
+        Expr::Isset(es, _) => visit_exprs(v, a, *es),
         Expr::Exit(e, _) => {
             if let Some(e) = e {
-                v.visit_expr(e);
+                v.visit_expr(a, *e);
             }
         }
         Expr::ListIntrinsic(items, _) => {
-            for e in items.iter().flatten() {
-                v.visit_expr(e);
+            for e in a.opt_exprs(*items).iter().flatten() {
+                v.visit_expr(a, *e);
             }
         }
         Expr::Closure { params, body, .. } => {
-            for p in params {
-                if let Some(d) = &p.default {
-                    v.visit_expr(d);
+            for p in a.params(*params) {
+                if let Some(d) = p.default {
+                    v.visit_expr(a, d);
                 }
             }
-            for s in body {
-                v.visit_stmt(s);
-            }
+            visit_stmts(v, a, *body);
         }
     }
 }
 
 /// Recurses into the children of a function declaration.
-pub fn walk_function<V: Visitor + ?Sized>(v: &mut V, func: &FunctionDecl) {
-    for p in &func.params {
-        if let Some(d) = &p.default {
-            v.visit_expr(d);
+pub fn walk_function<V: Visitor + ?Sized>(v: &mut V, a: &Arena, func: &FunctionDecl) {
+    for p in a.params(func.params) {
+        if let Some(d) = p.default {
+            v.visit_expr(a, d);
         }
     }
-    for s in &func.body {
-        v.visit_stmt(s);
-    }
+    visit_stmts(v, a, func.body);
 }
 
 /// Recurses into the children of a class declaration.
-pub fn walk_class<V: Visitor + ?Sized>(v: &mut V, class: &ClassDecl) {
-    for m in &class.members {
+pub fn walk_class<V: Visitor + ?Sized>(v: &mut V, a: &Arena, class: &ClassDecl) {
+    for m in a.members(class.members) {
         match m {
             ClassMember::Property { default, .. } => {
                 if let Some(d) = default {
-                    v.visit_expr(d);
+                    v.visit_expr(a, *d);
                 }
             }
-            ClassMember::Method(_, f) => v.visit_function(f),
-            ClassMember::Const { value, .. } => v.visit_expr(value),
+            ClassMember::Method(_, f) => v.visit_function(a, f),
+            ClassMember::Const { value, .. } => v.visit_expr(a, *value),
             ClassMember::UseTrait(..) => {}
         }
     }
@@ -341,21 +314,21 @@ mod tests {
     }
 
     impl Visitor for Counter {
-        fn visit_expr(&mut self, expr: &Expr) {
-            match expr {
+        fn visit_expr(&mut self, a: &Arena, expr: ExprId) {
+            match a.expr(expr) {
                 Expr::Var(..) => self.vars += 1,
                 Expr::Call { .. } => self.calls += 1,
                 _ => {}
             }
-            walk_expr(self, expr);
+            walk_expr(self, a, expr);
         }
-        fn visit_function(&mut self, f: &FunctionDecl) {
+        fn visit_function(&mut self, a: &Arena, f: &FunctionDecl) {
             self.functions += 1;
-            walk_function(self, f);
+            walk_function(self, a, f);
         }
-        fn visit_class(&mut self, c: &ClassDecl) {
+        fn visit_class(&mut self, a: &Arena, c: &ClassDecl) {
             self.classes += 1;
-            walk_class(self, c);
+            walk_class(self, a, c);
         }
     }
 

@@ -9,40 +9,47 @@ fn parse_clean(src: &str) -> ParsedFile {
     f
 }
 
-fn first_expr(src: &str) -> Expr {
+/// Parses and returns the file plus the id of the first expression
+/// statement (nodes only mean something next to their arena).
+fn first_expr(src: &str) -> (ParsedFile, ExprId) {
     let f = parse_clean(src);
-    for s in f.stmts {
-        if let Stmt::Expr(e) = s {
-            return e;
+    for &s in f.top_stmts() {
+        if let Stmt::Expr(e, _) = f.stmt(s) {
+            let e = *e;
+            return (f, e);
         }
     }
     panic!("no expression statement in {src:?}");
 }
 
+fn top(f: &ParsedFile, i: usize) -> &Stmt {
+    f.stmt(f.top_stmts()[i])
+}
+
 #[test]
 fn assignment_chain_is_right_associative() {
-    let e = first_expr("<?php $a = $b = 1;");
-    let Expr::Assign { target, value, .. } = e else {
+    let (f, e) = first_expr("<?php $a = $b = 1;");
+    let Expr::Assign { target, value, .. } = f.expr(e) else {
         panic!("expected assign");
     };
-    assert_eq!(target.as_var_name(), Some("$a"));
-    assert!(matches!(*value, Expr::Assign { .. }));
+    assert_eq!(f.expr(*target).as_var_name(), Some("$a"));
+    assert!(matches!(f.expr(*value), Expr::Assign { .. }));
 }
 
 #[test]
 fn concat_assignment() {
-    let e = first_expr("<?php $out .= $row;");
-    let Expr::Assign { op, .. } = e else {
+    let (f, e) = first_expr("<?php $out .= $row;");
+    let Expr::Assign { op, .. } = f.expr(e) else {
         panic!("expected assign");
     };
-    assert_eq!(op, AssignOp::ConcatAssign);
+    assert_eq!(*op, AssignOp::ConcatAssign);
     assert!(op.reads_target());
 }
 
 #[test]
 fn reference_assignment() {
-    let e = first_expr("<?php $a =& $b;");
-    let Expr::Assign { by_ref, .. } = e else {
+    let (f, e) = first_expr("<?php $a =& $b;");
+    let Expr::Assign { by_ref, .. } = f.expr(e) else {
         panic!("expected assign");
     };
     assert!(by_ref);
@@ -51,16 +58,16 @@ fn reference_assignment() {
 #[test]
 fn precedence_concat_binds_tighter_than_comparison() {
     // $a . $b == $c parses as ($a . $b) == $c
-    let e = first_expr("<?php $x = $a . $b == $c;");
-    let Expr::Assign { value, .. } = e else {
+    let (f, e) = first_expr("<?php $x = $a . $b == $c;");
+    let Expr::Assign { value, .. } = f.expr(e) else {
         panic!()
     };
-    let Expr::Binary { op, lhs, .. } = *value else {
+    let Expr::Binary { op, lhs, .. } = f.expr(*value) else {
         panic!("expected binary")
     };
-    assert_eq!(op, BinOp::Eq);
+    assert_eq!(*op, BinOp::Eq);
     assert!(matches!(
-        *lhs,
+        f.expr(*lhs),
         Expr::Binary {
             op: BinOp::Concat,
             ..
@@ -70,152 +77,155 @@ fn precedence_concat_binds_tighter_than_comparison() {
 
 #[test]
 fn precedence_mul_over_add() {
-    let e = first_expr("<?php $x = 1 + 2 * 3;");
-    let Expr::Assign { value, .. } = e else {
+    let (f, e) = first_expr("<?php $x = 1 + 2 * 3;");
+    let Expr::Assign { value, .. } = f.expr(e) else {
         panic!()
     };
-    let Expr::Binary { op, rhs, .. } = *value else {
+    let Expr::Binary { op, rhs, .. } = f.expr(*value) else {
         panic!()
     };
-    assert_eq!(op, BinOp::Add);
-    assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    assert_eq!(*op, BinOp::Add);
+    assert!(matches!(f.expr(*rhs), Expr::Binary { op: BinOp::Mul, .. }));
 }
 
 #[test]
 fn logical_and_or_keywords_bind_loosest() {
     // `$a = $b or die()` assigns $b to $a, then ors.
-    let e = first_expr("<?php $a = $b or exit();");
-    assert!(matches!(e, Expr::Binary { op: BinOp::Or, .. }));
+    let (f, e) = first_expr("<?php $a = $b or exit();");
+    assert!(matches!(f.expr(e), Expr::Binary { op: BinOp::Or, .. }));
 }
 
 #[test]
 fn ternary_and_short_ternary() {
-    let e = first_expr("<?php $x = $c ? 'a' : 'b';");
-    let Expr::Assign { value, .. } = e else {
+    let (f, e) = first_expr("<?php $x = $c ? 'a' : 'b';");
+    let Expr::Assign { value, .. } = f.expr(e) else {
         panic!()
     };
-    assert!(matches!(*value, Expr::Ternary { then: Some(_), .. }));
+    assert!(matches!(
+        f.expr(*value),
+        Expr::Ternary { then: Some(_), .. }
+    ));
 
-    let e = first_expr("<?php $x = $c ?: 'b';");
-    let Expr::Assign { value, .. } = e else {
+    let (f, e) = first_expr("<?php $x = $c ?: 'b';");
+    let Expr::Assign { value, .. } = f.expr(e) else {
         panic!()
     };
-    assert!(matches!(*value, Expr::Ternary { then: None, .. }));
+    assert!(matches!(f.expr(*value), Expr::Ternary { then: None, .. }));
 }
 
 #[test]
 fn superglobal_index_access() {
-    let e = first_expr("<?php $id = $_GET['id'];");
-    let Expr::Assign { value, .. } = e else {
+    let (f, e) = first_expr("<?php $id = $_GET['id'];");
+    let Expr::Assign { value, .. } = f.expr(e) else {
         panic!()
     };
-    let Expr::Index(base, idx, _) = *value else {
+    let Expr::Index(base, idx, _) = f.expr(*value) else {
         panic!("expected index")
     };
-    assert_eq!(base.as_var_name(), Some("$_GET"));
+    assert_eq!(f.expr(*base).as_var_name(), Some("$_GET"));
     assert!(matches!(
-        idx.as_deref(),
+        idx.map(|i| f.expr(i)),
         Some(Expr::Lit(Lit::Str(s), _)) if s == "id"
     ));
 }
 
 #[test]
 fn array_push_syntax() {
-    let e = first_expr("<?php $a[] = 1;");
-    let Expr::Assign { target, .. } = e else {
+    let (f, e) = first_expr("<?php $a[] = 1;");
+    let Expr::Assign { target, .. } = f.expr(e) else {
         panic!()
     };
-    assert!(matches!(*target, Expr::Index(_, None, _)));
+    assert!(matches!(f.expr(*target), Expr::Index(_, None, _)));
 }
 
 #[test]
 fn method_call_on_object() {
-    let e = first_expr("<?php $wpdb->get_results($sql);");
-    let Expr::Call { callee, args, .. } = e else {
+    let (f, e) = first_expr("<?php $wpdb->get_results($sql);");
+    let Expr::Call { callee, args, .. } = f.expr(e) else {
         panic!("expected call")
     };
     let Callee::Method { base, name } = callee else {
         panic!("expected method callee")
     };
-    assert_eq!(base.as_var_name(), Some("$wpdb"));
+    assert_eq!(f.expr(*base).as_var_name(), Some("$wpdb"));
     assert_eq!(name.as_name(), Some("get_results"));
-    assert_eq!(args.len(), 1);
+    assert_eq!(f.args(*args).len(), 1);
 }
 
 #[test]
 fn chained_method_calls() {
-    let e = first_expr("<?php $a->b()->c();");
-    let Expr::Call { callee, .. } = e else {
+    let (f, e) = first_expr("<?php $a->b()->c();");
+    let Expr::Call { callee, .. } = f.expr(e) else {
         panic!()
     };
     let Callee::Method { base, name } = callee else {
         panic!()
     };
     assert_eq!(name.as_name(), Some("c"));
-    assert!(matches!(*base, Expr::Call { .. }));
+    assert!(matches!(f.expr(*base), Expr::Call { .. }));
 }
 
 #[test]
 fn property_access_and_assignment() {
-    let e = first_expr("<?php $this->db = $wpdb;");
-    let Expr::Assign { target, .. } = e else {
+    let (f, e) = first_expr("<?php $this->db = $wpdb;");
+    let Expr::Assign { target, .. } = f.expr(e) else {
         panic!()
     };
-    let Expr::Prop(base, member, _) = *target else {
+    let Expr::Prop(base, member, _) = f.expr(*target) else {
         panic!()
     };
-    assert_eq!(base.as_var_name(), Some("$this"));
+    assert_eq!(f.expr(*base).as_var_name(), Some("$this"));
     assert_eq!(member.as_name(), Some("db"));
 }
 
 #[test]
 fn static_method_and_const_and_prop() {
-    let e = first_expr("<?php Cache::get('k');");
+    let (f, e) = first_expr("<?php Cache::get('k');");
     assert!(matches!(
-        e,
+        f.expr(e),
         Expr::Call {
             callee: Callee::StaticMethod { .. },
             ..
         }
     ));
-    let e = first_expr("<?php $v = Config::VERSION;");
-    let Expr::Assign { value, .. } = e else {
+    let (f, e) = first_expr("<?php $v = Config::VERSION;");
+    let Expr::Assign { value, .. } = f.expr(e) else {
         panic!()
     };
-    assert!(matches!(*value, Expr::ClassConst(..)));
-    let e = first_expr("<?php $v = Registry::$items;");
-    let Expr::Assign { value, .. } = e else {
+    assert!(matches!(f.expr(*value), Expr::ClassConst(..)));
+    let (f, e) = first_expr("<?php $v = Registry::$items;");
+    let Expr::Assign { value, .. } = f.expr(e) else {
         panic!()
     };
-    assert!(matches!(*value, Expr::StaticProp(..)));
+    assert!(matches!(f.expr(*value), Expr::StaticProp(..)));
 }
 
 #[test]
 fn new_with_and_without_args() {
-    let e = first_expr("<?php $o = new Widget($x);");
-    let Expr::Assign { value, .. } = e else {
+    let (f, e) = first_expr("<?php $o = new Widget($x);");
+    let Expr::Assign { value, .. } = f.expr(e) else {
         panic!()
     };
-    let Expr::New { class, args, .. } = *value else {
+    let Expr::New { class, args, .. } = f.expr(*value) else {
         panic!()
     };
     assert_eq!(class.as_name(), Some("Widget"));
-    assert_eq!(args.len(), 1);
+    assert_eq!(f.args(*args).len(), 1);
 
-    let e = first_expr("<?php $o = new Widget;");
-    let Expr::Assign { value, .. } = e else {
+    let (f, e) = first_expr("<?php $o = new Widget;");
+    let Expr::Assign { value, .. } = f.expr(e) else {
         panic!()
     };
-    assert!(matches!(*value, Expr::New { .. }));
+    assert!(matches!(f.expr(*value), Expr::New { .. }));
 }
 
 #[test]
 fn new_dynamic_class() {
-    let e = first_expr("<?php $o = new $cls();");
-    let Expr::Assign { value, .. } = e else {
+    let (f, e) = first_expr("<?php $o = new $cls();");
+    let Expr::Assign { value, .. } = f.expr(e) else {
         panic!()
     };
-    let Expr::New { class, .. } = *value else {
+    let Expr::New { class, .. } = f.expr(*value) else {
         panic!()
     };
     assert!(matches!(class, Member::Dynamic(_)));
@@ -223,14 +233,15 @@ fn new_dynamic_class() {
 
 #[test]
 fn interpolated_string_parts() {
-    let e = first_expr(r#"<?php $q = "SELECT * FROM {$wpdb->prefix}sml WHERE id = $id";"#);
-    let Expr::Assign { value, .. } = e else {
+    let (f, e) = first_expr(r#"<?php $q = "SELECT * FROM {$wpdb->prefix}sml WHERE id = $id";"#);
+    let Expr::Assign { value, .. } = f.expr(e) else {
         panic!()
     };
-    let Expr::Interp(parts, _) = *value else {
-        panic!("expected interp, got {value:?}")
+    let Expr::Interp(parts, _) = f.expr(*value) else {
+        panic!("expected interp")
     };
-    let exprs: Vec<_> = parts
+    let exprs: Vec<_> = f
+        .interp(*parts)
         .iter()
         .filter(|p| matches!(p, InterpPart::Expr(_)))
         .collect();
@@ -239,24 +250,25 @@ fn interpolated_string_parts() {
 
 #[test]
 fn heredoc_becomes_interp() {
-    let e = first_expr("<?php $h = <<<EOT\nHello $name\nEOT;\n");
-    let Expr::Assign { value, .. } = e else {
+    let (f, e) = first_expr("<?php $h = <<<EOT\nHello $name\nEOT;\n");
+    let Expr::Assign { value, .. } = f.expr(e) else {
         panic!()
     };
-    assert!(matches!(*value, Expr::Interp(..)));
+    assert!(matches!(f.expr(*value), Expr::Interp(..)));
 }
 
 #[test]
 fn function_declaration_with_defaults_and_refs() {
     let f = parse_clean("<?php function f($a, &$b, $c = 'x', array $d = array()) {}");
-    let Stmt::Function(func) = &f.stmts[0] else {
+    let Stmt::Function(func) = top(&f, 0) else {
         panic!()
     };
     assert_eq!(func.name, "f");
-    assert_eq!(func.params.len(), 4);
-    assert!(func.params[1].by_ref);
-    assert!(func.params[2].default.is_some());
-    assert_eq!(func.params[3].type_hint.as_deref(), Some("array"));
+    let params = f.params(func.params);
+    assert_eq!(params.len(), 4);
+    assert!(params[1].by_ref);
+    assert!(params[2].default.is_some());
+    assert_eq!(params[3].type_hint.map(|h| h.as_str()), Some("array"));
 }
 
 #[test]
@@ -271,16 +283,15 @@ fn class_with_members() {
             abstract public function run();
         }",
     );
-    let Stmt::Class(c) = &f.stmts[0] else {
-        panic!()
-    };
+    let Stmt::Class(c) = top(&f, 0) else { panic!() };
     assert_eq!(c.name, "Base");
     assert!(c.is_abstract);
     assert_eq!(c.parent.map(|p| p.as_str()), Some("Root"));
-    assert_eq!(c.interfaces, vec!["A".to_string(), "B".to_string()]);
-    assert_eq!(c.members.len(), 5);
-    assert!(c.method("helper").is_some());
-    assert!(c.method("run").is_some());
+    let ifaces: Vec<&str> = f.syms(c.interfaces).iter().map(|s| s.as_str()).collect();
+    assert_eq!(ifaces, ["A", "B"]);
+    assert_eq!(f.members(c.members).len(), 5);
+    assert!(c.method(&f, "helper").is_some());
+    assert!(c.method(&f, "run").is_some());
 }
 
 #[test]
@@ -291,39 +302,43 @@ fn trait_and_interface_declarations() {
         trait Loggable { public function log($m) { echo $m; } }
         class Page implements Renderable { use Loggable; public function render() {} }",
     );
-    assert_eq!(f.stmts.len(), 3);
-    let Stmt::Class(page) = &f.stmts[2] else {
+    assert_eq!(f.top_stmts().len(), 3);
+    let Stmt::Class(page) = top(&f, 2) else {
         panic!()
     };
-    assert!(page
-        .members
-        .iter()
-        .any(|m| matches!(m, ClassMember::UseTrait(ts, _) if ts == &vec!["Loggable".to_string()])));
+    assert!(f.members(page.members).iter().any(|m| matches!(
+        m,
+        ClassMember::UseTrait(ts, _)
+            if f.syms(*ts).iter().map(|s| s.as_str()).eq(["Loggable"])
+    )));
 }
 
 #[test]
 fn global_statement() {
     let f = parse_clean("<?php function f() { global $wpdb, $table; }");
-    let Stmt::Function(func) = &f.stmts[0] else {
+    let Stmt::Function(func) = top(&f, 0) else {
         panic!()
     };
+    let body = f.stmt_list(func.body);
     assert!(matches!(
-        &func.body[0],
-        Stmt::Global(names, _) if names == &vec!["$wpdb".to_string(), "$table".to_string()]
+        f.stmt(body[0]),
+        Stmt::Global(names, _)
+            if f.syms(*names).iter().map(|s| s.as_str()).eq(["$wpdb", "$table"])
     ));
 }
 
 #[test]
 fn static_vars_vs_static_call() {
     let f = parse_clean("<?php function f() { static $n = 0; $n++; }");
-    let Stmt::Function(func) = &f.stmts[0] else {
+    let Stmt::Function(func) = top(&f, 0) else {
         panic!()
     };
-    assert!(matches!(&func.body[0], Stmt::StaticVars(..)));
+    let body = f.stmt_list(func.body);
+    assert!(matches!(f.stmt(body[0]), Stmt::StaticVars(..)));
 
-    let e = first_expr("<?php static::helper();");
+    let (f, e) = first_expr("<?php static::helper();");
     assert!(matches!(
-        e,
+        f.expr(e),
         Expr::Call {
             callee: Callee::StaticMethod { .. },
             ..
@@ -334,15 +349,15 @@ fn static_vars_vs_static_call() {
 #[test]
 fn unset_and_isset_and_empty() {
     let f = parse_clean("<?php unset($a, $b['k']);");
-    assert!(matches!(&f.stmts[0], Stmt::Unset(es, _) if es.len() == 2));
-    let e = first_expr("<?php $x = isset($_GET['a']) && !empty($_GET['a']);");
-    assert!(matches!(e, Expr::Assign { .. }));
+    assert!(matches!(top(&f, 0), Stmt::Unset(es, _) if es.len() == 2));
+    let (f, e) = first_expr("<?php $x = isset($_GET['a']) && !empty($_GET['a']);");
+    assert!(matches!(f.expr(e), Expr::Assign { .. }));
 }
 
 #[test]
 fn foreach_with_key_and_ref() {
     let f = parse_clean("<?php foreach ($rows as $k => &$v) { $v = 1; }");
-    let Stmt::Foreach { key, by_ref, .. } = &f.stmts[0] else {
+    let Stmt::Foreach { key, by_ref, .. } = top(&f, 0) else {
         panic!()
     };
     assert!(key.is_some());
@@ -357,10 +372,10 @@ fn alternative_syntax_blocks() {
          foreach ($r as $v): echo $v; endforeach;
          for ($i = 0; $i < 3; $i++): echo $i; endfor;",
     );
-    assert!(f.stmts.len() >= 4);
+    assert!(f.top_stmts().len() >= 4);
     let Stmt::If {
         elseifs, otherwise, ..
-    } = &f.stmts[0]
+    } = top(&f, 0)
     else {
         panic!()
     };
@@ -374,76 +389,87 @@ fn html_interleaving_inside_if() {
     let f = parse_clean(src);
     let Stmt::If {
         then, otherwise, ..
-    } = &f.stmts[0]
+    } = top(&f, 0)
     else {
-        panic!("got {:?}", f.stmts)
+        panic!("got {:?}", f.top_stmts())
     };
-    assert!(matches!(&then[0], Stmt::InlineHtml(h, _) if h == "<b>yes</b>"));
+    let then_stmts = f.stmt_list(*then);
+    assert!(matches!(f.stmt(then_stmts[0]), Stmt::InlineHtml(h, _) if h == "<b>yes</b>"));
     assert!(otherwise.is_some());
 }
 
 #[test]
 fn echo_short_tag() {
     let f = parse_clean("<?= $_GET['x'] ?>");
-    assert!(matches!(&f.stmts[0], Stmt::Echo(es, _) if es.len() == 1));
+    assert!(matches!(top(&f, 0), Stmt::Echo(es, _) if es.len() == 1));
 }
 
 #[test]
 fn include_require_expressions() {
     let f = parse_clean("<?php require_once 'lib.php'; include dirname(__FILE__) . '/x.php';");
-    let Stmt::Expr(Expr::Include(k1, ..)) = &f.stmts[0] else {
+    let Stmt::Expr(e0, _) = top(&f, 0) else {
+        panic!()
+    };
+    let Expr::Include(k1, ..) = f.expr(*e0) else {
         panic!()
     };
     assert_eq!(*k1, IncludeKind::RequireOnce);
+    let Stmt::Expr(e1, _) = top(&f, 1) else {
+        panic!()
+    };
     assert!(matches!(
-        &f.stmts[1],
-        Stmt::Expr(Expr::Include(IncludeKind::Include, ..))
+        f.expr(*e1),
+        Expr::Include(IncludeKind::Include, ..)
     ));
 }
 
 #[test]
 fn closures_with_use() {
-    let e = first_expr("<?php add_action('init', function () use ($self) { $self->run(); });");
-    let Expr::Call { args, .. } = e else { panic!() };
+    let (f, e) = first_expr("<?php add_action('init', function () use ($self) { $self->run(); });");
+    let Expr::Call { args, .. } = f.expr(e) else {
+        panic!()
+    };
+    let arg1 = f.args(*args)[1];
     assert!(matches!(
-        &args[1].value,
+        f.expr(arg1.value),
         Expr::Closure { uses, .. } if uses.len() == 1
     ));
 }
 
 #[test]
 fn list_assignment() {
-    let e = first_expr("<?php list($a, , $b) = $parts;");
-    let Expr::Assign { target, .. } = e else {
+    let (f, e) = first_expr("<?php list($a, , $b) = $parts;");
+    let Expr::Assign { target, .. } = f.expr(e) else {
         panic!()
     };
-    let Expr::ListIntrinsic(items, _) = *target else {
+    let Expr::ListIntrinsic(items, _) = f.expr(*target) else {
         panic!()
     };
+    let items = f.opt_exprs(*items);
     assert_eq!(items.len(), 3);
     assert!(items[1].is_none());
 }
 
 #[test]
 fn casts_parse() {
-    let e = first_expr("<?php $n = (int)$_GET['n'];");
-    let Expr::Assign { value, .. } = e else {
+    let (f, e) = first_expr("<?php $n = (int)$_GET['n'];");
+    let Expr::Assign { value, .. } = f.expr(e) else {
         panic!()
     };
-    assert!(matches!(*value, Expr::Cast(CastKind::Int, ..)));
+    assert!(matches!(f.expr(*value), Expr::Cast(CastKind::Int, ..)));
 }
 
 #[test]
 fn error_suppression_and_exit() {
-    let e = first_expr("<?php @mysql_query($q) or die('fail');");
-    assert!(matches!(e, Expr::Binary { op: BinOp::Or, .. }));
+    let (f, e) = first_expr("<?php @mysql_query($q) or die('fail');");
+    assert!(matches!(f.expr(e), Expr::Binary { op: BinOp::Or, .. }));
 }
 
 #[test]
 fn keyword_method_names() {
     // PHP permits keywords after `->`
-    let e = first_expr("<?php $obj->list();");
-    let Expr::Call { callee, .. } = e else {
+    let (f, e) = first_expr("<?php $obj->list();");
+    let Expr::Call { callee, .. } = f.expr(e) else {
         panic!()
     };
     let Callee::Method { name, .. } = callee else {
@@ -454,11 +480,11 @@ fn keyword_method_names() {
 
 #[test]
 fn dynamic_property_and_method() {
-    let e = first_expr("<?php $o->$field;");
-    assert!(matches!(e, Expr::Prop(_, Member::Dynamic(_), _)));
-    let e = first_expr("<?php $o->$m($x);");
+    let (f, e) = first_expr("<?php $o->$field;");
+    assert!(matches!(f.expr(e), Expr::Prop(_, Member::Dynamic(_), _)));
+    let (f, e) = first_expr("<?php $o->$m($x);");
     assert!(matches!(
-        e,
+        f.expr(e),
         Expr::Call {
             callee: Callee::Method {
                 name: Member::Dynamic(_),
@@ -471,9 +497,9 @@ fn dynamic_property_and_method() {
 
 #[test]
 fn variable_function_call() {
-    let e = first_expr("<?php $cb($x);");
+    let (f, e) = first_expr("<?php $cb($x);");
     assert!(matches!(
-        e,
+        f.expr(e),
         Expr::Call {
             callee: Callee::Dynamic(_),
             ..
@@ -488,10 +514,11 @@ fn try_catch_finally() {
     );
     let Stmt::Try {
         catches, finally, ..
-    } = &f.stmts[0]
+    } = top(&f, 0)
     else {
         panic!()
     };
+    let catches = f.catches(*catches);
     assert_eq!(catches.len(), 1);
     assert_eq!(catches[0].class, "Exception");
     assert!(finally.is_some());
@@ -502,9 +529,10 @@ fn switch_with_cases() {
     let f = parse_clean(
         "<?php switch ($a) { case 'x': echo 1; break; case 'y': case 'z': echo 2; break; default: echo 3; }",
     );
-    let Stmt::Switch { cases, .. } = &f.stmts[0] else {
+    let Stmt::Switch { cases, .. } = top(&f, 0) else {
         panic!()
     };
+    let cases = f.cases(*cases);
     assert_eq!(cases.len(), 4);
     assert!(cases[3].value.is_none());
 }
@@ -514,36 +542,43 @@ fn error_recovery_keeps_going() {
     let f = parse("<?php $a = ; echo 'still here';");
     assert!(!f.is_clean());
     // The echo after the error must still be parsed.
-    assert!(f.stmts.iter().any(|s| matches!(s, Stmt::Echo(..))));
+    assert!(f
+        .top_stmts()
+        .iter()
+        .any(|&s| matches!(f.stmt(s), Stmt::Echo(..))));
 }
 
 #[test]
 fn error_recovery_in_class_body() {
     let f = parse("<?php class C { ??? public function ok() {} }");
     assert!(!f.is_clean());
-    let class = f.stmts.iter().find_map(|s| match s {
+    let class = f.top_stmts().iter().find_map(|&s| match f.stmt(s) {
         Stmt::Class(c) => Some(c),
         _ => None,
     });
-    assert!(class.expect("class survives").method("ok").is_some());
+    assert!(class.expect("class survives").method(&f, "ok").is_some());
 }
 
 #[test]
 fn namespaces_are_tolerated() {
     let f = parse_clean("<?php namespace My\\Plugin; use WP\\DB as D; $x = 1;");
-    assert!(f.stmts.iter().any(|s| matches!(s, Stmt::Expr(_))));
+    assert!(f
+        .top_stmts()
+        .iter()
+        .any(|&s| matches!(f.stmt(s), Stmt::Expr(..))));
 }
 
 #[test]
 fn magic_constants() {
-    let e = first_expr("<?php $p = dirname(__FILE__);");
-    let Expr::Assign { value, .. } = e else {
+    let (f, e) = first_expr("<?php $p = dirname(__FILE__);");
+    let Expr::Assign { value, .. } = f.expr(e) else {
         panic!()
     };
-    let Expr::Call { args, .. } = *value else {
+    let Expr::Call { args, .. } = f.expr(*value) else {
         panic!()
     };
-    assert!(matches!(&args[0].value, Expr::ConstFetch(n, _) if n == "__FILE__"));
+    let arg0 = f.args(*args)[0];
+    assert!(matches!(f.expr(arg0.value), Expr::ConstFetch(n, _) if *n == "__FILE__"));
 }
 
 #[test]
@@ -556,12 +591,14 @@ foreach ($results as $row) {
 }
 "#;
     let f = parse_clean(src);
-    assert_eq!(f.stmts.len(), 2);
-    let Stmt::Foreach { body, .. } = &f.stmts[1] else {
+    assert_eq!(f.top_stmts().len(), 2);
+    let Stmt::Foreach { body, .. } = top(&f, 1) else {
         panic!()
     };
-    let Stmt::Echo(es, _) = &body[0] else {
+    let body = f.stmt_list(*body);
+    let Stmt::Echo(es, _) = f.stmt(body[0]) else {
         panic!()
     };
-    assert!(matches!(&es[0], Expr::Prop(..)));
+    let first = f.expr_list(*es)[0];
+    assert!(matches!(f.expr(first), Expr::Prop(..)));
 }

@@ -64,8 +64,8 @@ proptest! {
     fn spans_in_range(src in php_soup()) {
         let f = parse(&src);
         let max_line = src.lines().count().max(1) as u32 + 1;
-        for s in &f.stmts {
-            let sp = s.span();
+        for &s in f.top_stmts() {
+            let sp = f.stmt(s).span();
             prop_assert!(sp.line >= 1 && sp.line <= max_line);
         }
     }

@@ -6,15 +6,23 @@
 //! in his web browser, executing the attack (which we confirmed in an
 //! experiment)"). Unsupported constructs degrade to `null` plus a recorded
 //! warning rather than failing, and all loops/steps are bounded.
+//!
+//! AST nodes are arena handles: every walk carries the [`ParsedFile`]
+//! (shared via `Arc`) whose arena the ids resolve against. Calls into
+//! user-defined callables switch to the declaring file's arena.
 
 use crate::value::{ArrayKey, ClosureValue, Object, PhpArray, Value};
 use php_ast::{
-    Arg, AssignOp, BinOp, Callee, Expr, FunctionDecl, IncludeKind, InterpPart, Lit, Member,
-    ParsedFile, Stmt, UnOp,
+    ArgRange, AssignOp, BinOp, Callee, Expr, ExprId, FunctionDecl, IncludeKind, InterpPart, Lit,
+    Member, ParsedFile, Stmt, StmtId, StmtRange,
 };
 use phpsafe::symbols::SymbolTable;
 use phpsafe::PluginProject;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// A shared parsed file; derefs to its [`Arena`] for node lookups.
+type Ast = Arc<ParsedFile>;
 
 /// Attacker-input configuration for a run.
 #[derive(Debug, Clone)]
@@ -110,7 +118,7 @@ struct Frame {
 /// [`Executor::run_project`] or [`Executor::run_file`].
 pub struct Executor<'p> {
     project: &'p PluginProject,
-    parsed: HashMap<String, ParsedFile>,
+    parsed: HashMap<String, Ast>,
     symbols: SymbolTable,
     pub(crate) cfg: ExecConfig,
     pub(crate) output: String,
@@ -130,10 +138,10 @@ pub struct Executor<'p> {
 impl<'p> Executor<'p> {
     /// Parses the project and prepares an executor.
     pub fn new(project: &'p PluginProject, cfg: ExecConfig) -> Self {
-        let parsed: HashMap<String, ParsedFile> = project
+        let parsed: HashMap<String, Ast> = project
             .files()
             .iter()
-            .map(|f| (f.path.clone(), php_ast::parse(&f.content)))
+            .map(|f| (f.path.clone(), Arc::new(php_ast::parse(&f.content))))
             .collect();
         let symbols = SymbolTable::build(parsed.iter().map(|(p, a)| (p.as_str(), a)));
         Executor {
@@ -205,7 +213,7 @@ impl<'p> Executor<'p> {
             is_global: true,
             ..Frame::default()
         };
-        self.exec_stmts(&ast.stmts, &mut frame);
+        self.exec_stmts(&ast, ast.top, &mut frame);
     }
 
     /// Simulates the CMS: invoke registered hook callbacks, then every
@@ -222,17 +230,17 @@ impl<'p> Executor<'p> {
             match r {
                 phpsafe::symbols::FnRef::Function(name) => {
                     if let Some(info) = self.symbols.function(&name) {
-                        let decl = info.decl.clone();
+                        let (decl, ast) = (info.decl, Arc::clone(&info.ast));
                         let args = self.probe_args(&decl);
-                        self.call_user_function(&decl, args, None);
+                        self.call_user_function(&ast, &decl, args, None);
                     }
                 }
                 phpsafe::symbols::FnRef::Method(class, name) => {
-                    if let Some((_, decl)) = self.symbols.method(&class, &name) {
-                        let decl = decl.clone();
+                    if let Some((cinfo, decl)) = self.symbols.method(&class, &name) {
+                        let (decl, ast) = (*decl, Arc::clone(&cinfo.ast));
                         let args = self.probe_args(&decl);
                         let this = Object::new(&class);
-                        self.call_user_function(&decl, args, Some(this));
+                        self.call_user_function(&ast, &decl, args, Some(this));
                     }
                 }
             }
@@ -245,18 +253,15 @@ impl<'p> Executor<'p> {
     /// Hook/uncalled parameters: empty strings (hook args are usually
     /// trusted CMS data; the interesting inputs are superglobals/DB).
     fn probe_args(&self, decl: &FunctionDecl) -> Vec<Value> {
-        decl.params
-            .iter()
-            .map(|_| Value::Str(String::new()))
-            .collect()
+        vec![Value::Str(String::new()); decl.params.len()]
     }
 
     fn invoke_callable(&mut self, cb: Value, args: Vec<Value>) -> Value {
         match cb {
             Value::Str(name) => {
                 if let Some(info) = self.symbols.function(&name) {
-                    let decl = info.decl.clone();
-                    return self.call_user_function(&decl, args, None);
+                    let (decl, ast) = (info.decl, Arc::clone(&info.ast));
+                    return self.call_user_function(&ast, &decl, args, None);
                 }
                 Value::Null
             }
@@ -265,11 +270,11 @@ impl<'p> Executor<'p> {
                 for (name, v) in &c.captured {
                     frame.vars.insert(name.clone(), v.clone());
                 }
-                for (i, p) in c.params.iter().enumerate() {
+                for (i, p) in c.ast.params(c.params).iter().enumerate() {
                     let v = args.get(i).cloned().unwrap_or(Value::Null);
                     frame.vars.insert(p.name.to_string(), v);
                 }
-                match self.exec_stmts(&c.body, &mut frame) {
+                match self.exec_stmts(&c.ast, c.body, &mut frame) {
                     Flow::Return(v) => v,
                     _ => Value::Null,
                 }
@@ -294,9 +299,9 @@ impl<'p> Executor<'p> {
 
     // ================= statements =================
 
-    fn exec_stmts(&mut self, stmts: &[Stmt], f: &mut Frame) -> Flow {
-        for s in stmts {
-            match self.exec_stmt(s, f) {
+    fn exec_stmts(&mut self, a: &Ast, stmts: StmtRange, f: &mut Frame) -> Flow {
+        for &s in a.stmt_list(stmts) {
+            match self.exec_stmt(a, s, f) {
                 Flow::Normal => {}
                 other => return other,
             }
@@ -304,18 +309,18 @@ impl<'p> Executor<'p> {
         Flow::Normal
     }
 
-    fn exec_stmt(&mut self, stmt: &Stmt, f: &mut Frame) -> Flow {
+    fn exec_stmt(&mut self, a: &Ast, stmt: StmtId, f: &mut Frame) -> Flow {
         if self.halted || !self.tick() {
             return Flow::Exit;
         }
-        match stmt {
-            Stmt::Expr(e) => match self.eval(e, f) {
+        match a.stmt(stmt) {
+            Stmt::Expr(e, _) => match self.eval(a, *e, f) {
                 EvalResult::Value(_) => Flow::Normal,
                 EvalResult::Exit => Flow::Exit,
             },
             Stmt::Echo(es, _) => {
-                for e in es {
-                    match self.eval(e, f) {
+                for &e in a.expr_list(*es) {
+                    match self.eval(a, e, f) {
                         EvalResult::Value(v) => {
                             let s = v.to_php_string();
                             self.output.push_str(&s);
@@ -336,28 +341,29 @@ impl<'p> Executor<'p> {
                 otherwise,
                 ..
             } => {
-                if self.eval_value(cond, f).truthy() {
-                    return self.exec_stmts(then, f);
+                if self.eval_value(a, *cond, f).truthy() {
+                    return self.exec_stmts(a, *then, f);
                 }
-                for (c, body) in elseifs {
-                    if self.eval_value(c, f).truthy() {
-                        return self.exec_stmts(body, f);
+                for &(c, body) in a.elseifs(*elseifs) {
+                    if self.eval_value(a, c, f).truthy() {
+                        return self.exec_stmts(a, body, f);
                     }
                 }
                 if let Some(body) = otherwise {
-                    return self.exec_stmts(body, f);
+                    return self.exec_stmts(a, *body, f);
                 }
                 Flow::Normal
             }
             Stmt::While { cond, body, .. } => {
+                let (cond, body) = (*cond, *body);
                 let mut iters = 0;
-                while self.eval_value(cond, f).truthy() {
+                while self.eval_value(a, cond, f).truthy() {
                     iters += 1;
                     if iters > self.cfg.loop_limit || self.exhausted {
                         self.warn("loop cap reached");
                         break;
                     }
-                    match self.exec_stmts(body, f) {
+                    match self.exec_stmts(a, body, f) {
                         Flow::Break => break,
                         Flow::Continue | Flow::Normal => {}
                         other => return other,
@@ -366,18 +372,19 @@ impl<'p> Executor<'p> {
                 Flow::Normal
             }
             Stmt::DoWhile { body, cond, .. } => {
+                let (body, cond) = (*body, *cond);
                 let mut iters = 0;
                 loop {
                     iters += 1;
                     if iters > self.cfg.loop_limit || self.exhausted {
                         break;
                     }
-                    match self.exec_stmts(body, f) {
+                    match self.exec_stmts(a, body, f) {
                         Flow::Break => break,
                         Flow::Continue | Flow::Normal => {}
                         other => return other,
                     }
-                    if !self.eval_value(cond, f).truthy() {
+                    if !self.eval_value(a, cond, f).truthy() {
                         break;
                     }
                 }
@@ -390,12 +397,17 @@ impl<'p> Executor<'p> {
                 body,
                 ..
             } => {
-                for e in init {
-                    self.eval_value(e, f);
+                let (init, cond, step, body) = (*init, *cond, *step, *body);
+                for &e in a.expr_list(init) {
+                    self.eval_value(a, e, f);
                 }
                 let mut iters = 0;
                 loop {
-                    let go = cond.iter().all(|c| self.eval_value(c, f).truthy());
+                    let go = a
+                        .expr_list(cond)
+                        .to_vec()
+                        .iter()
+                        .all(|&c| self.eval_value(a, c, f).truthy());
                     if !go {
                         break;
                     }
@@ -404,13 +416,13 @@ impl<'p> Executor<'p> {
                         self.warn("for cap reached");
                         break;
                     }
-                    match self.exec_stmts(body, f) {
+                    match self.exec_stmts(a, body, f) {
                         Flow::Break => break,
                         Flow::Continue | Flow::Normal => {}
                         other => return other,
                     }
-                    for e in step {
-                        self.eval_value(e, f);
+                    for &e in a.expr_list(step) {
+                        self.eval_value(a, e, f);
                     }
                 }
                 Flow::Normal
@@ -422,9 +434,10 @@ impl<'p> Executor<'p> {
                 body,
                 ..
             } => {
-                let subj = self.eval_value(subject, f);
+                let (subject, key, value, body) = (*subject, *key, *value, *body);
+                let subj = self.eval_value(a, subject, f);
                 let pairs: Vec<(Value, Value)> = match subj {
-                    Value::Array(a) => a
+                    Value::Array(arr) => arr
                         .iter()
                         .map(|(k, v)| {
                             (
@@ -445,10 +458,10 @@ impl<'p> Executor<'p> {
                         break;
                     }
                     if let Some(ke) = key {
-                        self.assign_to(ke, k, f);
+                        self.assign_to(a, ke, k, f);
                     }
-                    self.assign_to(value, v, f);
-                    match self.exec_stmts(body, f) {
+                    self.assign_to(a, value, v, f);
+                    match self.exec_stmts(a, body, f) {
                         Flow::Break => break,
                         Flow::Continue | Flow::Normal => {}
                         other => return other,
@@ -457,13 +470,15 @@ impl<'p> Executor<'p> {
                 Flow::Normal
             }
             Stmt::Switch { subject, cases, .. } => {
-                let v = self.eval_value(subject, f);
+                let (subject, cases) = (*subject, *cases);
+                let v = self.eval_value(a, subject, f);
                 let mut matched = false;
-                for c in cases {
+                for i in 0..a.cases(cases).len() {
+                    let c = a.cases(cases)[i];
                     if !matched {
-                        match &c.value {
+                        match c.value {
                             Some(val) => {
-                                let cv = self.eval_value(val, f);
+                                let cv = self.eval_value(a, val, f);
                                 if v.loose_eq(&cv) {
                                     matched = true;
                                 }
@@ -472,7 +487,7 @@ impl<'p> Executor<'p> {
                         }
                     }
                     if matched {
-                        match self.exec_stmts(&c.body, f) {
+                        match self.exec_stmts(a, c.body, f) {
                             Flow::Break => return Flow::Normal,
                             Flow::Normal => {} // fallthrough
                             other => return other,
@@ -485,21 +500,21 @@ impl<'p> Executor<'p> {
             Stmt::Continue(_) => Flow::Continue,
             Stmt::Return(e, _) => {
                 let v = match e {
-                    Some(e) => self.eval_value(e, f),
+                    Some(e) => self.eval_value(a, *e, f),
                     None => Value::Null,
                 };
                 Flow::Return(v)
             }
             Stmt::Global(names, _) => {
-                for n in names {
+                for &n in a.syms(*names) {
                     f.globals_decl.insert(n.to_string());
                 }
                 Flow::Normal
             }
             Stmt::StaticVars(vars, _) => {
-                for (name, default) in vars {
+                for &(name, default) in a.static_vars(*vars) {
                     let v = match default {
-                        Some(d) => self.eval_value(d, f),
+                        Some(d) => self.eval_value(a, d, f),
                         None => Value::Null,
                     };
                     f.vars.entry(name.to_string()).or_insert(v);
@@ -507,8 +522,8 @@ impl<'p> Executor<'p> {
                 Flow::Normal
             }
             Stmt::Unset(es, _) => {
-                for e in es {
-                    if let Expr::Var(name, _) = e {
+                for &e in a.expr_list(*es) {
+                    if let Expr::Var(name, _) = a.expr(e) {
                         f.vars.remove(name.as_str());
                         if f.is_global {
                             self.globals.remove(name.as_str());
@@ -518,7 +533,7 @@ impl<'p> Executor<'p> {
                 Flow::Normal
             }
             Stmt::Throw(e, _) => {
-                self.eval_value(e, f);
+                self.eval_value(a, *e, f);
                 // No exception machinery: treat as end of this body.
                 Flow::Return(Value::Null)
             }
@@ -528,13 +543,14 @@ impl<'p> Executor<'p> {
                 finally,
                 ..
             } => {
-                let flow = self.exec_stmts(body, f);
+                let (body, finally) = (*body, *finally);
+                let flow = self.exec_stmts(a, body, f);
                 if let Some(fin) = finally {
-                    self.exec_stmts(fin, f);
+                    self.exec_stmts(a, fin, f);
                 }
                 flow
             }
-            Stmt::Block(body, _) => self.exec_stmts(body, f),
+            Stmt::Block(body, _) => self.exec_stmts(a, *body, f),
             Stmt::Function(_)
             | Stmt::Class(_)
             | Stmt::ConstDecl(..)
@@ -545,18 +561,18 @@ impl<'p> Executor<'p> {
 
     // ================= expressions =================
 
-    fn eval_value(&mut self, e: &Expr, f: &mut Frame) -> Value {
-        match self.eval(e, f) {
+    fn eval_value(&mut self, a: &Ast, e: ExprId, f: &mut Frame) -> Value {
+        match self.eval(a, e, f) {
             EvalResult::Value(v) => v,
             EvalResult::Exit => Value::Null,
         }
     }
 
-    fn eval(&mut self, e: &Expr, f: &mut Frame) -> EvalResult {
+    fn eval(&mut self, a: &Ast, e: ExprId, f: &mut Frame) -> EvalResult {
         if !self.tick() {
             return EvalResult::Exit;
         }
-        let v = match e {
+        let v = match a.expr(e) {
             Expr::Var(name, _) => self.read_var(name.as_str(), f),
             Expr::VarVar(..) => Value::Null,
             Expr::Lit(l, _) => match l {
@@ -567,12 +583,13 @@ impl<'p> Executor<'p> {
                 Lit::Null => Value::Null,
             },
             Expr::Interp(parts, _) => {
+                let parts = *parts;
                 let mut out = String::new();
-                for p in parts {
-                    match p {
-                        InterpPart::Lit(s) => out.push_str(&unescape_dq(s)),
+                for i in 0..parts.len() {
+                    match a.interp(parts)[i].clone() {
+                        InterpPart::Lit(s) => out.push_str(&unescape_dq(&s)),
                         InterpPart::Expr(pe) => {
-                            out.push_str(&self.eval_value(pe, f).to_php_string())
+                            out.push_str(&self.eval_value(a, pe, f).to_php_string())
                         }
                     }
                 }
@@ -586,31 +603,33 @@ impl<'p> Executor<'p> {
             },
             Expr::ClassConst(..) => Value::Null,
             Expr::ArrayLit(items, _) => {
-                let mut a = PhpArray::new();
-                for (k, val) in items {
-                    let v = self.eval_value(val, f);
+                let items = *items;
+                let mut arr = PhpArray::new();
+                for &(k, val) in a.items(items).to_vec().iter() {
+                    let v = self.eval_value(a, val, f);
                     match k {
                         Some(ke) => {
-                            let kv = self.eval_value(ke, f);
-                            a.set(ArrayKey::from_value(&kv), v);
+                            let kv = self.eval_value(a, ke, f);
+                            arr.set(ArrayKey::from_value(&kv), v);
                         }
-                        None => a.push(v),
+                        None => arr.push(v),
                     }
                 }
-                Value::Array(a)
+                Value::Array(arr)
             }
             Expr::Index(base, idx, _) => {
-                let b = self.eval_value(base, f);
+                let (base, idx) = (*base, *idx);
+                let b = self.eval_value(a, base, f);
                 match (b, idx) {
-                    (Value::Array(a), Some(i)) => {
-                        let k = self.eval_value(i, f);
-                        a.get(&ArrayKey::from_value(&k))
+                    (Value::Array(arr), Some(i)) => {
+                        let k = self.eval_value(a, i, f);
+                        arr.get(&ArrayKey::from_value(&k))
                             .cloned()
                             .unwrap_or(Value::Null)
                     }
                     (Value::Probe(p), _) => Value::Probe(p),
                     (Value::Str(s), Some(i)) => {
-                        let k = self.eval_value(i, f).to_number() as usize;
+                        let k = self.eval_value(a, i, f).to_number() as usize;
                         s.chars()
                             .nth(k)
                             .map(|c| Value::Str(c.to_string()))
@@ -620,10 +639,11 @@ impl<'p> Executor<'p> {
                 }
             }
             Expr::Prop(base, member, _) => {
-                let b = self.eval_value(base, f);
+                let (base, member) = (*base, *member);
+                let b = self.eval_value(a, base, f);
                 let name = match member {
                     Member::Name(n) => n.to_string(),
-                    Member::Dynamic(e) => self.eval_value(e, f).to_php_string(),
+                    Member::Dynamic(e) => self.eval_value(a, e, f).to_php_string(),
                 };
                 match b {
                     Value::Object(o) => {
@@ -649,48 +669,51 @@ impl<'p> Executor<'p> {
             Expr::Assign {
                 target, op, value, ..
             } => {
-                let rhs = self.eval_value(value, f);
-                let newv = if *op == AssignOp::Assign {
+                let (target, op, value) = (*target, *op, *value);
+                let rhs = self.eval_value(a, value, f);
+                let newv = if op == AssignOp::Assign {
                     rhs
                 } else {
-                    let old = self.eval_value(target, f);
-                    apply_compound(*op, &old, &rhs)
+                    let old = self.eval_value(a, target, f);
+                    apply_compound(op, &old, &rhs)
                 };
-                self.assign_to(target, newv.clone(), f);
+                self.assign_to(a, target, newv.clone(), f);
                 newv
             }
             Expr::Binary { op, lhs, rhs, .. } => {
+                let (op, lhs, rhs) = (*op, *lhs, *rhs);
                 // Short-circuit logicals.
                 match op {
                     BinOp::And => {
-                        let l = self.eval_value(lhs, f);
+                        let l = self.eval_value(a, lhs, f);
                         if !l.truthy() {
                             return EvalResult::Value(Value::Bool(false));
                         }
-                        let r = self.eval_value(rhs, f);
+                        let r = self.eval_value(a, rhs, f);
                         return EvalResult::Value(Value::Bool(r.truthy()));
                     }
                     BinOp::Or => {
-                        let l = self.eval_value(lhs, f);
+                        let l = self.eval_value(a, lhs, f);
                         if l.truthy() {
                             return EvalResult::Value(Value::Bool(true));
                         }
-                        let r = self.eval_value(rhs, f);
+                        let r = self.eval_value(a, rhs, f);
                         return EvalResult::Value(Value::Bool(r.truthy()));
                     }
                     _ => {}
                 }
-                let l = self.eval_value(lhs, f);
-                let r = self.eval_value(rhs, f);
-                apply_binop(*op, &l, &r)
+                let l = self.eval_value(a, lhs, f);
+                let r = self.eval_value(a, rhs, f);
+                apply_binop(op, &l, &r)
             }
             Expr::Unary { op, expr, .. } => {
-                let v = self.eval_value(expr, f);
+                let (op, expr) = (*op, *expr);
+                let v = self.eval_value(a, expr, f);
                 match op {
-                    UnOp::Not => Value::Bool(!v.truthy()),
-                    UnOp::Neg => Value::Float(-v.to_number()),
-                    UnOp::Plus => Value::Float(v.to_number()),
-                    UnOp::BitNot => Value::Int(!(v.to_number() as i64)),
+                    php_ast::UnOp::Not => Value::Bool(!v.truthy()),
+                    php_ast::UnOp::Neg => Value::Float(-v.to_number()),
+                    php_ast::UnOp::Plus => Value::Float(v.to_number()),
+                    php_ast::UnOp::BitNot => Value::Int(!(v.to_number() as i64)),
                 }
             }
             Expr::IncDec {
@@ -699,56 +722,60 @@ impl<'p> Executor<'p> {
                 expr,
                 ..
             } => {
-                let old = self.eval_value(expr, f);
-                let delta = if *increment { 1.0 } else { -1.0 };
+                let (prefix, increment, expr) = (*prefix, *increment, *expr);
+                let old = self.eval_value(a, expr, f);
+                let delta = if increment { 1.0 } else { -1.0 };
                 let newv = Value::Int((old.to_number() + delta) as i64);
-                self.assign_to(expr, newv.clone(), f);
-                if *prefix {
+                self.assign_to(a, expr, newv.clone(), f);
+                if prefix {
                     newv
                 } else {
                     old
                 }
             }
-            Expr::Call { callee, args, .. } => return self.eval_call(callee, args, f),
+            Expr::Call { callee, args, .. } => return self.eval_call(a, *callee, *args, f),
             Expr::New { class, args, .. } => {
+                let (class, args) = (*class, *args);
                 let cname = match class {
                     Member::Name(n) => n.as_str().to_ascii_lowercase(),
-                    Member::Dynamic(e) => {
-                        self.eval_value(e, f).to_php_string().to_ascii_lowercase()
-                    }
+                    Member::Dynamic(e) => self
+                        .eval_value(a, e, f)
+                        .to_php_string()
+                        .to_ascii_lowercase(),
                 };
                 let mut obj = Object::new(&cname);
                 // user constructor
                 let ctor = self
                     .symbols
                     .method(&cname, "__construct")
-                    .map(|(_, d)| d.clone());
-                if let Some(decl) = ctor {
-                    let argv: Vec<Value> =
-                        args.iter().map(|a| self.eval_value(&a.value, f)).collect();
-                    obj = self.call_method_on(obj, &decl, argv);
+                    .map(|(ci, d)| (*d, Arc::clone(&ci.ast)));
+                if let Some((decl, decl_ast)) = ctor {
+                    let argv = self.eval_args(a, args, f);
+                    obj = self.call_method_on(&decl_ast, obj, &decl, argv);
                 }
                 Value::Object(obj)
             }
-            Expr::Clone(e, _) => self.eval_value(e, f),
+            Expr::Clone(e, _) => self.eval_value(a, *e, f),
             Expr::Ternary {
                 cond,
                 then,
                 otherwise,
                 ..
             } => {
-                let c = self.eval_value(cond, f);
+                let (cond, then, otherwise) = (*cond, *then, *otherwise);
+                let c = self.eval_value(a, cond, f);
                 if c.truthy() {
                     match then {
-                        Some(t) => self.eval_value(t, f),
+                        Some(t) => self.eval_value(a, t, f),
                         None => c,
                     }
                 } else {
-                    self.eval_value(otherwise, f)
+                    self.eval_value(a, otherwise, f)
                 }
             }
             Expr::Cast(kind, inner, _) => {
-                let v = self.eval_value(inner, f);
+                let (kind, inner) = (*kind, *inner);
+                let v = self.eval_value(a, inner, f);
                 match kind {
                     php_ast::CastKind::Int => Value::Int(v.to_number() as i64),
                     php_ast::CastKind::Float => Value::Float(v.to_number()),
@@ -760,8 +787,8 @@ impl<'p> Executor<'p> {
             }
             Expr::Isset(es, _) => {
                 let mut all = true;
-                for e in es {
-                    let v = self.eval_value(e, f);
+                for &e in a.expr_list(*es) {
+                    let v = self.eval_value(a, e, f);
                     if matches!(v, Value::Null) {
                         all = false;
                     }
@@ -769,46 +796,50 @@ impl<'p> Executor<'p> {
                 Value::Bool(all)
             }
             Expr::Empty(e, _) => {
-                let v = self.eval_value(e, f);
+                let v = self.eval_value(a, *e, f);
                 Value::Bool(!v.truthy())
             }
-            Expr::ErrorSuppress(e, _) | Expr::Ref(e, _) => self.eval_value(e, f),
+            Expr::ErrorSuppress(e, _) | Expr::Ref(e, _) => self.eval_value(a, *e, f),
             Expr::Print(e, _) => {
-                let s = self.eval_value(e, f).to_php_string();
+                let s = self.eval_value(a, *e, f).to_php_string();
                 self.output.push_str(&s);
                 Value::Int(1)
             }
             Expr::Exit(arg, _) => {
-                if let Some(a) = arg {
-                    let s = self.eval_value(a, f).to_php_string();
+                if let Some(arg) = *arg {
+                    let s = self.eval_value(a, arg, f).to_php_string();
                     self.output.push_str(&s);
                 }
                 self.halted = true;
                 return EvalResult::Exit;
             }
             Expr::Include(kind, path, _) => {
-                self.eval_include(*kind, path, f);
+                self.eval_include(a, *kind, *path, f);
                 Value::Int(1)
             }
             Expr::Instanceof(e, _, _) => {
-                self.eval_value(e, f);
+                self.eval_value(a, *e, f);
                 Value::Bool(false)
             }
             Expr::ListIntrinsic(..) => Value::Null,
             Expr::Closure {
                 params, uses, body, ..
             } => {
-                let captured = uses
+                let (params, uses, body) = (*params, *uses, *body);
+                let captured = a
+                    .uses(uses)
+                    .to_vec()
                     .iter()
-                    .map(|(name, _)| {
+                    .map(|&(name, _)| {
                         let v = self.read_var(name.as_str(), f);
                         (name.to_string(), v)
                     })
                     .collect();
                 Value::Closure(Box::new(ClosureValue {
-                    params: params.clone(),
+                    ast: Arc::clone(a),
+                    params,
                     captured,
-                    body: body.clone(),
+                    body,
                 }))
             }
             Expr::Error(_) => Value::Null,
@@ -871,41 +902,43 @@ impl<'p> Executor<'p> {
         }
     }
 
-    fn assign_to(&mut self, target: &Expr, v: Value, f: &mut Frame) {
-        match target {
+    fn assign_to(&mut self, a: &Ast, target: ExprId, v: Value, f: &mut Frame) {
+        match a.expr(target) {
             Expr::Var(name, _) => self.write_var(name.as_str(), v, f),
             Expr::Index(base, idx, _) => {
-                let mut container = self.eval_value(base, f);
+                let (base, idx) = (*base, *idx);
+                let mut container = self.eval_value(a, base, f);
                 if !matches!(container, Value::Array(_)) {
                     container = Value::Array(PhpArray::new());
                 }
-                if let Value::Array(ref mut a) = container {
+                if let Value::Array(ref mut arr) = container {
                     match idx {
                         Some(i) => {
-                            let k = self.eval_value(i, f);
-                            a.set(ArrayKey::from_value(&k), v);
+                            let k = self.eval_value(a, i, f);
+                            arr.set(ArrayKey::from_value(&k), v);
                         }
-                        None => a.push(v),
+                        None => arr.push(v),
                     }
                 }
-                self.assign_to(base, container, f);
+                self.assign_to(a, base, container, f);
             }
             Expr::Prop(base, member, _) => {
+                let (base, member) = (*base, *member);
                 let name = match member {
                     Member::Name(n) => n.to_string(),
-                    Member::Dynamic(e) => self.eval_value(e, f).to_php_string(),
+                    Member::Dynamic(e) => self.eval_value(a, e, f).to_php_string(),
                 };
                 // `$this->x = v` mutates the live frame object.
-                if base.as_var_name() == Some("$this") {
+                if a.expr(base).as_var_name() == Some("$this") {
                     if let Some(this) = f.this.as_mut() {
                         this.props.insert(name, v);
                     }
                     return;
                 }
-                let mut obj = self.eval_value(base, f);
+                let mut obj = self.eval_value(a, base, f);
                 if let Value::Object(ref mut o) = obj {
                     o.props.insert(name, v);
-                    self.assign_to(base, obj, f);
+                    self.assign_to(a, base, obj, f);
                 }
             }
             Expr::StaticProp(class, prop, _) => {
@@ -915,36 +948,46 @@ impl<'p> Executor<'p> {
                 );
             }
             Expr::ListIntrinsic(items, _) => {
-                if let Value::Array(a) = v {
-                    for (i, item) in items.iter().enumerate() {
+                let items = *items;
+                if let Value::Array(arr) = v {
+                    for (i, item) in a.opt_exprs(items).to_vec().iter().enumerate() {
                         if let Some(t) = item {
-                            let elem = a
+                            let elem = arr
                                 .get(&ArrayKey::Int(i as i64))
                                 .cloned()
                                 .unwrap_or(Value::Null);
-                            self.assign_to(t, elem, f);
+                            self.assign_to(a, *t, elem, f);
                         }
                     }
                 }
             }
-            Expr::Ref(inner, _) | Expr::ErrorSuppress(inner, _) => self.assign_to(inner, v, f),
+            Expr::Ref(inner, _) | Expr::ErrorSuppress(inner, _) => self.assign_to(a, *inner, v, f),
             _ => {}
         }
     }
 
     // ================= calls =================
 
-    fn eval_call(&mut self, callee: &Callee, args: &[Arg], f: &mut Frame) -> EvalResult {
-        let argv: Vec<Value> = args.iter().map(|a| self.eval_value(&a.value, f)).collect();
+    fn eval_args(&mut self, a: &Ast, args: ArgRange, f: &mut Frame) -> Vec<Value> {
+        (0..args.len())
+            .map(|i| {
+                let arg = a.args(args)[i];
+                self.eval_value(a, arg.value, f)
+            })
+            .collect()
+    }
+
+    fn eval_call(&mut self, a: &Ast, callee: Callee, args: ArgRange, f: &mut Frame) -> EvalResult {
+        let argv = self.eval_args(a, args, f);
         match callee {
             Callee::Function(name) => {
                 let lname = name.as_str().to_ascii_lowercase();
-                if let Some(result) = self.call_builtin(&lname, &argv, args, f) {
+                if let Some(result) = self.call_builtin(&lname, &argv, a, args, f) {
                     return result;
                 }
                 if let Some(info) = self.symbols.function(&lname) {
-                    let decl = info.decl.clone();
-                    return EvalResult::Value(self.call_user_function(&decl, argv, None));
+                    let (decl, ast) = (info.decl, Arc::clone(&info.ast));
+                    return EvalResult::Value(self.call_user_function(&ast, &decl, argv, None));
                 }
                 self.warn(format!("unknown function {name}()"));
                 EvalResult::Value(Value::Null)
@@ -954,7 +997,7 @@ impl<'p> Executor<'p> {
                     Some(n) => n.to_string(),
                     None => return EvalResult::Value(Value::Null),
                 };
-                let recv = self.eval_value(base, f);
+                let recv = self.eval_value(a, base, f);
                 match recv {
                     Value::Object(obj) => {
                         if obj.class == "wpdb" {
@@ -963,16 +1006,17 @@ impl<'p> Executor<'p> {
                         let decl = self
                             .symbols
                             .method(&obj.class, &mname)
-                            .map(|(_, d)| d.clone());
+                            .map(|(ci, d)| (*d, Arc::clone(&ci.ast)));
                         match decl {
-                            Some(d) => {
-                                let updated = self.call_method_capture(obj, &d, argv.clone());
-                                let (obj2, ret) = updated;
+                            Some((d, decl_ast)) => {
+                                let (obj2, ret) =
+                                    self.call_method_capture(&decl_ast, obj, &d, argv.clone());
                                 // Write the mutated object back when the
                                 // receiver is a simple variable.
-                                if let Some(vn) = base.as_var_name() {
+                                if let Some(vn) = a.expr(base).as_var_name() {
                                     if vn != "$this" && vn != "$wpdb" {
-                                        self.write_var(vn, Value::Object(obj2), f);
+                                        let vn = vn.to_string();
+                                        self.write_var(&vn, Value::Object(obj2), f);
                                     } else if vn == "$this" {
                                         f.this = Some(obj2);
                                     }
@@ -995,18 +1039,21 @@ impl<'p> Executor<'p> {
                     None => return EvalResult::Value(Value::Null),
                 };
                 let cname = class.as_str().to_ascii_lowercase();
-                let decl = self.symbols.method(&cname, &mname).map(|(_, d)| d.clone());
+                let decl = self
+                    .symbols
+                    .method(&cname, &mname)
+                    .map(|(ci, d)| (*d, Arc::clone(&ci.ast)));
                 match decl {
-                    Some(d) => {
+                    Some((d, decl_ast)) => {
                         let this = Object::new(&cname);
-                        let (_, ret) = self.call_method_capture(this, &d, argv);
+                        let (_, ret) = self.call_method_capture(&decl_ast, this, &d, argv);
                         EvalResult::Value(ret)
                     }
                     None => EvalResult::Value(Value::Null),
                 }
             }
             Callee::Dynamic(inner) => {
-                let cb = self.eval_value(inner, f);
+                let cb = self.eval_value(a, inner, f);
                 EvalResult::Value(self.invoke_callable(cb, argv))
             }
         }
@@ -1017,6 +1064,7 @@ impl<'p> Executor<'p> {
 
     pub(crate) fn call_user_function(
         &mut self,
+        a: &Ast,
         decl: &FunctionDecl,
         args: Vec<Value>,
         this: Option<Object>,
@@ -1030,17 +1078,18 @@ impl<'p> Executor<'p> {
             this,
             ..Frame::default()
         };
-        for (i, p) in decl.params.iter().enumerate() {
+        for i in 0..decl.params.len() {
+            let p = a.params(decl.params)[i];
             let v = match args.get(i) {
                 Some(v) => v.clone(),
-                None => match &p.default {
-                    Some(d) => self.eval_value(d, &mut frame),
+                None => match p.default {
+                    Some(d) => self.eval_value(a, d, &mut frame),
                     None => Value::Null,
                 },
             };
             frame.vars.insert(p.name.to_string(), v);
         }
-        let ret = match self.exec_stmts(&decl.body, &mut frame) {
+        let ret = match self.exec_stmts(a, decl.body, &mut frame) {
             Flow::Return(v) => v,
             _ => Value::Null,
         };
@@ -1051,6 +1100,7 @@ impl<'p> Executor<'p> {
     /// Calls a method and returns `(possibly mutated receiver, return)`.
     fn call_method_capture(
         &mut self,
+        a: &Ast,
         this: Object,
         decl: &FunctionDecl,
         args: Vec<Value>,
@@ -1064,17 +1114,18 @@ impl<'p> Executor<'p> {
             this: Some(this),
             ..Frame::default()
         };
-        for (i, p) in decl.params.iter().enumerate() {
+        for i in 0..decl.params.len() {
+            let p = a.params(decl.params)[i];
             let v = match args.get(i) {
                 Some(v) => v.clone(),
-                None => match &p.default {
-                    Some(d) => self.eval_value(d, &mut frame),
+                None => match p.default {
+                    Some(d) => self.eval_value(a, d, &mut frame),
                     None => Value::Null,
                 },
             };
             frame.vars.insert(p.name.to_string(), v);
         }
-        let ret = match self.exec_stmts(&decl.body, &mut frame) {
+        let ret = match self.exec_stmts(a, decl.body, &mut frame) {
             Flow::Return(v) => v,
             _ => Value::Null,
         };
@@ -1085,8 +1136,14 @@ impl<'p> Executor<'p> {
         )
     }
 
-    fn call_method_on(&mut self, this: Object, decl: &FunctionDecl, args: Vec<Value>) -> Object {
-        self.call_method_capture(this, decl, args).0
+    fn call_method_on(
+        &mut self,
+        a: &Ast,
+        this: Object,
+        decl: &FunctionDecl,
+        args: Vec<Value>,
+    ) -> Object {
+        self.call_method_capture(a, this, decl, args).0
     }
 
     /// The mock WordPress database object.
@@ -1150,8 +1207,8 @@ impl<'p> Executor<'p> {
         }
     }
 
-    fn eval_include(&mut self, kind: IncludeKind, path_expr: &Expr, f: &mut Frame) {
-        let raw = self.eval_value(path_expr, f).to_php_string();
+    fn eval_include(&mut self, a: &Ast, kind: IncludeKind, path_expr: ExprId, f: &mut Frame) {
+        let raw = self.eval_value(a, path_expr, f).to_php_string();
         let Some(file) = self.project.find_file(raw.trim_start_matches('/')) else {
             return;
         };
@@ -1162,7 +1219,7 @@ impl<'p> Executor<'p> {
         }
         self.included.insert(path.clone());
         if let Some(ast) = self.parsed.get(&path).cloned() {
-            self.exec_stmts(&ast.stmts, f);
+            self.exec_stmts(&ast, ast.top, f);
         }
     }
 
@@ -1301,7 +1358,8 @@ impl Executor<'_> {
         &mut self,
         name: &str,
         argv: &[Value],
-        args: &[Arg],
+        a: &Ast,
+        args: ArgRange,
         f: &mut Frame,
     ) -> Option<EvalResult> {
         use crate::builtins as b;
@@ -1416,19 +1474,19 @@ impl Executor<'_> {
                 Value::Bool(true)
             }
             "implode" | "join" => {
-                let (glue, arr) = if let Some(Value::Array(a)) = argv.first() {
-                    (String::new(), Some(a.clone()))
+                let (glue, arr) = if let Some(Value::Array(arr)) = argv.first() {
+                    (String::new(), Some(arr.clone()))
                 } else {
                     let g = s0();
-                    let a = match argv.get(1) {
-                        Some(Value::Array(a)) => Some(a.clone()),
+                    let arr = match argv.get(1) {
+                        Some(Value::Array(arr)) => Some(arr.clone()),
                         _ => None,
                     };
-                    (g, a)
+                    (g, arr)
                 };
                 match arr {
-                    Some(a) => Value::Str(
-                        a.iter()
+                    Some(arr) => Value::Str(
+                        arr.iter()
                             .map(|(_, v)| v.to_php_string())
                             .collect::<Vec<_>>()
                             .join(&glue),
@@ -1439,35 +1497,35 @@ impl Executor<'_> {
             "explode" => {
                 let delim = s0();
                 let subj = argv.get(1).map(|v| v.to_php_string()).unwrap_or_default();
-                let mut a = PhpArray::new();
+                let mut arr = PhpArray::new();
                 if delim.is_empty() {
-                    a.push(Value::Str(subj));
+                    arr.push(Value::Str(subj));
                 } else {
                     for part in subj.split(&delim) {
-                        a.push(Value::Str(part.to_string()));
+                        arr.push(Value::Str(part.to_string()));
                     }
                 }
-                Value::Array(a)
+                Value::Array(arr)
             }
             // --- arrays ---
             "count" | "sizeof" => match argv.first() {
-                Some(Value::Array(a)) => Value::Int(a.len() as i64),
+                Some(Value::Array(arr)) => Value::Int(arr.len() as i64),
                 Some(Value::Null) => Value::Int(0),
                 _ => Value::Int(1),
             },
             "in_array" => {
                 let needle = argv.first().cloned().unwrap_or(Value::Null);
                 match argv.get(1) {
-                    Some(Value::Array(a)) => {
-                        Value::Bool(a.iter().any(|(_, v)| v.loose_eq(&needle)))
+                    Some(Value::Array(arr)) => {
+                        Value::Bool(arr.iter().any(|(_, v)| v.loose_eq(&needle)))
                     }
                     _ => Value::Bool(false),
                 }
             }
             "array_keys" => match argv.first() {
-                Some(Value::Array(a)) => {
+                Some(Value::Array(arr)) => {
                     let mut out = PhpArray::new();
-                    for (k, _) in a.iter() {
+                    for (k, _) in arr.iter() {
                         out.push(match k {
                             ArrayKey::Int(i) => Value::Int(*i),
                             ArrayKey::Str(s) => Value::Str(s.clone()),
@@ -1478,9 +1536,9 @@ impl Executor<'_> {
                 _ => Value::Array(PhpArray::new()),
             },
             "array_values" => match argv.first() {
-                Some(Value::Array(a)) => {
+                Some(Value::Array(arr)) => {
                     let mut out = PhpArray::new();
-                    for (_, v) in a.iter() {
+                    for (_, v) in arr.iter() {
                         out.push(v.clone());
                     }
                     Value::Array(out)
@@ -1490,8 +1548,8 @@ impl Executor<'_> {
             "array_merge" => {
                 let mut out = PhpArray::new();
                 for v in argv {
-                    if let Value::Array(a) = v {
-                        for (k, val) in a.iter() {
+                    if let Value::Array(arr) = v {
+                        for (k, val) in arr.iter() {
                             match k {
                                 ArrayKey::Int(_) => out.push(val.clone()),
                                 ArrayKey::Str(s) => out.set(ArrayKey::Str(s.clone()), val.clone()),
@@ -1502,8 +1560,8 @@ impl Executor<'_> {
                 Value::Array(out)
             }
             "extract" => {
-                if let Some(Value::Array(a)) = argv.first() {
-                    for (k, v) in a.clone().iter() {
+                if let Some(Value::Array(arr)) = argv.first() {
+                    for (k, v) in arr.clone().iter() {
                         if let ArrayKey::Str(s) = k {
                             self.write_var(&format!("${s}"), v.clone(), f);
                         }
@@ -1605,17 +1663,17 @@ impl Executor<'_> {
             "parse_str" => {
                 // parse_str($query, $out): fill $out with parsed pairs.
                 let q = s0();
-                let mut a = PhpArray::new();
+                let mut arr = PhpArray::new();
                 for pair in q.split('&') {
                     let mut it = pair.splitn(2, '=');
                     let k = it.next().unwrap_or("");
                     let v = it.next().unwrap_or("");
                     if !k.is_empty() {
-                        a.set(ArrayKey::Str(b::urldecode(k)), Value::Str(b::urldecode(v)));
+                        arr.set(ArrayKey::Str(b::urldecode(k)), Value::Str(b::urldecode(v)));
                     }
                 }
-                if let Some(arg) = args.get(1) {
-                    self.assign_to(&arg.value, Value::Array(a), f);
+                if let Some(arg) = a.args(args).get(1).copied() {
+                    self.assign_to(a, arg.value, Value::Array(arr), f);
                 }
                 Value::Null
             }

@@ -33,14 +33,30 @@ pub enum Value {
 }
 
 /// A captured anonymous function.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `params`/`body` are arena ranges that resolve against `ast` — the parsed
+/// file the closure literal appears in, kept alive by the value itself.
+#[derive(Debug, Clone)]
 pub struct ClosureValue {
+    /// The parsed file the handles index into.
+    pub ast: std::sync::Arc<php_ast::ParsedFile>,
     /// Parameters as declared.
-    pub params: Vec<php_ast::Param>,
+    pub params: php_ast::ParamRange,
     /// Captured variables (by value).
     pub captured: Vec<(String, Value)>,
     /// Body statements.
-    pub body: Vec<php_ast::Stmt>,
+    pub body: php_ast::StmtRange,
+}
+
+impl PartialEq for ClosureValue {
+    fn eq(&self, other: &Self) -> bool {
+        // Handles are only comparable within one arena: same file (by
+        // pointer), same ranges, same captures.
+        std::sync::Arc::ptr_eq(&self.ast, &other.ast)
+            && self.params == other.params
+            && self.body == other.body
+            && self.captured == other.captured
+    }
 }
 
 /// An ordered PHP array.

@@ -18,14 +18,21 @@ cargo test -q --offline -p phpsafe-obs
 # worker counts and interner arena states.
 cargo test -q --offline -p phpsafe-eval --test symbol_invariance
 
+# Flat-AST invariance: artifacts and --explain chains must be
+# byte-identical across worker counts and warm-cache reruns (arena
+# handles must never leak into rendered output).
+cargo test -q --offline -p phpsafe-eval --test ast_invariance
+
 # Smoke: a metrics snapshot from a real corpus run must report every
-# pipeline stage, the shared-cache counters, and the interner counters.
+# pipeline stage, the shared-cache counters, the interner counters, and
+# the AST arena footprint counters.
 metrics="$(mktemp)"
 trap 'rm -f "$metrics"' EXIT
 cargo run -q --release --offline -p phpsafe-bench --bin repro -- \
     --metrics-out "$metrics" table2 >/dev/null
 for key in stage.lex stage.parse stage.analyze stage.eval cache.parse.hits \
-           intern.symbols intern.hits cow.env_clones; do
+           intern.symbols intern.hits cow.env_clones \
+           ast.nodes ast.arena_bytes ast.slices; do
     grep -q "\"$key\"" "$metrics" || {
         echo "verify: $metrics is missing required key $key" >&2
         exit 1
