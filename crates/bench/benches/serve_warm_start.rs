@@ -1,0 +1,148 @@
+//! `serve_warm_start` — what the daemon's cache tiers buy over the 2014
+//! corpus, through the same service layer `phpsafe serve` dispatches to:
+//!
+//! * `cold_batch` — a fresh server with empty in-memory caches per
+//!   iteration: the cost every batch CLI invocation pays today.
+//! * `warm_disk_restart` — a *fresh* server per iteration over a
+//!   populated `--cache-dir`: the daemon-restart (or `--cache-dir` batch
+//!   rerun) path, answered from the persistent outcome/AST/summary tiers.
+//! * `warm_memory` — one resident server asked repeatedly: the steady
+//!   state of a long-running daemon.
+//!
+//! After the timing groups, the bench re-checks invariance: the warm
+//! responses' reports must be byte-identical to the cold run's, and the
+//! disk tier must actually have been hit. Results are recorded in
+//! `BENCH_serve.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phpsafe::{AnalysisServer, EngineCaches};
+use phpsafe_corpus::{Corpus, Version};
+use phpsafe_engine::DiskCache;
+use phpsafe_serve::{AnalyzeRequest, Json, Service};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Writes the 2014 corpus to disk once and returns the plugin dirs.
+fn plugin_paths() -> &'static Vec<String> {
+    static P: OnceLock<Vec<String>> = OnceLock::new();
+    P.get_or_init(|| {
+        let root = std::env::temp_dir().join(format!(
+            "phpsafe-serve-bench-plugins-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut dirs = Vec::new();
+        for plugin in Corpus::generate().plugins() {
+            let project = plugin.project(Version::V2014);
+            let dir = root.join(project.name());
+            for f in project.files() {
+                let path = dir.join(&f.path);
+                std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+                std::fs::write(&path, &f.content).unwrap();
+            }
+            dirs.push(dir.display().to_string());
+        }
+        dirs
+    })
+}
+
+fn request() -> AnalyzeRequest {
+    AnalyzeRequest {
+        paths: plugin_paths().clone(),
+        tools: Vec::new(),
+        jobs: Some(1),
+    }
+}
+
+fn disk_server(cache_dir: &Path) -> AnalysisServer {
+    let disk = Arc::new(DiskCache::open(cache_dir).unwrap());
+    AnalysisServer::with_caches(EngineCaches::with_disk(disk)).with_default_jobs(1)
+}
+
+/// The embedded report strings of one analyze response, in order.
+fn reports_of(response: &Json) -> Vec<String> {
+    response
+        .get("reports")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|item| {
+            item.get("report")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_owned()
+        })
+        .collect()
+}
+
+fn bench_warm_start(c: &mut Criterion) {
+    let req = request();
+    let cache_dir =
+        std::env::temp_dir().join(format!("phpsafe-serve-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    // Populate the disk tier once, and keep the cold reports as the
+    // invariance reference.
+    let cold_reports = reports_of(&disk_server(&cache_dir).analyze(&req).unwrap());
+
+    let mut group = c.benchmark_group("serve_warm_start");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+
+    group.bench_function("cold_batch", |b| {
+        b.iter(|| {
+            let server = AnalysisServer::new().with_default_jobs(1);
+            std::hint::black_box(server.analyze(&req).unwrap())
+        })
+    });
+    group.bench_function("warm_disk_restart", |b| {
+        b.iter(|| {
+            let server = disk_server(&cache_dir);
+            std::hint::black_box(server.analyze(&req).unwrap())
+        })
+    });
+    let resident = disk_server(&cache_dir);
+    resident.analyze(&req).unwrap();
+    group.bench_function("warm_memory", |b| {
+        b.iter(|| std::hint::black_box(resident.analyze(&req).unwrap()))
+    });
+    group.finish();
+
+    // Invariance: a warm restart must reproduce the cold bytes, from disk.
+    let disk = Arc::new(DiskCache::open(&cache_dir).unwrap());
+    let fresh = AnalysisServer::with_caches(EngineCaches::with_disk(Arc::clone(&disk)))
+        .with_default_jobs(1);
+    let warm = fresh.analyze(&req).unwrap();
+    assert_eq!(
+        warm.get("fully_cached"),
+        Some(&Json::Bool(true)),
+        "warm restart should answer from the outcome tier"
+    );
+    assert_eq!(
+        reports_of(&warm),
+        cold_reports,
+        "warm-restart reports diverged from the cold run"
+    );
+    assert!(disk.counters().hits > 0, "disk tier never hit");
+    println!(
+        "invariance: {} reports byte-identical cold vs warm-restart; disk {:?}",
+        cold_reports.len(),
+        disk.counters()
+    );
+    report_cleanup(&cache_dir);
+}
+
+fn report_cleanup(cache_dir: &Path) {
+    let _ = std::fs::remove_dir_all(cache_dir);
+    let plugins: Option<PathBuf> = plugin_paths()
+        .first()
+        .map(|p| Path::new(p).parent().unwrap().to_path_buf());
+    if let Some(root) = plugins {
+        let _ = std::fs::remove_dir_all(root);
+    }
+}
+
+criterion_group!(benches, bench_warm_start);
+criterion_main!(benches);

@@ -13,7 +13,11 @@
 //! Options:
 //!
 //! * `--jobs N` — worker threads for the engine scheduler (default: the
-//!   machine's available parallelism). Results are identical at any `N`.
+//!   machine's available parallelism; 0 or an over-subscription clamps to
+//!   it with a warning). Results are identical at any `N`.
+//! * `--cache-dir DIR` — persist parsed ASTs and call summaries under
+//!   `DIR`; a later run with the same flag warm-starts from disk. Tables
+//!   are byte-identical either way.
 //! * `--serial` — bypass the engine entirely: one thread, no shared
 //!   caches, every tool meets every plugin cold. This is the paper's
 //!   Table III timing methodology; use it when comparing `table3` seconds.
@@ -27,8 +31,11 @@
 //!   events enabled and print the provenance chains of the first plugin
 //!   with findings.
 
-use phpsafe_corpus::Version;
+use phpsafe::EngineCaches;
+use phpsafe_corpus::{Corpus, Version};
+use phpsafe_engine::{effective_jobs, DiskCache};
 use phpsafe_eval::{tables, Evaluation, RecallMode};
+use std::sync::Arc;
 
 /// Snapshot name prefixes that make up the engine-stats view.
 const ENGINE_PREFIXES: &[&str] = &["engine.", "cache.", "stage.", "intern.", "cow.", "ast."];
@@ -36,6 +43,7 @@ const ENGINE_PREFIXES: &[&str] = &["engine.", "cache.", "stage.", "intern.", "co
 struct Opts {
     what: String,
     jobs: usize,
+    cache_dir: Option<String>,
     serial: bool,
     engine_stats: bool,
     engine_stats_json: Option<String>,
@@ -48,6 +56,7 @@ fn parse_opts() -> Result<Opts, String> {
     let mut opts = Opts {
         what: "all".to_string(),
         jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cache_dir: None,
         serial: false,
         engine_stats: false,
         engine_stats_json: None,
@@ -74,6 +83,10 @@ fn parse_opts() -> Result<Opts, String> {
             "--jobs" => {
                 let v = args.next().ok_or("--jobs requires a value")?;
                 opts.jobs = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
+            }
+            "--cache-dir" => {
+                let v = args.next().ok_or("--cache-dir requires a directory")?;
+                opts.cache_dir = Some(v);
             }
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             other => {
@@ -108,11 +121,25 @@ fn main() {
     eprintln!(
         "generating corpus and running phpSAFE, RIPS and Pixy over 35 plugins x 2 versions..."
     );
+    let (jobs, jobs_warning) = effective_jobs(opts.jobs);
+    if let Some(w) = jobs_warning {
+        eprintln!("warning: {w}");
+    }
     let before = phpsafe_obs::snapshot();
     let e = if opts.serial {
         Evaluation::run()
+    } else if let Some(dir) = &opts.cache_dir {
+        let disk = match DiskCache::open(dir) {
+            Ok(d) => Arc::new(d),
+            Err(err) => {
+                eprintln!("error: cannot open cache dir {dir}: {err}");
+                std::process::exit(2);
+            }
+        };
+        let caches = EngineCaches::with_disk(disk);
+        Evaluation::run_engine_cached(Corpus::generate(), jobs, &caches).0
     } else {
-        Evaluation::run_engine(opts.jobs).0
+        Evaluation::run_engine(jobs).0
     };
     let snap = phpsafe_obs::snapshot().since(&before);
     if opts.engine_stats {

@@ -137,6 +137,21 @@ impl PhpSafe {
         &self.config
     }
 
+    /// A stable 64-bit fingerprint of everything that can change this
+    /// tool's output for a given input: the taint configuration, the
+    /// capability options and the tool name. Persistent caches key derived
+    /// artifacts (summary blobs, rendered daemon responses) on this, so
+    /// flipping any switch invalidates them.
+    pub fn fingerprint(&self) -> u64 {
+        let text = format!(
+            "{}\x1f{:016x}\x1f{:?}",
+            self.tool_name,
+            self.config.fingerprint(),
+            self.options
+        );
+        phpsafe_engine::fnv1a_64(text.as_bytes())
+    }
+
     /// Runs the full four-stage pipeline over a plugin and returns the
     /// deduplicated findings plus robustness/statistics records.
     pub fn analyze(&self, project: &PluginProject) -> AnalysisOutcome {
@@ -193,7 +208,10 @@ impl PhpSafe {
 
         // ---- stage 3: analysis ----
         let span_taint = phpsafe_obs::span!("analyze.taint");
-        let summaries = caches.map(|c| c.summaries_for(&self.tool_name));
+        let summaries = caches.map(|c| {
+            c.warm_summaries(&self.tool_name, self.fingerprint());
+            c.summaries_for(&self.tool_name)
+        });
         let mut interp = Interp::new(
             &self.config,
             &self.options,

@@ -19,14 +19,20 @@
 //!   --no-uncalled         skip never-called functions
 //!   --trace               print data-flow traces and the span self-profile
 //!   --explain             print source→sanitizer→sink provenance chains
+//!   --cache-dir <DIR>     persistent artifact cache (warm-starts later runs)
 //!   -h, --help            this help
+//!
+//! phpsafe serve [OPTIONS]   long-running analysis daemon (NDJSON protocol)
 //! ```
 
-use phpsafe::{AnalyzerOptions, EngineCaches, PhpSafe, PluginProject, SourceFile};
-use phpsafe_engine::run_ordered;
+use phpsafe::{load_project, AnalysisServer, AnalyzerOptions, EngineCaches, PhpSafe};
+use phpsafe_engine::{effective_jobs, run_ordered, DiskCache};
+use phpsafe_serve::{bind, run_stdio, run_tcp, Daemon, ServerConfig};
 use std::io::Write;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Prints to stdout, tolerating a closed pipe (`phpsafe ... | head`).
 macro_rules! out {
@@ -69,6 +75,39 @@ OPTIONS:
                         span self-profile tree to stderr
     --explain           print a source→sanitizer→sink provenance chain
                         for every reported vulnerability
+    --cache-dir <DIR>   persist parsed ASTs, call summaries and rendered
+                        reports under DIR so later runs (batch or daemon)
+                        warm-start from disk
+    -h, --help          show this help
+
+SUBCOMMANDS:
+    serve               run the long-running analysis daemon; see
+                        `phpsafe serve --help`
+";
+
+const SERVE_HELP: &str = "\
+phpsafe serve - long-running analysis daemon (newline-delimited JSON)
+
+USAGE:
+    phpsafe serve [OPTIONS]
+
+Requests (one JSON object per line):
+    {\"cmd\":\"analyze\",\"paths\":[\"<dir>\"],\"tools\":[\"phpSAFE\"],\"jobs\":4,\"id\":1}
+    {\"cmd\":\"status\"}      {\"cmd\":\"metrics\"}      {\"cmd\":\"shutdown\"}
+
+OPTIONS:
+    --port <N>          listen on 127.0.0.1:<N>; 0 picks a free port
+                        (default: 7433). The bound address is printed to
+                        stderr once the daemon is ready.
+    --stdio             speak the protocol over stdin/stdout instead of TCP
+    --cache-dir <DIR>   persistent artifact cache shared with batch runs
+    --profile <NAME>    wordpress (default) | php | drupal | joomla
+    --jobs <N>          default engine workers per analyze request
+    --workers <N>       concurrent analyze requests (default: 1)
+    --queue <N>         queued-request bound before 429 rejection
+                        (default: 64)
+    --timeout-ms <N>    per-request deadline in milliseconds
+                        (default: 300000)
     -h, --help          show this help
 ";
 
@@ -91,6 +130,7 @@ struct Cli {
     no_uncalled: bool,
     trace: bool,
     explain: bool,
+    cache_dir: Option<PathBuf>,
 }
 
 impl Default for Cli {
@@ -110,13 +150,14 @@ impl Default for Cli {
             no_uncalled: false,
             trace: false,
             explain: false,
+            cache_dir: None,
         }
     }
 }
 
-fn parse_args() -> Result<Cli, String> {
+fn parse_args(argv: &[String]) -> Result<Cli, String> {
     let mut cli = Cli::default();
-    let mut args = std::env::args().skip(1);
+    let mut args = argv.iter().cloned();
     while let Some(a) = args.next() {
         match a.as_str() {
             "-h" | "--help" => return Err(String::new()),
@@ -140,6 +181,12 @@ fn parse_args() -> Result<Cli, String> {
                     .next()
                     .ok_or_else(|| "--metrics-out requires a file".to_string())?;
                 cli.metrics_out = Some(PathBuf::from(v));
+            }
+            "--cache-dir" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| "--cache-dir requires a directory".to_string())?;
+                cli.cache_dir = Some(PathBuf::from(v));
             }
             "--jobs" => {
                 let v = args
@@ -167,69 +214,154 @@ fn parse_args() -> Result<Cli, String> {
     Ok(cli)
 }
 
-/// Collects `.php`-family files under `root` (recursively), with paths
-/// relative to `root`.
-fn collect_files(root: &Path) -> std::io::Result<Vec<SourceFile>> {
-    fn is_php(p: &Path) -> bool {
-        matches!(
-            p.extension().and_then(|e| e.to_str()),
-            Some("php" | "inc" | "module" | "phtml")
-        )
+fn profile_config(name: &str) -> Option<taint_config::TaintConfig> {
+    match name {
+        "wordpress" => Some(taint_config::wordpress()),
+        "php" => Some(taint_config::generic_php()),
+        "drupal" => Some(taint_config::drupal()),
+        "joomla" => Some(taint_config::joomla()),
+        _ => None,
     }
-    let mut out = Vec::new();
-    if root.is_file() {
-        let content = std::fs::read_to_string(root)?;
-        let name = root
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_else(|| "input.php".into());
-        out.push(SourceFile::new(name, content));
-        return Ok(out);
-    }
-    let mut stack = vec![root.to_path_buf()];
-    while let Some(dir) = stack.pop() {
-        let mut entries: Vec<_> = std::fs::read_dir(&dir)?.collect::<Result<_, _>>()?;
-        entries.sort_by_key(|e| e.path());
-        for entry in entries {
-            let path = entry.path();
-            if path.is_dir() {
-                stack.push(path);
-            } else if is_php(&path) {
-                let rel = path
-                    .strip_prefix(root)
-                    .unwrap_or(&path)
-                    .to_string_lossy()
-                    .replace('\\', "/");
-                match std::fs::read_to_string(&path) {
-                    Ok(content) => out.push(SourceFile::new(rel, content)),
-                    Err(e) => eprintln!("warning: skipping {}: {e}", path.display()),
-                }
-            }
-        }
-    }
-    out.sort_by(|a, b| a.path.cmp(&b.path));
-    Ok(out)
 }
 
-/// Loads one path as a plugin project.
-fn load_project(path: &Path) -> Result<PluginProject, String> {
-    let files = collect_files(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    if files.is_empty() {
-        return Err(format!("no PHP files found under {}", path.display()));
+#[derive(Debug)]
+struct ServeCli {
+    port: u16,
+    stdio: bool,
+    cache_dir: Option<PathBuf>,
+    profile: String,
+    jobs: usize,
+    workers: usize,
+    queue: usize,
+    timeout_ms: u64,
+}
+
+fn parse_serve_args(argv: &[String]) -> Result<ServeCli, String> {
+    let mut cli = ServeCli {
+        port: 7433,
+        stdio: false,
+        cache_dir: None,
+        profile: "wordpress".to_string(),
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        workers: 1,
+        queue: 64,
+        timeout_ms: 300_000,
+    };
+    let mut args = argv.iter().cloned();
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} requires a value"));
+        match a.as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--stdio" => cli.stdio = true,
+            "--port" => {
+                let v = value("--port")?;
+                cli.port = v.parse().map_err(|_| format!("bad --port value `{v}`"))?;
+            }
+            "--cache-dir" => cli.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--profile" => cli.profile = value("--profile")?,
+            "--jobs" => {
+                let v = value("--jobs")?;
+                cli.jobs = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                cli.workers = v
+                    .parse()
+                    .map_err(|_| format!("bad --workers value `{v}`"))?;
+            }
+            "--queue" => {
+                let v = value("--queue")?;
+                cli.queue = v.parse().map_err(|_| format!("bad --queue value `{v}`"))?;
+            }
+            "--timeout-ms" => {
+                let v = value("--timeout-ms")?;
+                cli.timeout_ms = v
+                    .parse()
+                    .map_err(|_| format!("bad --timeout-ms value `{v}`"))?;
+            }
+            other => return Err(format!("unknown serve option `{other}`")),
+        }
     }
-    let name = path
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "plugin".into());
-    let mut project = PluginProject::new(name);
-    for f in files {
-        project.push_file(f);
+    Ok(cli)
+}
+
+fn run_serve(argv: &[String]) -> ExitCode {
+    let cli = match parse_serve_args(argv) {
+        Ok(c) => c,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{SERVE_HELP}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{SERVE_HELP}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(config) = profile_config(&cli.profile) else {
+        eprintln!(
+            "error: unknown profile `{}` (wordpress|php|drupal|joomla)",
+            cli.profile
+        );
+        return ExitCode::from(2);
+    };
+    // The daemon's whole point is the metrics/status surface; keep the
+    // observability registry on for its lifetime.
+    phpsafe_obs::set_enabled(true);
+    let caches = match &cli.cache_dir {
+        Some(dir) => match DiskCache::open(dir) {
+            Ok(disk) => EngineCaches::with_disk(Arc::new(disk)),
+            Err(e) => {
+                eprintln!("error: cannot open cache dir {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => EngineCaches::new(),
+    };
+    let (jobs, jobs_warning) = effective_jobs(cli.jobs);
+    if let Some(w) = jobs_warning {
+        eprintln!("warning: {w}");
     }
-    Ok(project)
+    let mut server = AnalysisServer::with_caches(caches).with_default_jobs(jobs);
+    server.register("phpSAFE", Box::new(PhpSafe::new().with_config(config)));
+    let daemon = Daemon::start(
+        Arc::new(server),
+        ServerConfig {
+            workers: cli.workers.max(1),
+            queue_capacity: cli.queue,
+            request_timeout: Duration::from_millis(cli.timeout_ms),
+        },
+    );
+    let served = if cli.stdio {
+        eprintln!("phpsafe serve: ready on stdio");
+        run_stdio(&daemon)
+    } else {
+        match bind(cli.port) {
+            Ok(listener) => {
+                match listener.local_addr() {
+                    Ok(addr) => eprintln!("phpsafe serve: listening on {addr}"),
+                    Err(_) => eprintln!("phpsafe serve: listening"),
+                }
+                run_tcp(&daemon, listener)
+            }
+            Err(e) => {
+                eprintln!("error: cannot bind 127.0.0.1:{}: {e}", cli.port);
+                return ExitCode::from(2);
+            }
+        }
+    };
+    if let Err(e) = served {
+        eprintln!("error: daemon transport failed: {e}");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
-    let cli = match parse_args() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        return run_serve(&argv[1..]);
+    }
+    let cli = match parse_args(&argv) {
         Ok(c) => c,
         Err(msg) => {
             if msg.is_empty() {
@@ -240,15 +372,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let config = match cli.profile.as_deref().unwrap_or("wordpress") {
-        "wordpress" => taint_config::wordpress(),
-        "php" => taint_config::generic_php(),
-        "drupal" => taint_config::drupal(),
-        "joomla" => taint_config::joomla(),
-        other => {
-            eprintln!("error: unknown profile `{other}` (wordpress|php|drupal|joomla)");
-            return ExitCode::from(2);
-        }
+    let profile = cli.profile.as_deref().unwrap_or("wordpress");
+    let Some(config) = profile_config(profile) else {
+        eprintln!("error: unknown profile `{profile}` (wordpress|php|drupal|joomla)");
+        return ExitCode::from(2);
     };
     let options = AnalyzerOptions {
         oop: !cli.no_oop,
@@ -296,10 +423,24 @@ fn main() -> ExitCode {
     // Fan the projects across the engine's worker pool; output order
     // follows the command line regardless of scheduling.
     let analyzer = PhpSafe::new().with_config(config).with_options(options);
-    let caches = EngineCaches::new();
-    let (outcomes, _pool) = run_ordered(projects, cli.jobs, |_, project| {
+    let caches = match &cli.cache_dir {
+        Some(dir) => match DiskCache::open(dir) {
+            Ok(disk) => EngineCaches::with_disk(Arc::new(disk)),
+            Err(e) => {
+                eprintln!("error: cannot open cache dir {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => EngineCaches::new(),
+    };
+    let (jobs, jobs_warning) = effective_jobs(cli.jobs);
+    if let Some(w) = jobs_warning {
+        eprintln!("warning: {w}");
+    }
+    let (outcomes, _pool) = run_ordered(projects, jobs, |_, project| {
         analyzer.analyze_with_caches(&project, Some(&caches))
     });
+    caches.persist();
     let events = phpsafe_obs::drain_events();
 
     if want_obs {

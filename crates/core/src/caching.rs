@@ -25,15 +25,25 @@ use php_ast::{
     parse_tokens, Arena, Callee, ClassDecl, Expr, ExprId, FunctionDecl, ParsedFile, Stmt, StmtId,
 };
 use php_lexer::tokenize;
-use phpsafe_engine::{fnv1a_64, ArtifactCache, CacheCounters, ContentKey};
+use phpsafe_engine::{fnv1a_64, ArtifactCache, CacheCounters, ContentKey, DiskCache};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+
+/// Disk namespace for encoded [`ParsedFile`]s. The envelope's crate
+/// version plus the codec's own version byte guard the format, so the
+/// config fingerprint is unused (parsing is configuration-independent).
+const AST_NAMESPACE: &str = "ast";
+const AST_FINGERPRINT: u64 = 0;
+
+/// Disk namespace for per-tool summary blobs.
+const SUMMARY_NAMESPACE: &str = "summary";
 
 /// A shared token-stream/AST cache: one lex + parse per distinct file
 /// content, no matter how many tools, versions or plugins present it.
 #[derive(Default)]
 pub struct AstCache {
     cache: ArtifactCache<ContentKey, ParsedFile>,
+    disk: Option<Arc<DiskCache>>,
 }
 
 impl AstCache {
@@ -42,13 +52,43 @@ impl AstCache {
         Self::default()
     }
 
+    /// An empty cache backed by a persistent disk tier: in-memory misses
+    /// try the disk before parsing, and fresh parses are written back.
+    pub fn with_disk(disk: Arc<DiskCache>) -> Self {
+        AstCache {
+            cache: ArtifactCache::new(),
+            disk: Some(disk),
+        }
+    }
+
     /// Parses `src`, sharing the artifact with every analysis that sees the
     /// same bytes. Lex/parse wall time lands in the `stage.lex` /
     /// `stage.parse` histograms on misses only (hits cost a hash plus a
-    /// map lookup).
+    /// map lookup). With a disk tier, a miss first tries to decode a
+    /// persisted AST (far cheaper than parsing); decode failures drop the
+    /// entry and fall back to a fresh parse.
     pub fn parse(&self, src: &str) -> Arc<ParsedFile> {
         let key = ContentKey::of(src.as_bytes());
-        let (ast, _hit) = self.cache.get_or_build(key, || parse_tokens(tokenize(src)));
+        let (ast, _hit) = self.cache.get_or_build(key, || {
+            if let Some(disk) = &self.disk {
+                if let Some(bytes) = disk.load(AST_NAMESPACE, key, AST_FINGERPRINT) {
+                    match php_ast::codec::decode_file(&bytes) {
+                        Ok(file) => return file,
+                        Err(_) => disk.note_corrupt(AST_NAMESPACE, key),
+                    }
+                }
+            }
+            let parsed = parse_tokens(tokenize(src));
+            if let Some(disk) = &self.disk {
+                disk.store(
+                    AST_NAMESPACE,
+                    key,
+                    AST_FINGERPRINT,
+                    &php_ast::codec::encode_file(&parsed),
+                );
+            }
+            parsed
+        });
         ast
     }
 
@@ -79,8 +119,8 @@ impl AstCache {
 /// are not interchangeable.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SummaryKey {
-    decl_fp: u64,
-    sig: Vec<(Taint, Taint)>,
+    pub(crate) decl_fp: u64,
+    pub(crate) sig: Vec<(Taint, Taint)>,
 }
 
 impl SummaryKey {
@@ -125,12 +165,33 @@ pub type SummaryCache = ArtifactCache<SummaryKey, SharedSummary>;
 pub struct EngineCaches {
     ast: AstCache,
     summaries: Mutex<HashMap<String, Arc<SummaryCache>>>,
+    disk: Option<Arc<DiskCache>>,
+    /// Tools whose summary cache has been warmed from disk, with the
+    /// config fingerprint they were warmed under (reused at persist time).
+    warmed: Mutex<HashMap<String, u64>>,
 }
 
 impl EngineCaches {
     /// Fresh, empty caches.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh caches backed by a persistent disk tier: parsed ASTs are
+    /// written through to `disk`, and per-tool summary caches are warmed
+    /// from it on first use. Call [`EngineCaches::persist`] before exit to
+    /// write the accumulated summaries back.
+    pub fn with_disk(disk: Arc<DiskCache>) -> Self {
+        EngineCaches {
+            ast: AstCache::with_disk(Arc::clone(&disk)),
+            disk: Some(disk),
+            ..Default::default()
+        }
+    }
+
+    /// The disk tier, if this cache set has one.
+    pub fn disk(&self) -> Option<&Arc<DiskCache>> {
+        self.disk.as_ref()
     }
 
     /// The shared parse cache.
@@ -146,6 +207,61 @@ impl EngineCaches {
             .entry(tool.to_string())
             .or_default()
             .clone()
+    }
+
+    /// Warms `tool`'s summary cache from the disk tier (first call per
+    /// tool only; later calls are no-ops). `fingerprint` is the tool's
+    /// configuration fingerprint — a persisted blob written under a
+    /// different one is evicted by the disk layer, and the same value is
+    /// used when persisting. Called by the analyzer on every cached run,
+    /// so CLI and daemon front ends warm identically.
+    pub fn warm_summaries(&self, tool: &str, fingerprint: u64) {
+        let mut warmed = self.warmed.lock().unwrap();
+        if warmed.contains_key(tool) {
+            return;
+        }
+        warmed.insert(tool.to_string(), fingerprint);
+        drop(warmed);
+        let Some(disk) = &self.disk else { return };
+        let key = summary_blob_key(tool);
+        let Some(bytes) = disk.load(SUMMARY_NAMESPACE, key, fingerprint) else {
+            return;
+        };
+        match crate::persist::decode_summaries(&bytes) {
+            Ok(entries) => {
+                let cache = self.summaries_for(tool);
+                for (key, summary) in entries {
+                    cache.insert(key, summary);
+                }
+            }
+            Err(_) => disk.note_corrupt(SUMMARY_NAMESPACE, key),
+        }
+    }
+
+    /// Writes every warmed tool's summary cache back to the disk tier so
+    /// the next process warm-starts from it. No-op without a disk tier.
+    pub fn persist(&self) {
+        let Some(disk) = &self.disk else { return };
+        let warmed: Vec<(String, u64)> = self
+            .warmed
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(tool, fp)| (tool.clone(), *fp))
+            .collect();
+        for (tool, fingerprint) in warmed {
+            let entries = self.summaries_for(&tool).entries();
+            if entries.is_empty() {
+                continue;
+            }
+            let blob = crate::persist::encode_summaries(&entries);
+            disk.store(
+                SUMMARY_NAMESPACE,
+                summary_blob_key(&tool),
+                fingerprint,
+                &blob,
+            );
+        }
     }
 
     /// Current cache totals: the shared parse cache plus every per-tool
@@ -182,6 +298,15 @@ pub struct CacheTotals {
     pub parse: CacheCounters,
     /// Per-tool summary caches, summed.
     pub summary: CacheCounters,
+}
+
+/// The disk key for `tool`'s summary blob: the tool name stands in for
+/// file content, hashed the same way.
+fn summary_blob_key(tool: &str) -> ContentKey {
+    ContentKey {
+        hash: fnv1a_64(tool.as_bytes()),
+        len: tool.len() as u64,
+    }
 }
 
 /// Span-insensitive fingerprint of a declaration: name, parameter list and
@@ -421,6 +546,110 @@ mod tests {
         let sums = caches.summaries_for("phpSAFE");
         assert!(sums.counters().hits >= 1, "{:?}", sums.counters());
         assert_eq!(first.stats.work_units, second.stats.work_units);
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("phpsafe-caching-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn disk_tier_survives_cache_restarts() {
+        use phpsafe_engine::DiskCache;
+        let dir = temp_dir("ast");
+        let src = "<?php function f($x) { return trim($x); } echo f($_GET['a']);";
+
+        let disk = Arc::new(DiskCache::open(&dir).unwrap());
+        let first = AstCache::with_disk(Arc::clone(&disk));
+        let parsed = first.parse(src);
+        assert_eq!(disk.counters().stores, 1, "fresh parse persisted");
+
+        // A brand-new cache (fresh process, in effect) decodes from disk.
+        let disk2 = Arc::new(DiskCache::open(&dir).unwrap());
+        let second = AstCache::with_disk(Arc::clone(&disk2));
+        let reloaded = second.parse(src);
+        assert_eq!(*parsed, *reloaded, "decoded AST identical to parsed");
+        assert_eq!(disk2.counters().hits, 1);
+        assert_eq!(second.counters().misses, 1, "memory miss served by disk");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_falls_back_to_parse() {
+        use phpsafe_engine::DiskCache;
+        let dir = temp_dir("corrupt");
+        let src = "<?php echo $_GET['x'];";
+
+        let disk = Arc::new(DiskCache::open(&dir).unwrap());
+        AstCache::with_disk(Arc::clone(&disk)).parse(src);
+
+        // Garble every persisted payload byte-by-byte truncation.
+        let ns = dir.join("ast");
+        for entry in std::fs::read_dir(&ns).unwrap() {
+            let path = entry.unwrap().path();
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        }
+
+        let disk2 = Arc::new(DiskCache::open(&dir).unwrap());
+        let cache = AstCache::with_disk(Arc::clone(&disk2));
+        let reparsed = cache.parse(src);
+        assert_eq!(*reparsed, php_ast::parse(src), "fell back to a parse");
+        let c = disk2.counters();
+        assert_eq!(c.corrupt, 1, "{c:?}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summaries_persist_and_warm_start() {
+        use crate::{PhpSafe, PluginProject, SourceFile};
+        use phpsafe_engine::DiskCache;
+        let dir = temp_dir("summaries");
+        let plugin = PluginProject::new("p").with_file(SourceFile::new(
+            "p.php",
+            r#"<?php
+            function pad($s) { return str_pad($s, 8); }
+            echo pad("x");
+            "#,
+        ));
+        let tool = PhpSafe::new();
+        let plain = tool.analyze(&plugin);
+
+        let disk = Arc::new(DiskCache::open(&dir).unwrap());
+        let cold = EngineCaches::with_disk(Arc::clone(&disk));
+        let first = tool.analyze_with_caches(&plugin, Some(&cold));
+        assert_eq!(plain, first);
+        cold.persist();
+
+        // A fresh cache set over the same directory replays `pad`'s
+        // summary without ever analyzing the body.
+        let warm = EngineCaches::with_disk(Arc::new(DiskCache::open(&dir).unwrap()));
+        let second = tool.analyze_with_caches(&plugin, Some(&warm));
+        assert_eq!(plain, second);
+        let sums = warm.summaries_for("phpSAFE");
+        assert!(sums.counters().hits >= 1, "{:?}", sums.counters());
+
+        // A different fingerprint (other tool config) must not see them.
+        let other = PhpSafe::new()
+            .with_tool_name("phpSAFE")
+            .with_options(crate::AnalyzerOptions {
+                oop: false,
+                ..crate::AnalyzerOptions::default()
+            });
+        assert_ne!(tool.fingerprint(), other.fingerprint());
+        let strange = EngineCaches::with_disk(Arc::new(DiskCache::open(&dir).unwrap()));
+        strange.warm_summaries("phpSAFE", other.fingerprint());
+        assert!(
+            strange.summaries_for("phpSAFE").is_empty(),
+            "stale blob must be evicted, not replayed"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

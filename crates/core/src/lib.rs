@@ -44,8 +44,10 @@ pub mod explain;
 mod html;
 mod inspect;
 mod interp;
+mod persist;
 mod project;
 mod report;
+pub mod server;
 pub mod symbols;
 pub mod taint;
 
@@ -54,7 +56,8 @@ pub use caching::{CacheTotals, EngineCaches};
 pub use explain::{explain_outcome, explain_vuln};
 pub use html::{escape_html, render_html};
 pub use inspect::{inspect, FileInventory, Inspection};
-pub use project::{PluginProject, SourceFile};
+pub use project::{collect_files, load_project, PluginProject, SourceFile};
 pub use report::{
     numeric_intent, AnalysisOutcome, AnalysisStats, FileFailure, FileReport, Vulnerability,
 };
+pub use server::{AnalysisServer, ServeTool};

@@ -1,7 +1,9 @@
 //! Plugin projects: the unit of analysis. A project is a named collection of
-//! PHP source files, mirroring a WordPress plugin directory.
+//! PHP source files, mirroring a WordPress plugin directory, plus the
+//! filesystem loader every front end (batch CLI, daemon) shares.
 
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// One PHP source file of a plugin.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -88,6 +90,90 @@ impl PluginProject {
     pub fn total_loc(&self) -> usize {
         self.files.iter().map(|f| f.loc()).sum()
     }
+
+    /// A stable 64-bit fingerprint of the project contents: the name plus
+    /// every `(path, content)` pair in path order. Two projects fingerprint
+    /// equal iff an analysis cannot distinguish them, so the daemon keys
+    /// rendered responses on this.
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut indexed: Vec<(&str, &str)> = self
+            .files
+            .iter()
+            .map(|f| (f.path.as_str(), f.content.as_str()))
+            .collect();
+        indexed.sort();
+        let mut acc = phpsafe_engine::fnv1a_64(self.name.as_bytes());
+        for (path, content) in indexed {
+            acc = phpsafe_engine::fnv1a_64_extend(acc, b"\x1e");
+            acc = phpsafe_engine::fnv1a_64_extend(acc, path.as_bytes());
+            acc = phpsafe_engine::fnv1a_64_extend(acc, b"\x1f");
+            acc = phpsafe_engine::fnv1a_64_extend(acc, content.as_bytes());
+        }
+        acc
+    }
+}
+
+/// Collects `.php`-family files under `root` (recursively), with paths
+/// relative to `root` and sorted for deterministic project contents. A
+/// single-file `root` becomes a one-file project.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    fn is_php(p: &Path) -> bool {
+        matches!(
+            p.extension().and_then(|e| e.to_str()),
+            Some("php" | "inc" | "module" | "phtml")
+        )
+    }
+    let mut out = Vec::new();
+    if root.is_file() {
+        let content = std::fs::read_to_string(root)?;
+        let name = root
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "input.php".into());
+        out.push(SourceFile::new(name, content));
+        return Ok(out);
+    }
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = std::fs::read_dir(&dir)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(|e| e.path());
+        for entry in entries {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if is_php(&path) {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                match std::fs::read_to_string(&path) {
+                    Ok(content) => out.push(SourceFile::new(rel, content)),
+                    Err(e) => eprintln!("warning: skipping {}: {e}", path.display()),
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}
+
+/// Loads one filesystem path (a plugin directory or a single PHP file) as
+/// a plugin project named after the path's final component.
+pub fn load_project(path: &Path) -> Result<PluginProject, String> {
+    let files = collect_files(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if files.is_empty() {
+        return Err(format!("no PHP files found under {}", path.display()));
+    }
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "plugin".into());
+    let mut project = PluginProject::new(name);
+    for f in files {
+        project.push_file(f);
+    }
+    Ok(project)
 }
 
 #[cfg(test)]

@@ -1,0 +1,403 @@
+//! The daemon-side analysis service.
+//!
+//! [`AnalysisServer`] implements `phpsafe_serve::Service`, connecting the
+//! transport-agnostic daemon (queue, timeouts, NDJSON protocol) to the
+//! actual analyzer. It owns the long-lived [`EngineCaches`], so repeated
+//! `analyze` requests reuse parsed ASTs and call summaries: only files
+//! whose FNV content hash changed are re-parsed, and only projects whose
+//! content fingerprint changed are re-analyzed at all.
+//!
+//! Three cache tiers serve a request, fastest first:
+//!
+//! 1. **Rendered-outcome tier** (`outcome` namespace on disk): the exact
+//!    JSON report of a prior run, keyed by the project's content
+//!    fingerprint under the tool's config fingerprint. A hit skips
+//!    analysis entirely and embeds the stored bytes in the reply — which
+//!    is how daemon replies stay byte-identical to batch CLI output
+//!    across restarts.
+//! 2. **In-memory AST + summary caches**: shared across requests for the
+//!    daemon's lifetime.
+//! 3. **On-disk AST + summary tiers**: populated by prior processes (a
+//!    batch run with `--cache-dir`, or an earlier daemon); corrupt or
+//!    stale entries are evicted and counted, never trusted.
+//!
+//! Tools are pluggable through [`ServeTool`] so evaluation harnesses can
+//! register the RIPS/Pixy baselines next to the default phpSAFE instance.
+
+use std::path::Path;
+
+use phpsafe_engine::{effective_jobs, run_ordered, ContentKey};
+use phpsafe_serve::{AnalyzeRequest, Json, Service};
+
+use crate::caching::EngineCaches;
+use crate::project::{load_project, PluginProject};
+use crate::report::AnalysisOutcome;
+use crate::PhpSafe;
+
+/// Disk-cache namespace for rendered JSON reports.
+pub const OUTCOME_NAMESPACE: &str = "outcome";
+
+/// An analysis tool the daemon can dispatch to.
+pub trait ServeTool: Send + Sync {
+    /// Configuration fingerprint; guards the rendered-outcome cache the
+    /// same way analyzer fingerprints guard the summary cache.
+    fn fingerprint(&self) -> u64;
+
+    /// Analyzes one project, sharing the daemon's caches.
+    fn analyze_cached(&self, project: &PluginProject, caches: &EngineCaches) -> AnalysisOutcome;
+}
+
+impl ServeTool for PhpSafe {
+    fn fingerprint(&self) -> u64 {
+        PhpSafe::fingerprint(self)
+    }
+
+    fn analyze_cached(&self, project: &PluginProject, caches: &EngineCaches) -> AnalysisOutcome {
+        self.analyze_with_caches(project, Some(caches))
+    }
+}
+
+/// The resident analysis service behind `phpsafe serve`.
+pub struct AnalysisServer {
+    tools: Vec<(String, Box<dyn ServeTool>)>,
+    caches: EngineCaches,
+    default_jobs: usize,
+}
+
+impl AnalysisServer {
+    /// A server with the default phpSAFE tool and fresh in-memory caches.
+    pub fn new() -> AnalysisServer {
+        AnalysisServer::with_caches(EngineCaches::new())
+    }
+
+    /// A server reusing existing caches (typically `EngineCaches::
+    /// with_disk` so the daemon warm-starts from a prior process).
+    pub fn with_caches(caches: EngineCaches) -> AnalysisServer {
+        let mut server = AnalysisServer {
+            tools: Vec::new(),
+            caches,
+            default_jobs: effective_jobs(usize::MAX).0,
+        };
+        server.register("phpSAFE", Box::new(PhpSafe::new()));
+        server
+    }
+
+    /// Registers (or replaces) a named tool.
+    pub fn register(&mut self, name: impl Into<String>, tool: Box<dyn ServeTool>) {
+        let name = name.into();
+        self.tools.retain(|(n, _)| *n != name);
+        self.tools.push((name, tool));
+    }
+
+    /// Sets the worker count used when a request doesn't override it.
+    pub fn with_default_jobs(mut self, jobs: usize) -> AnalysisServer {
+        self.default_jobs = effective_jobs(jobs).0;
+        self
+    }
+
+    /// The shared caches (for persistence flushes and stats).
+    pub fn caches(&self) -> &EngineCaches {
+        &self.caches
+    }
+
+    fn resolve_tools<'a>(
+        &'a self,
+        requested: &[String],
+    ) -> Result<Vec<(&'a str, &'a dyn ServeTool)>, String> {
+        if self.tools.is_empty() {
+            return Err("no tools registered".into());
+        }
+        if requested.is_empty() {
+            let (name, tool) = &self.tools[0];
+            return Ok(vec![(name.as_str(), tool.as_ref())]);
+        }
+        requested
+            .iter()
+            .map(|want| {
+                self.tools
+                    .iter()
+                    .find(|(name, _)| name == want)
+                    .map(|(name, tool)| (name.as_str(), tool.as_ref()))
+                    .ok_or_else(|| {
+                        let known: Vec<&str> = self.tools.iter().map(|(n, _)| n.as_str()).collect();
+                        format!("unknown tool `{want}` (registered: {})", known.join(", "))
+                    })
+            })
+            .collect()
+    }
+
+    /// The rendered-outcome cache key for a project.
+    fn outcome_key(project: &PluginProject) -> ContentKey {
+        ContentKey {
+            hash: project.content_fingerprint(),
+            len: project.files().iter().map(|f| f.content.len() as u64).sum(),
+        }
+    }
+
+    fn cached_report(&self, tool: &dyn ServeTool, project: &PluginProject) -> Option<String> {
+        let disk = self.caches.disk()?;
+        let key = Self::outcome_key(project);
+        let bytes = disk.load(OUTCOME_NAMESPACE, key, tool.fingerprint())?;
+        match String::from_utf8(bytes) {
+            Ok(report) => Some(report),
+            Err(_) => {
+                disk.note_corrupt(OUTCOME_NAMESPACE, key);
+                None
+            }
+        }
+    }
+
+    fn store_report(&self, tool: &dyn ServeTool, project: &PluginProject, report: &str) {
+        if let Some(disk) = self.caches.disk() {
+            disk.store(
+                OUTCOME_NAMESPACE,
+                Self::outcome_key(project),
+                tool.fingerprint(),
+                report.as_bytes(),
+            );
+        }
+    }
+}
+
+impl Default for AnalysisServer {
+    fn default() -> AnalysisServer {
+        AnalysisServer::new()
+    }
+}
+
+impl Service for AnalysisServer {
+    fn analyze(&self, request: &AnalyzeRequest) -> Result<Json, String> {
+        let mut warnings = Vec::new();
+        let jobs = match request.jobs {
+            None => self.default_jobs,
+            Some(requested) => {
+                let (jobs, warning) = effective_jobs(requested);
+                warnings.extend(warning);
+                jobs
+            }
+        };
+        let tools = self.resolve_tools(&request.tools)?;
+        let mut projects = Vec::new();
+        for path in &request.paths {
+            projects.push(load_project(Path::new(path))?);
+        }
+
+        // Path-major report order, mirroring the batch CLI's output order.
+        // `None` slots are cache misses to be analyzed below.
+        let mut reports: Vec<Vec<Option<String>>> = Vec::new();
+        let mut misses = Vec::new();
+        for (pi, project) in projects.iter().enumerate() {
+            let mut row = Vec::new();
+            for (ti, (_, tool)) in tools.iter().enumerate() {
+                let hit = self.cached_report(*tool, project);
+                if hit.is_none() {
+                    misses.push((pi, ti));
+                }
+                row.push(hit);
+            }
+            reports.push(row);
+        }
+        let fully_cached = misses.is_empty();
+
+        let (outcomes, _stats) = run_ordered(misses.clone(), jobs, |_, (pi, ti)| {
+            tools[ti].1.analyze_cached(&projects[pi], &self.caches)
+        });
+        for ((pi, ti), outcome) in misses.into_iter().zip(outcomes) {
+            let report = outcome
+                .to_json()
+                .map_err(|e| format!("report serialization failed: {e}"))?;
+            self.store_report(tools[ti].1, &projects[pi], &report);
+            reports[pi][ti] = Some(report);
+        }
+        // Flush fresh summaries so the next process warm-starts too.
+        self.caches.persist();
+
+        let mut items = Vec::new();
+        for (pi, row) in reports.into_iter().enumerate() {
+            for (ti, report) in row.into_iter().enumerate() {
+                // The report is embedded as a JSON *string*, not spliced
+                // raw: the rendered reports are multi-line documents and
+                // every NDJSON response must stay on one line. A client
+                // that unescapes the string recovers the batch CLI's
+                // `--json` output byte for byte.
+                items.push(Json::Obj(vec![
+                    ("path".to_owned(), Json::Str(request.paths[pi].clone())),
+                    ("tool".to_owned(), Json::Str(tools[ti].0.to_owned())),
+                    (
+                        "report".to_owned(),
+                        Json::Str(report.expect("every slot filled")),
+                    ),
+                ]));
+            }
+        }
+        let mut fields = vec![
+            ("jobs".to_owned(), Json::Num(jobs as f64)),
+            ("fully_cached".to_owned(), Json::Bool(fully_cached)),
+            ("reports".to_owned(), Json::Arr(items)),
+        ];
+        if !warnings.is_empty() {
+            fields.push((
+                "warnings".to_owned(),
+                Json::Arr(warnings.into_iter().map(Json::Str).collect()),
+            ));
+        }
+        Ok(Json::Obj(fields))
+    }
+
+    fn status(&self) -> Vec<(String, Json)> {
+        let totals = self.caches.totals();
+        vec![
+            (
+                "tools".to_owned(),
+                Json::Arr(
+                    self.tools
+                        .iter()
+                        .map(|(name, _)| Json::Str(name.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "cache_dir".to_owned(),
+                match self.caches.disk() {
+                    Some(disk) => Json::Str(disk.root().display().to_string()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "ast_entries".to_owned(),
+                Json::Num(self.caches.ast().len() as f64),
+            ),
+            ("parse_hits".to_owned(), Json::Num(totals.parse.hits as f64)),
+            (
+                "summary_hits".to_owned(),
+                Json::Num(totals.summary.hits as f64),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn write_plugin(root: &Path, body: &str) {
+        std::fs::create_dir_all(root).unwrap();
+        std::fs::write(root.join("index.php"), body).unwrap();
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("phpsafe-server-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const VULN: &str = r#"<?php echo $_GET['q']; ?>"#;
+
+    fn request(paths: Vec<String>) -> AnalyzeRequest {
+        AnalyzeRequest {
+            paths,
+            tools: Vec::new(),
+            jobs: Some(1),
+        }
+    }
+
+    #[test]
+    fn daemon_report_matches_direct_analysis() {
+        let dir = temp_dir("direct");
+        let plugin = dir.join("plugin");
+        write_plugin(&plugin, VULN);
+
+        let server = AnalysisServer::new();
+        let result = server
+            .analyze(&request(vec![plugin.display().to_string()]))
+            .unwrap();
+        let reports = result.get("reports").and_then(Json::as_arr).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(
+            reports[0].get("tool").and_then(Json::as_str),
+            Some("phpSAFE")
+        );
+        let direct = PhpSafe::new()
+            .analyze(&load_project(&plugin).unwrap())
+            .to_json()
+            .unwrap();
+        assert_eq!(
+            reports[0].get("report"),
+            Some(&Json::Str(direct)),
+            "daemon report must be byte-identical to a direct run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn outcome_cache_round_trips_across_servers() {
+        let dir = temp_dir("outcome");
+        let plugin = dir.join("plugin");
+        write_plugin(&plugin, VULN);
+        let cache_dir = dir.join("cache");
+        let req = request(vec![plugin.display().to_string()]);
+
+        let open = || {
+            let disk = Arc::new(phpsafe_engine::DiskCache::open(&cache_dir).unwrap());
+            AnalysisServer::with_caches(EngineCaches::with_disk(disk))
+        };
+        let cold = open().analyze(&req).unwrap();
+        assert_eq!(cold.get("fully_cached"), Some(&Json::Bool(false)));
+
+        // A fresh server process: outcome comes straight from disk.
+        let warm_server = open();
+        let warm = warm_server.analyze(&req).unwrap();
+        assert_eq!(warm.get("fully_cached"), Some(&Json::Bool(true)));
+        assert_eq!(
+            cold.get("reports"),
+            warm.get("reports"),
+            "warm-restart reply must be byte-identical"
+        );
+
+        // Edited content re-analyzes (fingerprint changed).
+        write_plugin(&plugin, "<?php echo htmlentities($_GET['q']); ?>");
+        let edited = warm_server.analyze(&req).unwrap();
+        assert_eq!(edited.get("fully_cached"), Some(&Json::Bool(false)));
+        assert_ne!(cold.get("reports"), edited.get("reports"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_tools_and_bad_paths_are_reported() {
+        let dir = temp_dir("errors");
+        let plugin = dir.join("plugin");
+        write_plugin(&plugin, VULN);
+        let server = AnalysisServer::new();
+        let bad_tool = server.analyze(&AnalyzeRequest {
+            paths: vec![plugin.display().to_string()],
+            tools: vec!["nonesuch".into()],
+            jobs: Some(1),
+        });
+        assert!(bad_tool.unwrap_err().contains("unknown tool `nonesuch`"));
+        let bad_path = server.analyze(&request(vec![dir.join("missing").display().to_string()]));
+        assert!(bad_path.is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jobs_overrides_are_clamped_with_warning() {
+        let dir = temp_dir("jobs");
+        let plugin = dir.join("plugin");
+        write_plugin(&plugin, VULN);
+        let server = AnalysisServer::new();
+        let result = server
+            .analyze(&AnalyzeRequest {
+                paths: vec![plugin.display().to_string()],
+                tools: Vec::new(),
+                jobs: Some(0),
+            })
+            .unwrap();
+        let warnings = result.get("warnings").and_then(Json::as_arr).unwrap();
+        assert!(!warnings.is_empty(), "--jobs 0 must surface a warning");
+        let jobs = result.get("jobs").and_then(Json::as_num).unwrap();
+        assert!(jobs >= 1.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

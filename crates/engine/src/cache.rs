@@ -103,6 +103,21 @@ impl<K: Eq + Hash, V> ArtifactCache<K, V> {
         }
     }
 
+    /// Clones out the current `(key, artifact)` pairs. Used by the
+    /// persistence layer to serialize a cache; the lock is held only for
+    /// the copy, never during encoding.
+    pub fn entries(&self) -> Vec<(K, Arc<V>)>
+    where
+        K: Clone,
+    {
+        self.map
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
     /// Number of stored artifacts.
     pub fn len(&self) -> usize {
         self.map.lock().unwrap().len()

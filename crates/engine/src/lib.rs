@@ -12,7 +12,11 @@
 //!   output is byte-identical to a serial run;
 //! * [`cache`] + [`hash`] — content-hash-keyed artifact stores with
 //!   hit/miss counters, used by the analyzer for shared token-stream/AST
-//!   artifacts and per-tool function summaries.
+//!   artifacts and per-tool function summaries;
+//! * [`disk`] — a persistent on-disk tier under those caches (versioned
+//!   envelopes, atomic writes, corruption-tolerant loads) so artifacts
+//!   survive the process and a daemon or `--cache-dir` CLI run
+//!   warm-starts from a prior one.
 //!
 //! Observability lives in `phpsafe-obs`: each [`run_ordered`] call records
 //! its scheduler statistics (`engine.*` counters, `engine.wall` /
@@ -22,9 +26,11 @@
 //! `phpsafe` binaries.
 
 pub mod cache;
+pub mod disk;
 pub mod hash;
 pub mod pool;
 
 pub use cache::{ArtifactCache, CacheCounters};
-pub use hash::{fnv1a_64, ContentKey};
-pub use pool::{run_ordered, PoolStats};
+pub use disk::{DiskCache, DiskCounters};
+pub use hash::{fnv1a_64, fnv1a_64_extend, ContentKey};
+pub use pool::{effective_jobs, run_ordered, PoolStats};

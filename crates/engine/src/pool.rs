@@ -41,6 +41,37 @@ impl PoolStats {
     }
 }
 
+/// Resolves a user-requested worker count against the machine.
+///
+/// `--jobs 0` (or an absent value defaulted to 0) and `--jobs` beyond the
+/// available parallelism both clamp to [`available_parallelism`]; the
+/// second element is a warning for the CLI to surface when clamping
+/// happened. Shared by the `repro`, `phpsafe` and `phpsafe serve` front
+/// ends so every entry point resolves `--jobs` identically.
+///
+/// [`available_parallelism`]: std::thread::available_parallelism
+pub fn effective_jobs(requested: usize) -> (usize, Option<String>) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if requested == 0 {
+        (
+            cores,
+            Some(format!(
+                "--jobs 0 is not a worker count; using the available parallelism ({cores})"
+            )),
+        )
+    } else if requested > cores {
+        (
+            cores,
+            Some(format!(
+                "--jobs {requested} exceeds the available parallelism; clamping to {cores} \
+                 to avoid oversubscription"
+            )),
+        )
+    } else {
+        (requested, None)
+    }
+}
+
 /// Runs `jobs` on `workers` threads; `run` receives each job plus its
 /// submission index. Results come back in submission order.
 ///
@@ -157,6 +188,20 @@ mod tests {
         let (out, stats) = run_ordered(vec![1, 2], 16, |_, j| j);
         assert_eq!(out, vec![1, 2]);
         assert!(stats.workers <= 2);
+    }
+
+    #[test]
+    fn effective_jobs_clamps_zero_and_oversubscription() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let (jobs, warn) = effective_jobs(0);
+        assert_eq!(jobs, cores);
+        assert!(warn.is_some(), "jobs=0 must warn");
+        let (jobs, warn) = effective_jobs(cores + 100);
+        assert_eq!(jobs, cores);
+        assert!(warn.is_some(), "oversubscription must warn");
+        let (jobs, warn) = effective_jobs(1);
+        assert_eq!(jobs, 1);
+        assert!(warn.is_none(), "a sane request passes through silently");
     }
 
     #[test]

@@ -96,9 +96,21 @@ impl Evaluation {
     /// `stage.*` timing histograms. It is empty unless
     /// [`phpsafe_obs::set_enabled`] was switched on.
     pub fn run_engine_with(corpus: Corpus, jobs: usize) -> (Evaluation, Snapshot) {
+        Self::run_engine_cached(corpus, jobs, &EngineCaches::new())
+    }
+
+    /// [`Evaluation::run_engine_with`] against caller-owned caches —
+    /// typically `EngineCaches::with_disk` so a repeated run warm-starts
+    /// from persisted ASTs and summaries. Cells (and therefore every
+    /// rendered table) are byte-identical to the cold run; only timing
+    /// changes.
+    pub fn run_engine_cached(
+        corpus: Corpus,
+        jobs: usize,
+        caches: &EngineCaches,
+    ) -> (Evaluation, Snapshot) {
         let before = phpsafe_obs::snapshot();
         let tools = paper_tools();
-        let caches = EngineCaches::new();
 
         // Submission order = cell order = the serial loop's order.
         let mut specs: Vec<(usize, Version, usize)> = Vec::new();
@@ -113,11 +125,13 @@ impl Evaluation {
         let (results, _pool) = run_ordered(specs, jobs, |_, (t, version, p)| {
             let plugin = &corpus.plugins()[p];
             let started = Instant::now();
-            let outcome = tools[t].analyze_cached(plugin.project(version), &caches);
+            let outcome = tools[t].analyze_cached(plugin.project(version), caches);
             (outcome, started.elapsed())
         });
 
         caches.record();
+        // Flush fresh summaries to the disk tier, if one is attached.
+        caches.persist();
 
         // Verification runs after the pool has drained — outside both the
         // per-cell timings and the engine's analyze stage. The `stage.eval`

@@ -1,0 +1,275 @@
+//! Daemon invariance: responses from `phpsafe serve`'s service layer must
+//! be byte-identical to batch analysis of the same plugins — including
+//! after a warm restart that answers purely from the on-disk artifact
+//! cache — and the evaluation tables must be byte-identical between a
+//! cold run and a warm-from-disk run. A corrupted cache must degrade to
+//! re-analysis, never to wrong answers.
+
+use phpsafe::{load_project, AnalysisOutcome, AnalysisServer, EngineCaches, PhpSafe, ServeTool};
+use phpsafe_baselines::paper_tools;
+use phpsafe_corpus::{Corpus, Version};
+use phpsafe_engine::{fnv1a_64, DiskCache};
+use phpsafe_eval::{tables, Evaluation, RecallMode};
+use phpsafe_serve::{parse, Daemon, Json, ServerConfig};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("phpsafe-serve-inv-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Writes every 2014 plugin of the corpus under `root` (the corpus-dump
+/// layout) and returns the plugin directories in corpus order.
+fn dump_2014(corpus: &Corpus, root: &Path) -> Vec<PathBuf> {
+    let mut dirs = Vec::new();
+    for plugin in corpus.plugins() {
+        let project = plugin.project(Version::V2014);
+        let dir = root.join(project.name());
+        for f in project.files() {
+            let path = dir.join(&f.path);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &f.content).unwrap();
+        }
+        dirs.push(dir);
+    }
+    dirs
+}
+
+fn analyze_line(paths: &[&Path], tools: &[&str]) -> String {
+    let mut fields = vec![
+        ("cmd".to_owned(), Json::Str("analyze".into())),
+        (
+            "paths".to_owned(),
+            Json::Arr(
+                paths
+                    .iter()
+                    .map(|p| Json::Str(p.display().to_string()))
+                    .collect(),
+            ),
+        ),
+        ("jobs".to_owned(), Json::Num(2.0)),
+    ];
+    if !tools.is_empty() {
+        fields.push((
+            "tools".to_owned(),
+            Json::Arr(tools.iter().map(|t| Json::Str((*t).into())).collect()),
+        ));
+    }
+    Json::Obj(fields).emit()
+}
+
+/// Extracts the embedded report strings of one analyze response.
+fn reports_of(response: &str) -> Vec<String> {
+    let v = parse(response).unwrap();
+    assert_eq!(
+        v.get("ok"),
+        Some(&Json::Bool(true)),
+        "analyze failed: {response}"
+    );
+    v.get("result")
+        .and_then(|r| r.get("reports"))
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|item| {
+            item.get("report")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_owned()
+        })
+        .collect()
+}
+
+fn fully_cached(response: &str) -> bool {
+    parse(response)
+        .unwrap()
+        .get("result")
+        .and_then(|r| r.get("fully_cached"))
+        == Some(&Json::Bool(true))
+}
+
+fn disk_server(cache_dir: &Path) -> (Arc<DiskCache>, AnalysisServer) {
+    let disk = Arc::new(DiskCache::open(cache_dir).unwrap());
+    let server = AnalysisServer::with_caches(EngineCaches::with_disk(Arc::clone(&disk)))
+        .with_default_jobs(2);
+    (disk, server)
+}
+
+#[test]
+fn daemon_reports_match_batch_and_survive_warm_restart() {
+    let corpus = Corpus::generate();
+    let root = temp_dir("restart");
+    let plugin_dirs = dump_2014(&corpus, &root.join("plugins"));
+    let cache_dir = root.join("cache");
+
+    // Cold daemon: every report must equal a direct batch analysis.
+    let (_, server) = disk_server(&cache_dir);
+    let daemon = Daemon::start(Arc::new(server), ServerConfig::default());
+    let tool = PhpSafe::new();
+    let mut cold = Vec::new();
+    for dir in &plugin_dirs {
+        let (response, _) = daemon.handle_line(&analyze_line(&[dir], &[]));
+        let reports = reports_of(&response);
+        assert_eq!(reports.len(), 1);
+        let batch = tool.analyze(&load_project(dir).unwrap()).to_json().unwrap();
+        assert_eq!(reports[0], batch, "daemon diverged for {}", dir.display());
+        cold.push(reports[0].clone());
+    }
+    daemon.shutdown();
+    daemon.join();
+
+    // Fresh daemon process over the same cache dir: answers must come
+    // from disk and stay byte-identical.
+    let (disk, server) = disk_server(&cache_dir);
+    let daemon = Daemon::start(Arc::new(server), ServerConfig::default());
+    for (dir, cold_report) in plugin_dirs.iter().zip(&cold) {
+        let (response, _) = daemon.handle_line(&analyze_line(&[dir], &[]));
+        assert!(
+            fully_cached(&response),
+            "warm restart missed the outcome cache for {}",
+            dir.display()
+        );
+        assert_eq!(&reports_of(&response)[0], cold_report);
+    }
+    assert!(disk.counters().hits > 0, "disk tier never hit");
+    daemon.shutdown();
+    daemon.join();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Adapts the evaluation's `AnalysisTool`s (RIPS, Pixy) to the daemon's
+/// tool registry.
+struct Adapter(Box<dyn phpsafe_baselines::AnalysisTool>);
+
+impl ServeTool for Adapter {
+    fn fingerprint(&self) -> u64 {
+        fnv1a_64(self.0.name().as_bytes())
+    }
+
+    fn analyze_cached(
+        &self,
+        project: &phpsafe::PluginProject,
+        caches: &EngineCaches,
+    ) -> AnalysisOutcome {
+        self.0.analyze_cached(project, caches)
+    }
+}
+
+#[test]
+fn daemon_dispatches_all_three_paper_tools() {
+    let corpus = Corpus::generate();
+    let root = temp_dir("tools");
+    let plugin_dirs = dump_2014(&corpus, &root.join("plugins"));
+    let dir = &plugin_dirs[0];
+
+    let mut server = AnalysisServer::new().with_default_jobs(2);
+    for tool in paper_tools() {
+        server.register(tool.name().to_owned(), Box::new(Adapter(tool)));
+    }
+    let daemon = Daemon::start(Arc::new(server), ServerConfig::default());
+    let (response, _) = daemon.handle_line(&analyze_line(&[dir], &["phpSAFE", "RIPS", "Pixy"]));
+    let reports = reports_of(&response);
+    assert_eq!(reports.len(), 3);
+
+    let project = load_project(dir).unwrap();
+    let caches = EngineCaches::new();
+    for (tool, report) in paper_tools().iter().zip(&reports) {
+        let direct = tool.analyze_cached(&project, &caches).to_json().unwrap();
+        assert_eq!(report, &direct, "daemon diverged for {}", tool.name());
+    }
+    daemon.shutdown();
+    daemon.join();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn tables_are_byte_identical_cold_vs_warm_disk() {
+    let root = temp_dir("tables");
+    let cache_dir = root.join("cache");
+    let run = || {
+        let disk = Arc::new(DiskCache::open(&cache_dir).unwrap());
+        Evaluation::run_engine_cached(Corpus::generate(), 2, &EngineCaches::with_disk(disk)).0
+    };
+    let cold = run();
+    let warm = run();
+    assert_eq!(
+        tables::table1(&cold, RecallMode::PaperOptimistic),
+        tables::table1(&warm, RecallMode::PaperOptimistic),
+        "Table I changed across a warm-from-disk restart"
+    );
+    assert_eq!(
+        tables::table2(&cold),
+        tables::table2(&warm),
+        "Table II changed across a warm-from-disk restart"
+    );
+    assert_eq!(
+        tables::fig2(&cold),
+        tables::fig2(&warm),
+        "Fig. 2 changed across a warm-from-disk restart"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Overwrites the tail of every cache file with garbage (keeping a valid
+/// magic prefix in place so the corruption is in the payload, not just
+/// the header).
+fn garble_dir(dir: &Path) -> usize {
+    let mut garbled = 0;
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            garbled += garble_dir(&path);
+        } else {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let start = bytes.len() / 2;
+            for b in &mut bytes[start..] {
+                *b = 0xFF;
+            }
+            std::fs::write(&path, &bytes).unwrap();
+            garbled += 1;
+        }
+    }
+    garbled
+}
+
+#[test]
+fn corrupted_cache_files_fall_back_to_reanalysis() {
+    let corpus = Corpus::generate();
+    let root = temp_dir("corrupt");
+    let plugin_dirs = dump_2014(&corpus, &root.join("plugins"));
+    let dir = &plugin_dirs[0];
+    let cache_dir = root.join("cache");
+
+    let (_, server) = disk_server(&cache_dir);
+    let daemon = Daemon::start(Arc::new(server), ServerConfig::default());
+    let (cold_response, _) = daemon.handle_line(&analyze_line(&[dir], &[]));
+    let cold = reports_of(&cold_response);
+    daemon.shutdown();
+    daemon.join();
+
+    assert!(garble_dir(&cache_dir) > 0, "cache dir is empty");
+
+    let (disk, server) = disk_server(&cache_dir);
+    let daemon = Daemon::start(Arc::new(server), ServerConfig::default());
+    let (response, _) = daemon.handle_line(&analyze_line(&[dir], &[]));
+    assert!(
+        !fully_cached(&response),
+        "corrupt outcome entry must not count as a cache hit"
+    );
+    assert_eq!(
+        reports_of(&response),
+        cold,
+        "fallback re-analysis diverged from the cold run"
+    );
+    assert!(
+        disk.counters().corrupt > 0,
+        "corruption must be counted, not silent: {:?}",
+        disk.counters()
+    );
+    daemon.shutdown();
+    daemon.join();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -41,9 +41,33 @@ impl fmt::Display for Span {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ExprId(u32);
 
+impl ExprId {
+    /// The raw pool index (for the binary codec).
+    pub(crate) fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a handle from a raw pool index (for the binary codec).
+    pub(crate) fn from_raw(raw: u32) -> ExprId {
+        ExprId(raw)
+    }
+}
+
 /// Index of a [`Stmt`] in its file's [`Arena`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StmtId(u32);
+
+impl StmtId {
+    /// The raw pool index (for the binary codec).
+    pub(crate) fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a handle from a raw pool index (for the binary codec).
+    pub(crate) fn from_raw(raw: u32) -> StmtId {
+        StmtId(raw)
+    }
+}
 
 macro_rules! define_range {
     ($(#[$doc:meta])* $name:ident) => {
@@ -72,6 +96,16 @@ macro_rules! define_range {
 
             fn slice(self) -> std::ops::Range<usize> {
                 self.start as usize..(self.start + self.len) as usize
+            }
+
+            /// The raw `(start, len)` window (for the binary codec).
+            pub(crate) fn raw_parts(self) -> (u32, u32) {
+                (self.start, self.len)
+            }
+
+            /// Rebuilds a range from a raw window (for the binary codec).
+            pub(crate) fn from_raw_parts(start: u32, len: u32) -> $name {
+                $name { start, len }
             }
         }
 
@@ -163,24 +197,24 @@ pub type ConstItem = (Symbol, ExprId);
 /// order, so traversal order matches memory order.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Arena {
-    exprs: Vec<Expr>,
-    stmts: Vec<Stmt>,
-    expr_ids: Vec<ExprId>,
-    stmt_ids: Vec<StmtId>,
-    args: Vec<Arg>,
-    params: Vec<Param>,
-    interp_parts: Vec<InterpPart>,
-    array_items: Vec<ArrayItem>,
-    opt_exprs: Vec<Option<ExprId>>,
-    elseifs: Vec<Elseif>,
-    cases: Vec<SwitchCase>,
-    catches: Vec<Catch>,
-    syms: Vec<Symbol>,
-    static_vars: Vec<StaticVar>,
-    closure_uses: Vec<ClosureUse>,
-    consts: Vec<ConstItem>,
-    members: Vec<ClassMember>,
-    slices: u32,
+    pub(crate) exprs: Vec<Expr>,
+    pub(crate) stmts: Vec<Stmt>,
+    pub(crate) expr_ids: Vec<ExprId>,
+    pub(crate) stmt_ids: Vec<StmtId>,
+    pub(crate) args: Vec<Arg>,
+    pub(crate) params: Vec<Param>,
+    pub(crate) interp_parts: Vec<InterpPart>,
+    pub(crate) array_items: Vec<ArrayItem>,
+    pub(crate) opt_exprs: Vec<Option<ExprId>>,
+    pub(crate) elseifs: Vec<Elseif>,
+    pub(crate) cases: Vec<SwitchCase>,
+    pub(crate) catches: Vec<Catch>,
+    pub(crate) syms: Vec<Symbol>,
+    pub(crate) static_vars: Vec<StaticVar>,
+    pub(crate) closure_uses: Vec<ClosureUse>,
+    pub(crate) consts: Vec<ConstItem>,
+    pub(crate) members: Vec<ClassMember>,
+    pub(crate) slices: u32,
 }
 
 macro_rules! pool_range {

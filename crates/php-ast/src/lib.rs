@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod ast;
+pub mod codec;
 mod parser;
 pub mod printer;
 pub mod visit;

@@ -1,0 +1,513 @@
+//! The daemon core: a [`Service`]-agnostic request loop.
+//!
+//! The analysis implementation lives downstream (phpsafe-core implements
+//! [`Service`]); this module owns everything operational around it — the
+//! bounded queue, the worker pool, per-request timeouts, graceful drain on
+//! shutdown, and the `serve.*` metrics. [`Daemon::handle_line`] is the
+//! single entry point used by both transports ([`run_stdio`] and
+//! [`run_tcp`]), so unit tests can drive the full protocol without a
+//! socket.
+
+use std::io::{self, BufRead, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use phpsafe_obs::{count, snapshot, time};
+
+use crate::json::Json;
+use crate::proto::{error_response, ok_response, parse_line, AnalyzeRequest, Request};
+use crate::queue::{BoundedQueue, PushError};
+
+/// What a daemon must know how to do; everything else (transport, queueing,
+/// timeouts, metrics) is generic.
+pub trait Service: Send + Sync + 'static {
+    /// Runs one analysis request and returns the response payload placed
+    /// under `"result"` in the reply. Use [`Json::Raw`] for pre-rendered
+    /// cached reports so replies stay byte-identical.
+    fn analyze(&self, request: &AnalyzeRequest) -> Result<Json, String>;
+
+    /// Extra fields appended to `status` replies (cache sizes etc.).
+    fn status(&self) -> Vec<(String, Json)> {
+        Vec::new()
+    }
+}
+
+/// Operational limits for a daemon.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Analysis worker threads consuming the queue.
+    pub workers: usize,
+    /// Maximum queued (not yet running) requests before 429 rejection.
+    pub queue_capacity: usize,
+    /// Per-request deadline; expired requests get a 504 reply (the worker
+    /// finishes in the background and warms the caches regardless).
+    pub request_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 64,
+            request_timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+/// What the caller should do after writing the response line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep reading requests.
+    Continue,
+    /// The daemon is shutting down; stop the transport loop.
+    Shutdown,
+}
+
+struct Job {
+    request: AnalyzeRequest,
+    reply: mpsc::Sender<Result<Json, String>>,
+}
+
+/// A running daemon: worker pool + bounded queue around a [`Service`].
+pub struct Daemon {
+    service: Arc<dyn Service>,
+    config: ServerConfig,
+    queue: Arc<BoundedQueue<Job>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    draining: AtomicBool,
+    started: Instant,
+    served: AtomicU64,
+}
+
+impl Daemon {
+    /// Starts the worker pool and returns the daemon handle.
+    pub fn start(service: Arc<dyn Service>, config: ServerConfig) -> Arc<Daemon> {
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let daemon = Arc::new(Daemon {
+            service: Arc::clone(&service),
+            workers: Mutex::new(Vec::new()),
+            draining: AtomicBool::new(false),
+            started: Instant::now(),
+            served: AtomicU64::new(0),
+            queue: Arc::clone(&queue),
+            config,
+        });
+        let mut workers = daemon.workers.lock().unwrap();
+        for _ in 0..daemon.config.workers.max(1) {
+            let queue = Arc::clone(&queue);
+            let service = Arc::clone(&service);
+            workers.push(std::thread::spawn(move || {
+                while let Some(job) = queue.pop() {
+                    let t0 = Instant::now();
+                    let outcome = service.analyze(&job.request);
+                    time("serve.analyze", t0.elapsed());
+                    if outcome.is_err() {
+                        count("serve.errors", 1);
+                    }
+                    // The requester may have timed out and dropped the
+                    // receiver; the work still warmed the caches.
+                    let _ = job.reply.send(outcome);
+                }
+            }));
+        }
+        drop(workers);
+        daemon
+    }
+
+    /// True once a shutdown request has been accepted.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting new work; already-queued requests still complete.
+    pub fn shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    /// Waits for every worker to finish draining the queue.
+    pub fn join(&self) {
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Handles one NDJSON request line and returns the response line plus
+    /// whether the transport should keep reading.
+    pub fn handle_line(&self, line: &str) -> (String, Control) {
+        count("serve.requests", 1);
+        let envelope = match parse_line(line) {
+            Ok(envelope) => envelope,
+            Err(message) => {
+                count("serve.bad_requests", 1);
+                return (error_response(None, 400, &message), Control::Continue);
+            }
+        };
+        let id = envelope.id.as_ref();
+        match envelope.request {
+            Request::Status => {
+                let mut fields = vec![
+                    (
+                        "uptime_ms".to_owned(),
+                        Json::Num(self.started.elapsed().as_millis() as f64),
+                    ),
+                    (
+                        "queue_depth".to_owned(),
+                        Json::Num(self.queue.depth() as f64),
+                    ),
+                    ("workers".to_owned(), Json::Num(self.config.workers as f64)),
+                    (
+                        "served".to_owned(),
+                        Json::Num(self.served.load(Ordering::SeqCst) as f64),
+                    ),
+                    ("draining".to_owned(), Json::Bool(self.draining())),
+                ];
+                fields.extend(self.service.status());
+                (ok_response(id, fields), Control::Continue)
+            }
+            Request::Metrics => {
+                // The snapshot renders as a pretty multi-line document;
+                // re-emit it compactly so the response stays on one line.
+                let doc = snapshot().to_json();
+                let metrics = match crate::json::parse(&doc) {
+                    Ok(value) => value,
+                    Err(_) => Json::Str(doc),
+                };
+                (
+                    ok_response(id, vec![("metrics".to_owned(), metrics)]),
+                    Control::Continue,
+                )
+            }
+            Request::Shutdown => {
+                self.shutdown();
+                (
+                    ok_response(id, vec![("shutting_down".to_owned(), Json::Bool(true))]),
+                    Control::Shutdown,
+                )
+            }
+            Request::Analyze(request) => (self.analyze(id, request), Control::Continue),
+        }
+    }
+
+    fn analyze(&self, id: Option<&Json>, request: AnalyzeRequest) -> String {
+        let t0 = Instant::now();
+        let (reply, receiver) = mpsc::channel();
+        match self.queue.try_push(Job { request, reply }) {
+            Ok(()) => count("serve.accepted", 1),
+            Err(PushError::Full) => {
+                count("serve.rejected", 1);
+                return error_response(id, 429, "queue full, retry later");
+            }
+            Err(PushError::Closed) => {
+                count("serve.rejected", 1);
+                return error_response(id, 503, "daemon is shutting down");
+            }
+        }
+        let response = match receiver.recv_timeout(self.config.request_timeout) {
+            Ok(Ok(result)) => {
+                self.served.fetch_add(1, Ordering::SeqCst);
+                ok_response(id, vec![("result".to_owned(), result)])
+            }
+            Ok(Err(message)) => error_response(id, 500, &message),
+            Err(_) => {
+                count("serve.timeouts", 1);
+                error_response(id, 504, "request timed out")
+            }
+        };
+        time("serve.request", t0.elapsed());
+        response
+    }
+}
+
+/// Serves the protocol over stdin/stdout until EOF or a shutdown request,
+/// then drains the queue.
+pub fn run_stdio(daemon: &Arc<Daemon>) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, control) = daemon.handle_line(&line);
+        let mut out = stdout.lock();
+        writeln!(out, "{response}")?;
+        out.flush()?;
+        if control == Control::Shutdown {
+            break;
+        }
+    }
+    daemon.shutdown();
+    daemon.join();
+    Ok(())
+}
+
+/// Binds the daemon's loopback listener (`port` 0 picks a free port).
+pub fn bind(port: u16) -> io::Result<TcpListener> {
+    TcpListener::bind(("127.0.0.1", port))
+}
+
+fn handle_conn(daemon: &Arc<Daemon>, stream: TcpStream) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = io::BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, control) = daemon.handle_line(&line);
+        writeln!(writer, "{response}")?;
+        writer.flush()?;
+        if control == Control::Shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Accepts loopback connections (one thread each) until a shutdown request
+/// arrives on any of them, then drains and joins everything.
+pub fn run_tcp(daemon: &Arc<Daemon>, listener: TcpListener) -> io::Result<()> {
+    let addr = listener.local_addr()?;
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if daemon.draining() {
+            break;
+        }
+        let stream = stream?;
+        let daemon = Arc::clone(daemon);
+        conns.push(std::thread::spawn(move || {
+            let _ = handle_conn(&daemon, stream);
+            if daemon.draining() {
+                // Wake the accept loop so it can observe the drain flag.
+                let _ = TcpStream::connect(addr);
+            }
+        }));
+    }
+    for conn in conns {
+        let _ = conn.join();
+    }
+    daemon.shutdown();
+    daemon.join();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use std::sync::Barrier;
+
+    /// Echoes the request back; optionally announces entry on a channel
+    /// and parks on a barrier so tests can control worker occupancy.
+    struct Mock {
+        entered: Option<Mutex<mpsc::Sender<()>>>,
+        gate: Option<Arc<Barrier>>,
+        delay: Duration,
+    }
+
+    impl Mock {
+        fn fast() -> Arc<Mock> {
+            Arc::new(Mock {
+                entered: None,
+                gate: None,
+                delay: Duration::ZERO,
+            })
+        }
+
+        fn gated() -> (Arc<Mock>, mpsc::Receiver<()>, Arc<Barrier>) {
+            let (tx, rx) = mpsc::channel();
+            let gate = Arc::new(Barrier::new(2));
+            let mock = Arc::new(Mock {
+                entered: Some(Mutex::new(tx)),
+                gate: Some(Arc::clone(&gate)),
+                delay: Duration::ZERO,
+            });
+            (mock, rx, gate)
+        }
+    }
+
+    impl Service for Mock {
+        fn analyze(&self, request: &AnalyzeRequest) -> Result<Json, String> {
+            if let Some(entered) = &self.entered {
+                let _ = entered.lock().unwrap().send(());
+            }
+            if let Some(gate) = &self.gate {
+                gate.wait();
+            }
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            if request.paths == ["boom"] {
+                return Err("analysis failed".into());
+            }
+            Ok(Json::Obj(vec![(
+                "paths".to_owned(),
+                Json::Arr(request.paths.iter().cloned().map(Json::Str).collect()),
+            )]))
+        }
+
+        fn status(&self) -> Vec<(String, Json)> {
+            vec![("mock".to_owned(), Json::Bool(true))]
+        }
+    }
+
+    fn line(daemon: &Arc<Daemon>, request: &str) -> Json {
+        let (response, _) = daemon.handle_line(request);
+        parse(&response).unwrap()
+    }
+
+    #[test]
+    fn analyze_round_trip() {
+        let daemon = Daemon::start(Mock::fast(), ServerConfig::default());
+        let v = line(&daemon, r#"{"cmd":"analyze","paths":["p1"],"id":9}"#);
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("id"), Some(&Json::Num(9.0)));
+        let paths = v.get("result").and_then(|r| r.get("paths")).unwrap();
+        assert_eq!(paths.as_arr().unwrap(), [Json::Str("p1".into())]);
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
+    fn malformed_and_failing_requests_report_codes() {
+        let daemon = Daemon::start(Mock::fast(), ServerConfig::default());
+        assert_eq!(
+            line(&daemon, "garbage").get("code"),
+            Some(&Json::Num(400.0))
+        );
+        let v = line(&daemon, r#"{"cmd":"analyze","paths":["boom"]}"#);
+        assert_eq!(v.get("code"), Some(&Json::Num(500.0)));
+        assert_eq!(v.get("error"), Some(&Json::Str("analysis failed".into())));
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
+    fn status_and_metrics_report_daemon_state() {
+        phpsafe_obs::set_enabled(true);
+        let daemon = Daemon::start(Mock::fast(), ServerConfig::default());
+        line(&daemon, r#"{"cmd":"analyze","paths":["p"]}"#);
+        let status = line(&daemon, r#"{"cmd":"status"}"#);
+        assert_eq!(status.get("served"), Some(&Json::Num(1.0)));
+        assert_eq!(status.get("draining"), Some(&Json::Bool(false)));
+        assert_eq!(status.get("mock"), Some(&Json::Bool(true)));
+        let (metrics, _) = daemon.handle_line(r#"{"cmd":"metrics"}"#);
+        assert!(
+            metrics.contains("serve.requests"),
+            "metrics reply should carry serve.* counters: {metrics}"
+        );
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_429_then_drains() {
+        let (service, entered, gate) = Mock::gated();
+        let daemon = Daemon::start(
+            service,
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 1,
+                ..ServerConfig::default()
+            },
+        );
+        // First request: the lone worker picks it up and parks on the gate.
+        let first = {
+            let daemon = Arc::clone(&daemon);
+            std::thread::spawn(move || line(&daemon, r#"{"cmd":"analyze","paths":["a"]}"#))
+        };
+        entered.recv().unwrap(); // worker is busy with "a", queue is empty
+                                 // Second request fills the lone queue slot; third must be shed.
+        let second = {
+            let daemon = Arc::clone(&daemon);
+            std::thread::spawn(move || line(&daemon, r#"{"cmd":"analyze","paths":["b"]}"#))
+        };
+        while daemon.queue.depth() == 0 {
+            std::thread::yield_now();
+        }
+        let rejected = line(&daemon, r#"{"cmd":"analyze","paths":["c"]}"#);
+        assert_eq!(rejected.get("code"), Some(&Json::Num(429.0)));
+        gate.wait(); // release "a"
+        entered.recv().unwrap();
+        gate.wait(); // release "b"
+        assert_eq!(first.join().unwrap().get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(second.join().unwrap().get("ok"), Some(&Json::Bool(true)));
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
+    fn slow_requests_time_out_with_504() {
+        let daemon = Daemon::start(
+            Arc::new(Mock {
+                entered: None,
+                gate: None,
+                delay: Duration::from_millis(200),
+            }),
+            ServerConfig {
+                request_timeout: Duration::from_millis(20),
+                ..ServerConfig::default()
+            },
+        );
+        let v = line(&daemon, r#"{"cmd":"analyze","paths":["slow"]}"#);
+        assert_eq!(v.get("code"), Some(&Json::Num(504.0)));
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_but_answers_queued_work() {
+        let (service, entered, gate) = Mock::gated();
+        let daemon = Daemon::start(
+            service,
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let inflight = {
+            let daemon = Arc::clone(&daemon);
+            std::thread::spawn(move || line(&daemon, r#"{"cmd":"analyze","paths":["a"]}"#))
+        };
+        entered.recv().unwrap(); // worker holds "a" at the gate
+        let (response, control) = daemon.handle_line(r#"{"cmd":"shutdown"}"#);
+        assert_eq!(control, Control::Shutdown);
+        assert!(response.contains("shutting_down"));
+        let late = line(&daemon, r#"{"cmd":"analyze","paths":["late"]}"#);
+        assert_eq!(late.get("code"), Some(&Json::Num(503.0)));
+        gate.wait(); // let the in-flight request finish during the drain
+        assert_eq!(inflight.join().unwrap().get("ok"), Some(&Json::Bool(true)));
+        daemon.join();
+    }
+
+    #[test]
+    fn tcp_transport_round_trips_and_shuts_down() {
+        let daemon = Daemon::start(Mock::fast(), ServerConfig::default());
+        let listener = bind(0).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let daemon = Arc::clone(&daemon);
+            std::thread::spawn(move || run_tcp(&daemon, listener))
+        };
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = io::BufReader::new(stream);
+        let mut ask = |req: &str| {
+            writeln!(writer, "{req}").unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            parse(response.trim()).unwrap()
+        };
+        let v = ask(r#"{"cmd":"analyze","paths":["x"],"id":"t"}"#);
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("id"), Some(&Json::Str("t".into())));
+        let bye = ask(r#"{"cmd":"shutdown"}"#);
+        assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
+        server.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! phpsafe-serve: the long-running analysis daemon framework.
+//!
+//! phpSAFE's batch CLI pays full parse + summary cost on every invocation.
+//! This crate keeps an analysis service resident so repeated requests reuse
+//! warm caches: an NDJSON request/response protocol ([`proto`]), a bounded
+//! request queue with explicit backpressure ([`queue`]), and a worker-pool
+//! daemon with per-request timeouts and graceful drain ([`daemon`]) that
+//! speaks the protocol over TCP (loopback) or stdio.
+//!
+//! The crate is deliberately service-agnostic and depends only on
+//! `phpsafe-obs`: the actual analysis lives behind the [`Service`] trait,
+//! implemented downstream by phpsafe-core's `AnalysisServer`. That keeps
+//! the dependency arrow pointing one way (core → serve → obs) and lets the
+//! daemon plumbing be unit-tested with mock services, no sockets or parser
+//! required.
+//!
+//! Operational metrics are reported through `phpsafe-obs` under the
+//! `serve.*` prefix: `serve.requests`, `serve.accepted`, `serve.rejected`,
+//! `serve.timeouts`, `serve.errors`, `serve.bad_requests` counters plus
+//! `serve.request` / `serve.analyze` latency histograms, all retrievable
+//! in-band via the `metrics` command.
+
+pub mod daemon;
+pub mod json;
+pub mod proto;
+pub mod queue;
+
+pub use daemon::{bind, run_stdio, run_tcp, Control, Daemon, ServerConfig, Service};
+pub use json::{parse, Json};
+pub use proto::{error_response, ok_response, parse_line, AnalyzeRequest, Envelope, Request};
+pub use queue::{BoundedQueue, PushError};

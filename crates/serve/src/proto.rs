@@ -1,0 +1,203 @@
+//! The daemon's NDJSON wire protocol.
+//!
+//! Each request is one JSON object per line with a `cmd` field and an
+//! optional client-chosen `id` that is echoed back in the response:
+//!
+//! ```text
+//! {"cmd":"analyze","paths":["plugin-a"],"tools":["phpSAFE"],"jobs":4,"id":1}
+//! {"cmd":"status"}
+//! {"cmd":"metrics"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! Responses are `{"ok":true,...}` or `{"ok":false,"code":N,"error":"..."}`
+//! with HTTP-flavoured codes (`400` malformed, `429` queue full, `503`
+//! draining, `504` request timeout, `500` analysis failure).
+
+use crate::json::{parse, Json};
+
+/// Parameters of an `analyze` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeRequest {
+    /// Plugin roots to analyze, in request order.
+    pub paths: Vec<String>,
+    /// Tool configurations to run; empty means the service default.
+    pub tools: Vec<String>,
+    /// Worker override for this request; `None` means the daemon default.
+    pub jobs: Option<usize>,
+}
+
+/// A decoded request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run analysis over one or more plugin roots.
+    Analyze(AnalyzeRequest),
+    /// Report daemon health (queue depth, workers, totals).
+    Status,
+    /// Return the current phpsafe-obs snapshot.
+    Metrics,
+    /// Drain queued requests and stop the daemon.
+    Shutdown,
+}
+
+/// A request plus the client's optional `id`, echoed in the response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Client correlation id (any JSON value), if supplied.
+    pub id: Option<Json>,
+    /// The decoded command.
+    pub request: Request,
+}
+
+fn str_list(value: &Json, what: &str) -> Result<Vec<String>, String> {
+    let items = value
+        .as_arr()
+        .ok_or_else(|| format!("`{what}` must be an array of strings"))?;
+    items
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("`{what}` must be an array of strings"))
+        })
+        .collect()
+}
+
+/// Decodes one NDJSON request line.
+pub fn parse_line(line: &str) -> Result<Envelope, String> {
+    let value = parse(line)?;
+    if !matches!(value, Json::Obj(_)) {
+        return Err("request must be a JSON object".into());
+    }
+    let id = value.get("id").cloned();
+    let cmd = value
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `cmd`")?;
+    let request = match cmd {
+        "analyze" => {
+            let paths = match value.get("paths") {
+                Some(v) => str_list(v, "paths")?,
+                None => return Err("analyze requires a `paths` array".into()),
+            };
+            if paths.is_empty() {
+                return Err("analyze requires at least one path".into());
+            }
+            let tools = match value.get("tools") {
+                Some(v) => str_list(v, "tools")?,
+                None => Vec::new(),
+            };
+            let jobs = match value.get("jobs") {
+                None => None,
+                Some(v) => {
+                    let n = v.as_num().ok_or("`jobs` must be a number")?;
+                    if n < 0.0 || n.fract() != 0.0 {
+                        return Err("`jobs` must be a non-negative integer".into());
+                    }
+                    Some(n as usize)
+                }
+            };
+            Request::Analyze(AnalyzeRequest { paths, tools, jobs })
+        }
+        "status" => Request::Status,
+        "metrics" => Request::Metrics,
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown cmd `{other}`")),
+    };
+    Ok(Envelope { id, request })
+}
+
+fn envelope(ok: bool, id: Option<&Json>, mut fields: Vec<(String, Json)>) -> String {
+    let mut all = vec![("ok".to_owned(), Json::Bool(ok))];
+    if let Some(id) = id {
+        all.push(("id".to_owned(), id.clone()));
+    }
+    all.append(&mut fields);
+    Json::Obj(all).emit()
+}
+
+/// Renders a success response line: `{"ok":true,"id":...,<fields>}`.
+pub fn ok_response(id: Option<&Json>, fields: Vec<(String, Json)>) -> String {
+    envelope(true, id, fields)
+}
+
+/// Renders an error response line with an HTTP-flavoured `code`.
+pub fn error_response(id: Option<&Json>, code: u32, message: &str) -> String {
+    envelope(
+        false,
+        id,
+        vec![
+            ("code".to_owned(), Json::Num(code as f64)),
+            ("error".to_owned(), Json::Str(message.to_owned())),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_analyze_with_all_fields() {
+        let env = parse_line(
+            r#"{"cmd":"analyze","paths":["a","b"],"tools":["phpSAFE"],"jobs":4,"id":7}"#,
+        )
+        .unwrap();
+        assert_eq!(env.id, Some(Json::Num(7.0)));
+        assert_eq!(
+            env.request,
+            Request::Analyze(AnalyzeRequest {
+                paths: vec!["a".into(), "b".into()],
+                tools: vec!["phpSAFE".into()],
+                jobs: Some(4),
+            })
+        );
+    }
+
+    #[test]
+    fn parses_bare_commands() {
+        for (line, want) in [
+            (r#"{"cmd":"status"}"#, Request::Status),
+            (r#"{"cmd":"metrics"}"#, Request::Metrics),
+            (r#"{"cmd":"shutdown"}"#, Request::Shutdown),
+        ] {
+            let env = parse_line(line).unwrap();
+            assert_eq!(env.id, None);
+            assert_eq!(env.request, want);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for line in [
+            "not json",
+            r#""just a string""#,
+            r#"{"paths":["a"]}"#,
+            r#"{"cmd":"frobnicate"}"#,
+            r#"{"cmd":"analyze"}"#,
+            r#"{"cmd":"analyze","paths":[]}"#,
+            r#"{"cmd":"analyze","paths":[1]}"#,
+            r#"{"cmd":"analyze","paths":["a"],"jobs":-1}"#,
+            r#"{"cmd":"analyze","paths":["a"],"jobs":1.5}"#,
+        ] {
+            assert!(parse_line(line).is_err(), "should reject: {line}");
+        }
+    }
+
+    #[test]
+    fn responses_echo_the_id() {
+        let id = Json::Str("req-1".into());
+        assert_eq!(
+            ok_response(Some(&id), vec![("n".into(), Json::Num(2.0))]),
+            r#"{"ok":true,"id":"req-1","n":2}"#
+        );
+        assert_eq!(
+            error_response(Some(&id), 429, "queue full"),
+            r#"{"ok":false,"id":"req-1","code":429,"error":"queue full"}"#
+        );
+        assert_eq!(
+            error_response(None, 400, "bad"),
+            r#"{"ok":false,"code":400,"error":"bad"}"#
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! A bounded MPMC queue with explicit backpressure.
+//!
+//! The daemon's transport threads `try_push` requests and immediately
+//! reject the caller with a *queue full* error when the bound is hit —
+//! load shedding at the edge instead of unbounded buffering — while
+//! analysis workers block on [`BoundedQueue::pop`]. Closing the queue
+//! (graceful shutdown) wakes every blocked worker; items already queued
+//! are still drained so accepted requests always get a response.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the caller should shed the request.
+    Full,
+    /// The queue is closed (shutting down); no new work is accepted.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A Mutex + Condvar bounded queue. `T` is typically one queued request
+/// plus its response channel.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    takeable: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            takeable: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues without blocking; fails when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.takeable.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; `None` means shutdown.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.takeable.wait(state).unwrap();
+        }
+    }
+
+    /// Stops accepting new items and wakes every blocked consumer. Items
+    /// already queued are still handed out.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.takeable.notify_all();
+    }
+
+    /// Items currently queued (racy; for metrics only).
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_after_close() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.depth(), 2);
+        q.close();
+        assert_eq!(q.try_push(4), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn close_drains_queued_items_then_returns_none() {
+        let q = BoundedQueue::new(8);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "stays closed");
+    }
+
+    #[test]
+    fn workers_drain_concurrently() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let total = 100u64;
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut sent = 0;
+                while sent < total {
+                    match q.try_push(sent) {
+                        Ok(()) => sent += 1,
+                        Err(PushError::Full) => std::thread::yield_now(),
+                        Err(PushError::Closed) => panic!("closed early"),
+                    }
+                }
+                q.close();
+            })
+        };
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(item) = q.pop() {
+                        got.push(item);
+                    }
+                    got
+                })
+            })
+            .collect();
+        producer.join().unwrap();
+        let mut all: Vec<u64> = workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect();
+        all.sort();
+        assert_eq!(all, (0..total).collect::<Vec<_>>());
+    }
+}

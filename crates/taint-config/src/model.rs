@@ -381,6 +381,58 @@ impl TaintConfig {
         self.known_objects.get(var).map(|s| s.as_str())
     }
 
+    /// A stable 64-bit fingerprint of the full configuration.
+    ///
+    /// Two configs fingerprint equal iff they answer every query
+    /// identically, regardless of insertion order or process — the maps
+    /// are folded in sorted order. Persistent caches key derived
+    /// artifacts (function summaries, rendered reports) on this, so any
+    /// profile edit invalidates them.
+    pub fn fingerprint(&self) -> u64 {
+        // Render each section to sorted text lines and FNV-fold them;
+        // self-contained so the config crate stays dependency-free.
+        fn fold(hash: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *hash ^= b as u64;
+                *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let mut lines: Vec<String> = Vec::new();
+        for (var, kind) in &self.superglobals {
+            lines.push(format!("superglobal\x1f{var}\x1f{kind:?}"));
+        }
+        for (name, kind) in &self.source_fns {
+            lines.push(format!("source\x1f{name}\x1f{kind:?}"));
+        }
+        for (name, protects) in &self.sanitizers {
+            let mut protects = protects.clone();
+            protects.sort();
+            lines.push(format!("sanitizer\x1f{name}\x1f{protects:?}"));
+        }
+        for name in self.reverts.keys() {
+            lines.push(format!("revert\x1f{name}"));
+        }
+        for (name, specs) in &self.sinks {
+            let mut rendered: Vec<String> = specs
+                .iter()
+                .map(|s| format!("{:?}\x1f{:?}", s.class, s.args))
+                .collect();
+            rendered.sort();
+            lines.push(format!("sink\x1f{name}\x1f{rendered:?}"));
+        }
+        for (var, class) in &self.known_objects {
+            lines.push(format!("object\x1f{var}\x1f{class}"));
+        }
+        lines.sort();
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        fold(&mut hash, self.profile.as_bytes());
+        for line in &lines {
+            fold(&mut hash, &[0x1e]);
+            fold(&mut hash, line.as_bytes());
+        }
+        hash
+    }
+
     /// Number of configured entries per section (sources, sanitizers,
     /// reverts, sinks) — used in docs/benches to sanity-check profiles.
     pub fn section_sizes(&self) -> (usize, usize, usize, usize) {
@@ -502,6 +554,46 @@ mod tests {
         assert_eq!(
             SourceKind::Array.vector_class(),
             VectorClass::FileFunctionArray
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent_and_content_sensitive() {
+        let a = sample().fingerprint();
+        // Same entries inserted in a different order.
+        let mut c = TaintConfig::empty("test");
+        c.add_known_object("$wpdb", "wpdb");
+        c.add_sink(SinkSpec {
+            name: FuncName::function("mysql_query"),
+            class: VulnClass::Sqli,
+            args: Some(vec![0]),
+        });
+        c.add_revert(RevertSpec {
+            name: FuncName::function("stripslashes"),
+        });
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::function("htmlentities"),
+            protects: vec![VulnClass::Xss],
+        });
+        c.add_source(SourceSpec::Callable {
+            name: FuncName::method("wpdb", "get_results"),
+            kind: SourceKind::Database,
+        });
+        c.add_source(SourceSpec::Superglobal {
+            var: "$_GET".into(),
+            kind: SourceKind::Get,
+        });
+        assert_eq!(a, c.fingerprint(), "insertion order must not matter");
+
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::function("esc_html"),
+            protects: vec![VulnClass::Xss],
+        });
+        assert_ne!(a, c.fingerprint(), "added entries must change it");
+        assert_ne!(
+            TaintConfig::empty("a").fingerprint(),
+            TaintConfig::empty("b").fingerprint(),
+            "profile name is part of the identity"
         );
     }
 

@@ -39,6 +39,10 @@ for key in stage.lex stage.parse stage.analyze stage.eval cache.parse.hits \
     }
 done
 
+# Daemon-focused invariance suite: responses byte-identical to batch runs,
+# warm restart from the on-disk cache, corruption fallback.
+cargo test -q --offline -p phpsafe-eval --test serve_invariance
+
 # Smoke: --explain must print at least one provenance chain ending in a
 # sink for a known-vulnerable corpus plugin. (`phpsafe` exits 1 when it
 # finds vulnerabilities, so capture output before grepping.)
@@ -57,3 +61,34 @@ if [ "$explain_ok" -ne 1 ]; then
     echo "verify: --explain printed no provenance chain for any 2014 plugin" >&2
     exit 1
 fi
+
+# Smoke: the daemon must start, answer one analyze round-trip, report the
+# serve.*/diskcache.* metric families, and shut down cleanly. Driven over
+# stdio so no port management is needed; the protocol is identical on TCP.
+serve_cache="$(mktemp -d)"
+serve_out="$(mktemp)"
+trap 'rm -f "$metrics" "$serve_out"; rm -rf "$plugin_dir" "$serve_cache"' EXIT
+serve_plugin="$(ls -d "$plugin_dir"/2014/*/ | head -n 1)"
+printf '{"cmd":"analyze","paths":["%s"],"id":1}\n{"cmd":"metrics"}\n{"cmd":"shutdown"}\n' \
+    "$serve_plugin" |
+    cargo run -q --release --offline -p phpsafe --bin phpsafe -- \
+        serve --stdio --cache-dir "$serve_cache" >"$serve_out" 2>/dev/null
+[ "$(wc -l <"$serve_out")" -eq 3 ] || {
+    echo "verify: daemon did not answer one line per request" >&2
+    exit 1
+}
+sed -n 1p "$serve_out" | grep -q '"ok":true.*"reports"' || {
+    echo "verify: daemon analyze round-trip failed" >&2
+    exit 1
+}
+for key in serve.requests serve.accepted serve.request serve.analyze \
+           diskcache.misses diskcache.stores; do
+    sed -n 2p "$serve_out" | grep -q "\"$key\"" || {
+        echo "verify: daemon metrics reply is missing key $key" >&2
+        exit 1
+    }
+done
+sed -n 3p "$serve_out" | grep -q '"shutting_down":true' || {
+    echo "verify: daemon did not acknowledge shutdown" >&2
+    exit 1
+}
