@@ -34,4 +34,4 @@ mod tool;
 
 pub use pixy::{pixy_config, Pixy};
 pub use rips::Rips;
-pub use tool::{paper_tools, AnalysisTool};
+pub use tool::{paper_tools, paper_tools_graph, AnalysisTool};

@@ -47,6 +47,7 @@ impl Rips {
             // RIPS finished every file in the paper's runs.
             work_limit: 50_000_000,
             trace_limit: 12,
+            taint_graph: false,
         };
         Rips {
             engine: PhpSafe::new()
@@ -59,6 +60,12 @@ impl Rips {
     /// Access to the underlying engine (for ablation benches).
     pub fn engine(&self) -> &PhpSafe {
         &self.engine
+    }
+
+    /// The same baseline with the whole-program taint-graph path toggled.
+    pub fn with_taint_graph(mut self, enabled: bool) -> Self {
+        self.engine = self.engine.with_taint_graph(enabled);
+        self
     }
 }
 

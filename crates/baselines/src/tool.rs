@@ -44,6 +44,18 @@ pub fn paper_tools() -> Vec<Box<dyn AnalysisTool>> {
     ]
 }
 
+/// [`paper_tools`] with the whole-program taint-graph analysis path
+/// enabled on every tool. Must produce byte-identical outcomes; only the
+/// analysis mechanics (one recorded walk, then per-class graph queries)
+/// differ.
+pub fn paper_tools_graph() -> Vec<Box<dyn AnalysisTool>> {
+    vec![
+        Box::new(PhpSafe::new().with_taint_graph(true)),
+        Box::new(crate::rips::Rips::new().with_taint_graph(true)),
+        Box::new(crate::pixy::Pixy::new().with_taint_graph(true)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,119 @@
+//! `taint_graph` — what the whole-program taint graph costs and buys
+//! over the full 3-tool × 2-version evaluation matrix:
+//!
+//! * `serial_walker` — `Evaluation::run_with`: the Table III
+//!   methodology, one uncached taint walk per (tool, version, plugin).
+//! * `serial_graph` — `Evaluation::run_graph_with`: the same matrix on
+//!   the `--taint-graph` path; each analysis records one graph during
+//!   its walk and answers both vulnerability classes as reachability
+//!   queries over it.
+//! * `warm_walker_restart` / `warm_graph_restart` — fresh caches per
+//!   iteration over a populated `--cache-dir`: the walker restarts from
+//!   persisted ASTs and call summaries but re-walks every file; the
+//!   graph path answers each (tool, plugin) from its persisted graph
+//!   without re-walking — the amortization the subsystem exists for.
+//!
+//! After the timing groups the bench re-checks invariance (walker and
+//! graph artifacts byte-identical, warm restart answered from stored
+//! graphs). Results are recorded in `BENCH_taint_graph.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phpsafe::EngineCaches;
+use phpsafe_corpus::Corpus;
+use phpsafe_engine::DiskCache;
+use phpsafe_eval::{tables, Evaluation, RecallMode};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Renders every timing-free artifact into one string.
+fn artifacts(e: &Evaluation) -> String {
+    let mut out = String::new();
+    out.push_str(&tables::table1(e, RecallMode::PaperOptimistic));
+    out.push_str(&tables::fig2(e));
+    out.push_str(&tables::table2(e));
+    out
+}
+
+fn disk_caches(dir: &Path) -> (Arc<DiskCache>, EngineCaches) {
+    let disk = Arc::new(DiskCache::open(dir).unwrap());
+    (Arc::clone(&disk), EngineCaches::with_disk(disk))
+}
+
+fn bench_taint_graph(c: &mut Criterion) {
+    let corpus = Corpus::generate();
+
+    let mut group = c.benchmark_group("taint_graph");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
+
+    // --- cold: walk-per-analysis vs record-then-query, serially ---
+    group.bench_function("serial_walker", |b| {
+        b.iter(|| std::hint::black_box(Evaluation::run_with(corpus.clone())))
+    });
+    group.bench_function("serial_graph", |b| {
+        b.iter(|| std::hint::black_box(Evaluation::run_graph_with(corpus.clone())))
+    });
+
+    // --- warm restarts over a populated --cache-dir ---
+    let walker_dir =
+        std::env::temp_dir().join(format!("phpsafe-tg-bench-walk-{}", std::process::id()));
+    let graph_dir =
+        std::env::temp_dir().join(format!("phpsafe-tg-bench-graph-{}", std::process::id()));
+    for dir in [&walker_dir, &graph_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+        std::fs::create_dir_all(dir).unwrap();
+    }
+    // Populate both tiers once.
+    Evaluation::run_engine_cached(corpus.clone(), 1, &disk_caches(&walker_dir).1);
+    Evaluation::run_engine_cached_graph(corpus.clone(), 1, &disk_caches(&graph_dir).1);
+
+    group.bench_function("warm_walker_restart", |b| {
+        b.iter(|| {
+            let (_, caches) = disk_caches(&walker_dir);
+            std::hint::black_box(Evaluation::run_engine_cached(corpus.clone(), 1, &caches))
+        })
+    });
+    group.bench_function("warm_graph_restart", |b| {
+        b.iter(|| {
+            let (_, caches) = disk_caches(&graph_dir);
+            std::hint::black_box(Evaluation::run_engine_cached_graph(
+                corpus.clone(),
+                1,
+                &caches,
+            ))
+        })
+    });
+    group.finish();
+
+    // --- invariance: the graph path must not change a rendered byte ---
+    let walked = artifacts(&Evaluation::run_with(corpus.clone()));
+    let graphed = artifacts(&Evaluation::run_graph_with(corpus.clone()));
+    assert_eq!(walked, graphed, "graph artifacts diverged from walker");
+
+    phpsafe_obs::set_enabled(true);
+    let (disk, caches) = disk_caches(&graph_dir);
+    let (warm, snap) = Evaluation::run_engine_cached_graph(corpus, 1, &caches);
+    phpsafe_obs::set_enabled(false);
+    assert_eq!(walked, artifacts(&warm), "warm graph restart diverged");
+    assert!(
+        snap.counter("dataflow.graph_hits") > 0 && snap.counter("dataflow.builds") == 0,
+        "warm restart must answer from stored graphs: {}",
+        snap.to_json()
+    );
+    println!(
+        "invariance: artifacts byte-identical walker vs graph vs warm restart; \
+         graph_hits {} builds {} disk {:?}",
+        snap.counter("dataflow.graph_hits"),
+        snap.counter("dataflow.builds"),
+        disk.counters()
+    );
+
+    for dir in [&walker_dir, &graph_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+criterion_group!(benches, bench_taint_graph);
+criterion_main!(benches);

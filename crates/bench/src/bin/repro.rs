@@ -30,15 +30,28 @@
 //! * `--explain` — after the run, re-analyze corpus plugins with taint
 //!   events enabled and print the provenance chains of the first plugin
 //!   with findings.
+//! * `--taint-graph` — run every tool on the whole-program taint-graph
+//!   path (record one graph per analysis, answer each vulnerability
+//!   class as a reachability query). Tables are byte-identical to the
+//!   default walker; with `--cache-dir`, warm reruns answer from the
+//!   persisted graphs without re-walking.
 
 use phpsafe::EngineCaches;
 use phpsafe_corpus::{Corpus, Version};
-use phpsafe_engine::{effective_jobs, DiskCache};
+use phpsafe_engine::{effective_jobs_reported, DiskCache};
 use phpsafe_eval::{tables, Evaluation, RecallMode};
 use std::sync::Arc;
 
 /// Snapshot name prefixes that make up the engine-stats view.
-const ENGINE_PREFIXES: &[&str] = &["engine.", "cache.", "stage.", "intern.", "cow.", "ast."];
+const ENGINE_PREFIXES: &[&str] = &[
+    "engine.",
+    "cache.",
+    "stage.",
+    "intern.",
+    "cow.",
+    "ast.",
+    "dataflow.",
+];
 
 struct Opts {
     what: String,
@@ -50,6 +63,7 @@ struct Opts {
     metrics_out: Option<String>,
     trace: bool,
     explain: bool,
+    taint_graph: bool,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -63,6 +77,7 @@ fn parse_opts() -> Result<Opts, String> {
         metrics_out: None,
         trace: false,
         explain: false,
+        taint_graph: false,
     };
     let mut what: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -72,6 +87,7 @@ fn parse_opts() -> Result<Opts, String> {
             "--engine-stats" => opts.engine_stats = true,
             "--trace" => opts.trace = true,
             "--explain" => opts.explain = true,
+            "--taint-graph" => opts.taint_graph = true,
             "--engine-stats-json" => {
                 let v = args.next().ok_or("--engine-stats-json requires a file")?;
                 opts.engine_stats_json = Some(v);
@@ -121,25 +137,33 @@ fn main() {
     eprintln!(
         "generating corpus and running phpSAFE, RIPS and Pixy over 35 plugins x 2 versions..."
     );
-    let (jobs, jobs_warning) = effective_jobs(opts.jobs);
-    if let Some(w) = jobs_warning {
-        eprintln!("warning: {w}");
-    }
+    let jobs = effective_jobs_reported(opts.jobs);
     let before = phpsafe_obs::snapshot();
     let e = if opts.serial {
-        Evaluation::run()
-    } else if let Some(dir) = &opts.cache_dir {
-        let disk = match DiskCache::open(dir) {
-            Ok(d) => Arc::new(d),
-            Err(err) => {
-                eprintln!("error: cannot open cache dir {dir}: {err}");
-                std::process::exit(2);
-            }
-        };
-        let caches = EngineCaches::with_disk(disk);
-        Evaluation::run_engine_cached(Corpus::generate(), jobs, &caches).0
+        if opts.taint_graph {
+            Evaluation::run_graph_with(Corpus::generate())
+        } else {
+            Evaluation::run()
+        }
     } else {
-        Evaluation::run_engine(jobs).0
+        let caches = match &opts.cache_dir {
+            Some(dir) => {
+                let disk = match DiskCache::open(dir) {
+                    Ok(d) => Arc::new(d),
+                    Err(err) => {
+                        eprintln!("error: cannot open cache dir {dir}: {err}");
+                        std::process::exit(2);
+                    }
+                };
+                EngineCaches::with_disk(disk)
+            }
+            None => EngineCaches::new(),
+        };
+        if opts.taint_graph {
+            Evaluation::run_engine_cached_graph(Corpus::generate(), jobs, &caches).0
+        } else {
+            Evaluation::run_engine_cached(Corpus::generate(), jobs, &caches).0
+        }
     };
     let snap = phpsafe_obs::snapshot().since(&before);
     if opts.engine_stats {
@@ -161,7 +185,7 @@ fn main() {
         eprintln!("{}", phpsafe_obs::span_tree_text());
     }
     if opts.explain {
-        explain_first_findings(&e);
+        explain_first_findings(&e, opts.taint_graph);
     }
     match opts.what.as_str() {
         "table1" => print!("{}", tables::table1(&e, RecallMode::PaperOptimistic)),
@@ -194,9 +218,9 @@ fn main() {
 /// provenance chains of the first plugin phpSAFE reports findings for.
 /// (The evaluation retains confirmed ground-truth ids, not the raw
 /// `Vulnerability` records, so the chains come from a fresh pass.)
-fn explain_first_findings(e: &Evaluation) {
+fn explain_first_findings(e: &Evaluation, taint_graph: bool) {
     phpsafe_obs::set_events_enabled(true);
-    let tool = phpsafe::PhpSafe::new();
+    let tool = phpsafe::PhpSafe::new().with_taint_graph(taint_graph);
     for plugin in e.corpus().plugins() {
         phpsafe_obs::drain_events();
         let outcome = tool.analyze(plugin.project(Version::V2014));

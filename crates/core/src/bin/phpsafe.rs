@@ -20,13 +20,14 @@
 //!   --trace               print data-flow traces and the span self-profile
 //!   --explain             print source→sanitizer→sink provenance chains
 //!   --cache-dir <DIR>     persistent artifact cache (warm-starts later runs)
+//!   --taint-graph         analyze via the whole-program taint graph
 //!   -h, --help            this help
 //!
 //! phpsafe serve [OPTIONS]   long-running analysis daemon (NDJSON protocol)
 //! ```
 
 use phpsafe::{load_project, AnalysisServer, AnalyzerOptions, EngineCaches, PhpSafe};
-use phpsafe_engine::{effective_jobs, run_ordered, DiskCache};
+use phpsafe_engine::{effective_jobs_reported, run_ordered, DiskCache};
 use phpsafe_serve::{bind, run_stdio, run_tcp, Daemon, ServerConfig};
 use std::io::Write;
 use std::path::PathBuf;
@@ -78,6 +79,10 @@ OPTIONS:
     --cache-dir <DIR>   persist parsed ASTs, call summaries and rendered
                         reports under DIR so later runs (batch or daemon)
                         warm-start from disk
+    --taint-graph       build one whole-program taint graph per project
+                        and answer each vulnerability class as a graph
+                        query (results identical to the default walker;
+                        with --cache-dir, warm runs skip re-walking)
     -h, --help          show this help
 
 SUBCOMMANDS:
@@ -108,11 +113,21 @@ OPTIONS:
                         (default: 64)
     --timeout-ms <N>    per-request deadline in milliseconds
                         (default: 300000)
+    --taint-graph       analyze via the whole-program taint graph; warm
+                        requests answer from stored graphs
     -h, --help          show this help
 ";
 
 /// Snapshot name prefixes that make up the engine-stats view.
-const ENGINE_PREFIXES: &[&str] = &["engine.", "cache.", "stage.", "intern.", "cow.", "ast."];
+const ENGINE_PREFIXES: &[&str] = &[
+    "engine.",
+    "cache.",
+    "stage.",
+    "intern.",
+    "cow.",
+    "ast.",
+    "dataflow.",
+];
 
 #[derive(Debug)]
 struct Cli {
@@ -131,6 +146,7 @@ struct Cli {
     trace: bool,
     explain: bool,
     cache_dir: Option<PathBuf>,
+    taint_graph: bool,
 }
 
 impl Default for Cli {
@@ -151,6 +167,7 @@ impl Default for Cli {
             trace: false,
             explain: false,
             cache_dir: None,
+            taint_graph: false,
         }
     }
 }
@@ -170,6 +187,7 @@ fn parse_args(argv: &[String]) -> Result<Cli, String> {
             "--no-uncalled" => cli.no_uncalled = true,
             "--trace" => cli.trace = true,
             "--explain" => cli.explain = true,
+            "--taint-graph" => cli.taint_graph = true,
             "--engine-stats-json" => {
                 let v = args
                     .next()
@@ -234,6 +252,7 @@ struct ServeCli {
     workers: usize,
     queue: usize,
     timeout_ms: u64,
+    taint_graph: bool,
 }
 
 fn parse_serve_args(argv: &[String]) -> Result<ServeCli, String> {
@@ -246,6 +265,7 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeCli, String> {
         workers: 1,
         queue: 64,
         timeout_ms: 300_000,
+        taint_graph: false,
     };
     let mut args = argv.iter().cloned();
     while let Some(a) = args.next() {
@@ -253,6 +273,7 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeCli, String> {
         match a.as_str() {
             "-h" | "--help" => return Err(String::new()),
             "--stdio" => cli.stdio = true,
+            "--taint-graph" => cli.taint_graph = true,
             "--port" => {
                 let v = value("--port")?;
                 cli.port = v.parse().map_err(|_| format!("bad --port value `{v}`"))?;
@@ -317,12 +338,16 @@ fn run_serve(argv: &[String]) -> ExitCode {
         },
         None => EngineCaches::new(),
     };
-    let (jobs, jobs_warning) = effective_jobs(cli.jobs);
-    if let Some(w) = jobs_warning {
-        eprintln!("warning: {w}");
-    }
+    let jobs = effective_jobs_reported(cli.jobs);
     let mut server = AnalysisServer::with_caches(caches).with_default_jobs(jobs);
-    server.register("phpSAFE", Box::new(PhpSafe::new().with_config(config)));
+    server.register(
+        "phpSAFE",
+        Box::new(
+            PhpSafe::new()
+                .with_config(config)
+                .with_taint_graph(cli.taint_graph),
+        ),
+    );
     let daemon = Daemon::start(
         Arc::new(server),
         ServerConfig {
@@ -381,6 +406,7 @@ fn main() -> ExitCode {
         oop: !cli.no_oop,
         resolve_includes: !cli.no_includes,
         analyze_uncalled: !cli.no_uncalled,
+        taint_graph: cli.taint_graph,
         ..AnalyzerOptions::default()
     };
 
@@ -433,10 +459,7 @@ fn main() -> ExitCode {
         },
         None => EngineCaches::new(),
     };
-    let (jobs, jobs_warning) = effective_jobs(cli.jobs);
-    if let Some(w) = jobs_warning {
-        eprintln!("warning: {w}");
-    }
+    let jobs = effective_jobs_reported(cli.jobs);
     let (outcomes, _pool) = run_ordered(projects, jobs, |_, project| {
         analyzer.analyze_with_caches(&project, Some(&caches))
     });

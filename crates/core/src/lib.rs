@@ -52,7 +52,7 @@ pub mod symbols;
 pub mod taint;
 
 pub use analyzer::{AnalyzerOptions, PhpSafe};
-pub use caching::{CacheTotals, EngineCaches};
+pub use caching::{CacheTotals, EngineCaches, ProjectGraph};
 pub use explain::{explain_outcome, explain_vuln};
 pub use html::{escape_html, render_html};
 pub use inspect::{inspect, FileInventory, Inspection};

@@ -111,6 +111,18 @@ impl PluginProject {
         }
         acc
     }
+
+    /// The project's [`ContentKey`]: the content fingerprint plus total
+    /// content length. Persistent caches (daemon responses, taint graphs)
+    /// key project-level artifacts on this.
+    ///
+    /// [`ContentKey`]: phpsafe_engine::ContentKey
+    pub fn content_key(&self) -> phpsafe_engine::ContentKey {
+        phpsafe_engine::ContentKey {
+            hash: self.content_fingerprint(),
+            len: self.files.iter().map(|f| f.content.len() as u64).sum(),
+        }
+    }
 }
 
 /// Collects `.php`-family files under `root` (recursively), with paths

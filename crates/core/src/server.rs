@@ -128,10 +128,7 @@ impl AnalysisServer {
 
     /// The rendered-outcome cache key for a project.
     fn outcome_key(project: &PluginProject) -> ContentKey {
-        ContentKey {
-            hash: project.content_fingerprint(),
-            len: project.files().iter().map(|f| f.content.len() as u64).sum(),
-        }
+        project.content_key()
     }
 
     fn cached_report(&self, tool: &dyn ServeTool, project: &PluginProject) -> Option<String> {

@@ -1,0 +1,432 @@
+//! Binary (de)serialization of [`TaintGraph`]s for the persistent
+//! artifact cache's `graph` namespace.
+//!
+//! [`Symbol`]s are process-local `u32`s and must never hit disk raw: file
+//! paths are written through a first-use-order string table and re-interned
+//! on decode, so an encoding is stable across processes and interner
+//! states. Decoding is corruption-tolerant: every read is bounds-checked,
+//! every tag validated, every node id checked against the node count —
+//! garbage yields a [`CodecError`], never a panic (the disk cache's digest
+//! envelope is the first line of defense; this is the second).
+
+use crate::graph::{Edge, EdgeKind, Node, NodeId, SinkRecord, TaintGraph};
+use php_ast::codec::{CodecError, Reader, Writer};
+use phpsafe_intern::{FnvHashMap, Symbol};
+use phpsafe_obs::TaintEventKind;
+use taint_config::{SourceKind, VulnClass};
+
+/// Bumped on any change to the encoding below.
+const VERSION: u8 = 1;
+
+type Result<T> = std::result::Result<T, CodecError>;
+
+fn fail<T>(r: &Reader<'_>, what: &'static str) -> Result<T> {
+    Err(CodecError {
+        what,
+        at: r.offset(),
+    })
+}
+
+fn enc_event_kind(k: TaintEventKind) -> u8 {
+    match k {
+        TaintEventKind::Introduced => 0,
+        TaintEventKind::Propagated => 1,
+        TaintEventKind::Sanitized => 2,
+        TaintEventKind::Reverted => 3,
+        TaintEventKind::SinkHit => 4,
+    }
+}
+
+fn dec_event_kind(r: &mut Reader<'_>) -> Result<TaintEventKind> {
+    Ok(match r.u8()? {
+        0 => TaintEventKind::Introduced,
+        1 => TaintEventKind::Propagated,
+        2 => TaintEventKind::Sanitized,
+        3 => TaintEventKind::Reverted,
+        4 => TaintEventKind::SinkHit,
+        _ => fail(r, "invalid event kind")?,
+    })
+}
+
+fn enc_edge_kind(k: EdgeKind) -> u8 {
+    match k {
+        EdgeKind::Assign => 0,
+        EdgeKind::Concat => 1,
+        EdgeKind::Return => 2,
+        EdgeKind::Foreach => 3,
+        EdgeKind::Read => 4,
+        EdgeKind::Sanitize => 5,
+        EdgeKind::Revert => 6,
+        EdgeKind::SourceIntro => 7,
+        EdgeKind::Flow => 8,
+    }
+}
+
+fn dec_edge_kind(r: &mut Reader<'_>) -> Result<EdgeKind> {
+    Ok(match r.u8()? {
+        0 => EdgeKind::Assign,
+        1 => EdgeKind::Concat,
+        2 => EdgeKind::Return,
+        3 => EdgeKind::Foreach,
+        4 => EdgeKind::Read,
+        5 => EdgeKind::Sanitize,
+        6 => EdgeKind::Revert,
+        7 => EdgeKind::SourceIntro,
+        8 => EdgeKind::Flow,
+        _ => fail(r, "invalid edge kind")?,
+    })
+}
+
+fn enc_class(c: VulnClass) -> u8 {
+    match c {
+        VulnClass::Xss => 0,
+        VulnClass::Sqli => 1,
+    }
+}
+
+fn dec_class(r: &mut Reader<'_>) -> Result<VulnClass> {
+    Ok(match r.u8()? {
+        0 => VulnClass::Xss,
+        1 => VulnClass::Sqli,
+        _ => fail(r, "invalid vuln class")?,
+    })
+}
+
+fn enc_source_kind(k: SourceKind) -> u8 {
+    match k {
+        SourceKind::Get => 0,
+        SourceKind::Post => 1,
+        SourceKind::Cookie => 2,
+        SourceKind::Request => 3,
+        SourceKind::Server => 4,
+        SourceKind::Database => 5,
+        SourceKind::File => 6,
+        SourceKind::Function => 7,
+        SourceKind::Array => 8,
+    }
+}
+
+fn dec_source_kind(r: &mut Reader<'_>) -> Result<SourceKind> {
+    Ok(match r.u8()? {
+        0 => SourceKind::Get,
+        1 => SourceKind::Post,
+        2 => SourceKind::Cookie,
+        3 => SourceKind::Request,
+        4 => SourceKind::Server,
+        5 => SourceKind::Database,
+        6 => SourceKind::File,
+        7 => SourceKind::Function,
+        8 => SourceKind::Array,
+        _ => fail(r, "invalid source kind")?,
+    })
+}
+
+/// Encodes `g` into an existing writer (for embedding in a larger blob).
+pub fn encode_graph_into(w: &mut Writer, g: &TaintGraph) {
+    w.u8(VERSION);
+
+    // File-path string table, first-use order.
+    let mut index: FnvHashMap<Symbol, u32> = FnvHashMap::default();
+    let mut table: Vec<Symbol> = Vec::new();
+    for n in &g.nodes {
+        index.entry(n.file).or_insert_with(|| {
+            table.push(n.file);
+            (table.len() - 1) as u32
+        });
+    }
+    w.u64(table.len() as u64);
+    for sym in &table {
+        w.str(sym.as_str());
+    }
+
+    w.u64(g.nodes.len() as u64);
+    for n in &g.nodes {
+        w.u8(enc_event_kind(n.kind));
+        w.u32(index[&n.file]);
+        w.u32(n.line);
+        w.str(&n.what);
+        match n.expr {
+            Some(raw) => {
+                w.bool(true);
+                w.u32(raw);
+            }
+            None => w.bool(false),
+        }
+        w.bool(n.evented);
+    }
+
+    w.u64(g.edges.len() as u64);
+    for e in &g.edges {
+        w.u32(e.from.0);
+        w.u32(e.to.0);
+        w.u8(enc_edge_kind(e.kind));
+    }
+
+    w.u64(g.sinks.len() as u64);
+    for s in &g.sinks {
+        w.u8(enc_class(s.class));
+        w.str(&s.file);
+        w.u32(s.line);
+        w.str(&s.sink);
+        w.str(&s.var);
+        w.u8(enc_source_kind(s.source_kind));
+        w.bool(s.via_oop);
+        w.bool(s.numeric_hint);
+        w.u64(s.path.len() as u64);
+        for id in &s.path {
+            w.u32(id.0);
+        }
+    }
+}
+
+/// Encodes `g` as a standalone blob.
+pub fn encode_graph(g: &TaintGraph) -> Vec<u8> {
+    let mut w = Writer::new();
+    encode_graph_into(&mut w, g);
+    w.into_bytes()
+}
+
+/// Guards a declared element count against the bytes actually left.
+fn checked_count(r: &mut Reader<'_>, min_elem_size: usize, what: &'static str) -> Result<usize> {
+    let count = r.u64()? as usize;
+    let Some(need) = count.checked_mul(min_elem_size) else {
+        return fail(r, what);
+    };
+    if r.remaining() < need {
+        return fail(r, what);
+    }
+    Ok(count)
+}
+
+/// Decodes a graph from an existing reader (trailing bytes allowed, for
+/// embedded use).
+pub fn decode_graph_from(r: &mut Reader<'_>) -> Result<TaintGraph> {
+    if r.u8()? != VERSION {
+        return fail(r, "unsupported graph codec version");
+    }
+
+    let table_len = checked_count(r, 4, "file table count exceeds input")?;
+    let mut table: Vec<Symbol> = Vec::with_capacity(table_len);
+    for _ in 0..table_len {
+        table.push(Symbol::intern(&r.str()?));
+    }
+
+    let node_count = checked_count(r, 15, "node count exceeds input")?;
+    let mut nodes = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        let kind = dec_event_kind(r)?;
+        let file_idx = r.u32()? as usize;
+        let Some(&file) = table.get(file_idx) else {
+            return fail(r, "file index out of range");
+        };
+        let line = r.u32()?;
+        let what = r.str()?;
+        let expr = if r.bool()? { Some(r.u32()?) } else { None };
+        let evented = r.bool()?;
+        nodes.push(Node {
+            kind,
+            file,
+            line,
+            what,
+            expr,
+            evented,
+        });
+    }
+
+    let node_id = |r: &Reader<'_>, raw: u32| -> Result<NodeId> {
+        if (raw as usize) < nodes.len() {
+            Ok(NodeId(raw))
+        } else {
+            Err(CodecError {
+                what: "node id out of range",
+                at: r.offset(),
+            })
+        }
+    };
+
+    let edge_count = checked_count(r, 9, "edge count exceeds input")?;
+    let mut edges = Vec::with_capacity(edge_count);
+    for _ in 0..edge_count {
+        let from = r.u32()?;
+        let to = r.u32()?;
+        let from = node_id(r, from)?;
+        let to = node_id(r, to)?;
+        let kind = dec_edge_kind(r)?;
+        edges.push(Edge { from, to, kind });
+    }
+
+    let sink_count = checked_count(r, 25, "sink count exceeds input")?;
+    let mut sinks = Vec::with_capacity(sink_count);
+    for _ in 0..sink_count {
+        let class = dec_class(r)?;
+        let file = r.str()?;
+        let line = r.u32()?;
+        let sink = r.str()?;
+        let var = r.str()?;
+        let source_kind = dec_source_kind(r)?;
+        let via_oop = r.bool()?;
+        let numeric_hint = r.bool()?;
+        let path_len = checked_count(r, 4, "path count exceeds input")?;
+        let mut path = Vec::with_capacity(path_len);
+        for _ in 0..path_len {
+            let raw = r.u32()?;
+            path.push(node_id(r, raw)?);
+        }
+        sinks.push(SinkRecord {
+            class,
+            file,
+            line,
+            sink,
+            var,
+            source_kind,
+            via_oop,
+            numeric_hint,
+            path,
+        });
+    }
+
+    Ok(TaintGraph {
+        nodes,
+        edges,
+        sinks,
+    })
+}
+
+/// Decodes a standalone blob produced by [`encode_graph`], rejecting
+/// trailing bytes.
+pub fn decode_graph(bytes: &[u8]) -> Result<TaintGraph> {
+    let mut r = Reader::new(bytes);
+    let g = decode_graph_from(&mut r)?;
+    if !r.is_at_end() {
+        return fail(&r, "trailing bytes after graph");
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, SinkInfo};
+
+    fn sample_graph() -> TaintGraph {
+        let f = Symbol::intern("a.php");
+        let g = Symbol::intern("b.php");
+        let mut rec = Recorder::new();
+        rec.observe(TaintEventKind::Introduced, f, 2, "source $_GET['id']", None);
+        rec.observe(
+            TaintEventKind::Propagated,
+            f,
+            3,
+            "$id = $_GET['id']",
+            Some(7),
+        );
+        rec.observe(TaintEventKind::Sanitized, g, 4, "sanitized by esc()", None);
+        rec.record_sink(
+            SinkInfo {
+                class: VulnClass::Xss,
+                file: "a.php",
+                line: 5,
+                sink: "echo",
+                var: "$id",
+                source_kind: SourceKind::Get,
+                via_oop: false,
+                numeric_hint: false,
+            },
+            [
+                (f, 2, "source $_GET['id']"),
+                (f, 3, "$id = $_GET['id']"),
+                (f, 4, "new C"), // trace-only step: no event at this site
+            ]
+            .into_iter(),
+        );
+        rec.record_sink(
+            SinkInfo {
+                class: VulnClass::Sqli,
+                file: "b.php",
+                line: 9,
+                sink: "mysql_query",
+                var: "$q",
+                source_kind: SourceKind::Post,
+                via_oop: true,
+                numeric_hint: true,
+            },
+            [(f, 2, "source $_GET['id']")].into_iter(),
+        );
+        rec.finish()
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let g = sample_graph();
+        let blob = encode_graph(&g);
+        let back = decode_graph(&blob).expect("decode");
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let g = sample_graph();
+        assert_eq!(encode_graph(&g), encode_graph(&g));
+    }
+
+    #[test]
+    fn truncations_fail_cleanly() {
+        let blob = encode_graph(&sample_graph());
+        for cut in 0..blob.len() {
+            assert!(
+                decode_graph(&blob[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_fails_cleanly() {
+        let blob = encode_graph(&sample_graph());
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] = bad[i].wrapping_add(0x55);
+            // Flipping a byte may still decode (e.g. inside a line number)
+            // but must never panic.
+            let _ = decode_graph(&bad);
+        }
+        assert!(decode_graph(b"not a graph").is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut blob = encode_graph(&sample_graph());
+        blob.push(0);
+        assert!(decode_graph(&blob).is_err());
+    }
+
+    #[test]
+    fn events_skip_trace_only_nodes_and_paths_resolve() {
+        let g = sample_graph();
+        let events: Vec<&str> = g.events().map(|n| n.what.as_str()).collect();
+        assert_eq!(
+            events,
+            [
+                "source $_GET['id']",
+                "$id = $_GET['id']",
+                "sanitized by esc()"
+            ]
+        );
+        let steps = g.resolve_path(&g.sinks[0]);
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[2].what, "new C");
+        // Both sinks share the source node through the site map.
+        assert_eq!(g.sinks[0].path[0], g.sinks[1].path[0]);
+    }
+
+    #[test]
+    fn query_filters_by_class_and_checks_reachability() {
+        let g = sample_graph();
+        let xss = g.query(VulnClass::Xss);
+        let sqli = g.query(VulnClass::Sqli);
+        assert_eq!(xss.len(), 1);
+        assert_eq!(sqli.len(), 1);
+        assert_eq!(xss[0].seq, 0);
+        assert_eq!(sqli[0].seq, 1);
+    }
+}

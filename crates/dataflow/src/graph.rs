@@ -1,0 +1,258 @@
+//! Graph data model and the per-class reachability queries.
+
+use phpsafe_intern::{FnvHashMap, Symbol};
+use phpsafe_obs::TaintEventKind;
+use std::collections::VecDeque;
+use taint_config::{SourceKind, VulnClass};
+
+/// Index of a [`Node`] in its graph. Nodes are appended in walk order, so
+/// ids double as event sequence numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One taint transition observed during the walk (or a trace-only step
+/// that never produced an event, carried for path reconstruction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// What happened to the taint mark at this site.
+    pub kind: TaintEventKind,
+    /// File the transition happened in (interned path).
+    pub file: Symbol,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description, byte-identical to the trace step /
+    /// `--explain` event wording recorded at the same site.
+    pub what: String,
+    /// Arena provenance: the raw [`php_ast::ExprId`] pool index of the
+    /// expression this transition was observed on, when one was in hand.
+    pub expr: Option<u32>,
+    /// Whether this node came from an emitted taint event (replayed by
+    /// [`TaintGraph::events`]) or only from a data-flow trace step.
+    pub evented: bool,
+}
+
+/// How taint moved along an edge; classified from the downstream node's
+/// site wording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Plain assignment (`$a = $b`).
+    Assign,
+    /// Concatenation (`$a .= $b`, `$a . $b`).
+    Concat,
+    /// Value returned from a call.
+    Return,
+    /// Element of a tainted collection.
+    Foreach,
+    /// Array / property read.
+    Read,
+    /// A sanitizer cleared the class taint along this edge.
+    Sanitize,
+    /// A revert function restored sanitized taint.
+    Revert,
+    /// Taint entered the program.
+    SourceIntro,
+    /// Any other propagation.
+    Flow,
+}
+
+impl EdgeKind {
+    /// Classifies the edge into `to` from that node's site wording.
+    pub fn classify(what: &str) -> EdgeKind {
+        if what.starts_with("source ") || what.contains("injected by") {
+            EdgeKind::SourceIntro
+        } else if what.starts_with("sanitized by") {
+            EdgeKind::Sanitize
+        } else if what.starts_with("revert ") {
+            EdgeKind::Revert
+        } else if what.starts_with("returned by") {
+            EdgeKind::Return
+        } else if what.starts_with("foreach over") {
+            EdgeKind::Foreach
+        } else if what.starts_with("read ") {
+            EdgeKind::Read
+        } else if what.contains(" .= ") {
+            EdgeKind::Concat
+        } else if what.contains(" = ") {
+            EdgeKind::Assign
+        } else {
+            EdgeKind::Flow
+        }
+    }
+}
+
+/// A directed propagation edge between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Upstream node.
+    pub from: NodeId,
+    /// Downstream node.
+    pub to: NodeId,
+    /// How the taint moved.
+    pub kind: EdgeKind,
+}
+
+/// One tainted value reaching a sensitive sink, with its provenance path
+/// through the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkRecord {
+    /// Vulnerability class the sink belongs to.
+    pub class: VulnClass,
+    /// File the sink call is in.
+    pub file: String,
+    /// 1-based line of the sink call.
+    pub line: u32,
+    /// Sink name (e.g. `echo`, `mysql_query`).
+    pub sink: String,
+    /// Expression that reached the sink.
+    pub var: String,
+    /// Where the taint originally entered.
+    pub source_kind: SourceKind,
+    /// Whether the flow passed through an OOP construct.
+    pub via_oop: bool,
+    /// Whether the sunk expression looks numerically constrained.
+    pub numeric_hint: bool,
+    /// Source→sink provenance path (node ids in flow order).
+    pub path: Vec<NodeId>,
+}
+
+/// One resolved step of a provenance path — the graph-side image of a
+/// data-flow trace step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathStep {
+    /// File (interned path).
+    pub file: Symbol,
+    /// 1-based line.
+    pub line: u32,
+    /// Site wording.
+    pub what: String,
+}
+
+/// One sink reached by a class query, with its walk-order sequence number
+/// (so hits from several queries can be merged back into walk order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryHit {
+    /// Index of the sink record in [`TaintGraph::sinks`] (walk order).
+    pub seq: usize,
+}
+
+/// The finished whole-program taint graph for one project.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaintGraph {
+    /// Every observed taint transition, in walk order.
+    pub nodes: Vec<Node>,
+    /// Propagation edges between consecutive path nodes (deduplicated).
+    pub edges: Vec<Edge>,
+    /// Every sink hit, in walk (report) order.
+    pub sinks: Vec<SinkRecord>,
+}
+
+impl TaintGraph {
+    /// The recorded taint-event stream: evented nodes in walk order.
+    /// Replaying these through the observability ring buffer reproduces
+    /// the exact events a fresh walk of the same project emits.
+    pub fn events(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| n.evented)
+    }
+
+    /// Source→sink reachability query for one vulnerability class: every
+    /// recorded sink of `class` whose first path node still reaches the
+    /// sink site through propagation edges. Records `dataflow.queries`
+    /// and one `dataflow.path_hits` per surviving sink.
+    pub fn query(&self, class: VulnClass) -> Vec<QueryHit> {
+        phpsafe_obs::count("dataflow.queries", 1);
+        let adj = self.adjacency();
+        // One stamped visited buffer shared by every sink's BFS: bumping
+        // the stamp invalidates the previous search without re-zeroing.
+        let mut seen = vec![0u32; self.nodes.len()];
+        let mut queue = VecDeque::new();
+        let mut stamp = 0u32;
+        let mut hits = Vec::new();
+        for (seq, rec) in self.sinks.iter().enumerate() {
+            if rec.class != class {
+                continue;
+            }
+            let reachable = match (rec.path.first(), rec.path.last()) {
+                (Some(&src), Some(&dst)) => {
+                    stamp += 1;
+                    reaches(&adj, src, dst, &mut seen, stamp, &mut queue)
+                }
+                // A sink with an empty path (trace truncated away) is
+                // still a recorded hit.
+                _ => true,
+            };
+            if reachable {
+                hits.push(QueryHit { seq });
+            }
+        }
+        phpsafe_obs::count("dataflow.path_hits", hits.len() as u64);
+        hits
+    }
+
+    /// Resolves a sink's provenance path back into concrete steps.
+    pub fn resolve_path(&self, rec: &SinkRecord) -> Vec<PathStep> {
+        rec.path
+            .iter()
+            .map(|id| {
+                let n = &self.nodes[id.index()];
+                PathStep {
+                    file: n.file,
+                    line: n.line,
+                    what: n.what.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Forward adjacency list over the edge set.
+    fn adjacency(&self) -> FnvHashMap<NodeId, Vec<NodeId>> {
+        let mut adj: FnvHashMap<NodeId, Vec<NodeId>> = FnvHashMap::default();
+        for e in &self.edges {
+            adj.entry(e.from).or_default().push(e.to);
+        }
+        adj
+    }
+
+    /// Records the graph's size into the observability registry.
+    pub fn record_size(&self) {
+        phpsafe_obs::count("dataflow.nodes", self.nodes.len() as u64);
+        phpsafe_obs::count("dataflow.edges", self.edges.len() as u64);
+    }
+}
+
+/// Breadth-first reachability from `from` to `to` over propagation edges
+/// (a node trivially reaches itself). `seen`/`queue` are caller-owned
+/// scratch; entries stamped with `stamp` count as visited.
+fn reaches(
+    adj: &FnvHashMap<NodeId, Vec<NodeId>>,
+    from: NodeId,
+    to: NodeId,
+    seen: &mut [u32],
+    stamp: u32,
+    queue: &mut VecDeque<NodeId>,
+) -> bool {
+    if from == to {
+        return true;
+    }
+    queue.clear();
+    queue.push_back(from);
+    seen[from.index()] = stamp;
+    while let Some(n) = queue.pop_front() {
+        for &next in adj.get(&n).map(Vec::as_slice).unwrap_or_default() {
+            if next == to {
+                return true;
+            }
+            if seen[next.index()] != stamp {
+                seen[next.index()] = stamp;
+                queue.push_back(next);
+            }
+        }
+    }
+    false
+}

@@ -1,0 +1,34 @@
+//! Whole-program taint graph for one analyzed plugin project.
+//!
+//! The analyzer's abstract interpreter performs exactly one taint walk per
+//! project; with graph mode enabled it carries a [`Recorder`] that turns
+//! every observed taint transition (the same stream `--explain` consumes)
+//! into a graph node and every reported sink into a [`SinkRecord`] whose
+//! provenance path is a sequence of node ids. The finished [`TaintGraph`]
+//! is the persistent artifact: each vulnerability class becomes a
+//! source→sink reachability query ([`TaintGraph::query`]) with path
+//! reconstruction ([`TaintGraph::resolve_path`]), and the recorded event
+//! stream can be replayed verbatim ([`TaintGraph::events`]) so `--explain`
+//! chains from a warm graph are byte-identical to a fresh walk.
+//!
+//! Node identity: nodes are appended in walk order, so the node list *is*
+//! the event stream (trace-only steps that never produced an event are
+//! carried as un-evented nodes and skipped on replay). A first-occurrence
+//! site map `(file, line, what) → NodeId` resolves trace steps to nodes,
+//! matching how `--explain` anchors a trace step to the first event
+//! emitted at the same site.
+//!
+//! Counters (all under the `dataflow.` prefix): `nodes` / `edges` are
+//! recorded when a build finishes, `queries` / `path_hits` on every class
+//! query; the analyzer layers `dataflow.builds` / `dataflow.graph_hits`
+//! on top.
+
+#![warn(missing_docs)]
+
+mod codec;
+mod graph;
+mod recorder;
+
+pub use codec::{decode_graph, decode_graph_from, encode_graph, encode_graph_into};
+pub use graph::{Edge, EdgeKind, Node, NodeId, PathStep, QueryHit, SinkRecord, TaintGraph};
+pub use recorder::{Recorder, SinkInfo};

@@ -1,0 +1,161 @@
+//! Builds a [`TaintGraph`] as a side effect of one interpreter walk.
+
+use crate::graph::{Edge, EdgeKind, Node, NodeId, SinkRecord, TaintGraph};
+use phpsafe_intern::{FnvHashMap, FnvHashSet, Symbol};
+use phpsafe_obs::TaintEventKind;
+use taint_config::{SourceKind, VulnClass};
+
+/// The sink-level fields of one reported vulnerability (everything except
+/// the provenance path, which the recorder derives itself).
+#[derive(Debug, Clone, Copy)]
+pub struct SinkInfo<'a> {
+    /// Vulnerability class.
+    pub class: VulnClass,
+    /// File of the sink call.
+    pub file: &'a str,
+    /// 1-based line of the sink call.
+    pub line: u32,
+    /// Sink name.
+    pub sink: &'a str,
+    /// Expression that reached the sink.
+    pub var: &'a str,
+    /// Where the taint entered.
+    pub source_kind: SourceKind,
+    /// Whether the flow passed through an OOP construct.
+    pub via_oop: bool,
+    /// Whether the sunk expression looks numerically constrained.
+    pub numeric_hint: bool,
+}
+
+/// Observes the interpreter's taint transitions and sink reports; call
+/// [`Recorder::finish`] after the walk for the immutable [`TaintGraph`].
+#[derive(Debug, Default)]
+pub struct Recorder {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    edge_seen: FnvHashSet<(NodeId, NodeId)>,
+    sinks: Vec<SinkRecord>,
+    /// Nodes observed at each `(file, line)` site, in walk order. Bucket
+    /// entries disambiguate by node text on lookup, so the first node with
+    /// a matching `what` — the anchor `--explain` would pick for a trace
+    /// step at the same site — wins without cloning the text into a key
+    /// on the hot observe path.
+    site: FnvHashMap<(Symbol, u32), Vec<NodeId>>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Records one emitted taint event as a graph node. Must be called in
+    /// walk order at exactly the sites that emit `--explain` events, so
+    /// the node list replays as that event stream.
+    pub fn observe(
+        &mut self,
+        kind: TaintEventKind,
+        file: Symbol,
+        line: u32,
+        what: &str,
+        expr: Option<u32>,
+    ) {
+        self.push_node(kind, file, line, what, expr, true);
+    }
+
+    fn push_node(
+        &mut self,
+        kind: TaintEventKind,
+        file: Symbol,
+        line: u32,
+        what: &str,
+        expr: Option<u32>,
+        evented: bool,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind,
+            file,
+            line,
+            what: what.to_string(),
+            expr,
+            evented,
+        });
+        let nodes = &self.nodes;
+        let bucket = self.site.entry((file, line)).or_default();
+        if !bucket.iter().any(|&b| nodes[b.index()].what == what) {
+            bucket.push(id);
+        }
+        id
+    }
+
+    /// The node anchored at a trace step's site, creating an un-evented
+    /// node for steps that never emitted an event (e.g. `new C`).
+    fn site_node(&mut self, file: Symbol, line: u32, what: &str) -> NodeId {
+        if let Some(bucket) = self.site.get(&(file, line)) {
+            if let Some(&id) = bucket.iter().find(|&&b| self.nodes[b.index()].what == what) {
+                return id;
+            }
+        }
+        self.push_node(TaintEventKind::Propagated, file, line, what, None, false)
+    }
+
+    /// Records one reported sink: resolves the vulnerability's data-flow
+    /// trace into path nodes and adds propagation edges along the path.
+    pub fn record_sink<'a>(
+        &mut self,
+        info: SinkInfo<'_>,
+        steps: impl Iterator<Item = (Symbol, u32, &'a str)>,
+    ) {
+        let path: Vec<NodeId> = steps
+            .map(|(file, line, what)| self.site_node(file, line, what))
+            .collect();
+        for pair in path.windows(2) {
+            let (from, to) = (pair[0], pair[1]);
+            if self.edge_seen.insert((from, to)) {
+                let kind = EdgeKind::classify(&self.nodes[to.index()].what);
+                self.edges.push(Edge { from, to, kind });
+            }
+        }
+        self.sinks.push(SinkRecord {
+            class: info.class,
+            file: info.file.to_string(),
+            line: info.line,
+            sink: info.sink.to_string(),
+            var: info.var.to_string(),
+            source_kind: info.source_kind,
+            via_oop: info.via_oop,
+            numeric_hint: info.numeric_hint,
+            path,
+        });
+    }
+
+    /// Number of sinks recorded so far (a truncation mark).
+    pub fn sinks_len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Drops sinks recorded after `len` — mirrors the analyzer dropping
+    /// findings from a failed entry-file pass. Nodes and edges stay: the
+    /// corresponding events were emitted and must replay.
+    pub fn truncate_sinks(&mut self, len: usize) {
+        self.sinks.truncate(len);
+    }
+
+    /// Keeps only sinks whose file passes `keep` — mirrors the analyzer
+    /// dropping findings from failed or rejected files.
+    pub fn retain_sinks(&mut self, keep: impl Fn(&str) -> bool) {
+        self.sinks.retain(|s| keep(&s.file));
+    }
+
+    /// Finalizes the graph and records `dataflow.nodes` / `dataflow.edges`.
+    pub fn finish(self) -> TaintGraph {
+        let graph = TaintGraph {
+            nodes: self.nodes,
+            edges: self.edges,
+            sinks: self.sinks,
+        };
+        graph.record_size();
+        graph
+    }
+}

@@ -72,6 +72,19 @@ pub fn effective_jobs(requested: usize) -> (usize, Option<String>) {
     }
 }
 
+/// [`effective_jobs`] with the clamp warning printed to stderr in the
+/// shared `warning: …` CLI format. The batch front ends (`repro`,
+/// `phpsafe`, `phpsafe serve` startup) all surface clamping this way;
+/// the daemon's per-request path keeps the raw pair so it can report
+/// warnings in-band instead.
+pub fn effective_jobs_reported(requested: usize) -> usize {
+    let (jobs, warning) = effective_jobs(requested);
+    if let Some(w) = warning {
+        eprintln!("warning: {w}");
+    }
+    jobs
+}
+
 /// Runs `jobs` on `workers` threads; `run` receives each job plus its
 /// submission index. Results come back in submission order.
 ///

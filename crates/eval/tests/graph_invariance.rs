@@ -1,0 +1,198 @@
+//! The taint-graph contract: `--taint-graph` swaps the analysis
+//! *mechanics* — one recorded walk builds a whole-program graph, then
+//! each vulnerability class becomes a source→sink reachability query —
+//! but must never change a rendered byte. This test pins Table I/II,
+//! Fig. 2, the §V robustness facts and the `--explain` provenance chains
+//! byte-identical between the walker and the graph path, across worker
+//! counts, and across a warm `--cache-dir` restart that answers from the
+//! persisted graph without re-walking. Table III cells are wall-clock and
+//! compared structurally (timings stripped).
+
+use phpsafe::{EngineCaches, PhpSafe, PluginProject, SourceFile};
+use phpsafe_corpus::Corpus;
+use phpsafe_engine::DiskCache;
+use phpsafe_eval::{tables, Evaluation, RecallMode};
+use std::sync::Arc;
+
+/// Renders every timing-free artifact into one string.
+fn artifacts(e: &Evaluation) -> String {
+    let mut out = String::new();
+    out.push_str(&tables::table1(e, RecallMode::PaperOptimistic));
+    out.push_str(&tables::table1(e, RecallMode::FullGroundTruth));
+    out.push_str(&tables::fig2(e));
+    out.push_str(&tables::table2(e));
+    out.push_str(&tables::oop_breakdown(e));
+    out.push_str(&tables::inertia(e));
+    out.push_str(&tables::root_cause(e));
+    out.push_str(&phpsafe_eval::table1_csv(e, RecallMode::PaperOptimistic));
+    out
+}
+
+/// Table III with wall-clock numbers masked: structure, failed-file
+/// counts and corpus sizes must match between analysis paths; seconds
+/// never can.
+fn table3_shape(e: &Evaluation) -> String {
+    let mut out = String::new();
+    for ch in tables::table3(e).chars() {
+        out.push(ch);
+    }
+    // Mask every decimal number (timings and s/KLOC rates); integers
+    // (failed-file counts, corpus sizes) stay.
+    let mut masked = String::new();
+    let mut chars = out.chars().peekable();
+    let mut num = String::new();
+    while let Some(c) = chars.next() {
+        if c.is_ascii_digit() || (c == '.' && chars.peek().is_some_and(|n| n.is_ascii_digit())) {
+            num.push(c);
+            continue;
+        }
+        if !num.is_empty() {
+            masked.push_str(if num.contains('.') { "#" } else { &num });
+            num.clear();
+        }
+        masked.push(c);
+    }
+    if !num.is_empty() {
+        masked.push_str(if num.contains('.') { "#" } else { &num });
+    }
+    masked
+}
+
+fn probe_project() -> PluginProject {
+    PluginProject::new("graph-inv-probe")
+        .with_file(SourceFile::new(
+            "graph_inv_entry.php",
+            "<?php
+            include 'graph_inv_lib.php';
+            $id = $_GET['id'];
+            $row = ginv_helper($id);
+            echo $row;
+            mysql_query(\"SELECT * WHERE id = $id\");
+            class GinvPage { public $title;
+                function show() { echo $this->title; } }
+            $p = new GinvPage();
+            $p->title = $_POST['t'];
+            $p->show();
+            ",
+        ))
+        .with_file(SourceFile::new(
+            "graph_inv_lib.php",
+            "<?php function ginv_helper($x) { return 'v' . $x; }",
+        ))
+}
+
+/// Renders the `--explain` provenance chains for the probe plugin with
+/// the given tool, optionally through shared caches (the daemon's warm
+/// path replays graph nodes as synthetic events).
+fn explain_chains(tool: &PhpSafe, caches: Option<&EngineCaches>) -> String {
+    let project = probe_project();
+    phpsafe_obs::set_events_enabled(true);
+    let _ = phpsafe_obs::drain_events();
+    let outcome = tool.analyze_with_caches(&project, caches);
+    let events: Vec<_> = phpsafe_obs::drain_events()
+        .into_iter()
+        .filter(|e| e.file.starts_with("graph_inv_"))
+        .collect();
+    phpsafe_obs::set_events_enabled(false);
+    assert!(
+        !outcome.vulns.is_empty(),
+        "probe plugin must report vulnerabilities"
+    );
+    phpsafe::explain_outcome(&outcome, &events)
+}
+
+// One test function: the event buffer and the events-enabled flag are
+// process-global, so the explain phase must not race the engine runs.
+#[test]
+fn graph_path_is_byte_identical_to_walker() {
+    // --- --explain chains: walker vs graph, cold and warm ---
+    let walker = PhpSafe::new();
+    let graph = PhpSafe::new().with_taint_graph(true);
+    let walked = explain_chains(&walker, None);
+    assert!(
+        walked.contains("source $_GET"),
+        "expected a chain naming the superglobal source, got:\n{walked}"
+    );
+    let cold = explain_chains(&graph, None);
+    assert_eq!(
+        walked, cold,
+        "--explain chains diverged between walker and cold graph build"
+    );
+    // A warm rerun against shared caches answers from the stored graph
+    // and must replay the identical event stream.
+    let caches = EngineCaches::new();
+    let _ = explain_chains(&graph, Some(&caches));
+    let warm = explain_chains(&graph, Some(&caches));
+    assert_eq!(
+        walked, warm,
+        "--explain chains diverged on the warm graph path"
+    );
+
+    // --- Tables/figure across analysis paths and worker counts ---
+    let corpus = Corpus::generate();
+
+    let serial_walk = Evaluation::run_with(corpus.clone());
+    let serial_graph = Evaluation::run_graph_with(corpus.clone());
+    assert_eq!(
+        artifacts(&serial_walk),
+        artifacts(&serial_graph),
+        "serial artifacts diverged between walker and graph paths"
+    );
+    assert_eq!(
+        table3_shape(&serial_walk),
+        table3_shape(&serial_graph),
+        "Table III structure (failed files, corpus sizes) diverged"
+    );
+
+    let expected = artifacts(&serial_walk);
+    let caches = EngineCaches::new();
+    let one = Evaluation::run_engine_cached_graph(corpus.clone(), 1, &caches).0;
+    assert_eq!(
+        expected,
+        artifacts(&one),
+        "1-worker graph artifacts diverged from the serial walker"
+    );
+    let eight = Evaluation::run_engine_cached_graph(corpus.clone(), 8, &caches).0;
+    assert_eq!(
+        expected,
+        artifacts(&eight),
+        "8-worker graph artifacts diverged (scheduling leaked into output)"
+    );
+
+    // --- Warm --cache-dir restart: answered from the persisted graph ---
+    let dir = std::env::temp_dir().join(format!("phpsafe-graph-inv-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    phpsafe_obs::set_enabled(true);
+    let disk = Arc::new(DiskCache::open(&dir).unwrap());
+    let cold_run =
+        Evaluation::run_engine_cached_graph(corpus.clone(), 8, &EngineCaches::with_disk(disk)).0;
+    assert_eq!(
+        expected,
+        artifacts(&cold_run),
+        "disk-backed cold run diverged"
+    );
+
+    // Fresh process, in effect: new caches over the same directory.
+    let disk2 = Arc::new(DiskCache::open(&dir).unwrap());
+    let (warm_run, snap) = Evaluation::run_engine_cached_graph(
+        corpus,
+        8,
+        &EngineCaches::with_disk(Arc::clone(&disk2)),
+    );
+    phpsafe_obs::set_enabled(false);
+    assert_eq!(
+        expected,
+        artifacts(&warm_run),
+        "warm cache-dir restart diverged from the cold walker artifacts"
+    );
+    assert!(
+        snap.counter("dataflow.graph_hits") > 0,
+        "warm restart must answer from stored graphs: {}",
+        snap.to_json()
+    );
+    assert!(disk2.counters().hits >= 1, "{:?}", disk2.counters());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

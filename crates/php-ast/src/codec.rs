@@ -137,6 +137,12 @@ impl<'a> Reader<'a> {
         self.at == self.bytes.len()
     }
 
+    /// Bytes left to read — the tight bound for "declared count exceeds
+    /// input" guards in embedded codecs.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
     fn fail<T>(&self, what: &'static str) -> Result<T> {
         Err(CodecError { what, at: self.at })
     }
