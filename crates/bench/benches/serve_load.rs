@@ -1,0 +1,388 @@
+//! `serve_load` — replay mixed traffic against a *live* daemon and
+//! extract the latency distribution.
+//!
+//! The warm-start bench times the service layer in isolation; this one
+//! exercises the whole serving path — TCP transport, NDJSON protocol,
+//! bounded queue, worker pool, wide-event telemetry — the way a fleet
+//! client would see it:
+//!
+//! 1. **Warm + invariance pass**: every 2014-corpus plugin is analyzed
+//!    once over the socket and the embedded report must be byte-identical
+//!    to a direct batch analysis.
+//! 2. **Stepped load**: closed-loop clients at increasing concurrency
+//!    replay a mixed analyze/status/metrics stream; client-side
+//!    histograms yield interpolated p50/p95/p99 and throughput per step.
+//! 3. **Overload probe**: a deliberately tiny daemon (one worker, one
+//!    queue slot) is hammered so the 429 shedding path is measured, not
+//!    just unit-tested.
+//!
+//! Every response is checked for the `seq` echo and (on analyze) the
+//! client-chosen `id`; the daemon's `--telemetry-out` stream must carry
+//! exactly one wide event per request. Results land in
+//! `BENCH_serve_load.json` (smoke mode writes to a temp dir instead).
+//!
+//! Run: `cargo bench -p phpsafe-bench --bench serve_load [-- --smoke]`
+
+use phpsafe::{load_project, AnalysisServer, PhpSafe};
+use phpsafe_corpus::{Corpus, Version};
+use phpsafe_obs::{write_atomic, Histogram, Percentiles};
+use phpsafe_serve::{bind, run_tcp, Daemon, Json, ServerConfig};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One NDJSON client connection to the daemon under test.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        // Nagle + delayed ACK add ~40ms stalls to the one-line
+        // request/response pattern; disable so we time the daemon.
+        stream.set_nodelay(true).expect("set TCP_NODELAY");
+        Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn ask(&mut self, line: &str) -> Json {
+        writeln!(self.writer, "{line}").expect("send request");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read response");
+        phpsafe_serve::parse(response.trim())
+            .unwrap_or_else(|e| panic!("unparseable response `{response}`: {e}"))
+    }
+}
+
+fn analyze_line(path: &str, id: &str) -> String {
+    Json::Obj(vec![
+        ("cmd".to_owned(), Json::Str("analyze".into())),
+        ("paths".to_owned(), Json::Arr(vec![Json::Str(path.into())])),
+        ("jobs".to_owned(), Json::Num(1.0)),
+        ("id".to_owned(), Json::Str(id.into())),
+    ])
+    .emit()
+}
+
+fn dump_2014(root: &Path) -> Vec<String> {
+    let corpus = Corpus::generate();
+    let mut dirs = Vec::new();
+    for plugin in corpus.plugins() {
+        let project = plugin.project(Version::V2014);
+        let dir = root.join(project.name());
+        for f in project.files() {
+            let path = dir.join(&f.path);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &f.content).unwrap();
+        }
+        dirs.push(dir.display().to_string());
+    }
+    dirs
+}
+
+fn start_daemon(config: ServerConfig) -> (Arc<Daemon>, std::net::SocketAddr) {
+    let server = AnalysisServer::new().with_default_jobs(1);
+    let daemon = Daemon::start(Arc::new(server), config);
+    let listener = bind(0).expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    {
+        let daemon = Arc::clone(&daemon);
+        std::thread::spawn(move || run_tcp(&daemon, listener));
+    }
+    (daemon, addr)
+}
+
+/// Expects a successful envelope: `ok == true` and a positive seq.
+fn expect_ok(v: &Json, what: &str) {
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{what} failed: {v:?}");
+    let seq = v.get("seq").and_then(Json::as_num).unwrap_or(0.0);
+    assert!(seq >= 1.0, "{what}: response without a server seq: {v:?}");
+}
+
+struct StepResult {
+    concurrency: usize,
+    requests: u64,
+    rejected_429: u64,
+    analyze: Percentiles,
+    all: Percentiles,
+    throughput_rps: f64,
+}
+
+/// Runs one load step: `concurrency` closed-loop clients, each replaying
+/// `per_client` requests of the mixed stream.
+fn run_step(
+    addr: std::net::SocketAddr,
+    plugin_dirs: &[String],
+    concurrency: usize,
+    per_client: usize,
+) -> StepResult {
+    let analyze_hist = Arc::new(Histogram::new());
+    let all_hist = Arc::new(Histogram::new());
+    let rejected = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..concurrency)
+        .map(|ci| {
+            let dirs: Vec<String> = plugin_dirs.to_vec();
+            let analyze_hist = Arc::clone(&analyze_hist);
+            let all_hist = Arc::clone(&all_hist);
+            let rejected = Arc::clone(&rejected);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                for i in 0..per_client {
+                    let id = format!("c{ci}-{i}");
+                    // Mixed stream: 3 analyze : 1 status : 1 metrics.
+                    let line = match i % 5 {
+                        4 => {
+                            if (i / 5) % 2 == 0 {
+                                r#"{"cmd":"metrics"}"#.to_owned()
+                            } else {
+                                r#"{"cmd":"metrics","format":"prometheus"}"#.to_owned()
+                            }
+                        }
+                        3 => r#"{"cmd":"status"}"#.to_owned(),
+                        n => analyze_line(&dirs[(ci + i + n) % dirs.len()], &id),
+                    };
+                    let is_analyze = i % 5 < 3;
+                    let sent = Instant::now();
+                    let v = client.ask(&line);
+                    let us = sent.elapsed().as_micros() as u64;
+                    all_hist.record_us(us);
+                    if v.get("code") == Some(&Json::Num(429.0)) {
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    expect_ok(&v, "load request");
+                    if is_analyze {
+                        analyze_hist.record_us(us);
+                        assert_eq!(
+                            v.get("id"),
+                            Some(&Json::Str(id.clone())),
+                            "analyze response must echo the client id"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    let wall = t0.elapsed();
+    let requests = (concurrency * per_client) as u64;
+    StepResult {
+        concurrency,
+        requests,
+        rejected_429: rejected.load(Ordering::Relaxed),
+        analyze: analyze_hist.snapshot().percentiles(),
+        all: all_hist.snapshot().percentiles(),
+        throughput_rps: requests as f64 / wall.as_secs_f64(),
+    }
+}
+
+/// Hammers a one-worker/one-slot daemon with concurrent analyze traffic
+/// so load shedding is exercised; returns (ok, rejected_429).
+fn run_overload(plugin_dirs: &[String], clients: usize, per_client: usize) -> (u64, u64) {
+    let (daemon, addr) = start_daemon(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    });
+    let ok = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..clients)
+        .map(|ci| {
+            let dir = plugin_dirs[ci % plugin_dirs.len()].clone();
+            let ok = Arc::clone(&ok);
+            let rejected = Arc::clone(&rejected);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                for i in 0..per_client {
+                    let v = client.ask(&analyze_line(&dir, &format!("o{ci}-{i}")));
+                    if let Some(code) = v.get("code").and_then(Json::as_num) {
+                        assert_eq!(code, 429.0, "unexpected error under overload: {v:?}");
+                        assert!(
+                            v.get("seq").and_then(Json::as_num).unwrap_or(0.0) >= 1.0,
+                            "shed responses must still carry the seq"
+                        );
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        expect_ok(&v, "overload analyze");
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("overload client");
+    }
+    Client::connect(addr).ask(r#"{"cmd":"shutdown"}"#);
+    daemon.join();
+    (ok.load(Ordering::Relaxed), rejected.load(Ordering::Relaxed))
+}
+
+fn percentile_json(p: &Percentiles) -> String {
+    format!(
+        "{{\"count\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+        p.count, p.p50_us, p.p95_us, p.p99_us, p.max_us
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Criterion-style harness args (--bench, filters) are ignored.
+    let root = std::env::temp_dir().join(format!("phpsafe-serve-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let plugin_dirs = dump_2014(&root.join("plugins"));
+    let telemetry_out = root.join("telemetry.ndjson");
+
+    // Steps and volumes: smoke keeps verify.sh fast, full measures.
+    let steps: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let per_client = if smoke { 10 } else { 30 };
+
+    let (daemon, addr) = start_daemon(ServerConfig {
+        workers: 2,
+        queue_capacity: 64,
+        telemetry_out: Some(telemetry_out.clone()),
+        ..ServerConfig::default()
+    });
+
+    // Warm + invariance pass: daemon bytes == batch bytes, for every
+    // plugin. This also warms the in-memory AST/summary caches so the
+    // load steps measure the daemon's steady state.
+    let tool = PhpSafe::new();
+    let mut client = Client::connect(addr);
+    let mut requests_sent = 0u64;
+    for (i, dir) in plugin_dirs.iter().enumerate() {
+        let id = format!("warm-{i}");
+        let v = client.ask(&analyze_line(dir, &id));
+        requests_sent += 1;
+        expect_ok(&v, "warm analyze");
+        assert_eq!(v.get("id"), Some(&Json::Str(id)));
+        let reports = v
+            .get("result")
+            .and_then(|r| r.get("reports"))
+            .and_then(Json::as_arr)
+            .expect("reports array");
+        let served = reports[0].get("report").and_then(Json::as_str).unwrap();
+        let batch = tool
+            .analyze(&load_project(Path::new(dir)).unwrap())
+            .to_json()
+            .unwrap();
+        assert_eq!(served, batch, "daemon diverged from batch for {dir}");
+    }
+    println!(
+        "invariance: {} daemon reports byte-identical to batch",
+        plugin_dirs.len()
+    );
+
+    let mut results = Vec::new();
+    for &concurrency in steps {
+        let step = run_step(addr, &plugin_dirs, concurrency, per_client);
+        requests_sent += step.requests;
+        println!(
+            "c={:<2} requests={:<4} p50={}us p95={}us p99={}us max={}us {:.1} req/s 429s={}",
+            step.concurrency,
+            step.requests,
+            step.analyze.p50_us,
+            step.analyze.p95_us,
+            step.analyze.p99_us,
+            step.analyze.max_us,
+            step.throughput_rps,
+            step.rejected_429,
+        );
+        results.push(step);
+    }
+
+    // The retained tail must answer over the wire.
+    let telemetry = client.ask(r#"{"cmd":"telemetry"}"#);
+    requests_sent += 1;
+    expect_ok(&telemetry, "telemetry");
+    let samples = telemetry
+        .get("samples")
+        .and_then(Json::as_arr)
+        .expect("telemetry samples");
+    assert!(!samples.is_empty(), "tail sampler retained nothing");
+
+    client.ask(r#"{"cmd":"shutdown"}"#);
+    requests_sent += 1;
+    daemon.join();
+
+    // One wide event per request, flushed atomically by shutdown/join.
+    let stream = std::fs::read_to_string(&telemetry_out).expect("telemetry stream written");
+    let events = stream.lines().count() as u64;
+    assert_eq!(
+        events, requests_sent,
+        "telemetry stream must carry one wide event per request"
+    );
+    for line in stream.lines() {
+        phpsafe_serve::parse(line).expect("wide event line is valid JSON");
+    }
+    println!(
+        "telemetry: {events} wide events streamed to {}",
+        telemetry_out.display()
+    );
+
+    let (overload_ok, overload_429) = run_overload(&plugin_dirs, 8, if smoke { 6 } else { 20 });
+    assert!(overload_429 > 0, "overload probe never shed a request");
+    println!("overload: {overload_ok} served, {overload_429} shed with 429");
+
+    // Render the artifact.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut doc = String::new();
+    let _ = writeln!(doc, "{{");
+    let _ = writeln!(doc, "  \"bench\": \"serve_load\",");
+    let _ = writeln!(doc, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        doc,
+        "  \"machine\": {{\"cores\": {cores}, \"note\": \"closed-loop TCP clients against a live daemon (2 workers, queue 64, --jobs 1 per request); mixed 3 analyze : 1 status : 1 metrics stream; latency measured client-side, interpolated percentiles\"}},"
+    );
+    let _ = writeln!(
+        doc,
+        "  \"invariance\": {{\"reports_compared\": {}, \"byte_identical\": true}},",
+        plugin_dirs.len()
+    );
+    let _ = writeln!(doc, "  \"steps\": [");
+    for (i, s) in results.iter().enumerate() {
+        let _ = writeln!(
+            doc,
+            "    {{\"concurrency\": {}, \"requests\": {}, \"throughput_rps\": {:.1}, \"rejected_429\": {}, \"rate_429\": {:.4}, \"analyze\": {}, \"all\": {}}}{}",
+            s.concurrency,
+            s.requests,
+            s.throughput_rps,
+            s.rejected_429,
+            s.rejected_429 as f64 / s.requests as f64,
+            percentile_json(&s.analyze),
+            percentile_json(&s.all),
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(doc, "  ],");
+    let _ = writeln!(
+        doc,
+        "  \"overload\": {{\"clients\": 8, \"workers\": 1, \"queue_capacity\": 1, \"served\": {overload_ok}, \"rejected_429\": {overload_429}, \"note\": \"dedicated tiny daemon; shed responses carry seq + id\"}},"
+    );
+    let _ = writeln!(
+        doc,
+        "  \"telemetry\": {{\"wide_events\": {events}, \"one_per_request\": true}}"
+    );
+    let _ = writeln!(doc, "}}");
+
+    let out = if smoke {
+        root.join("BENCH_serve_load.json")
+    } else {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve_load.json")
+    };
+    write_atomic(&out, doc.as_bytes()).expect("write BENCH_serve_load.json");
+    println!("wrote {}", out.display());
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -18,7 +18,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use phpsafe::{AnalysisServer, EngineCaches};
 use phpsafe_corpus::{Corpus, Version};
 use phpsafe_engine::DiskCache;
-use phpsafe_serve::{AnalyzeRequest, Json, Service};
+use phpsafe_serve::{AnalyzeRequest, Json, RequestCtx, Service};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
@@ -45,6 +45,10 @@ fn plugin_paths() -> &'static Vec<String> {
         }
         dirs
     })
+}
+
+fn ctx() -> RequestCtx {
+    RequestCtx::detached()
 }
 
 fn request() -> AnalyzeRequest {
@@ -84,7 +88,7 @@ fn bench_warm_start(c: &mut Criterion) {
 
     // Populate the disk tier once, and keep the cold reports as the
     // invariance reference.
-    let cold_reports = reports_of(&disk_server(&cache_dir).analyze(&req).unwrap());
+    let cold_reports = reports_of(&disk_server(&cache_dir).analyze(&ctx(), &req).unwrap());
 
     let mut group = c.benchmark_group("serve_warm_start");
     group
@@ -94,19 +98,19 @@ fn bench_warm_start(c: &mut Criterion) {
     group.bench_function("cold_batch", |b| {
         b.iter(|| {
             let server = AnalysisServer::new().with_default_jobs(1);
-            std::hint::black_box(server.analyze(&req).unwrap())
+            std::hint::black_box(server.analyze(&ctx(), &req).unwrap())
         })
     });
     group.bench_function("warm_disk_restart", |b| {
         b.iter(|| {
             let server = disk_server(&cache_dir);
-            std::hint::black_box(server.analyze(&req).unwrap())
+            std::hint::black_box(server.analyze(&ctx(), &req).unwrap())
         })
     });
     let resident = disk_server(&cache_dir);
-    resident.analyze(&req).unwrap();
+    resident.analyze(&ctx(), &req).unwrap();
     group.bench_function("warm_memory", |b| {
-        b.iter(|| std::hint::black_box(resident.analyze(&req).unwrap()))
+        b.iter(|| std::hint::black_box(resident.analyze(&ctx(), &req).unwrap()))
     });
     group.finish();
 
@@ -114,7 +118,7 @@ fn bench_warm_start(c: &mut Criterion) {
     let disk = Arc::new(DiskCache::open(&cache_dir).unwrap());
     let fresh = AnalysisServer::with_caches(EngineCaches::with_disk(Arc::clone(&disk)))
         .with_default_jobs(1);
-    let warm = fresh.analyze(&req).unwrap();
+    let warm = fresh.analyze(&ctx(), &req).unwrap();
     assert_eq!(
         warm.get("fully_cached"),
         Some(&Json::Bool(true)),

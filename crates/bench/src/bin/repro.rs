@@ -170,13 +170,18 @@ fn main() {
         eprintln!("{}", snap.render(ENGINE_PREFIXES));
     }
     if let Some(path) = &opts.engine_stats_json {
-        if let Err(err) = std::fs::write(path, snap.filtered(ENGINE_PREFIXES).to_json()) {
+        if let Err(err) = phpsafe_obs::write_atomic(
+            std::path::Path::new(path),
+            snap.filtered(ENGINE_PREFIXES).to_json().as_bytes(),
+        ) {
             eprintln!("error: cannot write {path}: {err}");
             std::process::exit(1);
         }
     }
     if let Some(path) = &opts.metrics_out {
-        if let Err(err) = std::fs::write(path, snap.to_json()) {
+        if let Err(err) =
+            phpsafe_obs::write_atomic(std::path::Path::new(path), snap.to_json().as_bytes())
+        {
             eprintln!("error: cannot write {path}: {err}");
             std::process::exit(1);
         }

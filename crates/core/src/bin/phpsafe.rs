@@ -99,6 +99,11 @@ USAGE:
 Requests (one JSON object per line):
     {\"cmd\":\"analyze\",\"paths\":[\"<dir>\"],\"tools\":[\"phpSAFE\"],\"jobs\":4,\"id\":1}
     {\"cmd\":\"status\"}      {\"cmd\":\"metrics\"}      {\"cmd\":\"shutdown\"}
+    {\"cmd\":\"metrics\",\"format\":\"prometheus\"}      {\"cmd\":\"telemetry\"}
+
+Every response carries the server-assigned request id as \"seq\" (plus
+the client's \"id\" when one was sent), on success and on every
+429/503/504/500/400 error path alike.
 
 OPTIONS:
     --port <N>          listen on 127.0.0.1:<N>; 0 picks a free port
@@ -115,6 +120,12 @@ OPTIONS:
                         (default: 300000)
     --taint-graph       analyze via the whole-program taint graph; warm
                         requests answer from stored graphs
+    --telemetry-out <FILE>
+                        stream one wide-event NDJSON line per request
+                        (id, method, queue wait, stage timings, cache
+                        hits, outcome); written via atomic rename
+    --tail-keep <N>     slowest/errored requests retained for the
+                        telemetry command (default: 8)
     -h, --help          show this help
 ";
 
@@ -253,6 +264,8 @@ struct ServeCli {
     queue: usize,
     timeout_ms: u64,
     taint_graph: bool,
+    telemetry_out: Option<PathBuf>,
+    tail_keep: usize,
 }
 
 fn parse_serve_args(argv: &[String]) -> Result<ServeCli, String> {
@@ -266,6 +279,8 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeCli, String> {
         queue: 64,
         timeout_ms: 300_000,
         taint_graph: false,
+        telemetry_out: None,
+        tail_keep: 8,
     };
     let mut args = argv.iter().cloned();
     while let Some(a) = args.next() {
@@ -279,6 +294,13 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeCli, String> {
                 cli.port = v.parse().map_err(|_| format!("bad --port value `{v}`"))?;
             }
             "--cache-dir" => cli.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--telemetry-out" => cli.telemetry_out = Some(PathBuf::from(value("--telemetry-out")?)),
+            "--tail-keep" => {
+                let v = value("--tail-keep")?;
+                cli.tail_keep = v
+                    .parse()
+                    .map_err(|_| format!("bad --tail-keep value `{v}`"))?;
+            }
             "--profile" => cli.profile = value("--profile")?,
             "--jobs" => {
                 let v = value("--jobs")?;
@@ -354,6 +376,8 @@ fn run_serve(argv: &[String]) -> ExitCode {
             workers: cli.workers.max(1),
             queue_capacity: cli.queue,
             request_timeout: Duration::from_millis(cli.timeout_ms),
+            telemetry_out: cli.telemetry_out.clone(),
+            tail_keep: cli.tail_keep,
         },
     );
     let served = if cli.stdio {
@@ -473,13 +497,15 @@ fn main() -> ExitCode {
             eprintln!("{}", snap.render(ENGINE_PREFIXES));
         }
         if let Some(path) = &cli.engine_stats_json {
-            if let Err(e) = std::fs::write(path, snap.filtered(ENGINE_PREFIXES).to_json()) {
+            if let Err(e) =
+                phpsafe_obs::write_atomic(path, snap.filtered(ENGINE_PREFIXES).to_json().as_bytes())
+            {
                 eprintln!("error: cannot write {}: {e}", path.display());
                 return ExitCode::from(2);
             }
         }
         if let Some(path) = &cli.metrics_out {
-            if let Err(e) = std::fs::write(path, snap.to_json()) {
+            if let Err(e) = phpsafe_obs::write_atomic(path, snap.to_json().as_bytes()) {
                 eprintln!("error: cannot write {}: {e}", path.display());
                 return ExitCode::from(2);
             }

@@ -25,9 +25,10 @@
 //! register the RIPS/Pixy baselines next to the default phpSAFE instance.
 
 use std::path::Path;
+use std::time::Instant;
 
 use phpsafe_engine::{effective_jobs, run_ordered, ContentKey};
-use phpsafe_serve::{AnalyzeRequest, Json, Service};
+use phpsafe_serve::{AnalyzeRequest, Json, RequestCtx, Service};
 
 use crate::caching::EngineCaches;
 use crate::project::{load_project, PluginProject};
@@ -163,7 +164,11 @@ impl Default for AnalysisServer {
 }
 
 impl Service for AnalysisServer {
-    fn analyze(&self, request: &AnalyzeRequest) -> Result<Json, String> {
+    fn analyze(&self, ctx: &RequestCtx, request: &AnalyzeRequest) -> Result<Json, String> {
+        // Engine-tier cache deltas are attributed to this request by
+        // differencing the shared totals; with several concurrent workers
+        // the attribution is approximate, never the totals themselves.
+        let totals_before = self.caches.totals();
         let mut warnings = Vec::new();
         let jobs = match request.jobs {
             None => self.default_jobs,
@@ -174,13 +179,20 @@ impl Service for AnalysisServer {
             }
         };
         let tools = self.resolve_tools(&request.tools)?;
+        let stage = Instant::now();
         let mut projects = Vec::new();
         for path in &request.paths {
             projects.push(load_project(Path::new(path))?);
         }
+        ctx.mark("load_us", stage.elapsed());
+        if let Some(first) = projects.first() {
+            let key = Self::outcome_key(first);
+            ctx.set_content_key(format!("{:016x}-{:x}", key.hash, key.len));
+        }
 
         // Path-major report order, mirroring the batch CLI's output order.
         // `None` slots are cache misses to be analyzed below.
+        let stage = Instant::now();
         let mut reports: Vec<Vec<Option<String>>> = Vec::new();
         let mut misses = Vec::new();
         for (pi, project) in projects.iter().enumerate() {
@@ -194,8 +206,13 @@ impl Service for AnalysisServer {
             }
             reports.push(row);
         }
+        ctx.mark("cache_probe_us", stage.elapsed());
         let fully_cached = misses.is_empty();
+        let slots = reports.iter().map(Vec::len).sum::<usize>() as u64;
+        ctx.add_cache_hits(slots - misses.len() as u64);
+        ctx.add_cache_misses(misses.len() as u64);
 
+        let stage = Instant::now();
         let (outcomes, _stats) = run_ordered(misses.clone(), jobs, |_, (pi, ti)| {
             tools[ti].1.analyze_cached(&projects[pi], &self.caches)
         });
@@ -206,8 +223,27 @@ impl Service for AnalysisServer {
             self.store_report(tools[ti].1, &projects[pi], &report);
             reports[pi][ti] = Some(report);
         }
+        ctx.mark("analyze_us", stage.elapsed());
         // Flush fresh summaries so the next process warm-starts too.
+        let stage = Instant::now();
         self.caches.persist();
+        ctx.mark("persist_us", stage.elapsed());
+        let totals_after = self.caches.totals();
+        let tier_hits = (totals_after.parse.hits
+            + totals_after.summary.hits
+            + totals_after.graph.hits)
+            .saturating_sub(
+                totals_before.parse.hits + totals_before.summary.hits + totals_before.graph.hits,
+            );
+        let tier_misses =
+            (totals_after.parse.misses + totals_after.summary.misses + totals_after.graph.misses)
+                .saturating_sub(
+                    totals_before.parse.misses
+                        + totals_before.summary.misses
+                        + totals_before.graph.misses,
+                );
+        ctx.add_cache_hits(tier_hits);
+        ctx.add_cache_misses(tier_misses);
 
         let mut items = Vec::new();
         for (pi, row) in reports.into_iter().enumerate() {
@@ -307,8 +343,9 @@ mod tests {
         write_plugin(&plugin, VULN);
 
         let server = AnalysisServer::new();
+        let ctx = RequestCtx::detached();
         let result = server
-            .analyze(&request(vec![plugin.display().to_string()]))
+            .analyze(&ctx, &request(vec![plugin.display().to_string()]))
             .unwrap();
         let reports = result.get("reports").and_then(Json::as_arr).unwrap();
         assert_eq!(reports.len(), 1);
@@ -329,6 +366,30 @@ mod tests {
     }
 
     #[test]
+    fn analyze_deposits_request_telemetry_into_the_ctx() {
+        let dir = temp_dir("telemetry");
+        let plugin = dir.join("plugin");
+        write_plugin(&plugin, VULN);
+        let server = AnalysisServer::new();
+        let ctx = RequestCtx::detached();
+        server
+            .analyze(&ctx, &request(vec![plugin.display().to_string()]))
+            .unwrap();
+        let marks: Vec<&str> = ctx.marks().iter().map(|(name, _)| *name).collect();
+        assert_eq!(
+            marks,
+            ["load_us", "cache_probe_us", "analyze_us", "persist_us"],
+            "every pipeline stage must leave a mark"
+        );
+        let key = ctx.content_key().expect("content key recorded");
+        let expect = load_project(&plugin).unwrap().content_key();
+        assert_eq!(key, format!("{:016x}-{:x}", expect.hash, expect.len));
+        // No disk tier here: the one slot is an outcome-cache miss.
+        assert!(ctx.cache_misses() >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn outcome_cache_round_trips_across_servers() {
         let dir = temp_dir("outcome");
         let plugin = dir.join("plugin");
@@ -340,12 +401,13 @@ mod tests {
             let disk = Arc::new(phpsafe_engine::DiskCache::open(&cache_dir).unwrap());
             AnalysisServer::with_caches(EngineCaches::with_disk(disk))
         };
-        let cold = open().analyze(&req).unwrap();
+        let cold = open().analyze(&RequestCtx::detached(), &req).unwrap();
         assert_eq!(cold.get("fully_cached"), Some(&Json::Bool(false)));
 
         // A fresh server process: outcome comes straight from disk.
         let warm_server = open();
-        let warm = warm_server.analyze(&req).unwrap();
+        let warm_ctx = RequestCtx::detached();
+        let warm = warm_server.analyze(&warm_ctx, &req).unwrap();
         assert_eq!(warm.get("fully_cached"), Some(&Json::Bool(true)));
         assert_eq!(
             cold.get("reports"),
@@ -355,7 +417,7 @@ mod tests {
 
         // Edited content re-analyzes (fingerprint changed).
         write_plugin(&plugin, "<?php echo htmlentities($_GET['q']); ?>");
-        let edited = warm_server.analyze(&req).unwrap();
+        let edited = warm_server.analyze(&RequestCtx::detached(), &req).unwrap();
         assert_eq!(edited.get("fully_cached"), Some(&Json::Bool(false)));
         assert_ne!(cold.get("reports"), edited.get("reports"));
         let _ = std::fs::remove_dir_all(&dir);
@@ -367,13 +429,19 @@ mod tests {
         let plugin = dir.join("plugin");
         write_plugin(&plugin, VULN);
         let server = AnalysisServer::new();
-        let bad_tool = server.analyze(&AnalyzeRequest {
-            paths: vec![plugin.display().to_string()],
-            tools: vec!["nonesuch".into()],
-            jobs: Some(1),
-        });
+        let bad_tool = server.analyze(
+            &RequestCtx::detached(),
+            &AnalyzeRequest {
+                paths: vec![plugin.display().to_string()],
+                tools: vec!["nonesuch".into()],
+                jobs: Some(1),
+            },
+        );
         assert!(bad_tool.unwrap_err().contains("unknown tool `nonesuch`"));
-        let bad_path = server.analyze(&request(vec![dir.join("missing").display().to_string()]));
+        let bad_path = server.analyze(
+            &RequestCtx::detached(),
+            &request(vec![dir.join("missing").display().to_string()]),
+        );
         assert!(bad_path.is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -385,11 +453,14 @@ mod tests {
         write_plugin(&plugin, VULN);
         let server = AnalysisServer::new();
         let result = server
-            .analyze(&AnalyzeRequest {
-                paths: vec![plugin.display().to_string()],
-                tools: Vec::new(),
-                jobs: Some(0),
-            })
+            .analyze(
+                &RequestCtx::detached(),
+                &AnalyzeRequest {
+                    paths: vec![plugin.display().to_string()],
+                    tools: Vec::new(),
+                    jobs: Some(0),
+                },
+            )
             .unwrap();
         let warnings = result.get("warnings").and_then(Json::as_arr).unwrap();
         assert!(!warnings.is_empty(), "--jobs 0 must surface a warning");

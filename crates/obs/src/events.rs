@@ -64,6 +64,7 @@ pub struct TaintEvent {
 pub struct RingBuffer {
     capacity: usize,
     seq: AtomicU64,
+    dropped: AtomicU64,
     buf: Mutex<VecDeque<TaintEvent>>,
 }
 
@@ -73,16 +74,21 @@ impl RingBuffer {
         RingBuffer {
             capacity: capacity.max(1),
             seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
             buf: Mutex::new(VecDeque::new()),
         }
     }
 
     /// Appends an event, evicting the oldest if the buffer is full.
-    pub fn emit(&self, kind: TaintEventKind, file: &str, line: u32, detail: String) {
+    /// Returns `true` when an event was evicted to make room — truncation
+    /// of `--explain` provenance input must be counted, never silent.
+    pub fn emit(&self, kind: TaintEventKind, file: &str, line: u32, detail: String) -> bool {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut buf = self.buf.lock().unwrap();
-        if buf.len() == self.capacity {
+        let evicted = buf.len() == self.capacity;
+        if evicted {
             buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         buf.push_back(TaintEvent {
             seq,
@@ -91,6 +97,7 @@ impl RingBuffer {
             line,
             detail,
         });
+        evicted
     }
 
     /// Clones the buffered events, oldest first.
@@ -104,9 +111,13 @@ impl RingBuffer {
         self.buf.lock().unwrap().drain(..).collect()
     }
 
-    /// Discards all buffered events.
+    /// Discards all buffered events and resets the overwrite counter (a
+    /// clean slate for benches and tests; the sequence counter keeps
+    /// running).
     pub fn clear(&self) {
-        self.buf.lock().unwrap().clear();
+        let mut buf = self.buf.lock().unwrap();
+        buf.clear();
+        self.dropped.store(0, Ordering::Relaxed);
     }
 
     /// Number of currently buffered events.
@@ -123,6 +134,13 @@ impl RingBuffer {
     pub fn emitted(&self) -> u64 {
         self.seq.load(Ordering::Relaxed)
     }
+
+    /// Events overwritten (evicted to make room) since the last
+    /// [`RingBuffer::clear`]. Nonzero means `--explain` saw a truncated
+    /// event stream; surfaced globally as the `events.dropped` counter.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +155,7 @@ mod tests {
         }
         assert_eq!(ring.len(), 4);
         assert_eq!(ring.emitted(), 6);
+        assert_eq!(ring.dropped(), 2, "both overwrites must be counted");
         let events = ring.events();
         assert_eq!(events.first().unwrap().seq, 2, "two oldest evicted");
         assert_eq!(events.last().unwrap().seq, 5);
@@ -166,6 +185,18 @@ mod tests {
         let ring = RingBuffer::with_capacity(0);
         ring.emit(TaintEventKind::SinkHit, "a.php", 1, "echo".into());
         assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn emit_reports_eviction_and_clear_resets_the_drop_count() {
+        let ring = RingBuffer::with_capacity(2);
+        assert!(!ring.emit(TaintEventKind::Introduced, "a.php", 1, "a".into()));
+        assert!(!ring.emit(TaintEventKind::Propagated, "a.php", 2, "b".into()));
+        assert!(ring.emit(TaintEventKind::SinkHit, "a.php", 3, "c".into()));
+        assert_eq!(ring.dropped(), 1);
+        ring.clear();
+        assert_eq!(ring.dropped(), 0);
+        assert!(!ring.emit(TaintEventKind::Introduced, "a.php", 4, "d".into()));
     }
 
     #[test]

@@ -6,15 +6,23 @@
 //! to the evaluation runner:
 //!
 //! * [`metrics`] — a global registry of named counters and microsecond
-//!   histograms (p50/p95/max), snapshotted into a [`Snapshot`] that
-//!   serializes to JSON (`--metrics-out`) and diffs against an earlier
-//!   snapshot for per-run statistics;
+//!   histograms (interpolated p50/p90/p95/p99 plus exact max), snapshotted
+//!   into a [`Snapshot`] that serializes to JSON (`--metrics-out`), to the
+//!   Prometheus text exposition format ([`Snapshot::to_prometheus`]), and
+//!   diffs against an earlier snapshot for per-run statistics;
 //! * [`span`] — lightweight RAII spans ([`span!`]) that record per-stage
 //!   wall time into the registry and nest into a self-profile tree
 //!   (`--trace`);
 //! * [`events`] — a structured ring buffer of taint events (introduced /
 //!   propagated / sanitized / reverted / sink-hit) that powers the
-//!   `--explain` provenance chains.
+//!   `--explain` provenance chains; overwrites surface as the
+//!   `events.dropped` counter;
+//! * [`wide`] — one [`WideEvent`] per served request (id, method, queue
+//!   wait, stage timings, cache hits, outcome) with a [`TailSampler`]
+//!   retaining the slowest-K and errored requests;
+//! * [`out`] — crash-safe artifact output: [`write_atomic`] (temp file +
+//!   rename) and the [`TelemetrySink`] NDJSON wide-event stream behind
+//!   `--telemetry-out`.
 //!
 //! Everything is off by default: the disabled hot path is a single relaxed
 //! atomic load per site ([`enabled`] / [`events_enabled`]), so
@@ -42,11 +50,15 @@
 
 pub mod events;
 pub mod metrics;
+pub mod out;
 pub mod span;
+pub mod wide;
 
 pub use events::{RingBuffer, TaintEvent, TaintEventKind};
-pub use metrics::{Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use metrics::{Histogram, HistogramSnapshot, Percentiles, Registry, Snapshot};
+pub use out::{write_atomic, TelemetrySink};
 pub use span::Span;
+pub use wide::{TailSampler, WideEvent};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -109,11 +121,28 @@ pub fn snapshot() -> Snapshot {
     global().snapshot()
 }
 
+/// Pre-registers a global counter at zero (no-op while disabled), so a
+/// daemon's full metric surface is scrapeable before its first request.
+pub fn declare_counter(name: &'static str) {
+    if enabled() {
+        global().declare_counter(name);
+    }
+}
+
+/// Pre-registers an empty global histogram (see [`declare_counter`]).
+pub fn declare_histogram(name: &'static str) {
+    if enabled() {
+        global().declare_histogram(name);
+    }
+}
+
 /// Appends a taint event to the global ring buffer (no-op while taint
-/// events are disabled).
+/// events are disabled). An overwrite of a buffered event — truncation of
+/// the `--explain` provenance input — is recorded as the `events.dropped`
+/// counter regardless of the metrics switch, so the loss is never silent.
 pub fn emit(kind: TaintEventKind, file: &str, line: u32, detail: String) {
-    if events_enabled() {
-        global_events().emit(kind, file, line, detail);
+    if events_enabled() && global_events().emit(kind, file, line, detail) {
+        global().count("events.dropped", 1);
     }
 }
 
@@ -199,7 +228,26 @@ mod tests {
     }
 
     #[test]
+    fn ring_overwrites_surface_as_events_dropped() {
+        let _guard = test_lock();
+        set_events_enabled(true);
+        global_events().clear();
+        let before = snapshot().counter("events.dropped");
+        // Fill the global buffer to capacity, then push three more: each
+        // overwrite must land in the registry even though the metrics
+        // switch is off.
+        for i in 0..(events::DEFAULT_CAPACITY as u32 + 3) {
+            emit(TaintEventKind::Propagated, "drop.php", i, String::new());
+        }
+        assert_eq!(snapshot().counter("events.dropped"), before + 3);
+        assert_eq!(global_events().dropped(), 3);
+        global_events().clear();
+        set_events_enabled(false);
+    }
+
+    #[test]
     fn events_respect_their_switch() {
+        let _guard = test_lock();
         set_events_enabled(false);
         emit(TaintEventKind::Introduced, "off.php", 1, "ignored".into());
         assert!(!events().iter().any(|e| e.file == "off.php"));

@@ -35,6 +35,16 @@ fn bucket_upper(i: usize) -> u64 {
     }
 }
 
+/// Inclusive lower bound of a bucket (bucket `i` holds values of bit
+/// length `i`, so the smallest is `2^(i-1)`; bucket 0 is exactly zero).
+fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
 /// A thread-safe histogram of microsecond durations.
 ///
 /// Values land in power-of-two buckets, so quantiles are approximate (the
@@ -106,11 +116,34 @@ pub struct HistogramSnapshot {
     pub buckets: [u64; BUCKETS],
 }
 
+/// The standard latency summary of one histogram, extracted with
+/// [`HistogramSnapshot::percentiles`]: interpolated p50/p90/p95/p99 plus
+/// the exact count, sum and maximum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, microseconds.
+    pub sum_us: u64,
+    /// Interpolated median, microseconds.
+    pub p50_us: u64,
+    /// Interpolated 90th percentile, microseconds.
+    pub p90_us: u64,
+    /// Interpolated 95th percentile, microseconds.
+    pub p95_us: u64,
+    /// Interpolated 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// Largest sample, microseconds (exact).
+    pub max_us: u64,
+}
+
 impl HistogramSnapshot {
     /// The `q`-quantile (`0.0..=1.0`) in microseconds: the upper bound of
     /// the bucket holding the `ceil(q * count)`-th sample, capped at the
-    /// exact maximum. Returns 0 for an empty histogram.
-    pub fn quantile_us(&self, q: f64) -> u64 {
+    /// exact maximum. Returns 0 for an empty histogram. This is the
+    /// conservative (never under-reporting) bound; [`Self::quantile_us`]
+    /// interpolates inside the bucket instead.
+    pub fn quantile_upper_us(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
@@ -125,14 +158,71 @@ impl HistogramSnapshot {
         self.max_us
     }
 
-    /// Median, microseconds.
+    /// The `q`-quantile (`0.0..=1.0`) in microseconds with linear
+    /// interpolation inside the bucket that holds the
+    /// `ceil(q * count)`-th sample: the sample's position among the
+    /// bucket's occupants picks a proportional point between the bucket's
+    /// lower and upper bound. The result is always capped at the exact
+    /// maximum, so a saturated top bucket (`2^63..`) reports `max_us`
+    /// rather than `u64::MAX`. Returns 0 for an empty histogram, and is
+    /// monotone in `q` by construction.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = bucket_lower(i);
+                let hi = bucket_upper(i).min(self.max_us);
+                let position = (rank - seen) as f64 / n as f64; // in (0, 1]
+                let span = (hi.saturating_sub(lo)) as f64;
+                // f64 rounding on huge spans can exceed the true span, so
+                // saturate rather than trust the sum.
+                return lo
+                    .saturating_add((span * position).round() as u64)
+                    .min(self.max_us);
+            }
+            seen += n;
+        }
+        self.max_us
+    }
+
+    /// Interpolated median, microseconds.
     pub fn p50_us(&self) -> u64 {
         self.quantile_us(0.50)
     }
 
-    /// 95th percentile, microseconds.
+    /// Interpolated 90th percentile, microseconds.
+    pub fn p90_us(&self) -> u64 {
+        self.quantile_us(0.90)
+    }
+
+    /// Interpolated 95th percentile, microseconds.
     pub fn p95_us(&self) -> u64 {
         self.quantile_us(0.95)
+    }
+
+    /// Interpolated 99th percentile, microseconds.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+
+    /// Extracts the full latency summary in one pass-per-quantile.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            count: self.count,
+            sum_us: self.sum_us,
+            p50_us: self.p50_us(),
+            p90_us: self.p90_us(),
+            p95_us: self.p95_us(),
+            p99_us: self.p99_us(),
+            max_us: self.max_us,
+        }
     }
 
     /// Samples recorded since `earlier`. `max_us` cannot be diffed exactly;
@@ -194,6 +284,21 @@ impl Registry {
             .or_default()
             .clone();
         hist.record(d);
+    }
+
+    /// Creates the named counter at zero without counting anything, so it
+    /// shows up in snapshots (and scrape output) before its first
+    /// increment. Long-running daemons pre-register their metric surface
+    /// this way; an existing counter is left untouched.
+    pub fn declare_counter(&self, name: &'static str) {
+        self.counters.lock().unwrap().entry(name).or_default();
+    }
+
+    /// Creates the named histogram empty without recording a sample (see
+    /// [`Registry::declare_counter`]). An existing histogram is left
+    /// untouched.
+    pub fn declare_histogram(&self, name: &'static str) {
+        self.histograms.lock().unwrap().entry(name).or_default();
     }
 
     /// Freezes every counter and histogram.
@@ -296,8 +401,9 @@ impl Snapshot {
     }
 
     /// Serializes as JSON: `{"counters": {...}, "histograms": {name:
-    /// {"count","sum_us","p50_us","p95_us","max_us"}}}`. Deterministic key
-    /// order (lexicographic).
+    /// {"count","sum_us","p50_us","p90_us","p95_us","p99_us","max_us"}}}`.
+    /// Deterministic key order (lexicographic); percentiles are the
+    /// interpolated extraction of [`HistogramSnapshot::quantile_us`].
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
         for (i, (name, v)) in self.counters.iter().enumerate() {
@@ -310,21 +416,59 @@ impl Snapshot {
         out.push_str("},\n  \"histograms\": {");
         for (i, (name, h)) in self.histograms.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
+            let p = h.percentiles();
             let _ = write!(
                 out,
-                "{sep}\n    {}: {{\"count\": {}, \"sum_us\": {}, \"p50_us\": {}, \"p95_us\": {}, \"max_us\": {}}}",
+                "{sep}\n    {}: {{\"count\": {}, \"sum_us\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
                 json_string(name),
-                h.count,
-                h.sum_us,
-                h.p50_us(),
-                h.p95_us(),
-                h.max_us
+                p.count,
+                p.sum_us,
+                p.p50_us,
+                p.p90_us,
+                p.p95_us,
+                p.p99_us,
+                p.max_us
             );
         }
         if !self.histograms.is_empty() {
             out.push_str("\n  ");
         }
         out.push_str("}\n}\n");
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4), so an external scraper can consume the registry
+    /// without speaking the NDJSON protocol. Counter names are prefixed
+    /// with `phpsafe_` and dots become underscores; histograms emit
+    /// cumulative `_bucket{le="..."}` series over the occupied log2
+    /// buckets plus `le="+Inf"`, `_sum` and `_count`, all in microseconds.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let metric = prom_name(name);
+            let _ = writeln!(out, "# TYPE {metric} counter");
+            let _ = writeln!(out, "{metric} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let metric = format!("{}_us", prom_name(name));
+            let _ = writeln!(out, "# TYPE {metric} histogram");
+            let mut cumulative = 0u64;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                let _ = writeln!(
+                    out,
+                    "{metric}_bucket{{le=\"{}\"}} {cumulative}",
+                    bucket_upper(i).min(h.max_us)
+                );
+            }
+            let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{metric}_sum {}", h.sum_us);
+            let _ = writeln!(out, "{metric}_count {}", h.count);
+        }
         out
     }
 
@@ -350,11 +494,12 @@ impl Snapshot {
             for (name, h) in &view.histograms {
                 let _ = writeln!(
                     out,
-                    "    {name:width$}  count {}  total {:.3}s  p50 {}us  p95 {}us  max {}us",
+                    "    {name:width$}  count {}  total {:.3}s  p50 {}us  p95 {}us  p99 {}us  max {}us",
                     h.count,
                     h.sum_us as f64 / 1e6,
                     h.p50_us(),
                     h.p95_us(),
+                    h.p99_us(),
                     h.max_us
                 );
             }
@@ -364,6 +509,21 @@ impl Snapshot {
         }
         out
     }
+}
+
+/// A registry name as a Prometheus metric name: `phpsafe_` prefix, every
+/// non-alphanumeric character replaced by `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("phpsafe_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
 }
 
 /// Escapes a string as a JSON string literal.
@@ -413,12 +573,82 @@ mod tests {
         assert_eq!(s.count, 1000);
         assert_eq!(s.max_us, 1000);
         assert_eq!(s.sum_us, 500_500);
-        // p50 of 1..=1000 is 500, whose bucket is 512..1023 => upper 1023,
-        // capped to the exact max of that rank's bucket range.
-        assert_eq!(s.p50_us(), 511);
-        assert_eq!(s.p95_us(), 1000, "p95 rank lands in the max bucket");
+        // Bucket interpolation recovers exact quantiles for a uniform
+        // population: rank position inside the bucket maps linearly onto
+        // the bucket's value range.
+        assert_eq!(s.p50_us(), 500);
+        assert_eq!(s.p90_us(), 900);
+        assert_eq!(s.p95_us(), 950);
+        assert_eq!(s.p99_us(), 990);
         assert_eq!(s.quantile_us(1.0), 1000);
         assert_eq!(s.quantile_us(0.0), 1);
+        // The conservative bound never under-reports.
+        assert_eq!(s.quantile_upper_us(0.50), 511);
+        assert_eq!(s.quantile_upper_us(0.95), 1000);
+    }
+
+    #[test]
+    fn single_sample_reports_itself_at_every_quantile() {
+        let h = Histogram::new();
+        h.record_us(37);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(s.quantile_us(q), 37, "q={q}");
+        }
+        let p = s.percentiles();
+        assert_eq!((p.count, p.sum_us, p.max_us), (1, 37, 37));
+        assert_eq!((p.p50_us, p.p90_us, p.p95_us, p.p99_us), (37, 37, 37, 37));
+    }
+
+    #[test]
+    fn all_one_bucket_interpolates_within_the_bucket() {
+        // 100 samples all in bucket 7 (64..127); interpolation must stay
+        // inside [lower, max] and rise with q.
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record_us(64);
+        }
+        for _ in 0..50 {
+            h.record_us(100);
+        }
+        let s = h.snapshot();
+        let p50 = s.p50_us();
+        let p99 = s.p99_us();
+        assert!((64..=100).contains(&p50), "p50={p50}");
+        assert!((64..=100).contains(&p99), "p99={p99}");
+        assert!(p50 <= p99);
+        assert_eq!(s.quantile_us(1.0), 100, "top of the bucket is the max");
+    }
+
+    #[test]
+    fn saturated_top_bucket_caps_at_the_exact_max() {
+        // u64::MAX lands in the last bucket, whose upper bound is
+        // unrepresentable; every quantile must cap at the recorded max.
+        let h = Histogram::new();
+        h.record_us(10);
+        h.record_us(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.max_us, u64::MAX);
+        assert_eq!(s.quantile_us(1.0), u64::MAX);
+        assert_eq!(s.p99_us(), u64::MAX);
+        assert!(s.p50_us() <= 15, "median stays in the 10-sample's bucket");
+        assert_eq!(s.quantile_upper_us(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_p50_to_max() {
+        // A long-tailed population: the extraction must preserve
+        // p50 <= p90 <= p95 <= p99 <= max.
+        let h = Histogram::new();
+        for i in 0..1000u64 {
+            h.record_us(i * i % 7919);
+        }
+        h.record_us(1_000_000);
+        let p = h.snapshot().percentiles();
+        assert!(p.p50_us <= p.p90_us);
+        assert!(p.p90_us <= p.p95_us);
+        assert!(p.p95_us <= p.p99_us);
+        assert!(p.p99_us <= p.max_us);
     }
 
     #[test]
@@ -444,6 +674,9 @@ mod tests {
         assert_eq!((s.count, s.sum_us, s.max_us), (0, 0, 0));
         assert_eq!(s.p50_us(), 0);
         assert_eq!(s.p95_us(), 0);
+        assert_eq!(s.p99_us(), 0);
+        assert_eq!(s.quantile_upper_us(0.99), 0);
+        assert_eq!(s.percentiles(), Percentiles::default());
     }
 
     #[test]
@@ -490,9 +723,45 @@ mod tests {
         assert!(j.contains("\"cache.parse.hits\": 12"));
         assert!(j.contains("\"stage.lex\""));
         assert!(j.contains("\"p95_us\""));
+        assert!(j.contains("\"p90_us\""));
+        assert!(j.contains("\"p99_us\""));
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         let empty = Snapshot::default().to_json();
         assert!(empty.contains("\"counters\": {}"));
+    }
+
+    #[test]
+    fn declared_entries_appear_without_samples() {
+        let r = Registry::new();
+        r.declare_counter("serve.test.declared");
+        r.declare_histogram("serve.test.latency");
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("serve.test.declared"), 0);
+        assert_eq!(snap.histogram("serve.test.latency").unwrap().count, 0);
+        assert!(snap.to_json().contains("\"serve.test.declared\": 0"));
+        // Declaring again never resets accumulated values.
+        r.count("serve.test.declared", 3);
+        r.declare_counter("serve.test.declared");
+        assert_eq!(r.snapshot().counter("serve.test.declared"), 3);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_counters_and_cumulative_buckets() {
+        let r = Registry::new();
+        r.count("serve.requests", 7);
+        r.time("serve.request", Duration::from_micros(100));
+        r.time("serve.request", Duration::from_micros(200));
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE phpsafe_serve_requests counter"));
+        assert!(text.contains("phpsafe_serve_requests 7"));
+        assert!(text.contains("# TYPE phpsafe_serve_request_us histogram"));
+        assert!(text.contains("phpsafe_serve_request_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("phpsafe_serve_request_us_sum 300"));
+        assert!(text.contains("phpsafe_serve_request_us_count 2"));
+        // Bucket series are cumulative: the 128..255 bucket line counts
+        // both samples' buckets up to its bound.
+        assert!(text.contains("phpsafe_serve_request_us_bucket{le=\"127\"} 1"));
+        assert!(text.contains("phpsafe_serve_request_us_bucket{le=\"200\"} 2"));
     }
 
     #[test]

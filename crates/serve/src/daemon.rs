@@ -7,27 +7,56 @@
 //! single entry point used by both transports ([`run_stdio`] and
 //! [`run_tcp`]), so unit tests can drive the full protocol without a
 //! socket.
+//!
+//! Every request is assigned a monotonic `seq` the moment its line
+//! arrives; the seq is echoed in the response (success *and* every error
+//! path) and keys the request's [`WideEvent`] — one structured telemetry
+//! record per request, streamed to the `--telemetry-out` sink and
+//! tail-sampled for the `telemetry` command.
 
 use std::io::{self, BufRead, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use phpsafe_obs::{count, snapshot, time};
+use phpsafe_obs::{count, snapshot, time, TailSampler, TelemetrySink, WideEvent};
 
+use crate::ctx::RequestCtx;
 use crate::json::Json;
 use crate::proto::{error_response, ok_response, parse_line, AnalyzeRequest, Request};
 use crate::queue::{BoundedQueue, PushError};
+
+/// Counters pre-registered at daemon start, so the full metric surface is
+/// scrapeable (and greppable by harnesses) before the first request.
+const DECLARED_COUNTERS: &[&str] = &[
+    "serve.requests",
+    "serve.accepted",
+    "serve.rejected",
+    "serve.timeouts",
+    "serve.errors",
+    "serve.bad_requests",
+    "serve.request.wide_events",
+    "serve.request.tail_sampled",
+    "serve.request.telemetry_errors",
+    "events.dropped",
+];
+
+/// Histograms pre-registered at daemon start.
+const DECLARED_HISTOGRAMS: &[&str] =
+    &["serve.request", "serve.analyze", "serve.request.queue_wait"];
 
 /// What a daemon must know how to do; everything else (transport, queueing,
 /// timeouts, metrics) is generic.
 pub trait Service: Send + Sync + 'static {
     /// Runs one analysis request and returns the response payload placed
     /// under `"result"` in the reply. Use [`Json::Raw`] for pre-rendered
-    /// cached reports so replies stay byte-identical.
-    fn analyze(&self, request: &AnalyzeRequest) -> Result<Json, String>;
+    /// cached reports so replies stay byte-identical. The context carries
+    /// the request's identity and deadline in, and stage timings / cache
+    /// attribution back out into the request's wide event.
+    fn analyze(&self, ctx: &RequestCtx, request: &AnalyzeRequest) -> Result<Json, String>;
 
     /// Extra fields appended to `status` replies (cache sizes etc.).
     fn status(&self) -> Vec<(String, Json)> {
@@ -45,6 +74,12 @@ pub struct ServerConfig {
     /// Per-request deadline; expired requests get a 504 reply (the worker
     /// finishes in the background and warms the caches regardless).
     pub request_timeout: Duration,
+    /// Stream one wide-event NDJSON line per request to this file
+    /// (`--telemetry-out`); `None` disables the sink.
+    pub telemetry_out: Option<PathBuf>,
+    /// How many slowest and how many errored requests the tail sampler
+    /// retains for the `telemetry` command.
+    pub tail_keep: usize,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +88,8 @@ impl Default for ServerConfig {
             workers: 1,
             queue_capacity: 64,
             request_timeout: Duration::from_secs(300),
+            telemetry_out: None,
+            tail_keep: 8,
         }
     }
 }
@@ -67,6 +104,7 @@ pub enum Control {
 }
 
 struct Job {
+    ctx: Arc<RequestCtx>,
     request: AnalyzeRequest,
     reply: mpsc::Sender<Result<Json, String>>,
 }
@@ -80,11 +118,20 @@ pub struct Daemon {
     draining: AtomicBool,
     started: Instant,
     served: AtomicU64,
+    seq: AtomicU64,
+    tail: TailSampler,
+    sink: Option<TelemetrySink>,
 }
 
 impl Daemon {
     /// Starts the worker pool and returns the daemon handle.
     pub fn start(service: Arc<dyn Service>, config: ServerConfig) -> Arc<Daemon> {
+        for name in DECLARED_COUNTERS {
+            phpsafe_obs::declare_counter(name);
+        }
+        for name in DECLARED_HISTOGRAMS {
+            phpsafe_obs::declare_histogram(name);
+        }
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let daemon = Arc::new(Daemon {
             service: Arc::clone(&service),
@@ -92,6 +139,9 @@ impl Daemon {
             draining: AtomicBool::new(false),
             started: Instant::now(),
             served: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            tail: TailSampler::new(config.tail_keep),
+            sink: config.telemetry_out.clone().map(TelemetrySink::new),
             queue: Arc::clone(&queue),
             config,
         });
@@ -100,10 +150,14 @@ impl Daemon {
             let queue = Arc::clone(&queue);
             let service = Arc::clone(&service);
             workers.push(std::thread::spawn(move || {
-                while let Some(job) = queue.pop() {
+                while let Some((job, wait)) = queue.pop_with_wait() {
+                    time("serve.request.queue_wait", wait);
+                    job.ctx.set_queue_wait(wait);
                     let t0 = Instant::now();
-                    let outcome = service.analyze(&job.request);
-                    time("serve.analyze", t0.elapsed());
+                    let outcome = service.analyze(&job.ctx, &job.request);
+                    let spent = t0.elapsed();
+                    job.ctx.set_service_time(spent);
+                    time("serve.analyze", spent);
                     if outcome.is_err() {
                         count("serve.errors", 1);
                     }
@@ -123,32 +177,99 @@ impl Daemon {
     }
 
     /// Stops accepting new work; already-queued requests still complete.
+    /// Flushes the telemetry sink so the stream survives an abrupt exit.
     pub fn shutdown(&self) {
         self.draining.store(true, Ordering::SeqCst);
         self.queue.close();
+        self.flush_telemetry();
     }
 
-    /// Waits for every worker to finish draining the queue.
+    /// Waits for every worker to finish draining the queue, then flushes
+    /// the telemetry sink one final time (the drain itself emits events).
     pub fn join(&self) {
         let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
         for handle in handles {
             let _ = handle.join();
         }
+        self.flush_telemetry();
+    }
+
+    fn flush_telemetry(&self) {
+        if let Some(sink) = &self.sink {
+            if sink.flush().is_err() {
+                count("serve.request.telemetry_errors", 1);
+            }
+        }
+    }
+
+    /// Records one finished request: wide event to the sink, offer to the
+    /// tail sampler, bookkeeping counters.
+    fn observe(&self, event: WideEvent) {
+        count("serve.request.wide_events", 1);
+        if self.tail.offer(&event) {
+            count("serve.request.tail_sampled", 1);
+        }
+        if let Some(sink) = &self.sink {
+            if sink.append(&event.to_ndjson()).is_err() {
+                count("serve.request.telemetry_errors", 1);
+            }
+        }
+    }
+
+    /// Assembles the wide event for a request that never entered the
+    /// queue (status/metrics/telemetry/shutdown/400), or fills it from
+    /// the analyze context when one exists.
+    fn wide_event(
+        seq: u64,
+        id: Option<&Json>,
+        method: &str,
+        outcome: &str,
+        ctx: Option<&RequestCtx>,
+        total: Duration,
+    ) -> WideEvent {
+        let mut event = WideEvent {
+            seq,
+            client_id: id.map(Json::emit),
+            method: method.to_owned(),
+            outcome: outcome.to_owned(),
+            total_us: total.as_micros() as u64,
+            ..WideEvent::default()
+        };
+        if let Some(ctx) = ctx {
+            event.queue_wait_us = ctx.queue_wait_us();
+            event.service_us = ctx.service_us();
+            event.cache_hits = ctx.cache_hits();
+            event.cache_misses = ctx.cache_misses();
+            event.content_key = ctx.content_key();
+            event.marks = ctx.marks();
+        }
+        event
     }
 
     /// Handles one NDJSON request line and returns the response line plus
     /// whether the transport should keep reading.
     pub fn handle_line(&self, line: &str) -> (String, Control) {
         count("serve.requests", 1);
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let t0 = Instant::now();
         let envelope = match parse_line(line) {
             Ok(envelope) => envelope,
             Err(message) => {
                 count("serve.bad_requests", 1);
-                return (error_response(None, 400, &message), Control::Continue);
+                let response = error_response(seq, None, 400, &message);
+                self.observe(Self::wide_event(
+                    seq,
+                    None,
+                    "invalid",
+                    "error:400",
+                    None,
+                    t0.elapsed(),
+                ));
+                return (response, Control::Continue);
             }
         };
-        let id = envelope.id.as_ref();
-        match envelope.request {
+        let id = envelope.id;
+        let (method, response, control) = match envelope.request {
             Request::Status => {
                 let mut fields = vec![
                     (
@@ -167,58 +288,146 @@ impl Daemon {
                     ("draining".to_owned(), Json::Bool(self.draining())),
                 ];
                 fields.extend(self.service.status());
-                (ok_response(id, fields), Control::Continue)
-            }
-            Request::Metrics => {
-                // The snapshot renders as a pretty multi-line document;
-                // re-emit it compactly so the response stays on one line.
-                let doc = snapshot().to_json();
-                let metrics = match crate::json::parse(&doc) {
-                    Ok(value) => value,
-                    Err(_) => Json::Str(doc),
-                };
                 (
-                    ok_response(id, vec![("metrics".to_owned(), metrics)]),
+                    "status",
+                    ok_response(seq, id.as_ref(), fields),
                     Control::Continue,
                 )
             }
+            Request::Metrics { prometheus } => (
+                "metrics",
+                self.metrics_response(seq, id.as_ref(), prometheus),
+                Control::Continue,
+            ),
+            Request::Telemetry => (
+                "telemetry",
+                self.telemetry_response(seq, id.as_ref()),
+                Control::Continue,
+            ),
             Request::Shutdown => {
                 self.shutdown();
                 (
-                    ok_response(id, vec![("shutting_down".to_owned(), Json::Bool(true))]),
+                    "shutdown",
+                    ok_response(
+                        seq,
+                        id.as_ref(),
+                        vec![("shutting_down".to_owned(), Json::Bool(true))],
+                    ),
                     Control::Shutdown,
                 )
             }
-            Request::Analyze(request) => (self.analyze(id, request), Control::Continue),
-        }
+            Request::Analyze(request) => {
+                let response = self.analyze(seq, id, request, t0);
+                return (response, Control::Continue);
+            }
+        };
+        self.observe(Self::wide_event(
+            seq,
+            id.as_ref(),
+            method,
+            "ok",
+            None,
+            t0.elapsed(),
+        ));
+        (response, control)
     }
 
-    fn analyze(&self, id: Option<&Json>, request: AnalyzeRequest) -> String {
-        let t0 = Instant::now();
+    fn metrics_response(&self, seq: u64, id: Option<&Json>, prometheus: bool) -> String {
+        if prometheus {
+            return ok_response(
+                seq,
+                id,
+                vec![
+                    ("format".to_owned(), Json::Str("prometheus".to_owned())),
+                    (
+                        "exposition".to_owned(),
+                        Json::Str(snapshot().to_prometheus()),
+                    ),
+                ],
+            );
+        }
+        // The snapshot renders as a pretty multi-line document;
+        // re-emit it compactly so the response stays on one line.
+        let doc = snapshot().to_json();
+        let metrics = match crate::json::parse(&doc) {
+            Ok(value) => value,
+            Err(_) => Json::Str(doc),
+        };
+        ok_response(seq, id, vec![("metrics".to_owned(), metrics)])
+    }
+
+    fn telemetry_response(&self, seq: u64, id: Option<&Json>) -> String {
+        let samples: Vec<Json> = self
+            .tail
+            .samples()
+            .iter()
+            .map(|event| Json::Raw(event.to_ndjson()))
+            .collect();
+        ok_response(
+            seq,
+            id,
+            vec![
+                (
+                    "tail_keep".to_owned(),
+                    Json::Num(self.config.tail_keep as f64),
+                ),
+                ("samples".to_owned(), Json::Arr(samples)),
+            ],
+        )
+    }
+
+    fn analyze(&self, seq: u64, id: Option<Json>, request: AnalyzeRequest, t0: Instant) -> String {
+        let ctx = Arc::new(RequestCtx::new(seq, id, self.config.request_timeout));
         let (reply, receiver) = mpsc::channel();
-        match self.queue.try_push(Job { request, reply }) {
-            Ok(()) => count("serve.accepted", 1),
+        let outcome: &str;
+        let response = match self.queue.try_push(Job {
+            ctx: Arc::clone(&ctx),
+            request,
+            reply,
+        }) {
             Err(PushError::Full) => {
                 count("serve.rejected", 1);
-                return error_response(id, 429, "queue full, retry later");
+                outcome = "error:429";
+                error_response(seq, ctx.client_id.as_ref(), 429, "queue full, retry later")
             }
             Err(PushError::Closed) => {
                 count("serve.rejected", 1);
-                return error_response(id, 503, "daemon is shutting down");
+                outcome = "error:503";
+                error_response(seq, ctx.client_id.as_ref(), 503, "daemon is shutting down")
             }
-        }
-        let response = match receiver.recv_timeout(self.config.request_timeout) {
-            Ok(Ok(result)) => {
-                self.served.fetch_add(1, Ordering::SeqCst);
-                ok_response(id, vec![("result".to_owned(), result)])
-            }
-            Ok(Err(message)) => error_response(id, 500, &message),
-            Err(_) => {
-                count("serve.timeouts", 1);
-                error_response(id, 504, "request timed out")
+            Ok(()) => {
+                count("serve.accepted", 1);
+                match receiver.recv_timeout(self.config.request_timeout) {
+                    Ok(Ok(result)) => {
+                        self.served.fetch_add(1, Ordering::SeqCst);
+                        outcome = "ok";
+                        ok_response(
+                            seq,
+                            ctx.client_id.as_ref(),
+                            vec![("result".to_owned(), result)],
+                        )
+                    }
+                    Ok(Err(message)) => {
+                        outcome = "error:500";
+                        error_response(seq, ctx.client_id.as_ref(), 500, &message)
+                    }
+                    Err(_) => {
+                        count("serve.timeouts", 1);
+                        outcome = "error:504";
+                        error_response(seq, ctx.client_id.as_ref(), 504, "request timed out")
+                    }
+                }
             }
         };
         time("serve.request", t0.elapsed());
+        self.observe(Self::wide_event(
+            seq,
+            ctx.client_id.as_ref(),
+            "analyze",
+            outcome,
+            Some(&ctx),
+            t0.elapsed(),
+        ));
         response
     }
 }
@@ -252,6 +461,9 @@ pub fn bind(port: u16) -> io::Result<TcpListener> {
 }
 
 fn handle_conn(daemon: &Arc<Daemon>, stream: TcpStream) -> io::Result<()> {
+    // One-line request/response traffic: Nagle + delayed ACK would add
+    // ~40ms stalls per exchange on loopback.
+    stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let reader = io::BufReader::new(stream);
     for line in reader.lines() {
@@ -332,7 +544,7 @@ mod tests {
     }
 
     impl Service for Mock {
-        fn analyze(&self, request: &AnalyzeRequest) -> Result<Json, String> {
+        fn analyze(&self, ctx: &RequestCtx, request: &AnalyzeRequest) -> Result<Json, String> {
             if let Some(entered) = &self.entered {
                 let _ = entered.lock().unwrap().send(());
             }
@@ -342,6 +554,9 @@ mod tests {
             if !self.delay.is_zero() {
                 std::thread::sleep(self.delay);
             }
+            ctx.mark("mock_us", Duration::from_micros(5));
+            ctx.add_cache_hits(2);
+            ctx.set_content_key(format!("mock-{}", request.paths.len()));
             if request.paths == ["boom"] {
                 return Err("analysis failed".into());
             }
@@ -361,12 +576,17 @@ mod tests {
         parse(&response).unwrap()
     }
 
+    fn seq_of(v: &Json) -> f64 {
+        v.get("seq").and_then(Json::as_num).expect("seq present")
+    }
+
     #[test]
     fn analyze_round_trip() {
         let daemon = Daemon::start(Mock::fast(), ServerConfig::default());
         let v = line(&daemon, r#"{"cmd":"analyze","paths":["p1"],"id":9}"#);
         assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
         assert_eq!(v.get("id"), Some(&Json::Num(9.0)));
+        assert_eq!(seq_of(&v), 1.0);
         let paths = v.get("result").and_then(|r| r.get("paths")).unwrap();
         assert_eq!(paths.as_arr().unwrap(), [Json::Str("p1".into())]);
         daemon.shutdown();
@@ -374,15 +594,32 @@ mod tests {
     }
 
     #[test]
+    fn seq_is_monotonic_across_requests() {
+        let daemon = Daemon::start(Mock::fast(), ServerConfig::default());
+        let a = line(&daemon, r#"{"cmd":"status"}"#);
+        let b = line(&daemon, r#"{"cmd":"analyze","paths":["p"]}"#);
+        let c = line(&daemon, "garbage");
+        assert_eq!(seq_of(&a), 1.0);
+        assert_eq!(seq_of(&b), 2.0);
+        assert_eq!(seq_of(&c), 3.0, "even unparseable lines consume a seq");
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
     fn malformed_and_failing_requests_report_codes() {
         let daemon = Daemon::start(Mock::fast(), ServerConfig::default());
-        assert_eq!(
-            line(&daemon, "garbage").get("code"),
-            Some(&Json::Num(400.0))
+        let bad = line(&daemon, "garbage");
+        assert_eq!(bad.get("code"), Some(&Json::Num(400.0)));
+        assert!(seq_of(&bad) > 0.0, "400 replies still carry the seq");
+        let v = line(
+            &daemon,
+            r#"{"cmd":"analyze","paths":["boom"],"id":"fail-1"}"#,
         );
-        let v = line(&daemon, r#"{"cmd":"analyze","paths":["boom"]}"#);
         assert_eq!(v.get("code"), Some(&Json::Num(500.0)));
         assert_eq!(v.get("error"), Some(&Json::Str("analysis failed".into())));
+        assert_eq!(v.get("id"), Some(&Json::Str("fail-1".into())));
+        assert!(seq_of(&v) > 0.0, "500 replies echo seq and id");
         daemon.shutdown();
         daemon.join();
     }
@@ -401,8 +638,97 @@ mod tests {
             metrics.contains("serve.requests"),
             "metrics reply should carry serve.* counters: {metrics}"
         );
+        assert!(
+            metrics.contains("serve.request.queue_wait"),
+            "queue-wait histogram should be declared up front: {metrics}"
+        );
+        assert!(
+            metrics.contains("events.dropped"),
+            "events.dropped should be declared up front: {metrics}"
+        );
         daemon.shutdown();
         daemon.join();
+    }
+
+    #[test]
+    fn metrics_prometheus_format_returns_exposition_text() {
+        phpsafe_obs::set_enabled(true);
+        let daemon = Daemon::start(Mock::fast(), ServerConfig::default());
+        line(&daemon, r#"{"cmd":"analyze","paths":["p"]}"#);
+        let v = line(&daemon, r#"{"cmd":"metrics","format":"prometheus","id":3}"#);
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("id"), Some(&Json::Num(3.0)));
+        assert_eq!(v.get("format"), Some(&Json::Str("prometheus".into())));
+        let text = v.get("exposition").and_then(Json::as_str).unwrap();
+        assert!(text.contains("phpsafe_serve_requests"), "got: {text}");
+        assert!(text.contains("# TYPE phpsafe_serve_request_us histogram"));
+        assert!(text.contains("phpsafe_serve_request_us_bucket{le=\"+Inf\"}"));
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
+    fn telemetry_tail_retains_slow_and_errored_requests() {
+        let daemon = Daemon::start(Mock::fast(), ServerConfig::default());
+        line(&daemon, r#"{"cmd":"analyze","paths":["ok-1"],"id":"a"}"#);
+        line(&daemon, r#"{"cmd":"analyze","paths":["boom"],"id":"b"}"#);
+        let v = line(&daemon, r#"{"cmd":"telemetry"}"#);
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("tail_keep"), Some(&Json::Num(8.0)));
+        let samples = v.get("samples").and_then(Json::as_arr).unwrap();
+        let outcomes: Vec<&str> = samples
+            .iter()
+            .filter_map(|s| s.get("outcome").and_then(Json::as_str))
+            .collect();
+        assert!(outcomes.contains(&"ok"), "slow tail retained: {outcomes:?}");
+        assert!(
+            outcomes.contains(&"error:500"),
+            "errored request retained: {outcomes:?}"
+        );
+        let err = samples
+            .iter()
+            .find(|s| s.get("outcome").and_then(Json::as_str) == Some("error:500"))
+            .unwrap();
+        assert_eq!(err.get("id"), Some(&Json::Str("b".into())));
+        assert_eq!(err.get("method"), Some(&Json::Str("analyze".into())));
+        assert!(
+            err.get("marks").and_then(|m| m.get("mock_us")).is_some(),
+            "service marks surface in the wide event"
+        );
+        assert_eq!(err.get("cache_hits"), Some(&Json::Num(2.0)));
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
+    fn telemetry_sink_streams_one_ndjson_line_per_request() {
+        let dir = std::env::temp_dir().join(format!("phpsafe-serve-sink-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("telemetry.ndjson");
+        let daemon = Daemon::start(
+            Mock::fast(),
+            ServerConfig {
+                telemetry_out: Some(out.clone()),
+                ..ServerConfig::default()
+            },
+        );
+        line(&daemon, r#"{"cmd":"analyze","paths":["p"],"id":1}"#);
+        line(&daemon, r#"{"cmd":"status"}"#);
+        line(&daemon, "garbage");
+        daemon.shutdown();
+        daemon.join();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "one wide event per request: {text}");
+        for l in &lines {
+            let v = parse(l).expect("every line is valid JSON");
+            assert!(v.get("seq").is_some());
+            assert!(v.get("method").is_some());
+            assert!(v.get("outcome").is_some());
+        }
+        assert!(lines[2].contains("\"outcome\":\"error:400\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -430,8 +756,14 @@ mod tests {
         while daemon.queue.depth() == 0 {
             std::thread::yield_now();
         }
-        let rejected = line(&daemon, r#"{"cmd":"analyze","paths":["c"]}"#);
+        let rejected = line(&daemon, r#"{"cmd":"analyze","paths":["c"],"id":"shed-me"}"#);
         assert_eq!(rejected.get("code"), Some(&Json::Num(429.0)));
+        assert_eq!(
+            rejected.get("id"),
+            Some(&Json::Str("shed-me".into())),
+            "429 replies echo the client id"
+        );
+        assert!(seq_of(&rejected) > 0.0, "429 replies carry the seq");
         gate.wait(); // release "a"
         entered.recv().unwrap();
         gate.wait(); // release "b"
@@ -454,8 +786,14 @@ mod tests {
                 ..ServerConfig::default()
             },
         );
-        let v = line(&daemon, r#"{"cmd":"analyze","paths":["slow"]}"#);
+        let v = line(&daemon, r#"{"cmd":"analyze","paths":["slow"],"id":44}"#);
         assert_eq!(v.get("code"), Some(&Json::Num(504.0)));
+        assert_eq!(
+            v.get("id"),
+            Some(&Json::Num(44.0)),
+            "504 replies echo the client id"
+        );
+        assert_eq!(seq_of(&v), 1.0, "504 replies carry the seq");
         daemon.shutdown();
         daemon.join();
     }
@@ -478,8 +816,14 @@ mod tests {
         let (response, control) = daemon.handle_line(r#"{"cmd":"shutdown"}"#);
         assert_eq!(control, Control::Shutdown);
         assert!(response.contains("shutting_down"));
-        let late = line(&daemon, r#"{"cmd":"analyze","paths":["late"]}"#);
+        let late = line(&daemon, r#"{"cmd":"analyze","paths":["late"],"id":"l-1"}"#);
         assert_eq!(late.get("code"), Some(&Json::Num(503.0)));
+        assert_eq!(
+            late.get("id"),
+            Some(&Json::Str("l-1".into())),
+            "503 replies echo the client id"
+        );
+        assert!(seq_of(&late) > 0.0, "503 replies carry the seq");
         gate.wait(); // let the in-flight request finish during the drain
         assert_eq!(inflight.join().unwrap().get("ok"), Some(&Json::Bool(true)));
         daemon.join();

@@ -14,17 +14,27 @@
 //! daemon plumbing be unit-tested with mock services, no sockets or parser
 //! required.
 //!
+//! Every request gets a [`RequestCtx`] ([`ctx`]) carrying its
+//! server-assigned `seq` and deadline in, and stage timings / cache
+//! attribution back out; the daemon turns each context into one
+//! wide-event NDJSON record (slowest and errored requests are retained
+//! for the `telemetry` command, and the whole stream can be mirrored to
+//! a `--telemetry-out` file).
+//!
 //! Operational metrics are reported through `phpsafe-obs` under the
 //! `serve.*` prefix: `serve.requests`, `serve.accepted`, `serve.rejected`,
 //! `serve.timeouts`, `serve.errors`, `serve.bad_requests` counters plus
-//! `serve.request` / `serve.analyze` latency histograms, all retrievable
-//! in-band via the `metrics` command.
+//! `serve.request` / `serve.analyze` / `serve.request.queue_wait` latency
+//! histograms, all retrievable in-band via the `metrics` command (as JSON
+//! or Prometheus text exposition).
 
+pub mod ctx;
 pub mod daemon;
 pub mod json;
 pub mod proto;
 pub mod queue;
 
+pub use ctx::RequestCtx;
 pub use daemon::{bind, run_stdio, run_tcp, Control, Daemon, ServerConfig, Service};
 pub use json::{parse, Json};
 pub use proto::{error_response, ok_response, parse_line, AnalyzeRequest, Envelope, Request};

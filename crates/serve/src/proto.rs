@@ -7,12 +7,18 @@
 //! {"cmd":"analyze","paths":["plugin-a"],"tools":["phpSAFE"],"jobs":4,"id":1}
 //! {"cmd":"status"}
 //! {"cmd":"metrics"}
+//! {"cmd":"metrics","format":"prometheus"}
+//! {"cmd":"telemetry"}
 //! {"cmd":"shutdown"}
 //! ```
 //!
 //! Responses are `{"ok":true,...}` or `{"ok":false,"code":N,"error":"..."}`
 //! with HTTP-flavoured codes (`400` malformed, `429` queue full, `503`
-//! draining, `504` request timeout, `500` analysis failure).
+//! draining, `504` request timeout, `500` analysis failure). Every
+//! response — success or error, including `400` replies to lines that
+//! never parsed — carries the server-assigned request id as `"seq"`, so
+//! any reply can be correlated with its wide event in the telemetry
+//! stream.
 
 use crate::json::{parse, Json};
 
@@ -34,8 +40,15 @@ pub enum Request {
     Analyze(AnalyzeRequest),
     /// Report daemon health (queue depth, workers, totals).
     Status,
-    /// Return the current phpsafe-obs snapshot.
-    Metrics,
+    /// Return the current phpsafe-obs snapshot. With
+    /// `"format":"prometheus"`, the reply carries the text exposition
+    /// instead of the JSON document.
+    Metrics {
+        /// Whether the client asked for the Prometheus text exposition.
+        prometheus: bool,
+    },
+    /// Return the retained wide-event tail (slowest and errored requests).
+    Telemetry,
     /// Drain queued requests and stop the daemon.
     Shutdown,
 }
@@ -100,15 +113,29 @@ pub fn parse_line(line: &str) -> Result<Envelope, String> {
             Request::Analyze(AnalyzeRequest { paths, tools, jobs })
         }
         "status" => Request::Status,
-        "metrics" => Request::Metrics,
+        "metrics" => {
+            let prometheus = match value.get("format") {
+                None => false,
+                Some(v) => match v.as_str() {
+                    Some("prometheus") => true,
+                    Some("json") => false,
+                    _ => return Err("`format` must be \"json\" or \"prometheus\"".into()),
+                },
+            };
+            Request::Metrics { prometheus }
+        }
+        "telemetry" => Request::Telemetry,
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown cmd `{other}`")),
     };
     Ok(Envelope { id, request })
 }
 
-fn envelope(ok: bool, id: Option<&Json>, mut fields: Vec<(String, Json)>) -> String {
-    let mut all = vec![("ok".to_owned(), Json::Bool(ok))];
+fn envelope(ok: bool, seq: u64, id: Option<&Json>, mut fields: Vec<(String, Json)>) -> String {
+    let mut all = vec![
+        ("ok".to_owned(), Json::Bool(ok)),
+        ("seq".to_owned(), Json::Num(seq as f64)),
+    ];
     if let Some(id) = id {
         all.push(("id".to_owned(), id.clone()));
     }
@@ -116,15 +143,19 @@ fn envelope(ok: bool, id: Option<&Json>, mut fields: Vec<(String, Json)>) -> Str
     Json::Obj(all).emit()
 }
 
-/// Renders a success response line: `{"ok":true,"id":...,<fields>}`.
-pub fn ok_response(id: Option<&Json>, fields: Vec<(String, Json)>) -> String {
-    envelope(true, id, fields)
+/// Renders a success response line:
+/// `{"ok":true,"seq":N,"id":...,<fields>}`.
+pub fn ok_response(seq: u64, id: Option<&Json>, fields: Vec<(String, Json)>) -> String {
+    envelope(true, seq, id, fields)
 }
 
-/// Renders an error response line with an HTTP-flavoured `code`.
-pub fn error_response(id: Option<&Json>, code: u32, message: &str) -> String {
+/// Renders an error response line with an HTTP-flavoured `code`. The
+/// server `seq` is present even when the request never parsed (no `id`
+/// to echo), so every shed or failed request stays traceable.
+pub fn error_response(seq: u64, id: Option<&Json>, code: u32, message: &str) -> String {
     envelope(
         false,
+        seq,
         id,
         vec![
             ("code".to_owned(), Json::Num(code as f64)),
@@ -158,13 +189,35 @@ mod tests {
     fn parses_bare_commands() {
         for (line, want) in [
             (r#"{"cmd":"status"}"#, Request::Status),
-            (r#"{"cmd":"metrics"}"#, Request::Metrics),
+            (
+                r#"{"cmd":"metrics"}"#,
+                Request::Metrics { prometheus: false },
+            ),
+            (r#"{"cmd":"telemetry"}"#, Request::Telemetry),
             (r#"{"cmd":"shutdown"}"#, Request::Shutdown),
         ] {
             let env = parse_line(line).unwrap();
             assert_eq!(env.id, None);
             assert_eq!(env.request, want);
         }
+    }
+
+    #[test]
+    fn parses_metrics_formats() {
+        assert_eq!(
+            parse_line(r#"{"cmd":"metrics","format":"prometheus"}"#)
+                .unwrap()
+                .request,
+            Request::Metrics { prometheus: true }
+        );
+        assert_eq!(
+            parse_line(r#"{"cmd":"metrics","format":"json"}"#)
+                .unwrap()
+                .request,
+            Request::Metrics { prometheus: false }
+        );
+        assert!(parse_line(r#"{"cmd":"metrics","format":"xml"}"#).is_err());
+        assert!(parse_line(r#"{"cmd":"metrics","format":7}"#).is_err());
     }
 
     #[test]
@@ -185,19 +238,19 @@ mod tests {
     }
 
     #[test]
-    fn responses_echo_the_id() {
+    fn responses_echo_seq_and_id() {
         let id = Json::Str("req-1".into());
         assert_eq!(
-            ok_response(Some(&id), vec![("n".into(), Json::Num(2.0))]),
-            r#"{"ok":true,"id":"req-1","n":2}"#
+            ok_response(3, Some(&id), vec![("n".into(), Json::Num(2.0))]),
+            r#"{"ok":true,"seq":3,"id":"req-1","n":2}"#
         );
         assert_eq!(
-            error_response(Some(&id), 429, "queue full"),
-            r#"{"ok":false,"id":"req-1","code":429,"error":"queue full"}"#
+            error_response(4, Some(&id), 429, "queue full"),
+            r#"{"ok":false,"seq":4,"id":"req-1","code":429,"error":"queue full"}"#
         );
         assert_eq!(
-            error_response(None, 400, "bad"),
-            r#"{"ok":false,"code":400,"error":"bad"}"#
+            error_response(5, None, 400, "bad"),
+            r#"{"ok":false,"seq":5,"code":400,"error":"bad"}"#
         );
     }
 }

@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,7 +21,9 @@ pub enum PushError {
 }
 
 struct State<T> {
-    items: VecDeque<T>,
+    /// Each item is stored with its enqueue instant so consumers can
+    /// attribute queue wait to the request that paid it.
+    items: VecDeque<(Instant, T)>,
     closed: bool,
 }
 
@@ -54,7 +57,7 @@ impl<T> BoundedQueue<T> {
         if state.items.len() >= self.capacity {
             return Err(PushError::Full);
         }
-        state.items.push_back(item);
+        state.items.push_back((Instant::now(), item));
         drop(state);
         self.takeable.notify_one();
         Ok(())
@@ -63,10 +66,16 @@ impl<T> BoundedQueue<T> {
     /// Blocks until an item is available or the queue is closed *and*
     /// drained; `None` means shutdown.
     pub fn pop(&self) -> Option<T> {
+        self.pop_with_wait().map(|(item, _)| item)
+    }
+
+    /// Like [`BoundedQueue::pop`], but also reports how long the item sat
+    /// queued between `try_push` and this dequeue.
+    pub fn pop_with_wait(&self) -> Option<(T, Duration)> {
         let mut state = self.state.lock().unwrap();
         loop {
-            if let Some(item) = state.items.pop_front() {
-                return Some(item);
+            if let Some((enqueued, item)) = state.items.pop_front() {
+                return Some((item, enqueued.elapsed()));
             }
             if state.closed {
                 return None;
@@ -114,6 +123,16 @@ mod tests {
         assert_eq!(q.pop(), Some("b"));
         assert_eq!(q.pop(), None);
         assert_eq!(q.pop(), None, "stays closed");
+    }
+
+    #[test]
+    fn pop_reports_time_spent_queued() {
+        let q = BoundedQueue::new(2);
+        q.try_push("waited").unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        let (item, wait) = q.pop_with_wait().unwrap();
+        assert_eq!(item, "waited");
+        assert!(wait >= Duration::from_millis(5), "wait={wait:?}");
     }
 
     #[test]

@@ -59,6 +59,10 @@ for key in dataflow.builds dataflow.nodes dataflow.edges \
     }
 done
 
+# Observability invariance: instrumentation (metrics, spans, taint
+# events) must never change a rendered artifact byte-for-byte.
+cargo test -q --offline -p phpsafe-eval --test obs_invariance
+
 # Daemon-focused invariance suite: responses byte-identical to batch runs,
 # warm restart from the on-disk cache, corruption fallback.
 cargo test -q --offline -p phpsafe-eval --test serve_invariance
@@ -87,28 +91,49 @@ fi
 # stdio so no port management is needed; the protocol is identical on TCP.
 serve_cache="$(mktemp -d)"
 serve_out="$(mktemp)"
-trap 'rm -f "$metrics" "$graph_metrics" "$serve_out"; rm -rf "$plugin_dir" "$serve_cache"' EXIT
+serve_telemetry="$(mktemp)"
+trap 'rm -f "$metrics" "$graph_metrics" "$serve_out" "$serve_telemetry"; rm -rf "$plugin_dir" "$serve_cache"' EXIT
 serve_plugin="$(ls -d "$plugin_dir"/2014/*/ | head -n 1)"
-printf '{"cmd":"analyze","paths":["%s"],"id":1}\n{"cmd":"metrics"}\n{"cmd":"shutdown"}\n' \
+printf '{"cmd":"analyze","paths":["%s"],"id":1}\n{"cmd":"metrics"}\n{"cmd":"metrics","format":"prometheus"}\n{"cmd":"shutdown"}\n' \
     "$serve_plugin" |
     cargo run -q --release --offline -p phpsafe --bin phpsafe -- \
-        serve --stdio --cache-dir "$serve_cache" >"$serve_out" 2>/dev/null
-[ "$(wc -l <"$serve_out")" -eq 3 ] || {
+        serve --stdio --cache-dir "$serve_cache" \
+        --telemetry-out "$serve_telemetry" >"$serve_out" 2>/dev/null
+[ "$(wc -l <"$serve_out")" -eq 4 ] || {
     echo "verify: daemon did not answer one line per request" >&2
     exit 1
 }
-sed -n 1p "$serve_out" | grep -q '"ok":true.*"reports"' || {
-    echo "verify: daemon analyze round-trip failed" >&2
+sed -n 1p "$serve_out" | grep -q '"ok":true,"seq":1.*"reports"' || {
+    echo "verify: daemon analyze round-trip failed or dropped the seq echo" >&2
     exit 1
 }
 for key in serve.requests serve.accepted serve.request serve.analyze \
-           diskcache.misses diskcache.stores; do
+           serve.request.queue_wait serve.request.wide_events \
+           events.dropped diskcache.misses diskcache.stores; do
     sed -n 2p "$serve_out" | grep -q "\"$key\"" || {
         echo "verify: daemon metrics reply is missing key $key" >&2
         exit 1
     }
 done
-sed -n 3p "$serve_out" | grep -q '"shutting_down":true' || {
+sed -n 3p "$serve_out" | grep -q 'phpsafe_serve_requests' || {
+    echo "verify: Prometheus exposition is missing phpsafe_serve_requests" >&2
+    exit 1
+}
+sed -n 4p "$serve_out" | grep -q '"shutting_down":true' || {
     echo "verify: daemon did not acknowledge shutdown" >&2
     exit 1
 }
+# One wide event per request must have been streamed to --telemetry-out.
+[ "$(wc -l <"$serve_telemetry")" -eq 4 ] || {
+    echo "verify: --telemetry-out did not record one wide event per request" >&2
+    exit 1
+}
+grep -q '"queue_wait_us"' "$serve_telemetry" || {
+    echo "verify: wide events are missing queue-wait attribution" >&2
+    exit 1
+}
+
+# Load-harness smoke: low concurrency, few requests, against a live TCP
+# daemon — asserts byte-identity with batch, seq/id echo on every
+# response, 429 shedding under overload, and the telemetry stream.
+cargo bench -q --offline -p phpsafe-bench --bench serve_load -- --smoke >/dev/null
