@@ -48,6 +48,7 @@ impl Rips {
             work_limit: 50_000_000,
             trace_limit: 12,
             taint_graph: false,
+            function_jobs: 1,
         };
         Rips {
             engine: PhpSafe::new()

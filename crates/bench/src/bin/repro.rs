@@ -51,6 +51,7 @@ const ENGINE_PREFIXES: &[&str] = &[
     "cow.",
     "ast.",
     "dataflow.",
+    "diskcache.",
 ];
 
 struct Opts {

@@ -32,10 +32,35 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Disk namespace for encoded [`ParsedFile`]s. The envelope's crate
-/// version plus the codec's own version byte guard the format, so the
-/// config fingerprint is unused (parsing is configuration-independent).
-const AST_NAMESPACE: &str = "ast";
-const AST_FINGERPRINT: u64 = 0;
+/// version plus each codec's own magic/version words guard the format, so
+/// the config fingerprint is unused (parsing is configuration-independent).
+///
+/// New entries are written in the zero-copy ZAST v2 layout
+/// ([`php_ast::zast`]); loads dispatch on the payload magic, so PAST v1
+/// entries from older runs still decode through
+/// [`php_ast::codec::decode_file`] instead of being dropped.
+pub const AST_NAMESPACE: &str = "ast";
+/// Fingerprint the `ast` namespace is stored under (parsing is
+/// configuration-independent, so a constant).
+pub const AST_FINGERPRINT: u64 = 0;
+
+/// Flags a [`DiskCache::store`] result at an engine call site. Individual
+/// failures already warn with the exact path and count into
+/// `diskcache.store_failed`; this adds one run-level warning the first
+/// time persistence degrades, so a flaky cache volume is visible even
+/// when the per-store lines scroll away.
+fn note_store(stored: bool) {
+    if stored {
+        return;
+    }
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+    WARN_ONCE.call_once(|| {
+        eprintln!(
+            "phpsafe: warning: disk cache stores are failing; analysis results are \
+             unaffected but later runs will not warm-start (diskcache.store_failed counts)"
+        );
+    });
+}
 
 /// Disk namespace for per-tool summary blobs.
 const SUMMARY_NAMESPACE: &str = "summary";
@@ -83,28 +108,47 @@ impl AstCache {
     /// Parses `src`, sharing the artifact with every analysis that sees the
     /// same bytes. Lex/parse wall time lands in the `stage.lex` /
     /// `stage.parse` histograms on misses only (hits cost a hash plus a
-    /// map lookup). With a disk tier, a miss first tries to decode a
-    /// persisted AST (far cheaper than parsing); decode failures drop the
-    /// entry and fall back to a fresh parse.
+    /// map lookup).
+    ///
+    /// With a disk tier, a miss first tries the persisted AST. A ZAST v2
+    /// entry is validated once and *borrowed* — a [`ParsedFileRef`] view
+    /// over the loaded buffer whose pools are bulk-relocated without
+    /// re-decoding (counted in `diskcache.borrowed_loads`); an old PAST v1
+    /// entry falls back to the streaming [`decode_file`] path. Validation
+    /// or decode failures drop the entry and fall back to a fresh parse,
+    /// which is written back in the ZAST layout.
+    ///
+    /// [`ParsedFileRef`]: php_ast::zast::ParsedFileRef
+    /// [`decode_file`]: php_ast::codec::decode_file
     pub fn parse(&self, src: &str) -> Arc<ParsedFile> {
         let key = ContentKey::of(src.as_bytes());
         let (ast, _hit) = self.cache.get_or_build(key, || {
             if let Some(disk) = &self.disk {
                 if let Some(bytes) = disk.load(AST_NAMESPACE, key, AST_FINGERPRINT) {
-                    match php_ast::codec::decode_file(&bytes) {
-                        Ok(file) => return file,
-                        Err(_) => disk.note_corrupt(AST_NAMESPACE, key),
+                    if php_ast::zast::looks_like(&bytes) {
+                        match php_ast::zast::ParsedFileRef::new(Arc::from(bytes)) {
+                            Ok(view) => {
+                                phpsafe_obs::count("diskcache.borrowed_loads", 1);
+                                return view.thaw();
+                            }
+                            Err(_) => disk.note_corrupt(AST_NAMESPACE, key),
+                        }
+                    } else {
+                        match php_ast::codec::decode_file(&bytes) {
+                            Ok(file) => return file,
+                            Err(_) => disk.note_corrupt(AST_NAMESPACE, key),
+                        }
                     }
                 }
             }
             let parsed = parse_tokens(tokenize(src));
             if let Some(disk) = &self.disk {
-                disk.store(
+                note_store(disk.store(
                     AST_NAMESPACE,
                     key,
                     AST_FINGERPRINT,
-                    &php_ast::codec::encode_file(&parsed),
-                );
+                    &php_ast::zast::encode_file(&parsed),
+                ));
             }
             parsed
         });
@@ -276,12 +320,12 @@ impl EngineCaches {
         pg: ProjectGraph,
     ) -> Arc<ProjectGraph> {
         if let Some(disk) = &self.disk {
-            disk.store(
+            note_store(disk.store(
                 GRAPH_NAMESPACE,
                 graph_disk_key(key, fingerprint),
                 fingerprint,
                 &crate::persist::encode_project_graph(&pg),
-            );
+            ));
         }
         self.graphs.insert((key, fingerprint), pg)
     }
@@ -332,12 +376,12 @@ impl EngineCaches {
                 continue;
             }
             let blob = crate::persist::encode_summaries(&entries);
-            disk.store(
+            note_store(disk.store(
                 SUMMARY_NAMESPACE,
                 summary_blob_key(&tool),
                 fingerprint,
                 &blob,
-            );
+            ));
         }
     }
 

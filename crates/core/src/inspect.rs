@@ -119,7 +119,7 @@ impl Visitor for FileScan {
 /// `dirname(__FILE__)`-style prefixes collapse to relative paths).
 fn simple_const_string(a: &Arena, e: ExprId) -> Option<String> {
     match a.expr(e) {
-        Expr::Lit(Lit::Str(s), _) => Some(s.clone()),
+        Expr::Lit(Lit::Str(s), _) => Some(s.as_str().to_string()),
         Expr::Binary {
             op: php_ast::BinOp::Concat,
             lhs,

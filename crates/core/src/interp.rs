@@ -230,6 +230,18 @@ impl<'a> Interp<'a> {
         }
     }
 
+    /// Analyzes one free function with all-clean arguments, exactly as the
+    /// uncalled sweep would (`force: true`, no memo). Used by the
+    /// per-function parallel pre-summarization pass: the return value is
+    /// irrelevant, the interesting side effect is the entry deposited in
+    /// this interpreter's summary cache.
+    pub(crate) fn presummarize(&mut self, info: &crate::symbols::FnInfo) {
+        self.work = 0;
+        self.failed = None;
+        let args = vec![VarState::clean(); info.decl.params.len()];
+        self.call_decl(&info.ast, &info.decl, &info.file, args, None, true);
+    }
+
     // ================== statements ==================
 
     fn exec_stmts(&mut self, a: &Arena, stmts: StmtRange, f: &mut Frame) {
@@ -1404,7 +1416,7 @@ impl<'a> Interp<'a> {
     /// Best-effort constant evaluation of an include path.
     fn const_string(&self, a: &Arena, e: ExprId) -> Option<String> {
         match a.expr(e) {
-            Expr::Lit(Lit::Str(s), _) => Some(s.clone()),
+            Expr::Lit(Lit::Str(s), _) => Some(s.as_str().to_string()),
             Expr::Binary {
                 op: php_ast::BinOp::Concat,
                 lhs,
@@ -1441,7 +1453,7 @@ impl<'a> Interp<'a> {
                 let mut out = String::new();
                 for p in a.interp(*parts) {
                     match p {
-                        InterpPart::Lit(s) => out.push_str(s),
+                        InterpPart::Lit(s) => out.push_str(s.as_str()),
                         InterpPart::Expr(_) => return None,
                     }
                 }

@@ -46,6 +46,21 @@ pub trait ServeTool: Send + Sync {
 
     /// Analyzes one project, sharing the daemon's caches.
     fn analyze_cached(&self, project: &PluginProject, caches: &EngineCaches) -> AnalysisOutcome;
+
+    /// [`ServeTool::analyze_cached`] with a worker-count hint for
+    /// sub-file parallelism (per-function pre-summarization). The server
+    /// passes the request's job count when only one analysis slot missed
+    /// the outcome cache — otherwise the workers are already busy with
+    /// whole analyses. Tools that cannot split below file granularity
+    /// ignore the hint; outcomes must be identical either way.
+    fn analyze_cached_jobs(
+        &self,
+        project: &PluginProject,
+        caches: &EngineCaches,
+        _function_jobs: usize,
+    ) -> AnalysisOutcome {
+        self.analyze_cached(project, caches)
+    }
 }
 
 impl ServeTool for PhpSafe {
@@ -55,6 +70,20 @@ impl ServeTool for PhpSafe {
 
     fn analyze_cached(&self, project: &PluginProject, caches: &EngineCaches) -> AnalysisOutcome {
         self.analyze_with_caches(project, Some(caches))
+    }
+
+    fn analyze_cached_jobs(
+        &self,
+        project: &PluginProject,
+        caches: &EngineCaches,
+        function_jobs: usize,
+    ) -> AnalysisOutcome {
+        if function_jobs <= 1 {
+            return self.analyze_cached(project, caches);
+        }
+        self.clone()
+            .with_function_jobs(function_jobs)
+            .analyze_with_caches(project, Some(caches))
     }
 }
 
@@ -213,8 +242,13 @@ impl Service for AnalysisServer {
         ctx.add_cache_misses(misses.len() as u64);
 
         let stage = Instant::now();
+        // With a single miss the pool has nothing to parallelize across,
+        // so hand the workers to the one analysis as per-function jobs.
+        let fn_jobs = if misses.len() == 1 { jobs } else { 1 };
         let (outcomes, _stats) = run_ordered(misses.clone(), jobs, |_, (pi, ti)| {
-            tools[ti].1.analyze_cached(&projects[pi], &self.caches)
+            tools[ti]
+                .1
+                .analyze_cached_jobs(&projects[pi], &self.caches, fn_jobs)
         });
         for ((pi, ti), outcome) in misses.into_iter().zip(outcomes) {
             let report = outcome

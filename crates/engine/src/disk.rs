@@ -57,6 +57,14 @@ pub struct DiskCounters {
     /// Entries dropped because the format version, crate version or
     /// configuration fingerprint no longer matches.
     pub evicted: u64,
+    /// Envelope bytes read from disk (all successful reads, including
+    /// entries later dropped as stale/corrupt).
+    pub bytes_read: u64,
+    /// Envelope bytes written to disk.
+    pub bytes_written: u64,
+    /// Stores that failed to land on disk (I/O errors degrade to a
+    /// warning, never into the analysis result).
+    pub store_failed: u64,
 }
 
 /// A persistent, content-addressed artifact store rooted at one directory.
@@ -73,6 +81,9 @@ pub struct DiskCache {
     stores: AtomicU64,
     corrupt: AtomicU64,
     evicted: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    store_failed: AtomicU64,
     tmp_seq: AtomicU64,
 }
 
@@ -88,6 +99,9 @@ impl DiskCache {
             stores: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            store_failed: AtomicU64::new(0),
             tmp_seq: AtomicU64::new(0),
         })
     }
@@ -105,6 +119,9 @@ impl DiskCache {
             stores: self.stores.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
             evicted: self.evicted.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            store_failed: self.store_failed.load(Ordering::Relaxed),
         }
     }
 
@@ -138,6 +155,9 @@ impl DiskCache {
                 return None;
             }
         };
+        self.bytes_read
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        phpsafe_obs::count("diskcache.bytes_read", bytes.len() as u64);
         let payload = match validate_envelope(&bytes, ns, key, fingerprint) {
             Ok(p) => p.to_vec(),
             Err(reason) => {
@@ -165,6 +185,8 @@ impl DiskCache {
                 "phpsafe: warning: cannot create cache dir {}: {e}",
                 dir.display()
             );
+            self.store_failed.fetch_add(1, Ordering::Relaxed);
+            phpsafe_obs::count("diskcache.store_failed", 1);
             return false;
         }
         let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
@@ -181,7 +203,10 @@ impl DiskCache {
         match written {
             Ok(()) => {
                 self.stores.fetch_add(1, Ordering::Relaxed);
+                self.bytes_written
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
                 phpsafe_obs::count("diskcache.stores", 1);
+                phpsafe_obs::count("diskcache.bytes_written", bytes.len() as u64);
                 phpsafe_obs::time("diskcache.store", started.elapsed());
                 true
             }
@@ -191,6 +216,8 @@ impl DiskCache {
                     path.display()
                 );
                 let _ = std::fs::remove_file(&tmp);
+                self.store_failed.fetch_add(1, Ordering::Relaxed);
+                phpsafe_obs::count("diskcache.store_failed", 1);
                 false
             }
         }

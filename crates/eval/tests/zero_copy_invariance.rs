@@ -1,0 +1,270 @@
+//! The zero-copy warm-path and per-function parallelism gate: an analysis
+//! must be byte-identical no matter how its ASTs arrived (cold parse,
+//! PAST v1 streaming decode, ZAST v2 borrowed view) and no matter how its
+//! work was scheduled (serial, 1 or 8 engine workers, per-file or
+//! per-function jobs). The `ast` disk namespace is a cost channel only:
+//! corrupting, mixing or deleting entries may slow a run down but can
+//! never change a table, a figure or an `--explain` chain.
+
+use phpsafe::caching::{AST_FINGERPRINT, AST_NAMESPACE};
+use phpsafe::{EngineCaches, PhpSafe, PluginProject, SourceFile};
+use phpsafe_corpus::Corpus;
+use phpsafe_engine::{ContentKey, DiskCache};
+use phpsafe_eval::{tables, Evaluation, RecallMode};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("phpsafe-zcinv-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A multi-file probe with real findings, shareable leaf functions (the
+/// per-function pass picks those up), an include edge, and a class — so
+/// every load path exercises non-trivial arenas.
+fn probe_project() -> PluginProject {
+    PluginProject::new("zc-probe")
+        .with_file(SourceFile::new(
+            "zc_entry.php",
+            "<?php
+            include 'zc_lib.php';
+            $id = $_GET['id'];
+            echo zc_tag($id);
+            $q = \"SELECT * FROM t WHERE id = '$id'\";
+            mysql_query($q);
+            class ZcPage { public $title;
+                function show() { echo $this->title; } }
+            $p = new ZcPage();
+            $p->title = $_POST['t'];
+            $p->show();
+            ",
+        ))
+        .with_file(SourceFile::new(
+            "zc_lib.php",
+            "<?php
+            function zc_tag($x) { return '<b>' . $x . '</b>'; }
+            function zc_leaf($a, $b) { $s = strtolower($a) . trim($b); return $s; }
+            function zc_leaf2($v) { if (is_array($v)) { return count($v); } return strlen($v); }
+            function zc_hook() { return zc_leaf('a', 'b'); }
+            ",
+        ))
+}
+
+/// Renders every timing-free artifact into one string (Table I both
+/// recall modes, Fig. 2, Table II, and the derived breakdowns).
+fn artifacts(e: &Evaluation) -> String {
+    let mut out = String::new();
+    out.push_str(&tables::table1(e, RecallMode::PaperOptimistic));
+    out.push_str(&tables::table1(e, RecallMode::FullGroundTruth));
+    out.push_str(&tables::fig2(e));
+    out.push_str(&tables::table2(e));
+    out.push_str(&tables::oop_breakdown(e));
+    out.push_str(&tables::inertia(e));
+    out.push_str(&tables::root_cause(e));
+    out
+}
+
+/// The `--explain` provenance chains of the probe under a given tool and
+/// cache set. Exercises arena-handle printing on whatever AST objects the
+/// load path produced.
+fn explain_chains(
+    tool: &PhpSafe,
+    project: &PluginProject,
+    caches: Option<&EngineCaches>,
+) -> String {
+    phpsafe_obs::set_events_enabled(true);
+    let _ = phpsafe_obs::drain_events();
+    let outcome = tool.analyze_with_caches(project, caches);
+    let events: Vec<_> = phpsafe_obs::drain_events()
+        .into_iter()
+        .filter(|e| e.file.starts_with("zc_"))
+        .collect();
+    phpsafe_obs::set_events_enabled(false);
+    assert!(
+        !outcome.vulns.is_empty(),
+        "probe plugin must report vulnerabilities"
+    );
+    phpsafe::explain_outcome(&outcome, &events)
+}
+
+// One test function: the obs counters and the events-enabled flag are
+// process-global, so phases must not race each other.
+#[test]
+fn outcomes_identical_across_load_paths_and_function_jobs() {
+    phpsafe_obs::set_enabled(true);
+    let project = probe_project();
+    let tool = PhpSafe::new();
+    let cold = tool.analyze(&project).to_json().unwrap();
+
+    // --- ZAST v2 borrowed-view path ---
+    let dir = temp_dir("zast");
+    {
+        // Seeding run: fresh parses, written back in the ZAST layout.
+        let caches = EngineCaches::with_disk(Arc::new(DiskCache::open(&dir).unwrap()));
+        let seeded = tool
+            .analyze_with_caches(&project, Some(&caches))
+            .to_json()
+            .unwrap();
+        assert_eq!(cold, seeded, "disk-backed cold run diverged from plain run");
+    }
+    let before = phpsafe_obs::snapshot();
+    let disk = Arc::new(DiskCache::open(&dir).unwrap());
+    let caches = EngineCaches::with_disk(Arc::clone(&disk));
+    let borrowed = tool
+        .analyze_with_caches(&project, Some(&caches))
+        .to_json()
+        .unwrap();
+    assert_eq!(
+        cold, borrowed,
+        "borrowed-view warm run diverged from cold parse"
+    );
+    let delta = phpsafe_obs::snapshot().since(&before);
+    assert!(
+        delta.counter("diskcache.borrowed_loads") >= 2,
+        "warm run must serve both probe files as borrowed ZAST views, got {}",
+        delta.counter("diskcache.borrowed_loads")
+    );
+    let dc = disk.counters();
+    assert_eq!(dc.corrupt, 0, "no entry may be dropped as corrupt");
+    assert_eq!(dc.evicted, 0, "no entry may be dropped as stale");
+    assert!(dc.bytes_read > 0, "warm loads must count bytes_read");
+
+    // --- mixed-version dir: PAST v1 entries fall back to decode_file ---
+    let dir2 = temp_dir("mixed");
+    let disk2 = Arc::new(DiskCache::open(&dir2).unwrap());
+    // Seed *one* file in the legacy PAST v1 layout, as an old process
+    // would have; leave the other to be freshly parsed and stored as
+    // ZAST v2 — after which the namespace holds both formats at once.
+    let legacy = &project.files()[0];
+    let key = ContentKey::of(legacy.content.as_bytes());
+    let encoded = php_ast::codec::encode_file(&php_ast::parse(&legacy.content));
+    assert!(disk2.store(AST_NAMESPACE, key, AST_FINGERPRINT, &encoded));
+    let before = phpsafe_obs::snapshot();
+    {
+        let caches = EngineCaches::with_disk(Arc::clone(&disk2));
+        let mixed_cold = tool
+            .analyze_with_caches(&project, Some(&caches))
+            .to_json()
+            .unwrap();
+        assert_eq!(cold, mixed_cold, "PAST v1 decode path diverged");
+    }
+    let delta = phpsafe_obs::snapshot().since(&before);
+    assert_eq!(
+        delta.counter("diskcache.borrowed_loads"),
+        0,
+        "the PAST entry must decode, the missing one must parse — neither borrows"
+    );
+    let before = phpsafe_obs::snapshot();
+    {
+        let caches = EngineCaches::with_disk(Arc::clone(&disk2));
+        let mixed_warm = tool
+            .analyze_with_caches(&project, Some(&caches))
+            .to_json()
+            .unwrap();
+        assert_eq!(cold, mixed_warm, "mixed-version warm run diverged");
+    }
+    let delta = phpsafe_obs::snapshot().since(&before);
+    assert_eq!(
+        delta.counter("diskcache.borrowed_loads"),
+        1,
+        "exactly the ZAST entry borrows; the PAST entry keeps decoding"
+    );
+    let dc2 = disk2.counters();
+    assert_eq!(dc2.corrupt, 0, "a PAST v1 entry must never read as corrupt");
+    assert_eq!(dc2.evicted, 0, "a PAST v1 entry must never read as stale");
+
+    // --- a truncated ZAST entry degrades to a re-parse, not a panic ---
+    let dir3 = temp_dir("trunc");
+    let disk3 = Arc::new(DiskCache::open(&dir3).unwrap());
+    {
+        let caches = EngineCaches::with_disk(Arc::clone(&disk3));
+        let _ = tool.analyze_with_caches(&project, Some(&caches));
+    }
+    // DiskCache validates its envelope digest before the payload reaches
+    // the ZAST validator, so flip bytes at the *payload* level instead:
+    // store a ZAST prefix under a fresh key and load it through the
+    // analysis path via a content whose entry we corrupt in place is not
+    // addressable here — the digest catches file-level tampering. Store
+    // a syntactically valid envelope around a truncated ZAST payload.
+    let good = php_ast::zast::encode_file(&php_ast::parse(&project.files()[1].content));
+    let key3 = ContentKey::of(project.files()[1].content.as_bytes());
+    assert!(disk3.store(
+        AST_NAMESPACE,
+        key3,
+        AST_FINGERPRINT,
+        &good[..good.len() / 2]
+    ));
+    {
+        let caches = EngineCaches::with_disk(Arc::clone(&disk3));
+        let survived = tool
+            .analyze_with_caches(&project, Some(&caches))
+            .to_json()
+            .unwrap();
+        assert_eq!(cold, survived, "truncated ZAST entry changed the outcome");
+    }
+    assert!(
+        disk3.counters().corrupt >= 1,
+        "the truncated payload must be dropped and counted"
+    );
+
+    // --- per-function jobs: same bytes at any worker count ---
+    assert_eq!(
+        tool.fingerprint(),
+        PhpSafe::new().with_function_jobs(8).fingerprint(),
+        "function_jobs is a scheduling knob and must not change the fingerprint"
+    );
+    for jobs in [2usize, 8] {
+        let caches = EngineCaches::new();
+        let fj = PhpSafe::new()
+            .with_function_jobs(jobs)
+            .analyze_with_caches(&project, Some(&caches))
+            .to_json()
+            .unwrap();
+        assert_eq!(cold, fj, "function_jobs={jobs} diverged from serial");
+    }
+
+    // --- --explain chains across load paths and schedules ---
+    let chains_cold = explain_chains(&tool, &project, None);
+    assert!(
+        chains_cold.contains("source $_GET"),
+        "expected a chain naming the superglobal source, got:\n{chains_cold}"
+    );
+    let warm = EngineCaches::with_disk(Arc::new(DiskCache::open(&dir).unwrap()));
+    let chains_borrowed = explain_chains(&tool, &project, Some(&warm));
+    assert_eq!(
+        chains_cold, chains_borrowed,
+        "--explain chains diverged between cold parse and borrowed load"
+    );
+    let fj_tool = PhpSafe::new().with_function_jobs(8);
+    let chains_fj = explain_chains(&fj_tool, &project, Some(&EngineCaches::new()));
+    assert_eq!(
+        chains_cold, chains_fj,
+        "--explain chains diverged under per-function jobs"
+    );
+
+    // --- corpus artifacts across schedules and load paths ---
+    let corpus = Corpus::generate();
+    let serial = artifacts(&Evaluation::run_with(corpus.clone()));
+    let dir4 = temp_dir("tables");
+    let open = || Arc::new(DiskCache::open(&dir4).unwrap());
+    let cold_cached = artifacts(
+        &Evaluation::run_engine_cached(corpus.clone(), 8, &EngineCaches::with_disk(open())).0,
+    );
+    // A fresh process over the same dir: every AST arrives borrowed.
+    let warm_cached =
+        artifacts(&Evaluation::run_engine_cached(corpus, 1, &EngineCaches::with_disk(open())).0);
+    assert_eq!(
+        serial, cold_cached,
+        "serial vs 8-worker disk-backed artifacts diverged"
+    );
+    assert_eq!(
+        cold_cached, warm_cached,
+        "cold vs borrowed-load artifacts diverged"
+    );
+
+    for d in [dir, dir2, dir3, dir4] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

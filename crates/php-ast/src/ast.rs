@@ -315,7 +315,7 @@ impl Arena {
     }
 
     /// Approximate resident bytes of the flat pools (element sizes × pool
-    /// lengths; excludes heap strings inside literal nodes).
+    /// lengths; literal text lives in the shared interner, not here).
     pub fn arena_bytes(&self) -> usize {
         use std::mem::size_of;
         self.exprs.len() * size_of::<Expr>()
@@ -376,15 +376,18 @@ impl std::ops::Index<StmtId> for Arena {
 
 // ---------------------------------------------------------------- literals
 
-/// Literal values.
-#[derive(Debug, Clone, PartialEq)]
+/// Literal values. Text-carrying literals hold interned [`Symbol`]s, so
+/// every node is a fixed-shape `Copy` value: the arena pools contain no
+/// heap pointers, literal equality is an integer compare, and repeated
+/// literals across files share one interner entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Lit {
     /// Integer literal (kept as text to preserve hex/octal/binary forms).
-    Int(String),
+    Int(Symbol),
     /// Float literal.
-    Float(String),
+    Float(Symbol),
     /// String literal with quotes stripped and escapes left verbatim.
-    Str(String),
+    Str(Symbol),
     /// `true` / `false`.
     Bool(bool),
     /// `null`.
@@ -629,17 +632,19 @@ impl Arg {
 }
 
 /// One piece of an interpolated string.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InterpPart {
-    /// Literal fragment.
-    Lit(String),
+    /// Literal fragment (interned).
+    Lit(Symbol),
     /// Interpolated expression (`$x`, `$x->p`, `{$expr}`).
     Expr(ExprId),
 }
 
 /// Expressions. Child nodes are [`ExprId`]/[`StmtId`] handles into the
-/// owning [`Arena`]; child lists are ranges into its slice pools.
-#[derive(Debug, Clone, PartialEq)]
+/// owning [`Arena`]; child lists are ranges into its slice pools. Every
+/// variant is `Copy` — the pools are flat `u32`-shaped records, which is
+/// what lets the disk codec store them as fixed-width rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Expr {
     /// `$name`
     Var(Symbol, Span),
@@ -818,7 +823,7 @@ impl Expr {
     }
 
     /// Convenience: string literal.
-    pub fn str(value: impl Into<String>, line: u32) -> Expr {
+    pub fn str(value: impl Into<Symbol>, line: u32) -> Expr {
         Expr::Lit(Lit::Str(value.into()), Span::at(line))
     }
 
@@ -1002,15 +1007,15 @@ pub struct SwitchCase {
     pub body: StmtRange,
 }
 
-/// Statements.
-#[derive(Debug, Clone, PartialEq)]
+/// Statements. Like [`Expr`], every variant is a fixed-shape `Copy` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stmt {
     /// Expression statement.
     Expr(ExprId, Span),
     /// `echo a, b, c;` (also synthesized for `<?= ... ?>`).
     Echo(ExprRange, Span),
     /// Raw HTML between PHP blocks — an *output* in taint terms.
-    InlineHtml(String, Span),
+    InlineHtml(Symbol, Span),
     /// `if` with any number of `elseif`s and an optional `else`.
     If {
         /// Condition.

@@ -558,15 +558,15 @@ fn enc_lit(e: &mut Enc, lit: &Lit) {
     match lit {
         Lit::Int(s) => {
             e.w.u8(0);
-            e.w.str(s);
+            e.w.str(s.as_str());
         }
         Lit::Float(s) => {
             e.w.u8(1);
-            e.w.str(s);
+            e.w.str(s.as_str());
         }
         Lit::Str(s) => {
             e.w.u8(2);
-            e.w.str(s);
+            e.w.str(s.as_str());
         }
         Lit::Bool(b) => {
             e.w.u8(3);
@@ -578,9 +578,9 @@ fn enc_lit(e: &mut Enc, lit: &Lit) {
 
 fn dec_lit(d: &mut Dec) -> Result<Lit> {
     Ok(match d.r.u8()? {
-        0 => Lit::Int(d.r.str()?),
-        1 => Lit::Float(d.r.str()?),
-        2 => Lit::Str(d.r.str()?),
+        0 => Lit::Int(d.r.str()?.into()),
+        1 => Lit::Float(d.r.str()?.into()),
+        2 => Lit::Str(d.r.str()?.into()),
         3 => Lit::Bool(d.r.bool()?),
         4 => Lit::Null,
         _ => return d.r.fail("invalid literal tag"),
@@ -1043,7 +1043,7 @@ fn enc_stmt(e: &mut Enc, stmt: &Stmt) {
         }
         InlineHtml(html, sp) => {
             e.w.u8(2);
-            e.w.str(html);
+            e.w.str(html.as_str());
             e.span(*sp);
         }
         If {
@@ -1206,7 +1206,7 @@ fn dec_stmt(d: &mut Dec, pools: &PoolSizes) -> Result<Stmt> {
             let (s, l) = d.range(pools.expr_ids)?;
             Echo(ExprRange::from_raw_parts(s, l), d.span()?)
         }
-        2 => InlineHtml(d.r.str()?, d.span()?),
+        2 => InlineHtml(d.r.str()?.into(), d.span()?),
         3 => {
             let cond = d.expr_id()?;
             let (ts, tl) = d.range(pools.stmt_ids)?;
@@ -1416,7 +1416,7 @@ pub fn encode_file(file: &ParsedFile) -> Vec<u8> {
         match part {
             InterpPart::Lit(s) => {
                 e.w.u8(0);
-                e.w.str(s);
+                e.w.str(s.as_str());
             }
             InterpPart::Expr(id) => {
                 e.w.u8(1);
@@ -1627,7 +1627,7 @@ pub fn decode_file(bytes: &[u8]) -> Result<ParsedFile> {
     arena.interp_parts = Vec::with_capacity(pools.interp_parts);
     for _ in 0..pools.interp_parts {
         let part = match d.r.u8()? {
-            0 => InterpPart::Lit(d.r.str()?),
+            0 => InterpPart::Lit(d.r.str()?.into()),
             1 => InterpPart::Expr(d.expr_id()?),
             _ => return d.r.fail("invalid interpolation tag"),
         };

@@ -31,6 +31,7 @@ pub mod codec;
 mod parser;
 pub mod printer;
 pub mod visit;
+pub mod zast;
 
 pub use ast::*;
 pub use parser::{parse, parse_tokens};

@@ -196,7 +196,7 @@ impl Parser {
             }
             K::InlineHtml => {
                 let t = self.bump().expect("html");
-                Some(self.stmt(Stmt::InlineHtml(t.text, Span::at(t.line))))
+                Some(self.stmt(Stmt::InlineHtml(t.text.into(), Span::at(t.line))))
             }
             K::OpenTagWithEcho => {
                 let line = self.line();
@@ -226,7 +226,7 @@ impl Parser {
                 }
                 Some(K::InlineHtml) => {
                     let t = self.bump().expect("html");
-                    let s = self.stmt(Stmt::InlineHtml(t.text, Span::at(t.line)));
+                    let s = self.stmt(Stmt::InlineHtml(t.text.into(), Span::at(t.line)));
                     out.push(s);
                 }
                 Some(K::OpenTagWithEcho) => {
@@ -1234,15 +1234,15 @@ impl Parser {
             }
             K::LNumber => {
                 let t = self.bump().expect("num");
-                Expr::Lit(Lit::Int(t.text), Span::at(t.line))
+                Expr::Lit(Lit::Int(t.text.into()), Span::at(t.line))
             }
             K::DNumber => {
                 let t = self.bump().expect("num");
-                Expr::Lit(Lit::Float(t.text), Span::at(t.line))
+                Expr::Lit(Lit::Float(t.text.into()), Span::at(t.line))
             }
             K::ConstantEncapsedString => {
                 let t = self.bump().expect("str");
-                Expr::Lit(Lit::Str(strip_quotes(&t.text)), Span::at(t.line))
+                Expr::Lit(Lit::Str(strip_quotes(&t.text).into()), Span::at(t.line))
             }
             K::DoubleQuote => {
                 self.bump();
@@ -1767,7 +1767,7 @@ impl Parser {
                 }
                 Some(K::EncapsedAndWhitespace) => {
                     let t = self.bump().expect("encapsed");
-                    parts.push(InterpPart::Lit(t.text));
+                    parts.push(InterpPart::Lit(t.text.into()));
                 }
                 Some(K::Variable) => {
                     let t = self.bump().expect("var");
@@ -1790,13 +1790,13 @@ impl Parser {
                             }
                             Some(K::LNumber) => {
                                 let it = self.bump().expect("num");
-                                Some(self.expr(Expr::Lit(Lit::Int(it.text), span)))
+                                Some(self.expr(Expr::Lit(Lit::Int(it.text.into()), span)))
                             }
                             Some(K::Identifier) => {
                                 let it = self.bump().expect("id");
                                 // The lexer may have captured quotes in a
                                 // sloppy `$a['k']` simple-syntax index.
-                                let lit = Expr::Lit(Lit::Str(strip_quotes(&it.text)), span);
+                                let lit = Expr::Lit(Lit::Str(strip_quotes(&it.text).into()), span);
                                 Some(self.expr(lit))
                             }
                             _ => None,
@@ -1828,7 +1828,7 @@ impl Parser {
                 Some(_) => {
                     // Unexpected token inside interpolation — take it as text.
                     let t = self.bump().expect("tok");
-                    parts.push(InterpPart::Lit(t.text));
+                    parts.push(InterpPart::Lit(t.text.into()));
                 }
             }
         }

@@ -96,7 +96,7 @@ impl<'a> Printer<'a> {
             Stmt::InlineHtml(html, _) => {
                 self.pad();
                 self.out.push_str("?>");
-                self.out.push_str(html);
+                self.out.push_str(html.as_str());
                 self.out.push_str("<?php\n");
             }
             Stmt::If {
@@ -519,11 +519,11 @@ impl<'a> Printer<'a> {
                 self.out.push('}');
             }
             Expr::Lit(l, _) => match l {
-                Lit::Int(t) | Lit::Float(t) => self.out.push_str(t),
+                Lit::Int(t) | Lit::Float(t) => self.out.push_str(t.as_str()),
                 Lit::Str(s) => {
                     self.out.push('\'');
                     // escape single quotes and backslashes
-                    for c in s.chars() {
+                    for c in s.as_str().chars() {
                         if c == '\'' || c == '\\' {
                             self.out.push('\\');
                         }
@@ -786,7 +786,7 @@ impl<'a> Printer<'a> {
         let a = self.a;
         for p in a.interp(parts) {
             match p {
-                InterpPart::Lit(s) => self.out.push_str(s),
+                InterpPart::Lit(s) => self.out.push_str(s.as_str()),
                 InterpPart::Expr(e) => {
                     self.out.push('{');
                     self.expr(*e);

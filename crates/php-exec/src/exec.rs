@@ -331,7 +331,7 @@ impl<'p> Executor<'p> {
                 Flow::Normal
             }
             Stmt::InlineHtml(html, _) => {
-                self.output.push_str(html);
+                self.output.push_str(html.as_str());
                 Flow::Normal
             }
             Stmt::If {
@@ -576,9 +576,9 @@ impl<'p> Executor<'p> {
             Expr::Var(name, _) => self.read_var(name.as_str(), f),
             Expr::VarVar(..) => Value::Null,
             Expr::Lit(l, _) => match l {
-                Lit::Int(t) => Value::Int(parse_int(t)),
-                Lit::Float(t) => Value::Float(t.parse().unwrap_or(0.0)),
-                Lit::Str(s) => Value::Str(s.clone()),
+                Lit::Int(t) => Value::Int(parse_int(t.as_str())),
+                Lit::Float(t) => Value::Float(t.as_str().parse().unwrap_or(0.0)),
+                Lit::Str(s) => Value::Str(s.as_str().to_string()),
                 Lit::Bool(b) => Value::Bool(*b),
                 Lit::Null => Value::Null,
             },
@@ -586,8 +586,8 @@ impl<'p> Executor<'p> {
                 let parts = *parts;
                 let mut out = String::new();
                 for i in 0..parts.len() {
-                    match a.interp(parts)[i].clone() {
-                        InterpPart::Lit(s) => out.push_str(&unescape_dq(&s)),
+                    match a.interp(parts)[i] {
+                        InterpPart::Lit(s) => out.push_str(&unescape_dq(s.as_str())),
                         InterpPart::Expr(pe) => {
                             out.push_str(&self.eval_value(a, pe, f).to_php_string())
                         }

@@ -42,6 +42,10 @@ const DECLARED_COUNTERS: &[&str] = &[
     "serve.request.tail_sampled",
     "serve.request.telemetry_errors",
     "events.dropped",
+    "diskcache.bytes_read",
+    "diskcache.bytes_written",
+    "diskcache.borrowed_loads",
+    "diskcache.store_failed",
 ];
 
 /// Histograms pre-registered at daemon start.

@@ -67,6 +67,12 @@ cargo test -q --offline -p phpsafe-eval --test obs_invariance
 # warm restart from the on-disk cache, corruption fallback.
 cargo test -q --offline -p phpsafe-eval --test serve_invariance
 
+# Zero-copy warm-path invariance: artifacts and --explain chains must be
+# byte-identical across cold parse, PAST v1 decode, ZAST v2 borrowed
+# views (incl. mixed-version and truncated cache dirs), and per-function
+# job counts.
+cargo test -q --offline -p phpsafe-eval --test zero_copy_invariance
+
 # Smoke: --explain must print at least one provenance chain ending in a
 # sink for a known-vulnerable corpus plugin. (`phpsafe` exits 1 when it
 # finds vulnerabilities, so capture output before grepping.)
@@ -109,7 +115,9 @@ sed -n 1p "$serve_out" | grep -q '"ok":true,"seq":1.*"reports"' || {
 }
 for key in serve.requests serve.accepted serve.request serve.analyze \
            serve.request.queue_wait serve.request.wide_events \
-           events.dropped diskcache.misses diskcache.stores; do
+           events.dropped diskcache.misses diskcache.stores \
+           diskcache.bytes_read diskcache.bytes_written \
+           diskcache.borrowed_loads diskcache.store_failed; do
     sed -n 2p "$serve_out" | grep -q "\"$key\"" || {
         echo "verify: daemon metrics reply is missing key $key" >&2
         exit 1
@@ -137,3 +145,9 @@ grep -q '"queue_wait_us"' "$serve_telemetry" || {
 # daemon — asserts byte-identity with batch, seq/id echo on every
 # response, 429 shedding under overload, and the telemetry stream.
 cargo bench -q --offline -p phpsafe-bench --bench serve_load -- --smoke >/dev/null
+
+# Zero-copy smoke: the three AST load paths must agree on the largest
+# corpus file, a cold-memory/warm-disk daemon request must answer in
+# under 5 ms, and per-function jobs must split the largest-file plugin
+# into sub-file units without changing a byte of output.
+cargo bench -q --offline -p phpsafe-bench --bench zero_copy -- --smoke >/dev/null
