@@ -1,0 +1,224 @@
+//! `incremental` — what dependency-graph invalidation buys on the warm
+//! daemon path, through the same service layer `phpsafe serve` dispatches
+//! to, over the dumped 2014 corpus:
+//!
+//! 1. **Cold corpus**: a fresh `--cache-dir` server analyzes every plugin
+//!    directory (one request per root, as an editor client would).
+//! 2. **Warm steady state**: the resident server re-asked per plugin —
+//!    every reply must be `fully_cached`; the per-plugin median must stay
+//!    under 10 ms.
+//! 3. **Edit + invalidate**: one file of the largest plugin is edited on
+//!    disk and `invalidate` is sent. The reply's `reparsed` count (the
+//!    AST-cache miss delta measured during the eager re-warm) must stay
+//!    under 5% of the corpus's total file count — the paper-scale
+//!    incrementality claim.
+//! 4. **Post-invalidate analyze**: the next analyze of the edited plugin
+//!    must be a pure cache hit, under 10 ms, byte-identical to a cold
+//!    batch run over the edited tree.
+//!
+//! Results land in `BENCH_incremental.json` (smoke mode writes to a temp
+//! dir instead).
+//!
+//! Run: `cargo bench -p phpsafe-bench --bench incremental [-- --smoke]`
+
+use phpsafe::{load_project, AnalysisServer, EngineCaches, PhpSafe};
+use phpsafe_corpus::{Corpus, Version};
+use phpsafe_engine::DiskCache;
+use phpsafe_obs::write_atomic;
+use phpsafe_serve::{AnalyzeRequest, InvalidateRequest, Json, RequestCtx, Service};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn ctx() -> RequestCtx {
+    RequestCtx::detached()
+}
+
+fn analyze_one(dir: &Path) -> AnalyzeRequest {
+    AnalyzeRequest {
+        paths: vec![dir.display().to_string()],
+        tools: Vec::new(),
+        jobs: Some(1),
+        buffers: Vec::new(),
+    }
+}
+
+fn num(v: &Json, key: &str) -> u64 {
+    v.get(key).and_then(Json::as_num).unwrap_or(-1.0) as u64
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let root = std::env::temp_dir().join(format!("phpsafe-incremental-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+
+    // Dump the 2014 corpus: one directory per plugin.
+    let corpus = Corpus::generate();
+    let mut plugin_dirs: Vec<PathBuf> = Vec::new();
+    let mut total_files = 0usize;
+    for plugin in corpus.plugins() {
+        let project = plugin.project(Version::V2014);
+        let dir = root.join("plugins").join(project.name());
+        for f in project.files() {
+            let p = dir.join(&f.path);
+            std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+            std::fs::write(&p, &f.content).unwrap();
+        }
+        total_files += project.files().len();
+        plugin_dirs.push(dir);
+    }
+
+    let cache_dir = root.join("cache");
+    let disk = Arc::new(DiskCache::open(&cache_dir).unwrap());
+    let server = AnalysisServer::with_caches(EngineCaches::with_disk(disk)).with_default_jobs(1);
+
+    // --- 1. cold corpus, one request per root ---
+    let t = Instant::now();
+    for dir in &plugin_dirs {
+        server.analyze(&ctx(), &analyze_one(dir)).unwrap();
+    }
+    let cold_us = t.elapsed().as_micros() as u64;
+    println!(
+        "cold corpus: {} plugins / {total_files} files in {cold_us}us",
+        plugin_dirs.len()
+    );
+
+    // --- 2. warm steady state, per-plugin ---
+    let mut warm_samples: Vec<u64> = Vec::new();
+    for dir in &plugin_dirs {
+        let t = Instant::now();
+        let reply = server.analyze(&ctx(), &analyze_one(dir)).unwrap();
+        warm_samples.push(t.elapsed().as_micros() as u64);
+        assert_eq!(
+            reply.get("fully_cached"),
+            Some(&Json::Bool(true)),
+            "warm steady state must answer from the outcome tier"
+        );
+    }
+    warm_samples.sort_unstable();
+    let warm_median_us = warm_samples[warm_samples.len() / 2];
+    let warm_worst_us = *warm_samples.last().unwrap();
+    println!("warm per-plugin: median={warm_median_us}us worst={warm_worst_us}us");
+    assert!(
+        warm_median_us < 10_000,
+        "warm per-plugin analyze must stay under 10ms, median {warm_median_us}us"
+    );
+
+    // --- 3. edit + invalidate cycles on the largest plugin ---
+    let victim = plugin_dirs
+        .iter()
+        .zip(corpus.plugins())
+        .max_by_key(|(_, p)| p.project(Version::V2014).files().len())
+        .map(|(d, _)| d.clone())
+        .unwrap();
+    let victim_files = load_project(&victim).unwrap().files().len();
+    let edited_rel = load_project(&victim).unwrap().files()[0].path.clone();
+    let edited_path = victim.join(&edited_rel);
+    let pristine = std::fs::read_to_string(&edited_path).unwrap();
+
+    let cycles = if smoke { 3 } else { 15 };
+    let mut invalidate_samples: Vec<u64> = Vec::new();
+    let mut post_samples: Vec<u64> = Vec::new();
+    let mut last = (0u64, 0u64, 0u64); // (dirty, affected, reparsed)
+    for i in 0..cycles {
+        std::fs::write(
+            &edited_path,
+            format!("{pristine}\n// incremental bench edit {i}\n"),
+        )
+        .unwrap();
+        let req = InvalidateRequest {
+            paths: vec![edited_path.display().to_string()],
+        };
+        let t = Instant::now();
+        let reply = server.invalidate(&ctx(), &req).unwrap();
+        invalidate_samples.push(t.elapsed().as_micros() as u64);
+        let project = &reply.get("projects").and_then(Json::as_arr).unwrap()[0];
+        last = (
+            num(project, "dirty"),
+            num(project, "affected"),
+            num(project, "reparsed"),
+        );
+        assert_eq!(last.0, 1, "exactly one file was edited");
+        assert!(
+            (last.2 as usize) * 20 < total_files,
+            "a one-file edit re-parsed {} of {total_files} corpus files",
+            last.2
+        );
+
+        // --- 4. post-invalidate analyze: pre-warmed, pure cache hit ---
+        let t = Instant::now();
+        let warm = server.analyze(&ctx(), &analyze_one(&victim)).unwrap();
+        post_samples.push(t.elapsed().as_micros() as u64);
+        assert_eq!(
+            warm.get("fully_cached"),
+            Some(&Json::Bool(true)),
+            "invalidate must pre-warm the edited project"
+        );
+        if i == 0 {
+            let got = warm.get("reports").and_then(Json::as_arr).unwrap()[0]
+                .get("report")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_owned();
+            let batch = PhpSafe::new()
+                .analyze(&load_project(&victim).unwrap())
+                .to_json()
+                .unwrap();
+            assert_eq!(got, batch, "post-invalidate reply diverged from batch");
+        }
+    }
+    invalidate_samples.sort_unstable();
+    post_samples.sort_unstable();
+    let invalidate_median_us = invalidate_samples[invalidate_samples.len() / 2];
+    let post_median_us = post_samples[post_samples.len() / 2];
+    let (dirty, affected, reparsed) = last;
+    println!(
+        "edit+invalidate: median={invalidate_median_us}us dirty={dirty} affected={affected} reparsed={reparsed}"
+    );
+    println!("post-invalidate analyze: median={post_median_us}us");
+    assert!(
+        post_median_us < 10_000,
+        "post-invalidate analyze must stay under 10ms, median {post_median_us}us"
+    );
+
+    // --- render the artifact ---
+    let reanalyzed_pct = reparsed as f64 * 100.0 / total_files as f64;
+    let mut doc = String::new();
+    let _ = writeln!(doc, "{{");
+    let _ = writeln!(doc, "  \"bench\": \"incremental\",");
+    let _ = writeln!(doc, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        doc,
+        "  \"corpus\": {{\"plugins\": {}, \"files\": {total_files}}},",
+        plugin_dirs.len()
+    );
+    let _ = writeln!(doc, "  \"cold_corpus_us\": {cold_us},");
+    let _ = writeln!(
+        doc,
+        "  \"warm_per_plugin\": {{\"median_us\": {warm_median_us}, \"worst_us\": {warm_worst_us}, \"under_10ms\": {}}},",
+        warm_median_us < 10_000
+    );
+    let _ = writeln!(
+        doc,
+        "  \"single_edit_invalidate\": {{\"cycles\": {cycles}, \"median_us\": {invalidate_median_us}, \"victim_files\": {victim_files}, \"dirty\": {dirty}, \"affected\": {affected}, \"reparsed\": {reparsed}, \"reanalyzed_pct_of_corpus\": {reanalyzed_pct:.2}, \"under_5pct\": {}}},",
+        (reparsed as usize) * 20 < total_files
+    );
+    let _ = writeln!(
+        doc,
+        "  \"post_invalidate_analyze\": {{\"median_us\": {post_median_us}, \"under_10ms\": {}}}",
+        post_median_us < 10_000
+    );
+    let _ = writeln!(doc, "}}");
+
+    let out = if smoke {
+        root.join("BENCH_incremental.json")
+    } else {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_incremental.json")
+    };
+    write_atomic(&out, doc.as_bytes()).expect("write BENCH_incremental.json");
+    println!("wrote {}", out.display());
+
+    let _ = std::fs::remove_dir_all(&root);
+}

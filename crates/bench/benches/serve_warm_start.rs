@@ -56,6 +56,7 @@ fn request() -> AnalyzeRequest {
         paths: plugin_paths().clone(),
         tools: Vec::new(),
         jobs: Some(1),
+        buffers: Vec::new(),
     }
 }
 

@@ -128,6 +128,7 @@ fn main() {
         paths: vec![plugin_dir.display().to_string()],
         tools: Vec::new(),
         jobs: Some(1),
+        buffers: Vec::new(),
     };
     let open_server = || {
         let disk = Arc::new(DiskCache::open(&cache_dir).unwrap());

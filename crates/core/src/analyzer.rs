@@ -428,6 +428,19 @@ impl PhpSafe {
         let span_symbols = phpsafe_obs::span!("model.symbols");
         let symbols = SymbolTable::build(parsed.iter().map(|(p, a)| (p.as_str(), a)));
         drop(span_symbols);
+        // Record the project's file dependency graph as a by-product of
+        // model construction: the daemon's `invalidate` path asks it which
+        // files an edit can affect. Keyed on project content, independent
+        // of tool/config, so one build serves every analyzer.
+        if let Some(c) = caches {
+            let key = project.content_key();
+            if c.lookup_depgraph(key).is_none() {
+                c.store_depgraph(
+                    key,
+                    crate::depgraph::build_depgraph(project, &parsed, &symbols),
+                );
+            }
+        }
         drop(span_model);
 
         // ---- stage 3: analysis ----

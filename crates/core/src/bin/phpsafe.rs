@@ -101,8 +101,16 @@ USAGE:
 
 Requests (one JSON object per line):
     {\"cmd\":\"analyze\",\"paths\":[\"<dir>\"],\"tools\":[\"phpSAFE\"],\"jobs\":4,\"id\":1}
+    {\"cmd\":\"analyze\",\"paths\":[\"<dir>\"],\"buffers\":{\"<file>\":\"<?php ...\"}}
+    {\"cmd\":\"invalidate\",\"paths\":[\"<file-or-dir>\",...]}
     {\"cmd\":\"status\"}      {\"cmd\":\"metrics\"}      {\"cmd\":\"shutdown\"}
     {\"cmd\":\"metrics\",\"format\":\"prometheus\"}      {\"cmd\":\"telemetry\"}
+
+\"buffers\" overlays unsaved editor contents onto the on-disk project for
+that one request. \"invalidate\" diffs previously analyzed roots against
+disk, consults the cached include/call dependency graph for the dirty
+files' transitive dependents, and eagerly re-analyzes only those — the
+next analyze of an edited project answers from the warmed cache.
 
 Every response carries the server-assigned request id as \"seq\" (plus
 the client's \"id\" when one was sent), on success and on every

@@ -27,7 +27,9 @@ use php_ast::{
 };
 use php_lexer::tokenize;
 use phpsafe_dataflow::TaintGraph;
-use phpsafe_engine::{fnv1a_64, ArtifactCache, CacheCounters, ContentKey, DiskCache};
+use phpsafe_engine::{
+    fnv1a_64, ArtifactCache, CacheCounters, ContentKey, DepGraph, DiskCache, LoadedPayload,
+};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -69,6 +71,16 @@ const SUMMARY_NAMESPACE: &str = "summary";
 /// project content, fingerprinted by the analyzing tool's configuration —
 /// the graph encodes tool-specific propagation, so tools must not mix.
 const GRAPH_NAMESPACE: &str = "graph";
+
+/// Disk namespace for file-level dependency graphs (see
+/// [`phpsafe_engine::DepGraph`]). Keyed by project content only: the graph
+/// is built from ASTs and the symbol table, both configuration-independent,
+/// so one entry serves every tool.
+const DEPGRAPH_NAMESPACE: &str = "depgraph";
+
+/// Fingerprint the `depgraph` namespace is stored under (the graph is
+/// configuration-independent, so a constant).
+const DEPGRAPH_FINGERPRINT: u64 = 0;
 
 /// The on-disk key of a persisted taint graph. Unlike ASTs (pure content
 /// artifacts), graphs depend on the recording tool's configuration, and
@@ -124,9 +136,20 @@ impl AstCache {
         let key = ContentKey::of(src.as_bytes());
         let (ast, _hit) = self.cache.get_or_build(key, || {
             if let Some(disk) = &self.disk {
-                if let Some(bytes) = disk.load(AST_NAMESPACE, key, AST_FINGERPRINT) {
-                    if php_ast::zast::looks_like(&bytes) {
-                        match php_ast::zast::ParsedFileRef::new(Arc::from(bytes)) {
+                if let Some(loaded) = disk.load_mapped(AST_NAMESPACE, key, AST_FINGERPRINT) {
+                    if php_ast::zast::looks_like(loaded.as_slice()) {
+                        // Mapped entries are validated in place: the view
+                        // borrows the mapping itself, so the only copy on
+                        // the warm path is the final pool relocation.
+                        let payload = match loaded {
+                            LoadedPayload::Mapped { file, offset, len } => {
+                                php_ast::zast::PayloadBytes::from_owner(file, offset, len)
+                            }
+                            LoadedPayload::Owned(bytes) => {
+                                php_ast::zast::PayloadBytes::from_arc(Arc::from(bytes))
+                            }
+                        };
+                        match php_ast::zast::ParsedFileRef::from_bytes(payload) {
                             Ok(view) => {
                                 phpsafe_obs::count("diskcache.borrowed_loads", 1);
                                 return view.thaw();
@@ -134,7 +157,7 @@ impl AstCache {
                             Err(_) => disk.note_corrupt(AST_NAMESPACE, key),
                         }
                     } else {
-                        match php_ast::codec::decode_file(&bytes) {
+                        match php_ast::codec::decode_file(loaded.as_slice()) {
                             Ok(file) => return file,
                             Err(_) => disk.note_corrupt(AST_NAMESPACE, key),
                         }
@@ -247,6 +270,9 @@ pub struct EngineCaches {
     /// Whole-program taint graphs, keyed by project content and tool
     /// fingerprint (graph mode only).
     graphs: ArtifactCache<(ContentKey, u64), ProjectGraph>,
+    /// File-level dependency graphs, keyed by project content (tool
+    /// independent) — the invalidation index of the incremental path.
+    depgraphs: ArtifactCache<ContentKey, DepGraph>,
     disk: Option<Arc<DiskCache>>,
     /// Tools whose summary cache has been warmed from disk, with the
     /// config fingerprint they were warmed under (reused at persist time).
@@ -328,6 +354,47 @@ impl EngineCaches {
             ));
         }
         self.graphs.insert((key, fingerprint), pg)
+    }
+
+    /// The file-level dependency graph recorded for this project content,
+    /// if one is cached: in-memory first, then the disk tier's `depgraph`
+    /// namespace. A persisted blob that fails to decode is dropped
+    /// (`diskcache.corrupt`) and the caller rebuilds the graph on its next
+    /// model construction.
+    pub fn lookup_depgraph(&self, key: ContentKey) -> Option<Arc<DepGraph>> {
+        if let Some(g) = self.depgraphs.get(&key) {
+            phpsafe_obs::count("depgraph.hits", 1);
+            return Some(g);
+        }
+        let disk = self.disk.as_ref()?;
+        let bytes = disk.load(DEPGRAPH_NAMESPACE, key, DEPGRAPH_FINGERPRINT)?;
+        match DepGraph::decode(&bytes) {
+            Ok(g) => {
+                phpsafe_obs::count("depgraph.hits", 1);
+                Some(self.depgraphs.insert(key, g))
+            }
+            Err(_) => {
+                disk.note_corrupt(DEPGRAPH_NAMESPACE, key);
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly built dependency graph in memory and writes it
+    /// through to the disk tier (if any), recording its size counters.
+    pub fn store_depgraph(&self, key: ContentKey, graph: DepGraph) -> Arc<DepGraph> {
+        phpsafe_obs::count("depgraph.builds", 1);
+        phpsafe_obs::count("depgraph.nodes", graph.node_count() as u64);
+        phpsafe_obs::count("depgraph.edges", graph.edge_count() as u64);
+        if let Some(disk) = &self.disk {
+            note_store(disk.store(
+                DEPGRAPH_NAMESPACE,
+                key,
+                DEPGRAPH_FINGERPRINT,
+                &graph.encode(),
+            ));
+        }
+        self.depgraphs.insert(key, graph)
     }
 
     /// Warms `tool`'s summary cache from the disk tier (first call per

@@ -1,0 +1,366 @@
+//! Extracts the file-level dependency edges that feed the engine's
+//! [`DepGraph`] — the analyzer side of incremental invalidation.
+//!
+//! The engine owns the graph, its closure query and its wire format; this
+//! module owns the PHP knowledge: which AST constructs make one file's
+//! analysis depend on another file's contents. Three edge families:
+//!
+//! * **Includes** — `include`/`require` targets, resolved with the same
+//!   best-effort constant evaluation the interpreter uses (literal
+//!   fragments, `.` concatenation, `dirname(__FILE__)` jumbles, plugin-dir
+//!   constants). A path that never resolves to a constant still yields an
+//!   edge when its trailing literal fragment names a project file — for
+//!   invalidation, over-approximating is safe (it only widens the dirty
+//!   set), missing an edge is not.
+//! * **Calls** — `foo()` to a function declared in another file, plus
+//!   `new Cls`, `Cls::m()` and `use`/`extends`/`implements` class
+//!   references, matching the symbol table's case-insensitive resolution.
+//! * **Methods** — `$obj->m()` with an unknown receiver edges to *every*
+//!   class declaring a method `m`, mirroring the paper's name-based OOP
+//!   resolution (§III-B): any of those files could host the summary used.
+//!
+//! Dynamic constructs (`$f()`, `include $path`, `new $cls`) contribute no
+//! edge; analysis correctness never depends on the graph — results are
+//! always recomputed from full content-keyed inputs — so an unresolvable
+//! edge degrades the *precision* of invalidation, not its soundness.
+
+use crate::project::PluginProject;
+use crate::symbols::SymbolTable;
+use php_ast::visit::{self, Visitor};
+use php_ast::{
+    Arena, BinOp, Callee, ClassDecl, ClassMember, Expr, ExprId, InterpPart, Lit, ParsedFile,
+};
+use phpsafe_engine::DepGraph;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Builds the project's dependency graph from its parsed files and symbol
+/// table. Every project file is a node (sorted insertion, so the encoded
+/// bytes are deterministic across runs); edges come from the parsed subset.
+pub(crate) fn build_depgraph(
+    project: &PluginProject,
+    parsed: &HashMap<String, Arc<ParsedFile>>,
+    symbols: &SymbolTable,
+) -> DepGraph {
+    let _span = phpsafe_obs::span!("model.depgraph");
+    let mut graph = DepGraph::new();
+    let mut paths: Vec<&str> = project.files().iter().map(|f| f.path.as_str()).collect();
+    paths.sort_unstable();
+    for p in &paths {
+        graph.add_file(p);
+    }
+    for path in paths {
+        let Some(ast) = parsed.get(path) else {
+            continue; // rejected (OOP/closure gate) — no edges from it
+        };
+        let mut v = EdgeVisitor {
+            graph: &mut graph,
+            project,
+            symbols,
+            from: path,
+        };
+        visit::walk_file(&mut v, ast);
+    }
+    graph
+}
+
+struct EdgeVisitor<'a> {
+    graph: &'a mut DepGraph,
+    project: &'a PluginProject,
+    symbols: &'a SymbolTable,
+    from: &'a str,
+}
+
+impl EdgeVisitor<'_> {
+    fn edge(&mut self, to: &str) {
+        if to != self.from {
+            self.graph.add_edge(self.from, to);
+        }
+    }
+
+    fn class_edge(&mut self, name: &str) {
+        if name.eq_ignore_ascii_case("self")
+            || name.eq_ignore_ascii_case("static")
+            || name.eq_ignore_ascii_case("parent")
+        {
+            return; // relative references stay within the declaring file
+        }
+        let file = self.symbols.class(name).map(|c| c.file.clone());
+        if let Some(f) = file {
+            self.edge(&f);
+        }
+    }
+}
+
+impl Visitor for EdgeVisitor<'_> {
+    fn visit_expr(&mut self, a: &Arena, expr: ExprId) {
+        match a.expr(expr) {
+            Expr::Include(_, target, _) => {
+                let resolved = include_target(a, *target, self.from)
+                    .and_then(|raw| self.project.find_file(&raw))
+                    .map(|f| f.path.clone());
+                if let Some(path) = resolved {
+                    self.edge(&path);
+                }
+            }
+            Expr::Call { callee, .. } => match callee {
+                Callee::Function(name) => {
+                    let file = self.symbols.function(name.as_str()).map(|i| i.file.clone());
+                    if let Some(f) = file {
+                        self.edge(&f);
+                    }
+                }
+                Callee::StaticMethod { class, .. } => {
+                    let class = class.as_str().to_owned();
+                    self.class_edge(&class);
+                }
+                Callee::Method { name, .. } => {
+                    if let Some(m) = name.as_name() {
+                        // Unknown receiver: any class with this method
+                        // could be the one whose summary the walk uses.
+                        let files: Vec<String> = self
+                            .symbols
+                            .classes()
+                            .filter(|c| c.decl.method(&c.ast, m).is_some())
+                            .map(|c| c.file.clone())
+                            .collect();
+                        for f in files {
+                            self.edge(&f);
+                        }
+                    }
+                }
+                Callee::Dynamic(_) => {}
+            },
+            Expr::New { class, .. } => {
+                if let Some(c) = class.as_name() {
+                    let c = c.to_owned();
+                    self.class_edge(&c);
+                }
+            }
+            _ => {}
+        }
+        visit::walk_expr(self, a, expr);
+    }
+
+    fn visit_class(&mut self, a: &Arena, class: &ClassDecl) {
+        if let Some(parent) = class.parent {
+            let parent = parent.as_str().to_owned();
+            self.class_edge(&parent);
+        }
+        let ifaces: Vec<String> = a
+            .syms(class.interfaces)
+            .iter()
+            .map(|s| s.as_str().to_owned())
+            .collect();
+        for i in ifaces {
+            self.class_edge(&i);
+        }
+        let traits: Vec<String> = a
+            .members(class.members)
+            .iter()
+            .filter_map(|m| match m {
+                ClassMember::UseTrait(ts, _) => Some(a.syms(*ts)),
+                _ => None,
+            })
+            .flatten()
+            .map(|s| s.as_str().to_owned())
+            .collect();
+        for t in traits {
+            self.class_edge(&t);
+        }
+        visit::walk_class(self, a, class);
+    }
+}
+
+/// Best-effort constant evaluation of an include path, mirroring the
+/// interpreter's `const_string` (same literal/concat/`__FILE__`/`dirname`
+/// rules) so graph edges agree with the includes the walk actually
+/// follows. Falls back to the trailing literal fragment of a partially
+/// dynamic path — `dirname(__FILE__) . $sub . '/admin/page.php'` still
+/// edges to `admin/page.php` if the project has exactly such a suffix.
+fn include_target(a: &Arena, e: ExprId, current_file: &str) -> Option<String> {
+    if let Some(path) = const_path(a, e, current_file) {
+        return Some(path);
+    }
+    let tail = literal_tail(a, e)?;
+    // Only trust fragments that name a source file; a bare directory or
+    // extension-less fragment would suffix-match unrelated files.
+    let looks_like_file = tail.rsplit('/').next().is_some_and(|name| {
+        name.rsplit('.')
+            .next()
+            .is_some_and(|ext| matches!(ext, "php" | "inc" | "phtml"))
+    });
+    looks_like_file.then(|| tail.trim_start_matches('/').to_owned())
+}
+
+/// The interpreter's constant-string evaluation, minus frame state: the
+/// only context an include path needs is the including file (`__FILE__`).
+fn const_path(a: &Arena, e: ExprId, current_file: &str) -> Option<String> {
+    match a.expr(e) {
+        Expr::Lit(Lit::Str(s), _) => Some(s.as_str().to_string()),
+        Expr::Binary {
+            op: BinOp::Concat,
+            lhs,
+            rhs,
+            ..
+        } => {
+            let l = const_path(a, *lhs, current_file)?;
+            let r = const_path(a, *rhs, current_file)?;
+            Some(l + &r)
+        }
+        Expr::ConstFetch(n, _) if n.as_str() == "__FILE__" => Some(current_file.to_string()),
+        Expr::ConstFetch(n, _) if n.as_str().to_ascii_uppercase().ends_with("_DIR") => {
+            Some(String::new())
+        }
+        Expr::Call {
+            callee: Callee::Function(name),
+            args,
+            ..
+        } => match name.as_str().to_ascii_lowercase().as_str() {
+            "dirname" => {
+                let inner = const_path(a, a.args(*args).first()?.value, current_file)?;
+                match inner.rfind('/') {
+                    Some(i) => Some(inner[..i].to_string()),
+                    None => Some(String::new()),
+                }
+            }
+            "plugin_dir_path" | "plugin_dir_url" | "trailingslashit" => Some(String::new()),
+            _ => None,
+        },
+        Expr::Interp(parts, _) => {
+            let mut out = String::new();
+            for p in a.interp(*parts) {
+                match p {
+                    InterpPart::Lit(s) => out.push_str(s.as_str()),
+                    InterpPart::Expr(_) => return None,
+                }
+            }
+            Some(out)
+        }
+        Expr::ErrorSuppress(inner, _) => const_path(a, *inner, current_file),
+        _ => None,
+    }
+}
+
+/// The trailing literal fragment of a concatenation / interpolation chain.
+fn literal_tail(a: &Arena, e: ExprId) -> Option<String> {
+    match a.expr(e) {
+        Expr::Lit(Lit::Str(s), _) => Some(s.as_str().to_string()),
+        Expr::Binary {
+            op: BinOp::Concat,
+            rhs,
+            ..
+        } => literal_tail(a, *rhs),
+        Expr::Interp(parts, _) => match a.interp(*parts).last()? {
+            InterpPart::Lit(s) => Some(s.as_str().to_string()),
+            InterpPart::Expr(_) => None,
+        },
+        Expr::ErrorSuppress(inner, _) => literal_tail(a, *inner),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::project::SourceFile;
+    use php_ast::parse;
+
+    fn project_of(files: &[(&str, &str)]) -> (PluginProject, HashMap<String, Arc<ParsedFile>>) {
+        let mut p = PluginProject::new("t");
+        let mut parsed = HashMap::new();
+        for (path, src) in files {
+            p = p.with_file(SourceFile::new(*path, *src));
+            parsed.insert((*path).to_string(), Arc::new(parse(src)));
+        }
+        (p, parsed)
+    }
+
+    fn graph_of(files: &[(&str, &str)]) -> DepGraph {
+        let (project, parsed) = project_of(files);
+        let symbols = SymbolTable::build(parsed.iter().map(|(p, a)| (p.as_str(), a)));
+        build_depgraph(&project, &parsed, &symbols)
+    }
+
+    #[test]
+    fn include_edges_resolve_literals_and_dirname_jumbles() {
+        let g = graph_of(&[
+            ("main.php", "<?php require 'lib/db.php';"),
+            (
+                "admin.php",
+                "<?php include dirname(__FILE__) . '/lib/db.php';",
+            ),
+            ("lib/db.php", "<?php $x = 1;"),
+        ]);
+        assert_eq!(g.deps_of("main.php"), ["lib/db.php"]);
+        assert_eq!(g.deps_of("admin.php"), ["lib/db.php"]);
+        // Editing the library invalidates both includers.
+        assert_eq!(
+            g.dependents_of(&["lib/db.php"]),
+            ["admin.php", "lib/db.php", "main.php"]
+        );
+    }
+
+    #[test]
+    fn partially_dynamic_include_uses_trailing_fragment() {
+        let g = graph_of(&[
+            ("main.php", "<?php include $base . '/inc/helper.php';"),
+            ("inc/helper.php", "<?php function h() {}"),
+        ]);
+        assert_eq!(g.deps_of("main.php"), ["inc/helper.php"]);
+    }
+
+    #[test]
+    fn fully_dynamic_include_contributes_no_edge() {
+        let g = graph_of(&[
+            ("main.php", "<?php include $path;"),
+            ("other.php", "<?php $x = 1;"),
+        ]);
+        assert_eq!(g.deps_of("main.php"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn cross_file_calls_and_classes_edge_to_declaring_file() {
+        let g = graph_of(&[
+            ("a.php", "<?php Sanitize(); $d = new DB(); DB::ping();"),
+            ("fns.php", "<?php function sanitize($s) { return $s; }"),
+            ("db.php", "<?php class DB { function ping() {} }"),
+        ]);
+        assert_eq!(g.deps_of("a.php"), ["db.php", "fns.php"]);
+        // Same-file calls are not edges.
+        assert_eq!(g.deps_of("fns.php"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn method_calls_edge_to_every_declaring_class() {
+        let g = graph_of(&[
+            ("a.php", "<?php $x->save();"),
+            ("m1.php", "<?php class A { function save() {} }"),
+            ("m2.php", "<?php class B { function save() {} }"),
+            ("m3.php", "<?php class C { function other() {} }"),
+        ]);
+        assert_eq!(g.deps_of("a.php"), ["m1.php", "m2.php"]);
+    }
+
+    #[test]
+    fn inheritance_and_traits_edge_to_parent_files() {
+        let g = graph_of(&[
+            ("child.php", "<?php class Child extends Base { use Log; }"),
+            ("base.php", "<?php class Base {}"),
+            ("log.php", "<?php trait Log { function log() {} }"),
+        ]);
+        assert_eq!(g.deps_of("child.php"), ["base.php", "log.php"]);
+    }
+
+    #[test]
+    fn graph_encoding_is_deterministic_across_rebuilds() {
+        let files = [
+            ("z.php", "<?php include 'a.php'; helper();"),
+            ("a.php", "<?php function helper() {}"),
+            ("m.php", "<?php require 'z.php';"),
+        ];
+        let bytes: Vec<Vec<u8>> = (0..3).map(|_| graph_of(&files).encode()).collect();
+        assert_eq!(bytes[0], bytes[1]);
+        assert_eq!(bytes[1], bytes[2]);
+    }
+}

@@ -39,6 +39,7 @@
 
 mod analyzer;
 pub mod caching;
+mod depgraph;
 mod env;
 pub mod explain;
 mod html;

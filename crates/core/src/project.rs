@@ -86,6 +86,20 @@ impl PluginProject {
             .or_else(|| self.files.iter().find(|f| f.path.ends_with(needle)))
     }
 
+    /// Replaces the content of the file at `path` (exact project-relative
+    /// match), or inserts a new file at its sorted position — so a project
+    /// with an unsaved editor buffer overlaid is indistinguishable from
+    /// loading a directory where that buffer had been saved, and analysis
+    /// results (which iterate files in path order) stay byte-identical.
+    pub fn overlay_file(&mut self, path: &str, content: &str) {
+        if let Some(f) = self.files.iter_mut().find(|f| f.path == path) {
+            f.content = content.to_owned();
+            return;
+        }
+        let at = self.files.partition_point(|f| f.path.as_str() < path);
+        self.files.insert(at, SourceFile::new(path, content));
+    }
+
     /// Total non-blank LOC across all files.
     pub fn total_loc(&self) -> usize {
         self.files.iter().map(|f| f.loc()).sum()

@@ -24,11 +24,13 @@
 //! Tools are pluggable through [`ServeTool`] so evaluation harnesses can
 //! register the RIPS/Pixy baselines next to the default phpSAFE instance.
 
+use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Mutex;
 use std::time::Instant;
 
-use phpsafe_engine::{effective_jobs, run_ordered, ContentKey};
-use phpsafe_serve::{AnalyzeRequest, Json, RequestCtx, Service};
+use phpsafe_engine::{effective_jobs, fnv1a_64, run_ordered, ContentKey};
+use phpsafe_serve::{AnalyzeRequest, InvalidateRequest, Json, RequestCtx, Service};
 
 use crate::caching::EngineCaches;
 use crate::project::{load_project, PluginProject};
@@ -87,11 +89,32 @@ impl ServeTool for PhpSafe {
     }
 }
 
+/// What the daemon remembers about a root it has analyzed: the project's
+/// content key (which also keys the cached dependency graph), a per-file
+/// content hash for diffing a reload, and the tools the client last ran —
+/// so `invalidate` can re-warm exactly what the next `analyze` will ask.
+#[derive(Clone)]
+struct ProjectState {
+    key: ContentKey,
+    file_hashes: HashMap<String, u64>,
+    tools: Vec<String>,
+}
+
+fn file_hashes(project: &PluginProject) -> HashMap<String, u64> {
+    project
+        .files()
+        .iter()
+        .map(|f| (f.path.clone(), fnv1a_64(f.content.as_bytes())))
+        .collect()
+}
+
 /// The resident analysis service behind `phpsafe serve`.
 pub struct AnalysisServer {
     tools: Vec<(String, Box<dyn ServeTool>)>,
     caches: EngineCaches,
     default_jobs: usize,
+    /// Known roots (request-path keyed) and their last-analyzed state.
+    projects: Mutex<HashMap<String, ProjectState>>,
 }
 
 impl AnalysisServer {
@@ -107,6 +130,7 @@ impl AnalysisServer {
             tools: Vec::new(),
             caches,
             default_jobs: effective_jobs(usize::MAX).0,
+            projects: Mutex::new(HashMap::new()),
         };
         server.register("phpSAFE", Box::new(PhpSafe::new()));
         server
@@ -184,6 +208,64 @@ impl AnalysisServer {
             );
         }
     }
+
+    /// Overlays the request's unsaved editor buffers onto the loaded
+    /// projects. A buffer matches a project when its path sits under that
+    /// project's requested root (prefix stripped), or names an existing
+    /// project-relative file; with a single root, a relative buffer path
+    /// may also introduce a brand-new file. Buffers matching nothing are
+    /// surfaced as warnings, never silently dropped.
+    fn apply_buffers(
+        roots: &[String],
+        projects: &mut [PluginProject],
+        buffers: &[(String, String)],
+        warnings: &mut Vec<String>,
+    ) {
+        let mut used = vec![false; buffers.len()];
+        for (pi, project) in projects.iter_mut().enumerate() {
+            let root = roots[pi].trim_end_matches('/');
+            for (bi, (bpath, content)) in buffers.iter().enumerate() {
+                let rel = if let Some(r) = bpath.strip_prefix(&format!("{root}/")) {
+                    Some(r.to_owned())
+                } else if project.files().iter().any(|f| f.path == *bpath) {
+                    Some(bpath.clone())
+                } else if roots.len() == 1 && !bpath.starts_with('/') {
+                    Some(bpath.trim_start_matches("./").to_owned())
+                } else {
+                    None
+                };
+                if let Some(rel) = rel {
+                    project.overlay_file(&rel, content);
+                    used[bi] = true;
+                }
+            }
+        }
+        for (bi, used) in used.iter().enumerate() {
+            if !used {
+                warnings.push(format!(
+                    "buffer `{}` matches no requested root; ignored",
+                    buffers[bi].0
+                ));
+            }
+        }
+    }
+
+    /// Records what was analyzed for each root, so a later `invalidate`
+    /// can diff a reload against it and consult the matching dependency
+    /// graph.
+    fn remember(&self, roots: &[String], projects: &[PluginProject], tools: &[String]) {
+        let mut states = self.projects.lock().unwrap();
+        for (pi, project) in projects.iter().enumerate() {
+            states.insert(
+                roots[pi].trim_end_matches('/').to_owned(),
+                ProjectState {
+                    key: project.content_key(),
+                    file_hashes: file_hashes(project),
+                    tools: tools.to_vec(),
+                },
+            );
+        }
+    }
 }
 
 impl Default for AnalysisServer {
@@ -213,6 +295,15 @@ impl Service for AnalysisServer {
         for path in &request.paths {
             projects.push(load_project(Path::new(path))?);
         }
+        if !request.buffers.is_empty() {
+            Self::apply_buffers(
+                &request.paths,
+                &mut projects,
+                &request.buffers,
+                &mut warnings,
+            );
+        }
+        self.remember(&request.paths, &projects, &request.tools);
         ctx.mark("load_us", stage.elapsed());
         if let Some(first) = projects.first() {
             let key = Self::outcome_key(first);
@@ -311,6 +402,135 @@ impl Service for AnalysisServer {
         Ok(Json::Obj(fields))
     }
 
+    /// Re-checks changed paths against known roots, diffs a fresh load of
+    /// each affected project against its remembered per-file hashes, asks
+    /// the cached dependency graph for the transitive dependents of the
+    /// dirty set, and eagerly re-analyzes — so the work happens here, off
+    /// the client's next-`analyze` latency path, and that analyze is a
+    /// pure outcome-cache hit. Unchanged files hit the content-keyed
+    /// AST/summary tiers; only the dirty set re-parses, and the reply
+    /// reports the measured re-parse count rather than assuming it.
+    fn invalidate(&self, ctx: &RequestCtx, request: &InvalidateRequest) -> Result<Json, String> {
+        let t0 = Instant::now();
+        // Attribute each changed path to the longest known root it falls
+        // under; paths the daemon has never analyzed are echoed back as
+        // skipped rather than guessed at.
+        let mut roots: Vec<String> = Vec::new();
+        let mut skipped: Vec<String> = Vec::new();
+        {
+            let states = self.projects.lock().unwrap();
+            for path in &request.paths {
+                let p = path.trim_end_matches('/');
+                let best = states
+                    .keys()
+                    .filter(|root| p == root.as_str() || p.starts_with(&format!("{root}/")))
+                    .max_by_key(|root| root.len());
+                match best {
+                    Some(root) => {
+                        if !roots.contains(root) {
+                            roots.push(root.clone());
+                        }
+                    }
+                    None => skipped.push(path.clone()),
+                }
+            }
+        }
+
+        let mut items = Vec::new();
+        let mut total_dirty = 0u64;
+        for root in roots {
+            let Some(state) = self.projects.lock().unwrap().get(&root).cloned() else {
+                continue;
+            };
+            let project = match load_project(Path::new(&root)) {
+                Ok(project) => project,
+                Err(message) => {
+                    // The root vanished (or became unreadable): forget it
+                    // and tell the client, but keep serving other roots.
+                    self.projects.lock().unwrap().remove(&root);
+                    items.push(Json::Obj(vec![
+                        ("path".to_owned(), Json::Str(root.clone())),
+                        ("error".to_owned(), Json::Str(message)),
+                    ]));
+                    continue;
+                }
+            };
+            let new_hashes = file_hashes(&project);
+            let mut dirty: Vec<String> = new_hashes
+                .iter()
+                .filter(|(path, hash)| state.file_hashes.get(*path) != Some(hash))
+                .map(|(path, _)| path.clone())
+                .collect();
+            dirty.extend(
+                state
+                    .file_hashes
+                    .keys()
+                    .filter(|path| !new_hashes.contains_key(*path))
+                    .cloned(),
+            );
+            dirty.sort();
+            total_dirty += dirty.len() as u64;
+            // The graph of the *previous* contents knows who depended on
+            // the edited files. No graph cached (first contact after a
+            // restart with a cold depgraph namespace) degrades to "assume
+            // everything", never to a stale answer.
+            let affected: Vec<String> = match self.caches.lookup_depgraph(state.key) {
+                Some(graph) => graph.dependents_of(&dirty),
+                None => project.files().iter().map(|f| f.path.clone()).collect(),
+            };
+            phpsafe_obs::count("incremental.files_dirty", dirty.len() as u64);
+            phpsafe_obs::count("depgraph.invalidated", affected.len() as u64);
+
+            let tools = self.resolve_tools(&state.tools)?;
+            let parse_misses_before = self.caches.totals().parse.misses;
+            let mut reanalyzed = false;
+            for (_, tool) in &tools {
+                if self.cached_report(*tool, &project).is_none() {
+                    let outcome = tool.analyze_cached(&project, &self.caches);
+                    let report = outcome
+                        .to_json()
+                        .map_err(|e| format!("report serialization failed: {e}"))?;
+                    self.store_report(*tool, &project, &report);
+                    reanalyzed = true;
+                }
+            }
+            let reparsed = self
+                .caches
+                .totals()
+                .parse
+                .misses
+                .saturating_sub(parse_misses_before);
+            phpsafe_obs::count("incremental.files_reanalyzed", reparsed);
+
+            self.projects.lock().unwrap().insert(
+                root.clone(),
+                ProjectState {
+                    key: project.content_key(),
+                    file_hashes: new_hashes,
+                    tools: state.tools.clone(),
+                },
+            );
+            items.push(Json::Obj(vec![
+                ("path".to_owned(), Json::Str(root.clone())),
+                ("files".to_owned(), Json::Num(project.files().len() as f64)),
+                ("dirty".to_owned(), Json::Num(dirty.len() as f64)),
+                ("affected".to_owned(), Json::Num(affected.len() as f64)),
+                ("reparsed".to_owned(), Json::Num(reparsed as f64)),
+                ("reanalyzed".to_owned(), Json::Bool(reanalyzed)),
+            ]));
+        }
+        self.caches.persist();
+        ctx.mark_count("dirty_files", total_dirty);
+        ctx.mark("invalidate_us", t0.elapsed());
+        Ok(Json::Obj(vec![
+            ("projects".to_owned(), Json::Arr(items)),
+            (
+                "skipped".to_owned(),
+                Json::Arr(skipped.into_iter().map(Json::Str).collect()),
+            ),
+        ]))
+    }
+
     fn status(&self) -> Vec<(String, Json)> {
         let totals = self.caches.totals();
         vec![
@@ -367,6 +587,7 @@ mod tests {
             paths,
             tools: Vec::new(),
             jobs: Some(1),
+            buffers: Vec::new(),
         }
     }
 
@@ -469,6 +690,7 @@ mod tests {
                 paths: vec![plugin.display().to_string()],
                 tools: vec!["nonesuch".into()],
                 jobs: Some(1),
+                buffers: Vec::new(),
             },
         );
         assert!(bad_tool.unwrap_err().contains("unknown tool `nonesuch`"));
@@ -477,6 +699,194 @@ mod tests {
             &request(vec![dir.join("missing").display().to_string()]),
         );
         assert!(bad_path.is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn write_file(root: &Path, rel: &str, body: &str) {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, body).unwrap();
+    }
+
+    #[test]
+    fn invalidate_rewarm_makes_next_analyze_fully_cached() {
+        let dir = temp_dir("invalidate");
+        let plugin = dir.join("plugin");
+        write_file(
+            &plugin,
+            "main.php",
+            "<?php require 'lib.php'; echo sanitize($_GET['q']);",
+        );
+        write_file(
+            &plugin,
+            "lib.php",
+            "<?php function sanitize($s) { return htmlentities($s); }",
+        );
+        write_file(&plugin, "other.php", "<?php $x = 1;");
+        let cache_dir = dir.join("cache");
+        let disk = Arc::new(phpsafe_engine::DiskCache::open(&cache_dir).unwrap());
+        let server = AnalysisServer::with_caches(EngineCaches::with_disk(disk));
+        let req = request(vec![plugin.display().to_string()]);
+        server.analyze(&RequestCtx::detached(), &req).unwrap();
+
+        // Edit the library on disk, then tell the daemon about it.
+        write_file(
+            &plugin,
+            "lib.php",
+            "<?php function sanitize($s) { return $s; }",
+        );
+        let ctx = RequestCtx::detached();
+        let result = server
+            .invalidate(
+                &ctx,
+                &InvalidateRequest {
+                    paths: vec![plugin.join("lib.php").display().to_string()],
+                },
+            )
+            .unwrap();
+        let projects = result.get("projects").and_then(Json::as_arr).unwrap();
+        assert_eq!(projects.len(), 1);
+        let p = &projects[0];
+        assert_eq!(p.get("files"), Some(&Json::Num(3.0)));
+        assert_eq!(p.get("dirty"), Some(&Json::Num(1.0)));
+        // The dependency graph knows main.php requires lib.php; other.php
+        // is untouched by the edit.
+        assert_eq!(p.get("affected"), Some(&Json::Num(2.0)));
+        assert_eq!(p.get("reanalyzed"), Some(&Json::Bool(true)));
+        // Only the edited file re-parsed; the rest hit the AST cache.
+        assert_eq!(p.get("reparsed"), Some(&Json::Num(1.0)));
+        let marks = ctx.marks();
+        assert!(marks
+            .iter()
+            .any(|(name, n)| *name == "dirty_files" && *n == 1));
+
+        // The re-warm already stored the new outcome: the client's next
+        // analyze is a pure cache hit, byte-identical to a cold run.
+        let warm = server.analyze(&RequestCtx::detached(), &req).unwrap();
+        assert_eq!(warm.get("fully_cached"), Some(&Json::Bool(true)));
+        let cold = AnalysisServer::new()
+            .analyze(&RequestCtx::detached(), &req)
+            .unwrap();
+        assert_eq!(warm.get("reports"), cold.get("reports"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalidate_skips_unknown_paths_and_forgets_vanished_roots() {
+        let dir = temp_dir("invalidate-skip");
+        let plugin = dir.join("plugin");
+        write_plugin(&plugin, VULN);
+        let server = AnalysisServer::new();
+        // Never-analyzed path: skipped, not guessed at.
+        let result = server
+            .invalidate(
+                &RequestCtx::detached(),
+                &InvalidateRequest {
+                    paths: vec![plugin.join("index.php").display().to_string()],
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            result.get("projects").and_then(Json::as_arr).unwrap().len(),
+            0
+        );
+        assert_eq!(
+            result.get("skipped").and_then(Json::as_arr).unwrap().len(),
+            1
+        );
+
+        // Analyzed, then deleted: reported as an error, state dropped.
+        server
+            .analyze(
+                &RequestCtx::detached(),
+                &request(vec![plugin.display().to_string()]),
+            )
+            .unwrap();
+        std::fs::remove_dir_all(&plugin).unwrap();
+        let result = server
+            .invalidate(
+                &RequestCtx::detached(),
+                &InvalidateRequest {
+                    paths: vec![plugin.display().to_string()],
+                },
+            )
+            .unwrap();
+        let projects = result.get("projects").and_then(Json::as_arr).unwrap();
+        assert_eq!(projects.len(), 1);
+        assert!(projects[0].get("error").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dirty_buffers_overlay_matches_a_saved_edit() {
+        let dir = temp_dir("buffers");
+        let plugin = dir.join("plugin");
+        write_plugin(&plugin, VULN);
+        let edited = "<?php echo htmlentities($_GET['q']); ?>";
+
+        // Analyze with an unsaved buffer overlaying index.php (absolute
+        // path under the root) and adding a brand-new relative file.
+        let server = AnalysisServer::new();
+        let overlaid = server
+            .analyze(
+                &RequestCtx::detached(),
+                &AnalyzeRequest {
+                    paths: vec![plugin.display().to_string()],
+                    tools: Vec::new(),
+                    jobs: Some(1),
+                    buffers: vec![
+                        (
+                            plugin.join("index.php").display().to_string(),
+                            edited.to_owned(),
+                        ),
+                        ("new.php".to_owned(), VULN.to_owned()),
+                    ],
+                },
+            )
+            .unwrap();
+
+        // Reference: the same edit saved to disk, loaded cold. Same
+        // directory name, so the project fingerprint inputs match.
+        let alt = dir.join("alt").join("plugin");
+        write_file(&alt, "index.php", edited);
+        write_file(&alt, "new.php", VULN);
+        let saved = AnalysisServer::new()
+            .analyze(
+                &RequestCtx::detached(),
+                &request(vec![alt.display().to_string()]),
+            )
+            .unwrap();
+        let report_of = |v: &Json| {
+            v.get("reports").and_then(Json::as_arr).unwrap()[0]
+                .get("report")
+                .cloned()
+                .unwrap()
+        };
+        assert_eq!(
+            report_of(&overlaid),
+            report_of(&saved),
+            "overlaying a buffer must be indistinguishable from saving it"
+        );
+
+        // A buffer matching nothing surfaces as a warning.
+        let stray = server
+            .analyze(
+                &RequestCtx::detached(),
+                &AnalyzeRequest {
+                    paths: vec![plugin.display().to_string()],
+                    tools: Vec::new(),
+                    jobs: Some(1),
+                    buffers: vec![("/nowhere/else.php".to_owned(), String::new())],
+                },
+            )
+            .unwrap();
+        let warnings = stray.get("warnings").and_then(Json::as_arr).unwrap();
+        assert!(
+            warnings
+                .iter()
+                .any(|w| { w.as_str().is_some_and(|s| s.contains("/nowhere/else.php")) }),
+            "unmatched buffers must warn: {warnings:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -493,6 +903,7 @@ mod tests {
                     paths: vec![plugin.display().to_string()],
                     tools: Vec::new(),
                     jobs: Some(0),
+                    buffers: Vec::new(),
                 },
             )
             .unwrap();

@@ -27,9 +27,11 @@
 //! writer can never observe a half-written entry.
 
 use crate::hash::{fnv1a_64, ContentKey};
+use std::collections::HashMap;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Magic bytes opening every cache entry.
 const MAGIC: &[u8; 4] = b"PSC1";
@@ -65,6 +67,9 @@ pub struct DiskCounters {
     /// Stores that failed to land on disk (I/O errors degrade to a
     /// warning, never into the analysis result).
     pub store_failed: u64,
+    /// Hits served through a memory mapping instead of a buffered read
+    /// (see [`DiskCache::load_mapped`]).
+    pub mmap_loads: u64,
 }
 
 /// A persistent, content-addressed artifact store rooted at one directory.
@@ -84,7 +89,13 @@ pub struct DiskCache {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     store_failed: AtomicU64,
+    mmap_loads: AtomicU64,
     tmp_seq: AtomicU64,
+    /// Bytes on disk per namespace, seeded by a directory scan at open
+    /// and maintained on every store/evict; published as the
+    /// `diskcache.bytes_on_disk.<ns>` gauge family — the bookkeeping a
+    /// size-bounded eviction policy needs.
+    ns_bytes: Mutex<HashMap<String, u64>>,
 }
 
 impl DiskCache {
@@ -92,6 +103,10 @@ impl DiskCache {
     pub fn open(root: impl Into<PathBuf>) -> io::Result<DiskCache> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
+        let ns_bytes = scan_ns_bytes(&root);
+        for (ns, total) in &ns_bytes {
+            phpsafe_obs::gauge(&format!("diskcache.bytes_on_disk.{ns}"), *total);
+        }
         Ok(DiskCache {
             root,
             hits: AtomicU64::new(0),
@@ -102,7 +117,9 @@ impl DiskCache {
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             store_failed: AtomicU64::new(0),
+            mmap_loads: AtomicU64::new(0),
             tmp_seq: AtomicU64::new(0),
+            ns_bytes: Mutex::new(ns_bytes),
         })
     }
 
@@ -122,7 +139,27 @@ impl DiskCache {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             store_failed: self.store_failed.load(Ordering::Relaxed),
+            mmap_loads: self.mmap_loads.load(Ordering::Relaxed),
         }
+    }
+
+    /// Bytes currently on disk per namespace, sorted by namespace. Seeded
+    /// by the open-time scan and maintained on store/evict; concurrent
+    /// external writers can skew it until the next open.
+    pub fn bytes_on_disk(&self) -> Vec<(String, u64)> {
+        let map = self.ns_bytes.lock().unwrap();
+        let mut out: Vec<(String, u64)> = map.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        out.sort();
+        out
+    }
+
+    /// Applies a size delta to one namespace's on-disk accounting and
+    /// republishes its gauge.
+    fn adjust_ns_bytes(&self, ns: &str, grew: u64, shrank: u64) {
+        let mut map = self.ns_bytes.lock().unwrap();
+        let slot = map.entry(ns.to_owned()).or_insert(0);
+        *slot = slot.saturating_add(grew).saturating_sub(shrank);
+        phpsafe_obs::gauge(&format!("diskcache.bytes_on_disk.{ns}"), *slot);
     }
 
     fn entry_path(&self, ns: &str, key: ContentKey) -> PathBuf {
@@ -173,6 +210,67 @@ impl DiskCache {
         Some(payload)
     }
 
+    /// Like [`DiskCache::load`], but serves the payload through a private
+    /// read-only memory mapping of the entry file when the platform
+    /// supports it — the envelope is validated in place and the returned
+    /// [`LoadedPayload`] borrows the mapping instead of copying the bytes
+    /// into the heap. Any mapping failure falls back to the buffered read
+    /// path, so callers see identical semantics everywhere. Mapped hits
+    /// are counted as `diskcache.mmap_loads` on top of the usual
+    /// hit/miss/bytes accounting.
+    pub fn load_mapped(
+        &self,
+        ns: &str,
+        key: ContentKey,
+        fingerprint: u64,
+    ) -> Option<LoadedPayload> {
+        #[cfg(unix)]
+        {
+            let started = std::time::Instant::now();
+            let path = self.entry_path(ns, key);
+            match MappedFile::map(&path) {
+                Ok(Some(file)) => {
+                    let bytes: &[u8] = file.as_ref();
+                    self.bytes_read
+                        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                    phpsafe_obs::count("diskcache.bytes_read", bytes.len() as u64);
+                    return match validate_envelope(bytes, ns, key, fingerprint) {
+                        Ok(payload) => {
+                            let offset = payload.as_ptr() as usize - bytes.as_ptr() as usize;
+                            let len = payload.len();
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            self.mmap_loads.fetch_add(1, Ordering::Relaxed);
+                            phpsafe_obs::count("diskcache.hits", 1);
+                            phpsafe_obs::count("diskcache.mmap_loads", 1);
+                            phpsafe_obs::time("diskcache.load", started.elapsed());
+                            Some(LoadedPayload::Mapped {
+                                file: Arc::new(file),
+                                offset,
+                                len,
+                            })
+                        }
+                        Err(reason) => {
+                            self.drop_entry(&path, reason);
+                            self.misses.fetch_add(1, Ordering::Relaxed);
+                            phpsafe_obs::count("diskcache.misses", 1);
+                            None
+                        }
+                    };
+                }
+                Ok(None) => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    phpsafe_obs::count("diskcache.misses", 1);
+                    return None;
+                }
+                Err(_) => {
+                    // Mapping failed (permissions, exotic filesystem,
+                    // zero-length file): degrade to the read path below.
+                }
+            }
+        }
+        self.load(ns, key, fingerprint).map(LoadedPayload::Owned)
+    }
+
     /// Atomically stores `payload` for `(ns, key, fingerprint)`. Returns
     /// whether the entry landed on disk; failures only warn — the caller's
     /// in-memory artifact is unaffected.
@@ -197,6 +295,9 @@ impl DiskCache {
             std::process::id()
         ));
         let bytes = seal_envelope(ns, key, fingerprint, payload);
+        // A successful rename replaces any prior entry at `path`; its size
+        // must leave the namespace accounting as the new one enters.
+        let replaced = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
         let written = std::fs::File::create(&tmp)
             .and_then(|mut f| f.write_all(&bytes))
             .and_then(|()| std::fs::rename(&tmp, &path));
@@ -208,6 +309,7 @@ impl DiskCache {
                 phpsafe_obs::count("diskcache.stores", 1);
                 phpsafe_obs::count("diskcache.bytes_written", bytes.len() as u64);
                 phpsafe_obs::time("diskcache.store", started.elapsed());
+                self.adjust_ns_bytes(ns, bytes.len() as u64, replaced);
                 true
             }
             Err(e) => {
@@ -252,7 +354,171 @@ impl DiskCache {
             "phpsafe: warning: dropping cache entry {} ({what}); falling back to re-analysis",
             path.display()
         );
-        let _ = std::fs::remove_file(path);
+        let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        if std::fs::remove_file(path).is_ok() && size > 0 {
+            if let Some(ns) = path
+                .parent()
+                .and_then(|p| p.file_name())
+                .and_then(|n| n.to_str())
+            {
+                self.adjust_ns_bytes(ns, 0, size);
+            }
+        }
+    }
+}
+
+/// Sums the `.psc` entry sizes under every namespace directory of `root`.
+fn scan_ns_bytes(root: &Path) -> HashMap<String, u64> {
+    let mut out = HashMap::new();
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return out;
+    };
+    for ns_dir in entries.flatten() {
+        let path = ns_dir.path();
+        if !path.is_dir() {
+            continue;
+        }
+        let Ok(ns) = ns_dir.file_name().into_string() else {
+            continue;
+        };
+        let mut total = 0u64;
+        if let Ok(files) = std::fs::read_dir(&path) {
+            for f in files.flatten() {
+                let p = f.path();
+                if p.extension().is_some_and(|e| e == "psc") {
+                    total += f.metadata().map(|m| m.len()).unwrap_or(0);
+                }
+            }
+        }
+        out.insert(ns, total);
+    }
+    out
+}
+
+/// A private read-only memory mapping of one cache entry file, unmapped on
+/// drop. The mapping stays valid even if the entry is concurrently
+/// replaced (rename) or evicted (unlink): both leave the mapped inode
+/// alive until the last mapping goes away.
+pub struct MappedFile {
+    ptr: *mut core::ffi::c_void,
+    len: usize,
+}
+
+// The mapping is immutable for its whole lifetime, so shared access from
+// any thread is safe.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+impl AsRef<[u8]> for MappedFile {
+    fn as_ref(&self) -> &[u8] {
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+        // bytes, established in `map` and released only in `drop`.
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        // SAFETY: `ptr`/`len` describe the mapping returned by `mmap`.
+        unsafe {
+            sys::munmap(self.ptr, self.len);
+        }
+    }
+}
+
+impl MappedFile {
+    /// Maps `path` read-only. `Ok(None)` means the file does not exist (a
+    /// clean miss); `Err` means mapping is unavailable here and the caller
+    /// should fall back to a buffered read.
+    #[cfg(unix)]
+    fn map(path: &Path) -> io::Result<Option<MappedFile>> {
+        use std::os::unix::io::AsRawFd;
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            // mmap rejects zero-length mappings; the read path handles the
+            // (always-corrupt) empty entry.
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "empty entry"));
+        }
+        // SAFETY: a fresh anonymous-address PROT_READ/MAP_PRIVATE mapping
+        // over the open fd; the result is checked against MAP_FAILED.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Some(MappedFile { ptr, len }))
+    }
+}
+
+/// Raw libc bindings for the mapping syscalls — the workspace is
+/// dependency-free by policy, so the two symbols are declared directly.
+#[cfg(unix)]
+mod sys {
+    use core::ffi::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A validated cache payload from [`DiskCache::load_mapped`]: either a
+/// window into a live memory mapping (zero-copy) or owned bytes from the
+/// read-path fallback.
+pub enum LoadedPayload {
+    /// `len` payload bytes starting at `offset` inside the mapped entry.
+    Mapped {
+        /// The mapping keeping the bytes alive.
+        file: Arc<MappedFile>,
+        /// Payload start inside the mapping.
+        offset: usize,
+        /// Payload length in bytes.
+        len: usize,
+    },
+    /// Owned payload bytes (platforms or errors where mapping is
+    /// unavailable).
+    Owned(Vec<u8>),
+}
+
+impl LoadedPayload {
+    /// The payload bytes, regardless of backing.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            LoadedPayload::Mapped { file, offset, len } => {
+                &file.as_ref().as_ref()[*offset..offset + len]
+            }
+            LoadedPayload::Owned(v) => v,
+        }
+    }
+
+    /// Whether the payload is served from a memory mapping.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, LoadedPayload::Mapped { .. })
     }
 }
 
@@ -460,6 +726,94 @@ mod tests {
             cache.load("ast", key, 0).as_deref(),
             Some(&b"ast bytes"[..])
         );
+    }
+
+    #[test]
+    fn mapped_load_round_trips_and_counts() {
+        let cache = DiskCache::open(tmp_root("mmap")).unwrap();
+        let key = ContentKey::of(b"mmap-src");
+        assert!(cache.load_mapped("ast", key, 3).is_none(), "clean miss");
+        cache.store("ast", key, 3, b"mapped payload");
+        let loaded = cache.load_mapped("ast", key, 3).unwrap();
+        assert_eq!(loaded.as_slice(), b"mapped payload");
+        let c = cache.counters();
+        assert_eq!(c.hits, 1);
+        if cfg!(unix) {
+            assert!(loaded.is_mapped(), "unix must serve through the mapping");
+            assert_eq!(c.mmap_loads, 1);
+        }
+        // The window stays readable after the entry is replaced on disk:
+        // rename swaps the directory entry, the mapped inode lives on.
+        cache.store("ast", key, 3, b"replaced bytes");
+        assert_eq!(loaded.as_slice(), b"mapped payload");
+    }
+
+    #[test]
+    fn mapped_load_validates_and_drops_corruption() {
+        let cache = DiskCache::open(tmp_root("mmap-corrupt")).unwrap();
+        let key = ContentKey::of(b"mmap-bad");
+        cache.store("ast", key, 0, b"payload");
+        let path = cache.entry_path("ast", key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(cache.load_mapped("ast", key, 0).is_none());
+        assert_eq!(cache.counters().corrupt, 1);
+        assert!(!path.exists(), "corrupt entry must be removed");
+        // A stale fingerprint through the mapped path evicts too.
+        cache.store("ast", key, 1, b"payload");
+        assert!(cache.load_mapped("ast", key, 2).is_none());
+        assert_eq!(cache.counters().evicted, 1);
+    }
+
+    #[test]
+    fn bytes_on_disk_tracks_stores_evictions_and_reopen() {
+        let root = tmp_root("nsbytes");
+        let cache = DiskCache::open(&root).unwrap();
+        assert!(cache.bytes_on_disk().is_empty());
+        let k1 = ContentKey::of(b"one");
+        let k2 = ContentKey::of(b"two");
+        cache.store("ast", k1, 0, b"payload-1");
+        cache.store("ast", k2, 0, b"payload-two");
+        cache.store("summary", k1, 0, b"s");
+        let sizes: std::collections::HashMap<String, u64> =
+            cache.bytes_on_disk().into_iter().collect();
+        let ast_total = sizes["ast"];
+        assert!(ast_total > 0 && sizes["summary"] > 0);
+        // Overwriting an entry swaps its size, not accumulates it.
+        cache.store("ast", k1, 0, b"payload-1");
+        assert_eq!(
+            cache
+                .bytes_on_disk()
+                .into_iter()
+                .collect::<std::collections::HashMap<_, _>>()["ast"],
+            ast_total
+        );
+        // Accounting matches what a fresh open rediscovers by scanning.
+        let reopened = DiskCache::open(&root).unwrap();
+        assert_eq!(reopened.bytes_on_disk(), cache.bytes_on_disk());
+        // Eviction subtracts the dropped entry.
+        assert_eq!(cache.load("ast", k1, 9), None, "fingerprint mismatch");
+        let after: std::collections::HashMap<String, u64> =
+            cache.bytes_on_disk().into_iter().collect();
+        assert!(after["ast"] < ast_total);
+        assert_eq!(
+            after["ast"],
+            DiskCache::open(&root).unwrap().bytes_on_disk()[0].1
+        );
+    }
+
+    #[test]
+    fn bytes_on_disk_publishes_gauges() {
+        let reg = phpsafe_obs::global();
+        phpsafe_obs::set_enabled(true);
+        let cache = DiskCache::open(tmp_root("nsgauge")).unwrap();
+        cache.store("outcome", ContentKey::of(b"g"), 0, b"gauged");
+        phpsafe_obs::set_enabled(false);
+        let snap = reg.snapshot();
+        let level = snap.gauge("diskcache.bytes_on_disk.outcome");
+        assert!(level > 0, "store must publish the namespace gauge");
     }
 
     #[test]

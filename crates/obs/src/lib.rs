@@ -115,6 +115,16 @@ pub fn time(name: &'static str, d: Duration) {
     }
 }
 
+/// Sets the named global gauge to an absolute level (no-op while
+/// disabled). Gauge names are runtime strings because the interesting
+/// levels — e.g. `diskcache.bytes_on_disk.<namespace>` — are keyed by
+/// values only known at runtime.
+pub fn gauge(name: &str, value: u64) {
+    if enabled() {
+        global().gauge(name, value);
+    }
+}
+
 /// Snapshot of the global registry. Subtract an earlier snapshot with
 /// [`Snapshot::since`] for per-run deltas.
 pub fn snapshot() -> Snapshot {

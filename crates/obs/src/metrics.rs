@@ -253,6 +253,10 @@ impl HistogramSnapshot {
 pub struct Registry {
     counters: Mutex<HashMap<&'static str, Arc<AtomicU64>>>,
     histograms: Mutex<HashMap<&'static str, Arc<Histogram>>>,
+    /// Gauges are set-absolute levels (not monotone counts) with runtime
+    /// names — e.g. `diskcache.bytes_on_disk.<namespace>` where the
+    /// namespace set is only known once a cache directory is opened.
+    gauges: Mutex<HashMap<String, Arc<AtomicU64>>>,
 }
 
 impl Registry {
@@ -286,6 +290,20 @@ impl Registry {
         hist.record(d);
     }
 
+    /// Sets the named gauge to an absolute level, creating it on first
+    /// use. Unlike counters, gauge names are runtime strings and the
+    /// stored value is the latest level, not a running sum.
+    pub fn gauge(&self, name: &str, value: u64) {
+        let slot = {
+            let mut gauges = self.gauges.lock().unwrap();
+            match gauges.get(name) {
+                Some(g) => g.clone(),
+                None => gauges.entry(name.to_owned()).or_default().clone(),
+            }
+        };
+        slot.store(value, Ordering::Relaxed);
+    }
+
     /// Creates the named counter at zero without counting anything, so it
     /// shows up in snapshots (and scrape output) before its first
     /// increment. Long-running daemons pre-register their metric surface
@@ -317,16 +335,25 @@ impl Registry {
             .iter()
             .map(|(name, h)| (name.to_string(), h.snapshot()))
             .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, v)| (name.clone(), v.load(Ordering::Relaxed)))
+            .collect();
         Snapshot {
             counters,
             histograms,
+            gauges,
         }
     }
 
-    /// Drops every counter and histogram.
+    /// Drops every counter, histogram and gauge.
     pub fn clear(&self) {
         self.counters.lock().unwrap().clear();
         self.histograms.lock().unwrap().clear();
+        self.gauges.lock().unwrap().clear();
     }
 }
 
@@ -339,12 +366,19 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Histogram states by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Gauge levels by name (set-absolute, latest value wins).
+    pub gauges: BTreeMap<String, u64>,
 }
 
 impl Snapshot {
     /// The named counter's value, zero if absent.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named gauge's level, zero if absent.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
     }
 
     /// The named histogram, if any samples were recorded.
@@ -375,9 +409,12 @@ impl Snapshot {
                 (delta.count > 0).then(|| (name.clone(), delta))
             })
             .collect();
+        // Gauges are levels, not accumulations: the current level is the
+        // meaningful value for any window, so deltas carry it unchanged.
         Snapshot {
             counters,
             histograms,
+            gauges: self.gauges.clone(),
         }
     }
 
@@ -397,10 +434,17 @@ impl Snapshot {
                 .filter(|(n, _)| keep(n))
                 .map(|(n, h)| (n.clone(), h.clone()))
                 .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .map(|(n, v)| (n.clone(), *v))
+                .collect(),
         }
     }
 
-    /// Serializes as JSON: `{"counters": {...}, "histograms": {name:
+    /// Serializes as JSON: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {name:
     /// {"count","sum_us","p50_us","p90_us","p95_us","p99_us","max_us"}}}`.
     /// Deterministic key order (lexicographic); percentiles are the
     /// interpolated extraction of [`HistogramSnapshot::quantile_us`].
@@ -411,6 +455,14 @@ impl Snapshot {
             let _ = write!(out, "{sep}\n    {}: {v}", json_string(name));
         }
         if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    {}: {v}", json_string(name));
+        }
+        if !self.gauges.is_empty() {
             out.push_str("\n  ");
         }
         out.push_str("},\n  \"histograms\": {");
@@ -448,6 +500,11 @@ impl Snapshot {
         for (name, v) in &self.counters {
             let metric = prom_name(name);
             let _ = writeln!(out, "# TYPE {metric} counter");
+            let _ = writeln!(out, "{metric} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let metric = prom_name(name);
+            let _ = writeln!(out, "# TYPE {metric} gauge");
             let _ = writeln!(out, "{metric} {v}");
         }
         for (name, h) in &self.histograms {
@@ -488,6 +545,13 @@ impl Snapshot {
                 let _ = writeln!(out, "    {name:width$}  {v}");
             }
         }
+        if !view.gauges.is_empty() {
+            out.push_str("  gauges:\n");
+            let width = view.gauges.keys().map(|n| n.len()).max().unwrap_or(0);
+            for (name, v) in &view.gauges {
+                let _ = writeln!(out, "    {name:width$}  {v}");
+            }
+        }
         if !view.histograms.is_empty() {
             out.push_str("  timings:\n");
             let width = view.histograms.keys().map(|n| n.len()).max().unwrap_or(0);
@@ -504,7 +568,7 @@ impl Snapshot {
                 );
             }
         }
-        if view.counters.is_empty() && view.histograms.is_empty() {
+        if view.counters.is_empty() && view.gauges.is_empty() && view.histograms.is_empty() {
             out.push_str("  (empty — was instrumentation enabled?)\n");
         }
         out
@@ -762,6 +826,34 @@ mod tests {
         // both samples' buckets up to its bound.
         assert!(text.contains("phpsafe_serve_request_us_bucket{le=\"127\"} 1"));
         assert!(text.contains("phpsafe_serve_request_us_bucket{le=\"200\"} 2"));
+    }
+
+    #[test]
+    fn gauges_are_set_absolute_levels() {
+        let r = Registry::new();
+        let ns = format!("diskcache.bytes_on_disk.{}", "ast");
+        r.gauge(&ns, 100);
+        r.gauge(&ns, 40); // a gauge can go down
+        r.gauge("diskcache.bytes_on_disk.summary", 7);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge(&ns), 40);
+        assert_eq!(snap.gauge("diskcache.bytes_on_disk.summary"), 7);
+        assert_eq!(snap.gauge("missing"), 0);
+        // Deltas carry the current level, not a difference.
+        let before = snap.clone();
+        r.gauge(&ns, 55);
+        let delta = r.snapshot().since(&before);
+        assert_eq!(delta.gauge(&ns), 55);
+        // JSON and Prometheus expositions surface gauges.
+        let j = r.snapshot().to_json();
+        assert!(j.contains("\"diskcache.bytes_on_disk.ast\": 55"));
+        let p = r.snapshot().to_prometheus();
+        assert!(p.contains("# TYPE phpsafe_diskcache_bytes_on_disk_ast gauge"));
+        assert!(p.contains("phpsafe_diskcache_bytes_on_disk_ast 55"));
+        // Prefix filtering and the rendered table keep gauges too.
+        let filtered = r.snapshot().filtered(&["diskcache.bytes_on_disk.a"]);
+        assert_eq!(filtered.gauges.len(), 1);
+        assert!(r.snapshot().render(&[]).contains("gauges:"));
     }
 
     #[test]

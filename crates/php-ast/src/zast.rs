@@ -764,17 +764,82 @@ dec_enum!(
     [Public, Protected, Private]
 );
 
+/// An owner-erased immutable byte buffer backing a [`ParsedFileRef`].
+///
+/// The warm path wants to hand the view either a heap buffer
+/// (`Arc<[u8]>`) or a window into a memory-mapped disk-cache entry
+/// without copying. `PayloadBytes` pins whatever owns the bytes behind a
+/// type-erased `Arc` and dereferences to the byte window, so the view
+/// machinery is agnostic to where the payload lives.
+#[derive(Clone)]
+pub struct PayloadBytes {
+    // Kept only to hold the backing storage alive for `ptr`/`len`.
+    _owner: Arc<dyn std::any::Any + Send + Sync>,
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the window is immutable for its whole lifetime and the owner is
+// itself Send + Sync, so shared access from any thread is safe.
+unsafe impl Send for PayloadBytes {}
+unsafe impl Sync for PayloadBytes {}
+
+impl std::ops::Deref for PayloadBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // SAFETY: `ptr`/`len` index into a buffer kept alive by `_owner`,
+        // whose heap storage never moves behind the `Arc`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl PayloadBytes {
+    /// Wraps a shared heap buffer (the non-mapped warm path).
+    pub fn from_arc(bytes: Arc<[u8]>) -> PayloadBytes {
+        let ptr = bytes.as_ptr();
+        let len = bytes.len();
+        PayloadBytes {
+            _owner: Arc::new(bytes),
+            ptr,
+            len,
+        }
+    }
+
+    /// The window `offset..offset + len` of a buffer owned by `owner`
+    /// (e.g. a memory-mapped cache entry). Panics if the window exceeds
+    /// the owner's bytes.
+    pub fn from_owner<T>(owner: Arc<T>, offset: usize, len: usize) -> PayloadBytes
+    where
+        T: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        let window = &(*owner).as_ref()[offset..offset + len];
+        let ptr = window.as_ptr();
+        PayloadBytes {
+            _owner: owner,
+            ptr,
+            len,
+        }
+    }
+}
+
+impl From<Arc<[u8]>> for PayloadBytes {
+    fn from(bytes: Arc<[u8]>) -> PayloadBytes {
+        PayloadBytes::from_arc(bytes)
+    }
+}
+
 /// A validated borrowed view over a ZAST payload.
 ///
 /// [`ParsedFileRef::new`] performs the single bounds-checking pass (and
 /// interns the string table); after that every accessor and [`thaw`]
-/// reads fixed-width records straight out of the shared `Arc<[u8]>`
+/// reads fixed-width records straight out of the shared [`PayloadBytes`]
 /// buffer with no further validation, allocation, or string decoding.
 ///
 /// [`thaw`]: ParsedFileRef::thaw
 #[derive(Clone)]
 pub struct ParsedFileRef {
-    payload: Arc<[u8]>,
+    payload: PayloadBytes,
     counts: [u32; N_POOLS],
     offsets: [usize; N_POOLS],
     err_off: usize,
@@ -787,6 +852,13 @@ pub struct ParsedFileRef {
 }
 
 impl ParsedFileRef {
+    /// Validates a shared heap buffer as a ZAST v2 file; see
+    /// [`ParsedFileRef::from_bytes`] for the general (e.g. memory-mapped)
+    /// entry point.
+    pub fn new(payload: Arc<[u8]>) -> Result<ParsedFileRef> {
+        ParsedFileRef::from_bytes(PayloadBytes::from_arc(payload))
+    }
+
     /// Validates `payload` as a ZAST v2 file and builds the borrowed view.
     /// This is the **only** pass that checks anything: header counts
     /// against the exact payload length, strings against the blob
@@ -794,7 +866,7 @@ impl ParsedFileRef {
     /// string index against the pool counts. Malformed input —
     /// truncation, bit flips, hostile counts — yields `Err`, never a
     /// panic or out-of-bounds handle.
-    pub fn new(payload: Arc<[u8]>) -> Result<ParsedFileRef> {
+    pub fn from_bytes(payload: PayloadBytes) -> Result<ParsedFileRef> {
         if payload.len() < HEADER_BYTES {
             return fail("zast payload shorter than header", payload.len());
         }

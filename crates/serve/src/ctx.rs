@@ -107,6 +107,13 @@ impl RequestCtx {
         self.marks.lock().unwrap().clone()
     }
 
+    /// Appends a named count to the marks (e.g. `dirty_files`): sizes ride
+    /// in the same wide-event field as stage timings, so one telemetry
+    /// record explains both where the time went and how big the work was.
+    pub fn mark_count(&self, name: &'static str, n: u64) {
+        self.marks.lock().unwrap().push((name, n));
+    }
+
     /// Attributes cache hits to this request (summed across tiers).
     pub fn add_cache_hits(&self, n: u64) {
         self.cache_hits.fetch_add(n, Ordering::Relaxed);

@@ -26,7 +26,9 @@ use phpsafe_obs::{count, snapshot, time, TailSampler, TelemetrySink, WideEvent};
 
 use crate::ctx::RequestCtx;
 use crate::json::Json;
-use crate::proto::{error_response, ok_response, parse_line, AnalyzeRequest, Request};
+use crate::proto::{
+    error_response, ok_response, parse_line, AnalyzeRequest, InvalidateRequest, Request,
+};
 use crate::queue::{BoundedQueue, PushError};
 
 /// Counters pre-registered at daemon start, so the full metric surface is
@@ -45,12 +47,24 @@ const DECLARED_COUNTERS: &[&str] = &[
     "diskcache.bytes_read",
     "diskcache.bytes_written",
     "diskcache.borrowed_loads",
+    "diskcache.mmap_loads",
     "diskcache.store_failed",
+    "depgraph.builds",
+    "depgraph.hits",
+    "depgraph.nodes",
+    "depgraph.edges",
+    "depgraph.invalidated",
+    "incremental.files_dirty",
+    "incremental.files_reanalyzed",
 ];
 
 /// Histograms pre-registered at daemon start.
-const DECLARED_HISTOGRAMS: &[&str] =
-    &["serve.request", "serve.analyze", "serve.request.queue_wait"];
+const DECLARED_HISTOGRAMS: &[&str] = &[
+    "serve.request",
+    "serve.analyze",
+    "serve.invalidate",
+    "serve.request.queue_wait",
+];
 
 /// What a daemon must know how to do; everything else (transport, queueing,
 /// timeouts, metrics) is generic.
@@ -61,6 +75,13 @@ pub trait Service: Send + Sync + 'static {
     /// the request's identity and deadline in, and stage timings / cache
     /// attribution back out into the request's wide event.
     fn analyze(&self, ctx: &RequestCtx, request: &AnalyzeRequest) -> Result<Json, String>;
+
+    /// Handles an `invalidate` request: changed on-disk paths. Services
+    /// that track project state use it to re-warm caches off the client's
+    /// next-analyze path; the default declines politely.
+    fn invalidate(&self, _ctx: &RequestCtx, _request: &InvalidateRequest) -> Result<Json, String> {
+        Err("this service does not support invalidate".into())
+    }
 
     /// Extra fields appended to `status` replies (cache sizes etc.).
     fn status(&self) -> Vec<(String, Json)> {
@@ -107,9 +128,25 @@ pub enum Control {
     Shutdown,
 }
 
+/// Work routed through the bounded queue: both request kinds share the
+/// same backpressure, timeout and telemetry machinery.
+enum WorkItem {
+    Analyze(AnalyzeRequest),
+    Invalidate(InvalidateRequest),
+}
+
+impl WorkItem {
+    fn method(&self) -> &'static str {
+        match self {
+            WorkItem::Analyze(_) => "analyze",
+            WorkItem::Invalidate(_) => "invalidate",
+        }
+    }
+}
+
 struct Job {
     ctx: Arc<RequestCtx>,
-    request: AnalyzeRequest,
+    work: WorkItem,
     reply: mpsc::Sender<Result<Json, String>>,
 }
 
@@ -158,10 +195,17 @@ impl Daemon {
                     time("serve.request.queue_wait", wait);
                     job.ctx.set_queue_wait(wait);
                     let t0 = Instant::now();
-                    let outcome = service.analyze(&job.ctx, &job.request);
+                    let (outcome, histogram) = match &job.work {
+                        WorkItem::Analyze(request) => {
+                            (service.analyze(&job.ctx, request), "serve.analyze")
+                        }
+                        WorkItem::Invalidate(request) => {
+                            (service.invalidate(&job.ctx, request), "serve.invalidate")
+                        }
+                    };
                     let spent = t0.elapsed();
                     job.ctx.set_service_time(spent);
-                    time("serve.analyze", spent);
+                    time(histogram, spent);
                     if outcome.is_err() {
                         count("serve.errors", 1);
                     }
@@ -258,12 +302,16 @@ impl Daemon {
         let t0 = Instant::now();
         let envelope = match parse_line(line) {
             Ok(envelope) => envelope,
-            Err(message) => {
+            Err(failure) => {
                 count("serve.bad_requests", 1);
-                let response = error_response(seq, None, 400, &message);
+                // The id is echoed even on 400s whenever the line parsed
+                // far enough to reveal one, so client correlation holds
+                // across every response.
+                let id = failure.id.as_ref();
+                let response = error_response(seq, id, 400, &failure.message);
                 self.observe(Self::wide_event(
                     seq,
-                    None,
+                    id,
                     "invalid",
                     "error:400",
                     None,
@@ -321,7 +369,11 @@ impl Daemon {
                 )
             }
             Request::Analyze(request) => {
-                let response = self.analyze(seq, id, request, t0);
+                let response = self.enqueue(seq, id, WorkItem::Analyze(request), t0);
+                return (response, Control::Continue);
+            }
+            Request::Invalidate(request) => {
+                let response = self.enqueue(seq, id, WorkItem::Invalidate(request), t0);
                 return (response, Control::Continue);
             }
         };
@@ -380,13 +432,14 @@ impl Daemon {
         )
     }
 
-    fn analyze(&self, seq: u64, id: Option<Json>, request: AnalyzeRequest, t0: Instant) -> String {
+    fn enqueue(&self, seq: u64, id: Option<Json>, work: WorkItem, t0: Instant) -> String {
+        let method = work.method();
         let ctx = Arc::new(RequestCtx::new(seq, id, self.config.request_timeout));
         let (reply, receiver) = mpsc::channel();
         let outcome: &str;
         let response = match self.queue.try_push(Job {
             ctx: Arc::clone(&ctx),
-            request,
+            work,
             reply,
         }) {
             Err(PushError::Full) => {
@@ -427,7 +480,7 @@ impl Daemon {
         self.observe(Self::wide_event(
             seq,
             ctx.client_id.as_ref(),
-            "analyze",
+            method,
             outcome,
             Some(&ctx),
             t0.elapsed(),
@@ -570,6 +623,21 @@ mod tests {
             )]))
         }
 
+        fn invalidate(
+            &self,
+            ctx: &RequestCtx,
+            request: &InvalidateRequest,
+        ) -> Result<Json, String> {
+            ctx.mark_count("dirty_files", request.paths.len() as u64);
+            if request.paths == ["boom"] {
+                return Err("invalidate failed".into());
+            }
+            Ok(Json::Obj(vec![(
+                "invalidated".to_owned(),
+                Json::Num(request.paths.len() as f64),
+            )]))
+        }
+
         fn status(&self) -> Vec<(String, Json)> {
             vec![("mock".to_owned(), Json::Bool(true))]
         }
@@ -606,6 +674,64 @@ mod tests {
         assert_eq!(seq_of(&a), 1.0);
         assert_eq!(seq_of(&b), 2.0);
         assert_eq!(seq_of(&c), 3.0, "even unparseable lines consume a seq");
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
+    fn invalidate_round_trips_through_the_queue() {
+        let daemon = Daemon::start(Mock::fast(), ServerConfig::default());
+        let v = line(
+            &daemon,
+            r#"{"cmd":"invalidate","paths":["p/a.php"],"id":"inv"}"#,
+        );
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("id"), Some(&Json::Str("inv".into())));
+        assert_eq!(seq_of(&v), 1.0);
+        let n = v.get("result").and_then(|r| r.get("invalidated")).unwrap();
+        assert_eq!(n, &Json::Num(1.0));
+        // Failures surface as 500 with seq and id, like analyze.
+        let e = line(
+            &daemon,
+            r#"{"cmd":"invalidate","paths":["boom"],"id":"i2"}"#,
+        );
+        assert_eq!(e.get("code"), Some(&Json::Num(500.0)));
+        assert_eq!(e.get("id"), Some(&Json::Str("i2".into())));
+        assert_eq!(seq_of(&e), 2.0);
+        // The wide event records the method and the dirty-set size mark.
+        let t = line(&daemon, r#"{"cmd":"telemetry"}"#);
+        let samples = t.get("samples").and_then(Json::as_arr).unwrap();
+        let inv = samples
+            .iter()
+            .find(|s| s.get("method").and_then(Json::as_str) == Some("invalidate"))
+            .expect("invalidate wide event retained");
+        assert!(
+            inv.get("marks")
+                .and_then(|m| m.get("dirty_files"))
+                .is_some(),
+            "dirty-set size mark surfaces in the wide event"
+        );
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
+    fn field_validation_400s_echo_seq_and_client_id() {
+        let daemon = Daemon::start(Mock::fast(), ServerConfig::default());
+        for bad in [
+            r#"{"cmd":"invalidate","paths":[],"id":"e-1"}"#,
+            r#"{"cmd":"analyze","paths":[],"id":"e-1"}"#,
+            r#"{"cmd":"analyze","paths":["p"],"buffers":[],"id":"e-1"}"#,
+        ] {
+            let v = line(&daemon, bad);
+            assert_eq!(v.get("code"), Some(&Json::Num(400.0)), "line: {bad}");
+            assert!(seq_of(&v) > 0.0, "400 replies carry the seq: {bad}");
+            assert_eq!(
+                v.get("id"),
+                Some(&Json::Str("e-1".into())),
+                "400 replies echo the client id: {bad}"
+            );
+        }
         daemon.shutdown();
         daemon.join();
     }

@@ -37,5 +37,8 @@ pub mod queue;
 pub use ctx::RequestCtx;
 pub use daemon::{bind, run_stdio, run_tcp, Control, Daemon, ServerConfig, Service};
 pub use json::{parse, Json};
-pub use proto::{error_response, ok_response, parse_line, AnalyzeRequest, Envelope, Request};
+pub use proto::{
+    error_response, ok_response, parse_line, AnalyzeRequest, Envelope, InvalidateRequest,
+    ParseFailure, Request,
+};
 pub use queue::{BoundedQueue, PushError};

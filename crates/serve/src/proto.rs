@@ -5,6 +5,8 @@
 //!
 //! ```text
 //! {"cmd":"analyze","paths":["plugin-a"],"tools":["phpSAFE"],"jobs":4,"id":1}
+//! {"cmd":"analyze","paths":["plugin-a"],"buffers":{"plugin-a/admin.php":"<?php ..."}}
+//! {"cmd":"invalidate","paths":["plugin-a/admin.php"]}
 //! {"cmd":"status"}
 //! {"cmd":"metrics"}
 //! {"cmd":"metrics","format":"prometheus"}
@@ -16,9 +18,10 @@
 //! with HTTP-flavoured codes (`400` malformed, `429` queue full, `503`
 //! draining, `504` request timeout, `500` analysis failure). Every
 //! response — success or error, including `400` replies to lines that
-//! never parsed — carries the server-assigned request id as `"seq"`, so
-//! any reply can be correlated with its wide event in the telemetry
-//! stream.
+//! never parsed — carries the server-assigned request id as `"seq"`, and
+//! the client's `id` whenever the line got far enough to reveal one (a
+//! field-validation `400` still echoes it), so any reply can be
+//! correlated with its wide event in the telemetry stream.
 
 use crate::json::{parse, Json};
 
@@ -31,6 +34,18 @@ pub struct AnalyzeRequest {
     pub tools: Vec<String>,
     /// Worker override for this request; `None` means the daemon default.
     pub jobs: Option<usize>,
+    /// Unsaved editor buffers overlaid on the on-disk project: pairs of
+    /// `(path, content)` in request order. Paths may be absolute under a
+    /// requested root or root-relative.
+    pub buffers: Vec<(String, String)>,
+}
+
+/// Parameters of an `invalidate` request: files (or roots) whose on-disk
+/// contents changed since the daemon last analyzed them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidateRequest {
+    /// Changed paths, in request order.
+    pub paths: Vec<String>,
 }
 
 /// A decoded request line.
@@ -38,6 +53,9 @@ pub struct AnalyzeRequest {
 pub enum Request {
     /// Run analysis over one or more plugin roots.
     Analyze(AnalyzeRequest),
+    /// Re-check changed files against the dependency graph and re-warm
+    /// affected projects.
+    Invalidate(InvalidateRequest),
     /// Report daemon health (queue depth, workers, totals).
     Status,
     /// Return the current phpsafe-obs snapshot. With
@@ -76,13 +94,37 @@ fn str_list(value: &Json, what: &str) -> Result<Vec<String>, String> {
         .collect()
 }
 
+/// A request line that failed to decode. The client `id` is carried
+/// whenever the line parsed far enough as JSON to reveal one, so even a
+/// `400` reply can echo it (the PR 7 correlation contract).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseFailure {
+    /// Client correlation id, if the malformed line still carried one.
+    pub id: Option<Json>,
+    /// What was wrong with the line.
+    pub message: String,
+}
+
 /// Decodes one NDJSON request line.
-pub fn parse_line(line: &str) -> Result<Envelope, String> {
-    let value = parse(line)?;
+pub fn parse_line(line: &str) -> Result<Envelope, ParseFailure> {
+    let value = match parse(line) {
+        Ok(v) => v,
+        Err(message) => return Err(ParseFailure { id: None, message }),
+    };
     if !matches!(value, Json::Obj(_)) {
-        return Err("request must be a JSON object".into());
+        return Err(ParseFailure {
+            id: None,
+            message: "request must be a JSON object".into(),
+        });
     }
     let id = value.get("id").cloned();
+    match parse_request(&value) {
+        Ok(request) => Ok(Envelope { id, request }),
+        Err(message) => Err(ParseFailure { id, message }),
+    }
+}
+
+fn parse_request(value: &Json) -> Result<Request, String> {
     let cmd = value
         .get("cmd")
         .and_then(Json::as_str)
@@ -110,7 +152,34 @@ pub fn parse_line(line: &str) -> Result<Envelope, String> {
                     Some(n as usize)
                 }
             };
-            Request::Analyze(AnalyzeRequest { paths, tools, jobs })
+            let buffers = match value.get("buffers") {
+                None => Vec::new(),
+                Some(Json::Obj(entries)) => {
+                    let mut buffers = Vec::new();
+                    for (path, content) in entries {
+                        let content = content.as_str().ok_or("`buffers` values must be strings")?;
+                        buffers.push((path.clone(), content.to_owned()));
+                    }
+                    buffers
+                }
+                Some(_) => return Err("`buffers` must be an object of path -> content".into()),
+            };
+            Request::Analyze(AnalyzeRequest {
+                paths,
+                tools,
+                jobs,
+                buffers,
+            })
+        }
+        "invalidate" => {
+            let paths = match value.get("paths") {
+                Some(v) => str_list(v, "paths")?,
+                None => return Err("invalidate requires a `paths` array".into()),
+            };
+            if paths.is_empty() {
+                return Err("invalidate requires at least one path".into());
+            }
+            Request::Invalidate(InvalidateRequest { paths })
         }
         "status" => Request::Status,
         "metrics" => {
@@ -128,7 +197,7 @@ pub fn parse_line(line: &str) -> Result<Envelope, String> {
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown cmd `{other}`")),
     };
-    Ok(Envelope { id, request })
+    Ok(request)
 }
 
 fn envelope(ok: bool, seq: u64, id: Option<&Json>, mut fields: Vec<(String, Json)>) -> String {
@@ -181,8 +250,67 @@ mod tests {
                 paths: vec!["a".into(), "b".into()],
                 tools: vec!["phpSAFE".into()],
                 jobs: Some(4),
+                buffers: Vec::new(),
             })
         );
+    }
+
+    #[test]
+    fn parses_analyze_with_dirty_buffers() {
+        let env = parse_line(
+            r#"{"cmd":"analyze","paths":["p"],"buffers":{"p/a.php":"<?php 1;","b.php":""}}"#,
+        )
+        .unwrap();
+        match env.request {
+            Request::Analyze(req) => {
+                assert_eq!(
+                    req.buffers,
+                    [
+                        ("p/a.php".to_owned(), "<?php 1;".to_owned()),
+                        ("b.php".to_owned(), String::new()),
+                    ]
+                );
+            }
+            other => panic!("expected analyze, got {other:?}"),
+        }
+        assert!(parse_line(r#"{"cmd":"analyze","paths":["p"],"buffers":[]}"#).is_err());
+        assert!(parse_line(r#"{"cmd":"analyze","paths":["p"],"buffers":{"a.php":7}}"#).is_err());
+    }
+
+    #[test]
+    fn parses_invalidate() {
+        let env = parse_line(r#"{"cmd":"invalidate","paths":["p/a.php"],"id":"inv-1"}"#).unwrap();
+        assert_eq!(env.id, Some(Json::Str("inv-1".into())));
+        assert_eq!(
+            env.request,
+            Request::Invalidate(InvalidateRequest {
+                paths: vec!["p/a.php".into()],
+            })
+        );
+        assert!(parse_line(r#"{"cmd":"invalidate"}"#).is_err());
+        assert!(parse_line(r#"{"cmd":"invalidate","paths":[]}"#).is_err());
+        assert!(parse_line(r#"{"cmd":"invalidate","paths":[3]}"#).is_err());
+    }
+
+    #[test]
+    fn parse_failures_keep_the_client_id_when_one_was_sent() {
+        // Field-validation failures happen after the id was decoded; the
+        // daemon echoes it in the 400 reply.
+        for line in [
+            r#"{"cmd":"invalidate","paths":[],"id":"bad-1"}"#,
+            r#"{"cmd":"analyze","id":"bad-1"}"#,
+            r#"{"cmd":"frobnicate","id":"bad-1"}"#,
+            r#"{"cmd":"analyze","paths":["p"],"buffers":3,"id":"bad-1"}"#,
+        ] {
+            let failure = parse_line(line).unwrap_err();
+            assert_eq!(
+                failure.id,
+                Some(Json::Str("bad-1".into())),
+                "id lost for: {line}"
+            );
+        }
+        // A line that never parsed as JSON has no id to echo.
+        assert_eq!(parse_line("garbage").unwrap_err().id, None);
     }
 
     #[test]

@@ -73,6 +73,12 @@ cargo test -q --offline -p phpsafe-eval --test serve_invariance
 # job counts.
 cargo test -q --offline -p phpsafe-eval --test zero_copy_invariance
 
+# Incremental invariance: invalidate and dirty-buffer replies must be
+# byte-identical to cold batch runs, a one-file corpus edit must re-parse
+# <5% of the corpus's files, and the evaluation tables must not move
+# after an invalidate-heavy daemon session.
+cargo test -q --offline -p phpsafe-eval --test incremental_invariance
+
 # Smoke: --explain must print at least one provenance chain ending in a
 # sink for a known-vulnerable corpus plugin. (`phpsafe` exits 1 when it
 # finds vulnerabilities, so capture output before grepping.)
@@ -100,12 +106,12 @@ serve_out="$(mktemp)"
 serve_telemetry="$(mktemp)"
 trap 'rm -f "$metrics" "$graph_metrics" "$serve_out" "$serve_telemetry"; rm -rf "$plugin_dir" "$serve_cache"' EXIT
 serve_plugin="$(ls -d "$plugin_dir"/2014/*/ | head -n 1)"
-printf '{"cmd":"analyze","paths":["%s"],"id":1}\n{"cmd":"metrics"}\n{"cmd":"metrics","format":"prometheus"}\n{"cmd":"shutdown"}\n' \
-    "$serve_plugin" |
+printf '{"cmd":"analyze","paths":["%s"],"id":1}\n{"cmd":"invalidate","paths":["%s"],"id":2}\n{"cmd":"metrics"}\n{"cmd":"metrics","format":"prometheus"}\n{"cmd":"shutdown"}\n' \
+    "$serve_plugin" "$serve_plugin" |
     cargo run -q --release --offline -p phpsafe --bin phpsafe -- \
         serve --stdio --cache-dir "$serve_cache" \
         --telemetry-out "$serve_telemetry" >"$serve_out" 2>/dev/null
-[ "$(wc -l <"$serve_out")" -eq 4 ] || {
+[ "$(wc -l <"$serve_out")" -eq 5 ] || {
     echo "verify: daemon did not answer one line per request" >&2
     exit 1
 }
@@ -113,26 +119,35 @@ sed -n 1p "$serve_out" | grep -q '"ok":true,"seq":1.*"reports"' || {
     echo "verify: daemon analyze round-trip failed or dropped the seq echo" >&2
     exit 1
 }
+sed -n 2p "$serve_out" | grep -q '"ok":true,"seq":2.*"projects"' || {
+    echo "verify: daemon invalidate round-trip failed or dropped the seq echo" >&2
+    exit 1
+}
 for key in serve.requests serve.accepted serve.request serve.analyze \
-           serve.request.queue_wait serve.request.wide_events \
+           serve.invalidate serve.request.queue_wait serve.request.wide_events \
            events.dropped diskcache.misses diskcache.stores \
            diskcache.bytes_read diskcache.bytes_written \
-           diskcache.borrowed_loads diskcache.store_failed; do
-    sed -n 2p "$serve_out" | grep -q "\"$key\"" || {
+           diskcache.borrowed_loads diskcache.store_failed \
+           diskcache.mmap_loads depgraph.builds depgraph.hits \
+           depgraph.nodes depgraph.edges depgraph.invalidated \
+           incremental.files_dirty incremental.files_reanalyzed \
+           diskcache.bytes_on_disk.ast diskcache.bytes_on_disk.summary \
+           diskcache.bytes_on_disk.outcome diskcache.bytes_on_disk.depgraph; do
+    sed -n 3p "$serve_out" | grep -q "\"$key\"" || {
         echo "verify: daemon metrics reply is missing key $key" >&2
         exit 1
     }
 done
-sed -n 3p "$serve_out" | grep -q 'phpsafe_serve_requests' || {
+sed -n 4p "$serve_out" | grep -q 'phpsafe_serve_requests' || {
     echo "verify: Prometheus exposition is missing phpsafe_serve_requests" >&2
     exit 1
 }
-sed -n 4p "$serve_out" | grep -q '"shutting_down":true' || {
+sed -n 5p "$serve_out" | grep -q '"shutting_down":true' || {
     echo "verify: daemon did not acknowledge shutdown" >&2
     exit 1
 }
 # One wide event per request must have been streamed to --telemetry-out.
-[ "$(wc -l <"$serve_telemetry")" -eq 4 ] || {
+[ "$(wc -l <"$serve_telemetry")" -eq 5 ] || {
     echo "verify: --telemetry-out did not record one wide event per request" >&2
     exit 1
 }
@@ -151,3 +166,9 @@ cargo bench -q --offline -p phpsafe-bench --bench serve_load -- --smoke >/dev/nu
 # under 5 ms, and per-function jobs must split the largest-file plugin
 # into sub-file units without changing a byte of output.
 cargo bench -q --offline -p phpsafe-bench --bench zero_copy -- --smoke >/dev/null
+
+# Incremental smoke: over the dumped corpus, warm per-plugin requests
+# must answer under 10 ms, a one-file edit plus invalidate must re-parse
+# <5% of the corpus's files, and the post-invalidate analyze must be a
+# pure cache hit byte-identical to a batch run of the edited tree.
+cargo bench -q --offline -p phpsafe-bench --bench incremental -- --smoke >/dev/null
