@@ -8,7 +8,8 @@
 //! ```
 //!
 //! Artifacts: `table1`, `table1-full`, `fig2`, `table2`, `table3`, `oop`,
-//! `inertia`, `rootcause`, `all` (default).
+//! `inertia`, `rootcause`, `taxonomy` (per-class precision/recall on the
+//! taxonomy extension corpus), `all` (default).
 //!
 //! Options:
 //!
@@ -135,6 +136,25 @@ fn main() {
     if want_obs {
         phpsafe_obs::set_enabled(true);
     }
+    // The taxonomy artifact runs over its own extension corpus; the main
+    // 35-plugin evaluation is not needed for it.
+    if opts.what == "taxonomy" {
+        eprintln!("generating taxonomy corpus and running the tools per vulnerability class...");
+        let before = phpsafe_obs::snapshot();
+        let e = phpsafe_eval::run_taxonomy();
+        phpsafe_eval::record_taxonomy_metrics(&e);
+        let snap = phpsafe_obs::snapshot().since(&before);
+        if let Some(path) = &opts.metrics_out {
+            if let Err(err) =
+                phpsafe_obs::write_atomic(std::path::Path::new(path), snap.to_json().as_bytes())
+            {
+                eprintln!("error: cannot write {path}: {err}");
+                std::process::exit(1);
+            }
+        }
+        print!("{}", phpsafe_eval::taxonomy_report(&e));
+        return;
+    }
     eprintln!(
         "generating corpus and running phpSAFE, RIPS and Pixy over 35 plugins x 2 versions..."
     );
@@ -214,7 +234,7 @@ fn main() {
         }
         "all" => print!("{}", tables::full_report(&e)),
         other => {
-            eprintln!("unknown artifact `{other}`; try table1|fig2|table2|table3|oop|inertia|rootcause|ablations|evolution|confirm|csv|all");
+            eprintln!("unknown artifact `{other}`; try table1|fig2|table2|table3|oop|inertia|rootcause|ablations|evolution|confirm|taxonomy|csv|all");
             std::process::exit(2);
         }
     }

@@ -279,6 +279,7 @@ impl PhpSafe {
                     sink: rec.sink.clone(),
                     var: rec.var.clone(),
                     source_kind: rec.source_kind,
+                    labels: rec.labels,
                     via_oop: rec.via_oop,
                     numeric_hint: rec.numeric_hint,
                     trace: pg
@@ -1072,8 +1073,11 @@ mod tests {
         assert_eq!(delta.counter("dataflow.graph_hits"), 1);
         assert!(delta.counter("dataflow.nodes") > 0);
         assert!(delta.counter("dataflow.edges") > 0);
-        // Two class queries per analysis, two analyses.
-        assert_eq!(delta.counter("dataflow.queries"), 4);
+        // One query per registered vulnerability class, two analyses.
+        assert_eq!(
+            delta.counter("dataflow.queries"),
+            2 * taint_config::VulnClass::COUNT as u64
+        );
         assert!(delta.counter("dataflow.path_hits") >= 2);
         assert_eq!(cold.vulns.len(), 2);
         assert_eq!(cold, PhpSafe::new().analyze(&p), "graph ≡ walker");

@@ -277,6 +277,11 @@ pub struct EngineCaches {
     /// Tools whose summary cache has been warmed from disk, with the
     /// config fingerprint they were warmed under (reused at persist time).
     warmed: Mutex<HashMap<String, u64>>,
+    /// Per-tool summary-cache generation at the last disk flush. A cache
+    /// whose generation has not moved since is skipped by
+    /// [`EngineCaches::persist`] — on a fully-cached daemon request no
+    /// summary blob is re-encoded or re-written at all.
+    persisted: Mutex<HashMap<String, u64>>,
 }
 
 impl EngineCaches {
@@ -421,6 +426,12 @@ impl EngineCaches {
                 for (key, summary) in entries {
                     cache.insert(key, summary);
                 }
+                // The disk blob already covers everything just loaded, so
+                // a persist with no further inserts has nothing to write.
+                self.persisted
+                    .lock()
+                    .unwrap()
+                    .insert(tool.to_string(), cache.generation());
             }
             Err(_) => disk.note_corrupt(SUMMARY_NAMESPACE, key),
         }
@@ -438,7 +449,15 @@ impl EngineCaches {
             .map(|(tool, fp)| (tool.clone(), *fp))
             .collect();
         for (tool, fingerprint) in warmed {
-            let entries = self.summaries_for(&tool).entries();
+            let cache = self.summaries_for(&tool);
+            // Read the generation before snapshotting entries: an insert
+            // racing in between is then re-flushed next time rather than
+            // silently marked persisted.
+            let generation = cache.generation();
+            if self.persisted.lock().unwrap().get(&tool) == Some(&generation) {
+                continue;
+            }
+            let entries = cache.entries();
             if entries.is_empty() {
                 continue;
             }
@@ -449,6 +468,11 @@ impl EngineCaches {
                 fingerprint,
                 &blob,
             ));
+            // Recorded even when the store failed: store failures are
+            // already surfaced (warning + diskcache.store_failed), and
+            // retrying the full encode on every warm request would put
+            // the flush cost back on the fully-cached path.
+            self.persisted.lock().unwrap().insert(tool, generation);
         }
     }
 
@@ -841,6 +865,45 @@ mod tests {
             strange.summaries_for("phpSAFE").is_empty(),
             "stale blob must be evicted, not replayed"
         );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_skips_unchanged_summary_caches() {
+        use crate::{PhpSafe, PluginProject, SourceFile};
+        use phpsafe_engine::DiskCache;
+        let dir = temp_dir("persist-skip");
+        let plugin = PluginProject::new("p").with_file(SourceFile::new(
+            "p.php",
+            r#"<?php
+            function pad($s) { return str_pad($s, 8); }
+            echo pad("x");
+            "#,
+        ));
+        let tool = PhpSafe::new();
+
+        let disk = Arc::new(DiskCache::open(&dir).unwrap());
+        let caches = EngineCaches::with_disk(Arc::clone(&disk));
+        tool.analyze_with_caches(&plugin, Some(&caches));
+        caches.persist();
+        let after_first = disk.counters().bytes_written;
+        assert!(after_first > 0, "first persist must write the blob");
+
+        // No new summaries since the flush: nothing re-encoded, nothing
+        // re-written — the fully-cached daemon path must stay this cheap.
+        caches.persist();
+        caches.persist();
+        assert_eq!(disk.counters().bytes_written, after_first);
+
+        // A warm restart loads the blob; persisting without new inserts
+        // must also write nothing.
+        let warm = EngineCaches::with_disk(Arc::new(DiskCache::open(&dir).unwrap()));
+        tool.analyze_with_caches(&plugin, Some(&warm));
+        let disk2 = Arc::clone(warm.disk().unwrap());
+        let before = disk2.counters().bytes_written;
+        warm.persist();
+        assert_eq!(disk2.counters().bytes_written, before);
 
         let _ = std::fs::remove_dir_all(&dir);
     }

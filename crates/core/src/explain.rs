@@ -37,9 +37,17 @@ fn infer_label(step: &TraceStep) -> &'static str {
 /// alone. The chain always ends in the sink line, and always states which
 /// sanitizers the flow passed — explicitly saying so when there were none.
 pub fn explain_vuln(vuln: &Vulnerability, events: &[TaintEvent]) -> String {
+    // The `[slug ← labels]` tag names the class and every contributing
+    // source vector. The paper's own two classes keep their original
+    // header bytes; only the taxonomy's extension classes carry the tag.
+    let tag = if vuln.class.in_paper() {
+        String::new()
+    } else {
+        format!(" [{} ← {}]", vuln.class.slug(), vuln.labels)
+    };
     let mut out = format!(
-        "{} in {}:{} — `{}` reaches sink `{}` (source: {})\n",
-        vuln.class, vuln.file, vuln.line, vuln.var, vuln.sink, vuln.source_kind
+        "{} in {}:{} — `{}` reaches sink `{}` (source: {}){}\n",
+        vuln.class, vuln.file, vuln.line, vuln.var, vuln.sink, vuln.source_kind, tag
     );
 
     // Anchor each trace step to the first event with identical position and
@@ -206,6 +214,31 @@ mod tests {
         assert!(text.contains("introduced"), "{text}");
         assert!(text.contains("source $_POST"), "{text}");
         assert!(text.contains("sink-hit"), "{text}");
+    }
+
+    #[test]
+    fn extension_class_chain_carries_class_and_label_tag() {
+        let (outcome, events) = analyze_with_events(
+            "explain_cmdi_demo.php",
+            "<?php $d = $_GET['d']; shell_exec('ls ' . $d);",
+        );
+        let v = outcome
+            .vulns
+            .iter()
+            .find(|v| v.class == taint_config::VulnClass::CmdInjection)
+            .expect("cmdi finding");
+        let text = explain_vuln(v, &events);
+        assert!(text.contains("[cmd-injection ← {GET}]"), "{text}");
+    }
+
+    #[test]
+    fn paper_class_chain_header_is_unchanged() {
+        let (outcome, events) =
+            analyze_with_events("explain_notag.php", "<?php echo $_GET['name'];");
+        let text = explain_vuln(&outcome.vulns[0], &events);
+        let header = text.lines().next().unwrap();
+        assert!(!header.contains('←'), "no tag on XSS chains: {header}");
+        assert!(header.ends_with("(source: GET)"), "{header}");
     }
 
     #[test]

@@ -101,10 +101,7 @@ functions: {functions} · classes: {classes} · never-called callables: {uncalle
 
     let _ = writeln!(h, "<h2>Vulnerabilities ({})</h2>", outcome.vulns.len());
     for v in &outcome.vulns {
-        let class_css = match v.class {
-            VulnClass::Xss => "xss",
-            VulnClass::Sqli => "sqli",
-        };
+        let class_css = v.class.slug();
         let oop_badge = if v.via_oop {
             " <span class=\"oop\">OOP</span>"
         } else {

@@ -511,7 +511,7 @@ impl<'a> Interp<'a> {
                 st.object_class = None;
                 st
             }
-            Expr::ShellExec(parts, _) => {
+            Expr::ShellExec(parts, span) => {
                 let limit = self.opts.trace_limit;
                 let mut st = VarState::clean();
                 for p in a.interp(*parts) {
@@ -519,6 +519,12 @@ impl<'a> Interp<'a> {
                         let ps = self.eval(a, *pe, f);
                         st = st.join(&ps, limit);
                     }
+                }
+                // Backticks hand the interpolated string to the shell —
+                // the same sink as `shell_exec` (which they alias).
+                if st.taint.is_tainted(VulnClass::CmdInjection) {
+                    let desc = print_expr(a, e);
+                    self.report(VulnClass::CmdInjection, *span, "`...`", &st, desc);
                 }
                 st
             }
@@ -1521,6 +1527,7 @@ impl<'a> Interp<'a> {
             sink: sink.to_string(),
             var: var.clone(),
             source_kind: kind,
+            labels: st.taint.labels_for(class),
             via_oop: st.taint.oop,
             numeric_hint: numeric_intent(&var),
             trace: st.trace.clone(),
@@ -1535,6 +1542,7 @@ impl<'a> Interp<'a> {
                     sink: &v.sink,
                     var: &v.var,
                     source_kind: v.source_kind,
+                    labels: v.labels,
                     via_oop: v.via_oop,
                     numeric_hint: v.numeric_hint,
                 },

@@ -16,59 +16,67 @@ use crate::report::{AnalysisStats, FileFailure, FileReport};
 use crate::taint::Taint;
 use php_ast::codec::{CodecError, Reader, Writer};
 use std::sync::Arc;
-use taint_config::SourceKind;
+use taint_config::{TaintLabels, VulnClass};
 
 /// Bumped on any change to the encoding below.
-const VERSION: u8 = 1;
+/// v2: per-class label bitsets replaced the two per-class source kinds.
+const VERSION: u8 = 2;
 
-fn enc_source_kind(w: &mut Writer, kind: Option<SourceKind>) {
-    use SourceKind::*;
-    w.u8(match kind {
-        None => 0,
-        Some(Get) => 1,
-        Some(Post) => 2,
-        Some(Cookie) => 3,
-        Some(Request) => 4,
-        Some(Server) => 5,
-        Some(Database) => 6,
-        Some(File) => 7,
-        Some(Function) => 8,
-        Some(Array) => 9,
-    });
-}
-
-fn dec_source_kind(r: &mut Reader) -> Result<Option<SourceKind>, CodecError> {
-    use SourceKind::*;
-    Ok(match r.u8()? {
-        0 => None,
-        1 => Some(Get),
-        2 => Some(Post),
-        3 => Some(Cookie),
-        4 => Some(Request),
-        5 => Some(Server),
-        6 => Some(Database),
-        7 => Some(File),
-        8 => Some(Function),
-        9 => Some(Array),
-        _ => {
-            return Err(CodecError {
-                what: "invalid source kind",
-                at: r.offset(),
-            })
-        }
-    })
-}
+// Taint encoding: most values are either untainted or carry the same
+// label set in every class slot (a raw source that no class-specific
+// sanitizer has touched yet), so those two shapes get short forms.
+const TAINT_EMPTY: u8 = 0;
+const TAINT_UNIFORM: u8 = 1;
+const TAINT_PER_CLASS: u8 = 2;
 
 fn enc_taint(w: &mut Writer, t: Taint) {
-    enc_source_kind(w, t.xss);
-    enc_source_kind(w, t.sqli);
+    if t.labels.iter().all(|l| l.is_empty()) {
+        w.u8(TAINT_EMPTY);
+    } else if t.labels.iter().all(|l| *l == t.labels[0]) {
+        w.u8(TAINT_UNIFORM);
+        w.u32(t.labels[0].0 as u32);
+    } else {
+        w.u8(TAINT_PER_CLASS);
+        for l in &t.labels {
+            w.u32(l.0 as u32);
+        }
+    }
     w.bool(t.oop);
 }
 
+fn dec_labels(r: &mut Reader) -> Result<TaintLabels, CodecError> {
+    let bits = r.u32()?;
+    if bits > u16::MAX as u32 {
+        return Err(CodecError {
+            what: "invalid taint label bits",
+            at: r.offset(),
+        });
+    }
+    Ok(TaintLabels(bits as u16))
+}
+
 fn dec_taint(r: &mut Reader) -> Result<Taint, CodecError> {
+    let mut labels = [TaintLabels::EMPTY; VulnClass::COUNT];
+    match r.u8()? {
+        TAINT_EMPTY => {}
+        TAINT_UNIFORM => {
+            let l = dec_labels(r)?;
+            labels = [l; VulnClass::COUNT];
+        }
+        TAINT_PER_CLASS => {
+            for slot in &mut labels {
+                *slot = dec_labels(r)?;
+            }
+        }
+        _ => {
+            return Err(CodecError {
+                what: "invalid taint shape tag",
+                at: r.offset(),
+            })
+        }
+    }
     Ok(Taint {
-        xss: dec_source_kind(r)?,
-        sqli: dec_source_kind(r)?,
+        labels,
         oop: r.bool()?,
     })
 }
@@ -266,11 +274,16 @@ mod tests {
     use super::*;
 
     fn sample() -> Vec<(SummaryKey, Arc<SharedSummary>)> {
-        let tainted = Taint {
-            xss: Some(SourceKind::Get),
-            sqli: Some(SourceKind::Database),
-            oop: true,
-        };
+        use taint_config::SourceKind;
+        // XSS carries a GET label, SQLi a DB label, other classes both.
+        let tainted = Taint::from_oop_source(SourceKind::Get)
+            .sanitize(&[VulnClass::Sqli])
+            .0
+            .join(
+                Taint::from_oop_source(SourceKind::Database)
+                    .sanitize(&[VulnClass::Xss])
+                    .0,
+            );
         vec![
             (
                 SummaryKey {
@@ -336,7 +349,7 @@ mod tests {
         use phpsafe_dataflow::{Recorder, SinkInfo};
         use phpsafe_intern::Symbol;
         use phpsafe_obs::TaintEventKind;
-        use taint_config::VulnClass;
+        use taint_config::SourceKind;
 
         let file = Symbol::intern("persist.php");
         let mut rec = Recorder::new();
@@ -363,6 +376,7 @@ mod tests {
                 sink: "echo",
                 var: "$b",
                 source_kind: SourceKind::Get,
+                labels: TaintLabels::single(SourceKind::Get),
                 via_oop: true,
                 numeric_hint: false,
             },

@@ -4,7 +4,7 @@
 
 use crate::taint::TraceStep;
 use serde::{Deserialize, Serialize};
-use taint_config::{SourceKind, VulnClass};
+use taint_config::{SourceKind, TaintLabels, VulnClass};
 
 /// A reported vulnerability.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -21,6 +21,9 @@ pub struct Vulnerability {
     pub var: String,
     /// The input vector the tainted data entered through (Table II).
     pub source_kind: SourceKind,
+    /// Every input vector that contributed to this class's taint —
+    /// `source_kind` is the highest-priority member of this set.
+    pub labels: TaintLabels,
     /// The flow passed through a CMS framework object method (§V.A).
     pub via_oop: bool,
     /// The vulnerable variable appears to be numeric-intent (§V.C notes 39%
@@ -162,6 +165,7 @@ mod tests {
             sink: sink.into(),
             var: "$x".into(),
             source_kind: SourceKind::Get,
+            labels: TaintLabels::single(SourceKind::Get),
             via_oop: false,
             numeric_hint: false,
             trace: vec![],

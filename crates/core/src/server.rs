@@ -63,6 +63,12 @@ pub trait ServeTool: Send + Sync {
     ) -> AnalysisOutcome {
         self.analyze_cached(project, caches)
     }
+
+    /// Slugs of the vulnerability classes this tool's profile can report
+    /// (classes with at least one configured sink), registry order.
+    fn vuln_classes(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 impl ServeTool for PhpSafe {
@@ -86,6 +92,14 @@ impl ServeTool for PhpSafe {
         self.clone()
             .with_function_jobs(function_jobs)
             .analyze_with_caches(project, Some(caches))
+    }
+
+    fn vuln_classes(&self) -> Vec<String> {
+        self.config()
+            .supported_classes()
+            .into_iter()
+            .map(|c| c.slug().to_owned())
+            .collect()
     }
 }
 
@@ -544,6 +558,20 @@ impl Service for AnalysisServer {
                 ),
             ),
             (
+                "vuln_classes".to_owned(),
+                Json::Arr(
+                    // The default tool (first registered) defines the
+                    // loaded profile's class registry.
+                    self.tools
+                        .first()
+                        .map(|(_, t)| t.vuln_classes())
+                        .unwrap_or_default()
+                        .into_iter()
+                        .map(Json::Str)
+                        .collect(),
+                ),
+            ),
+            (
                 "cache_dir".to_owned(),
                 match self.caches.disk() {
                     Some(disk) => Json::Str(disk.root().display().to_string()),
@@ -618,6 +646,23 @@ mod tests {
             "daemon report must be byte-identical to a direct run"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_lists_the_profile_vuln_classes() {
+        let server = AnalysisServer::new();
+        let status = server.status();
+        let classes = status
+            .iter()
+            .find(|(k, _)| k == "vuln_classes")
+            .and_then(|(_, v)| v.as_arr())
+            .expect("vuln_classes in status");
+        let slugs: Vec<&str> = classes.iter().filter_map(Json::as_str).collect();
+        let expected: Vec<&str> = taint_config::VulnClass::ALL
+            .iter()
+            .map(|c| c.slug())
+            .collect();
+        assert_eq!(slugs, expected, "default WordPress profile supports all");
     }
 
     #[test]

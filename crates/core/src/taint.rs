@@ -6,47 +6,23 @@
 
 use phpsafe_intern::Symbol;
 use serde::{Deserialize, Serialize};
-use taint_config::{SourceKind, VulnClass};
+use taint_config::{SourceKind, TaintLabels, VulnClass};
 
-/// Priority used when two taints join: the paper classifies each
-/// vulnerability by the entry vector found on the *reverse path* of the
-/// tainted data, preferring the most directly exploitable vector.
-fn kind_priority(k: SourceKind) -> u8 {
-    match k {
-        SourceKind::Get => 0,
-        SourceKind::Post => 1,
-        SourceKind::Request => 2,
-        SourceKind::Cookie => 3,
-        SourceKind::Server => 4,
-        SourceKind::Database => 5,
-        SourceKind::File => 6,
-        SourceKind::Function => 7,
-        SourceKind::Array => 8,
-    }
-}
-
-/// Joins two optional source kinds, preferring the higher-priority vector.
-fn join_kind(a: Option<SourceKind>, b: Option<SourceKind>) -> Option<SourceKind> {
-    match (a, b) {
-        (None, x) | (x, None) => x,
-        (Some(x), Some(y)) => Some(if kind_priority(x) <= kind_priority(y) {
-            x
-        } else {
-            y
-        }),
-    }
-}
-
-/// Taint state of a value: for each vulnerability class, whether the value
-/// is dangerous and which input vector it came from. `oop` records whether
-/// the flow passed through a CMS object method (the paper's §V.A "OOP
+/// Taint state of a value: for each vulnerability class, the *set* of input
+/// vectors the data flowed from ([`TaintLabels`]). `oop` records whether the
+/// flow passed through a CMS object method (the paper's §V.A "OOP
 /// vulnerabilities" count).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+///
+/// The former representation kept one `Option<SourceKind>` per class,
+/// resolving joins eagerly by vector priority. Labels defer that choice:
+/// joins union the sets, and [`Taint::kind_for`] recovers the identical
+/// priority winner ([`TaintLabels::primary`] — min over a union equals the
+/// iterated pairwise min), while the full set rides along for Table II and
+/// the `--explain` provenance tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
 pub struct Taint {
-    /// Tainted for XSS, with the originating vector.
-    pub xss: Option<SourceKind>,
-    /// Tainted for SQL injection, with the originating vector.
-    pub sqli: Option<SourceKind>,
+    /// Per-class label sets, indexed by [`VulnClass::index`].
+    pub labels: [TaintLabels; VulnClass::COUNT],
     /// The flow passed through a CMS framework object method.
     pub oop: bool,
 }
@@ -54,16 +30,14 @@ pub struct Taint {
 impl Taint {
     /// The bottom element: fully untainted.
     pub const CLEAN: Taint = Taint {
-        xss: None,
-        sqli: None,
+        labels: [TaintLabels::EMPTY; VulnClass::COUNT],
         oop: false,
     };
 
     /// A value tainted for every class from vector `kind`.
     pub fn from_source(kind: SourceKind) -> Taint {
         Taint {
-            xss: Some(kind),
-            sqli: Some(kind),
+            labels: [TaintLabels::single(kind); VulnClass::COUNT],
             oop: false,
         }
     }
@@ -79,28 +53,33 @@ impl Taint {
 
     /// Is the value dangerous for `class`?
     pub fn is_tainted(&self, class: VulnClass) -> bool {
-        self.kind_for(class).is_some()
+        !self.labels[class.index()].is_empty()
     }
 
     /// Is the value dangerous for any class?
     pub fn any(&self) -> bool {
-        self.xss.is_some() || self.sqli.is_some()
+        self.labels.iter().any(|l| !l.is_empty())
     }
 
-    /// The originating vector for `class`, if tainted.
+    /// The originating vector for `class`, if tainted: the highest-priority
+    /// member of the class's label set.
     pub fn kind_for(&self, class: VulnClass) -> Option<SourceKind> {
-        match class {
-            VulnClass::Xss => self.xss,
-            VulnClass::Sqli => self.sqli,
-        }
+        self.labels[class.index()].primary()
     }
 
-    /// Least upper bound: tainted if either side is, keeping the
-    /// higher-priority vector.
+    /// The full label set for `class` (every vector that reached the value).
+    pub fn labels_for(&self, class: VulnClass) -> TaintLabels {
+        self.labels[class.index()]
+    }
+
+    /// Least upper bound: per-class label-set union.
     pub fn join(self, other: Taint) -> Taint {
+        let mut labels = self.labels;
+        for (l, o) in labels.iter_mut().zip(other.labels) {
+            *l = l.union(o);
+        }
         Taint {
-            xss: join_kind(self.xss, other.xss),
-            sqli: join_kind(self.sqli, other.sqli),
+            labels,
             oop: self.oop || other.oop,
         }
     }
@@ -111,16 +90,9 @@ impl Taint {
         let mut kept = self;
         let mut removed = Taint::CLEAN;
         for &c in classes {
-            match c {
-                VulnClass::Xss => {
-                    removed.xss = join_kind(removed.xss, kept.xss);
-                    kept.xss = None;
-                }
-                VulnClass::Sqli => {
-                    removed.sqli = join_kind(removed.sqli, kept.sqli);
-                    kept.sqli = None;
-                }
-            }
+            let i = c.index();
+            removed.labels[i] = removed.labels[i].union(kept.labels[i]);
+            kept.labels[i] = TaintLabels::EMPTY;
         }
         removed.oop = self.oop && removed.any();
         (kept, removed)
@@ -130,6 +102,49 @@ impl Taint {
     pub fn with_oop(mut self) -> Taint {
         self.oop = true;
         self
+    }
+}
+
+// Manual serde impls: the offline serde shim has no `[T; N]` deserialize,
+// so the label array is written as a plain JSON array of bitset words.
+impl Serialize for Taint {
+    fn serialize(&self, s: &mut serde::Serializer) {
+        s.begin_obj();
+        s.key("labels");
+        s.begin_arr();
+        for l in &self.labels {
+            s.uint(l.0 as u64);
+        }
+        s.end_arr();
+        s.key("oop");
+        s.boolean(self.oop);
+        s.end_obj();
+    }
+}
+
+impl Deserialize for Taint {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| serde::Error::expected("object", "Taint"))?;
+        let arr = serde::obj_field(obj, "labels")
+            .as_arr()
+            .ok_or_else(|| serde::Error::expected("array", "Taint.labels"))?;
+        if arr.len() != VulnClass::COUNT {
+            return Err(serde::Error::msg(format!(
+                "expected {} label sets, got {}",
+                VulnClass::COUNT,
+                arr.len()
+            )));
+        }
+        let mut labels = [TaintLabels::EMPTY; VulnClass::COUNT];
+        for (slot, item) in labels.iter_mut().zip(arr) {
+            *slot = TaintLabels(u16::deserialize(item)?);
+        }
+        Ok(Taint {
+            labels,
+            oop: bool::deserialize(serde::obj_field(obj, "oop"))?,
+        })
     }
 }
 
@@ -223,18 +238,20 @@ mod tests {
     fn join_prefers_direct_vectors() {
         let db = Taint::from_source(SourceKind::Database);
         let get = Taint::from_source(SourceKind::Get);
-        assert_eq!(db.join(get).xss, Some(SourceKind::Get));
-        assert_eq!(get.join(db).xss, Some(SourceKind::Get));
+        assert_eq!(db.join(get).kind_for(VulnClass::Xss), Some(SourceKind::Get));
+        assert_eq!(get.join(db).kind_for(VulnClass::Xss), Some(SourceKind::Get));
+        // ... but both labels survive the join.
+        let labels = db.join(get).labels_for(VulnClass::Xss);
+        assert!(labels.contains(SourceKind::Get) && labels.contains(SourceKind::Database));
     }
 
     #[test]
     fn join_laws() {
+        // `b` is tainted for XSS only (a DB value escaped for SQL), and OOP.
+        let b = Taint::from_oop_source(SourceKind::Database)
+            .sanitize(&[VulnClass::Sqli])
+            .0;
         let a = Taint::from_source(SourceKind::Post);
-        let b = Taint {
-            xss: Some(SourceKind::Database),
-            sqli: None,
-            oop: true,
-        };
         let c = Taint::from_source(SourceKind::File);
         assert_eq!(a.join(b), b.join(a), "commutative");
         assert_eq!(a.join(b).join(c), a.join(b.join(c)), "associative");
@@ -255,11 +272,54 @@ mod tests {
     }
 
     #[test]
-    fn sanitize_both_classes() {
+    fn sanitize_both_paper_classes() {
         let t = Taint::from_source(SourceKind::Post);
-        let (kept, removed) = t.sanitize(&[VulnClass::Xss, VulnClass::Sqli]);
-        assert!(!kept.any());
+        let (kept, removed) = t.sanitize(&VulnClass::PAPER);
+        assert!(!kept.is_tainted(VulnClass::Xss) && !kept.is_tainted(VulnClass::Sqli));
+        // The registry has grown past the paper's two classes: the other
+        // labels survive a paper-classes-only sanitizer.
+        assert!(kept.any());
         assert!(removed.is_tainted(VulnClass::Xss) && removed.is_tainted(VulnClass::Sqli));
+    }
+
+    #[test]
+    fn xss_only_sanitizer_keeps_shell_injection_label() {
+        // The taxonomy's negative guarantee: HTML encoding says nothing
+        // about shell metacharacters — the CmdInjection label survives.
+        let t = Taint::from_source(SourceKind::Get);
+        let (kept, removed) = t.sanitize(&[VulnClass::Xss]);
+        assert!(!kept.is_tainted(VulnClass::Xss));
+        assert!(kept.is_tainted(VulnClass::CmdInjection));
+        assert!(kept.is_tainted(VulnClass::PathTraversal));
+        assert!(kept.is_tainted(VulnClass::Ssrf));
+        assert_eq!(
+            kept.labels_for(VulnClass::CmdInjection),
+            taint_config::TaintLabels::single(SourceKind::Get)
+        );
+        assert!(!removed.is_tainted(VulnClass::CmdInjection));
+    }
+
+    #[test]
+    fn full_registry_sanitize_clears_everything() {
+        let t = Taint::from_source(SourceKind::Post);
+        let (kept, removed) = t.sanitize(&VulnClass::ALL);
+        assert!(!kept.any());
+        for class in VulnClass::ALL {
+            assert!(removed.is_tainted(class));
+        }
+        assert_eq!(kept.join(removed), t, "revert restores all labels");
+    }
+
+    #[test]
+    fn taint_serde_roundtrip() {
+        let t = Taint::from_oop_source(SourceKind::Cookie)
+            .join(Taint::from_source(SourceKind::File))
+            .sanitize(&[VulnClass::Sqli])
+            .0;
+        let json = serde::to_json_string(&t, false);
+        let v = serde::parse_json(&json).expect("parse");
+        let back = <Taint as serde::Deserialize>::deserialize(&v).expect("deserialize");
+        assert_eq!(t, back);
     }
 
     #[test]

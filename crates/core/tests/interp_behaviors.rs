@@ -458,9 +458,14 @@ fn urlencode_then_urldecode_restores_taint() {
 
 #[test]
 fn shell_exec_string_joins_parts() {
-    // Backtick content with tainted interpolation evaluates tainted; echo
-    // of the (conservative) result is reported.
-    assert_eq!(count("<?php $o = `ls {$_GET['d']}`; echo $o;"), 1);
+    // Backtick content with tainted interpolation is itself a command
+    // injection sink, and the (conservative) result echoed is XSS.
+    let vulns = analyze("<?php $o = `ls {$_GET['d']}`; echo $o;").vulns;
+    assert_eq!(vulns.len(), 2);
+    assert!(vulns
+        .iter()
+        .any(|v| v.class == VulnClass::CmdInjection && v.sink == "`...`"));
+    assert!(vulns.iter().any(|v| v.class == VulnClass::Xss));
 }
 
 // ---------- sinks ----------

@@ -334,6 +334,94 @@ pub fn catalog() -> Vec<PluginSpec> {
 /// Carried monster vulnerabilities (shared ids across versions).
 pub const MONSTER_CARRIED: u32 = 65;
 
+/// The 6 plugin slugs of the taxonomy extension corpus.
+pub const TAXONOMY_PLUGIN_NAMES: [&str; 6] = [
+    "backup-commander",
+    "shell-toolkit",
+    "file-manager-lite",
+    "download-vault",
+    "redirect-gateway",
+    "remote-mirror",
+];
+
+/// Builds the taxonomy extension catalog: six plugins seeded with the
+/// extension-class patterns (command injection, path traversal, open
+/// redirect/SSRF), their class-specific sanitized negatives, and a small
+/// XSS/SQLi sliver so per-class tables cover all five registered classes.
+/// Deliberately disjoint from [`catalog`] — the paper-shape corpus and its
+/// pinned aggregates are not touched.
+pub fn taxonomy_catalog() -> Vec<PluginSpec> {
+    use crate::spec::Placement as L;
+    use Pattern as P;
+    use SourceKind as SK;
+    let pc = PatternCount::new;
+    let spec = |name: &str, style, patterns: Vec<PatternCount>| PluginSpec {
+        name: name.to_string(),
+        style,
+        patterns,
+        monster_depth: (0, 0),
+        monster_vulns: (0, 0),
+        oopify_2014: false,
+        closures_2014: false,
+        noise: (12, 16),
+    };
+    vec![
+        spec(
+            "backup-commander",
+            Style::Procedural,
+            vec![
+                pc(P::CmdiShellExec(SK::Get, L::TopLevel), 4, 5, 2),
+                pc(P::CmdiShellExec(SK::Post, L::FreeFn), 3, 4, 1),
+                pc(P::CmdiXssSanitized, 2, 3, 1),
+                pc(P::FpCmdiEscaped, 3, 3, 0),
+            ],
+        ),
+        spec(
+            "shell-toolkit",
+            Style::Oop,
+            vec![
+                pc(P::CmdiShellExec(SK::Request, L::Method), 3, 4, 2),
+                pc(P::FpCmdiEscaped, 1, 2, 0),
+            ],
+        ),
+        spec(
+            "file-manager-lite",
+            Style::Procedural,
+            vec![
+                pc(P::PathTravReadfile(SK::Get, L::TopLevel), 4, 6, 2),
+                pc(P::FpPathBasename, 3, 4, 0),
+            ],
+        ),
+        spec(
+            "download-vault",
+            Style::Oop,
+            vec![
+                pc(P::PathTravReadfile(SK::Post, L::Method), 3, 4, 1),
+                pc(P::PathTravReadfile(SK::Get, L::FreeFn), 2, 3, 1),
+            ],
+        ),
+        spec(
+            "redirect-gateway",
+            Style::Procedural,
+            vec![
+                pc(P::SsrfRedirect(SK::Get), 4, 5, 2),
+                pc(P::SsrfRedirect(SK::Request), 2, 2, 1),
+                pc(P::FpSsrfEscUrl, 3, 3, 0),
+            ],
+        ),
+        spec(
+            "remote-mirror",
+            Style::Oop,
+            vec![
+                pc(P::SsrfFetch(L::TopLevel), 3, 4, 1),
+                pc(P::SsrfFetch(L::FreeFn), 2, 3, 1),
+                pc(P::XssEchoDirect(SK::Get, L::TopLevel), 2, 2, 1),
+                pc(P::SqliWpdb(L::TopLevel), 1, 1, 1),
+            ],
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +505,43 @@ mod tests {
         assert_eq!(monsters.len(), 1);
         assert_eq!(monsters[0].name, "media-archive-pro");
         assert_eq!(monsters[0].monster_depth, (13, 15));
+    }
+
+    #[test]
+    fn taxonomy_catalog_covers_every_extension_class() {
+        use taint_config::VulnClass;
+        let cat = taxonomy_catalog();
+        assert_eq!(cat.len(), TAXONOMY_PLUGIN_NAMES.len());
+        let total = |class: VulnClass, v: Version| -> u32 {
+            cat.iter()
+                .flat_map(|p| &p.patterns)
+                .filter(|pc| pc.pattern.truth().map(|t| t.0) == Some(class))
+                .map(|pc| pc.for_version(v))
+                .sum()
+        };
+        assert_eq!(total(VulnClass::CmdInjection, Version::V2012), 12);
+        assert_eq!(total(VulnClass::CmdInjection, Version::V2014), 16);
+        assert_eq!(total(VulnClass::PathTraversal, Version::V2012), 9);
+        assert_eq!(total(VulnClass::PathTraversal, Version::V2014), 13);
+        assert_eq!(total(VulnClass::Ssrf, Version::V2012), 11);
+        assert_eq!(total(VulnClass::Ssrf, Version::V2014), 14);
+        // A sliver of the paper's classes rides along for comparison rows.
+        assert_eq!(total(VulnClass::Xss, Version::V2012), 2);
+        assert_eq!(total(VulnClass::Sqli, Version::V2012), 1);
+        // Every plugin hosts at least one sanitized negative or positive.
+        for p in &cat {
+            assert!(!p.patterns.is_empty(), "{}", p.name);
+            for pc in &p.patterns {
+                assert!(pc.carried <= pc.n2012.min(pc.n2014), "{:?}", pc);
+            }
+        }
+    }
+
+    #[test]
+    fn taxonomy_names_disjoint_from_main_catalog() {
+        for name in TAXONOMY_PLUGIN_NAMES {
+            assert!(!PLUGIN_NAMES.contains(&name), "{name} collides");
+        }
     }
 
     #[test]

@@ -353,6 +353,123 @@ pub fn emit(
             b.blank();
             0
         }
+        Pattern::CmdiShellExec(kind, placement) => {
+            let sg = superglobal(kind);
+            match placement {
+                Placement::TopLevel => {
+                    b.push(format!("{v} = {sg}['{key}'];"));
+                    let line = b.push(format!("shell_exec('tar czf backup.tar ' . {v});"));
+                    b.blank();
+                    ctx.record(id, pattern, &file, line, carried, numeric);
+                    line
+                }
+                Placement::FreeFn => {
+                    b.push(format!("function run_{key}() {{"));
+                    b.push(format!("    {v} = {sg}['{key}'];"));
+                    let line = b.push(format!("    shell_exec('convert uploads/' . {v});"));
+                    b.push("}");
+                    b.push(format!("add_action('admin_init', 'run_{key}');"));
+                    b.blank();
+                    ctx.record(id, pattern, &file, line, carried, numeric);
+                    line
+                }
+                Placement::Method => {
+                    b.push(format!("{method_vis}function archive_{key}() {{"));
+                    b.push(format!("{pad}    {v} = {sg}['{key}'];"));
+                    let line = b.push(format!("{pad}    shell_exec('zip -r site.zip ' . {v});"));
+                    b.push(format!("{pad}}}"));
+                    ctx.record(id, pattern, &file, line, carried, numeric);
+                    line
+                }
+            }
+        }
+        Pattern::CmdiXssSanitized => {
+            // esc_html protects markup only; the shell context is untouched.
+            b.push(format!("{v} = esc_html($_GET['{key}']);"));
+            let line = b.push(format!("shell_exec('echo ' . {v} . ' >> audit.log');"));
+            b.blank();
+            ctx.record(id, pattern, &file, line, carried, numeric);
+            line
+        }
+        Pattern::PathTravReadfile(kind, placement) => {
+            let sg = superglobal(kind);
+            match placement {
+                Placement::FreeFn => {
+                    b.push(format!("function serve_{key}() {{"));
+                    b.push(format!("    {v} = {sg}['{key}'];"));
+                    let line = b.push(format!("    readfile('uploads/' . {v});"));
+                    b.push("}");
+                    b.push(format!("add_action('init', 'serve_{key}');"));
+                    b.blank();
+                    ctx.record(id, pattern, &file, line, carried, numeric);
+                    line
+                }
+                Placement::Method => {
+                    b.push(format!("{method_vis}function download_{key}() {{"));
+                    b.push(format!("{pad}    {v} = {sg}['{key}'];"));
+                    let line = b.push(format!("{pad}    readfile('files/' . {v});"));
+                    b.push(format!("{pad}}}"));
+                    ctx.record(id, pattern, &file, line, carried, numeric);
+                    line
+                }
+                Placement::TopLevel => {
+                    b.push(format!("{v} = {sg}['{key}'];"));
+                    let line = b.push(format!("readfile('uploads/' . {v});"));
+                    b.blank();
+                    ctx.record(id, pattern, &file, line, carried, numeric);
+                    line
+                }
+            }
+        }
+        Pattern::SsrfRedirect(kind) => {
+            let sg = superglobal(kind);
+            b.push(format!("{v} = {sg}['{key}'];"));
+            let line = b.push(format!("wp_redirect({v});"));
+            b.push("exit;");
+            b.blank();
+            ctx.record(id, pattern, &file, line, carried, numeric);
+            line
+        }
+        Pattern::SsrfFetch(placement) => match placement {
+            Placement::FreeFn => {
+                b.push(format!("function fetch_{key}() {{"));
+                b.push(format!("    {v} = $_GET['{key}'];"));
+                let line = b.push(format!(
+                    "    $resp_{ordinal} = wp_remote_get('https://mirror.example/' . {v});"
+                ));
+                b.push("}");
+                b.push(format!("add_action('init', 'fetch_{key}');"));
+                b.blank();
+                ctx.record(id, pattern, &file, line, carried, numeric);
+                line
+            }
+            _ => {
+                b.push(format!("{v} = $_GET['{key}'];"));
+                let line = b.push(format!(
+                    "$resp_{ordinal} = wp_remote_get('https://mirror.example/' . {v});"
+                ));
+                b.blank();
+                ctx.record(id, pattern, &file, line, carried, numeric);
+                line
+            }
+        },
+        Pattern::FpCmdiEscaped => {
+            b.push(format!(
+                "shell_exec('ls -l ' . escapeshellarg($_GET['{key}']));"
+            ));
+            b.blank();
+            0
+        }
+        Pattern::FpPathBasename => {
+            b.push(format!("readfile('uploads/' . basename($_GET['{key}']));"));
+            b.blank();
+            0
+        }
+        Pattern::FpSsrfEscUrl => {
+            b.push(format!("wp_redirect(esc_url_raw($_GET['{key}']));"));
+            b.blank();
+            0
+        }
         Pattern::FpEscapedWp(_) => {
             b.push(format!(
                 "echo '<span>' . esc_html($_GET['{key}']) . '</span>';"
@@ -539,6 +656,17 @@ mod tests {
             P::XssFileSource(L::TopLevel),
             P::XssFunctionSource(L::FreeFn),
             P::XssIncludeSplit,
+            P::CmdiShellExec(SourceKind::Get, L::TopLevel),
+            P::CmdiShellExec(SourceKind::Post, L::FreeFn),
+            P::CmdiXssSanitized,
+            P::PathTravReadfile(SourceKind::Get, L::TopLevel),
+            P::PathTravReadfile(SourceKind::Post, L::FreeFn),
+            P::SsrfRedirect(SourceKind::Get),
+            P::SsrfFetch(L::TopLevel),
+            P::SsrfFetch(L::FreeFn),
+            P::FpCmdiEscaped,
+            P::FpPathBasename,
+            P::FpSsrfEscUrl,
             P::FpEscapedWp(L::TopLevel),
             P::FpGuardedEcho(L::TopLevel),
             P::FpCustomClean(L::TopLevel),
@@ -598,6 +726,42 @@ mod tests {
         let sink_line = truth[0].line as usize;
         let line = file.content.lines().nth(sink_line - 1).expect("line");
         assert!(line.contains("echo"), "sink line must be the echo: {line}");
+    }
+
+    #[test]
+    fn taxonomy_truth_lines_point_at_class_sinks() {
+        use crate::spec::{Pattern as P, Placement as L};
+        let cases: [(P, &str); 5] = [
+            (P::CmdiShellExec(SourceKind::Get, L::TopLevel), "shell_exec"),
+            (P::CmdiXssSanitized, "shell_exec"),
+            (P::PathTravReadfile(SourceKind::Post, L::FreeFn), "readfile"),
+            (P::SsrfRedirect(SourceKind::Request), "wp_redirect"),
+            (P::SsrfFetch(L::TopLevel), "wp_remote_get"),
+        ];
+        for (i, (p, sink)) in cases.iter().enumerate() {
+            let (file, truth) = ctx_harness(|b, ctx| {
+                emit(*p, &format!("tx{i}"), i as u32, false, b, ctx);
+            });
+            assert_eq!(truth.len(), 1, "{p:?}");
+            let line = file
+                .content
+                .lines()
+                .nth(truth[0].line as usize - 1)
+                .expect("sink line");
+            assert!(line.contains(sink), "{p:?}: {line}");
+        }
+    }
+
+    #[test]
+    fn taxonomy_negatives_record_no_truth() {
+        use crate::spec::Pattern as P;
+        let (file, truth) = ctx_harness(|b, ctx| {
+            emit(P::FpCmdiEscaped, "n1", 0, false, b, ctx);
+            emit(P::FpPathBasename, "n2", 1, false, b, ctx);
+            emit(P::FpSsrfEscUrl, "n3", 2, false, b, ctx);
+        });
+        assert!(truth.is_empty());
+        assert!(php_ast::parse(&file.content).is_clean());
     }
 
     #[test]

@@ -50,6 +50,20 @@ impl Corpus {
         Corpus { plugins }
     }
 
+    /// Generates the taxonomy extension corpus: a separate plugin set
+    /// exercising the extension vulnerability classes (command injection,
+    /// path traversal, open redirect/SSRF) plus a sliver of the paper's
+    /// two classes for per-class comparison. Kept apart from
+    /// [`Corpus::generate`] so the paper-shape aggregates (394/585, Table
+    /// I–III, Fig. 2) stay byte-identical.
+    pub fn generate_taxonomy() -> Corpus {
+        let plugins = crate::catalog::taxonomy_catalog()
+            .into_iter()
+            .map(generate_plugin)
+            .collect();
+        Corpus { plugins }
+    }
+
     /// Generated plugins in catalog order.
     pub fn plugins(&self) -> &[GeneratedPlugin] {
         &self.plugins
@@ -96,7 +110,9 @@ fn route(p: Pattern) -> Route {
         | P::XssFunctionSource(L::Method)
         | P::FpEscapedWp(L::Method)
         | P::FpGuardedEcho(L::Method)
-        | P::FpCustomClean(L::Method) => Route::Class,
+        | P::FpCustomClean(L::Method)
+        | P::CmdiShellExec(_, L::Method)
+        | P::PathTravReadfile(_, L::Method) => Route::Class,
         P::XssEchoDirect(_, L::FreeFn)
         | P::XssDbLegacy(L::FreeFn)
         | P::XssDbOption(L::FreeFn)
@@ -104,7 +120,10 @@ fn route(p: Pattern) -> Route {
         | P::XssFunctionSource(L::FreeFn)
         | P::FpEscapedWp(L::FreeFn)
         | P::FpGuardedEcho(L::FreeFn)
-        | P::FpCustomClean(L::FreeFn) => Route::Functions,
+        | P::FpCustomClean(L::FreeFn)
+        | P::CmdiShellExec(_, L::FreeFn)
+        | P::PathTravReadfile(_, L::FreeFn)
+        | P::SsrfFetch(L::FreeFn) => Route::Functions,
         P::XssIncludeSplit => Route::IncludeSplit,
         _ => Route::Top,
     }
@@ -515,6 +534,71 @@ mod tests {
                     .unwrap_or_else(|| panic!("{}:{} out of range", t.file, t.line));
                 assert!(
                     line.contains("echo") || line.contains("->query("),
+                    "sink line mismatch {}:{}: {line}",
+                    t.file,
+                    t.line
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn taxonomy_corpus_is_deterministic_and_parses() {
+        let a = Corpus::generate_taxonomy();
+        let b = Corpus::generate_taxonomy();
+        assert_eq!(a.plugins().len(), 6);
+        for (pa, pb) in a.plugins().iter().zip(b.plugins()) {
+            assert_eq!(pa.v2012, pb.v2012);
+            assert_eq!(pa.v2014, pb.v2014);
+            assert_eq!(pa.truth, pb.truth);
+        }
+        for p in a.plugins() {
+            for v in Version::ALL {
+                for f in p.project(v).files() {
+                    let ast = php_ast::parse(&f.content);
+                    assert!(ast.is_clean(), "{}/{}: {:?}", p.name, f.path, ast.errors);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn taxonomy_ground_truth_totals_per_class() {
+        let c = Corpus::generate_taxonomy();
+        let count = |v, class| c.truth_for(v).iter().filter(|t| t.class == class).count();
+        assert_eq!(count(Version::V2012, VulnClass::CmdInjection), 12);
+        assert_eq!(count(Version::V2014, VulnClass::CmdInjection), 16);
+        assert_eq!(count(Version::V2012, VulnClass::PathTraversal), 9);
+        assert_eq!(count(Version::V2014, VulnClass::PathTraversal), 13);
+        assert_eq!(count(Version::V2012, VulnClass::Ssrf), 11);
+        assert_eq!(count(Version::V2014, VulnClass::Ssrf), 14);
+        assert_eq!(count(Version::V2012, VulnClass::Xss), 2);
+        assert_eq!(count(Version::V2012, VulnClass::Sqli), 1);
+    }
+
+    #[test]
+    fn taxonomy_truth_lines_name_their_class_sink() {
+        let c = Corpus::generate_taxonomy();
+        for p in c.plugins() {
+            for t in &p.truth {
+                let f = p
+                    .project(t.version)
+                    .find_file(&t.file)
+                    .unwrap_or_else(|| panic!("file {} missing", t.file));
+                let line = f
+                    .content
+                    .lines()
+                    .nth(t.line as usize - 1)
+                    .unwrap_or_else(|| panic!("{}:{} out of range", t.file, t.line));
+                let expected: &[&str] = match t.class {
+                    VulnClass::Xss => &["echo"],
+                    VulnClass::Sqli => &["->query("],
+                    VulnClass::CmdInjection => &["shell_exec"],
+                    VulnClass::PathTraversal => &["readfile"],
+                    VulnClass::Ssrf => &["wp_redirect", "wp_remote_get"],
+                };
+                assert!(
+                    expected.iter().any(|s| line.contains(s)),
                     "sink line mismatch {}:{}: {line}",
                     t.file,
                     t.line

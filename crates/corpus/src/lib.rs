@@ -30,7 +30,9 @@ mod codegen;
 mod generate;
 mod spec;
 
-pub use catalog::{catalog, MONSTER_CARRIED, PLUGIN_NAMES};
+pub use catalog::{
+    catalog, taxonomy_catalog, MONSTER_CARRIED, PLUGIN_NAMES, TAXONOMY_PLUGIN_NAMES,
+};
 pub use codegen::{emit_noise, emit_plugin_header, FileBuilder};
 pub use generate::{Corpus, GeneratedPlugin};
 pub use spec::{GroundTruthEntry, Pattern, PatternCount, Placement, PluginSpec, Style, Version};

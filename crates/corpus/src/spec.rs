@@ -82,6 +82,21 @@ pub enum Pattern {
     /// Tainted variable set in one file, echoed in an `include`d file —
     /// requires include resolution (phpSAFE-only).
     XssIncludeSplit,
+    /// `shell_exec('cmd ' . $v)` with `$v` from the given vector —
+    /// command injection (taxonomy extension class).
+    CmdiShellExec(SourceKind, Placement),
+    /// `shell_exec` on an `esc_html()`-wrapped value — still vulnerable:
+    /// HTML encoding is inert in a shell context, so the command-injection
+    /// label survives the XSS-only sanitizer.
+    CmdiXssSanitized,
+    /// `readfile('uploads/' . $v)` — path traversal through a filesystem
+    /// sink (taxonomy extension class).
+    PathTravReadfile(SourceKind, Placement),
+    /// `wp_redirect($v)` — open redirect (taxonomy extension class).
+    SsrfRedirect(SourceKind),
+    /// `wp_remote_get('https://...' . $v)` — server-side request forgery
+    /// through an HTTP fetch (taxonomy extension class).
+    SsrfFetch(Placement),
     /// NEGATIVE: `echo esc_html($_GET[...])` — safe, but tools without the
     /// WordPress profile (RIPS, Pixy) report it.
     FpEscapedWp(Placement),
@@ -101,6 +116,15 @@ pub enum Pattern {
     /// file that also uses OOP — RIPS (no WP profile) reports it; Pixy
     /// rejects the file.
     FpSqliLegacyWp,
+    /// NEGATIVE: `shell_exec` on `escapeshellarg(...)` output — the
+    /// class-specific sanitizer clears the shell label.
+    FpCmdiEscaped,
+    /// NEGATIVE: `readfile` on `basename(...)` output — path
+    /// canonicalization clears the traversal label.
+    FpPathBasename,
+    /// NEGATIVE: `wp_redirect` on `esc_url_raw(...)` output — URL
+    /// validation clears the redirect/SSRF label.
+    FpSsrfEscUrl,
     /// Inert: properly sanitized output with PHP built-ins.
     SafeSanitized,
 }
@@ -120,8 +144,14 @@ impl Pattern {
             XssFileSource(_) => Some((VulnClass::Xss, SourceKind::File, false)),
             XssFunctionSource(_) => Some((VulnClass::Xss, SourceKind::Function, false)),
             XssIncludeSplit => Some((VulnClass::Xss, SourceKind::Get, false)),
+            CmdiShellExec(kind, _) => Some((VulnClass::CmdInjection, *kind, false)),
+            CmdiXssSanitized => Some((VulnClass::CmdInjection, SourceKind::Get, false)),
+            PathTravReadfile(kind, _) => Some((VulnClass::PathTraversal, *kind, false)),
+            SsrfRedirect(kind) => Some((VulnClass::Ssrf, *kind, false)),
+            SsrfFetch(_) => Some((VulnClass::Ssrf, SourceKind::Get, false)),
             FpEscapedWp(_) | FpGuardedEcho(_) | FpCustomClean(_) | FpUndefinedEcho
-            | FpSqliGuarded | FpSqliLegacyWp | SafeSanitized => None,
+            | FpSqliGuarded | FpSqliLegacyWp | FpCmdiEscaped | FpPathBasename | FpSsrfEscUrl
+            | SafeSanitized => None,
         }
     }
 
@@ -144,6 +174,8 @@ impl Pattern {
                 | FpEscapedWp(Placement::Method)
                 | FpGuardedEcho(Placement::Method)
                 | FpCustomClean(Placement::Method)
+                | CmdiShellExec(_, Placement::Method)
+                | PathTravReadfile(_, Placement::Method)
         )
     }
 }
@@ -273,6 +305,35 @@ mod tests {
         );
         assert_eq!(Pattern::FpEscapedWp(Placement::TopLevel).truth(), None);
         assert_eq!(Pattern::SafeSanitized.truth(), None);
+    }
+
+    #[test]
+    fn taxonomy_pattern_truth_classification() {
+        assert_eq!(
+            Pattern::CmdiShellExec(SK::Post, Placement::TopLevel).truth(),
+            Some((VulnClass::CmdInjection, SK::Post, false))
+        );
+        assert_eq!(
+            Pattern::CmdiXssSanitized.truth(),
+            Some((VulnClass::CmdInjection, SK::Get, false))
+        );
+        assert_eq!(
+            Pattern::PathTravReadfile(SK::Get, Placement::Method).truth(),
+            Some((VulnClass::PathTraversal, SK::Get, false))
+        );
+        assert_eq!(
+            Pattern::SsrfRedirect(SK::Request).truth(),
+            Some((VulnClass::Ssrf, SK::Request, false))
+        );
+        assert_eq!(
+            Pattern::SsrfFetch(Placement::FreeFn).truth(),
+            Some((VulnClass::Ssrf, SK::Get, false))
+        );
+        assert_eq!(Pattern::FpCmdiEscaped.truth(), None);
+        assert_eq!(Pattern::FpPathBasename.truth(), None);
+        assert_eq!(Pattern::FpSsrfEscUrl.truth(), None);
+        assert!(Pattern::CmdiShellExec(SK::Get, Placement::Method).emits_oop_syntax());
+        assert!(!Pattern::SsrfRedirect(SK::Get).emits_oop_syntax());
     }
 
     #[test]

@@ -13,10 +13,11 @@ use crate::graph::{Edge, EdgeKind, Node, NodeId, SinkRecord, TaintGraph};
 use php_ast::codec::{CodecError, Reader, Writer};
 use phpsafe_intern::{FnvHashMap, Symbol};
 use phpsafe_obs::TaintEventKind;
-use taint_config::{SourceKind, VulnClass};
+use taint_config::{SourceKind, TaintLabels, VulnClass};
 
 /// Bumped on any change to the encoding below.
-const VERSION: u8 = 1;
+/// v2: the full taxonomy registry in `enc_class` plus a per-sink label word.
+const VERSION: u8 = 2;
 
 type Result<T> = std::result::Result<T, CodecError>;
 
@@ -81,6 +82,9 @@ fn enc_class(c: VulnClass) -> u8 {
     match c {
         VulnClass::Xss => 0,
         VulnClass::Sqli => 1,
+        VulnClass::CmdInjection => 2,
+        VulnClass::PathTraversal => 3,
+        VulnClass::Ssrf => 4,
     }
 }
 
@@ -88,8 +92,19 @@ fn dec_class(r: &mut Reader<'_>) -> Result<VulnClass> {
     Ok(match r.u8()? {
         0 => VulnClass::Xss,
         1 => VulnClass::Sqli,
+        2 => VulnClass::CmdInjection,
+        3 => VulnClass::PathTraversal,
+        4 => VulnClass::Ssrf,
         _ => fail(r, "invalid vuln class")?,
     })
+}
+
+fn dec_labels(r: &mut Reader<'_>) -> Result<TaintLabels> {
+    let bits = r.u32()?;
+    if bits > u16::MAX as u32 {
+        return fail(r, "invalid taint label bits");
+    }
+    Ok(TaintLabels(bits as u16))
 }
 
 fn enc_source_kind(k: SourceKind) -> u8 {
@@ -170,6 +185,7 @@ pub fn encode_graph_into(w: &mut Writer, g: &TaintGraph) {
         w.str(&s.sink);
         w.str(&s.var);
         w.u8(enc_source_kind(s.source_kind));
+        w.u32(s.labels.0 as u32);
         w.bool(s.via_oop);
         w.bool(s.numeric_hint);
         w.u64(s.path.len() as u64);
@@ -255,7 +271,7 @@ pub fn decode_graph_from(r: &mut Reader<'_>) -> Result<TaintGraph> {
         edges.push(Edge { from, to, kind });
     }
 
-    let sink_count = checked_count(r, 25, "sink count exceeds input")?;
+    let sink_count = checked_count(r, 29, "sink count exceeds input")?;
     let mut sinks = Vec::with_capacity(sink_count);
     for _ in 0..sink_count {
         let class = dec_class(r)?;
@@ -264,6 +280,7 @@ pub fn decode_graph_from(r: &mut Reader<'_>) -> Result<TaintGraph> {
         let sink = r.str()?;
         let var = r.str()?;
         let source_kind = dec_source_kind(r)?;
+        let labels = dec_labels(r)?;
         let via_oop = r.bool()?;
         let numeric_hint = r.bool()?;
         let path_len = checked_count(r, 4, "path count exceeds input")?;
@@ -279,6 +296,7 @@ pub fn decode_graph_from(r: &mut Reader<'_>) -> Result<TaintGraph> {
             sink,
             var,
             source_kind,
+            labels,
             via_oop,
             numeric_hint,
             path,
@@ -329,6 +347,7 @@ mod tests {
                 sink: "echo",
                 var: "$id",
                 source_kind: SourceKind::Get,
+                labels: TaintLabels::single(SourceKind::Get),
                 via_oop: false,
                 numeric_hint: false,
             },
@@ -347,6 +366,8 @@ mod tests {
                 sink: "mysql_query",
                 var: "$q",
                 source_kind: SourceKind::Post,
+                labels: TaintLabels::single(SourceKind::Post)
+                    .union(TaintLabels::single(SourceKind::Database)),
                 via_oop: true,
                 numeric_hint: true,
             },
@@ -428,5 +449,20 @@ mod tests {
         assert_eq!(sqli.len(), 1);
         assert_eq!(xss[0].seq, 0);
         assert_eq!(sqli[0].seq, 1);
+    }
+
+    #[test]
+    fn query_labeled_filters_by_source_label() {
+        let g = sample_graph();
+        // The SQLi sink carries {POST,DB}; a GET mask must drop it while a
+        // DB mask keeps it, and the unfiltered query stays the superset.
+        let get = TaintLabels::single(SourceKind::Get);
+        let db = TaintLabels::single(SourceKind::Database);
+        assert!(g.query_labeled(VulnClass::Sqli, get).is_empty());
+        assert_eq!(g.query_labeled(VulnClass::Sqli, db).len(), 1);
+        assert_eq!(
+            g.query_labeled(VulnClass::Sqli, TaintLabels::all()),
+            g.query(VulnClass::Sqli)
+        );
     }
 }

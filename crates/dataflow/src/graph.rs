@@ -3,7 +3,7 @@
 use phpsafe_intern::{FnvHashMap, Symbol};
 use phpsafe_obs::TaintEventKind;
 use std::collections::VecDeque;
-use taint_config::{SourceKind, VulnClass};
+use taint_config::{SourceKind, TaintLabels, VulnClass};
 
 /// Index of a [`Node`] in its graph. Nodes are appended in walk order, so
 /// ids double as event sequence numbers.
@@ -114,6 +114,9 @@ pub struct SinkRecord {
     pub var: String,
     /// Where the taint originally entered.
     pub source_kind: SourceKind,
+    /// Every source kind that contributed to the sunk value's class label
+    /// (`source_kind` is this set's highest-priority member).
+    pub labels: TaintLabels,
     /// Whether the flow passed through an OOP construct.
     pub via_oop: bool,
     /// Whether the sunk expression looks numerically constrained.
@@ -166,6 +169,18 @@ impl TaintGraph {
     /// sink site through propagation edges. Records `dataflow.queries`
     /// and one `dataflow.path_hits` per surviving sink.
     pub fn query(&self, class: VulnClass) -> Vec<QueryHit> {
+        self.query_where(|rec| rec.class == class)
+    }
+
+    /// Like [`TaintGraph::query`], but keeps only sinks whose label set
+    /// intersects `mask` — e.g. "every SQLi sink fed (at least partly) by
+    /// `$_GET` data". Both queries share the same graph build; only the
+    /// sink filter differs.
+    pub fn query_labeled(&self, class: VulnClass, mask: TaintLabels) -> Vec<QueryHit> {
+        self.query_where(|rec| rec.class == class && rec.labels.intersects(mask))
+    }
+
+    fn query_where(&self, keep: impl Fn(&SinkRecord) -> bool) -> Vec<QueryHit> {
         phpsafe_obs::count("dataflow.queries", 1);
         let adj = self.adjacency();
         // One stamped visited buffer shared by every sink's BFS: bumping
@@ -175,7 +190,7 @@ impl TaintGraph {
         let mut stamp = 0u32;
         let mut hits = Vec::new();
         for (seq, rec) in self.sinks.iter().enumerate() {
-            if rec.class != class {
+            if !keep(rec) {
                 continue;
             }
             let reachable = match (rec.path.first(), rec.path.last()) {

@@ -3,7 +3,7 @@
 use crate::graph::{Edge, EdgeKind, Node, NodeId, SinkRecord, TaintGraph};
 use phpsafe_intern::{FnvHashMap, FnvHashSet, Symbol};
 use phpsafe_obs::TaintEventKind;
-use taint_config::{SourceKind, VulnClass};
+use taint_config::{SourceKind, TaintLabels, VulnClass};
 
 /// The sink-level fields of one reported vulnerability (everything except
 /// the provenance path, which the recorder derives itself).
@@ -21,6 +21,8 @@ pub struct SinkInfo<'a> {
     pub var: &'a str,
     /// Where the taint entered.
     pub source_kind: SourceKind,
+    /// Every source kind that contributed to the sunk value's class label.
+    pub labels: TaintLabels,
     /// Whether the flow passed through an OOP construct.
     pub via_oop: bool,
     /// Whether the sunk expression looks numerically constrained.
@@ -124,6 +126,7 @@ impl Recorder {
             sink: info.sink.to_string(),
             var: info.var.to_string(),
             source_kind: info.source_kind,
+            labels: info.labels,
             via_oop: info.via_oop,
             numeric_hint: info.numeric_hint,
             path,

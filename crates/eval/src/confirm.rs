@@ -75,6 +75,7 @@ pub fn confirm_corpus(corpus: &Corpus, version: Version) -> ConfirmationStats {
                 sink: String::new(),
                 var: String::new(),
                 source_kind: vector,
+                labels: taint_config::TaintLabels::single(vector),
                 via_oop: false,
                 numeric_hint: false,
                 trace: vec![],

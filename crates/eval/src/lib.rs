@@ -23,6 +23,7 @@ pub mod metrics;
 pub mod oracle;
 pub mod runner;
 pub mod tables;
+pub mod taxonomy;
 
 pub use ablations::{ablation_report, run_ablations, Ablation, AblationResult};
 pub use confirm::{confirm_corpus, confirmation_report, smoke_attack, ConfirmationStats};
@@ -32,3 +33,4 @@ pub use metrics::{pct, Metrics, RecallMode};
 pub use oracle::{verify, MatchResult};
 pub use phpsafe_obs::Snapshot;
 pub use runner::{Evaluation, ToolCell, TOOLS};
+pub use taxonomy::{record_taxonomy_metrics, run_taxonomy, taxonomy_report};

@@ -92,6 +92,7 @@ mod tests {
             sink: "echo".into(),
             var: "$x".into(),
             source_kind: SourceKind::Get,
+            labels: taint_config::TaintLabels::single(SourceKind::Get),
             via_oop: false,
             numeric_hint: false,
             trace: vec![],

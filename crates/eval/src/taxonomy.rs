@@ -1,0 +1,177 @@
+//! Per-class evaluation of the vulnerability-class taxonomy (the three
+//! extension classes plus the paper's two) over the dedicated taxonomy
+//! corpus ([`phpsafe_corpus::Corpus::generate_taxonomy`]).
+//!
+//! The paper's corpus and its pinned aggregates (Tables I–III, Fig. 2)
+//! are deliberately untouched: the extension classes are measured on
+//! their own seeded plugin set, with the same exact oracle.
+
+use crate::metrics::{pct, Metrics, RecallMode};
+use crate::runner::{Evaluation, TOOLS};
+use phpsafe_corpus::{Corpus, Version};
+use std::fmt::Write as _;
+use taint_config::VulnClass;
+
+/// Runs the three tools over the taxonomy extension corpus.
+pub fn run_taxonomy() -> Evaluation {
+    Evaluation::run_with(Corpus::generate_taxonomy())
+}
+
+/// Per-class metrics of one tool on the taxonomy corpus (full
+/// ground-truth recall — the seeded oracle is exhaustive by construction,
+/// so the paper's optimistic union denominator is unnecessary here).
+pub fn class_metrics(e: &Evaluation, tool: &str, version: Version, class: VulnClass) -> Metrics {
+    e.metrics(tool, version, Some(class), RecallMode::FullGroundTruth)
+}
+
+/// Renders the per-class precision/recall table over the taxonomy corpus.
+pub fn taxonomy_report(e: &Evaluation) -> String {
+    let mut out = String::from(
+        "TAXONOMY. PER-CLASS DETECTION ON THE EXTENSION CORPUS (full ground-truth FN)\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:16}{:10}|{:>6}|{:>6}|{:>6}|{:>8}|{:>8}|{:>8}|",
+        "Class", "Tool", "Truth", "TP", "FP", "Prec.", "Recall", "F-score"
+    );
+    for version in Version::ALL {
+        let _ = writeln!(out, "-- {version} --");
+        for class in VulnClass::ALL {
+            let truth = e
+                .corpus()
+                .truth_for(version)
+                .iter()
+                .filter(|t| t.class == class)
+                .count();
+            for tool in TOOLS {
+                let m = class_metrics(e, tool, version, class);
+                let _ = writeln!(
+                    out,
+                    "{:16}{:10}|{:>6}|{:>6}|{:>6}|{:>8}|{:>8}|{:>8}|",
+                    class.slug(),
+                    tool,
+                    truth,
+                    m.tp,
+                    m.fp,
+                    pct(m.precision()),
+                    pct(m.recall()),
+                    pct(m.f_score())
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Publishes the `taxonomy.*` metric family from a taxonomy evaluation:
+/// the registry size as a counter, and per class the 2014 ground-truth
+/// size and phpSAFE's TP/FP counts as gauges (gauge names may be runtime
+/// strings). No-op unless [`phpsafe_obs::set_enabled`] is on.
+pub fn record_taxonomy_metrics(e: &Evaluation) {
+    phpsafe_obs::count("taxonomy.classes", VulnClass::COUNT as u64);
+    for class in VulnClass::ALL {
+        let truth = e
+            .corpus()
+            .truth_for(Version::V2014)
+            .iter()
+            .filter(|t| t.class == class)
+            .count();
+        let m = class_metrics(e, "phpSAFE", Version::V2014, class);
+        let slug = class.slug();
+        phpsafe_obs::gauge(&format!("taxonomy.truth.{slug}"), truth as u64);
+        phpsafe_obs::gauge(&format!("taxonomy.tp.{slug}"), m.tp as u64);
+        phpsafe_obs::gauge(&format!("taxonomy.fp.{slug}"), m.fp as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn eval() -> &'static Evaluation {
+        static EVAL: OnceLock<Evaluation> = OnceLock::new();
+        EVAL.get_or_init(run_taxonomy)
+    }
+
+    #[test]
+    fn phpsafe_has_perfect_recall_on_extension_classes() {
+        let e = eval();
+        for class in [
+            VulnClass::CmdInjection,
+            VulnClass::PathTraversal,
+            VulnClass::Ssrf,
+        ] {
+            for v in Version::ALL {
+                let m = class_metrics(e, "phpSAFE", v, class);
+                assert_eq!(
+                    m.recall(),
+                    Some(1.0),
+                    "{class:?} {v:?}: tp={} fn={}",
+                    m.tp,
+                    m.fn_
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phpsafe_respects_class_specific_sanitizers() {
+        // escapeshellarg / basename / esc_url_raw negatives must not be
+        // reported: per-class precision stays perfect.
+        let e = eval();
+        for class in [
+            VulnClass::CmdInjection,
+            VulnClass::PathTraversal,
+            VulnClass::Ssrf,
+        ] {
+            for v in Version::ALL {
+                let m = class_metrics(e, "phpSAFE", v, class);
+                assert_eq!(m.fp, 0, "{class:?} {v:?} false positives");
+            }
+        }
+    }
+
+    #[test]
+    fn wordpress_only_sinks_separate_the_tools() {
+        // wp_redirect / wp_remote_get need the WordPress profile: phpSAFE
+        // confirms strictly more SSRF findings than either baseline.
+        let e = eval();
+        for v in Version::ALL {
+            let p = class_metrics(e, "phpSAFE", v, VulnClass::Ssrf).tp;
+            let r = class_metrics(e, "RIPS", v, VulnClass::Ssrf).tp;
+            let x = class_metrics(e, "Pixy", v, VulnClass::Ssrf).tp;
+            assert!(p > r, "{v:?}: phpSAFE {p} vs RIPS {r}");
+            assert!(p > x, "{v:?}: phpSAFE {p} vs Pixy {x}");
+        }
+    }
+
+    #[test]
+    fn report_covers_every_class_and_tool() {
+        let text = taxonomy_report(eval());
+        for class in VulnClass::ALL {
+            assert!(text.contains(class.slug()), "missing {class:?}:\n{text}");
+        }
+        for tool in TOOLS {
+            assert!(text.contains(tool), "missing {tool}");
+        }
+    }
+
+    #[test]
+    fn metric_keys_published() {
+        phpsafe_obs::set_enabled(true);
+        let before = phpsafe_obs::snapshot();
+        record_taxonomy_metrics(eval());
+        let delta = phpsafe_obs::snapshot().since(&before);
+        phpsafe_obs::set_enabled(false);
+        assert_eq!(delta.counter("taxonomy.classes"), VulnClass::COUNT as u64);
+        for class in VulnClass::ALL {
+            let slug = class.slug();
+            assert!(
+                delta.gauge(&format!("taxonomy.truth.{slug}")) > 0,
+                "taxonomy.truth.{slug}"
+            );
+        }
+        assert!(delta.gauge("taxonomy.tp.cmd-injection") > 0);
+    }
+}

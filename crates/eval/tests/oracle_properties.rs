@@ -37,6 +37,7 @@ fn report_strategy() -> impl Strategy<Value = Vulnerability> {
         sink: "echo".into(),
         var: "$x".into(),
         source_kind: SourceKind::Get,
+        labels: taint_config::TaintLabels::single(SourceKind::Get),
         via_oop: false,
         numeric_hint: false,
         trace: vec![],
@@ -107,6 +108,7 @@ proptest! {
                 sink: "echo".into(),
                 var: "$x".into(),
                 source_kind: t.vector,
+                labels: taint_config::TaintLabels::single(t.vector),
                 via_oop: t.oop,
                 numeric_hint: false,
                 trace: vec![],

@@ -11,6 +11,9 @@ use taint_config::{SourceKind, VulnClass};
 /// count as a successful attack.
 const XSS_PROBE: &str = "<script>phpsafe_probe(7)</script>";
 const SQLI_PROBE: &str = "1' OR 'phpsafe_probe'='phpsafe_probe";
+const CMDI_PROBE: &str = "; phpsafe_probe 7";
+const PATH_PROBE: &str = "../../phpsafe_probe";
+const URL_PROBE: &str = "http://phpsafe-probe.invalid/7";
 
 /// The result of attempting to confirm a finding dynamically.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +44,9 @@ fn attack_config(class: VulnClass, vector: SourceKind) -> ExecConfig {
     let payload = match class {
         VulnClass::Xss => XSS_PROBE,
         VulnClass::Sqli => SQLI_PROBE,
+        VulnClass::CmdInjection => CMDI_PROBE,
+        VulnClass::PathTraversal => PATH_PROBE,
+        VulnClass::Ssrf => URL_PROBE,
     }
     .to_string();
     let mut cfg = ExecConfig::default();
@@ -120,6 +126,12 @@ fn judge(class: VulnClass, outcome: &ExecOutcome) -> Confirmation {
             }
             Confirmation::NotConfirmed
         }
+        // The sandbox executor observes rendered output and executed SQL
+        // only — shell, filesystem and network side effects are not
+        // modeled, so these classes cannot manifest dynamically here.
+        VulnClass::CmdInjection | VulnClass::PathTraversal | VulnClass::Ssrf => {
+            Confirmation::NotConfirmed
+        }
     }
 }
 
@@ -180,6 +192,7 @@ mod tests {
             sink: "echo".into(),
             var: "$x".into(),
             source_kind: vector,
+            labels: taint_config::TaintLabels::single(vector),
             via_oop: false,
             numeric_hint: false,
             trace: vec![],

@@ -1,68 +1,69 @@
 //! Drupal 7 profile — the first of the paper's stated extension targets
 //! (§VI: *"analysis of other CMS applications like Drupal or Joomla"*).
 //!
-//! Covers the Drupal 7 APIs relevant to XSS/SQLi taint analysis: the
-//! database abstraction (`db_query`, `db_fetch_*`), the variable system
-//! (database-backed configuration), and the output sanitizers
-//! (`check_plain`, `filter_xss`, `check_url`).
+//! Covers the Drupal 7 APIs relevant to taint analysis: the database
+//! abstraction (`db_query`, `db_fetch_*`), the variable system
+//! (database-backed configuration), the output sanitizers (`check_plain`,
+//! `filter_xss`, `check_url`), and the redirect/file/HTTP helpers backing
+//! the extended vulnerability classes.
 
 use crate::model::*;
-use crate::php::generic_php;
+use crate::php::{
+    fn_sources, generic_php, method_sinks, method_sources, sanitizers, sinks, HTML_ENCODING,
+    SQL_ESCAPING,
+};
 
 /// Builds the Drupal-specific additions only.
 pub fn drupal_additions() -> TaintConfig {
     let mut c = TaintConfig::empty("drupal-additions");
 
     // ---- sources ----
-    for f in [
-        "variable_get",
-        "db_fetch_object",
-        "db_fetch_array",
-        "db_result",
-        "field_get_items",
-        "node_load_value", // synthetic accessor used by contrib modules
-    ] {
-        c.add_source(SourceSpec::Callable {
-            name: FuncName::function(f),
-            kind: SourceKind::Database,
-        });
-    }
+    fn_sources(
+        &mut c,
+        SourceKind::Database,
+        &[
+            "variable_get",
+            "db_fetch_object",
+            "db_fetch_array",
+            "db_result",
+            "field_get_items",
+            "node_load_value", // synthetic accessor used by contrib modules
+        ],
+    );
     // The database connection object (Drupal 7 DBTNG).
     c.add_known_object("$database", "databaseconnection");
-    for m in ["query", "queryRange"] {
-        c.add_source(SourceSpec::Callable {
-            name: FuncName::method("databaseconnection", m),
-            kind: SourceKind::Database,
-        });
-        c.add_sink(SinkSpec {
-            name: FuncName::method("databaseconnection", m),
-            class: VulnClass::Sqli,
-            args: Some(vec![0]),
-        });
-    }
+    method_sources(
+        &mut c,
+        "databaseconnection",
+        SourceKind::Database,
+        &["query", "queryRange"],
+    );
+    method_sinks(
+        &mut c,
+        "databaseconnection",
+        VulnClass::Sqli,
+        Some(&[0]),
+        &["query", "queryRange"],
+    );
 
     // ---- sanitizers ----
-    for f in [
-        "check_plain",
-        "filter_xss",
-        "filter_xss_admin",
-        "check_markup",
-    ] {
-        c.add_sanitizer(SanitizerSpec {
-            name: FuncName::function(f),
-            protects: vec![VulnClass::Xss],
-        });
-    }
-    c.add_sanitizer(SanitizerSpec {
-        name: FuncName::function("check_url"),
-        protects: vec![VulnClass::Xss],
-    });
-    for f in ["db_escape_string", "db_escape_table", "db_escape_field"] {
-        c.add_sanitizer(SanitizerSpec {
-            name: FuncName::function(f),
-            protects: vec![VulnClass::Sqli],
-        });
-    }
+    sanitizers(
+        &mut c,
+        &HTML_ENCODING,
+        &[
+            "check_plain",
+            "filter_xss",
+            "filter_xss_admin",
+            "check_markup",
+        ],
+    );
+    // check_url sanitizes a URL for markup *and* validates its protocol.
+    sanitizers(&mut c, &[VulnClass::Xss, VulnClass::Ssrf], &["check_url"]);
+    sanitizers(
+        &mut c,
+        &SQL_ESCAPING,
+        &["db_escape_string", "db_escape_table", "db_escape_field"],
+    );
 
     // ---- reverts ----
     c.add_revert(RevertSpec {
@@ -70,20 +71,39 @@ pub fn drupal_additions() -> TaintConfig {
     });
 
     // ---- sinks ----
-    for f in ["db_query", "db_query_range", "db_select_raw"] {
-        c.add_sink(SinkSpec {
-            name: FuncName::function(f),
-            class: VulnClass::Sqli,
-            args: Some(vec![0]),
-        });
-    }
-    for f in ["drupal_set_message", "drupal_set_title", "theme_output"] {
-        c.add_sink(SinkSpec {
-            name: FuncName::function(f),
-            class: VulnClass::Xss,
-            args: Some(vec![0]),
-        });
-    }
+    sinks(
+        &mut c,
+        VulnClass::Sqli,
+        Some(&[0]),
+        &["db_query", "db_query_range", "db_select_raw"],
+    );
+    sinks(
+        &mut c,
+        VulnClass::Xss,
+        Some(&[0]),
+        &["drupal_set_message", "drupal_set_title", "theme_output"],
+    );
+    // Redirects and outbound HTTP requests.
+    sinks(
+        &mut c,
+        VulnClass::Ssrf,
+        Some(&[0]),
+        &["drupal_goto", "drupal_http_request"],
+    );
+    // Unmanaged file API reaches the filesystem directly.
+    sinks(
+        &mut c,
+        VulnClass::PathTraversal,
+        Some(&[0]),
+        &["file_unmanaged_delete", "drupal_realpath"],
+    );
+    // file_unmanaged_copy($source, $destination): both paths are sensitive.
+    sinks(
+        &mut c,
+        VulnClass::PathTraversal,
+        Some(&[0, 1]),
+        &["file_unmanaged_copy", "file_unmanaged_move"],
+    );
 
     c
 }
@@ -113,6 +133,30 @@ mod tests {
     fn check_plain_protects_xss_only() {
         let c = drupal();
         assert_eq!(c.sanitizer_protects(None, "check_plain"), &[VulnClass::Xss]);
+        assert!(!c
+            .sanitizer_protects(None, "check_plain")
+            .contains(&VulnClass::CmdInjection));
+    }
+
+    #[test]
+    fn new_class_entries_present() {
+        let c = drupal();
+        assert!(c
+            .sink_specs(None, "drupal_goto")
+            .iter()
+            .any(|s| s.class == VulnClass::Ssrf));
+        assert!(c
+            .sink_specs(None, "file_unmanaged_delete")
+            .iter()
+            .any(|s| s.class == VulnClass::PathTraversal));
+        assert_eq!(
+            c.sink_specs(None, "file_unmanaged_copy")[0].args,
+            Some(vec![0usize, 1])
+        );
+        let url = c.sanitizer_protects(None, "check_url");
+        assert!(url.contains(&VulnClass::Xss) && url.contains(&VulnClass::Ssrf));
+        assert!(!url.contains(&VulnClass::Sqli));
+        assert_eq!(c.supported_classes(), VulnClass::ALL.to_vec());
     }
 
     #[test]

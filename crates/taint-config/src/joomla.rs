@@ -3,84 +3,100 @@
 //! `JInput` and the database through the `JDatabase` object.
 
 use crate::model::*;
-use crate::php::generic_php;
+use crate::php::{
+    generic_php, method_sanitizers, method_sinks, method_sources, sanitizers, HTML_ENCODING,
+    NEUTRALIZES_EVERYTHING, SQL_ESCAPING,
+};
 
 /// Builds the Joomla-specific additions only.
 pub fn joomla_additions() -> TaintConfig {
     let mut c = TaintConfig::empty("joomla-additions");
 
     // ---- sources: the request wrappers ----
-    for m in ["getVar", "getString", "getCmd", "get"] {
-        c.add_source(SourceSpec::Callable {
-            name: FuncName::method("jrequest", m),
-            kind: SourceKind::Request,
-        });
-        c.add_source(SourceSpec::Callable {
-            name: FuncName::method("jinput", m),
-            kind: SourceKind::Request,
-        });
+    for recv in ["jrequest", "jinput"] {
+        method_sources(
+            &mut c,
+            recv,
+            SourceKind::Request,
+            &["getVar", "getString", "getCmd", "get"],
+        );
     }
     // `getInt`/`getUint` coerce numerically — safe accessors, modeled as
     // sanitizing sources (they return clean data, so simply not sources).
     // ---- sources: database reads ----
     c.add_known_object("$db", "jdatabase");
     c.add_known_object("$dbo", "jdatabase");
-    for m in [
-        "loadResult",
-        "loadRow",
-        "loadRowList",
-        "loadObject",
-        "loadObjectList",
-        "loadAssoc",
-        "loadAssocList",
-    ] {
-        c.add_source(SourceSpec::Callable {
-            name: FuncName::method("jdatabase", m),
-            kind: SourceKind::Database,
-        });
-    }
+    method_sources(
+        &mut c,
+        "jdatabase",
+        SourceKind::Database,
+        &[
+            "loadResult",
+            "loadRow",
+            "loadRowList",
+            "loadObject",
+            "loadObjectList",
+            "loadAssoc",
+            "loadAssocList",
+        ],
+    );
 
     // ---- sanitizers ----
-    for m in ["quote", "escape", "quoteName"] {
-        c.add_sanitizer(SanitizerSpec {
-            name: FuncName::method("jdatabase", m),
-            protects: vec![VulnClass::Sqli],
-        });
-    }
-    for f in ["jfilteroutput_clean", "htmlspecialchars_joomla"] {
-        c.add_sanitizer(SanitizerSpec {
-            name: FuncName::function(f),
-            protects: vec![VulnClass::Xss],
-        });
-    }
-    {
-        let m = "clean";
-        c.add_sanitizer(SanitizerSpec {
-            name: FuncName::method("jfilterinput", m),
-            protects: vec![VulnClass::Xss, VulnClass::Sqli],
-        });
-        c.add_sanitizer(SanitizerSpec {
-            name: FuncName::method("jfilteroutput", m),
-            protects: vec![VulnClass::Xss],
-        });
-    }
+    method_sanitizers(
+        &mut c,
+        "jdatabase",
+        &SQL_ESCAPING,
+        &["quote", "escape", "quoteName"],
+    );
+    sanitizers(
+        &mut c,
+        &HTML_ENCODING,
+        &["jfilteroutput_clean", "htmlspecialchars_joomla"],
+    );
+    // JFilterInput::clean strips tags *and* validates types — inert output
+    // for the whole registry.
+    method_sanitizers(&mut c, "jfilterinput", &NEUTRALIZES_EVERYTHING, &["clean"]);
+    method_sanitizers(&mut c, "jfilteroutput", &HTML_ENCODING, &["clean"]);
 
     // ---- sinks ----
-    for m in ["setQuery", "execute", "query"] {
-        c.add_sink(SinkSpec {
-            name: FuncName::method("jdatabase", m),
-            class: VulnClass::Sqli,
-            args: Some(vec![0]),
-        });
-    }
-    {
-        let m = "enqueueMessage";
-        c.add_sink(SinkSpec {
-            name: FuncName::method("japplication", m),
-            class: VulnClass::Xss,
-            args: Some(vec![0]),
-        });
-    }
+    method_sinks(
+        &mut c,
+        "jdatabase",
+        VulnClass::Sqli,
+        Some(&[0]),
+        &["setQuery", "execute", "query"],
+    );
+    method_sinks(
+        &mut c,
+        "japplication",
+        VulnClass::Xss,
+        Some(&[0]),
+        &["enqueueMessage"],
+    );
+    // JApplication::redirect with a tainted URL is an open redirect.
+    method_sinks(
+        &mut c,
+        "japplication",
+        VulnClass::Ssrf,
+        Some(&[0]),
+        &["redirect"],
+    );
+    // JFile static helpers reach the filesystem through their path argument.
+    method_sinks(
+        &mut c,
+        "jfile",
+        VulnClass::PathTraversal,
+        Some(&[0]),
+        &["read", "write", "delete", "copy", "move"],
+    );
+    // JHttp fetches attacker-chosen URLs.
+    method_sinks(
+        &mut c,
+        "jhttp",
+        VulnClass::Ssrf,
+        Some(&[0]),
+        &["get", "post"],
+    );
     c.add_known_object("$app", "japplication");
     c.add_known_object("$mainframe", "japplication");
 
@@ -123,6 +139,35 @@ mod tests {
             .sink_specs(Some("jdatabase"), "setQuery")
             .iter()
             .any(|s| s.class == VulnClass::Sqli));
+    }
+
+    #[test]
+    fn new_class_entries_present() {
+        let c = joomla();
+        assert!(c
+            .sink_specs(Some("japplication"), "redirect")
+            .iter()
+            .any(|s| s.class == VulnClass::Ssrf));
+        assert!(c
+            .sink_specs(Some("jfile"), "read")
+            .iter()
+            .any(|s| s.class == VulnClass::PathTraversal));
+        for class in VulnClass::ALL {
+            assert!(
+                c.sanitizer_protects(Some("jfilterinput"), "clean")
+                    .contains(&class),
+                "jfilterinput::clean must neutralize {class}"
+            );
+        }
+        assert_eq!(c.supported_classes(), VulnClass::ALL.to_vec());
+    }
+
+    #[test]
+    fn xss_only_sanitizer_keeps_other_labels() {
+        let c = joomla();
+        let p = c.sanitizer_protects(Some("jfilteroutput"), "clean");
+        assert_eq!(p, &[VulnClass::Xss]);
+        assert!(!p.contains(&VulnClass::CmdInjection));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use drupal::{drupal, drupal_additions};
 pub use joomla::{joomla, joomla_additions};
 pub use model::{
     FuncName, RevertSpec, SanitizerSpec, SinkSpec, SourceKind, SourceSpec, TaintConfig,
-    VectorClass, VulnClass,
+    TaintLabels, VectorClass, VulnClass,
 };
 pub use php::generic_php;
 pub use wordpress::{wordpress, wordpress_additions};

@@ -6,141 +6,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
-/// Vulnerability classes phpSAFE detects.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub enum VulnClass {
-    /// Cross-site scripting.
-    Xss,
-    /// SQL injection.
-    Sqli,
-}
-
-impl VulnClass {
-    /// Both classes, in the paper's table order.
-    pub const ALL: [VulnClass; 2] = [VulnClass::Xss, VulnClass::Sqli];
-
-    /// Short display name used in tables.
-    pub fn name(self) -> &'static str {
-        match self {
-            VulnClass::Xss => "XSS",
-            VulnClass::Sqli => "SQLi",
-        }
-    }
-}
-
-impl fmt::Display for VulnClass {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// Where tainted data enters the plugin — drives Table II and the paper's
-/// root-cause analysis (§V.C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub enum SourceKind {
-    /// `$_GET`
-    Get,
-    /// `$_POST`
-    Post,
-    /// `$_COOKIE`
-    Cookie,
-    /// `$_REQUEST` (GET/POST/COOKIE merged)
-    Request,
-    /// `$_SERVER` (attacker-influenced headers)
-    Server,
-    /// Values read from the database.
-    Database,
-    /// Values read from files.
-    File,
-    /// Return values of other untrusted functions.
-    Function,
-    /// Values from arrays / other variables whose origin is unknown.
-    Array,
-}
-
-impl SourceKind {
-    /// Collapses into the paper's Table II row taxonomy.
-    pub fn vector_class(self) -> VectorClass {
-        match self {
-            SourceKind::Post => VectorClass::Post,
-            SourceKind::Get => VectorClass::Get,
-            SourceKind::Cookie | SourceKind::Request | SourceKind::Server => VectorClass::Mixed,
-            SourceKind::Database => VectorClass::Database,
-            SourceKind::File | SourceKind::Function | SourceKind::Array => {
-                VectorClass::FileFunctionArray
-            }
-        }
-    }
-
-    /// Whether an occasional attacker can trivially control this vector
-    /// (the paper's "likely to be directly manipulated" type 1).
-    pub fn directly_exploitable(self) -> bool {
-        matches!(
-            self,
-            SourceKind::Get | SourceKind::Post | SourceKind::Cookie | SourceKind::Request
-        )
-    }
-}
-
-impl fmt::Display for SourceKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            SourceKind::Get => "GET",
-            SourceKind::Post => "POST",
-            SourceKind::Cookie => "COOKIE",
-            SourceKind::Request => "REQUEST",
-            SourceKind::Server => "SERVER",
-            SourceKind::Database => "DB",
-            SourceKind::File => "FILE",
-            SourceKind::Function => "FUNCTION",
-            SourceKind::Array => "ARRAY",
-        };
-        f.write_str(s)
-    }
-}
-
-/// Table II row taxonomy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub enum VectorClass {
-    /// `POST`
-    Post,
-    /// `GET`
-    Get,
-    /// `POST/GET/COOKIE`
-    Mixed,
-    /// `DB`
-    Database,
-    /// `File/Function/Array`
-    FileFunctionArray,
-}
-
-impl VectorClass {
-    /// All rows in the paper's Table II order.
-    pub const ALL: [VectorClass; 5] = [
-        VectorClass::Post,
-        VectorClass::Get,
-        VectorClass::Mixed,
-        VectorClass::Database,
-        VectorClass::FileFunctionArray,
-    ];
-
-    /// Row label as printed in Table II.
-    pub fn label(self) -> &'static str {
-        match self {
-            VectorClass::Post => "POST",
-            VectorClass::Get => "GET",
-            VectorClass::Mixed => "POST/GET/COOKIE",
-            VectorClass::Database => "DB",
-            VectorClass::FileFunctionArray => "File/Function/Array",
-        }
-    }
-}
-
-impl fmt::Display for VectorClass {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.label())
-    }
-}
+// The class registry, input-vector taxonomy and label bitsets live in the
+// `vuln-taxonomy` crate; re-exported here so every downstream
+// `taint_config::{VulnClass, SourceKind, ...}` import keeps working.
+pub use vuln_taxonomy::{SourceKind, TaintLabels, VectorClass, VulnClass};
 
 /// A possibly receiver-qualified callable name, e.g. plain `intval` or
 /// `wpdb::get_results` (reachable through `$wpdb->get_results(...)`).
@@ -443,6 +312,48 @@ impl TaintConfig {
             self.sinks.values().map(|v| v.len()).sum(),
         )
     }
+
+    /// The vulnerability classes this profile can actually manifest: every
+    /// class with at least one configured sink, in registry order. What a
+    /// `serve` daemon advertises in its `status` reply.
+    pub fn supported_classes(&self) -> Vec<VulnClass> {
+        VulnClass::ALL
+            .into_iter()
+            .filter(|c| {
+                self.sinks
+                    .values()
+                    .any(|specs| specs.iter().any(|s| s.class == *c))
+            })
+            .collect()
+    }
+
+    /// A copy of this configuration with sinks restricted to `classes`.
+    ///
+    /// Only the sink section is filtered — sources, sanitizers and reverts
+    /// stay bit-for-bit identical, so propagation (joins, traces, events)
+    /// is unchanged and only *reporting* narrows. This is the taxonomy
+    /// invariance harness: analyzing with `restricted_to(&VulnClass::PAPER)`
+    /// must reproduce the paper artifacts byte-identically.
+    pub fn restricted_to(&self, classes: &[VulnClass]) -> TaintConfig {
+        let mut out = self.clone();
+        out.sinks = self
+            .sinks
+            .iter()
+            .filter_map(|(name, specs)| {
+                let kept: Vec<SinkSpec> = specs
+                    .iter()
+                    .filter(|s| classes.contains(&s.class))
+                    .cloned()
+                    .collect();
+                if kept.is_empty() {
+                    None
+                } else {
+                    Some((name.clone(), kept))
+                }
+            })
+            .collect();
+        out
+    }
 }
 
 #[cfg(test)]
@@ -603,5 +514,48 @@ mod tests {
         assert!(SourceKind::Post.directly_exploitable());
         assert!(!SourceKind::Database.directly_exploitable());
         assert!(!SourceKind::File.directly_exploitable());
+    }
+
+    #[test]
+    fn supported_classes_lists_only_sink_backed_classes() {
+        let c = sample();
+        assert_eq!(c.supported_classes(), vec![VulnClass::Sqli]);
+        let mut c2 = sample();
+        c2.add_sink(SinkSpec {
+            name: FuncName::function("shell_exec"),
+            class: VulnClass::CmdInjection,
+            args: Some(vec![0]),
+        });
+        assert_eq!(
+            c2.supported_classes(),
+            vec![VulnClass::Sqli, VulnClass::CmdInjection],
+            "registry order, sink-backed only"
+        );
+    }
+
+    #[test]
+    fn restricted_to_filters_only_sinks() {
+        let mut c = sample();
+        c.add_sink(SinkSpec {
+            name: FuncName::function("readfile"),
+            class: VulnClass::PathTraversal,
+            args: Some(vec![0]),
+        });
+        let r = c.restricted_to(&VulnClass::PAPER);
+        assert!(r.sink_specs(None, "readfile").is_empty());
+        assert_eq!(r.sink_specs(None, "mysql_query").len(), 1);
+        // Everything that drives propagation is untouched.
+        assert_eq!(
+            r.sanitizer_protects(None, "htmlentities"),
+            c.sanitizer_protects(None, "htmlentities")
+        );
+        assert_eq!(r.superglobal_kind("$_GET"), c.superglobal_kind("$_GET"));
+        assert!(r.is_revert(None, "stripslashes"));
+        assert_eq!(r.supported_classes(), vec![VulnClass::Sqli]);
+        // Restricting to the full registry is the identity on sinks.
+        assert_eq!(
+            c.restricted_to(&VulnClass::ALL).fingerprint(),
+            c.fingerprint()
+        );
     }
 }

@@ -1,8 +1,122 @@
 //! The generic PHP profile: sources, sanitizers, reverts and sinks for
 //! plain PHP code. Mirrors phpSAFE's default configuration, which the paper
 //! notes is "based on the default configurations of the RIPS tool" (§III.A).
+//!
+//! This module also hosts the *shared constructors* every profile builds
+//! with ([`fn_sources`], [`sanitizers`], [`sinks`], …) and the named
+//! protection groups ([`NEUTRALIZES_EVERYTHING`], [`HTML_ENCODING`],
+//! [`SQL_ESCAPING`]). The CMS profiles (`wordpress`, `joomla`, `drupal`)
+//! declare their entries through the same helpers, so a builtin's class
+//! coverage is written once here — growing the [`VulnClass`] registry means
+//! editing these groups, not three CMS files.
 
 use crate::model::*;
+
+// ---- protection groups (one definition per builtin family) ----
+
+/// Output is inert for *every* registered class: numeric coercions, hashes,
+/// encoders, strict validators. These were "protects XSS and SQLi" when the
+/// registry had two classes; a value reduced to a number or hex digest
+/// cannot carry a shell metacharacter, a path component or a URL either, so
+/// the group tracks the full registry.
+pub(crate) const NEUTRALIZES_EVERYTHING: [VulnClass; VulnClass::COUNT] = VulnClass::ALL;
+
+/// HTML-entity encoding: protects against XSS only — a quoted string is
+/// still a valid SQL fragment, shell word, path or URL.
+pub(crate) const HTML_ENCODING: [VulnClass; 1] = [VulnClass::Xss];
+
+/// SQL escaping: protects against SQLi only.
+pub(crate) const SQL_ESCAPING: [VulnClass; 1] = [VulnClass::Sqli];
+
+/// Path canonicalization/stripping: protects filesystem sinks only.
+pub(crate) const PATH_CLEANING: [VulnClass; 1] = [VulnClass::PathTraversal];
+
+/// URL validation/escaping: protects redirect/fetch sinks only.
+pub(crate) const URL_CLEANING: [VulnClass; 1] = [VulnClass::Ssrf];
+
+// ---- shared constructors ----
+
+/// Registers plain functions whose return value is a taint source.
+pub(crate) fn fn_sources(c: &mut TaintConfig, kind: SourceKind, names: &[&str]) {
+    for f in names {
+        c.add_source(SourceSpec::Callable {
+            name: FuncName::function(f),
+            kind,
+        });
+    }
+}
+
+/// Registers methods on `class` whose return value is a taint source.
+pub(crate) fn method_sources(c: &mut TaintConfig, class: &str, kind: SourceKind, names: &[&str]) {
+    for f in names {
+        c.add_source(SourceSpec::Callable {
+            name: FuncName::method(class, f),
+            kind,
+        });
+    }
+}
+
+/// Registers plain-function sanitizers protecting `protects`.
+pub(crate) fn sanitizers(c: &mut TaintConfig, protects: &[VulnClass], names: &[&str]) {
+    for f in names {
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::function(f),
+            protects: protects.to_vec(),
+        });
+    }
+}
+
+/// Registers method sanitizers on `class` protecting `protects`.
+pub(crate) fn method_sanitizers(
+    c: &mut TaintConfig,
+    class: &str,
+    protects: &[VulnClass],
+    names: &[&str],
+) {
+    for f in names {
+        c.add_sanitizer(SanitizerSpec {
+            name: FuncName::method(class, f),
+            protects: protects.to_vec(),
+        });
+    }
+}
+
+/// Registers revert functions (undo sanitization).
+pub(crate) fn reverts(c: &mut TaintConfig, names: &[&str]) {
+    for f in names {
+        c.add_revert(RevertSpec {
+            name: FuncName::function(f),
+        });
+    }
+}
+
+/// Registers plain-function sinks of `class` with sensitive `args`.
+pub(crate) fn sinks(c: &mut TaintConfig, class: VulnClass, args: Option<&[usize]>, names: &[&str]) {
+    for f in names {
+        c.add_sink(SinkSpec {
+            name: FuncName::function(f),
+            class,
+            args: args.map(|a| a.to_vec()),
+        });
+    }
+}
+
+/// Registers method sinks on `recv` of `class` with sensitive `args`.
+pub(crate) fn method_sinks(
+    c: &mut TaintConfig,
+    recv: &str,
+    class: VulnClass,
+    args: Option<&[usize]>,
+    names: &[&str],
+) {
+    for f in names {
+        c.add_sink(SinkSpec {
+            name: FuncName::method(recv, f),
+            class,
+            args: args.map(|a| a.to_vec()),
+        });
+    }
+}
 
 /// Builds the generic PHP configuration.
 pub fn generic_php() -> TaintConfig {
@@ -28,190 +142,230 @@ pub fn generic_php() -> TaintConfig {
     }
 
     // ---- sources: file input functions ----
-    for f in [
-        "file_get_contents",
-        "fgets",
-        "fgetc",
-        "fgetss",
-        "fread",
-        "file",
-        "readdir",
-        "fscanf",
-        "glob",
-        "scandir",
-        "parse_ini_file",
-        "bzread",
-        "gzread",
-        "gzgets",
-    ] {
-        c.add_source(SourceSpec::Callable {
-            name: FuncName::function(f),
-            kind: SourceKind::File,
-        });
-    }
+    fn_sources(
+        &mut c,
+        SourceKind::File,
+        &[
+            "file_get_contents",
+            "fgets",
+            "fgetc",
+            "fgetss",
+            "fread",
+            "file",
+            "readdir",
+            "fscanf",
+            "glob",
+            "scandir",
+            "parse_ini_file",
+            "bzread",
+            "gzread",
+            "gzgets",
+        ],
+    );
 
     // ---- sources: database read functions (legacy mysql/mysqli) ----
-    for f in [
-        "mysql_fetch_array",
-        "mysql_fetch_assoc",
-        "mysql_fetch_row",
-        "mysql_fetch_object",
-        "mysql_fetch_field",
-        "mysql_result",
-        "mysqli_fetch_array",
-        "mysqli_fetch_assoc",
-        "mysqli_fetch_row",
-        "mysqli_fetch_object",
-        "pg_fetch_array",
-        "pg_fetch_assoc",
-        "pg_fetch_row",
-        "sqlite_fetch_array",
-    ] {
-        c.add_source(SourceSpec::Callable {
-            name: FuncName::function(f),
-            kind: SourceKind::Database,
-        });
-    }
+    fn_sources(
+        &mut c,
+        SourceKind::Database,
+        &[
+            "mysql_fetch_array",
+            "mysql_fetch_assoc",
+            "mysql_fetch_row",
+            "mysql_fetch_object",
+            "mysql_fetch_field",
+            "mysql_result",
+            "mysqli_fetch_array",
+            "mysqli_fetch_assoc",
+            "mysqli_fetch_row",
+            "mysqli_fetch_object",
+            "pg_fetch_array",
+            "pg_fetch_assoc",
+            "pg_fetch_row",
+            "sqlite_fetch_array",
+        ],
+    );
 
     // ---- sources: other environment/untrusted functions ----
-    for f in ["getenv", "get_headers", "getallheaders", "gethostbyaddr"] {
-        c.add_source(SourceSpec::Callable {
-            name: FuncName::function(f),
-            kind: SourceKind::Function,
-        });
-    }
+    fn_sources(
+        &mut c,
+        SourceKind::Function,
+        &["getenv", "get_headers", "getallheaders", "gethostbyaddr"],
+    );
 
     // ---- sanitizers ----
-    // Numeric coercions protect against both classes.
-    for f in [
-        "intval",
-        "floatval",
-        "doubleval",
-        "boolval",
-        "count",
-        "strlen",
-        "sizeof",
-        "abs",
-        "round",
-        "floor",
-        "ceil",
-        "rand",
-        "mt_rand",
-        "time",
-        "mktime",
-    ] {
-        c.add_sanitizer(SanitizerSpec {
-            name: FuncName::function(f),
-            protects: vec![VulnClass::Xss, VulnClass::Sqli],
-        });
-    }
-    // Hashes / encoders produce inert output for both classes.
-    for f in [
-        "md5",
-        "sha1",
-        "crc32",
-        "hash",
-        "base64_encode",
-        "bin2hex",
-        "uniqid",
-        "number_format",
-        "urlencode",
-        "rawurlencode",
-    ] {
-        c.add_sanitizer(SanitizerSpec {
-            name: FuncName::function(f),
-            protects: vec![VulnClass::Xss, VulnClass::Sqli],
-        });
-    }
+    // Numeric coercions neutralize every class.
+    sanitizers(
+        &mut c,
+        &NEUTRALIZES_EVERYTHING,
+        &[
+            "intval",
+            "floatval",
+            "doubleval",
+            "boolval",
+            "count",
+            "strlen",
+            "sizeof",
+            "abs",
+            "round",
+            "floor",
+            "ceil",
+            "rand",
+            "mt_rand",
+            "time",
+            "mktime",
+        ],
+    );
+    // Hashes / encoders produce inert output for every class.
+    sanitizers(
+        &mut c,
+        &NEUTRALIZES_EVERYTHING,
+        &[
+            "md5",
+            "sha1",
+            "crc32",
+            "hash",
+            "base64_encode",
+            "bin2hex",
+            "uniqid",
+            "number_format",
+            "urlencode",
+            "rawurlencode",
+        ],
+    );
     // HTML encoding protects against XSS only.
-    for f in ["htmlentities", "htmlspecialchars", "strip_tags", "nl2br"] {
-        c.add_sanitizer(SanitizerSpec {
-            name: FuncName::function(f),
-            protects: vec![VulnClass::Xss],
-        });
-    }
+    sanitizers(
+        &mut c,
+        &HTML_ENCODING,
+        &["htmlentities", "htmlspecialchars", "strip_tags", "nl2br"],
+    );
     // SQL escaping protects against SQLi only.
-    for f in [
-        "mysql_escape_string",
-        "mysql_real_escape_string",
-        "mysqli_escape_string",
-        "mysqli_real_escape_string",
-        "addslashes",
-        "addcslashes",
-        "pg_escape_string",
-        "sqlite_escape_string",
-    ] {
-        c.add_sanitizer(SanitizerSpec {
-            name: FuncName::function(f),
-            protects: vec![VulnClass::Sqli],
-        });
-    }
-    // Regex validators commonly used defensively.
-    for f in [
-        "preg_quote",
-        "escapeshellarg",
-        "escapeshellcmd",
-        "ctype_digit",
-        "ctype_alnum",
-    ] {
-        c.add_sanitizer(SanitizerSpec {
-            name: FuncName::function(f),
-            protects: vec![VulnClass::Xss, VulnClass::Sqli],
-        });
-    }
+    sanitizers(
+        &mut c,
+        &SQL_ESCAPING,
+        &[
+            "mysql_escape_string",
+            "mysql_real_escape_string",
+            "mysqli_escape_string",
+            "mysqli_real_escape_string",
+            "addslashes",
+            "addcslashes",
+            "pg_escape_string",
+            "sqlite_escape_string",
+        ],
+    );
+    // Regex validators commonly used defensively (escapeshell* included:
+    // their output is inert in every sink context tracked here).
+    sanitizers(
+        &mut c,
+        &NEUTRALIZES_EVERYTHING,
+        &[
+            "preg_quote",
+            "escapeshellarg",
+            "escapeshellcmd",
+            "ctype_digit",
+            "ctype_alnum",
+        ],
+    );
+    // Path canonicalization protects filesystem sinks only.
+    sanitizers(&mut c, &PATH_CLEANING, &["basename", "realpath"]);
 
     // ---- reverts ----
-    for f in [
-        "stripslashes",
-        "stripcslashes",
-        "html_entity_decode",
-        "htmlspecialchars_decode",
-        "urldecode",
-        "rawurldecode",
-        "base64_decode",
-        "quoted_printable_decode",
-    ] {
-        c.add_revert(RevertSpec {
-            name: FuncName::function(f),
-        });
-    }
+    reverts(
+        &mut c,
+        &[
+            "stripslashes",
+            "stripcslashes",
+            "html_entity_decode",
+            "htmlspecialchars_decode",
+            "urldecode",
+            "rawurldecode",
+            "base64_decode",
+            "quoted_printable_decode",
+        ],
+    );
 
     // ---- sinks: XSS (echo/print/exit are language constructs handled by
     //      the analyzers directly; these are the function-call sinks) ----
-    for f in [
-        "printf",
-        "vprintf",
-        "print_r",
-        "var_dump",
-        "trigger_error",
-        "user_error",
-    ] {
-        c.add_sink(SinkSpec {
-            name: FuncName::function(f),
-            class: VulnClass::Xss,
-            args: None,
-        });
-    }
+    sinks(
+        &mut c,
+        VulnClass::Xss,
+        None,
+        &[
+            "printf",
+            "vprintf",
+            "print_r",
+            "var_dump",
+            "trigger_error",
+            "user_error",
+        ],
+    );
 
     // ---- sinks: SQLi ----
-    for f in [
-        "mysql_query",
-        "mysql_db_query",
-        "mysql_unbuffered_query",
-        "mysqli_query",
-        "mysqli_multi_query",
-        "mysqli_real_query",
-        "pg_query",
-        "pg_send_query",
-        "sqlite_query",
-        "sqlite_exec",
-    ] {
-        c.add_sink(SinkSpec {
-            name: FuncName::function(f),
-            class: VulnClass::Sqli,
-            args: Some(vec![0, 1]), // query is arg 0, or arg 1 with a link
-        });
-    }
+    sinks(
+        &mut c,
+        VulnClass::Sqli,
+        Some(&[0, 1]), // query is arg 0, or arg 1 with a link
+        &[
+            "mysql_query",
+            "mysql_db_query",
+            "mysql_unbuffered_query",
+            "mysqli_query",
+            "mysqli_multi_query",
+            "mysqli_real_query",
+            "pg_query",
+            "pg_send_query",
+            "sqlite_query",
+            "sqlite_exec",
+        ],
+    );
+
+    // ---- sinks: command injection (backticks are a language construct,
+    //      handled by the interpreter like echo) ----
+    sinks(
+        &mut c,
+        VulnClass::CmdInjection,
+        Some(&[0]),
+        &[
+            "shell_exec",
+            "exec",
+            "system",
+            "passthru",
+            "popen",
+            "proc_open",
+            "pcntl_exec",
+        ],
+    );
+
+    // ---- sinks: path traversal (filesystem access through a tainted
+    //      path; `file`/`file_get_contents` stay sources for their *return
+    //      value* — the sink check runs first in call dispatch, so the dual
+    //      role is well-defined) ----
+    sinks(
+        &mut c,
+        VulnClass::PathTraversal,
+        Some(&[0]),
+        &[
+            "readfile",
+            "fopen",
+            "unlink",
+            "file_put_contents",
+            "file_get_contents",
+            "copy",
+            "rename",
+            "show_source",
+            "highlight_file",
+        ],
+    );
+
+    // ---- sinks: open redirect / SSRF ----
+    sinks(
+        &mut c,
+        VulnClass::Ssrf,
+        Some(&[0]),
+        &["header", "curl_init", "fsockopen", "get_headers"],
+    );
+    // curl_setopt($ch, CURLOPT_URL, $url): the URL is the third argument.
+    sinks(&mut c, VulnClass::Ssrf, Some(&[2]), &["curl_setopt"]);
 
     c
 }
@@ -265,10 +419,70 @@ mod tests {
     }
 
     #[test]
+    fn broad_sanitizers_cover_the_whole_registry() {
+        let c = generic_php();
+        for name in ["intval", "md5", "escapeshellarg", "urlencode"] {
+            let p = c.sanitizer_protects(None, name);
+            for class in VulnClass::ALL {
+                assert!(p.contains(&class), "{name} must neutralize {class}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_class_sanitizers_do_not_clear_other_labels() {
+        // The negative guarantee behind the taxonomy: an XSS-only encoder
+        // says nothing about shell words, paths or URLs.
+        let c = generic_php();
+        for name in ["htmlentities", "htmlspecialchars", "strip_tags"] {
+            let p = c.sanitizer_protects(None, name);
+            assert_eq!(p, &[VulnClass::Xss], "{name}");
+            assert!(!p.contains(&VulnClass::CmdInjection));
+            assert!(!p.contains(&VulnClass::Ssrf));
+        }
+        assert_eq!(
+            c.sanitizer_protects(None, "basename"),
+            &[VulnClass::PathTraversal]
+        );
+    }
+
+    #[test]
     fn mysql_query_is_sqli_sink() {
         let c = generic_php();
         let sinks = c.sink_specs(None, "mysql_query");
         assert!(sinks.iter().any(|s| s.class == VulnClass::Sqli));
+    }
+
+    #[test]
+    fn new_class_sinks_present() {
+        let c = generic_php();
+        assert!(c
+            .sink_specs(None, "shell_exec")
+            .iter()
+            .any(|s| s.class == VulnClass::CmdInjection));
+        assert!(c
+            .sink_specs(None, "readfile")
+            .iter()
+            .any(|s| s.class == VulnClass::PathTraversal));
+        assert!(c
+            .sink_specs(None, "header")
+            .iter()
+            .any(|s| s.class == VulnClass::Ssrf));
+        // Dual roles: file_get_contents is a File source *and* a path sink.
+        assert!(c
+            .sink_specs(None, "file_get_contents")
+            .iter()
+            .any(|s| s.class == VulnClass::PathTraversal));
+        assert_eq!(
+            c.source_function(None, "file_get_contents"),
+            Some(SourceKind::File)
+        );
+        // curl_setopt's sensitive argument is the option *value*.
+        assert_eq!(
+            c.sink_specs(None, "curl_setopt")[0].args,
+            Some(vec![2usize])
+        );
+        assert_eq!(c.supported_classes(), VulnClass::ALL.to_vec());
     }
 
     #[test]

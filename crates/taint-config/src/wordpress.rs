@@ -4,7 +4,10 @@
 //! performance (§V.A) — RIPS and Pixy lack it entirely.
 
 use crate::model::*;
-use crate::php::generic_php;
+use crate::php::{
+    fn_sources, generic_php, method_sanitizers, method_sinks, method_sources, reverts, sanitizers,
+    sinks, HTML_ENCODING, NEUTRALIZES_EVERYTHING, PATH_CLEANING, SQL_ESCAPING, URL_CLEANING,
+};
 
 /// Builds the WordPress-specific additions only (no generic PHP entries).
 pub fn wordpress_additions() -> TaintConfig {
@@ -15,111 +18,123 @@ pub fn wordpress_additions() -> TaintConfig {
     c.add_known_object("$wpdb", "wpdb");
 
     // ---- sources: wpdb read methods return database-tainted data ----
-    for m in ["get_results", "get_row", "get_var", "get_col"] {
-        c.add_source(SourceSpec::Callable {
-            name: FuncName::method("wpdb", m),
-            kind: SourceKind::Database,
-        });
-    }
+    method_sources(
+        &mut c,
+        "wpdb",
+        SourceKind::Database,
+        &["get_results", "get_row", "get_var", "get_col"],
+    );
     // WordPress option / meta accessors read from the database.
-    for f in [
-        "get_option",
-        "get_post_meta",
-        "get_user_meta",
-        "get_comment_meta",
-        "get_term_meta",
-        "get_metadata",
-        "get_transient",
-        "get_site_option",
-        "bloginfo_value", // synthetic alias used by some plugins
-    ] {
-        c.add_source(SourceSpec::Callable {
-            name: FuncName::function(f),
-            kind: SourceKind::Database,
-        });
-    }
+    fn_sources(
+        &mut c,
+        SourceKind::Database,
+        &[
+            "get_option",
+            "get_post_meta",
+            "get_user_meta",
+            "get_comment_meta",
+            "get_term_meta",
+            "get_metadata",
+            "get_transient",
+            "get_site_option",
+            "bloginfo_value", // synthetic alias used by some plugins
+        ],
+    );
     // Query-var accessors surface request data.
-    for f in ["get_query_var", "wp_unslash_request"] {
-        c.add_source(SourceSpec::Callable {
-            name: FuncName::function(f),
-            kind: SourceKind::Request,
-        });
-    }
+    fn_sources(
+        &mut c,
+        SourceKind::Request,
+        &["get_query_var", "wp_unslash_request"],
+    );
 
     // ---- sanitizers: the esc_*/sanitize_* family ----
-    for f in [
-        "esc_html",
-        "esc_attr",
-        "esc_url",
-        "esc_js",
-        "esc_textarea",
-        "esc_html__",
-        "esc_html_e",
-        "esc_attr__",
-        "esc_attr_e",
-        "tag_escape",
-        "wp_kses",
-        "wp_kses_post",
-        "wp_kses_data",
-    ] {
-        c.add_sanitizer(SanitizerSpec {
-            name: FuncName::function(f),
-            protects: vec![VulnClass::Xss],
-        });
-    }
-    for f in [
-        "sanitize_text_field",
-        "sanitize_email",
-        "sanitize_key",
-        "sanitize_title",
-        "sanitize_file_name",
-        "sanitize_html_class",
-        "sanitize_user",
-        "absint",
-        "wp_parse_id_list",
-    ] {
-        c.add_sanitizer(SanitizerSpec {
-            name: FuncName::function(f),
-            protects: vec![VulnClass::Xss, VulnClass::Sqli],
-        });
-    }
-    for f in ["esc_sql", "like_escape"] {
-        c.add_sanitizer(SanitizerSpec {
-            name: FuncName::function(f),
-            protects: vec![VulnClass::Sqli],
-        });
-    }
+    sanitizers(
+        &mut c,
+        &HTML_ENCODING,
+        &[
+            "esc_html",
+            "esc_attr",
+            "esc_js",
+            "esc_textarea",
+            "esc_html__",
+            "esc_html_e",
+            "esc_attr__",
+            "esc_attr_e",
+            "tag_escape",
+            "wp_kses",
+            "wp_kses_post",
+            "wp_kses_data",
+        ],
+    );
+    // esc_url validates the scheme and escapes for display: it covers both
+    // the markup context and the redirect/fetch sinks.
+    sanitizers(&mut c, &[VulnClass::Xss, VulnClass::Ssrf], &["esc_url"]);
+    sanitizers(&mut c, &URL_CLEANING, &["esc_url_raw"]);
+    sanitizers(&mut c, &PATH_CLEANING, &["validate_file"]);
+    sanitizers(
+        &mut c,
+        &NEUTRALIZES_EVERYTHING,
+        &[
+            "sanitize_text_field",
+            "sanitize_email",
+            "sanitize_key",
+            "sanitize_title",
+            "sanitize_file_name",
+            "sanitize_html_class",
+            "sanitize_user",
+            "absint",
+            "wp_parse_id_list",
+        ],
+    );
+    sanitizers(&mut c, &SQL_ESCAPING, &["esc_sql", "like_escape"]);
     // wpdb::prepare parameterizes the query — the canonical SQLi defense.
-    for m in ["prepare", "escape", "_escape", "esc_like"] {
-        c.add_sanitizer(SanitizerSpec {
-            name: FuncName::method("wpdb", m),
-            protects: vec![VulnClass::Sqli],
-        });
-    }
+    method_sanitizers(
+        &mut c,
+        "wpdb",
+        &SQL_ESCAPING,
+        &["prepare", "escape", "_escape", "esc_like"],
+    );
 
     // ---- reverts ----
-    for f in ["wp_specialchars_decode", "wp_unslash"] {
-        c.add_revert(RevertSpec {
-            name: FuncName::function(f),
-        });
-    }
+    reverts(&mut c, &["wp_specialchars_decode", "wp_unslash"]);
 
     // ---- sinks: wpdb write/query methods are SQLi sinks ----
-    for m in ["query", "get_results", "get_row", "get_var", "get_col"] {
-        c.add_sink(SinkSpec {
-            name: FuncName::method("wpdb", m),
-            class: VulnClass::Sqli,
-            args: Some(vec![0]),
-        });
-    }
+    method_sinks(
+        &mut c,
+        "wpdb",
+        VulnClass::Sqli,
+        Some(&[0]),
+        &["query", "get_results", "get_row", "get_var", "get_col"],
+    );
     // WordPress output helpers are XSS sinks.
-    for f in ["wp_die", "_e", "_ex", "comment_text_output"] {
-        c.add_sink(SinkSpec {
-            name: FuncName::function(f),
-            class: VulnClass::Xss,
-            args: Some(vec![0]),
-        });
-    }
+    sinks(
+        &mut c,
+        VulnClass::Xss,
+        Some(&[0]),
+        &["wp_die", "_e", "_ex", "comment_text_output"],
+    );
+    // Redirects and HTTP fetches are open-redirect/SSRF sinks.
+    sinks(
+        &mut c,
+        VulnClass::Ssrf,
+        Some(&[0]),
+        &[
+            "wp_redirect",
+            "wp_safe_redirect",
+            "wp_remote_get",
+            "wp_remote_post",
+            "wp_remote_head",
+            "wp_remote_request",
+            "download_url",
+        ],
+    );
+    // Template loading from a computed path.
+    sinks(
+        &mut c,
+        VulnClass::PathTraversal,
+        Some(&[0]),
+        &["load_template"],
+    );
 
     c
 }
@@ -168,6 +183,41 @@ mod tests {
         assert!(!c
             .sanitizer_protects(None, "esc_html")
             .contains(&VulnClass::Sqli));
+    }
+
+    #[test]
+    fn esc_html_does_not_clear_shell_or_url_labels() {
+        // Satellite negative test: an XSS-only encoder must not protect the
+        // command-injection or SSRF sinks.
+        let c = wordpress();
+        let p = c.sanitizer_protects(None, "esc_html");
+        assert!(!p.contains(&VulnClass::CmdInjection));
+        assert!(!p.contains(&VulnClass::PathTraversal));
+        assert!(!p.contains(&VulnClass::Ssrf));
+    }
+
+    #[test]
+    fn new_class_entries_present() {
+        let c = wordpress();
+        assert!(c
+            .sink_specs(None, "wp_redirect")
+            .iter()
+            .any(|s| s.class == VulnClass::Ssrf));
+        assert!(c
+            .sink_specs(None, "load_template")
+            .iter()
+            .any(|s| s.class == VulnClass::PathTraversal));
+        assert_eq!(
+            c.sanitizer_protects(None, "esc_url_raw"),
+            &[VulnClass::Ssrf]
+        );
+        let url = c.sanitizer_protects(None, "esc_url");
+        assert!(url.contains(&VulnClass::Xss) && url.contains(&VulnClass::Ssrf));
+        // Broad WP sanitizers now cover the full registry.
+        for class in VulnClass::ALL {
+            assert!(c.sanitizer_protects(None, "absint").contains(&class));
+        }
+        assert_eq!(c.supported_classes(), VulnClass::ALL.to_vec());
     }
 
     #[test]

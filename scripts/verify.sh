@@ -59,6 +59,30 @@ for key in dataflow.builds dataflow.nodes dataflow.edges \
     }
 done
 
+# Taxonomy invariance: registering the extension vulnerability classes
+# must leave every paper-class outcome — and therefore every Table
+# I/II/III, Fig. 2 and --explain artifact — byte-identical to a registry
+# restricted to the paper's two classes.
+cargo test -q --offline -p phpsafe-eval --test taxonomy_invariance
+
+# Smoke: the taxonomy artifact must run the per-class evaluation and
+# surface the taxonomy.* metric family (registry size plus per-class
+# ground-truth/TP/FP gauges for every registered class slug).
+taxonomy_metrics="$(mktemp)"
+trap 'rm -f "$metrics" "$graph_metrics" "$taxonomy_metrics"' EXIT
+cargo run -q --release --offline -p phpsafe-bench --bin repro -- \
+    --metrics-out "$taxonomy_metrics" taxonomy >/dev/null
+for key in taxonomy.classes \
+           taxonomy.truth.xss taxonomy.tp.xss taxonomy.fp.xss \
+           taxonomy.truth.sqli taxonomy.truth.cmd-injection \
+           taxonomy.tp.cmd-injection taxonomy.truth.path-traversal \
+           taxonomy.tp.path-traversal taxonomy.truth.ssrf taxonomy.tp.ssrf; do
+    grep -q "\"$key\"" "$taxonomy_metrics" || {
+        echo "verify: $taxonomy_metrics is missing required key $key" >&2
+        exit 1
+    }
+done
+
 # Observability invariance: instrumentation (metrics, spans, taint
 # events) must never change a rendered artifact byte-for-byte.
 cargo test -q --offline -p phpsafe-eval --test obs_invariance
@@ -83,7 +107,7 @@ cargo test -q --offline -p phpsafe-eval --test incremental_invariance
 # sink for a known-vulnerable corpus plugin. (`phpsafe` exits 1 when it
 # finds vulnerabilities, so capture output before grepping.)
 plugin_dir="$(mktemp -d)"
-trap 'rm -f "$metrics" "$graph_metrics"; rm -rf "$plugin_dir"' EXIT
+trap 'rm -f "$metrics" "$graph_metrics" "$taxonomy_metrics"; rm -rf "$plugin_dir"' EXIT
 cargo run -q --release --offline -p phpsafe-corpus --bin corpus-dump -- "$plugin_dir" >/dev/null
 explain_ok=0
 for d in "$plugin_dir"/2014/*/; do
@@ -104,7 +128,7 @@ fi
 serve_cache="$(mktemp -d)"
 serve_out="$(mktemp)"
 serve_telemetry="$(mktemp)"
-trap 'rm -f "$metrics" "$graph_metrics" "$serve_out" "$serve_telemetry"; rm -rf "$plugin_dir" "$serve_cache"' EXIT
+trap 'rm -f "$metrics" "$graph_metrics" "$taxonomy_metrics" "$serve_out" "$serve_telemetry"; rm -rf "$plugin_dir" "$serve_cache"' EXIT
 serve_plugin="$(ls -d "$plugin_dir"/2014/*/ | head -n 1)"
 printf '{"cmd":"analyze","paths":["%s"],"id":1}\n{"cmd":"invalidate","paths":["%s"],"id":2}\n{"cmd":"metrics"}\n{"cmd":"metrics","format":"prometheus"}\n{"cmd":"shutdown"}\n' \
     "$serve_plugin" "$serve_plugin" |

@@ -7,7 +7,7 @@ use phpsafe::{PhpSafe, PluginProject, SourceFile};
 use phpsafe_baselines::{AnalysisTool, Pixy, Rips};
 use phpsafe_eval::Metrics;
 use proptest::prelude::*;
-use taint_config::{SourceKind, VulnClass};
+use taint_config::{TaintLabels, VulnClass};
 
 fn php_soup() -> impl Strategy<Value = String> {
     let fragment = prop_oneof![
@@ -31,27 +31,30 @@ fn php_soup() -> impl Strategy<Value = String> {
     prop::collection::vec(fragment, 0..16).prop_map(|v| v.concat())
 }
 
-fn source_kind() -> impl Strategy<Value = Option<SourceKind>> {
-    prop_oneof![
-        Just(None),
-        Just(Some(SourceKind::Get)),
-        Just(Some(SourceKind::Post)),
-        Just(Some(SourceKind::Cookie)),
-        Just(Some(SourceKind::Request)),
-        Just(Some(SourceKind::Server)),
-        Just(Some(SourceKind::Database)),
-        Just(Some(SourceKind::File)),
-        Just(Some(SourceKind::Function)),
-        Just(Some(SourceKind::Array)),
-    ]
+fn labels() -> impl Strategy<Value = TaintLabels> {
+    // Any subset of the 9 registered source kinds.
+    (0u16..512).prop_map(TaintLabels)
 }
 
 fn taint() -> impl Strategy<Value = Taint> {
-    (source_kind(), source_kind(), any::<bool>()).prop_map(|(xss, sqli, oop)| Taint {
-        xss,
-        sqli,
-        oop: oop && (xss.is_some() || sqli.is_some()),
-    })
+    (
+        labels(),
+        labels(),
+        labels(),
+        labels(),
+        labels(),
+        any::<bool>(),
+    )
+        .prop_map(|(a, b, c, d, e, oop)| {
+            let t = Taint {
+                labels: [a, b, c, d, e],
+                oop: false,
+            };
+            Taint {
+                oop: oop && t.any(),
+                ..t
+            }
+        })
 }
 
 proptest! {
